@@ -1,0 +1,82 @@
+// Shared harness pieces for the figure benchmarks.
+//
+// Every figure binary accepts:
+//   --fast   (default) reduced scale: fewer seeds / epochs / steps, so the
+//            whole bench suite completes on a laptop-class single core.
+//   --paper  the paper's Table II scale (256 epochs x 2048 steps, 10 seeded
+//            test cases per flow count). Expect hours per figure.
+//
+// The reduced scale preserves the *shape* of every figure (who wins, by
+// roughly what factor, where the crossovers fall), not absolute numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace nptsn::bench {
+
+struct Mode {
+  bool paper = false;
+
+  static Mode parse(int argc, char** argv) {
+    Mode mode;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper") == 0) mode.paper = true;
+      if (std::strcmp(argv[i], "--fast") == 0) mode.paper = false;
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--fast|--paper]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return mode;
+  }
+};
+
+// NPTSN / NeuroPlan training budget per mode. The paper scale is Table II;
+// the fast scale keeps SOAG-driven exploration effective with a fraction of
+// the gradient work.
+inline NptsnConfig training_config(const Mode& mode, std::uint64_t seed) {
+  NptsnConfig config;
+  config.seed = seed;
+  if (mode.paper) return config;  // Table II defaults
+  config.epochs = 12;
+  config.steps_per_epoch = 256;
+  config.mlp_hidden = {64, 64};
+  config.path_actions = 8;
+  config.train_actor_iters = 10;
+  config.train_critic_iters = 10;
+  // The tiny budget needs the faster learning rate to converge at all; the
+  // paper scale keeps Table II's 3e-4.
+  config.actor_lr = 1e-3;
+  return config;
+}
+
+// Sensitivity-test budget (Fig. 5 curves need a visible learning curve).
+inline NptsnConfig sensitivity_config(const Mode& mode, std::uint64_t seed) {
+  NptsnConfig config;
+  config.seed = seed;
+  if (mode.paper) return config;
+  config.epochs = 12;
+  config.steps_per_epoch = 128;
+  config.train_actor_iters = 10;
+  config.train_critic_iters = 10;
+  return config;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace nptsn::bench

@@ -1,0 +1,150 @@
+#include "bench/fig4_runner.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "baselines/neuroplan.hpp"
+#include "baselines/original.hpp"
+#include "baselines/trh.hpp"
+#include "core/planner.hpp"
+#include "scenarios/orion.hpp"
+#include "tsn/recovery.hpp"
+
+namespace nptsn::bench {
+
+std::vector<int> fig4_flow_counts(const Mode& mode) {
+  if (mode.paper) return {10, 20, 30, 40, 50};
+  return {10, 30, 50};
+}
+
+int fig4_seeds_per_count(const Mode& mode) { return mode.paper ? 10 : 2; }
+
+namespace {
+
+std::string cache_path(const Mode& mode) {
+  return mode.paper ? "fig4_cache_paper.csv" : "fig4_cache_fast.csv";
+}
+
+void write_outcome(std::ostream& os, const MethodOutcome& m) {
+  os << ',' << m.valid << ',' << m.cost;
+  for (const int h : m.switch_histogram) os << ',' << h;
+}
+
+bool read_outcome(std::istringstream& is, MethodOutcome& m) {
+  char comma = 0;
+  int valid = 0;
+  if (!(is >> comma >> valid >> comma >> m.cost)) return false;
+  m.valid = valid != 0;
+  for (int& h : m.switch_histogram) {
+    if (!(is >> comma >> h)) return false;
+  }
+  return true;
+}
+
+std::vector<Fig4Case> load_cache(const Mode& mode, std::size_t expected_cases) {
+  std::ifstream file(cache_path(mode));
+  if (!file) return {};
+  std::vector<Fig4Case> cases;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream is(line);
+    Fig4Case c;
+    char comma = 0;
+    if (!(is >> c.flows >> comma >> c.seed)) return {};
+    if (!read_outcome(is, c.original) || !read_outcome(is, c.trh) ||
+        !read_outcome(is, c.neuroplan) || !read_outcome(is, c.nptsn)) {
+      return {};
+    }
+    cases.push_back(c);
+  }
+  if (cases.size() != expected_cases) return {};
+  std::fprintf(stderr, "# fig4: loaded %zu cached cases from %s (delete to recompute)\n",
+               cases.size(), cache_path(mode).c_str());
+  return cases;
+}
+
+void store_cache(const Mode& mode, const std::vector<Fig4Case>& cases) {
+  std::ofstream file(cache_path(mode));
+  file << "# flows,seed then per method (original,trh,neuroplan,nptsn): "
+          "valid,cost,histA,histB,histC,histD\n";
+  for (const auto& c : cases) {
+    file << c.flows << ',' << c.seed;
+    write_outcome(file, c.original);
+    write_outcome(file, c.trh);
+    write_outcome(file, c.neuroplan);
+    write_outcome(file, c.nptsn);
+    file << '\n';
+  }
+}
+
+}  // namespace
+
+std::vector<Fig4Case> run_fig4(const Mode& mode) {
+  const std::size_t expected = fig4_flow_counts(mode).size() *
+                               static_cast<std::size_t>(fig4_seeds_per_count(mode));
+  if (auto cached = load_cache(mode, expected); !cached.empty()) return cached;
+  const auto cases = run_fig4_uncached(mode);
+  store_cache(mode, cases);
+  return cases;
+}
+
+std::vector<Fig4Case> run_fig4_uncached(const Mode& mode) {
+  const Scenario scenario = make_orion();
+  const HeuristicRecovery nbf;
+  std::vector<Fig4Case> cases;
+
+  for (const int flows : fig4_flow_counts(mode)) {
+    for (int seed = 0; seed < fig4_seeds_per_count(mode); ++seed) {
+      Fig4Case result;
+      result.flows = flows;
+      result.seed = static_cast<std::uint64_t>(seed) + 1;
+
+      Rng flow_rng(0xf10a0000u + static_cast<std::uint64_t>(flows) * 100 +
+                   static_cast<std::uint64_t>(seed));
+      const PlanningProblem problem =
+          with_flows(scenario, random_flows(scenario.problem, flows, flow_rng));
+      Stopwatch watch;
+
+      // Original: the manual all-ASIL-D reference design.
+      const auto original = evaluate_original(problem, scenario.original_links, nbf);
+      result.original.valid = original.valid;
+      result.original.cost = original.cost;
+
+      // TRH: two disjoint FRER paths per flow, uniform ASIL-B.
+      const auto trh = run_trh(problem);
+      result.trh.valid = trh.valid;
+      result.trh.cost = trh.cost;
+
+      // NeuroPlan: static link actions, same PPO agent.
+      const auto neuroplan = run_neuroplan(problem, nbf, training_config(mode, result.seed));
+      result.neuroplan.valid = neuroplan.feasible;
+      if (neuroplan.feasible) {
+        result.neuroplan.cost = neuroplan.best_cost;
+        result.neuroplan.switch_histogram = switch_asil_histogram(*neuroplan.best);
+      }
+
+      // NPTSN.
+      const auto nptsn = plan(problem, nbf, training_config(mode, result.seed));
+      result.nptsn.valid = nptsn.feasible;
+      if (nptsn.feasible) {
+        result.nptsn.cost = nptsn.best_cost;
+        result.nptsn.switch_histogram = switch_asil_histogram(*nptsn.best);
+      }
+
+      std::fprintf(stderr,
+                   "# fig4 case flows=%d seed=%llu done in %.1fs "
+                   "(orig %d/%.0f trh %d/%.0f neuro %d/%.0f nptsn %d/%.0f)\n",
+                   flows, static_cast<unsigned long long>(result.seed), watch.seconds(),
+                   result.original.valid, result.original.cost, result.trh.valid,
+                   result.trh.cost, result.neuroplan.valid, result.neuroplan.cost,
+                   result.nptsn.valid, result.nptsn.cost);
+      cases.push_back(result);
+    }
+  }
+  return cases;
+}
+
+}  // namespace nptsn::bench

@@ -1,0 +1,42 @@
+// Shared experiment runner for Fig. 4(a)/(b)/(c): the ORION performance
+// evaluation across the four methods (Original, TRH, NeuroPlan, NPTSN).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "net/asil.hpp"
+
+namespace nptsn::bench {
+
+struct MethodOutcome {
+  bool valid = false;
+  double cost = 0.0;
+  std::array<int, kNumAsilLevels> switch_histogram{};
+};
+
+struct Fig4Case {
+  int flows = 0;
+  std::uint64_t seed = 0;
+  MethodOutcome original;
+  MethodOutcome trh;
+  MethodOutcome neuroplan;
+  MethodOutcome nptsn;
+};
+
+// Flow counts per mode: the paper sweeps {10..50} x 10 seeds; fast mode
+// samples {10, 30, 50} x 2 seeds.
+std::vector<int> fig4_flow_counts(const Mode& mode);
+int fig4_seeds_per_count(const Mode& mode);
+
+// Runs all four methods on every (flow count, seed) ORION test case,
+// printing one progress line per case to stderr. Results are cached in
+// ./fig4_cache_{fast,paper}.csv so that the three Fig. 4 binaries share one
+// computation; delete the file to force a fresh run.
+std::vector<Fig4Case> run_fig4(const Mode& mode);
+
+// Same, bypassing the cache.
+std::vector<Fig4Case> run_fig4_uncached(const Mode& mode);
+
+}  // namespace nptsn::bench

@@ -1,0 +1,41 @@
+// Fig. 4(a): percentage of ORION test cases with a reliability guarantee,
+// per method and per flow count. Paper shape: Original and NPTSN stay at
+// 100%; TRH collapses beyond 20 flows; NeuroPlan collapses beyond 30.
+#include <iostream>
+#include <map>
+
+#include "bench/fig4_runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nptsn;
+  using namespace nptsn::bench;
+  const Mode mode = Mode::parse(argc, argv);
+  const auto cases = run_fig4(mode);
+
+  struct Row {
+    int total = 0;
+    int original = 0, trh = 0, neuroplan = 0, nptsn = 0;
+  };
+  std::map<int, Row> rows;
+  for (const auto& c : cases) {
+    Row& row = rows[c.flows];
+    ++row.total;
+    row.original += c.original.valid;
+    row.trh += c.trh.valid;
+    row.neuroplan += c.neuroplan.valid;
+    row.nptsn += c.nptsn.valid;
+  }
+
+  std::cout << "Fig. 4(a) — test cases with reliability guarantee (ORION)\n";
+  Table table({"flows", "Original", "TRH", "NeuroPlan", "NPTSN"});
+  for (const auto& [flows, row] : rows) {
+    const auto pct = [&](int v) {
+      return Table::percent(static_cast<double>(v) / row.total);
+    };
+    table.add_row({std::to_string(flows), pct(row.original), pct(row.trh),
+                   pct(row.neuroplan), pct(row.nptsn)});
+  }
+  table.print(std::cout);
+  return 0;
+}

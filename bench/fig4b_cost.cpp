@@ -1,0 +1,67 @@
+// Fig. 4(b): network cost of the best solution per method and flow count
+// (mean over the seeded test cases; only valid solutions count). Paper
+// shape: Original is a flat, highest line; NPTSN is the lowest everywhere;
+// TRH sits between them while it is still feasible. The "up to 6.8x"
+// headline is the Original / best-NPTSN ratio at 10 flows.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <map>
+
+#include "bench/fig4_runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nptsn;
+  using namespace nptsn::bench;
+  const Mode mode = Mode::parse(argc, argv);
+  const auto cases = run_fig4(mode);
+
+  struct Agg {
+    double sum = 0.0;
+    int count = 0;
+    void add(const MethodOutcome& m) {
+      if (!m.valid) return;
+      sum += m.cost;
+      ++count;
+    }
+    std::string mean() const {
+      return count == 0 ? "-" : Table::num(sum / count, 0);
+    }
+  };
+  std::map<int, std::array<Agg, 4>> rows;  // original, trh, neuroplan, nptsn
+  double best_nptsn_at_min_flows = std::numeric_limits<double>::infinity();
+  double original_cost = 0.0;
+  int min_flows = std::numeric_limits<int>::max();
+  for (const auto& c : cases) min_flows = std::min(min_flows, c.flows);
+  for (const auto& c : cases) {
+    auto& row = rows[c.flows];
+    row[0].add(c.original);
+    row[1].add(c.trh);
+    row[2].add(c.neuroplan);
+    row[3].add(c.nptsn);
+    original_cost = c.original.cost;
+    if (c.flows == min_flows && c.nptsn.valid) {
+      best_nptsn_at_min_flows = std::min(best_nptsn_at_min_flows, c.nptsn.cost);
+    }
+  }
+
+  std::cout << "Fig. 4(b) — network cost of the best solution (ORION, mean over "
+               "valid cases; '-' = no valid solution)\n";
+  Table table({"flows", "Original", "TRH", "NeuroPlan", "NPTSN"});
+  for (const auto& [flows, row] : rows) {
+    table.add_row({std::to_string(flows), row[0].mean(), row[1].mean(), row[2].mean(),
+                   row[3].mean()});
+  }
+  table.print(std::cout);
+
+  if (std::isfinite(best_nptsn_at_min_flows)) {
+    std::cout << "\nheadline: Original " << Table::num(original_cost, 0)
+              << " vs best NPTSN at " << min_flows << " flows "
+              << Table::num(best_nptsn_at_min_flows, 0) << "  ->  "
+              << Table::num(original_cost / best_nptsn_at_min_flows, 1)
+              << "x cost reduction (paper: 986 vs 146 = 6.8x)\n";
+  }
+  return 0;
+}

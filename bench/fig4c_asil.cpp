@@ -1,0 +1,56 @@
+// Fig. 4(c): distribution of planned switches over ASIL levels, NPTSN vs
+// NeuroPlan, per flow count. Paper shape: NPTSN approaches solutions from
+// low ASIL (mostly A, few upgrades); NeuroPlan uses high-ASIL switches far
+// more often, a key driver of its cost.
+#include <iostream>
+#include <map>
+
+#include "bench/fig4_runner.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nptsn;
+  using namespace nptsn::bench;
+  const Mode mode = Mode::parse(argc, argv);
+  const auto cases = run_fig4(mode);
+
+  struct Hist {
+    std::array<long, kNumAsilLevels> counts{};
+    long total = 0;
+    void add(const MethodOutcome& m) {
+      if (!m.valid) return;
+      for (std::size_t i = 0; i < m.switch_histogram.size(); ++i) {
+        counts[i] += m.switch_histogram[i];
+        total += m.switch_histogram[i];
+      }
+    }
+  };
+  std::map<int, Hist> nptsn_rows;
+  std::map<int, Hist> neuroplan_rows;
+  for (const auto& c : cases) {
+    nptsn_rows[c.flows].add(c.nptsn);
+    neuroplan_rows[c.flows].add(c.neuroplan);
+  }
+
+  const auto print_method = [&](const char* name, const std::map<int, Hist>& rows) {
+    std::cout << "Fig. 4(c) — switch ASIL distribution, " << name
+              << " (ORION; '-' = no valid solution)\n";
+    Table table({"flows", "ASIL-A", "ASIL-B", "ASIL-C", "ASIL-D"});
+    for (const auto& [flows, hist] : rows) {
+      std::vector<std::string> row = {std::to_string(flows)};
+      for (const Asil level : kAllAsil) {
+        row.push_back(hist.total == 0
+                          ? "-"
+                          : Table::percent(static_cast<double>(
+                                               hist.counts[static_cast<std::size_t>(level)]) /
+                                           hist.total, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  };
+  print_method("NPTSN", nptsn_rows);
+  print_method("NeuroPlan", neuroplan_rows);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "bench/fig5_runner.hpp"
+
+#include <iostream>
+
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace nptsn::bench {
+
+void print_reward_table(const std::string& title, const std::vector<RewardCurve>& curves) {
+  NPTSN_EXPECT(!curves.empty(), "no curves to print");
+  std::cout << title << "\n";
+  std::vector<std::string> header = {"epoch"};
+  for (const auto& [label, history] : curves) header.push_back(label);
+  Table table(header);
+
+  const std::size_t epochs = curves.front().second.size();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e)};
+    for (const auto& [label, history] : curves) {
+      row.push_back(e < history.size() ? Table::num(history[e].mean_episode_reward, 3)
+                                       : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  // Convergence summary: best (max) epoch reward per variant.
+  std::cout << "\nbest epoch reward per variant:";
+  for (const auto& [label, history] : curves) {
+    double best = -1e18;
+    for (const auto& stats : history) best = std::max(best, stats.mean_episode_reward);
+    std::cout << "  " << label << "=" << Table::num(best, 3);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace nptsn::bench

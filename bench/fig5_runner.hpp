@@ -1,0 +1,38 @@
+// Shared pieces for the Fig. 5 sensitivity benches: NPTSN trained on the
+// ADS scenario with one hyper-parameter varied at a time; the output is the
+// per-epoch mean episode reward curve for each variant.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/planner.hpp"
+#include "scenarios/ads.hpp"
+#include "tsn/recovery.hpp"
+
+namespace nptsn::bench {
+
+inline PlanningProblem ads_problem() {
+  return with_flows(make_ads(), ads_flows());
+}
+
+using RewardCurve = std::pair<std::string, std::vector<EpochStats>>;
+
+// Trains NPTSN on ADS with `config` and returns the labeled epoch history.
+inline RewardCurve train_curve(const std::string& label, const PlanningProblem& problem,
+                               const NptsnConfig& config) {
+  const HeuristicRecovery nbf;
+  Stopwatch watch;
+  const auto result = plan(problem, nbf, config);
+  std::fprintf(stderr, "# fig5 variant %s done in %.1fs (best cost %s)\n", label.c_str(),
+               watch.seconds(),
+               result.feasible ? std::to_string(result.best_cost).c_str() : "-");
+  return {label, result.history};
+}
+
+// Prints the curves as one table: epoch, then one reward column per variant.
+void print_reward_table(const std::string& title, const std::vector<RewardCurve>& curves);
+
+}  // namespace nptsn::bench

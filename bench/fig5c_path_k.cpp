@@ -1,0 +1,21 @@
+// Fig. 5(c): epoch reward on ADS with K (path-addition actions per SOAG
+// round) set to 8 / 16 / 32. Paper shape: K-16 converges fastest and
+// smoothest; K-8 covers less of the solution space; K-32 dilutes SOAG's
+// pruning with long, port-hungry paths and struggles to converge.
+#include "bench/fig5_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nptsn;
+  using namespace nptsn::bench;
+  const Mode mode = Mode::parse(argc, argv);
+  const auto problem = ads_problem();
+
+  std::vector<RewardCurve> curves;
+  for (const int k : {8, 16, 32}) {
+    NptsnConfig config = sensitivity_config(mode, /*seed=*/13);
+    config.path_actions = k;
+    curves.push_back(train_curve("K-" + std::to_string(k), problem, config));
+  }
+  print_reward_table("Fig. 5(c) — epoch reward vs SOAG path actions K (ADS)", curves);
+  return 0;
+}

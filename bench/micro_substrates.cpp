@@ -1,0 +1,155 @@
+// Micro-benchmarks for the substrates (google-benchmark). These quantify
+// the paper's core cost argument: reliability verification (Algorithm 3)
+// dominates a planning step, which is why SOAG's trajectory-shortening and
+// the analyzer's pruning matter.
+#include <benchmark/benchmark.h>
+
+#include "analysis/failure_analyzer.hpp"
+#include "baselines/original.hpp"
+#include "core/environment.hpp"
+#include "core/soag.hpp"
+#include "graph/yen.hpp"
+#include "rl/ppo.hpp"
+#include "scenarios/ads.hpp"
+#include "scenarios/orion.hpp"
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+namespace {
+
+PlanningProblem orion_problem(int flows) {
+  static const Scenario scenario = make_orion();
+  Rng rng(77);
+  return with_flows(scenario, random_flows(scenario.problem, flows, rng));
+}
+
+Topology orion_reference_topology(const PlanningProblem& problem) {
+  static const Scenario scenario = make_orion();
+  return build_uniform_topology(problem, scenario.original_links, Asil::A);
+}
+
+void BM_YenKShortestPaths(benchmark::State& state) {
+  const Scenario scenario = make_orion();
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k_shortest_paths(scenario.problem.connections, 0, 30, k));
+  }
+}
+BENCHMARK(BM_YenKShortestPaths)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_NbfRecovery(benchmark::State& state) {
+  const auto problem = orion_problem(static_cast<int>(state.range(0)));
+  const auto topology = orion_reference_topology(problem);
+  const HeuristicRecovery nbf;
+  const auto scenario = FailureScenario::of_switches({35});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nbf.recover(topology, scenario));
+  }
+}
+BENCHMARK(BM_NbfRecovery)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_FailureAnalysis(benchmark::State& state) {
+  // Full Algorithm 3 on the ASIL-A reference topology (every single switch
+  // failure checked; this is the per-step verification cost in training).
+  const auto problem = orion_problem(static_cast<int>(state.range(0)));
+  const auto topology = orion_reference_topology(problem);
+  const HeuristicRecovery nbf;
+  const FailureAnalyzer analyzer(nbf);
+  std::int64_t calls = 0;
+  for (auto _ : state) {
+    const auto outcome = analyzer.analyze(topology);
+    calls = outcome.nbf_calls + outcome.scenarios_pruned;
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["nbf_calls+pruned"] = static_cast<double>(calls);
+}
+BENCHMARK(BM_FailureAnalysis)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_SoagGeneration(benchmark::State& state) {
+  const auto problem = orion_problem(30);
+  const auto topology = orion_reference_topology(problem);
+  const Soag soag(problem, static_cast<int>(state.range(0)));
+  ErrorSet errors = {{0, 15}, {3, 9}};
+  const auto failure = FailureScenario::of_switches({35});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soag.generate(topology, failure, errors, rng));
+  }
+}
+BENCHMARK(BM_SoagGeneration)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GcnForward(benchmark::State& state) {
+  // One NPTSN policy forward pass on an ORION-sized observation.
+  const auto problem = orion_problem(30);
+  const ObservationEncoder encoder(problem, 16);
+  const Soag soag(problem, 16);
+  const auto topology = orion_reference_topology(problem);
+  Rng rng(9);
+  const auto space =
+      soag.generate(topology, FailureScenario::of_switches({35}), {{0, 15}}, rng);
+  const auto obs = encoder.encode(topology, space);
+
+  ActorCritic::Config config;
+  config.num_nodes = problem.num_nodes();
+  config.feature_dim = encoder.feature_dim();
+  config.param_dim = encoder.param_dim();
+  config.num_actions = soag.num_actions();
+  ActorCritic net(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(obs));
+  }
+}
+BENCHMARK(BM_GcnForward);
+
+void BM_GcnForwardBackward(benchmark::State& state) {
+  const auto problem = orion_problem(30);
+  const ObservationEncoder encoder(problem, 16);
+  const Soag soag(problem, 16);
+  const auto topology = orion_reference_topology(problem);
+  Rng rng(9);
+  const auto space =
+      soag.generate(topology, FailureScenario::of_switches({35}), {{0, 15}}, rng);
+  const auto obs = encoder.encode(topology, space);
+
+  ActorCritic::Config config;
+  config.num_nodes = problem.num_nodes();
+  config.feature_dim = encoder.feature_dim();
+  config.param_dim = encoder.param_dim();
+  config.num_actions = soag.num_actions();
+  ActorCritic net(config, rng);
+  for (auto _ : state) {
+    Tensor loss = sum_all(net.forward(obs).logits);
+    loss.backward();
+    benchmark::DoNotOptimize(loss);
+    for (auto& p : net.all_parameters()) p.zero_grad();
+  }
+}
+BENCHMARK(BM_GcnForwardBackward);
+
+void BM_PlanningEnvStep(benchmark::State& state) {
+  // Full environment step on ADS: apply action + failure analysis + SOAG.
+  const auto problem = with_flows(make_ads(), ads_flows());
+  const HeuristicRecovery nbf;
+  NptsnConfig config;
+  SolutionRecorder recorder;
+  PlanningEnv env(problem, nbf, config, recorder, Rng(3));
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto& mask = env.action_mask();
+    std::vector<int> valid;
+    for (int i = 0; i < env.num_actions(); ++i) {
+      if (mask[static_cast<std::size_t>(i)]) valid.push_back(i);
+    }
+    if (valid.empty()) {
+      env.reset();
+      continue;
+    }
+    if (env.step(rng.pick(valid)).episode_end) env.reset();
+  }
+}
+BENCHMARK(BM_PlanningEnvStep);
+
+}  // namespace
+}  // namespace nptsn
+
+BENCHMARK_MAIN();

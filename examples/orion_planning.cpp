@@ -1,0 +1,80 @@
+// Plan the ORION crew-exploration-vehicle network (Section VI-A) and compare
+// NPTSN against the three baselines on one randomized test case.
+//
+//   ./orion_planning [num_flows] [seed]
+//
+// Defaults to 10 flows, seed 1. Training runs at a reduced budget so the
+// example completes in a couple of minutes on one core; raise the budget in
+// the config below to approach the paper's numbers (146 at 10 flows).
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/neuroplan.hpp"
+#include "baselines/original.hpp"
+#include "baselines/trh.hpp"
+#include "core/planner.hpp"
+#include "scenarios/orion.hpp"
+#include "tsn/recovery.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nptsn;
+
+  const int num_flows = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  const Scenario scenario = make_orion();
+  Rng flow_rng(seed * 1000 + static_cast<std::uint64_t>(num_flows));
+  const PlanningProblem problem =
+      with_flows(scenario, random_flows(scenario.problem, num_flows, flow_rng));
+  const HeuristicRecovery nbf;
+
+  std::printf("ORION: %d stations, %d optional switches, %d optional links, %d flows\n",
+              problem.num_end_stations, problem.num_switches(),
+              problem.connections.num_edges(), num_flows);
+
+  // Baseline 1: the manually designed all-ASIL-D topology.
+  const auto original = evaluate_original(problem, scenario.original_links, nbf);
+  std::printf("Original (all ASIL-D):  %s  cost %.0f\n",
+              original.valid ? "valid  " : "INVALID", original.cost);
+
+  // Baseline 2: TRH static FRER redundancy, all ASIL-B.
+  const auto trh = run_trh(problem);
+  std::printf("TRH (2x FRER, ASIL-B):  %s  cost %s\n",
+              trh.valid ? "valid  " : "INVALID",
+              trh.paths_found ? std::to_string(static_cast<int>(trh.cost)).c_str() : "-");
+
+  NptsnConfig config;
+  config.epochs = 12;
+  config.steps_per_epoch = 256;
+  config.mlp_hidden = {64, 64};
+  config.path_actions = 8;
+  config.train_actor_iters = 10;
+  config.train_critic_iters = 10;
+  config.actor_lr = 1e-3;
+  config.seed = seed;
+
+  // Baseline 3: NeuroPlan-style static link actions with the same budget.
+  const auto neuroplan = run_neuroplan(problem, nbf, config);
+  std::printf("NeuroPlan (links):      %s  cost %s\n",
+              neuroplan.feasible ? "valid  " : "INVALID",
+              neuroplan.feasible
+                  ? std::to_string(static_cast<int>(neuroplan.best_cost)).c_str()
+                  : "-");
+
+  // NPTSN.
+  const auto nptsn = plan(problem, nbf, config);
+  std::printf("NPTSN:                  %s  cost %s\n",
+              nptsn.feasible ? "valid  " : "INVALID",
+              nptsn.feasible ? std::to_string(static_cast<int>(nptsn.best_cost)).c_str()
+                             : "-");
+
+  if (nptsn.feasible) {
+    const auto histogram = switch_asil_histogram(*nptsn.best);
+    std::printf("\nNPTSN solution: %zu switches (A:%d B:%d C:%d D:%d), %d links, "
+                "cost reduction vs original %.1fx\n",
+                nptsn.best->selected_switches().size(), histogram[0], histogram[1],
+                histogram[2], histogram[3], nptsn.best->graph().num_edges(),
+                original.cost / nptsn.best_cost);
+  }
+  return nptsn.feasible ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: plan a small in-vehicle TSSDN with NPTSN.
+//
+// Uses the ADS design scenario (12 end stations, 4 optional switches, 12 TT
+// flows) with a reduced training budget so it finishes in seconds. See
+// examples/orion_planning.cpp for the full-scale setup.
+#include <cstdio>
+
+#include "core/planner.hpp"
+#include "scenarios/ads.hpp"
+#include "tsn/recovery.hpp"
+
+int main() {
+  using namespace nptsn;
+
+  // 1. The planning problem: connection graph, flows, base period, R.
+  const Scenario scenario = make_ads();
+  const PlanningProblem problem = with_flows(scenario, ads_flows());
+
+  // 2. The recovery mechanism the network must support (any StatelessNbf).
+  const HeuristicRecovery nbf;
+
+  // 3. NPTSN hyper-parameters (Table II defaults, scaled down for a demo).
+  NptsnConfig config;
+  config.epochs = 10;
+  config.steps_per_epoch = 192;
+  config.train_actor_iters = 20;
+  config.train_critic_iters = 20;
+  config.seed = 7;
+
+  // 4. Train the intelligent network generator and take the best network.
+  std::printf("planning %s: %d end stations, %d optional switches, %zu flows\n",
+              scenario.name.c_str(), problem.num_end_stations, problem.num_switches(),
+              problem.flows.size());
+  const PlanningResult result =
+      plan(problem, nbf, config, [](const EpochStats& epoch) {
+        std::printf("  epoch %3d  reward %+7.3f  episodes %3d  kl %.4f\n", epoch.epoch,
+                    epoch.mean_episode_reward, epoch.episodes_finished, epoch.approx_kl);
+      });
+
+  if (!result.feasible) {
+    std::printf("no reliable network found — increase epochs/steps\n");
+    return 1;
+  }
+
+  // 5. Inspect the solution.
+  const Topology& best = *result.best;
+  std::printf("\nbest verified network: cost %.1f (%lld verified candidates)\n",
+              result.best_cost, static_cast<long long>(result.solutions_found));
+  for (const NodeId v : best.selected_switches()) {
+    std::printf("  switch %2d: ASIL-%s, %d ports used\n", v,
+                to_string(best.switch_asil(v)).c_str(), best.degree(v));
+  }
+  std::printf("  %d links\n", best.graph().num_edges());
+  return 0;
+}

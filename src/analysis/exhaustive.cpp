@@ -1,0 +1,84 @@
+#include "analysis/exhaustive.hpp"
+
+#include <vector>
+
+#include "util/combinatorics.hpp"
+
+namespace nptsn {
+
+ExhaustiveOutcome analyze_exhaustive(const Topology& topology, const StatelessNbf& nbf,
+                                     int max_order) {
+  const PlanningProblem& problem = topology.problem();
+  const double goal = problem.reliability_goal;
+  ExhaustiveOutcome outcome;
+
+  // Components: every planned switch and every planned link can fail.
+  struct Component {
+    bool is_link;
+    NodeId node;
+    EdgeKey link{0, 0};
+    double prob;
+  };
+  std::vector<Component> components;
+  for (const NodeId v : topology.selected_switches()) {
+    components.push_back(
+        {false, v, EdgeKey{0, 0}, problem.library.failure_prob(topology.switch_asil(v))});
+  }
+  for (const auto& edge : topology.graph().edges()) {
+    components.push_back({true, 0, EdgeKey{edge.u, edge.v},
+                          problem.library.failure_prob(topology.link_asil(edge.u, edge.v))});
+  }
+
+  const int n = static_cast<int>(components.size());
+  for (int order = 0; order <= max_order && order <= n; ++order) {
+    const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      FailureScenario scenario;
+      double prob = 1.0;
+      for (const int i : idx) {
+        const auto& c = components[static_cast<std::size_t>(i)];
+        prob *= c.prob;
+        if (c.is_link) {
+          scenario.failed_links.push_back(c.link);
+        } else {
+          scenario.failed_switches.push_back(c.node);
+        }
+      }
+      if (prob < goal) return true;  // safe fault
+      scenario.normalize();
+
+      ++outcome.nbf_calls;
+      if (nbf.recover(topology, scenario).ok()) return true;
+
+      // Run-time deployability fallback (Eq. 6): the flow state recovered
+      // for the switch projection only uses components that are alive under
+      // the original scenario, so the controller can deploy it verbatim.
+      FailureScenario projected;
+      projected.failed_switches = scenario.failed_switches;
+      for (const auto& link : scenario.failed_links) {
+        // Lowest-ASIL endpoint; prefer the switch on ties (end-station
+        // failures are safe faults and never part of Gf).
+        NodeId lowest = link.b;
+        if (lower_than(topology.node_asil(link.a), topology.node_asil(link.b)) ||
+            (topology.node_asil(link.a) == topology.node_asil(link.b) &&
+             topology.problem().is_switch(link.a))) {
+          lowest = link.a;
+        }
+        if (topology.problem().is_switch(lowest)) {
+          projected.failed_switches.push_back(lowest);
+        }
+      }
+      projected.normalize();
+      ++outcome.nbf_calls;
+      if (nbf.recover(topology, projected).ok()) return true;
+
+      outcome.reliable = false;
+      outcome.counterexample = std::move(scenario);
+      return false;
+    });
+    if (!completed) return outcome;
+  }
+  outcome.reliable = true;
+  return outcome;
+}
+
+}  // namespace nptsn

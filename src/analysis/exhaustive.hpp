@@ -1,0 +1,29 @@
+// Exhaustive reference analyzer for validation.
+//
+// Enumerates EVERY failure scenario with probability >= R, mixing link and
+// switch failures, with no superset pruning and no Eq. 6 reduction. It is
+// exponentially slower than Algorithm 3 and exists to property-test the
+// optimized analyzer: both must agree on reliability for any topology.
+//
+// Survivability uses the paper's run-time semantics: a scenario survives if
+// the NBF recovers it directly, or if the NBF recovers its switch
+// projection (Eq. 6) — that projection's flow state uses only components
+// alive under the original scenario, so the controller can deploy it.
+#pragma once
+
+#include "analysis/failure_analyzer.hpp"
+
+namespace nptsn {
+
+struct ExhaustiveOutcome {
+  bool reliable = false;
+  FailureScenario counterexample;  // only valid when !reliable
+  std::int64_t nbf_calls = 0;
+};
+
+// max_order bounds the total number of failed components per scenario (the
+// probability threshold usually binds first; the bound guards tiny R).
+ExhaustiveOutcome analyze_exhaustive(const Topology& topology, const StatelessNbf& nbf,
+                                     int max_order = 4);
+
+}  // namespace nptsn

@@ -1,0 +1,97 @@
+#include "analysis/failure_analyzer.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/combinatorics.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+FailureAnalyzer::FailureAnalyzer(const StatelessNbf& nbf, Options options)
+    : nbf_(&nbf), options_(options) {}
+
+AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
+  const PlanningProblem& problem = topology.problem();
+  const double goal = problem.reliability_goal;
+  AnalysisOutcome outcome;
+
+  // Candidate failing components: the planned switches, plus the end
+  // stations in the flow-level-redundancy variant.
+  std::vector<NodeId> candidates = topology.selected_switches();
+  if (options_.flow_level_redundancy) {
+    const auto stations = problem.end_station_ids();
+    candidates.insert(candidates.end(), stations.begin(), stations.end());
+    std::ranges::sort(candidates);
+  }
+  auto prob_of = [&](NodeId v) {
+    return problem.library.failure_prob(topology.node_asil(v));
+  };
+
+  // Alg. 3 line 1: maxord = largest k such that the product of the k most
+  // failure-prone candidates still reaches the goal.
+  std::vector<double> probs;
+  probs.reserve(candidates.size());
+  for (const NodeId v : candidates) probs.push_back(prob_of(v));
+  std::ranges::sort(probs, std::greater<>());
+  double cumulative = 1.0;
+  int maxord = 0;
+  for (const double p : probs) {
+    cumulative *= p;
+    if (cumulative < goal) break;
+    ++maxord;
+  }
+  outcome.max_order = maxord;
+
+  // checked: scenarios proven survivable; any subset of one is survivable
+  // too (the stateless NBF's flow state for the superset is feasible on the
+  // subset's larger residual network).
+  std::vector<FailureScenario> checked;
+  const int n = static_cast<int>(candidates.size());
+
+  for (int order = maxord; order >= 0; --order) {
+    const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      FailureScenario scenario;
+      scenario.failed_switches.reserve(idx.size());
+      double prob = 1.0;
+      for (const int i : idx) {
+        const NodeId v = candidates[static_cast<std::size_t>(i)];
+        scenario.failed_switches.push_back(v);
+        prob *= prob_of(v);
+      }
+      // candidates is sorted ascending, combinations are lexicographic, so
+      // failed_switches is already normalized.
+      if (prob < goal) {
+        ++outcome.scenarios_skipped;  // safe fault
+        return true;
+      }
+      if (options_.use_superset_pruning) {
+        for (const FailureScenario& survived : checked) {
+          if (scenario.switches_subset_of(survived)) {
+            ++outcome.scenarios_pruned;
+            return true;
+          }
+        }
+      }
+
+      ++outcome.nbf_calls;
+      // Flow-level redundancy aside, failed end stations cannot be routed
+      // around; the NBF sees them as removed nodes all the same.
+      NbfResult result = nbf_->recover(topology, scenario);
+      if (!result.ok()) {
+        outcome.reliable = false;
+        outcome.counterexample = std::move(scenario);
+        outcome.errors = std::move(result.errors);
+        return false;  // stop the enumeration
+      }
+      checked.push_back(std::move(scenario));
+      return true;
+    });
+    if (!completed) return outcome;
+  }
+
+  outcome.reliable = true;
+  return outcome;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,57 @@
+// The failure analyzer (Section V, Algorithm 3).
+//
+// Verifies the reliability guarantee of a planned TSSDN: every failure
+// scenario with occurrence probability >= R (a non-safe fault) must be
+// recoverable under the given stateless NBF. Because link ASIL equals the
+// minimum adjacent-node ASIL, any mixed link/switch failure is dominated by
+// its switch projection (Eq. 6), so only switch-failure scenarios are
+// injected. Scenarios are checked from the highest possible order down and
+// survived scenarios prune all of their subsets.
+#pragma once
+
+#include <cstdint>
+
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+
+struct AnalysisOutcome {
+  // True when the reliability guarantee holds (no counterexample found).
+  bool reliable = false;
+  // A non-recoverable non-safe fault and its error message; used by the
+  // SOAG to generate the next action space. Empty scenario + empty errors
+  // when reliable.
+  FailureScenario counterexample;
+  ErrorSet errors;
+
+  // Instrumentation (the paper motivates the design with verification cost).
+  std::int64_t nbf_calls = 0;
+  std::int64_t scenarios_pruned = 0;   // skipped: subset of a survived scenario
+  std::int64_t scenarios_skipped = 0;  // skipped: probability below R
+  int max_order = 0;                   // maxord of Algorithm 3
+};
+
+class FailureAnalyzer {
+ public:
+  struct Options {
+    // When true, failures of every topology node (end stations included) are
+    // enumerated — the flow-level-redundancy variant at the end of Section V.
+    bool flow_level_redundancy = false;
+    // Ablation switch for Alg. 3 line 11's subset pruning; disabling it must
+    // never change the verdict, only the NBF call count.
+    bool use_superset_pruning = true;
+  };
+
+  // The NBF must outlive the analyzer.
+  explicit FailureAnalyzer(const StatelessNbf& nbf) : FailureAnalyzer(nbf, Options{}) {}
+  FailureAnalyzer(const StatelessNbf& nbf, Options options);
+
+  // Runs Algorithm 3 against the topology (its problem supplies R).
+  AnalysisOutcome analyze(const Topology& topology) const;
+
+ private:
+  const StatelessNbf* nbf_;
+  Options options_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,68 @@
+// NeuroPlan-style baseline (Zhu et al., SIGCOMM 2021 — ref [16]) adapted to
+// the TSSDN planning problem as in Section VI-A: the same GCN + actor-critic
+// PPO agent as NPTSN, but with NeuroPlan's STATIC action space — one
+// link-addition action per optional Gc link (adding a link implicitly plans
+// absent endpoint switches at ASIL-A) plus one ASIL-upgrade action per
+// optional switch. No SOAG: no failure-analysis-driven pruning, no path
+// actions. Rewards/penalties and the failure analyzer are identical to
+// NPTSN's environment, per the paper's adaptation. The ILP refinement stage
+// of NeuroPlan is omitted exactly as in the paper (run-time recovery cannot
+// be expressed with linear constraints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/environment.hpp"
+#include "rl/trainer.hpp"
+
+namespace nptsn {
+
+class NeuroPlanEnv final : public Environment {
+ public:
+  NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
+               const NptsnConfig& config, SolutionRecorder& recorder);
+
+  int num_actions() const override;
+  Observation observe() const override;
+  const std::vector<std::uint8_t>& action_mask() const override;
+  StepResult step(int action) override;
+  void reset() override;
+
+  const Topology& topology() const { return topology_; }
+
+  // Long trajectories are NeuroPlan's documented weakness; a generous cap
+  // keeps a stuck episode from absorbing a whole epoch.
+  static constexpr int kMaxEpisodeSteps = 256;
+
+ private:
+  void refresh_mask();
+  bool link_addable(const Edge& edge) const;
+
+  const PlanningProblem* problem_;
+  const NptsnConfig* config_;
+  FailureAnalyzer analyzer_;
+  ObservationEncoder encoder_;
+  SolutionRecorder* recorder_;
+
+  std::vector<Edge> links_;  // Gc edges, fixed order = action ids
+  Topology topology_;
+  std::vector<std::uint8_t> mask_;
+  ActionSpace dummy_actions_;  // empty dynamic block for the shared encoder
+  int episode_steps_ = 0;
+};
+
+struct NeuroPlanResult {
+  bool feasible = false;
+  double best_cost = 0.0;
+  std::optional<Topology> best;
+  std::int64_t solutions_found = 0;
+  std::vector<EpochStats> history;
+};
+
+// Trains the NeuroPlan agent with the same hyper-parameters NPTSN uses.
+NeuroPlanResult run_neuroplan(const PlanningProblem& problem, const StatelessNbf& nbf,
+                              const NptsnConfig& config,
+                              const Trainer::EpochCallback& on_epoch = {});
+
+}  // namespace nptsn

@@ -1,0 +1,35 @@
+#include "baselines/original.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+Topology build_uniform_topology(const PlanningProblem& problem,
+                                const std::vector<Edge>& links, Asil level) {
+  Topology topology(problem);
+  for (const auto& edge : links) {
+    for (const NodeId v : {edge.u, edge.v}) {
+      if (problem.is_switch(v) && !topology.has_switch(v)) {
+        topology.add_switch(v);
+        while (topology.switch_asil(v) != level) topology.upgrade_switch(v);
+      }
+    }
+  }
+  for (const auto& edge : links) topology.add_link(edge.u, edge.v);
+  return topology;
+}
+
+OriginalResult evaluate_original(const PlanningProblem& problem,
+                                 const std::vector<Edge>& links, const StatelessNbf& nbf,
+                                 Asil level) {
+  NPTSN_EXPECT(!links.empty(), "the original design must have links");
+  const Topology topology = build_uniform_topology(problem, links, level);
+
+  OriginalResult result;
+  result.cost = topology.cost();
+  result.analysis = FailureAnalyzer(nbf).analyze(topology);
+  result.valid = result.analysis.reliable;
+  return result;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,28 @@
+// "Original" baseline (Section VI-A): a manually designed fixed topology
+// with one uniform ASIL level for every component, evaluated with the same
+// failure analyzer as NPTSN.
+#pragma once
+
+#include <vector>
+
+#include "analysis/failure_analyzer.hpp"
+
+namespace nptsn {
+
+// Builds a Topology from a fixed link list: every switch touched by a link
+// is planned and upgraded to `level`; all listed links are added.
+// Every link must be part of problem.connections.
+Topology build_uniform_topology(const PlanningProblem& problem,
+                                const std::vector<Edge>& links, Asil level);
+
+struct OriginalResult {
+  bool valid = false;  // reliability guarantee holds under the NBF
+  double cost = 0.0;
+  AnalysisOutcome analysis;
+};
+
+OriginalResult evaluate_original(const PlanningProblem& problem,
+                                 const std::vector<Edge>& links, const StatelessNbf& nbf,
+                                 Asil level = Asil::D);
+
+}  // namespace nptsn

@@ -1,0 +1,113 @@
+#include "baselines/trh.hpp"
+
+#include "graph/yen.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Link weight that makes shortest-path search prefer links already planned,
+// the "grow the topology, reuse what exists" behavior of TRH.
+constexpr double kReusedLinkWeight = 0.125;
+// Extra weight per unit of endpoint degree on NEW links: spreads station
+// attachments across switches instead of saturating the first two.
+constexpr double kDegreePressure = 0.125;
+// Ports per switch kept free for switch-to-switch links; without this the
+// synthesis wedges itself (all ports consumed by stations, no fabric left).
+constexpr int kReservedFabricPorts = 2;
+
+// Gc re-weighted by current topology membership; links that can no longer
+// be added are dropped from the search graph.
+Graph weighted_connections(const PlanningProblem& problem, const Topology& topology) {
+  Graph g(problem.num_nodes());
+  auto max_degree = [&](NodeId v) {
+    return problem.is_switch(v) ? problem.max_switch_degree() : problem.max_es_degree;
+  };
+  for (const auto& edge : problem.connections.edges()) {
+    if (topology.has_link(edge.u, edge.v)) {
+      g.add_edge(edge.u, edge.v, kReusedLinkWeight);
+      continue;
+    }
+    bool addable = true;
+    for (const NodeId v : {edge.u, edge.v}) {
+      int limit = max_degree(v);
+      // A switch keeps fabric ports free for station-to-station transit
+      // unless the new link itself is a fabric (switch-switch) link.
+      const bool station_link = !problem.is_switch(edge.u) || !problem.is_switch(edge.v);
+      if (problem.is_switch(v) && station_link) limit -= kReservedFabricPorts;
+      if (topology.degree(v) + 1 > limit) addable = false;
+    }
+    if (!addable) continue;
+    const double pressure =
+        kDegreePressure * (topology.degree(edge.u) + topology.degree(edge.v));
+    g.add_edge(edge.u, edge.v, edge.length + pressure);
+  }
+  return g;
+}
+
+// Ensures every switch on the path is planned at `level` before linking.
+void plan_path(Topology& topology, const Path& path, Asil level) {
+  const PlanningProblem& problem = topology.problem();
+  for (const NodeId v : path) {
+    if (problem.is_switch(v) && !topology.has_switch(v)) {
+      topology.add_switch(v);
+      while (topology.switch_asil(v) != level) topology.upgrade_switch(v);
+    }
+  }
+  topology.add_path(path);
+}
+
+}  // namespace
+
+TrhResult run_trh(const PlanningProblem& problem, const TrhConfig& config) {
+  problem.validate();
+  NPTSN_EXPECT(config.redundant_paths >= 1, "need at least one path per flow");
+  NPTSN_EXPECT(config.path_candidates >= 1, "need at least one candidate");
+
+  TrhResult result;
+  Topology topology(problem);
+  result.plan.resize(problem.flows.size());
+
+  TransitFilter can_transit(static_cast<std::size_t>(problem.num_nodes()), 1);
+  for (NodeId v = 0; v < problem.num_end_stations; ++v) {
+    can_transit[static_cast<std::size_t>(v)] = 0;
+  }
+
+  result.paths_found = true;
+  for (std::size_t f = 0; f < problem.flows.size() && result.paths_found; ++f) {
+    const FlowSpec& flow = problem.flows[f];
+    // Replica paths must be node-disjoint (shared endpoints aside); removed
+    // holds the interior nodes claimed by this flow's earlier replicas.
+    std::vector<NodeId> removed;
+    for (int r = 0; r < config.redundant_paths; ++r) {
+      Graph g = weighted_connections(problem, topology);
+      for (const NodeId v : removed) g.remove_node(v);
+
+      const auto candidates = k_shortest_paths(g, flow.source, flow.destination,
+                                               config.path_candidates, &can_transit);
+      bool planned = false;
+      for (const Path& path : candidates) {
+        if (!topology.path_respects_degrees(path)) continue;
+        plan_path(topology, path, config.level);
+        result.plan[f].push_back(path);
+        for (std::size_t i = 1; i + 1 < path.size(); ++i) removed.push_back(path[i]);
+        planned = true;
+        break;
+      }
+      if (!planned) {
+        result.paths_found = false;
+        break;
+      }
+    }
+  }
+
+  if (result.paths_found) {
+    result.cost = topology.cost();
+    result.schedulable = schedule_frer(problem, result.plan).schedulable;
+    result.topology = std::move(topology);
+  }
+  result.valid = result.paths_found && result.schedulable;
+  return result;
+}
+
+}  // namespace nptsn

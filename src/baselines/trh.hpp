@@ -1,0 +1,35 @@
+// TRH baseline (Gavrilut et al., RTNS 2017 — ref [4]): topology synthesis
+// for TSN with static FRER protection. Per flow, a fixed number of
+// node-disjoint paths is grown over the connection graph with a
+// breadth-first/shortest-path heuristic that prefers reusing already-planned
+// links. All components get one uniform ASIL (B in the paper's comparison:
+// two disjoint ASIL-B paths decompose the ASIL-D requirement). TRH does not
+// consider schedulability during synthesis — the FRER schedule is checked
+// afterwards, which is exactly why it degrades as load grows (Fig. 4(a)).
+#pragma once
+
+#include <optional>
+
+#include "net/topology.hpp"
+#include "tsn/frer.hpp"
+
+namespace nptsn {
+
+struct TrhConfig {
+  int redundant_paths = 2;   // disjoint FRER paths per flow
+  Asil level = Asil::B;      // uniform component ASIL
+  int path_candidates = 8;   // shortest-path candidates tried per replica
+};
+
+struct TrhResult {
+  bool valid = false;        // paths_found && schedulable
+  bool paths_found = false;  // every flow got its disjoint paths
+  bool schedulable = false;  // the static FRER schedule fits
+  double cost = 0.0;
+  std::optional<Topology> topology;  // present when paths_found
+  FrerPlan plan;                     // the replica paths per flow
+};
+
+TrhResult run_trh(const PlanningProblem& problem, const TrhConfig& config = {});
+
+}  // namespace nptsn

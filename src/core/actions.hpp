@@ -1,0 +1,39 @@
+// The dynamic action space of NPTSN (Section IV-B).
+//
+// The arity is fixed per problem — |Vc_sw| switch slots followed by K path
+// slots — so the actor head has a static shape; availability varies through
+// the mask, and the path contents vary per step (they are encoded into the
+// observation's dynamic-action feature block).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/paths.hpp"
+
+namespace nptsn {
+
+struct Action {
+  enum class Kind {
+    kSwitchUpgrade,  // add the switch at ASIL-A, or raise its level by one
+    kAddPath,        // add every link of `path` to the topology
+  };
+  Kind kind = Kind::kSwitchUpgrade;
+  NodeId switch_id = -1;  // for kSwitchUpgrade
+  Path path;              // for kAddPath; empty when the slot is vacant
+};
+
+struct ActionSpace {
+  std::vector<Action> actions;
+  std::vector<std::uint8_t> mask;  // 1 = selectable
+
+  int size() const { return static_cast<int>(actions.size()); }
+  bool any_valid() const {
+    for (const auto m : mask) {
+      if (m) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace nptsn

@@ -1,0 +1,44 @@
+// NPTSN hyper-parameters. Defaults are the paper's Table II (which in turn
+// follows the SpinningUp PPO defaults).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nptsn {
+
+struct NptsnConfig {
+  // --- network architecture -------------------------------------------------
+  int gcn_layers = 2;
+  std::vector<int> mlp_hidden = {256, 256};
+  // Graph embedding features; 0 means the paper's default of 2 * |Vc|.
+  int embedding_dim = 0;
+  // Encoder ablation: true swaps the GCN for a GAT (Section IV-C discusses
+  // and rejects GAT; bench/ablation_encoder compares them).
+  bool use_gat_encoder = false;
+
+  // --- action generation ----------------------------------------------------
+  int path_actions = 16;  // K
+
+  // --- training -------------------------------------------------------------
+  int epochs = 256;           // maxepoch
+  int steps_per_epoch = 2048; // maxstep
+  // "Reward scaling factor 10^3": rewards are divided by this to land in
+  // [-1, 0).
+  double reward_scale = 1e3;
+  double clip_ratio = 0.2;      // PPO clip epsilon
+  double actor_lr = 3e-4;
+  double critic_lr = 1e-3;
+  double gae_lambda = 0.97;
+  double discount_factor = 0.99;
+  int train_actor_iters = 80;   // SpinningUp defaults
+  int train_critic_iters = 80;
+  double target_kl = 0.01;
+
+  // --- execution ------------------------------------------------------------
+  // Parallel rollout workers (the paper uses 8 MPI ranks).
+  int num_workers = 1;
+  std::uint64_t seed = 1;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,113 @@
+#include "core/environment.hpp"
+
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+void SolutionRecorder::record(const Topology& topology) {
+  const double cost = topology.cost();
+  std::lock_guard lock(mutex_);
+  ++found_;
+  if (!best_ || cost < best_cost_) {
+    best_ = topology;
+    best_cost_ = cost;
+  }
+}
+
+bool SolutionRecorder::has_solution() const {
+  std::lock_guard lock(mutex_);
+  return best_.has_value();
+}
+
+double SolutionRecorder::best_cost() const {
+  std::lock_guard lock(mutex_);
+  return best_ ? best_cost_ : std::numeric_limits<double>::infinity();
+}
+
+std::optional<Topology> SolutionRecorder::best() const {
+  std::lock_guard lock(mutex_);
+  return best_;
+}
+
+std::int64_t SolutionRecorder::solutions_found() const {
+  std::lock_guard lock(mutex_);
+  return found_;
+}
+
+PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
+                         const NptsnConfig& config, SolutionRecorder& recorder, Rng rng)
+    : problem_(&problem),
+      config_(&config),
+      analyzer_(nbf),
+      soag_(problem, config.path_actions),
+      encoder_(problem, config.path_actions),
+      recorder_(&recorder),
+      rng_(rng),
+      topology_(problem) {
+  problem.validate();
+  analyze_and_generate();
+}
+
+int PlanningEnv::num_actions() const { return soag_.num_actions(); }
+
+Observation PlanningEnv::observe() const { return encoder_.encode(topology_, actions_); }
+
+const std::vector<std::uint8_t>& PlanningEnv::action_mask() const { return actions_.mask; }
+
+void PlanningEnv::analyze_and_generate() {
+  analysis_ = analyzer_.analyze(topology_);
+  nbf_calls_ += analysis_.nbf_calls;
+  if (analysis_.reliable) {
+    actions_ = ActionSpace{};  // regenerated on reset
+    actions_.actions.resize(static_cast<std::size_t>(num_actions()));
+    actions_.mask.assign(static_cast<std::size_t>(num_actions()), 0);
+    return;
+  }
+  actions_ = soag_.generate(topology_, analysis_.counterexample, analysis_.errors, rng_);
+}
+
+PlanningEnv::StepResult PlanningEnv::step(int action) {
+  NPTSN_EXPECT(action >= 0 && action < num_actions(), "action index out of range");
+  NPTSN_EXPECT(actions_.mask[static_cast<std::size_t>(action)] != 0,
+               "selected a masked action");
+
+  const double cost_before = topology_.cost();
+  const Action& chosen = actions_.actions[static_cast<std::size_t>(action)];
+  switch (chosen.kind) {
+    case Action::Kind::kSwitchUpgrade:
+      if (topology_.has_switch(chosen.switch_id)) {
+        topology_.upgrade_switch(chosen.switch_id);
+      } else {
+        topology_.add_switch(chosen.switch_id);
+      }
+      break;
+    case Action::Kind::kAddPath:
+      topology_.add_path(chosen.path);
+      break;
+  }
+
+  StepResult result;
+  // Reward: previous cost minus new cost (always <= 0 under monotone
+  // construction), scaled into [-1, 0) by the reward scaling factor.
+  result.reward = (cost_before - topology_.cost()) / config_->reward_scale;
+
+  analyze_and_generate();
+  if (analysis_.reliable) {
+    recorder_->record(topology_);
+    result.episode_end = true;
+  } else if (!actions_.any_valid()) {
+    // Dead end: no valid action can repair the network. Extra -1 penalty.
+    result.reward -= 1.0;
+    result.episode_end = true;
+  }
+  return result;
+}
+
+void PlanningEnv::reset() {
+  topology_ = Topology(*problem_);
+  analyze_and_generate();
+}
+
+}  // namespace nptsn

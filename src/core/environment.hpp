@@ -1,0 +1,72 @@
+// The NPTSN RL environment (Fig. 2): holds the TSSDN under construction,
+// applies SOAG actions, runs the failure analyzer after every step, rewards
+// the negative cost delta (scaled), penalizes dead ends, and records every
+// verified solution into a shared SolutionRecorder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "analysis/failure_analyzer.hpp"
+#include "core/config.hpp"
+#include "core/observation_encoder.hpp"
+#include "core/soag.hpp"
+#include "rl/env.hpp"
+
+namespace nptsn {
+
+// Thread-safe best-solution tracker shared by all rollout workers.
+class SolutionRecorder {
+ public:
+  // Keeps the topology if it beats the current best cost.
+  void record(const Topology& topology);
+
+  bool has_solution() const;
+  double best_cost() const;  // +inf when empty
+  std::optional<Topology> best() const;
+  std::int64_t solutions_found() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<Topology> best_;
+  double best_cost_ = 0.0;
+  std::int64_t found_ = 0;
+};
+
+class PlanningEnv final : public Environment {
+ public:
+  // All references must outlive the environment.
+  PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
+              const NptsnConfig& config, SolutionRecorder& recorder, Rng rng);
+
+  int num_actions() const override;
+  Observation observe() const override;
+  const std::vector<std::uint8_t>& action_mask() const override;
+  StepResult step(int action) override;
+  void reset() override;
+
+  // Accessors for tests and instrumentation.
+  const Topology& topology() const { return topology_; }
+  const AnalysisOutcome& last_analysis() const { return analysis_; }
+  std::int64_t nbf_calls() const { return nbf_calls_; }
+
+ private:
+  void analyze_and_generate();
+
+  const PlanningProblem* problem_;
+  const NptsnConfig* config_;
+  FailureAnalyzer analyzer_;
+  Soag soag_;
+  ObservationEncoder encoder_;
+  SolutionRecorder* recorder_;
+  Rng rng_;
+
+  Topology topology_;
+  ActionSpace actions_;
+  AnalysisOutcome analysis_;
+  std::int64_t nbf_calls_ = 0;
+};
+
+}  // namespace nptsn

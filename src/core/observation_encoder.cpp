@@ -1,0 +1,85 @@
+#include "core/observation_encoder.hpp"
+
+#include "nn/layers.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Keeps cost-valued features in O(1) range for the GCN.
+constexpr double kCostScale = 0.01;
+constexpr double kFlowScale = 0.1;
+
+}  // namespace
+
+ObservationEncoder::ObservationEncoder(const PlanningProblem& problem, int k)
+    : problem_(&problem), k_(k) {
+  NPTSN_EXPECT(k >= 1, "need at least one path action slot");
+  // Parameter vector: per flow (period / base period, frame bytes / MTU),
+  // then the slot count; constant for the life of the problem.
+  const auto num_flows = problem.flows.size();
+  params_ = Matrix(1, static_cast<int>(2 * num_flows) + 1);
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    params_.at(0, static_cast<int>(2 * f)) =
+        problem.flows[f].period_us / problem.tsn.base_period_us;
+    params_.at(0, static_cast<int>(2 * f) + 1) =
+        static_cast<double>(problem.flows[f].frame_bytes) / 1500.0;
+  }
+  params_.at(0, params_.cols() - 1) =
+      static_cast<double>(problem.tsn.slots_per_base) / 100.0;
+}
+
+int ObservationEncoder::feature_dim() const {
+  return 1 + problem_->num_nodes() + problem_->num_end_stations + k_;
+}
+
+int ObservationEncoder::param_dim() const { return params_.cols(); }
+
+Observation ObservationEncoder::encode(const Topology& topology,
+                                       const ActionSpace& actions) const {
+  NPTSN_EXPECT(actions.size() == problem_->num_switches() + k_,
+               "action space arity mismatch");
+  const int n = problem_->num_nodes();
+  Observation obs;
+
+  // Adjacency of the current Gt.
+  Matrix adjacency(n, n);
+  for (const auto& edge : topology.graph().edges()) {
+    adjacency.at(edge.u, edge.v) = 1.0;
+    adjacency.at(edge.v, edge.u) = 1.0;
+  }
+  obs.a_hat = normalized_adjacency(adjacency);
+
+  Matrix features(n, feature_dim());
+  // Block 1 (col 0): switch cost; end stations and absent switches are 0.
+  for (const NodeId v : topology.selected_switches()) {
+    features.at(v, 0) =
+        problem_->library.switch_cost(topology.degree(v), topology.switch_asil(v)) *
+        kCostScale;
+  }
+  // Block 2 (cols 1 .. n): per-unit link cost of the planned links.
+  for (const auto& edge : topology.graph().edges()) {
+    const double cost =
+        problem_->library.link_cost(topology.link_asil(edge.u, edge.v), 1.0) * kCostScale;
+    features.at(edge.u, 1 + edge.v) = cost;
+    features.at(edge.v, 1 + edge.u) = cost;
+  }
+  // Block 3 (|Ves| cols): flow demand between u and end station v.
+  const int flow_base = 1 + n;
+  for (const auto& flow : problem_->flows) {
+    features.at(flow.source, flow_base + flow.destination) += kFlowScale;
+    features.at(flow.destination, flow_base + flow.source) += kFlowScale;
+  }
+  // Block 4 (K cols): nodes traversed by each path-addition action.
+  const int action_base = flow_base + problem_->num_end_stations;
+  for (int slot = 0; slot < k_; ++slot) {
+    const auto& action = actions.actions[static_cast<std::size_t>(problem_->num_switches() + slot)];
+    NPTSN_ASSERT(action.kind == Action::Kind::kAddPath, "path slot holds a non-path action");
+    for (const NodeId v : action.path) features.at(v, action_base + slot) = 1.0;
+  }
+  obs.features = std::move(features);
+  obs.params = params_;
+  return obs;
+}
+
+}  // namespace nptsn

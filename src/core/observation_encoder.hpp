@@ -1,0 +1,35 @@
+// Encodes the TSSDN state and the dynamic action space into the GCN
+// observation (Section IV-C, "Encoding Method").
+//
+// Feature matrix, |Vc| x (1 + |Vc| + |Ves| + K):
+//   [0]                switch features — csw(deg, ASIL) for planned switches
+//   [1 .. |Vc|]        link features — clk(ASIL(u,v)) for planned links
+//   [.. + |Ves|]       flow features — # flows between node u and station v
+//   [.. + K]           dynamic actions — 1 where the path traverses the node
+// Costs are scaled down by a constant so the GCN inputs stay O(1).
+// The parameter vector carries the per-flow (period, frame size) pairs plus
+// the base-period slot count.
+#pragma once
+
+#include "core/actions.hpp"
+#include "net/topology.hpp"
+#include "rl/env.hpp"
+
+namespace nptsn {
+
+class ObservationEncoder {
+ public:
+  ObservationEncoder(const PlanningProblem& problem, int k);
+
+  int feature_dim() const;
+  int param_dim() const;
+
+  Observation encode(const Topology& topology, const ActionSpace& actions) const;
+
+ private:
+  const PlanningProblem* problem_;
+  int k_;
+  Matrix params_;  // constant per problem; computed once
+};
+
+}  // namespace nptsn

@@ -1,0 +1,69 @@
+#include "core/planner.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
+                    const NptsnConfig& config, const Trainer::EpochCallback& on_epoch) {
+  problem.validate();
+
+  SolutionRecorder recorder;
+  const ObservationEncoder encoder(problem, config.path_actions);
+  const Soag soag(problem, config.path_actions);
+
+  ActorCritic::Config net_config;
+  net_config.num_nodes = problem.num_nodes();
+  net_config.feature_dim = encoder.feature_dim();
+  net_config.param_dim = encoder.param_dim();
+  net_config.num_actions = soag.num_actions();
+  net_config.gcn_layers = config.gcn_layers;
+  net_config.embedding_dim = config.embedding_dim;
+  net_config.encoder = config.use_gat_encoder ? GraphEncoder::kGat : GraphEncoder::kGcn;
+  net_config.actor_hidden = config.mlp_hidden;
+  net_config.critic_hidden = config.mlp_hidden;
+
+  Rng rng(config.seed);
+  ActorCritic net(net_config, rng);
+
+  TrainerConfig trainer_config;
+  trainer_config.epochs = config.epochs;
+  trainer_config.steps_per_epoch = config.steps_per_epoch;
+  trainer_config.gamma = config.discount_factor;
+  trainer_config.gae_lambda = config.gae_lambda;
+  trainer_config.actor_lr = config.actor_lr;
+  trainer_config.critic_lr = config.critic_lr;
+  trainer_config.ppo.clip_ratio = config.clip_ratio;
+  trainer_config.ppo.train_actor_iters = config.train_actor_iters;
+  trainer_config.ppo.train_critic_iters = config.train_critic_iters;
+  trainer_config.ppo.target_kl = config.target_kl;
+  trainer_config.num_workers = config.num_workers;
+  trainer_config.seed = rng.next_u64();
+
+  Rng env_seeder(rng.next_u64());
+  Trainer trainer(
+      net,
+      [&] {
+        return std::make_unique<PlanningEnv>(problem, nbf, config, recorder,
+                                             env_seeder.split());
+      },
+      trainer_config);
+
+  PlanningResult result;
+  result.history = trainer.train(on_epoch);
+  result.feasible = recorder.has_solution();
+  result.best = recorder.best();
+  result.best_cost = recorder.best_cost();
+  result.solutions_found = recorder.solutions_found();
+  return result;
+}
+
+std::array<int, kNumAsilLevels> switch_asil_histogram(const Topology& topology) {
+  std::array<int, kNumAsilLevels> histogram{};
+  for (const NodeId v : topology.selected_switches()) {
+    ++histogram[static_cast<std::size_t>(topology.switch_asil(v))];
+  }
+  return histogram;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,35 @@
+// The public NPTSN entry point: given a planning problem and a recovery
+// mechanism, trains the intelligent network generator (Algorithm 2) and
+// returns the cheapest reliability-verified TSSDN discovered.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "core/config.hpp"
+#include "core/environment.hpp"
+#include "rl/trainer.hpp"
+
+namespace nptsn {
+
+struct PlanningResult {
+  // True when at least one solution satisfying the reliability guarantee
+  // was found during training.
+  bool feasible = false;
+  double best_cost = 0.0;               // valid when feasible
+  std::optional<Topology> best;         // the cheapest verified topology
+  std::int64_t solutions_found = 0;     // reliability-verified networks seen
+  std::vector<EpochStats> history;      // per-epoch training statistics
+};
+
+// Runs NPTSN end to end. The problem and NBF must stay alive for the call.
+// on_epoch (optional) observes training progress (Fig. 5 curves).
+PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
+                    const NptsnConfig& config,
+                    const Trainer::EpochCallback& on_epoch = {});
+
+// Per-level switch count of a topology (Fig. 4(c) histograms), indexed by
+// static_cast<int>(Asil).
+std::array<int, kNumAsilLevels> switch_asil_histogram(const Topology& topology);
+
+}  // namespace nptsn

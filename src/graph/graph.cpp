@@ -1,0 +1,91 @@
+#include "graph/graph.hpp"
+
+#include <string>
+
+namespace nptsn {
+
+Graph::Graph(int num_nodes)
+    : adjacency_(static_cast<std::size_t>(num_nodes)),
+      active_(static_cast<std::size_t>(num_nodes), true) {
+  NPTSN_EXPECT(num_nodes >= 0, "graph size must be non-negative");
+}
+
+void Graph::check_node(NodeId v) const {
+  NPTSN_EXPECT(v >= 0 && v < num_nodes(), "node id out of range: " + std::to_string(v));
+}
+
+bool Graph::is_active(NodeId v) const {
+  check_node(v);
+  return active_[static_cast<std::size_t>(v)];
+}
+
+void Graph::remove_node(NodeId v) {
+  check_node(v);
+  if (!active_[static_cast<std::size_t>(v)]) return;
+  // Detach from all neighbors first.
+  for (const auto& [nb, len] : adjacency_[static_cast<std::size_t>(v)]) {
+    (void)len;
+    adjacency_[static_cast<std::size_t>(nb)].erase(v);
+    --num_edges_;
+  }
+  adjacency_[static_cast<std::size_t>(v)].clear();
+  active_[static_cast<std::size_t>(v)] = false;
+}
+
+void Graph::add_edge(NodeId u, NodeId v, double length) {
+  check_node(u);
+  check_node(v);
+  NPTSN_EXPECT(u != v, "self loops are not allowed");
+  NPTSN_EXPECT(is_active(u) && is_active(v), "cannot connect inactive nodes");
+  NPTSN_EXPECT(length > 0.0, "edge length must be positive");
+  if (has_edge(u, v)) return;  // idempotent: keep the original length
+  adjacency_[static_cast<std::size_t>(u)].emplace(v, length);
+  adjacency_[static_cast<std::size_t>(v)].emplace(u, length);
+  ++num_edges_;
+}
+
+void Graph::remove_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  const auto erased = adjacency_[static_cast<std::size_t>(u)].erase(v);
+  adjacency_[static_cast<std::size_t>(v)].erase(u);
+  if (erased > 0) --num_edges_;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  return adjacency_[static_cast<std::size_t>(u)].contains(v);
+}
+
+double Graph::length(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nbs = adjacency_[static_cast<std::size_t>(u)];
+  const auto it = nbs.find(v);
+  NPTSN_EXPECT(it != nbs.end(), "edge does not exist");
+  return it->second;
+}
+
+int Graph::degree(NodeId v) const {
+  check_node(v);
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+const std::map<NodeId, double>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(static_cast<std::size_t>(num_edges_));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const auto& [v, len] : adjacency_[static_cast<std::size_t>(u)]) {
+      if (u < v) result.push_back({u, v, len});
+    }
+  }
+  return result;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,110 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace nptsn {
+
+double path_length(const Graph& g, const Path& path) {
+  NPTSN_EXPECT(!path.empty(), "path must be non-empty");
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += g.length(path[i], path[i + 1]);
+  }
+  return total;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId s, NodeId t,
+                                  const TransitFilter* can_transit) {
+  g.check_node(s);
+  g.check_node(t);
+  NPTSN_EXPECT(can_transit == nullptr ||
+                   can_transit->size() == static_cast<std::size_t>(g.num_nodes()),
+               "transit filter size must match the graph");
+  if (!g.is_active(s) || !g.is_active(t)) return std::nullopt;
+  if (s == t) return Path{s};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<double> dist(n, kInf);
+  std::vector<NodeId> prev(n, -1);
+  // (distance, node): the node id participates in ordering, so ties are
+  // broken deterministically toward lower ids.
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(s)] = 0.0;
+  heap.emplace(0.0, s);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == t) break;
+    // A non-transit node may terminate a path but never relay one.
+    if (u != s && can_transit != nullptr && !(*can_transit)[static_cast<std::size_t>(u)]) {
+      continue;
+    }
+    for (const auto& [v, len] : g.neighbors(u)) {
+      const double nd = d + len;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        prev[static_cast<std::size_t>(v)] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+
+  if (dist[static_cast<std::size_t>(t)] == kInf) return std::nullopt;
+  Path path;
+  for (NodeId v = t; v != -1; v = prev[static_cast<std::size_t>(v)]) path.push_back(v);
+  std::ranges::reverse(path);
+  return path;
+}
+
+int hop_distance(const Graph& g, NodeId s, NodeId t) {
+  g.check_node(s);
+  g.check_node(t);
+  if (!g.is_active(s) || !g.is_active(t)) return -1;
+  if (s == t) return 0;
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(s)] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const auto& [v, len] : g.neighbors(u)) {
+      (void)len;
+      if (dist[static_cast<std::size_t>(v)] == -1) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        if (v == t) return dist[static_cast<std::size_t>(v)];
+        queue.push(v);
+      }
+    }
+  }
+  return -1;
+}
+
+bool connected(const Graph& g, NodeId s, NodeId t) { return hop_distance(g, s, t) >= 0; }
+
+std::vector<Path> disjoint_paths(const Graph& g, NodeId s, NodeId t, int k,
+                                 const TransitFilter* can_transit) {
+  NPTSN_EXPECT(k >= 0, "k must be non-negative");
+  std::vector<Path> result;
+  Graph residual = g;
+  for (int i = 0; i < k; ++i) {
+    const auto path = shortest_path(residual, s, t, can_transit);
+    if (!path) break;
+    result.push_back(*path);
+    // Remove intermediate nodes so later paths cannot reuse them.
+    for (std::size_t j = 1; j + 1 < path->size(); ++j) {
+      residual.remove_node((*path)[j]);
+    }
+    // Guard the degenerate single-edge path: remove the direct edge instead.
+    if (path->size() == 2) residual.remove_edge(s, t);
+  }
+  return result;
+}
+
+}  // namespace nptsn

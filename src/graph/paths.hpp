@@ -1,0 +1,38 @@
+// Path queries over Graph: Dijkstra shortest path, BFS hop distance,
+// connectivity, and greedy node-disjoint path extraction (TRH baseline).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nptsn {
+
+// A path is the node sequence [source, ..., destination].
+using Path = std::vector<NodeId>;
+
+// Sum of edge lengths along a path; throws if an edge is missing.
+double path_length(const Graph& g, const Path& path);
+
+// Optional transit filter: nodes marked 0 may appear in a path only as an
+// endpoint (used to stop flows from being relayed through end stations).
+using TransitFilter = std::vector<char>;
+
+// Dijkstra by edge length with deterministic (smallest-id) tie-breaking.
+// Returns std::nullopt when t is unreachable or either endpoint is inactive.
+std::optional<Path> shortest_path(const Graph& g, NodeId s, NodeId t,
+                                  const TransitFilter* can_transit = nullptr);
+
+// Unweighted BFS distance in hops; -1 if unreachable.
+int hop_distance(const Graph& g, NodeId s, NodeId t);
+
+bool connected(const Graph& g, NodeId s, NodeId t);
+
+// Extracts up to k paths from s to t that share no intermediate node, by
+// repeated BFS + removal (the breadth-first strategy of the TRH topology
+// synthesis heuristic, ref [4] of the paper). Endpoints may be shared.
+std::vector<Path> disjoint_paths(const Graph& g, NodeId s, NodeId t, int k,
+                                 const TransitFilter* can_transit = nullptr);
+
+}  // namespace nptsn

@@ -1,0 +1,18 @@
+// Yen's K shortest loopless paths (Yen, Management Science 1971) — the path
+// generator used by the Survival-Oriented Action Generator (Alg. 1 line 5).
+#pragma once
+
+#include <vector>
+
+#include "graph/paths.hpp"
+
+namespace nptsn {
+
+// Returns up to k loopless paths from s to t ordered by increasing length
+// (ties broken lexicographically by node sequence, deterministically).
+// Fewer than k paths are returned when the graph does not contain them.
+// can_transit has shortest_path() semantics (nullptr = all nodes relay).
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId s, NodeId t, int k,
+                                   const TransitFilter* can_transit = nullptr);
+
+}  // namespace nptsn

@@ -1,0 +1,22 @@
+#include "net/asil.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+Asil next_level(Asil level) {
+  NPTSN_EXPECT(level != Asil::D, "ASIL-D cannot be upgraded");
+  return static_cast<Asil>(static_cast<int>(level) + 1);
+}
+
+std::string to_string(Asil level) {
+  switch (level) {
+    case Asil::A: return "A";
+    case Asil::B: return "B";
+    case Asil::C: return "C";
+    case Asil::D: return "D";
+  }
+  NPTSN_ASSERT(false, "invalid ASIL value");
+}
+
+}  // namespace nptsn

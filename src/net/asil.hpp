@@ -1,0 +1,26 @@
+// Automotive Safety Integrity Levels (ISO 26262), ordered from least (A) to
+// most (D) critical. NPTSN allocates one level to every planned switch; link
+// levels are derived (min of the adjacent nodes).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace nptsn {
+
+enum class Asil : int { A = 0, B = 1, C = 2, D = 3 };
+
+inline constexpr int kNumAsilLevels = 4;
+inline constexpr std::array<Asil, kNumAsilLevels> kAllAsil = {Asil::A, Asil::B, Asil::C,
+                                                              Asil::D};
+
+// One-level upgrade (A -> B, ...). Requires level < D.
+Asil next_level(Asil level);
+
+// Ordering helper: true if a is a (strictly) lower integrity level than b.
+inline bool lower_than(Asil a, Asil b) { return static_cast<int>(a) < static_cast<int>(b); }
+inline Asil min_level(Asil a, Asil b) { return lower_than(a, b) ? a : b; }
+
+std::string to_string(Asil level);
+
+}  // namespace nptsn

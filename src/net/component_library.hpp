@@ -1,0 +1,54 @@
+// The component library (Table I of the paper): per-ASIL switch cost as a
+// function of the port count, per-ASIL link cost per unit length, and the
+// per-ASIL component failure probability.
+//
+// The planner never picks a concrete switch model; it constrains degrees so
+// that a feasible model exists and the cost function selects the cheapest
+// model with enough ports (csw(deg, ASIL) in the paper).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "net/asil.hpp"
+
+namespace nptsn {
+
+struct SwitchModel {
+  int ports = 0;
+  // Cost per ASIL level, indexed by static_cast<int>(Asil).
+  std::array<double, kNumAsilLevels> cost{};
+};
+
+class ComponentLibrary {
+ public:
+  // models must be non-empty with strictly increasing port counts;
+  // link_cost_per_unit / failure_prob indexed by ASIL level.
+  ComponentLibrary(std::vector<SwitchModel> models,
+                   std::array<double, kNumAsilLevels> link_cost_per_unit,
+                   std::array<double, kNumAsilLevels> failure_prob);
+
+  // The library of Table I: 4/6/8-port switches, ASIL-A costs 8/10/16,
+  // +1.5x per switch ASIL level (rounded as in the paper's table), link cost
+  // 1/2/4/8 per unit, failure probabilities 1e-3 .. 1e-6.
+  static ComponentLibrary standard();
+
+  // Cheapest switch with at least `degree` ports at the given level; degree 0
+  // (a planned but unconnected switch) maps to the smallest model.
+  double switch_cost(int degree, Asil level) const;
+
+  double link_cost(Asil level, double length) const;
+  double failure_prob(Asil level) const;
+
+  // Largest port count available — the topology degree constraint.
+  int max_switch_degree() const;
+
+  const std::vector<SwitchModel>& models() const { return models_; }
+
+ private:
+  std::vector<SwitchModel> models_;
+  std::array<double, kNumAsilLevels> link_cost_per_unit_;
+  std::array<double, kNumAsilLevels> failure_prob_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,90 @@
+#include "net/export.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace nptsn {
+namespace {
+
+const char* asil_color(Asil level) {
+  switch (level) {
+    case Asil::A: return "palegreen";
+    case Asil::B: return "khaki";
+    case Asil::C: return "orange";
+    case Asil::D: return "tomato";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string to_dot(const Topology& topology, const DotOptions& options) {
+  const PlanningProblem& problem = topology.problem();
+  std::ostringstream os;
+  os << "graph " << options.graph_name << " {\n";
+  os << "  layout=neato; overlap=false; splines=true;\n";
+
+  for (NodeId v = 0; v < problem.num_end_stations; ++v) {
+    os << "  n" << v << " [shape=box, label=\"es" << v << "\"];\n";
+  }
+  for (const NodeId v : topology.selected_switches()) {
+    os << "  n" << v << " [shape=circle, style=filled, fillcolor="
+       << asil_color(topology.switch_asil(v)) << ", label=\"sw" << v << "\\nASIL-"
+       << to_string(topology.switch_asil(v)) << "\"];\n";
+  }
+
+  for (const auto& edge : topology.graph().edges()) {
+    os << "  n" << edge.u << " -- n" << edge.v << " [label=\""
+       << to_string(topology.link_asil(edge.u, edge.v)) << "\"];\n";
+  }
+  if (options.include_unused_connections) {
+    for (const auto& edge : problem.connections.edges()) {
+      if (topology.has_link(edge.u, edge.v)) continue;
+      const bool endpoints_drawn =
+          (!problem.is_switch(edge.u) || topology.has_switch(edge.u)) &&
+          (!problem.is_switch(edge.v) || topology.has_switch(edge.v));
+      if (!endpoints_drawn) continue;
+      os << "  n" << edge.u << " -- n" << edge.v << " [style=dashed, color=gray];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string summary(const Topology& topology) {
+  const PlanningProblem& problem = topology.problem();
+  const auto& lib = problem.library;
+  std::ostringstream os;
+
+  double switch_total = 0.0;
+  os << "switches:\n";
+  for (const NodeId v : topology.selected_switches()) {
+    const double cost = lib.switch_cost(topology.degree(v), topology.switch_asil(v));
+    switch_total += cost;
+    os << "  sw" << v << "  ASIL-" << to_string(topology.switch_asil(v)) << "  "
+       << topology.degree(v) << " ports  cost " << cost << "\n";
+  }
+
+  std::array<double, kNumAsilLevels> link_cost_per_level{};
+  std::array<int, kNumAsilLevels> link_count_per_level{};
+  for (const auto& edge : topology.graph().edges()) {
+    const Asil level = topology.link_asil(edge.u, edge.v);
+    link_cost_per_level[static_cast<std::size_t>(level)] +=
+        lib.link_cost(level, edge.length);
+    ++link_count_per_level[static_cast<std::size_t>(level)];
+  }
+  double link_total = 0.0;
+  os << "links:\n";
+  for (const Asil level : kAllAsil) {
+    const auto i = static_cast<std::size_t>(level);
+    if (link_count_per_level[i] == 0) continue;
+    link_total += link_cost_per_level[i];
+    os << "  ASIL-" << to_string(level) << "  x" << link_count_per_level[i] << "  cost "
+       << link_cost_per_level[i] << "\n";
+  }
+  os << "total: " << switch_total << " (switches) + " << link_total
+     << " (links) = " << topology.cost() << "\n";
+  return os.str();
+}
+
+}  // namespace nptsn

@@ -1,0 +1,27 @@
+// Human-readable exports of planning inputs and results.
+//
+// to_dot() renders a planned TSSDN as Graphviz: end stations as boxes,
+// switches as circles labeled with their ASIL, link labels carrying the
+// derived link ASIL. summary() prints the Eq. 1 cost breakdown. Both are
+// pure string builders — no I/O — so callers decide where output goes.
+#pragma once
+
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace nptsn {
+
+struct DotOptions {
+  // Also draw the optional Gc links the plan did not use (dashed).
+  bool include_unused_connections = false;
+  std::string graph_name = "tssdn";
+};
+
+std::string to_dot(const Topology& topology, const DotOptions& options = {});
+
+// Multi-line cost breakdown: per-switch model/ASIL/cost rows, link totals
+// per ASIL, and the Eq. 1 total.
+std::string summary(const Topology& topology);
+
+}  // namespace nptsn

@@ -1,0 +1,42 @@
+#include "net/failure.hpp"
+
+#include <algorithm>
+
+#include "net/topology.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+void FailureScenario::normalize() {
+  std::ranges::sort(failed_switches);
+  failed_switches.erase(std::unique(failed_switches.begin(), failed_switches.end()),
+                        failed_switches.end());
+  std::ranges::sort(failed_links);
+  failed_links.erase(std::unique(failed_links.begin(), failed_links.end()),
+                     failed_links.end());
+}
+
+bool FailureScenario::switches_subset_of(const FailureScenario& other) const {
+  return std::ranges::includes(other.failed_switches, failed_switches);
+}
+
+FailureScenario FailureScenario::of_switches(std::vector<NodeId> switches) {
+  FailureScenario scenario;
+  scenario.failed_switches = std::move(switches);
+  scenario.normalize();
+  return scenario;
+}
+
+double failure_probability(const Topology& topology, const FailureScenario& scenario) {
+  const auto& lib = topology.problem().library;
+  double prob = 1.0;
+  for (const NodeId v : scenario.failed_switches) {
+    prob *= lib.failure_prob(topology.switch_asil(v));
+  }
+  for (const auto& link : scenario.failed_links) {
+    prob *= lib.failure_prob(topology.link_asil(link.a, link.b));
+  }
+  return prob;
+}
+
+}  // namespace nptsn

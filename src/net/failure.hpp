@@ -1,0 +1,32 @@
+// Failure scenarios Gf: a set of failed (fail-silent) switches and links of
+// the planned topology, plus the Eq. 2 occurrence probability.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nptsn {
+
+class Topology;
+
+struct FailureScenario {
+  std::vector<NodeId> failed_switches;  // kept sorted ascending
+  std::vector<EdgeKey> failed_links;    // kept sorted
+
+  bool empty() const { return failed_switches.empty() && failed_links.empty(); }
+  void normalize();  // sort + dedupe
+
+  // True if every failed switch of this scenario also fails in `other`
+  // (switch-only subset test used by the analyzer's superset pruning).
+  bool switches_subset_of(const FailureScenario& other) const;
+
+  static FailureScenario none() { return {}; }
+  static FailureScenario of_switches(std::vector<NodeId> switches);
+};
+
+// Eq. 2: product of the failed components' failure probabilities under the
+// topology's ASIL allocation.
+double failure_probability(const Topology& topology, const FailureScenario& scenario);
+
+}  // namespace nptsn

@@ -1,0 +1,64 @@
+#include "net/problem.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+std::vector<NodeId> PlanningProblem::switch_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(num_switches()));
+  for (NodeId v = num_end_stations; v < num_nodes(); ++v) ids.push_back(v);
+  return ids;
+}
+
+std::vector<NodeId> PlanningProblem::end_station_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(num_end_stations));
+  for (NodeId v = 0; v < num_end_stations; ++v) ids.push_back(v);
+  return ids;
+}
+
+int PlanningProblem::frames_per_base(const FlowSpec& flow) const {
+  const double ratio = tsn.base_period_us / flow.period_us;
+  const int frames = static_cast<int>(std::lround(ratio));
+  NPTSN_EXPECT(frames >= 1 && std::abs(ratio - frames) < 1e-9,
+               "flow period must divide the base period");
+  return frames;
+}
+
+void PlanningProblem::validate() const {
+  NPTSN_EXPECT(num_end_stations >= 2, "need at least two end stations");
+  NPTSN_EXPECT(num_nodes() > num_end_stations, "need at least one optional switch");
+  NPTSN_EXPECT(tsn.base_period_us > 0.0, "base period must be positive");
+  NPTSN_EXPECT(tsn.slots_per_base >= 1, "need at least one slot per base period");
+  NPTSN_EXPECT(reliability_goal > 0.0 && reliability_goal < 1.0,
+               "reliability goal must be in (0, 1)");
+  NPTSN_EXPECT(max_es_degree >= 1, "end stations need at least one port");
+  NPTSN_EXPECT(!flows.empty(), "need at least one flow");
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    const std::string tag = "flow " + std::to_string(i);
+    NPTSN_EXPECT(is_end_station(f.source) && is_end_station(f.destination),
+                 tag + ": endpoints must be end stations");
+    NPTSN_EXPECT(f.source != f.destination, tag + ": source equals destination");
+    NPTSN_EXPECT(f.period_us > 0.0, tag + ": period must be positive");
+    NPTSN_EXPECT(f.frame_bytes > 0, tag + ": frame size must be positive");
+    NPTSN_EXPECT(f.deadline_us > 0.0 && f.deadline_us <= f.period_us,
+                 tag + ": deadline must be in (0, period]");
+    (void)frames_per_base(f);  // checks divisibility
+  }
+
+  // No optional link may connect two end stations directly: every flow must
+  // traverse at least one switch (a property both scenarios satisfy and the
+  // action space relies on).
+  for (const auto& edge : connections.edges()) {
+    NPTSN_EXPECT(is_switch(edge.u) || is_switch(edge.v),
+                 "direct end-station to end-station links are not allowed");
+  }
+}
+
+}  // namespace nptsn

@@ -1,0 +1,61 @@
+// The network planning problem instance (Section II-C of the paper):
+// the connection graph Gc, the TT flow specification FS, the TAS base period,
+// the component library, the reliability goal R, and the degree constraints.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "net/component_library.hpp"
+
+namespace nptsn {
+
+// Time-Aware Shaper configuration. The base period is uniformly divided into
+// slots_per_base time slots (e.g. ORION: 500 us / 20 slots); one slot carries
+// one TT frame on one link.
+struct TsnConfig {
+  double base_period_us = 500.0;
+  int slots_per_base = 20;
+};
+
+// One periodic, unicast time-triggered flow. period_us must divide the base
+// period; the deadline defaults to the period.
+struct FlowSpec {
+  NodeId source = 0;
+  NodeId destination = 0;
+  double period_us = 500.0;
+  int frame_bytes = 64;
+  double deadline_us = 500.0;
+};
+
+struct PlanningProblem {
+  // Gc: nodes [0, num_end_stations) are end stations, the rest are optional
+  // switches; edges are the optional links with their cable lengths.
+  Graph connections{0};
+  int num_end_stations = 0;
+  std::vector<FlowSpec> flows;
+  TsnConfig tsn;
+  ComponentLibrary library = ComponentLibrary::standard();
+  // R: a failure scenario with probability >= R must be survivable.
+  double reliability_goal = 1e-6;
+  // Max ports per end station (2 = the minimum for redundancy, Section VI).
+  int max_es_degree = 2;
+
+  int num_nodes() const { return connections.num_nodes(); }
+  int num_switches() const { return num_nodes() - num_end_stations; }
+  bool is_switch(NodeId v) const { return v >= num_end_stations; }
+  bool is_end_station(NodeId v) const { return v >= 0 && v < num_end_stations; }
+  int max_switch_degree() const { return library.max_switch_degree(); }
+
+  std::vector<NodeId> switch_ids() const;
+  std::vector<NodeId> end_station_ids() const;
+
+  // Frames each flow emits per base period (requires divisibility).
+  int frames_per_base(const FlowSpec& flow) const;
+
+  // Throws std::invalid_argument when the instance is malformed (flows not
+  // between end stations, non-dividing periods, empty graph, ...).
+  void validate() const;
+};
+
+}  // namespace nptsn

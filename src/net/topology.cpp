@@ -1,0 +1,129 @@
+#include "net/topology.hpp"
+
+#include <map>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+Topology::Topology(const PlanningProblem& problem)
+    : problem_(&problem),
+      gt_(problem.num_nodes()),
+      switch_level_(static_cast<std::size_t>(problem.num_nodes())) {}
+
+bool Topology::has_switch(NodeId v) const {
+  gt_.check_node(v);
+  return problem_->is_switch(v) && switch_level_[static_cast<std::size_t>(v)].has_value();
+}
+
+Asil Topology::switch_asil(NodeId v) const {
+  NPTSN_EXPECT(has_switch(v), "switch not part of the topology");
+  return *switch_level_[static_cast<std::size_t>(v)];
+}
+
+void Topology::add_switch(NodeId v) {
+  NPTSN_EXPECT(problem_->is_switch(v), "node is not an optional switch");
+  NPTSN_EXPECT(!has_switch(v), "switch already added");
+  switch_level_[static_cast<std::size_t>(v)] = Asil::A;
+}
+
+void Topology::upgrade_switch(NodeId v) {
+  NPTSN_EXPECT(has_switch(v), "cannot upgrade an absent switch");
+  auto& level = switch_level_[static_cast<std::size_t>(v)];
+  level = next_level(*level);
+}
+
+std::vector<NodeId> Topology::selected_switches() const {
+  std::vector<NodeId> out;
+  for (NodeId v = problem_->num_end_stations; v < problem_->num_nodes(); ++v) {
+    if (switch_level_[static_cast<std::size_t>(v)].has_value()) out.push_back(v);
+  }
+  return out;
+}
+
+int Topology::max_degree_of(NodeId v) const {
+  return problem_->is_switch(v) ? problem_->max_switch_degree() : problem_->max_es_degree;
+}
+
+void Topology::add_link(NodeId u, NodeId v) {
+  NPTSN_EXPECT(problem_->connections.has_edge(u, v), "link is not an optional Gc link");
+  for (const NodeId w : {u, v}) {
+    NPTSN_EXPECT(!problem_->is_switch(w) || has_switch(w),
+                 "link endpoint switch has not been added");
+  }
+  if (gt_.has_edge(u, v)) return;
+  for (const NodeId w : {u, v}) {
+    NPTSN_EXPECT(gt_.degree(w) + 1 <= max_degree_of(w),
+                 "degree constraint violated at node " + std::to_string(w));
+  }
+  gt_.add_edge(u, v, problem_->connections.length(u, v));
+}
+
+bool Topology::has_link(NodeId u, NodeId v) const { return gt_.has_edge(u, v); }
+
+void Topology::add_path(const Path& path) {
+  NPTSN_EXPECT(path.size() >= 2, "path must contain at least one link");
+  NPTSN_EXPECT(path_respects_degrees(path), "path violates the degree constraints");
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) add_link(path[i], path[i + 1]);
+}
+
+bool Topology::path_respects_degrees(const Path& path) const {
+  // Count each node's new links (links of the path not yet in Gt).
+  std::map<NodeId, int> extra;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId u = path[i];
+    const NodeId v = path[i + 1];
+    if (!problem_->connections.has_edge(u, v)) return false;
+    if (gt_.has_edge(u, v)) continue;
+    ++extra[u];
+    ++extra[v];
+  }
+  for (const auto& [v, added] : extra) {
+    if (gt_.degree(v) + added > max_degree_of(v)) return false;
+  }
+  return true;
+}
+
+int Topology::degree(NodeId v) const { return gt_.degree(v); }
+
+Asil Topology::node_asil(NodeId v) const {
+  // End stations require high reliability (their failures are safe faults);
+  // they count as ASIL-D for the link-level derivation.
+  if (problem_->is_end_station(v)) return Asil::D;
+  return switch_asil(v);
+}
+
+Asil Topology::link_asil(NodeId u, NodeId v) const {
+  NPTSN_EXPECT(gt_.has_edge(u, v), "link is not part of the topology");
+  return min_level(node_asil(u), node_asil(v));
+}
+
+double Topology::cost() const {
+  const auto& lib = problem_->library;
+  double total = 0.0;
+  for (const NodeId v : selected_switches()) {
+    total += lib.switch_cost(gt_.degree(v), switch_asil(v));
+  }
+  for (const auto& edge : gt_.edges()) {
+    total += lib.link_cost(link_asil(edge.u, edge.v), edge.length);
+  }
+  return total;
+}
+
+Graph Topology::residual(const FailureScenario& scenario) const {
+  Graph g = gt_;
+  for (const NodeId v : scenario.failed_switches) {
+    // End stations may appear here in the flow-level-redundancy analysis
+    // variant (Section V); otherwise the node must be a planned switch.
+    NPTSN_EXPECT(has_switch(v) || problem_->is_end_station(v),
+                 "failed node is not part of the topology");
+    g.remove_node(v);
+  }
+  for (const auto& link : scenario.failed_links) {
+    g.remove_edge(link.a, link.b);
+  }
+  return g;
+}
+
+}  // namespace nptsn

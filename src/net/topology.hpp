@@ -1,0 +1,73 @@
+// The TSSDN under construction: Gt (a subgraph of Gc) plus the ASIL
+// allocation of its switches. Link ASIL is derived as the minimum ASIL of
+// the two adjacent nodes (end stations count as ASIL-D), the invariant that
+// lets the failure analyzer check switch failures only (Section V).
+//
+// Construction is monotone, mirroring the paper's action design: switches
+// are added (at ASIL-A) or upgraded, paths/links are added; nothing is ever
+// removed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/paths.hpp"
+#include "net/failure.hpp"
+#include "net/problem.hpp"
+
+namespace nptsn {
+
+class Topology {
+ public:
+  // Starts as the empty TSSDN: all end stations, no switches, no links.
+  // The problem must outlive the topology.
+  explicit Topology(const PlanningProblem& problem);
+
+  const PlanningProblem& problem() const { return *problem_; }
+
+  // --- switches -----------------------------------------------------------
+  bool has_switch(NodeId v) const;
+  Asil switch_asil(NodeId v) const;  // requires has_switch(v)
+  // Adds a new optional switch at ASIL-A; requires !has_switch(v).
+  void add_switch(NodeId v);
+  // One-level upgrade; requires has_switch(v) and level < D.
+  void upgrade_switch(NodeId v);
+  std::vector<NodeId> selected_switches() const;
+
+  // --- links / paths ------------------------------------------------------
+  // Adds a Gc link; both endpoints must be present (switch endpoints must
+  // have been added). Idempotent. Enforces the degree constraints.
+  void add_link(NodeId u, NodeId v);
+  bool has_link(NodeId u, NodeId v) const;
+  // Adds every link along the path (endpoints are end stations or present
+  // switches). The combined result must respect the degree constraints.
+  void add_path(const Path& path);
+
+  // Degree a node would have if the path were added; used to pre-check the
+  // constraints without mutating (SOAG mask computation, Alg. 1 line 9).
+  bool path_respects_degrees(const Path& path) const;
+
+  // --- derived properties ---------------------------------------------------
+  int degree(NodeId v) const;
+  // ASIL of a node: switch allocation, or D for end stations.
+  Asil node_asil(NodeId v) const;
+  // ASIL of an existing link: min of the endpoint levels.
+  Asil link_asil(NodeId u, NodeId v) const;
+
+  // Eq. 1 network cost under the problem's component library.
+  double cost() const;
+
+  // Current Gt over the full node id space (absent switches are isolated).
+  const Graph& graph() const { return gt_; }
+
+  // Gt minus the failed components — the graph the recovery NBF routes on.
+  Graph residual(const FailureScenario& scenario) const;
+
+ private:
+  const PlanningProblem* problem_;
+  Graph gt_;
+  std::vector<std::optional<Asil>> switch_level_;  // indexed by node id
+  int max_degree_of(NodeId v) const;
+};
+
+}  // namespace nptsn

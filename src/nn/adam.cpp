@@ -1,0 +1,46 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+Adam::Adam(std::vector<Tensor> parameters, Options options)
+    : parameters_(std::move(parameters)), options_(options) {
+  NPTSN_EXPECT(!parameters_.empty(), "optimizer needs at least one parameter");
+  NPTSN_EXPECT(options_.learning_rate > 0.0, "learning rate must be positive");
+  m_.reserve(parameters_.size());
+  v_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    NPTSN_EXPECT(p.requires_grad(), "optimizer parameters must require grad");
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::zero_grad() {
+  for (Tensor& p : parameters_) p.zero_grad();
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_count_));
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    Matrix& value = parameters_[i].mutable_value();
+    const Matrix& grad = parameters_[i].mutable_grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int j = 0; j < value.size(); ++j) {
+      const double g = grad.data()[j];
+      m.data()[j] = options_.beta1 * m.data()[j] + (1.0 - options_.beta1) * g;
+      v.data()[j] = options_.beta2 * v.data()[j] + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m.data()[j] / bias1;
+      const double v_hat = v.data()[j] / bias2;
+      value.data()[j] -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace nptsn

@@ -1,0 +1,37 @@
+// Adam stochastic gradient optimizer (Kingma & Ba, ref [27] of the paper).
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace nptsn {
+
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  // All tensors must be parameter leaves; held by value (shared graph nodes).
+  Adam(std::vector<Tensor> parameters, Options options);
+
+  void zero_grad();
+  // One update from the currently accumulated gradients.
+  void step();
+
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+  double learning_rate() const { return options_.learning_rate; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  Options options_;
+  std::vector<Matrix> m_;  // first-moment estimates
+  std::vector<Matrix> v_;  // second-moment estimates
+  long step_count_ = 0;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,445 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace nptsn {
+
+namespace detail {
+
+Matrix& Node::ensure_grad() {
+  if (grad.empty() && !value.empty()) grad = Matrix(value.rows(), value.cols());
+  return grad;
+}
+
+}  // namespace detail
+
+using detail::Node;
+
+Tensor Tensor::constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::parameter(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Tensor(std::move(node));
+}
+
+bool Tensor::requires_grad() const { return node_ != nullptr && node_->requires_grad; }
+
+const Matrix& Tensor::value() const {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  return node_->grad;
+}
+
+Matrix& Tensor::mutable_grad() {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  return node_->ensure_grad();
+}
+
+void Tensor::zero_grad() {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  node_->ensure_grad().fill(0.0);
+}
+
+double Tensor::item() const {
+  NPTSN_EXPECT(value().rows() == 1 && value().cols() == 1, "item() requires a 1x1 tensor");
+  return value().at(0, 0);
+}
+
+Tensor Tensor::make_op(Matrix value, std::vector<Tensor> inputs,
+                       std::function<void(Node&)> backprop) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const Tensor& t : inputs) {
+    NPTSN_EXPECT(t.defined(), "op input tensor is empty");
+    node->requires_grad = node->requires_grad || t.node_->requires_grad;
+    node->parents.push_back(t.node_);
+  }
+  if (node->requires_grad) node->backprop = std::move(backprop);
+  return Tensor(std::move(node));
+}
+
+void Tensor::backward() const {
+  NPTSN_EXPECT(defined(), "tensor is empty");
+  NPTSN_EXPECT(value().rows() == 1 && value().cols() == 1,
+               "backward() requires a scalar loss");
+  NPTSN_EXPECT(node_->requires_grad, "loss does not depend on any parameter");
+
+  // Topological order via iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  node_->ensure_grad().at(0, 0) += 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backprop) node->backprop(*node);
+  }
+}
+
+namespace {
+
+// Adds `delta` into the parent's gradient when the parent participates in
+// training (constants skip the work).
+void add_grad(Node& parent, const Matrix& delta) {
+  if (!parent.requires_grad) return;
+  accumulate(parent.ensure_grad(), delta);
+}
+
+Node& parent(Node& self, std::size_t i) { return *self.parents[i]; }
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Matrix out = matmul(a.value(), b.value());
+  return Tensor::make_op(std::move(out), {a, b}, [](Node& self) {
+    Node& pa = parent(self, 0);
+    Node& pb = parent(self, 1);
+    if (pa.requires_grad) add_grad(pa, matmul(self.grad, transpose(pb.value)));
+    if (pb.requires_grad) add_grad(pb, matmul(transpose(pa.value), self.grad));
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return Tensor::make_op(add(a.value(), b.value()), {a, b}, [](Node& self) {
+    add_grad(parent(self, 0), self.grad);
+    add_grad(parent(self, 1), self.grad);
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return Tensor::make_op(sub(a.value(), b.value()), {a, b}, [](Node& self) {
+    add_grad(parent(self, 0), self.grad);
+    add_grad(parent(self, 1), scale(self.grad, -1.0));
+  });
+}
+
+Tensor scale(const Tensor& a, double s) {
+  return Tensor::make_op(scale(a.value(), s), {a}, [s](Node& self) {
+    add_grad(parent(self, 0), scale(self.grad, s));
+  });
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  return Tensor::make_op(hadamard(a.value(), b.value()), {a, b}, [](Node& self) {
+    Node& pa = parent(self, 0);
+    Node& pb = parent(self, 1);
+    if (pa.requires_grad) add_grad(pa, hadamard(self.grad, pb.value));
+    if (pb.requires_grad) add_grad(pb, hadamard(self.grad, pa.value));
+  });
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& row) {
+  return Tensor::make_op(add_row_broadcast(a.value(), row.value()), {a, row}, [](Node& self) {
+    add_grad(parent(self, 0), self.grad);
+    Node& prow = parent(self, 1);
+    if (prow.requires_grad) {
+      Matrix col_sums(1, self.grad.cols());
+      for (int i = 0; i < self.grad.rows(); ++i) {
+        for (int j = 0; j < self.grad.cols(); ++j) {
+          col_sums.at(0, j) += self.grad.at(i, j);
+        }
+      }
+      add_grad(prow, col_sums);
+    }
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::max(0.0, out.data()[i]);
+  return Tensor::make_op(std::move(out), {a}, [](Node& self) {
+    Matrix delta = self.grad;
+    for (int i = 0; i < delta.size(); ++i) {
+      if (self.value.data()[i] <= 0.0) delta.data()[i] = 0.0;
+    }
+    add_grad(parent(self, 0), delta);
+  });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  return Tensor::make_op(std::move(out), {a}, [](Node& self) {
+    Matrix delta = self.grad;
+    for (int i = 0; i < delta.size(); ++i) {
+      const double y = self.value.data()[i];
+      delta.data()[i] *= (1.0 - y * y);
+    }
+    add_grad(parent(self, 0), delta);
+  });
+}
+
+Tensor exp_op(const Tensor& a) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::exp(out.data()[i]);
+  return Tensor::make_op(std::move(out), {a}, [](Node& self) {
+    add_grad(parent(self, 0), hadamard(self.grad, self.value));
+  });
+}
+
+Tensor mean_rows(const Tensor& a) {
+  const Matrix& v = a.value();
+  NPTSN_EXPECT(v.rows() >= 1, "mean_rows requires at least one row");
+  Matrix out(1, v.cols());
+  for (int i = 0; i < v.rows(); ++i) {
+    for (int j = 0; j < v.cols(); ++j) out.at(0, j) += v.at(i, j);
+  }
+  const double inv = 1.0 / static_cast<double>(v.rows());
+  for (int j = 0; j < v.cols(); ++j) out.at(0, j) *= inv;
+  return Tensor::make_op(std::move(out), {a}, [inv](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    Matrix delta(pa.value.rows(), pa.value.cols());
+    for (int i = 0; i < delta.rows(); ++i) {
+      for (int j = 0; j < delta.cols(); ++j) delta.at(i, j) = self.grad.at(0, j) * inv;
+    }
+    add_grad(pa, delta);
+  });
+}
+
+Tensor sum_all(const Tensor& a) {
+  Matrix out(1, 1, a.value().sum());
+  return Tensor::make_op(std::move(out), {a}, [](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    add_grad(pa, Matrix(pa.value.rows(), pa.value.cols(), self.grad.at(0, 0)));
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  const Matrix& va = a.value();
+  const Matrix& vb = b.value();
+  NPTSN_EXPECT(va.rows() == vb.rows(), "concat_cols row mismatch");
+  Matrix out(va.rows(), va.cols() + vb.cols());
+  for (int i = 0; i < va.rows(); ++i) {
+    for (int j = 0; j < va.cols(); ++j) out.at(i, j) = va.at(i, j);
+    for (int j = 0; j < vb.cols(); ++j) out.at(i, va.cols() + j) = vb.at(i, j);
+  }
+  const int split = va.cols();
+  return Tensor::make_op(std::move(out), {a, b}, [split](Node& self) {
+    Node& pa = parent(self, 0);
+    Node& pb = parent(self, 1);
+    if (pa.requires_grad) {
+      Matrix da(self.grad.rows(), split);
+      for (int i = 0; i < da.rows(); ++i) {
+        for (int j = 0; j < split; ++j) da.at(i, j) = self.grad.at(i, j);
+      }
+      add_grad(pa, da);
+    }
+    if (pb.requires_grad) {
+      Matrix db(self.grad.rows(), self.grad.cols() - split);
+      for (int i = 0; i < db.rows(); ++i) {
+        for (int j = 0; j < db.cols(); ++j) db.at(i, j) = self.grad.at(i, split + j);
+      }
+      add_grad(pb, db);
+    }
+  });
+}
+
+Tensor select(const Tensor& a, int r, int c) {
+  Matrix out(1, 1, a.value().at(r, c));
+  return Tensor::make_op(std::move(out), {a}, [r, c](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    Matrix delta(pa.value.rows(), pa.value.cols());
+    delta.at(r, c) = self.grad.at(0, 0);
+    add_grad(pa, delta);
+  });
+}
+
+Tensor clamp(const Tensor& a, double lo, double hi) {
+  NPTSN_EXPECT(lo <= hi, "clamp requires lo <= hi");
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::clamp(out.data()[i], lo, hi);
+  return Tensor::make_op(std::move(out), {a}, [lo, hi](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    Matrix delta = self.grad;
+    for (int i = 0; i < delta.size(); ++i) {
+      const double x = pa.value.data()[i];
+      if (x < lo || x > hi) delta.data()[i] = 0.0;
+    }
+    add_grad(pa, delta);
+  });
+}
+
+Tensor min2(const Tensor& a, const Tensor& b) {
+  NPTSN_EXPECT(a.value().same_shape(b.value()), "min2 shape mismatch");
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) out.data()[i] = std::min(out.data()[i], b.value().data()[i]);
+  return Tensor::make_op(std::move(out), {a, b}, [](Node& self) {
+    Node& pa = parent(self, 0);
+    Node& pb = parent(self, 1);
+    Matrix da(self.grad.rows(), self.grad.cols());
+    Matrix db(self.grad.rows(), self.grad.cols());
+    for (int i = 0; i < self.grad.size(); ++i) {
+      if (pa.value.data()[i] <= pb.value.data()[i]) {
+        da.data()[i] = self.grad.data()[i];
+      } else {
+        db.data()[i] = self.grad.data()[i];
+      }
+    }
+    if (pa.requires_grad) add_grad(pa, da);
+    if (pb.requires_grad) add_grad(pb, db);
+  });
+}
+
+Tensor average(const std::vector<Tensor>& items) {
+  NPTSN_EXPECT(!items.empty(), "average of zero tensors");
+  Matrix out = items.front().value();
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    NPTSN_EXPECT(items[i].value().same_shape(out), "average shape mismatch");
+    accumulate(out, items[i].value());
+  }
+  const double inv = 1.0 / static_cast<double>(items.size());
+  for (int i = 0; i < out.size(); ++i) out.data()[i] *= inv;
+  return Tensor::make_op(std::move(out), items, [inv](Node& self) {
+    const Matrix delta = scale(self.grad, inv);
+    for (std::size_t i = 0; i < self.parents.size(); ++i) add_grad(*self.parents[i], delta);
+  });
+}
+
+Tensor masked_log_softmax_row(const Tensor& logits, const std::vector<std::uint8_t>& mask) {
+  const Matrix& x = logits.value();
+  NPTSN_EXPECT(x.rows() == 1, "masked_log_softmax_row expects a 1 x A row");
+  NPTSN_EXPECT(static_cast<int>(mask.size()) == x.cols(), "mask size mismatch");
+
+  // Stable masked log-softmax.
+  double max_logit = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (int j = 0; j < x.cols(); ++j) {
+    if (mask[static_cast<std::size_t>(j)]) {
+      max_logit = std::max(max_logit, x.at(0, j));
+      any = true;
+    }
+  }
+  NPTSN_EXPECT(any, "all actions are masked");
+  double denom = 0.0;
+  for (int j = 0; j < x.cols(); ++j) {
+    if (mask[static_cast<std::size_t>(j)]) denom += std::exp(x.at(0, j) - max_logit);
+  }
+  const double log_denom = std::log(denom) + max_logit;
+
+  constexpr double kMaskedLogProb = -1e30;
+  Matrix out(1, x.cols());
+  for (int j = 0; j < x.cols(); ++j) {
+    out.at(0, j) = mask[static_cast<std::size_t>(j)] ? x.at(0, j) - log_denom : kMaskedLogProb;
+  }
+  const std::vector<std::uint8_t> mask_copy = mask;
+  return Tensor::make_op(std::move(out), {logits}, [mask_copy](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    // d logp_j / d x_i = delta_ij - p_i (over unmasked entries).
+    double grad_sum = 0.0;
+    for (int j = 0; j < self.grad.cols(); ++j) {
+      if (mask_copy[static_cast<std::size_t>(j)]) grad_sum += self.grad.at(0, j);
+    }
+    Matrix delta(1, self.grad.cols());
+    for (int i = 0; i < delta.cols(); ++i) {
+      if (!mask_copy[static_cast<std::size_t>(i)]) continue;
+      const double p_i = std::exp(self.value.at(0, i));
+      delta.at(0, i) = self.grad.at(0, i) - p_i * grad_sum;
+    }
+    add_grad(pa, delta);
+  });
+}
+
+Tensor transpose_op(const Tensor& a) {
+  return Tensor::make_op(transpose(a.value()), {a}, [](Node& self) {
+    add_grad(parent(self, 0), transpose(self.grad));
+  });
+}
+
+Tensor leaky_relu(const Tensor& a, double negative_slope) {
+  Matrix out = a.value();
+  for (int i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0) out.data()[i] *= negative_slope;
+  }
+  return Tensor::make_op(std::move(out), {a}, [negative_slope](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    Matrix delta = self.grad;
+    for (int i = 0; i < delta.size(); ++i) {
+      if (pa.value.data()[i] < 0.0) delta.data()[i] *= negative_slope;
+    }
+    add_grad(pa, delta);
+  });
+}
+
+Tensor masked_softmax_rows(const Tensor& scores, const Matrix& mask) {
+  const Matrix& x = scores.value();
+  NPTSN_EXPECT(x.same_shape(mask), "scores/mask shape mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    double max_score = -std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (int j = 0; j < x.cols(); ++j) {
+      if (mask.at(i, j) != 0.0) {
+        max_score = std::max(max_score, x.at(i, j));
+        any = true;
+      }
+    }
+    NPTSN_EXPECT(any, "masked_softmax_rows: fully masked row " + std::to_string(i));
+    double denom = 0.0;
+    for (int j = 0; j < x.cols(); ++j) {
+      if (mask.at(i, j) != 0.0) {
+        out.at(i, j) = std::exp(x.at(i, j) - max_score);
+        denom += out.at(i, j);
+      }
+    }
+    for (int j = 0; j < x.cols(); ++j) out.at(i, j) /= denom;
+  }
+  const Matrix mask_copy = mask;
+  return Tensor::make_op(std::move(out), {scores}, [mask_copy](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    // Per row: d y_j / d x_i = y_j (delta_ij - y_i) over unmasked entries.
+    Matrix delta(self.value.rows(), self.value.cols());
+    for (int r = 0; r < self.value.rows(); ++r) {
+      double dot = 0.0;
+      for (int j = 0; j < self.value.cols(); ++j) {
+        if (mask_copy.at(r, j) != 0.0) dot += self.grad.at(r, j) * self.value.at(r, j);
+      }
+      for (int i = 0; i < self.value.cols(); ++i) {
+        if (mask_copy.at(r, i) == 0.0) continue;
+        delta.at(r, i) = self.value.at(r, i) * (self.grad.at(r, i) - dot);
+      }
+    }
+    add_grad(pa, delta);
+  });
+}
+
+}  // namespace nptsn

@@ -1,0 +1,109 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A Tensor is a value-semantic handle to a node of a dynamically built
+// computation graph. Operations record a backprop closure; calling
+// backward() on a scalar result accumulates gradients into every reachable
+// parameter (leaf tensor created with Tensor::parameter). This replaces the
+// paper's PyTorch dependency — only the operations the GCN/actor-critic
+// stack needs are implemented, each with an analytically derived adjoint
+// (validated against finite differences in tests/nn/autograd_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace nptsn {
+
+namespace detail {
+
+struct Node {
+  Matrix value;
+  Matrix grad;  // allocated on first use, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Propagates this->grad into the parents' grads.
+  std::function<void(Node&)> backprop;
+
+  Matrix& ensure_grad();
+};
+
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // A constant input (observation, adjacency): never receives gradient.
+  static Tensor constant(Matrix value);
+  // A trainable leaf (weight, bias).
+  static Tensor parameter(Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+  bool requires_grad() const;
+
+  const Matrix& value() const;
+  // Direct mutation for the optimizer; only meaningful on leaves.
+  Matrix& mutable_value();
+  const Matrix& grad() const;
+  Matrix& mutable_grad();
+  void zero_grad();
+
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+  // Value of a 1x1 tensor.
+  double item() const;
+
+  // Backpropagates from this scalar (1x1) tensor; gradients ACCUMULATE into
+  // leaves, call zero_grad (or Adam::zero_grad) between backward passes.
+  void backward() const;
+
+  // Internal: builds an op node.
+  static Tensor make_op(Matrix value, std::vector<Tensor> inputs,
+                        std::function<void(detail::Node&)> backprop);
+  const std::shared_ptr<detail::Node>& node() const { return node_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<detail::Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<detail::Node> node_;
+};
+
+// --- differentiable operations ---------------------------------------------
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, double s);
+Tensor hadamard(const Tensor& a, const Tensor& b);
+// Adds a 1 x C bias row to each row of an R x C input.
+Tensor add_row_broadcast(const Tensor& a, const Tensor& row);
+Tensor relu(const Tensor& a);
+Tensor tanh_op(const Tensor& a);
+Tensor exp_op(const Tensor& a);
+// Column-wise mean over rows: n x F -> 1 x F (GCN readout).
+Tensor mean_rows(const Tensor& a);
+Tensor sum_all(const Tensor& a);  // -> 1 x 1
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+Tensor select(const Tensor& a, int r, int c);  // -> 1 x 1
+// Elementwise clamp; gradient is zero outside [lo, hi] (PPO clipping).
+Tensor clamp(const Tensor& a, double lo, double hi);
+// Elementwise min; gradient routed to the smaller input (ties: a).
+Tensor min2(const Tensor& a, const Tensor& b);
+// Elementwise mean of same-shaped tensors (loss averaging across steps).
+Tensor average(const std::vector<Tensor>& items);
+// Log-softmax over a 1 x A logit row where entries with mask[i] == 0 are
+// excluded (treated as -inf; they get probability 0 and zero gradient).
+// At least one entry must be unmasked.
+Tensor masked_log_softmax_row(const Tensor& logits, const std::vector<std::uint8_t>& mask);
+Tensor transpose_op(const Tensor& a);
+// Elementwise LeakyReLU with the given negative-side slope.
+Tensor leaky_relu(const Tensor& a, double negative_slope = 0.2);
+// Row-wise softmax over an n x n score matrix where only entries with
+// mask.at(i, j) != 0 participate (others get probability 0). Every row must
+// have at least one unmasked entry. Used by the GAT attention layer, where
+// the mask is the self-looped adjacency.
+Tensor masked_softmax_rows(const Tensor& scores, const Matrix& mask);
+
+}  // namespace nptsn

@@ -1,0 +1,120 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Xavier/Glorot uniform initialization.
+Matrix init_weight(int in_features, int out_features, Rng& rng) {
+  NPTSN_EXPECT(in_features > 0 && out_features > 0, "layer dimensions must be positive");
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_features + out_features));
+  Matrix w(in_features, out_features);
+  for (int i = 0; i < w.size(); ++i) w.data()[i] = rng.uniform(-bound, bound);
+  return w;
+}
+
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : weight_(Tensor::parameter(init_weight(in_features, out_features, rng))),
+      bias_(Tensor::parameter(Matrix(1, out_features))) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  NPTSN_EXPECT(x.cols() == in_features(), "linear input width mismatch");
+  return add_row_broadcast(matmul(x, weight_), bias_);
+}
+
+void Linear::collect_parameters(std::vector<Tensor>& out) const {
+  out.push_back(weight_);
+  out.push_back(bias_);
+}
+
+GcnLayer::GcnLayer(int in_features, int out_features, Rng& rng)
+    : lin_(in_features, out_features, rng) {}
+
+Tensor GcnLayer::forward(const Tensor& a_hat, const Tensor& h) const {
+  NPTSN_EXPECT(a_hat.rows() == a_hat.cols() && a_hat.rows() == h.rows(),
+               "adjacency/feature shape mismatch");
+  return relu(matmul(a_hat, lin_.forward(h)));
+}
+
+void GcnLayer::collect_parameters(std::vector<Tensor>& out) const {
+  lin_.collect_parameters(out);
+}
+
+Matrix normalized_adjacency(const Matrix& adjacency) {
+  NPTSN_EXPECT(adjacency.rows() == adjacency.cols(), "adjacency must be square");
+  const int n = adjacency.rows();
+  Matrix a = adjacency;
+  for (int i = 0; i < n; ++i) a.at(i, i) = 1.0;  // self loops
+
+  std::vector<double> inv_sqrt_degree(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < n; ++j) {
+      NPTSN_EXPECT(a.at(i, j) == 0.0 || a.at(i, j) == 1.0, "adjacency must be 0/1");
+      degree += a.at(i, j);
+    }
+    inv_sqrt_degree[static_cast<std::size_t>(i)] = 1.0 / std::sqrt(degree);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a.at(i, j) *= inv_sqrt_degree[static_cast<std::size_t>(i)] *
+                    inv_sqrt_degree[static_cast<std::size_t>(j)];
+    }
+  }
+  return a;
+}
+
+GatLayer::GatLayer(int in_features, int out_features, Rng& rng)
+    : lin_(in_features, out_features, rng),
+      attn_src_(Tensor::parameter(init_weight(out_features, 1, rng))),
+      attn_dst_(Tensor::parameter(init_weight(out_features, 1, rng))) {}
+
+Tensor GatLayer::forward(const Matrix& neighborhood, const Tensor& h) const {
+  NPTSN_EXPECT(neighborhood.rows() == neighborhood.cols() &&
+                   neighborhood.rows() == h.rows(),
+               "neighborhood/feature shape mismatch");
+  const int n = h.rows();
+  const Tensor wh = lin_.forward(h);                       // n x out
+  const Tensor src = matmul(wh, attn_src_);                // n x 1
+  const Tensor dst = matmul(wh, attn_dst_);                // n x 1
+  const Tensor ones_row = Tensor::constant(Matrix(1, n, 1.0));
+  const Tensor ones_col = Tensor::constant(Matrix(n, 1, 1.0));
+  // scores_ij = src_i + dst_j via rank-one broadcasts.
+  const Tensor scores =
+      leaky_relu(add(matmul(src, ones_row), matmul(ones_col, transpose_op(dst))));
+  const Tensor attention = masked_softmax_rows(scores, neighborhood);
+  return relu(matmul(attention, wh));
+}
+
+void GatLayer::collect_parameters(std::vector<Tensor>& out) const {
+  lin_.collect_parameters(out);
+  out.push_back(attn_src_);
+  out.push_back(attn_dst_);
+}
+
+Mlp::Mlp(int in_features, const std::vector<int>& hidden, int out_features, Rng& rng) {
+  int width = in_features;
+  for (const int h : hidden) {
+    layers_.emplace_back(width, h, rng);
+    width = h;
+  }
+  layers_.emplace_back(width, out_features, rng);
+}
+
+Tensor Mlp::forward(Tensor x) const {
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    x = tanh_op(layers_[i].forward(x));
+  }
+  return layers_.back().forward(x);
+}
+
+void Mlp::collect_parameters(std::vector<Tensor>& out) const {
+  for (const auto& layer : layers_) layer.collect_parameters(out);
+}
+
+}  // namespace nptsn

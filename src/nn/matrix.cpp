@@ -1,0 +1,119 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nptsn {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+  NPTSN_EXPECT(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+Matrix Matrix::from(std::initializer_list<std::initializer_list<double>> rows) {
+  NPTSN_EXPECT(rows.size() > 0, "matrix literal must be non-empty");
+  const int r = static_cast<int>(rows.size());
+  const int c = static_cast<int>(rows.begin()->size());
+  Matrix m(r, c);
+  int i = 0;
+  for (const auto& row : rows) {
+    NPTSN_EXPECT(static_cast<int>(row.size()) == c, "ragged matrix literal");
+    int j = 0;
+    for (const double v : row) m.at(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+double& Matrix::at(int r, int c) {
+  NPTSN_EXPECT(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+double Matrix::at(int r, int c) const {
+  NPTSN_EXPECT(r >= 0 && r < rows_ && c >= 0 && c < cols_, "matrix index out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+void Matrix::fill(double value) { std::ranges::fill(data_, value); }
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (const double v : data_) total += v;
+  return total;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (const double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j order: streams through b and out rows, cache friendly for row-major.
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;  // A-hat and feature blocks are sparse
+      const double* brow = b.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(b.cols());
+      double* orow = out.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out.cols());
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.same_shape(b), "add shape mismatch");
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] += b.data()[i];
+  return out;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.same_shape(b), "sub shape mismatch");
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] -= b.data()[i];
+  return out;
+}
+
+Matrix scale(const Matrix& a, double s) {
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  return out;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.same_shape(b), "hadamard shape mismatch");
+  Matrix out = a;
+  for (int i = 0; i < out.size(); ++i) out.data()[i] *= b.data()[i];
+  return out;
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  NPTSN_EXPECT(row.rows() == 1 && row.cols() == a.cols(), "broadcast shape mismatch");
+  Matrix out = a;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) out.at(i, j) += row.at(0, j);
+  }
+  return out;
+}
+
+void accumulate(Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.same_shape(b), "accumulate shape mismatch");
+  for (int i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+}  // namespace nptsn

@@ -1,0 +1,55 @@
+// Dense row-major matrix of doubles — the numeric workhorse under the
+// autograd tape. Sized for this problem (tens of nodes, hundreds of
+// features): simple loops, no BLAS, exact reproducibility.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+  static Matrix from(std::initializer_list<std::initializer_list<double>> rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  int size() const { return rows_ * cols_; }
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  double& at(int r, int c);
+  double at(int r, int c) const;
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double value);
+  double sum() const;
+  // Largest absolute entry (0 for empty matrices).
+  double max_abs() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Free-function kernels. All check shapes.
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a);
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix scale(const Matrix& a, double s);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+// Adds a 1 x C row vector to every row of an R x C matrix.
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+// Accumulates b into a (in place), shapes must match.
+void accumulate(Matrix& a, const Matrix& b);
+
+}  // namespace nptsn

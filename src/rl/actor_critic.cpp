@@ -1,0 +1,122 @@
+#include "rl/actor_critic.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+ActorCritic::Config validated(ActorCritic::Config config) {
+  NPTSN_EXPECT(config.num_nodes > 0, "num_nodes must be positive");
+  NPTSN_EXPECT(config.feature_dim > 0, "feature_dim must be positive");
+  NPTSN_EXPECT(config.param_dim >= 0, "param_dim must be non-negative");
+  NPTSN_EXPECT(config.num_actions > 0, "num_actions must be positive");
+  NPTSN_EXPECT(config.gcn_layers >= 0, "gcn_layers must be non-negative");
+  if (config.embedding_dim <= 0) config.embedding_dim = 2 * config.num_nodes;
+  return config;
+}
+
+}  // namespace
+
+ActorCritic::ActorCritic(const Config& config, Rng& rng)
+    : config_(validated(config)),
+      gcn_([&] {
+        std::vector<GcnLayer> layers;
+        if (config_.encoder != GraphEncoder::kGcn) return layers;
+        int width = config_.feature_dim;
+        for (int l = 0; l < config_.gcn_layers; ++l) {
+          layers.emplace_back(width, config_.embedding_dim, rng);
+          width = config_.embedding_dim;
+        }
+        return layers;
+      }()),
+      gat_([&] {
+        std::vector<GatLayer> layers;
+        if (config_.encoder != GraphEncoder::kGat) return layers;
+        int width = config_.feature_dim;
+        for (int l = 0; l < config_.gcn_layers; ++l) {
+          layers.emplace_back(width, config_.embedding_dim, rng);
+          width = config_.embedding_dim;
+        }
+        return layers;
+      }()),
+      actor_((config_.gcn_layers > 0 ? config_.embedding_dim : config_.feature_dim) +
+                 config_.param_dim,
+             config_.actor_hidden, config_.num_actions, rng),
+      critic_((config_.gcn_layers > 0 ? config_.embedding_dim : config_.feature_dim) +
+                  config_.param_dim,
+              config_.critic_hidden, 1, rng) {}
+
+Tensor ActorCritic::encode(const Observation& obs) const {
+  NPTSN_EXPECT(obs.features.rows() == config_.num_nodes &&
+                   obs.features.cols() == config_.feature_dim,
+               "observation feature shape mismatch");
+  NPTSN_EXPECT(obs.a_hat.rows() == config_.num_nodes && obs.a_hat.cols() == config_.num_nodes,
+               "observation adjacency shape mismatch");
+  NPTSN_EXPECT(obs.params.rows() == 1 && obs.params.cols() == config_.param_dim,
+               "observation parameter shape mismatch");
+
+  Tensor h = Tensor::constant(obs.features);
+  if (!gcn_.empty()) {
+    const Tensor a_hat = Tensor::constant(obs.a_hat);
+    for (const auto& layer : gcn_) h = layer.forward(a_hat, h);
+  } else if (!gat_.empty()) {
+    // The attention neighborhood is A_hat's sparsity pattern (self loops
+    // are already part of the normalized adjacency).
+    for (const auto& layer : gat_) h = layer.forward(obs.a_hat, h);
+  }
+  Tensor embedding = mean_rows(h);
+  if (config_.param_dim == 0) return embedding;
+  return concat_cols(embedding, Tensor::constant(obs.params));
+}
+
+ActorCritic::Output ActorCritic::forward(const Observation& obs) const {
+  const Tensor encoded = encode(obs);
+  return {actor_.forward(encoded), critic_.forward(encoded)};
+}
+
+Tensor ActorCritic::forward_logits(const Observation& obs) const {
+  return actor_.forward(encode(obs));
+}
+
+Tensor ActorCritic::forward_value(const Observation& obs) const {
+  return critic_.forward(encode(obs));
+}
+
+std::vector<Tensor> ActorCritic::actor_parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : gcn_) layer.collect_parameters(params);
+  for (const auto& layer : gat_) layer.collect_parameters(params);
+  actor_.collect_parameters(params);
+  return params;
+}
+
+std::vector<Tensor> ActorCritic::critic_parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : gcn_) layer.collect_parameters(params);
+  for (const auto& layer : gat_) layer.collect_parameters(params);
+  critic_.collect_parameters(params);
+  return params;
+}
+
+std::vector<Tensor> ActorCritic::all_parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : gcn_) layer.collect_parameters(params);
+  for (const auto& layer : gat_) layer.collect_parameters(params);
+  actor_.collect_parameters(params);
+  critic_.collect_parameters(params);
+  return params;
+}
+
+void ActorCritic::copy_parameters_from(const ActorCritic& other) {
+  const auto mine = all_parameters();
+  const auto theirs = other.all_parameters();
+  NPTSN_EXPECT(mine.size() == theirs.size(), "architecture mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    NPTSN_EXPECT(mine[i].value().same_shape(theirs[i].value()), "parameter shape mismatch");
+    // Tensors are shared handles; assign through the mutable value.
+    Tensor dst = mine[i];
+    dst.mutable_value() = theirs[i].value();
+  }
+}
+
+}  // namespace nptsn

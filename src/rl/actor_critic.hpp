@@ -1,0 +1,66 @@
+// The neural network of Fig. 3: a shared GCN encoder feeding an actor MLP
+// (action logits) and a critic MLP (state value). The GCN parameters appear
+// in both the actor and the critic parameter sets, so they are updated twice
+// per epoch, exactly as the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "rl/env.hpp"
+
+namespace nptsn {
+
+// Graph encoder family: GCN is the paper's choice; GAT is the alternative
+// it discusses and rejects (kept for the encoder ablation bench).
+enum class GraphEncoder { kGcn, kGat };
+
+class ActorCritic {
+ public:
+  struct Config {
+    int num_nodes = 0;     // |Vc|
+    int feature_dim = 0;   // F (columns of the observation feature matrix)
+    int param_dim = 0;     // P (non-graph parameter vector length)
+    int num_actions = 0;   // A
+    int gcn_layers = 2;    // 0 disables the graph encoder (features pooled)
+    int embedding_dim = 0; // graph embedding features (paper default 2 |Vc|)
+    GraphEncoder encoder = GraphEncoder::kGcn;
+    std::vector<int> actor_hidden = {256, 256};
+    std::vector<int> critic_hidden = {256, 256};
+  };
+
+  ActorCritic(const Config& config, Rng& rng);
+
+  struct Output {
+    Tensor logits;  // 1 x A
+    Tensor value;   // 1 x 1
+  };
+  Output forward(const Observation& obs) const;
+
+  // Head-specific forwards for the PPO update phases (the shared GCN is
+  // evaluated either way, but the unused 256x256 head is skipped).
+  Tensor forward_logits(const Observation& obs) const;
+  Tensor forward_value(const Observation& obs) const;
+
+  const Config& config() const { return config_; }
+
+  // GCN + actor head (PPO gradient ascent target).
+  std::vector<Tensor> actor_parameters() const;
+  // GCN + critic head (value regression target).
+  std::vector<Tensor> critic_parameters() const;
+  std::vector<Tensor> all_parameters() const;
+
+  // Copies parameter values from a same-architecture network.
+  void copy_parameters_from(const ActorCritic& other);
+
+ private:
+  Tensor encode(const Observation& obs) const;  // 1 x (embedding + P)
+
+  Config config_;
+  std::vector<GcnLayer> gcn_;
+  std::vector<GatLayer> gat_;
+  Mlp actor_;
+  Mlp critic_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,80 @@
+#include "rl/buffer.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+TrajectoryBuffer::TrajectoryBuffer(double gamma, double lambda)
+    : gamma_(gamma), lambda_(lambda) {
+  NPTSN_EXPECT(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+  NPTSN_EXPECT(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+}
+
+void TrajectoryBuffer::store(StepRecord record) { steps_.push_back(std::move(record)); }
+
+void TrajectoryBuffer::finish_path(double last_value) {
+  const std::size_t begin = path_start_;
+  const std::size_t end = steps_.size();
+  NPTSN_EXPECT(begin <= end, "corrupt path bounds");
+  if (begin == end) return;  // empty path (e.g. reset directly after finish)
+
+  // GAE: delta_t = r_t + gamma * V(s_{t+1}) - V(s_t);
+  //      A_t     = delta_t + gamma * lambda * A_{t+1}.
+  advantages_.resize(end);
+  returns_.resize(end);
+  double next_value = last_value;
+  double next_advantage = 0.0;
+  double next_return = last_value;
+  for (std::size_t i = end; i-- > begin;) {
+    const StepRecord& s = steps_[i];
+    const double delta = s.reward + gamma_ * next_value - s.value;
+    next_advantage = delta + gamma_ * lambda_ * next_advantage;
+    advantages_[i] = next_advantage;
+    next_return = s.reward + gamma_ * next_return;
+    returns_[i] = next_return;
+    next_value = s.value;
+  }
+  path_start_ = end;
+}
+
+Batch TrajectoryBuffer::take() {
+  NPTSN_EXPECT(!has_open_path(), "finish_path before taking the batch");
+  Batch batch;
+  batch.steps = std::move(steps_);
+  batch.advantages = std::move(advantages_);
+  batch.returns = std::move(returns_);
+  steps_.clear();
+  advantages_.clear();
+  returns_.clear();
+  path_start_ = 0;
+
+  // Advantage normalization (standard PPO practice; also in SpinningUp).
+  if (!batch.advantages.empty()) {
+    double mean = 0.0;
+    for (const double a : batch.advantages) mean += a;
+    mean /= static_cast<double>(batch.advantages.size());
+    double variance = 0.0;
+    for (const double a : batch.advantages) variance += (a - mean) * (a - mean);
+    variance /= static_cast<double>(batch.advantages.size());
+    const double stddev = std::sqrt(variance);
+    const double denom = stddev > 1e-12 ? stddev : 1.0;
+    for (double& a : batch.advantages) a = (a - mean) / denom;
+  }
+  return batch;
+}
+
+void TrajectoryBuffer::absorb(TrajectoryBuffer&& other) {
+  NPTSN_EXPECT(!other.has_open_path(), "cannot absorb a buffer with an open path");
+  for (auto& s : other.steps_) steps_.push_back(std::move(s));
+  for (const double a : other.advantages_) advantages_.push_back(a);
+  for (const double r : other.returns_) returns_.push_back(r);
+  path_start_ = steps_.size();
+  other.steps_.clear();
+  other.advantages_.clear();
+  other.returns_.clear();
+  other.path_start_ = 0;
+}
+
+}  // namespace nptsn

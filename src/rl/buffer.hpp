@@ -1,0 +1,58 @@
+// On-policy trajectory buffer with GAE(lambda) advantage estimation
+// (Schulman et al., ref [26] of the paper), following the SpinningUp PPO
+// buffer semantics: store per-step records, cut paths with finish_path, and
+// hand out a batch with normalized advantages and rewards-to-go.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rl/env.hpp"
+
+namespace nptsn {
+
+struct StepRecord {
+  Observation obs;
+  std::vector<std::uint8_t> mask;
+  int action = -1;
+  double reward = 0.0;
+  double value = 0.0;    // critic estimate at obs
+  double log_prob = 0.0; // behavior-policy log pi(a|s)
+};
+
+struct Batch {
+  std::vector<StepRecord> steps;
+  std::vector<double> advantages;  // normalized to zero mean / unit std
+  std::vector<double> returns;     // rewards-to-go targets for the critic
+};
+
+class TrajectoryBuffer {
+ public:
+  TrajectoryBuffer(double gamma, double lambda);
+
+  void store(StepRecord record);
+
+  // Closes the currently open path. last_value bootstraps the value of the
+  // state after the final stored step: 0 for terminal states, the critic
+  // estimate when a path is cut off by the epoch boundary.
+  void finish_path(double last_value);
+
+  std::size_t size() const { return steps_.size(); }
+  bool has_open_path() const { return path_start_ < steps_.size(); }
+
+  // Finishes nothing; requires all paths closed. Clears the buffer.
+  Batch take();
+
+  // Merges another buffer's closed paths (parallel workers).
+  void absorb(TrajectoryBuffer&& other);
+
+ private:
+  double gamma_;
+  double lambda_;
+  std::vector<StepRecord> steps_;
+  std::vector<double> advantages_;
+  std::vector<double> returns_;
+  std::size_t path_start_ = 0;
+};
+
+}  // namespace nptsn

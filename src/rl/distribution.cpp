@@ -1,0 +1,64 @@
+#include "rl/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+std::vector<double> masked_probabilities(const Matrix& logits,
+                                         const std::vector<std::uint8_t>& mask) {
+  NPTSN_EXPECT(logits.rows() == 1, "logits must be a 1 x A row");
+  NPTSN_EXPECT(static_cast<int>(mask.size()) == logits.cols(), "mask size mismatch");
+
+  double max_logit = -std::numeric_limits<double>::infinity();
+  for (int j = 0; j < logits.cols(); ++j) {
+    if (mask[static_cast<std::size_t>(j)]) max_logit = std::max(max_logit, logits.at(0, j));
+  }
+  NPTSN_EXPECT(std::isfinite(max_logit), "all actions are masked");
+
+  std::vector<double> probs(mask.size(), 0.0);
+  double denom = 0.0;
+  for (int j = 0; j < logits.cols(); ++j) {
+    if (mask[static_cast<std::size_t>(j)]) {
+      probs[static_cast<std::size_t>(j)] = std::exp(logits.at(0, j) - max_logit);
+      denom += probs[static_cast<std::size_t>(j)];
+    }
+  }
+  for (double& p : probs) p /= denom;
+  return probs;
+}
+
+CategoricalSample sample_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask,
+                                Rng& rng) {
+  const auto probs = masked_probabilities(logits, mask);
+  const int action = rng.sample_weighted(probs);
+  NPTSN_ASSERT(mask[static_cast<std::size_t>(action)] != 0, "sampled a masked action");
+  return {action, std::log(probs[static_cast<std::size_t>(action)])};
+}
+
+int argmax_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask) {
+  int best = -1;
+  double best_logit = -std::numeric_limits<double>::infinity();
+  for (int j = 0; j < logits.cols(); ++j) {
+    if (mask[static_cast<std::size_t>(j)] && logits.at(0, j) > best_logit) {
+      best = j;
+      best_logit = logits.at(0, j);
+    }
+  }
+  NPTSN_EXPECT(best >= 0, "all actions are masked");
+  return best;
+}
+
+double entropy_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask) {
+  const auto probs = masked_probabilities(logits, mask);
+  double h = 0.0;
+  for (const double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace nptsn

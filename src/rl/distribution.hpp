@@ -1,0 +1,33 @@
+// Masked categorical action distribution (plain-Matrix side; the
+// differentiable counterpart is nn/autograd.hpp's masked_log_softmax_row).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+
+struct CategoricalSample {
+  int action = -1;
+  double log_prob = 0.0;
+};
+
+// Probabilities of the masked softmax over a 1 x A logit row; masked entries
+// get exactly 0. Requires at least one unmasked entry.
+std::vector<double> masked_probabilities(const Matrix& logits,
+                                         const std::vector<std::uint8_t>& mask);
+
+// Samples an action from the masked softmax.
+CategoricalSample sample_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask,
+                                Rng& rng);
+
+// Deterministic mode (ties to the lowest index).
+int argmax_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask);
+
+// Entropy of the masked distribution in nats.
+double entropy_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask);
+
+}  // namespace nptsn

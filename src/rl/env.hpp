@@ -1,0 +1,52 @@
+// The RL environment interface and the observation format.
+//
+// An observation is the GCN input of Fig. 3: the (unnormalized) graph
+// adjacency is pre-normalized into A_hat, node features carry the four
+// encoded blocks (switch / link / flow / dynamic-action features), and a
+// flat parameter vector (flow periods, frame sizes, base period) is
+// concatenated with the graph embedding before the actor/critic heads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace nptsn {
+
+struct Observation {
+  Matrix a_hat;     // n x n normalized adjacency (with self loops)
+  Matrix features;  // n x F node feature matrix
+  Matrix params;    // 1 x P non-graph parameters
+};
+
+// A sequential decision environment with a fixed-size, masked, discrete
+// action space. Implementations: the NPTSN planning environment (dynamic
+// SOAG actions) and the NeuroPlan baseline environment (static link actions).
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  virtual int num_actions() const = 0;
+
+  // Observation of the current state; valid until the next step/reset.
+  virtual Observation observe() const = 0;
+
+  // Mask over actions (1 = selectable). When every entry is 0 the episode
+  // is stuck; the trainer treats that as an episode end with the
+  // environment-provided penalty already applied by step().
+  virtual const std::vector<std::uint8_t>& action_mask() const = 0;
+
+  struct StepResult {
+    double reward = 0.0;
+    bool episode_end = false;
+  };
+
+  // Applies the (unmasked-index) action; requires action_mask()[a] == 1.
+  virtual StepResult step(int action) = 0;
+
+  // Starts a fresh episode.
+  virtual void reset() = 0;
+};
+
+}  // namespace nptsn

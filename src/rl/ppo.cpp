@@ -1,0 +1,87 @@
+#include "rl/ppo.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Builds the clipped-surrogate actor loss (negated objective) and returns it
+// together with the mean approximate KL of the update so far.
+struct ActorLoss {
+  Tensor loss;
+  double approx_kl = 0.0;
+};
+
+ActorLoss actor_loss(const ActorCritic& net, const Batch& batch, double clip_ratio) {
+  std::vector<Tensor> objectives;
+  objectives.reserve(batch.steps.size());
+  double kl_sum = 0.0;
+  for (std::size_t i = 0; i < batch.steps.size(); ++i) {
+    const StepRecord& s = batch.steps[i];
+    const Tensor logits = net.forward_logits(s.obs);
+    const Tensor log_probs = masked_log_softmax_row(logits, s.mask);
+    const Tensor logp = select(log_probs, 0, s.action);
+
+    // ratio = pi(a|s) / pi_old(a|s)
+    const Tensor ratio = exp_op(sub(logp, Tensor::constant(Matrix(1, 1, s.log_prob))));
+    const double adv = batch.advantages[i];
+    const Tensor unclipped = scale(ratio, adv);
+    const Tensor clipped = scale(clamp(ratio, 1.0 - clip_ratio, 1.0 + clip_ratio), adv);
+    objectives.push_back(min2(unclipped, clipped));
+
+    kl_sum += s.log_prob - logp.item();
+  }
+  ActorLoss result;
+  result.loss = scale(average(objectives), -1.0);  // gradient ASCENT on the objective
+  result.approx_kl = kl_sum / static_cast<double>(batch.steps.size());
+  return result;
+}
+
+Tensor critic_loss(const ActorCritic& net, const Batch& batch) {
+  std::vector<Tensor> losses;
+  losses.reserve(batch.steps.size());
+  for (std::size_t i = 0; i < batch.steps.size(); ++i) {
+    const StepRecord& s = batch.steps[i];
+    const Tensor value = net.forward_value(s.obs);
+    const Tensor err = sub(value, Tensor::constant(Matrix(1, 1, batch.returns[i])));
+    losses.push_back(hadamard(err, err));
+  }
+  return average(losses);
+}
+
+}  // namespace
+
+PpoStats ppo_update(const ActorCritic& net, Adam& actor_opt, Adam& critic_opt,
+                    const Batch& batch, const PpoConfig& config) {
+  NPTSN_EXPECT(!batch.steps.empty(), "cannot update from an empty batch");
+  NPTSN_EXPECT(batch.advantages.size() == batch.steps.size() &&
+                   batch.returns.size() == batch.steps.size(),
+               "batch arity mismatch");
+  PpoStats stats;
+
+  for (int iter = 0; iter < config.train_actor_iters; ++iter) {
+    ActorLoss al = actor_loss(net, batch, config.clip_ratio);
+    if (iter == 0) stats.actor_loss = al.loss.item();
+    stats.approx_kl = al.approx_kl;
+    // SpinningUp PPO: stop updating the policy once it drifted too far from
+    // the behavior policy.
+    if (al.approx_kl > 1.5 * config.target_kl) break;
+    actor_opt.zero_grad();
+    al.loss.backward();
+    actor_opt.step();
+    ++stats.actor_iters_run;
+  }
+
+  for (int iter = 0; iter < config.train_critic_iters; ++iter) {
+    Tensor loss = critic_loss(net, batch);
+    if (iter == 0) stats.critic_loss = loss.item();
+    critic_opt.zero_grad();
+    loss.backward();
+    critic_opt.step();
+  }
+  return stats;
+}
+
+}  // namespace nptsn

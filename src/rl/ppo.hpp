@@ -1,0 +1,33 @@
+// Proximal Policy Optimization update (Schulman et al., Eq. 5 of the paper):
+// clipped surrogate objective for the actor, mean-squared error for the
+// critic, with KL-based early stopping as in SpinningUp.
+#pragma once
+
+#include "nn/adam.hpp"
+#include "rl/actor_critic.hpp"
+#include "rl/buffer.hpp"
+
+namespace nptsn {
+
+struct PpoConfig {
+  double clip_ratio = 0.2;
+  int train_actor_iters = 80;
+  int train_critic_iters = 80;
+  // Early-stop the actor updates when approximate KL exceeds 1.5x this.
+  double target_kl = 0.01;
+};
+
+struct PpoStats {
+  double actor_loss = 0.0;   // at the first iteration
+  double critic_loss = 0.0;  // at the first iteration
+  double approx_kl = 0.0;    // at the last actor iteration run
+  int actor_iters_run = 0;
+};
+
+// One full PPO update over the batch. actor_opt must own the network's
+// actor_parameters() and critic_opt its critic_parameters(); the shared GCN
+// weights belong to both and are therefore updated twice.
+PpoStats ppo_update(const ActorCritic& net, Adam& actor_opt, Adam& critic_opt,
+                    const Batch& batch, const PpoConfig& config);
+
+}  // namespace nptsn

@@ -1,0 +1,123 @@
+#include "rl/trainer.hpp"
+
+#include "rl/distribution.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+struct Trainer::Worker {
+  std::unique_ptr<Environment> env;
+  Rng rng;
+  TrajectoryBuffer buffer;
+  double episode_reward = 0.0;
+  // Episode returns finished during the current epoch.
+  std::vector<double> finished_returns;
+
+  Worker(std::unique_ptr<Environment> e, Rng r, double gamma, double lambda)
+      : env(std::move(e)), rng(r), buffer(gamma, lambda) {}
+};
+
+Trainer::Trainer(ActorCritic& net, const EnvFactory& factory, const TrainerConfig& config)
+    : net_(&net),
+      config_(config),
+      actor_opt_(net.actor_parameters(), {.learning_rate = config.actor_lr}),
+      critic_opt_(net.critic_parameters(), {.learning_rate = config.critic_lr}) {
+  NPTSN_EXPECT(config.epochs >= 1, "need at least one epoch");
+  NPTSN_EXPECT(config.num_workers >= 1, "need at least one worker");
+  NPTSN_EXPECT(config.steps_per_epoch >= config.num_workers,
+               "need at least one step per worker");
+
+  Rng seeder(config.seed);
+  for (int w = 0; w < config.num_workers; ++w) {
+    auto env = factory();
+    NPTSN_EXPECT(env != nullptr, "environment factory returned null");
+    NPTSN_EXPECT(env->num_actions() == net.config().num_actions,
+                 "environment action count does not match the network");
+    workers_.push_back(std::make_unique<Worker>(std::move(env), seeder.split(),
+                                                config.gamma, config.gae_lambda));
+  }
+  if (config.num_workers > 1) pool_ = std::make_unique<ThreadPool>(config.num_workers);
+}
+
+Trainer::~Trainer() = default;
+
+EpochStats Trainer::run_epoch(int epoch) {
+  const int steps_per_worker = config_.steps_per_epoch / config_.num_workers;
+
+  // Rollout collection. Forward passes only read shared network parameters,
+  // so concurrent workers are safe; each worker owns its env/rng/buffer.
+  auto collect = [&](int w) {
+    Worker& worker = *workers_[static_cast<std::size_t>(w)];
+    worker.finished_returns.clear();
+    for (int step = 0; step < steps_per_worker; ++step) {
+      StepRecord record;
+      record.obs = worker.env->observe();
+      record.mask = worker.env->action_mask();
+
+      const auto out = net_->forward(record.obs);
+      const auto sample = sample_masked(out.logits.value(), record.mask, worker.rng);
+      record.action = sample.action;
+      record.log_prob = sample.log_prob;
+      record.value = out.value.item();
+
+      const auto result = worker.env->step(sample.action);
+      record.reward = result.reward;
+      worker.episode_reward += result.reward;
+      worker.buffer.store(std::move(record));
+
+      if (result.episode_end) {
+        worker.buffer.finish_path(0.0);
+        worker.finished_returns.push_back(worker.episode_reward);
+        worker.episode_reward = 0.0;
+        worker.env->reset();
+      }
+    }
+    if (worker.buffer.has_open_path()) {
+      // Bootstrap the value of the state the epoch cut the path at.
+      const auto out = net_->forward(worker.env->observe());
+      worker.buffer.finish_path(out.value.item());
+    }
+  };
+
+  if (pool_) {
+    pool_->parallel_for(static_cast<int>(workers_.size()), collect);
+  } else {
+    collect(0);
+  }
+
+  // Merge worker buffers deterministically (by worker index).
+  TrajectoryBuffer merged(config_.gamma, config_.gae_lambda);
+  EpochStats stats;
+  stats.epoch = epoch;
+  double return_sum = 0.0;
+  for (auto& worker : workers_) {
+    merged.absorb(std::move(worker->buffer));
+    for (const double r : worker->finished_returns) {
+      return_sum += r;
+      ++stats.episodes_finished;
+    }
+  }
+  if (stats.episodes_finished > 0) {
+    stats.mean_episode_reward = return_sum / stats.episodes_finished;
+  }
+
+  const Batch batch = merged.take();
+  stats.steps = static_cast<int>(batch.steps.size());
+  const PpoStats ppo = ppo_update(*net_, actor_opt_, critic_opt_, batch, config_.ppo);
+  stats.actor_loss = ppo.actor_loss;
+  stats.critic_loss = ppo.critic_loss;
+  stats.approx_kl = ppo.approx_kl;
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(config_.epochs));
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    history.push_back(run_epoch(epoch));
+    if (on_epoch) on_epoch(history.back());
+  }
+  return history;
+}
+
+}  // namespace nptsn

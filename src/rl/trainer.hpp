@@ -1,0 +1,69 @@
+// The generic actor-critic training loop of Algorithm 2: per epoch, collect
+// steps_per_epoch on-policy steps (optionally across parallel workers, the
+// shared-memory equivalent of the paper's MPI parallelization), then run one
+// PPO update. Problem-specific logic (SOAG, failure analysis, solution
+// recording, rewards) lives inside the Environment implementation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rl/ppo.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nptsn {
+
+struct TrainerConfig {
+  int epochs = 256;
+  int steps_per_epoch = 2048;
+  double gamma = 0.99;       // discount factor
+  double gae_lambda = 0.97;  // GAE-Lambda
+  double actor_lr = 3e-4;
+  double critic_lr = 1e-3;
+  PpoConfig ppo;
+  // Rollout workers; each gets its own environment and RNG stream. Gradients
+  // are computed over the merged batch, which equals the average of
+  // per-worker gradients (the paper's distributed gradient estimation).
+  int num_workers = 1;
+  std::uint64_t seed = 1;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  // Mean undiscounted episode return over the episodes finished this epoch
+  // (the "epoch reward" plotted in Fig. 5); 0 when no episode finished.
+  double mean_episode_reward = 0.0;
+  int episodes_finished = 0;
+  double actor_loss = 0.0;
+  double critic_loss = 0.0;
+  double approx_kl = 0.0;
+  int steps = 0;
+};
+
+class Trainer {
+ public:
+  using EnvFactory = std::function<std::unique_ptr<Environment>()>;
+  using EpochCallback = std::function<void(const EpochStats&)>;
+
+  // The network must outlive the trainer. The factory is called once per
+  // worker; environments persist across epochs (episodes reset inside).
+  Trainer(ActorCritic& net, const EnvFactory& factory, const TrainerConfig& config);
+  ~Trainer();
+
+  // Runs config.epochs epochs and returns the per-epoch statistics.
+  std::vector<EpochStats> train(const EpochCallback& on_epoch = {});
+
+ private:
+  struct Worker;
+  EpochStats run_epoch(int epoch);
+
+  ActorCritic* net_;
+  TrainerConfig config_;
+  Adam actor_opt_;
+  Adam critic_opt_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_workers == 1
+};
+
+}  // namespace nptsn

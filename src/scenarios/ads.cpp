@@ -1,0 +1,58 @@
+#include "scenarios/ads.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+Scenario make_ads() {
+  Scenario scenario;
+  scenario.name = "ADS";
+
+  const int num_nodes = kAdsEndStations + kAdsSwitches;
+  Graph connections(num_nodes);
+  // Complete set of connections except direct end-station pairs.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) {
+      if (u < kAdsEndStations && v < kAdsEndStations) continue;
+      connections.add_edge(u, v, 1.0);
+    }
+  }
+  NPTSN_ASSERT(connections.num_edges() == 54, "ADS must have 54 optional links");
+
+  scenario.problem.connections = std::move(connections);
+  scenario.problem.num_end_stations = kAdsEndStations;
+  scenario.problem.tsn.base_period_us = 500.0;
+  scenario.problem.tsn.slots_per_base = 20;
+  scenario.problem.reliability_goal = 1e-6;
+  scenario.problem.max_es_degree = 2;
+  scenario.problem.library = ComponentLibrary::standard();
+  return scenario;
+}
+
+std::vector<FlowSpec> ads_flows() {
+  // Two flows per application: sensing applications feed the perception /
+  // planning pipeline; planning and control distribute commands and state.
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {kFrontCamera, kPerceptionEcu}, {kFrontCamera, kHmiDisplay},   // camera app
+      {kLidar, kPerceptionEcu},       {kLidar, kPlanningEcu},        // lidar app
+      {kRadar, kPerceptionEcu},       {kRadar, kControlEcu},         // radar app
+      {kGpsIns, kPlanningEcu},        {kGpsIns, kGateway},           // localization
+      {kV2xModem, kPlanningEcu},      {kV2xModem, kGateway},         // V2X app
+      {kPlanningEcu, kControlEcu},    {kControlEcu, kActuatorEcu},   // plan + control
+  };
+  std::vector<FlowSpec> flows;
+  flows.reserve(pairs.size());
+  for (const auto& [src, dst] : pairs) {
+    FlowSpec flow;
+    flow.source = src;
+    flow.destination = dst;
+    flow.period_us = 500.0;
+    flow.deadline_us = 500.0;
+    flow.frame_bytes = 1500;
+    flows.push_back(flow);
+  }
+  NPTSN_ASSERT(flows.size() == 12, "ADS must have 12 flows");
+  return flows;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,40 @@
+// The ADS design scenario (Section VI-B): planning the network of an
+// autonomous driving system (Jo et al., ref [31]) — 12 end stations, up to
+// 4 switches, complete connection graph (54 optional links: every ES-switch
+// and switch-switch pair; no direct ES-ES connections).
+//
+// The original flow set is not available (as in the paper); ads_flows()
+// generates 12 TT flows — two per safety-related application for 6 of the 7
+// applications, with vehicle state estimation consuming other applications'
+// data and contributing none.
+#pragma once
+
+#include "scenarios/scenario.hpp"
+
+namespace nptsn {
+
+inline constexpr int kAdsEndStations = 12;
+inline constexpr int kAdsSwitches = 4;
+
+// End-station roles, in node-id order.
+enum AdsStation : NodeId {
+  kFrontCamera = 0,
+  kLidar = 1,
+  kRadar = 2,
+  kGpsIns = 3,
+  kV2xModem = 4,
+  kUltrasonic = 5,
+  kPerceptionEcu = 6,
+  kPlanningEcu = 7,
+  kControlEcu = 8,
+  kActuatorEcu = 9,
+  kHmiDisplay = 10,
+  kGateway = 11,
+};
+
+Scenario make_ads();
+
+// The 12 application flows (2 per application for 6 applications).
+std::vector<FlowSpec> ads_flows();
+
+}  // namespace nptsn

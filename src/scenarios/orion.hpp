@@ -1,0 +1,24 @@
+// The ORION design scenario (Section VI-A): the network planning problem
+// abstracted from the ORION crew exploration vehicle (Tamas-Selicean et al.,
+// ref [30]) — 31 end stations, 15 optional switches.
+//
+// The exact ORION wiring is not reproduced in the paper; we reconstruct a
+// reference topology with the structural properties the paper relies on
+// (every end station single-homed to one switch, a redundant switch mesh,
+// switch degrees within the 8-port limit). The connection graph Gc is then
+// derived exactly as in the paper: an optional unit-length link exists for
+// every node pair within 3 hops of the reference topology (end-station to
+// end-station pairs excluded; end stations cannot relay). Base period
+// 500 us / 20 slots, R = 1e-6.
+#pragma once
+
+#include "scenarios/scenario.hpp"
+
+namespace nptsn {
+
+inline constexpr int kOrionEndStations = 31;
+inline constexpr int kOrionSwitches = 15;
+
+Scenario make_orion();
+
+}  // namespace nptsn

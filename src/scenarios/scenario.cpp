@@ -1,0 +1,33 @@
+#include "scenarios/scenario.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+std::vector<FlowSpec> random_flows(const PlanningProblem& problem, int count, Rng& rng) {
+  NPTSN_EXPECT(count >= 1, "need at least one flow");
+  NPTSN_EXPECT(problem.num_end_stations >= 2, "need at least two end stations");
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FlowSpec flow;
+    flow.source = rng.uniform_int(0, problem.num_end_stations - 1);
+    do {
+      flow.destination = rng.uniform_int(0, problem.num_end_stations - 1);
+    } while (flow.destination == flow.source);
+    flow.period_us = problem.tsn.base_period_us;
+    flow.deadline_us = problem.tsn.base_period_us;
+    flow.frame_bytes = 1500;
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+PlanningProblem with_flows(const Scenario& scenario, std::vector<FlowSpec> flows) {
+  PlanningProblem problem = scenario.problem;
+  problem.flows = std::move(flows);
+  problem.validate();
+  return problem;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,30 @@
+// Evaluation design scenarios (Section VI): a planning problem template plus
+// (for ORION) the manually designed reference topology used as the
+// "Original" baseline, and flow generators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/problem.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+
+struct Scenario {
+  std::string name;
+  // The problem with an EMPTY flow set; install flows before planning.
+  PlanningProblem problem;
+  // The manually designed topology's links (empty when no reference design
+  // exists, e.g. ADS). Every edge is also part of problem.connections.
+  std::vector<Edge> original_links;
+};
+
+// Uniformly random periodic unicast TT flows between distinct end stations,
+// period = deadline = base period (the Fig. 4 workload generator).
+std::vector<FlowSpec> random_flows(const PlanningProblem& problem, int count, Rng& rng);
+
+// Convenience: copy of the scenario's problem with the given flows installed.
+PlanningProblem with_flows(const Scenario& scenario, std::vector<FlowSpec> flows);
+
+}  // namespace nptsn

@@ -1,0 +1,37 @@
+#include "tsn/frer.hpp"
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+FrerScheduleResult schedule_frer(const PlanningProblem& problem, const FrerPlan& plan) {
+  NPTSN_EXPECT(plan.size() == problem.flows.size(),
+               "plan must assign paths to every flow");
+
+  SlotTable table(problem.tsn.slots_per_base);
+  FrerScheduleResult result;
+  result.assignments.resize(plan.size());
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const FlowSpec& flow = problem.flows[i];
+    const FlowTiming timing = FlowTiming::of(problem, flow);
+    NPTSN_EXPECT(!plan[i].empty(), "flow has no replica path");
+
+    for (const Path& path : plan[i]) {
+      NPTSN_EXPECT(path.front() == flow.source && path.back() == flow.destination,
+                   "replica path endpoints must match the flow");
+      auto slots = schedule_on_path(table, path, timing);
+      if (!slots) {
+        result.schedulable = false;
+        result.first_failed_flow = static_cast<int>(i);
+        result.assignments.clear();
+        return result;
+      }
+      result.assignments[i].push_back(FlowAssignment{path, std::move(*slots)});
+    }
+  }
+  result.schedulable = true;
+  return result;
+}
+
+}  // namespace nptsn

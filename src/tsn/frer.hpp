@@ -1,0 +1,31 @@
+// Frame Replication and Elimination for Reliability (IEEE 802.1CB) static
+// scheduling, used by the TRH baseline: every flow is replicated over a set
+// of pre-planned disjoint paths and all replicas are scheduled together on
+// the static topology. There is no run-time recovery; reliability comes
+// from the ASIL-decomposed redundant paths.
+#pragma once
+
+#include <vector>
+
+#include "net/problem.hpp"
+#include "tsn/scheduler.hpp"
+
+namespace nptsn {
+
+// The redundant paths assigned to one flow (same order as problem.flows).
+using FrerPlan = std::vector<std::vector<Path>>;
+
+struct FrerScheduleResult {
+  // One assignment per replica per flow; empty when !schedulable.
+  std::vector<std::vector<FlowAssignment>> assignments;
+  bool schedulable = false;
+  // Index of the first flow that failed (-1 when schedulable).
+  int first_failed_flow = -1;
+};
+
+// Greedily schedules every replica of every flow. All replicas of all flows
+// must fit simultaneously — TRH checks schedulability only after topology
+// synthesis (Section VI-A), which is why it degrades with load.
+FrerScheduleResult schedule_frer(const PlanningProblem& problem, const FrerPlan& plan);
+
+}  // namespace nptsn

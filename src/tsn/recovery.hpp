@@ -1,0 +1,70 @@
+// The stateless Network Behavior Function (NBF) abstraction and the default
+// heuristic run-time recovery mechanism.
+//
+// Paper, Section II-B: the stateless NBF is
+//     Φ : Gt, Gf, B, FS  ->  FI', ER
+// i.e. the flow state after recovery depends only on the topology and the
+// failure scenario, never on the pre-failure flow state. ER is the set of
+// (source, destination) end-station pairs whose bandwidth/timing guarantee
+// could not be re-established; ER = ∅ means the recovery succeeded. For an
+// empty failure the result is the initial flow state FI0.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "tsn/scheduler.hpp"
+
+namespace nptsn {
+
+// Sorted, deduplicated list of unrecovered (source, destination) pairs.
+using ErrorSet = std::vector<std::pair<NodeId, NodeId>>;
+
+struct NbfResult {
+  FlowState state;  // FI'
+  ErrorSet errors;  // ER
+
+  bool ok() const { return errors.empty(); }
+};
+
+// Interface for recovery mechanisms. Implementations must be deterministic
+// pure functions of (topology, scenario) — the failure analyzer and the RL
+// environment both rely on that.
+class StatelessNbf {
+ public:
+  virtual ~StatelessNbf() = default;
+
+  // Re-establishes all flows of topology.problem() on Gt minus the failed
+  // components.
+  virtual NbfResult recover(const Topology& topology,
+                            const FailureScenario& scenario) const = 0;
+
+  // FI0 / ER0: the initial flow state (empty failure scenario).
+  NbfResult initial_state(const Topology& topology) const {
+    return recover(topology, FailureScenario::none());
+  }
+};
+
+// The default NBF, modeled after the heuristic run-time recovery of TT
+// traffic in ref [9] of the paper (Kong et al., IEEE Access 2021), made
+// stateless: every flow is re-routed on the residual network over its
+// shortest feasible path and greedily slot-scheduled; when the shortest
+// path cannot be scheduled, the next-shortest candidates (Yen) are tried.
+class HeuristicRecovery final : public StatelessNbf {
+ public:
+  // path_candidates: how many alternative paths to try per flow before
+  // declaring it unrecoverable (>= 1). discipline defaults to the no-wait
+  // TT forwarding of the reference recovery mechanism.
+  explicit HeuristicRecovery(int path_candidates = 3,
+                             TtDiscipline discipline = TtDiscipline::kNoWait);
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override;
+
+ private:
+  int path_candidates_;
+  TtDiscipline discipline_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,64 @@
+#include "tsn/redundant.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+RedundantRecovery::RedundantRecovery(int replicas, TtDiscipline discipline)
+    : replicas_(replicas), discipline_(discipline) {
+  NPTSN_EXPECT(replicas >= 1, "need at least one replica");
+}
+
+RedundantRecovery::InstanceResult RedundantRecovery::recover_instances(
+    const Topology& topology, const FailureScenario& scenario) const {
+  const PlanningProblem& problem = topology.problem();
+  const Graph residual = topology.residual(scenario);
+
+  TransitFilter can_transit(static_cast<std::size_t>(problem.num_nodes()), 1);
+  for (NodeId v = 0; v < problem.num_end_stations; ++v) {
+    can_transit[static_cast<std::size_t>(v)] = 0;
+  }
+
+  InstanceResult result;
+  result.instances.resize(problem.flows.size());
+  SlotTable table(problem.tsn.slots_per_base);
+
+  for (std::size_t i = 0; i < problem.flows.size(); ++i) {
+    const FlowSpec& flow = problem.flows[i];
+    const FlowTiming timing = FlowTiming::of(problem, flow);
+    const auto paths =
+        disjoint_paths(residual, flow.source, flow.destination, replicas_, &can_transit);
+    for (const Path& path : paths) {
+      if (auto slots = schedule_on_path(table, path, timing, discipline_)) {
+        result.instances[i].push_back(FlowAssignment{path, std::move(*slots)});
+      }
+    }
+    // Error only when ALL redundant instances failed.
+    if (result.instances[i].empty()) {
+      result.errors.emplace_back(flow.source, flow.destination);
+    }
+  }
+
+  std::ranges::sort(result.errors);
+  result.errors.erase(std::unique(result.errors.begin(), result.errors.end()),
+                      result.errors.end());
+  return result;
+}
+
+NbfResult RedundantRecovery::recover(const Topology& topology,
+                                     const FailureScenario& scenario) const {
+  InstanceResult instances = recover_instances(topology, scenario);
+  NbfResult result;
+  result.state.resize(instances.instances.size());
+  for (std::size_t i = 0; i < instances.instances.size(); ++i) {
+    if (!instances.instances[i].empty()) {
+      result.state[i] = std::move(instances.instances[i].front());
+    }
+  }
+  result.errors = std::move(instances.errors);
+  return result;
+}
+
+}  // namespace nptsn

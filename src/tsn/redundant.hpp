@@ -1,0 +1,36 @@
+// Flow-level redundancy recovery (Section V, last paragraph): every flow is
+// re-established over up to `replicas` node-disjoint paths (FRER-style
+// seamless redundancy maintained THROUGH recovery, as in ref [7]); the NBF
+// reports an error only when NO instance of a flow can be established.
+// Used with FailureAnalyzer::Options::flow_level_redundancy, which widens
+// the failure enumeration from switches to all topology nodes.
+#pragma once
+
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+
+class RedundantRecovery final : public StatelessNbf {
+ public:
+  explicit RedundantRecovery(int replicas = 2,
+                             TtDiscipline discipline = TtDiscipline::kNoWait);
+
+  // Full per-flow instance sets (NbfResult::state keeps the primary one).
+  struct InstanceResult {
+    std::vector<std::vector<FlowAssignment>> instances;
+    ErrorSet errors;
+  };
+  InstanceResult recover_instances(const Topology& topology,
+                                   const FailureScenario& scenario) const;
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override;
+
+  int replicas() const { return replicas_; }
+
+ private:
+  int replicas_;
+  TtDiscipline discipline_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,97 @@
+#include "tsn/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+FlowTiming FlowTiming::of(const PlanningProblem& problem, const FlowSpec& flow) {
+  FlowTiming t;
+  t.repetitions = problem.frames_per_base(flow);
+  NPTSN_EXPECT(problem.tsn.slots_per_base % t.repetitions == 0,
+               "flow period must span a whole number of slots");
+  t.period_slots = problem.tsn.slots_per_base / t.repetitions;
+  const double slot_us =
+      problem.tsn.base_period_us / static_cast<double>(problem.tsn.slots_per_base);
+  t.deadline_slots = static_cast<int>(std::floor(flow.deadline_us / slot_us + 1e-9));
+  t.deadline_slots = std::min(t.deadline_slots, t.period_slots);
+  NPTSN_EXPECT(t.deadline_slots >= 1, "deadline shorter than one slot");
+  return t;
+}
+
+namespace {
+
+// No-wait: find the earliest start so that every hop's slot (start + i) is
+// free; the whole chain reserves atomically or not at all.
+std::optional<std::vector<int>> schedule_no_wait(SlotTable& table, const Path& path,
+                                                 const FlowTiming& timing) {
+  const int hops = static_cast<int>(path.size()) - 1;
+  for (int start = 0; start + hops <= timing.deadline_slots; ++start) {
+    bool free = true;
+    for (int i = 0; i < hops && free; ++i) {
+      free = table.is_free(path[static_cast<std::size_t>(i)],
+                           path[static_cast<std::size_t>(i) + 1], start + i,
+                           timing.repetitions, timing.period_slots);
+    }
+    if (!free) continue;
+    std::vector<int> slots(static_cast<std::size_t>(hops));
+    for (int i = 0; i < hops; ++i) {
+      slots[static_cast<std::size_t>(i)] = start + i;
+      table.reserve(path[static_cast<std::size_t>(i)],
+                    path[static_cast<std::size_t>(i) + 1], start + i, timing.repetitions,
+                    timing.period_slots);
+    }
+    return slots;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> schedule_on_path(SlotTable& table, const Path& path,
+                                                 const FlowTiming& timing,
+                                                 TtDiscipline discipline) {
+  NPTSN_EXPECT(path.size() >= 2, "path must contain at least one link");
+  if (discipline == TtDiscipline::kNoWait) return schedule_no_wait(table, path, timing);
+  const auto hops = path.size() - 1;
+  std::vector<int> slots;
+  slots.reserve(hops);
+
+  int earliest = 0;  // next hop must transmit at or after this slot
+  for (std::size_t i = 0; i < hops; ++i) {
+    int chosen = -1;
+    // The frame must be delivered (last hop finished) before the deadline,
+    // and every hop inside the flow's own period window.
+    for (int s = earliest; s < timing.deadline_slots; ++s) {
+      if (table.is_free(path[i], path[i + 1], s, timing.repetitions, timing.period_slots)) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Roll back reservations made so far.
+      for (std::size_t j = 0; j < slots.size(); ++j) {
+        table.release(path[j], path[j + 1], slots[j], timing.repetitions,
+                      timing.period_slots);
+      }
+      return std::nullopt;
+    }
+    table.reserve(path[i], path[i + 1], chosen, timing.repetitions, timing.period_slots);
+    slots.push_back(chosen);
+    earliest = chosen + 1;  // store-and-forward: next hop strictly later
+  }
+  return slots;
+}
+
+void unschedule(SlotTable& table, const FlowAssignment& assignment, const FlowTiming& timing) {
+  NPTSN_EXPECT(assignment.path.size() == assignment.slots.size() + 1,
+               "assignment path/slots arity mismatch");
+  for (std::size_t i = 0; i < assignment.slots.size(); ++i) {
+    table.release(assignment.path[i], assignment.path[i + 1], assignment.slots[i],
+                  timing.repetitions, timing.period_slots);
+  }
+}
+
+}  // namespace nptsn

@@ -1,0 +1,60 @@
+// Greedy TT flow scheduling over TAS slots.
+//
+// A flow assignment is a path plus one slot per hop for the flow's first
+// frame of the base period; the remaining frames repeat at the period stride.
+// The schedule is feasible when slots strictly increase along the path (the
+// frame is forwarded hop by hop), every slot falls inside the flow's own
+// period window, and the delivery slot meets the deadline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/paths.hpp"
+#include "net/problem.hpp"
+#include "tsn/slot_table.hpp"
+
+namespace nptsn {
+
+struct FlowAssignment {
+  Path path;               // [source, ..., destination]
+  std::vector<int> slots;  // slots[i]: slot for link (path[i] -> path[i+1])
+};
+
+// Flow states FI: one optional assignment per flow of the problem, in flow
+// order; nullopt means the flow is not placed.
+using FlowState = std::vector<std::optional<FlowAssignment>>;
+
+// Scheduling context derived from the problem's TSN config and one flow.
+struct FlowTiming {
+  int repetitions = 1;    // frames per base period
+  int period_slots = 1;   // stride between repetitions (S / repetitions)
+  int deadline_slots = 1; // delivery must end by this slot within the period
+
+  static FlowTiming of(const PlanningProblem& problem, const FlowSpec& flow);
+};
+
+// TT forwarding discipline.
+//  kNoWait: the frame is forwarded in the immediately following slot at
+//    every hop (slots[i] = start + i) — the classic zero-queuing TT
+//    assumption and the discipline of the run-time recovery mechanism the
+//    paper builds on (ref [9]); contention anywhere on the chain fails it.
+//  kStoreAndForward: frames may wait in the egress queue; every hop takes
+//    the earliest free slot after the previous hop.
+enum class TtDiscipline {
+  kNoWait,
+  kStoreAndForward,
+};
+
+// Greedy assignment of `flow` along `path` in `table` under the given
+// discipline. On success reserves the slots and returns the per-hop slots;
+// on failure leaves the table untouched and returns nullopt.
+std::optional<std::vector<int>> schedule_on_path(
+    SlotTable& table, const Path& path, const FlowTiming& timing,
+    TtDiscipline discipline = TtDiscipline::kStoreAndForward);
+
+// Releases a previously scheduled assignment.
+void unschedule(SlotTable& table, const FlowAssignment& assignment,
+                const FlowTiming& timing);
+
+}  // namespace nptsn

@@ -1,0 +1,45 @@
+// Slot-accurate simulation of a TSSDN over one base period.
+//
+// The paper obtains NBFs "via network simulation" (Section II-B); this
+// module closes that loop in reverse: given a topology, a failure scenario,
+// and a flow state FI, it EXECUTES the TAS schedule — every flow emits its
+// frames at the period boundaries, frames move hop by hop at their reserved
+// slots, failed (fail-silent) components drop traffic — and reports whether
+// the flow state actually delivers every frame on time, without collisions.
+// The analyzer's verdicts and every recovery mechanism are validated against
+// it in the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "tsn/scheduler.hpp"
+
+namespace nptsn {
+
+struct SimulationReport {
+  // True when every frame of every placed flow reached its destination
+  // within its deadline and no two frames contended for a slot.
+  bool ok = false;
+
+  int frames_injected = 0;
+  int frames_delivered = 0;
+  int frames_dropped = 0;   // hit a failed link/switch (fail-silent loss)
+  int frames_late = 0;      // delivered after the deadline
+  int collisions = 0;       // two frames on one directed link in one slot
+  int worst_latency_slots = 0;
+
+  // Human-readable description of each violation, for diagnostics.
+  std::vector<std::string> violations;
+};
+
+// Simulates one base period of `state` on `topology` under `scenario`.
+// Flows whose state entry is nullopt are skipped (they are already reported
+// by the NBF's error set). Malformed assignments (paths off the topology,
+// slot/hop arity mismatches, non-causal slot orders) are violations, not
+// exceptions: the simulator's job is to catch them.
+SimulationReport simulate(const Topology& topology, const FailureScenario& scenario,
+                          const FlowState& state);
+
+}  // namespace nptsn

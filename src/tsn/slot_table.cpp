@@ -1,0 +1,59 @@
+#include "tsn/slot_table.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+SlotTable::SlotTable(int slots_per_base) : slots_(slots_per_base) {
+  NPTSN_EXPECT(slots_per_base >= 1, "need at least one slot per base period");
+}
+
+void SlotTable::check_slot(int slot) const {
+  NPTSN_EXPECT(slot >= 0 && slot < slots_, "slot index out of range");
+}
+
+std::vector<bool>& SlotTable::row(NodeId from, NodeId to) {
+  auto [it, inserted] = table_.try_emplace({from, to});
+  if (inserted) it->second.assign(static_cast<std::size_t>(slots_), false);
+  return it->second;
+}
+
+bool SlotTable::is_free(NodeId from, NodeId to, int slot, int repetitions, int stride) const {
+  check_slot(slot);
+  NPTSN_EXPECT(repetitions >= 1, "repetitions must be >= 1");
+  const auto it = table_.find({from, to});
+  if (it == table_.end()) return true;
+  for (int k = 0; k < repetitions; ++k) {
+    const int s = (slot + k * stride) % slots_;
+    if (it->second[static_cast<std::size_t>(s)]) return false;
+  }
+  return true;
+}
+
+void SlotTable::reserve(NodeId from, NodeId to, int slot, int repetitions, int stride) {
+  NPTSN_EXPECT(is_free(from, to, slot, repetitions, stride), "slot already reserved");
+  auto& bits = row(from, to);
+  for (int k = 0; k < repetitions; ++k) {
+    bits[static_cast<std::size_t>((slot + k * stride) % slots_)] = true;
+  }
+}
+
+void SlotTable::release(NodeId from, NodeId to, int slot, int repetitions, int stride) {
+  check_slot(slot);
+  auto& bits = row(from, to);
+  for (int k = 0; k < repetitions; ++k) {
+    const auto s = static_cast<std::size_t>((slot + k * stride) % slots_);
+    NPTSN_EXPECT(bits[s], "releasing a slot that was not reserved");
+    bits[s] = false;
+  }
+}
+
+int SlotTable::occupancy(NodeId from, NodeId to) const {
+  const auto it = table_.find({from, to});
+  if (it == table_.end()) return 0;
+  return static_cast<int>(std::ranges::count(it->second, true));
+}
+
+}  // namespace nptsn

@@ -1,0 +1,44 @@
+// Per-directed-link time-slot occupancy of the Time-Aware Shaper schedule.
+//
+// The base period is divided into S uniform slots; one slot on one directed
+// link carries one TT frame (links have uniform bandwidth, Section II-A).
+// A flow with r frames per base period reserves r evenly spaced slots
+// {s + k*(S/r)} on each link it traverses.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace nptsn {
+
+class SlotTable {
+ public:
+  explicit SlotTable(int slots_per_base);
+
+  int slots_per_base() const { return slots_; }
+
+  // True if slot `slot + k * stride` is free on directed link (from -> to)
+  // for all k in [0, repetitions).
+  bool is_free(NodeId from, NodeId to, int slot, int repetitions = 1, int stride = 0) const;
+
+  // Reserves those slots; requires them to be free.
+  void reserve(NodeId from, NodeId to, int slot, int repetitions = 1, int stride = 0);
+
+  // Releases those slots; requires them to be reserved.
+  void release(NodeId from, NodeId to, int slot, int repetitions = 1, int stride = 0);
+
+  // Number of reserved slots on a directed link (0 if never touched).
+  int occupancy(NodeId from, NodeId to) const;
+
+ private:
+  void check_slot(int slot) const;
+  std::vector<bool>& row(NodeId from, NodeId to);
+
+  int slots_;
+  std::map<std::pair<NodeId, NodeId>, std::vector<bool>> table_;
+};
+
+}  // namespace nptsn

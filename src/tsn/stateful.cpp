@@ -1,0 +1,93 @@
+#include "tsn/stateful.hpp"
+
+#include <algorithm>
+
+#include "graph/yen.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+bool assignment_survives(const FlowAssignment& assignment, const Graph& residual) {
+  for (std::size_t i = 0; i + 1 < assignment.path.size(); ++i) {
+    if (!residual.has_edge(assignment.path[i], assignment.path[i + 1])) return false;
+  }
+  return true;
+}
+
+IncrementalRecovery::IncrementalRecovery(int path_candidates, TtDiscipline discipline)
+    : path_candidates_(path_candidates), discipline_(discipline) {
+  NPTSN_EXPECT(path_candidates >= 1, "need at least one path candidate");
+}
+
+NbfResult IncrementalRecovery::initial_state(const Topology& topology) const {
+  // The offline schedule: recover everything from an empty flow state.
+  return recover(topology, FailureScenario::none(),
+                 FlowState(topology.problem().flows.size()));
+}
+
+NbfResult IncrementalRecovery::recover(const Topology& topology,
+                                       const FailureScenario& scenario,
+                                       const FlowState& current) const {
+  const PlanningProblem& problem = topology.problem();
+  NPTSN_EXPECT(current.size() == problem.flows.size(),
+               "flow state arity does not match the problem");
+  const Graph residual = topology.residual(scenario);
+
+  TransitFilter can_transit(static_cast<std::size_t>(problem.num_nodes()), 1);
+  for (NodeId v = 0; v < problem.num_end_stations; ++v) {
+    can_transit[static_cast<std::size_t>(v)] = 0;
+  }
+
+  NbfResult result;
+  result.state.resize(problem.flows.size());
+  SlotTable table(problem.tsn.slots_per_base);
+
+  // Pass 1: keep every assignment the failure did not disturb, re-reserving
+  // its slots (the run-time controller leaves those flows alone).
+  for (std::size_t i = 0; i < problem.flows.size(); ++i) {
+    if (!current[i] || !assignment_survives(*current[i], residual)) continue;
+    const FlowTiming timing = FlowTiming::of(problem, problem.flows[i]);
+    const auto& a = *current[i];
+    for (std::size_t h = 0; h + 1 < a.path.size(); ++h) {
+      table.reserve(a.path[h], a.path[h + 1], a.slots[h], timing.repetitions,
+                    timing.period_slots);
+    }
+    result.state[i] = a;
+  }
+
+  // Pass 2: re-route and re-schedule the disrupted flows around the
+  // surviving reservations.
+  for (std::size_t i = 0; i < problem.flows.size(); ++i) {
+    if (result.state[i]) continue;
+    const FlowSpec& flow = problem.flows[i];
+    const FlowTiming timing = FlowTiming::of(problem, flow);
+
+    bool placed = false;
+    const auto candidates = k_shortest_paths(residual, flow.source, flow.destination,
+                                             path_candidates_, &can_transit);
+    for (const Path& path : candidates) {
+      if (auto slots = schedule_on_path(table, path, timing, discipline_)) {
+        result.state[i] = FlowAssignment{path, std::move(*slots)};
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) result.errors.emplace_back(flow.source, flow.destination);
+  }
+
+  std::ranges::sort(result.errors);
+  result.errors.erase(std::unique(result.errors.begin(), result.errors.end()),
+                      result.errors.end());
+  return result;
+}
+
+NbfResult StatelessAdapter::recover(const Topology& topology,
+                                    const FailureScenario& scenario) const {
+  // Φ(Gt, Gf) = Φs(Gt, Gf, FI0): always restart from the initial state, so
+  // the outcome is independent of the failure history.
+  const NbfResult initial = inner_->initial_state(topology);
+  if (scenario.empty()) return initial;
+  return inner_->recover(topology, scenario, initial.state);
+}
+
+}  // namespace nptsn

@@ -1,0 +1,72 @@
+// Stateful recovery mechanisms and their statelessization (Section II-B).
+//
+// The general NBF is stateful:
+//     Φs : Gt, Gf, B, FS, FI  ->  FI', ER
+// — recovery starts from the CURRENT flow state FI and typically only
+// re-schedules the flows the failure disrupted (cheaper at run time, e.g.
+// refs [7], [9] of the paper). Verifying a stateful NBF under multi-point
+// consecutive failures is exponential in the failure order (n! orderings),
+// so NPTSN requires statelessness. The paper's fix, reproduced here: derive
+// a stateless NBF by always recovering from the initial flow state FI0,
+//     Φ(Gt, Gf, B, FS) = Φs(Gt, Gf, B, FS, FI0(Gt)).
+// Single-point failures behave identically; multi-point failures may
+// reconfigure more flows than a truly incremental controller would.
+#pragma once
+
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+
+class StatefulNbf {
+ public:
+  virtual ~StatefulNbf() = default;
+
+  // Re-establishes the problem's flows on Gt minus the failed components,
+  // starting from the pre-failure flow state `current`. Must be
+  // deterministic in (topology, scenario, current).
+  virtual NbfResult recover(const Topology& topology, const FailureScenario& scenario,
+                            const FlowState& current) const = 0;
+
+  // FI0: the initial flow state on the intact topology (offline schedule).
+  virtual NbfResult initial_state(const Topology& topology) const = 0;
+};
+
+// Incremental run-time recovery in the style of ref [9]: flows whose path
+// is untouched by the failure keep their assignment (and their slots);
+// disrupted flows are re-routed over the residual network and greedily
+// re-scheduled around the surviving reservations.
+class IncrementalRecovery final : public StatefulNbf {
+ public:
+  explicit IncrementalRecovery(int path_candidates = 3,
+                               TtDiscipline discipline = TtDiscipline::kNoWait);
+
+  NbfResult recover(const Topology& topology, const FailureScenario& scenario,
+                    const FlowState& current) const override;
+  NbfResult initial_state(const Topology& topology) const override;
+
+  int path_candidates() const { return path_candidates_; }
+
+ private:
+  int path_candidates_;
+  TtDiscipline discipline_;
+};
+
+// The paper's statelessization: wraps any StatefulNbf into a StatelessNbf by
+// recovering from FI0 every time. The wrapped mechanism must outlive the
+// adapter.
+class StatelessAdapter final : public StatelessNbf {
+ public:
+  explicit StatelessAdapter(const StatefulNbf& inner) : inner_(&inner) {}
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override;
+
+ private:
+  const StatefulNbf* inner_;
+};
+
+// True when `assignment` uses no failed component (its links all exist in
+// the residual graph).
+bool assignment_survives(const FlowAssignment& assignment, const Graph& residual);
+
+}  // namespace nptsn

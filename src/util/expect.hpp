@@ -1,0 +1,37 @@
+// Invariant / precondition checking helpers.
+//
+// NPTSN_EXPECT is for caller-visible preconditions (throws std::invalid_argument),
+// NPTSN_ASSERT is for internal invariants (throws std::logic_error). Both stay
+// enabled in release builds: planning runs for hours and a silent corruption is
+// far more expensive than the check.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nptsn {
+
+[[noreturn]] inline void fail_expect(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + cond + " at " +
+                              file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void fail_assert(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  throw std::logic_error(std::string("invariant violated: ") + cond + " at " + file +
+                         ":" + std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace nptsn
+
+#define NPTSN_EXPECT(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) ::nptsn::fail_expect(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define NPTSN_ASSERT(cond, msg)                                 \
+  do {                                                          \
+    if (!(cond)) ::nptsn::fail_assert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,63 @@
+// Deterministic, seedable random number generator.
+//
+// Wraps xoshiro256** with explicit distribution implementations so that every
+// platform/standard library produces the same stream — std::uniform_*
+// distributions are not portable, and reproducibility of training runs and
+// test cases is a hard requirement for the evaluation harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      const int j = uniform_int(0, i);
+      using std::swap;
+      swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  // Uniformly pick one element (requires non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    NPTSN_EXPECT(!v.empty(), "pick from empty vector");
+    return v[static_cast<std::size_t>(uniform_int(0, static_cast<int>(v.size()) - 1))];
+  }
+
+  // Sample an index from unnormalized non-negative weights; requires a
+  // positive total weight.
+  int sample_weighted(const std::vector<double>& weights);
+
+  // Derive an independent child stream (for per-worker RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nptsn

@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer for the benchmark harness output.
+//
+// Every figure/table bench prints its series through this so that the rows
+// the paper plots can be read (and diffed) directly from stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nptsn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 0);
+
+  // Renders with aligned columns; also emits a "# csv:" block for scripts.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,40 @@
+// Small fixed-size thread pool used for parallel rollout collection and
+// data-parallel gradient computation (the paper parallelizes Algorithm 2
+// over 8 MPI ranks; we reproduce the scheme with shared-memory workers).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace nptsn {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  // Runs tasks(0), ..., tasks(n-1) across the pool and blocks until all
+  // complete. Exceptions thrown by tasks are rethrown (first one wins).
+  void parallel_for(int n, const std::function<void(int)>& task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,147 @@
+// Property tests: the optimized failure analyzer (Algorithm 3 — switch-only
+// scenarios, superset pruning) must agree with an exhaustive analyzer that
+// enumerates every mixed link/switch failure with probability >= R and no
+// pruning. This validates the paper's Eq. 6 reduction on randomized
+// topologies.
+#include <gtest/gtest.h>
+
+#include "analysis/exhaustive.hpp"
+#include "analysis/failure_analyzer.hpp"
+#include "testing/test_problems.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+// Builds a random monotone topology over the tiny problem.
+Topology random_topology(const PlanningProblem& problem, Rng& rng) {
+  Topology t(problem);
+  // Plan a random subset of switches at random levels.
+  for (const NodeId s : problem.switch_ids()) {
+    if (rng.uniform() < 0.8) {
+      t.add_switch(s);
+      const int upgrades = rng.uniform_int(0, 3);
+      for (int i = 0; i < upgrades; ++i) t.upgrade_switch(s);
+    }
+  }
+  // Add random feasible links.
+  for (const auto& edge : problem.connections.edges()) {
+    const bool endpoints_exist =
+        (!problem.is_switch(edge.u) || t.has_switch(edge.u)) &&
+        (!problem.is_switch(edge.v) || t.has_switch(edge.v));
+    if (!endpoints_exist || rng.uniform() < 0.35) continue;
+    const auto max_deg = [&](NodeId v) {
+      return problem.is_switch(v) ? problem.max_switch_degree() : problem.max_es_degree;
+    };
+    if (t.degree(edge.u) < max_deg(edge.u) && t.degree(edge.v) < max_deg(edge.v)) {
+      t.add_link(edge.u, edge.v);
+    }
+  }
+  return t;
+}
+
+class AnalyzerEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzerEquivalence, MatchesExhaustiveVerdict) {
+  Rng rng(GetParam());
+  auto problem = tiny_problem(3);
+  // Random goal across the interesting range (single-A .. dual-B orders).
+  const double goals[] = {1e-6, 1e-7, 1e-8};
+  problem.reliability_goal = goals[rng.uniform_int(0, 2)];
+
+  const Topology t = random_topology(problem, rng);
+  const HeuristicRecovery nbf;
+
+  const auto fast = FailureAnalyzer(nbf).analyze(t);
+  const auto slow = analyze_exhaustive(t, nbf, /*max_order=*/3);
+
+  EXPECT_EQ(fast.reliable, slow.reliable)
+      << "seed " << GetParam() << ": Algorithm 3 disagrees with the exhaustive check";
+  // Pruning must never INCREASE work beyond the exhaustive enumeration.
+  if (fast.reliable) {
+    EXPECT_LE(fast.nbf_calls, slow.nbf_calls);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, AnalyzerEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(AnalyzerEquivalence, KnownReliableAndUnreliableAgree) {
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+  {
+    const auto t = dual_homed_topology(p, Asil::A);
+    EXPECT_TRUE(FailureAnalyzer(nbf).analyze(t).reliable);
+    EXPECT_TRUE(analyze_exhaustive(t, nbf).reliable);
+  }
+  {
+    const auto t = star_topology(p, Asil::A);
+    EXPECT_FALSE(FailureAnalyzer(nbf).analyze(t).reliable);
+    EXPECT_FALSE(analyze_exhaustive(t, nbf).reliable);
+  }
+}
+
+// Eq. 6 direction checked explicitly: if a topology survives the switch
+// projection of a mixed failure, it survives the mixed failure itself.
+TEST(AnalyzerEquivalence, SwitchProjectionDominatesMixedFailures) {
+  Rng rng(4242);
+  const auto p = tiny_problem(3);
+  const HeuristicRecovery nbf;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Topology t = random_topology(p, rng);
+    const auto edges = t.graph().edges();
+    if (edges.empty()) continue;
+    // Build a random mixed failure from planned components.
+    FailureScenario mixed;
+    for (const auto& e : edges) {
+      if (rng.uniform() < 0.2) mixed.failed_links.push_back(EdgeKey{e.u, e.v});
+    }
+    for (const NodeId s : t.selected_switches()) {
+      if (rng.uniform() < 0.2) mixed.failed_switches.push_back(s);
+    }
+    mixed.normalize();
+
+    // Project: each failed link maps to its lowest-ASIL endpoint; ties
+    // prefer the switch (end stations never appear in Gf).
+    FailureScenario projected;
+    projected.failed_switches = mixed.failed_switches;
+    for (const auto& link : mixed.failed_links) {
+      NodeId lowest = link.b;
+      if (lower_than(t.node_asil(link.a), t.node_asil(link.b)) ||
+          (t.node_asil(link.a) == t.node_asil(link.b) && p.is_switch(link.a))) {
+        lowest = link.a;
+      }
+      if (p.is_switch(lowest)) projected.failed_switches.push_back(lowest);
+    }
+    projected.normalize();
+
+    // (1) The projection's residual is a subgraph of the mixed residual.
+    const Graph mixed_residual = t.residual(mixed);
+    const Graph projected_residual = t.residual(projected);
+    for (const auto& e : projected_residual.edges()) {
+      EXPECT_TRUE(mixed_residual.has_edge(e.u, e.v))
+          << "trial " << trial << ": projection kept a link the mixed failure removed";
+    }
+    // (2) The projection is at least as probable (link ASIL = min rule).
+    EXPECT_GE(failure_probability(t, projected) + 1e-18, failure_probability(t, mixed));
+    // (3) Deployability: the flow state recovered for the projection only
+    // uses links alive under the mixed failure, so the controller can apply
+    // it verbatim — the run-time argument behind checking switches only.
+    const auto recovered = nbf.recover(t, projected);
+    if (recovered.ok()) {
+      for (const auto& assignment : recovered.state) {
+        ASSERT_TRUE(assignment.has_value());
+        for (std::size_t h = 0; h + 1 < assignment->path.size(); ++h) {
+          EXPECT_TRUE(mixed_residual.has_edge(assignment->path[h], assignment->path[h + 1]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,166 @@
+#include "analysis/failure_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+TEST(FailureAnalyzer, DualHomedAsilAIsReliableAtPaperR) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_TRUE(outcome.reliable);
+  EXPECT_TRUE(outcome.counterexample.empty());
+  EXPECT_TRUE(outcome.errors.empty());
+}
+
+TEST(FailureAnalyzer, StarWithAsilAIsUnreliable) {
+  const auto p = tiny_problem(2);
+  const auto t = star_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_FALSE(outcome.reliable);
+  EXPECT_EQ(outcome.counterexample.failed_switches, (std::vector<NodeId>{4}));
+  EXPECT_FALSE(outcome.errors.empty());
+}
+
+TEST(FailureAnalyzer, StarWithAsilDIsReliable) {
+  // A single ASIL-D failure sits just below R = 1e-6: a safe fault. This is
+  // the paper's "ASIL-D device functions without a backup" property that
+  // makes the all-D original topology valid.
+  const auto p = tiny_problem(2);
+  const auto t = star_topology(p, Asil::D);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_TRUE(outcome.reliable);
+  EXPECT_EQ(outcome.max_order, 0);  // no non-safe switch combination exists
+}
+
+TEST(FailureAnalyzer, EmptyTopologyFailsAtOrderZero) {
+  const auto p = tiny_problem(2);
+  const Topology t(p);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_FALSE(outcome.reliable);
+  EXPECT_TRUE(outcome.counterexample.empty());  // fails with NO failure
+  EXPECT_EQ(outcome.errors.size(), 2u);
+}
+
+TEST(FailureAnalyzer, MaxOrderGrowsWithLooserGoal) {
+  auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+  {
+    const auto t = dual_homed_topology(p, Asil::A);
+    EXPECT_EQ(FailureAnalyzer(nbf).analyze(t).max_order, 1);
+  }
+  p.reliability_goal = 1e-7;  // now dual-A failures are non-safe
+  {
+    const auto t = dual_homed_topology(p, Asil::A);
+    const auto outcome = FailureAnalyzer(nbf).analyze(t);
+    EXPECT_EQ(outcome.max_order, 2);
+    // Both switches failing kills everything: unreliable.
+    EXPECT_FALSE(outcome.reliable);
+    EXPECT_EQ(outcome.counterexample.failed_switches, (std::vector<NodeId>{4, 5}));
+  }
+}
+
+TEST(FailureAnalyzer, HighestOrderCheckedFirst) {
+  // With R = 1e-7 the first scenario checked is the dual failure {4, 5};
+  // since it is non-recoverable the analyzer returns after ONE NBF call.
+  auto p = tiny_problem(2);
+  p.reliability_goal = 1e-7;
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_FALSE(outcome.reliable);
+  EXPECT_EQ(outcome.nbf_calls, 1);
+}
+
+TEST(FailureAnalyzer, SupersetPruningSkipsSubsets) {
+  // maxord = 1 on the reliable dual-homed net: the two single-switch
+  // scenarios are checked and survive; the empty scenario (order 0) is a
+  // subset of a survived scenario and must be pruned without an NBF call.
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  ASSERT_TRUE(outcome.reliable);
+  EXPECT_EQ(outcome.max_order, 1);
+  EXPECT_EQ(outcome.nbf_calls, 2);
+  EXPECT_EQ(outcome.scenarios_pruned, 1);
+}
+
+TEST(FailureAnalyzer, ProbabilitySkipCounts) {
+  // Mixed ASIL: with R = 1e-6, a dual failure of (A, B) has probability
+  // ~1e-7 < R and is skipped as a safe fault without an NBF call.
+  auto p = tiny_problem(2);
+  p.reliability_goal = 1e-8;  // maxord 2 for A/B mix
+  auto t = dual_homed_topology(p, Asil::A);
+  t.upgrade_switch(5);  // B
+  t.upgrade_switch(5);  // C
+  t.upgrade_switch(5);  // D: dual (A, D) ~ 1e-9 < R -> skipped
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  EXPECT_EQ(outcome.max_order, 1);  // top-2 product ~1e-9 < 1e-8
+  EXPECT_EQ(outcome.scenarios_skipped, 0);
+}
+
+TEST(FailureAnalyzer, ReliabilityDependsOnSchedulability) {
+  // Connectivity survives the failure, but the residual capacity cannot
+  // carry all flows: the analyzer must catch the schedulability violation
+  // (the paper's core argument against connectivity-only planning).
+  auto p = tiny_problem(4);
+  p.tsn.slots_per_base = 2;  // very tight capacity
+  for (auto& f : p.flows) f = {0, 1, 500.0, 64, 500.0};  // 4 identical flows
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  // With both switches alive the two routes carry 2 flows; 4 don't fit, so
+  // even the empty failure fails -> unreliable despite full connectivity.
+  EXPECT_FALSE(outcome.reliable);
+}
+
+TEST(FailureAnalyzer, FlowLevelRedundancyChecksEndStations) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  FailureAnalyzer::Options options;
+  options.flow_level_redundancy = true;
+  const auto outcome = FailureAnalyzer(nbf, options).analyze(t);
+  // End stations count as ASIL-D here, so their single failures are safe
+  // faults; non-D switches are still checked and survivable.
+  EXPECT_TRUE(outcome.reliable);
+}
+
+TEST(FailureAnalyzer, CounterexampleIsActionableForSoag) {
+  // The returned scenario + errors must identify a concrete repair target.
+  const auto p = tiny_problem(2);
+  auto t = star_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  ASSERT_FALSE(outcome.reliable);
+  for (const auto& [s, d] : outcome.errors) {
+    EXPECT_TRUE(p.is_end_station(s));
+    EXPECT_TRUE(p.is_end_station(d));
+  }
+}
+
+TEST(FailureAnalyzer, NbfCallCountBoundedByCombinations) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  const auto outcome = FailureAnalyzer(nbf).analyze(t);
+  // maxord 1, two switches: at most 2 singles + 1 empty = 3 NBF calls.
+  EXPECT_LE(outcome.nbf_calls, 3);
+  EXPECT_GE(outcome.nbf_calls, 2);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,75 @@
+// Disabling Algorithm 3's superset pruning must never change a verdict —
+// only the amount of work. Randomized check across topologies and goals.
+#include <gtest/gtest.h>
+
+#include "analysis/failure_analyzer.hpp"
+#include "testing/test_problems.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+class PruningAblation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruningAblation, VerdictInvariantUnderPruningToggle) {
+  Rng rng(GetParam());
+  auto problem = tiny_problem(rng.uniform_int(1, 4));
+  const double goals[] = {1e-6, 1e-7, 1e-8};
+  problem.reliability_goal = goals[rng.uniform_int(0, 2)];
+
+  // Random monotone topology.
+  Topology t(problem);
+  for (const NodeId s : problem.switch_ids()) {
+    if (rng.uniform() < 0.8) {
+      t.add_switch(s);
+      for (int u = rng.uniform_int(0, 3); u > 0; --u) t.upgrade_switch(s);
+    }
+  }
+  for (const auto& edge : problem.connections.edges()) {
+    const bool ok = (!problem.is_switch(edge.u) || t.has_switch(edge.u)) &&
+                    (!problem.is_switch(edge.v) || t.has_switch(edge.v));
+    if (!ok || rng.uniform() < 0.3) continue;
+    const auto cap = [&](NodeId v) {
+      return problem.is_switch(v) ? problem.max_switch_degree() : problem.max_es_degree;
+    };
+    if (t.degree(edge.u) < cap(edge.u) && t.degree(edge.v) < cap(edge.v)) {
+      t.add_link(edge.u, edge.v);
+    }
+  }
+
+  const HeuristicRecovery nbf;
+  const auto with_pruning = FailureAnalyzer(nbf).analyze(t);
+  FailureAnalyzer::Options options;
+  options.use_superset_pruning = false;
+  const auto without_pruning = FailureAnalyzer(nbf, options).analyze(t);
+
+  EXPECT_EQ(with_pruning.reliable, without_pruning.reliable) << "seed " << GetParam();
+  EXPECT_LE(with_pruning.nbf_calls, without_pruning.nbf_calls);
+  EXPECT_EQ(without_pruning.scenarios_pruned, 0);
+  if (!with_pruning.reliable) {
+    // Both find the same first counterexample (same enumeration order).
+    EXPECT_EQ(with_pruning.counterexample.failed_switches,
+              without_pruning.counterexample.failed_switches);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, PruningAblation,
+                         ::testing::Range<std::uint64_t>(100, 125));
+
+TEST(PruningAblation, KnownCounts) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p, Asil::A);
+  const HeuristicRecovery nbf;
+  FailureAnalyzer::Options off;
+  off.use_superset_pruning = false;
+  // With pruning: 2 singles checked, empty pruned. Without: all 3 run.
+  EXPECT_EQ(FailureAnalyzer(nbf).analyze(t).nbf_calls, 2);
+  EXPECT_EQ(FailureAnalyzer(nbf, off).analyze(t).nbf_calls, 3);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,78 @@
+#include "baselines/original.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenarios/orion.hpp"
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::tiny_problem;
+
+TEST(OriginalBaseline, BuildsUniformTopology) {
+  const auto p = tiny_problem(2);
+  const std::vector<Edge> links = {{0, 4, 1.0}, {1, 4, 1.0}, {4, 5, 1.0}};
+  const auto t = build_uniform_topology(p, links, Asil::C);
+  EXPECT_TRUE(t.has_switch(4));
+  EXPECT_TRUE(t.has_switch(5));
+  EXPECT_EQ(t.switch_asil(4), Asil::C);
+  EXPECT_EQ(t.switch_asil(5), Asil::C);
+  EXPECT_TRUE(t.has_link(0, 4));
+  EXPECT_TRUE(t.has_link(4, 5));
+  EXPECT_EQ(t.link_asil(0, 4), Asil::C);
+}
+
+TEST(OriginalBaseline, TinyStarValidOnlyAtAsilD) {
+  const auto p = tiny_problem(2);
+  const std::vector<Edge> star = {{0, 4, 1.0}, {1, 4, 1.0}, {2, 4, 1.0}, {3, 4, 1.0}};
+  const HeuristicRecovery nbf;
+  EXPECT_FALSE(evaluate_original(p, star, nbf, Asil::A).valid);
+  EXPECT_FALSE(evaluate_original(p, star, nbf, Asil::C).valid);
+  EXPECT_TRUE(evaluate_original(p, star, nbf, Asil::D).valid);
+}
+
+TEST(OriginalBaseline, CostReflectsUniformLevel) {
+  const auto p = tiny_problem(2);
+  const std::vector<Edge> star = {{0, 4, 1.0}, {1, 4, 1.0}, {2, 4, 1.0}, {3, 4, 1.0}};
+  const HeuristicRecovery nbf;
+  const auto result = evaluate_original(p, star, nbf, Asil::D);
+  // 4-port ASIL-D switch (27) + 4 D links (8 each).
+  EXPECT_DOUBLE_EQ(result.cost, 27.0 + 4 * 8.0);
+}
+
+TEST(OriginalBaseline, OrionAllDIsValidForPaperWorkloads) {
+  // The paper's key baseline property: the single-homed ORION topology with
+  // all ASIL-D components satisfies the reliability guarantee (single-D
+  // failures are safe faults), at substantial cost.
+  const auto s = make_orion();
+  Rng rng(11);
+  const auto p = with_flows(s, random_flows(s.problem, 10, rng));
+  const HeuristicRecovery nbf;
+  const auto result = evaluate_original(p, s.original_links, nbf, Asil::D);
+  EXPECT_TRUE(result.valid);
+  // All-D cost lands near the paper's 986 (our reconstructed wiring).
+  EXPECT_GT(result.cost, 700.0);
+  EXPECT_LT(result.cost, 1200.0);
+}
+
+TEST(OriginalBaseline, OrionAllAIsInvalid) {
+  // With ASIL-A everywhere, any single switch failure isolates its
+  // single-homed stations: the guarantee cannot hold.
+  const auto s = make_orion();
+  Rng rng(12);
+  const auto p = with_flows(s, random_flows(s.problem, 10, rng));
+  const HeuristicRecovery nbf;
+  const auto result = evaluate_original(p, s.original_links, nbf, Asil::A);
+  EXPECT_FALSE(result.valid);
+  EXPECT_FALSE(result.analysis.counterexample.empty());
+}
+
+TEST(OriginalBaseline, RejectsEmptyLinkList) {
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+  EXPECT_THROW(evaluate_original(p, {}, nbf), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,33 @@
+// Table II of the paper: NPTSN default RL parameters.
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(Config, TableIIDefaults) {
+  const NptsnConfig c;
+  EXPECT_EQ(c.gcn_layers, 2);
+  EXPECT_EQ(c.mlp_hidden, (std::vector<int>{256, 256}));
+  EXPECT_EQ(c.embedding_dim, 0);  // 0 == the paper's 2 x |Vc| default
+  EXPECT_EQ(c.path_actions, 16);  // K
+  EXPECT_EQ(c.epochs, 256);       // maxepoch
+  EXPECT_EQ(c.steps_per_epoch, 2048);  // maxstep
+  EXPECT_DOUBLE_EQ(c.reward_scale, 1e3);
+  EXPECT_DOUBLE_EQ(c.clip_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(c.actor_lr, 3e-4);
+  EXPECT_DOUBLE_EQ(c.critic_lr, 1e-3);
+  EXPECT_DOUBLE_EQ(c.gae_lambda, 0.97);
+  EXPECT_DOUBLE_EQ(c.discount_factor, 0.99);
+}
+
+TEST(Config, SpinningUpTrainingDefaults) {
+  const NptsnConfig c;
+  EXPECT_EQ(c.train_actor_iters, 80);
+  EXPECT_EQ(c.train_critic_iters, 80);
+  EXPECT_DOUBLE_EQ(c.target_kl, 0.01);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,154 @@
+#include "core/observation_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/soag.hpp"
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::tiny_problem;
+
+constexpr int kK = 4;
+
+ActionSpace space_for(const PlanningProblem& p, const Topology& t, std::uint64_t seed,
+                      const ErrorSet& errors) {
+  Rng rng(seed);
+  return Soag(p, kK).generate(t, FailureScenario::none(), errors, rng);
+}
+
+TEST(Encoder, FeatureAndParamDimensions) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  // 1 (switch) + |Vc| (links) + |Ves| (flows) + K (actions).
+  EXPECT_EQ(encoder.feature_dim(), 1 + 7 + 4 + kK);
+  // 2 per flow + slot count.
+  EXPECT_EQ(encoder.param_dim(), 2 * 2 + 1);
+}
+
+TEST(Encoder, ShapesMatchDeclaredDims) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  const Topology t(p);
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  EXPECT_EQ(obs.a_hat.rows(), 7);
+  EXPECT_EQ(obs.a_hat.cols(), 7);
+  EXPECT_EQ(obs.features.rows(), 7);
+  EXPECT_EQ(obs.features.cols(), encoder.feature_dim());
+  EXPECT_EQ(obs.params.rows(), 1);
+  EXPECT_EQ(obs.params.cols(), encoder.param_dim());
+}
+
+TEST(Encoder, EmptyTopologyAdjacencyIsIdentityNormalized) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  const Topology t(p);
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  for (int i = 0; i < 7; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(obs.a_hat.at(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Encoder, SwitchFeatureHoldsScaledCost) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  auto t = dual_homed_topology(p);  // switches 4, 5 at A, degree 5 each
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  // Degree 5 -> 6-port ASIL-A cost 10, scaled by 0.01.
+  EXPECT_NEAR(obs.features.at(4, 0), 0.10, 1e-12);
+  EXPECT_NEAR(obs.features.at(5, 0), 0.10, 1e-12);
+  // End stations and unplanned switches carry zero.
+  EXPECT_DOUBLE_EQ(obs.features.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(obs.features.at(6, 0), 0.0);
+}
+
+TEST(Encoder, LinkFeatureBlockSymmetricScaledCosts) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  const auto t = dual_homed_topology(p);  // all links ASIL-A, unit length
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  // Link (0, 4): ASIL-A cost 1 scaled to 0.01; symmetric entries.
+  EXPECT_NEAR(obs.features.at(0, 1 + 4), 0.01, 1e-12);
+  EXPECT_NEAR(obs.features.at(4, 1 + 0), 0.01, 1e-12);
+  // Absent link (0, 6).
+  EXPECT_DOUBLE_EQ(obs.features.at(0, 1 + 6), 0.0);
+}
+
+TEST(Encoder, FlowBlockCountsFlowsBothDirections) {
+  auto p = tiny_problem(0);
+  p.flows.push_back({0, 1, 500.0, 64, 500.0});
+  p.flows.push_back({0, 1, 500.0, 64, 500.0});
+  p.flows.push_back({2, 0, 500.0, 64, 500.0});
+  const ObservationEncoder encoder(p, kK);
+  const Topology t(p);
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  const int base = 1 + 7;
+  EXPECT_NEAR(obs.features.at(0, base + 1), 0.2, 1e-12);  // two 0<->1 flows
+  EXPECT_NEAR(obs.features.at(1, base + 0), 0.2, 1e-12);
+  EXPECT_NEAR(obs.features.at(2, base + 0), 0.1, 1e-12);
+  EXPECT_NEAR(obs.features.at(0, base + 2), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(obs.features.at(3, base + 0), 0.0);
+  // Switch rows stay zero in the flow block.
+  EXPECT_DOUBLE_EQ(obs.features.at(4, base + 0), 0.0);
+}
+
+TEST(Encoder, DynamicActionBlockMarksTraversedNodes) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  Topology t(p);
+  t.add_switch(4);
+  const auto space = space_for(p, t, 2, {{0, 2}});
+  const auto obs = encoder.encode(t, space);
+  const int base = 1 + 7 + 4;
+  for (int slot = 0; slot < kK; ++slot) {
+    const auto& path = space.actions[static_cast<std::size_t>(3 + slot)].path;
+    for (int v = 0; v < 7; ++v) {
+      const bool on_path = std::find(path.begin(), path.end(), v) != path.end();
+      EXPECT_DOUBLE_EQ(obs.features.at(v, base + slot), on_path ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Encoder, ParamsCarryFlowTimingAndSlots) {
+  auto p = tiny_problem(0);
+  p.flows.push_back({0, 1, 250.0, 750, 250.0});
+  p.flows.push_back({1, 2, 500.0, 1500, 500.0});
+  const ObservationEncoder encoder(p, kK);
+  const Topology t(p);
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  EXPECT_NEAR(obs.params.at(0, 0), 0.5, 1e-12);   // 250/500
+  EXPECT_NEAR(obs.params.at(0, 1), 0.5, 1e-12);   // 750/1500
+  EXPECT_NEAR(obs.params.at(0, 2), 1.0, 1e-12);   // 500/500
+  EXPECT_NEAR(obs.params.at(0, 3), 1.0, 1e-12);   // 1500/1500
+  EXPECT_NEAR(obs.params.at(0, 4), 0.2, 1e-12);   // 20 slots / 100
+}
+
+TEST(Encoder, ActionArityChecked) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  const Topology t(p);
+  ActionSpace wrong;
+  wrong.actions.resize(3);  // missing the K path slots
+  wrong.mask.assign(3, 0);
+  EXPECT_THROW(encoder.encode(t, wrong), std::invalid_argument);
+}
+
+TEST(Encoder, AdjacencyReflectsTopologyLinks) {
+  const auto p = tiny_problem(2);
+  const ObservationEncoder encoder(p, kK);
+  const auto t = dual_homed_topology(p);
+  const auto obs = encoder.encode(t, space_for(p, t, 1, {{0, 1}}));
+  // Connected nodes have positive normalized entries.
+  EXPECT_GT(obs.a_hat.at(0, 4), 0.0);
+  EXPECT_GT(obs.a_hat.at(4, 5), 0.0);
+  EXPECT_DOUBLE_EQ(obs.a_hat.at(0, 6), 0.0);
+}
+
+}  // namespace
+}  // namespace nptsn

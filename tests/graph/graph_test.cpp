@@ -1,0 +1,141 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.is_active(v));
+    EXPECT_EQ(g.degree(v), 0);
+  }
+}
+
+TEST(Graph, AddEdgeIsSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2, 4.5);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_DOUBLE_EQ(g.length(0, 2), 4.5);
+  EXPECT_DOUBLE_EQ(g.length(2, 0), 4.5);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, AddEdgeIdempotentKeepsOriginalLength) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 0, 9.0);  // ignored
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.length(0, 1), 2.0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadLengths) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeNodes) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.degree(-1), std::invalid_argument);
+  EXPECT_THROW(g.has_edge(0, 5), std::invalid_argument);
+}
+
+TEST(Graph, LengthOfMissingEdgeThrows) {
+  Graph g(3);
+  EXPECT_THROW(g.length(0, 1), std::invalid_argument);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.remove_edge(1, 0);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0);
+  g.remove_edge(0, 1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, RemoveNodeDetachesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.remove_node(1);
+  EXPECT_FALSE(g.is_active(1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 0);
+  g.remove_node(1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, CannotConnectInactiveNode) {
+  Graph g(3);
+  g.remove_node(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAreOrdered) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  std::vector<NodeId> order;
+  for (const auto& [v, len] : g.neighbors(2)) {
+    (void)len;
+    order.push_back(v);
+  }
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(Graph, EdgesListedOnceLexicographically) {
+  Graph g(4);
+  g.add_edge(3, 1, 2.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 3.0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].u, 0);
+  EXPECT_EQ(edges[0].v, 1);
+  EXPECT_EQ(edges[1].u, 0);
+  EXPECT_EQ(edges[1].v, 2);
+  EXPECT_EQ(edges[2].u, 1);
+  EXPECT_EQ(edges[2].v, 3);
+  EXPECT_DOUBLE_EQ(edges[2].length, 2.0);
+}
+
+TEST(Graph, CopyIsIndependent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  Graph copy = g;
+  copy.remove_edge(0, 1);
+  copy.remove_node(2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.is_active(2));
+}
+
+TEST(EdgeKey, NormalizesOrderAndCompares) {
+  EXPECT_EQ(EdgeKey(3, 1), EdgeKey(1, 3));
+  EXPECT_LT(EdgeKey(0, 2), EdgeKey(1, 2));
+  EXPECT_LT(EdgeKey(1, 2), EdgeKey(1, 3));
+}
+
+TEST(Graph, ZeroNodeGraphAllowed) {
+  Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_TRUE(g.edges().empty());
+}
+
+}  // namespace
+}  // namespace nptsn

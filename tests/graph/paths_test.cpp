@@ -1,0 +1,172 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+// 0 - 1 - 2
+//  \     /
+//   - 3 -      with lengths: 0-1=1, 1-2=1, 0-3=1, 3-2=3
+Graph diamond() {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(3, 2, 3.0);
+  return g;
+}
+
+TEST(ShortestPath, FindsCheapestPath) {
+  const Graph g = diamond();
+  const auto path = shortest_path(g, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (Path{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(path_length(g, *path), 2.0);
+}
+
+TEST(ShortestPath, WeightBeatsHopCount) {
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);  // direct but expensive
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 1, 1.0);
+  const auto path = shortest_path(g, 0, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (Path{0, 2, 3, 1}));
+}
+
+TEST(ShortestPath, SourceEqualsTarget) {
+  const Graph g = diamond();
+  const auto path = shortest_path(g, 1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (Path{1}));
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(shortest_path(g, 0, 3).has_value());
+}
+
+TEST(ShortestPath, InactiveEndpointReturnsNullopt) {
+  Graph g = diamond();
+  g.remove_node(2);
+  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+}
+
+TEST(ShortestPath, DeterministicTieBreakTowardLowerIds) {
+  // Two equal-cost routes 0-1-3 and 0-2-3; the lower-id route must win on
+  // every call (reproducibility requirement).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    const auto path = shortest_path(g, 0, 3);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(*path, (Path{0, 1, 3}));
+  }
+}
+
+TEST(ShortestPath, TransitFilterBlocksRelay) {
+  // 0 - 1 - 2 where 1 is non-transit: no path 0 -> 2, but 0 -> 1 stays fine.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  TransitFilter filter = {1, 0, 1};
+  EXPECT_FALSE(shortest_path(g, 0, 2, &filter).has_value());
+  const auto to_blocked = shortest_path(g, 0, 1, &filter);
+  ASSERT_TRUE(to_blocked.has_value());
+  EXPECT_EQ(*to_blocked, (Path{0, 1}));
+}
+
+TEST(ShortestPath, TransitFilterForcesDetour) {
+  // Cheap route through blocked node 1, detour through 3 must be taken.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 3, 5.0);
+  g.add_edge(3, 2, 5.0);
+  TransitFilter filter = {1, 0, 1, 1};
+  const auto path = shortest_path(g, 0, 2, &filter);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (Path{0, 3, 2}));
+}
+
+TEST(ShortestPath, TransitFilterSizeChecked) {
+  const Graph g = diamond();
+  TransitFilter bad = {1, 1};
+  EXPECT_THROW(shortest_path(g, 0, 2, &bad), std::invalid_argument);
+}
+
+TEST(HopDistance, CountsHopsIgnoringWeights) {
+  const Graph g = diamond();
+  EXPECT_EQ(hop_distance(g, 0, 0), 0);
+  EXPECT_EQ(hop_distance(g, 0, 1), 1);
+  EXPECT_EQ(hop_distance(g, 0, 2), 2);  // via 1 or 3, both 2 hops
+  EXPECT_EQ(hop_distance(g, 1, 3), 2);
+}
+
+TEST(HopDistance, UnreachableIsMinusOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(hop_distance(g, 0, 2), -1);
+}
+
+TEST(Connected, MatchesReachability) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(connected(g, 0, 1));
+  EXPECT_FALSE(connected(g, 0, 2));
+  EXPECT_TRUE(connected(g, 3, 2));
+}
+
+TEST(PathLength, SumsEdgeLengths) {
+  const Graph g = diamond();
+  EXPECT_DOUBLE_EQ(path_length(g, {0, 3, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(path_length(g, {0}), 0.0);
+}
+
+TEST(PathLength, MissingEdgeThrows) {
+  const Graph g = diamond();
+  EXPECT_THROW(path_length(g, {0, 2}), std::invalid_argument);
+}
+
+TEST(DisjointPaths, FindsTwoNodeDisjointRoutes) {
+  const Graph g = diamond();
+  const auto paths = disjoint_paths(g, 0, 2, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (Path{0, 1, 2}));
+  EXPECT_EQ(paths[1], (Path{0, 3, 2}));
+}
+
+TEST(DisjointPaths, StopsWhenExhausted) {
+  const Graph g = diamond();
+  const auto paths = disjoint_paths(g, 0, 2, 5);
+  EXPECT_EQ(paths.size(), 2u);  // only two disjoint routes exist
+}
+
+TEST(DisjointPaths, DirectEdgeCountsAsOnePath) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  const auto paths = disjoint_paths(g, 0, 1, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (Path{0, 1}));
+  EXPECT_EQ(paths[1], (Path{0, 2, 1}));
+}
+
+TEST(DisjointPaths, RespectsTransitFilter) {
+  const Graph g = diamond();
+  TransitFilter filter = {1, 0, 1, 1};  // node 1 cannot relay
+  const auto paths = disjoint_paths(g, 0, 2, 2, &filter);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Path{0, 3, 2}));
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,43 @@
+#include "net/asil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(Asil, NextLevelClimbsOneStep) {
+  EXPECT_EQ(next_level(Asil::A), Asil::B);
+  EXPECT_EQ(next_level(Asil::B), Asil::C);
+  EXPECT_EQ(next_level(Asil::C), Asil::D);
+}
+
+TEST(Asil, NextLevelRejectsD) { EXPECT_THROW(next_level(Asil::D), std::invalid_argument); }
+
+TEST(Asil, OrderingHelpers) {
+  EXPECT_TRUE(lower_than(Asil::A, Asil::B));
+  EXPECT_TRUE(lower_than(Asil::C, Asil::D));
+  EXPECT_FALSE(lower_than(Asil::D, Asil::D));
+  EXPECT_FALSE(lower_than(Asil::B, Asil::A));
+}
+
+TEST(Asil, MinLevel) {
+  EXPECT_EQ(min_level(Asil::A, Asil::D), Asil::A);
+  EXPECT_EQ(min_level(Asil::D, Asil::B), Asil::B);
+  EXPECT_EQ(min_level(Asil::C, Asil::C), Asil::C);
+}
+
+TEST(Asil, ToString) {
+  EXPECT_EQ(to_string(Asil::A), "A");
+  EXPECT_EQ(to_string(Asil::B), "B");
+  EXPECT_EQ(to_string(Asil::C), "C");
+  EXPECT_EQ(to_string(Asil::D), "D");
+}
+
+TEST(Asil, AllLevelsEnumeration) {
+  ASSERT_EQ(kAllAsil.size(), 4u);
+  EXPECT_EQ(kAllAsil.front(), Asil::A);
+  EXPECT_EQ(kAllAsil.back(), Asil::D);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,127 @@
+#include "net/component_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+// Table I of the paper.
+TEST(ComponentLibrary, TableISwitchCosts) {
+  const auto lib = ComponentLibrary::standard();
+  // 4-port column.
+  EXPECT_DOUBLE_EQ(lib.switch_cost(4, Asil::A), 8.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(4, Asil::B), 12.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(4, Asil::C), 18.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(4, Asil::D), 27.0);
+  // 6-port column.
+  EXPECT_DOUBLE_EQ(lib.switch_cost(6, Asil::A), 10.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(6, Asil::B), 15.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(6, Asil::C), 22.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(6, Asil::D), 33.0);
+  // 8-port column.
+  EXPECT_DOUBLE_EQ(lib.switch_cost(8, Asil::A), 16.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(8, Asil::B), 24.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(8, Asil::C), 36.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(8, Asil::D), 54.0);
+}
+
+TEST(ComponentLibrary, CheapestSufficientModelSelected) {
+  const auto lib = ComponentLibrary::standard();
+  EXPECT_DOUBLE_EQ(lib.switch_cost(0, Asil::A), 8.0);  // unconnected -> smallest
+  EXPECT_DOUBLE_EQ(lib.switch_cost(3, Asil::A), 8.0);
+  EXPECT_DOUBLE_EQ(lib.switch_cost(5, Asil::A), 10.0);  // needs the 6-port
+  EXPECT_DOUBLE_EQ(lib.switch_cost(7, Asil::B), 24.0);  // needs the 8-port
+}
+
+TEST(ComponentLibrary, DegreeBeyondLargestModelThrows) {
+  const auto lib = ComponentLibrary::standard();
+  EXPECT_THROW(lib.switch_cost(9, Asil::A), std::invalid_argument);
+  EXPECT_THROW(lib.switch_cost(-1, Asil::A), std::invalid_argument);
+}
+
+TEST(ComponentLibrary, TableILinkCosts) {
+  const auto lib = ComponentLibrary::standard();
+  EXPECT_DOUBLE_EQ(lib.link_cost(Asil::A, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(lib.link_cost(Asil::B, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(lib.link_cost(Asil::C, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(lib.link_cost(Asil::D, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(lib.link_cost(Asil::B, 2.5), 5.0);  // scales with length
+}
+
+TEST(ComponentLibrary, LinkCostRejectsNonPositiveLength) {
+  const auto lib = ComponentLibrary::standard();
+  EXPECT_THROW(lib.link_cost(Asil::A, 0.0), std::invalid_argument);
+}
+
+TEST(ComponentLibrary, FailureProbabilitiesNearTableValues) {
+  const auto lib = ComponentLibrary::standard();
+  EXPECT_NEAR(lib.failure_prob(Asil::A), 1e-3, 1e-6);
+  EXPECT_NEAR(lib.failure_prob(Asil::B), 1e-4, 1e-8);
+  EXPECT_NEAR(lib.failure_prob(Asil::C), 1e-5, 1e-10);
+  EXPECT_NEAR(lib.failure_prob(Asil::D), 1e-6, 1e-12);
+}
+
+// The safe-fault boundary the paper's Section VI-A relies on: R = 1e-6 is
+// "the minimum value that allows an ASIL-D device to function without a
+// backup", i.e. a single ASIL-D failure falls strictly below R, while single
+// A/B/C failures stay above it.
+TEST(ComponentLibrary, AsilDSingleFailureIsASafeFaultAtPaperR) {
+  const auto lib = ComponentLibrary::standard();
+  const double r = 1e-6;
+  EXPECT_LT(lib.failure_prob(Asil::D), r);
+  EXPECT_GE(lib.failure_prob(Asil::C), r);
+  EXPECT_GE(lib.failure_prob(Asil::B), r);
+  EXPECT_GE(lib.failure_prob(Asil::A), r);
+}
+
+// ASIL decomposition: two ASIL-B components failing together are a safe
+// fault (1e-8 << R), the property the TRH baseline's FRER design relies on.
+TEST(ComponentLibrary, DualAsilBFailureIsSafe) {
+  const auto lib = ComponentLibrary::standard();
+  const double dual_b = lib.failure_prob(Asil::B) * lib.failure_prob(Asil::B);
+  EXPECT_LT(dual_b, 1e-6);
+}
+
+TEST(ComponentLibrary, DualAsilAFailureIsSafeUnderExponentialModel) {
+  // 1 - exp(-1e-3) squared lands just below 1e-6: dual-A faults are safe at
+  // the paper's R, which is why predominantly-ASIL-A solutions exist.
+  const auto lib = ComponentLibrary::standard();
+  const double dual_a = lib.failure_prob(Asil::A) * lib.failure_prob(Asil::A);
+  EXPECT_LT(dual_a, 1e-6);
+  EXPECT_GT(dual_a, 0.99e-6);
+}
+
+TEST(ComponentLibrary, MaxSwitchDegreeIsEight) {
+  EXPECT_EQ(ComponentLibrary::standard().max_switch_degree(), 8);
+}
+
+TEST(ComponentLibrary, CustomLibraryValidation) {
+  const std::array<double, 4> link = {1, 2, 4, 8};
+  const std::array<double, 4> prob = {1e-3, 1e-4, 1e-5, 1e-6};
+  EXPECT_THROW(ComponentLibrary({}, link, prob), std::invalid_argument);
+  EXPECT_THROW(ComponentLibrary({{4, {1, 2, 3, 4}}, {4, {1, 2, 3, 4}}}, link, prob),
+               std::invalid_argument);  // non-increasing ports
+  EXPECT_THROW(ComponentLibrary({{4, {0, 2, 3, 4}}}, link, prob),
+               std::invalid_argument);  // non-positive cost
+  EXPECT_THROW(ComponentLibrary({{4, {1, 2, 3, 4}}}, link, {0.5, 0.5, 0.5, 1.5}),
+               std::invalid_argument);  // probability out of range
+}
+
+TEST(ComponentLibrary, CostMonotoneInAsil) {
+  const auto lib = ComponentLibrary::standard();
+  for (int deg : {2, 5, 8}) {
+    for (std::size_t i = 1; i < kAllAsil.size(); ++i) {
+      EXPECT_GT(lib.switch_cost(deg, kAllAsil[i]), lib.switch_cost(deg, kAllAsil[i - 1]));
+    }
+  }
+}
+
+TEST(ComponentLibrary, FailureProbMonotoneDecreasingInAsil) {
+  const auto lib = ComponentLibrary::standard();
+  for (std::size_t i = 1; i < kAllAsil.size(); ++i) {
+    EXPECT_LT(lib.failure_prob(kAllAsil[i]), lib.failure_prob(kAllAsil[i - 1]));
+  }
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,81 @@
+#include "net/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::tiny_problem;
+
+TEST(Export, DotContainsAllPlannedComponents) {
+  const auto p = tiny_problem(2);
+  auto t = dual_homed_topology(p);
+  t.upgrade_switch(5);  // B, for a second color
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph tssdn {"), std::string::npos);
+  for (NodeId es = 0; es < 4; ++es) {
+    EXPECT_NE(dot.find("label=\"es" + std::to_string(es) + "\""), std::string::npos);
+  }
+  EXPECT_NE(dot.find("sw4\\nASIL-A"), std::string::npos);
+  EXPECT_NE(dot.find("sw5\\nASIL-B"), std::string::npos);
+  EXPECT_NE(dot.find("n4 -- n5"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n4"), std::string::npos);
+  // Unplanned switch 6 is not drawn.
+  EXPECT_EQ(dot.find("sw6"), std::string::npos);
+}
+
+TEST(Export, DotEdgeLabelsCarryLinkAsil) {
+  const auto p = tiny_problem(1);
+  auto t = dual_homed_topology(p);
+  t.upgrade_switch(4);  // B: ES links to 4 become B, 4-5 link stays A
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("n0 -- n4 [label=\"B\"]"), std::string::npos);
+  EXPECT_NE(dot.find("n4 -- n5 [label=\"A\"]"), std::string::npos);
+}
+
+TEST(Export, DotUnusedConnectionsOptIn) {
+  const auto p = tiny_problem(1);
+  Topology t(p);
+  t.add_switch(4);
+  t.add_switch(5);
+  t.add_link(0, 4);
+  EXPECT_EQ(to_dot(t).find("style=dashed"), std::string::npos);
+  DotOptions options;
+  options.include_unused_connections = true;
+  const std::string dot = to_dot(t, options);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Unused link between two drawn nodes appears; links to unplanned switch
+  // 6 do not.
+  EXPECT_NE(dot.find("n4 -- n5 [style=dashed"), std::string::npos);
+  EXPECT_EQ(dot.find("n6"), std::string::npos);
+}
+
+TEST(Export, DotGraphNameConfigurable) {
+  const auto p = tiny_problem(1);
+  const Topology t(p);
+  DotOptions options;
+  options.graph_name = "my_vehicle";
+  EXPECT_NE(to_dot(t, options).find("graph my_vehicle {"), std::string::npos);
+}
+
+TEST(Export, SummaryBreaksDownEquationOneCost) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);  // 2 A switches deg 5 (10 each), 9 A links
+  const std::string text = summary(t);
+  EXPECT_NE(text.find("sw4  ASIL-A  5 ports  cost 10"), std::string::npos);
+  EXPECT_NE(text.find("ASIL-A  x9  cost 9"), std::string::npos);
+  EXPECT_NE(text.find("= 29"), std::string::npos);  // 10 + 10 + 9
+}
+
+TEST(Export, SummaryOfEmptyTopology) {
+  const auto p = tiny_problem(1);
+  const Topology t(p);
+  const std::string text = summary(t);
+  EXPECT_NE(text.find("= 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nptsn

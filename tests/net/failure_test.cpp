@@ -1,0 +1,89 @@
+#include "net/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::tiny_problem;
+
+TEST(FailureScenario, EmptyByDefault) {
+  FailureScenario s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(FailureScenario::none().empty());
+}
+
+TEST(FailureScenario, NormalizeSortsAndDedupes) {
+  FailureScenario s;
+  s.failed_switches = {6, 4, 6, 5};
+  s.failed_links = {EdgeKey{2, 1}, EdgeKey{0, 3}, EdgeKey{1, 2}};
+  s.normalize();
+  EXPECT_EQ(s.failed_switches, (std::vector<NodeId>{4, 5, 6}));
+  ASSERT_EQ(s.failed_links.size(), 2u);
+  EXPECT_EQ(s.failed_links[0], EdgeKey(0, 3));
+  EXPECT_EQ(s.failed_links[1], EdgeKey(1, 2));
+}
+
+TEST(FailureScenario, OfSwitchesNormalizes) {
+  const auto s = FailureScenario::of_switches({5, 4, 5});
+  EXPECT_EQ(s.failed_switches, (std::vector<NodeId>{4, 5}));
+  EXPECT_TRUE(s.failed_links.empty());
+}
+
+TEST(FailureScenario, SubsetTest) {
+  const auto small = FailureScenario::of_switches({4});
+  const auto big = FailureScenario::of_switches({4, 5});
+  const auto other = FailureScenario::of_switches({6});
+  EXPECT_TRUE(small.switches_subset_of(big));
+  EXPECT_TRUE(small.switches_subset_of(small));
+  EXPECT_FALSE(big.switches_subset_of(small));
+  EXPECT_FALSE(other.switches_subset_of(big));
+  EXPECT_TRUE(FailureScenario::none().switches_subset_of(small));
+}
+
+TEST(FailureProbability, EmptyScenarioIsCertain) {
+  const auto p = tiny_problem();
+  const auto t = dual_homed_topology(p);
+  EXPECT_DOUBLE_EQ(failure_probability(t, FailureScenario::none()), 1.0);
+}
+
+TEST(FailureProbability, ProductOfComponentProbabilities) {
+  const auto p = tiny_problem();
+  auto t = dual_homed_topology(p, Asil::A);
+  t.upgrade_switch(5);  // switch 5 -> B
+
+  const double pa = p.library.failure_prob(Asil::A);
+  const double pb = p.library.failure_prob(Asil::B);
+
+  EXPECT_DOUBLE_EQ(failure_probability(t, FailureScenario::of_switches({4})), pa);
+  EXPECT_DOUBLE_EQ(failure_probability(t, FailureScenario::of_switches({5})), pb);
+  EXPECT_DOUBLE_EQ(failure_probability(t, FailureScenario::of_switches({4, 5})), pa * pb);
+
+  FailureScenario mixed;
+  mixed.failed_switches = {4};
+  mixed.failed_links = {EdgeKey{0, 5}};  // ES(D)-B link -> B probability
+  EXPECT_DOUBLE_EQ(failure_probability(t, mixed), pa * pb);
+}
+
+TEST(FailureProbability, LinkProbabilityUsesDerivedAsil) {
+  const auto p = tiny_problem();
+  const auto t = dual_homed_topology(p, Asil::C);
+  FailureScenario s;
+  s.failed_links = {EdgeKey{4, 5}};  // C-C link
+  EXPECT_DOUBLE_EQ(failure_probability(t, s), p.library.failure_prob(Asil::C));
+}
+
+TEST(FailureProbability, HigherAsilLowersScenarioProbability) {
+  const auto p = tiny_problem();
+  const auto low = dual_homed_topology(p, Asil::A);
+  const auto high = dual_homed_topology(p, Asil::D);
+  const auto scenario = FailureScenario::of_switches({4, 5});
+  EXPECT_GT(failure_probability(low, scenario), failure_probability(high, scenario));
+}
+
+}  // namespace
+}  // namespace nptsn

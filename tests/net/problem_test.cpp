@@ -1,0 +1,107 @@
+#include "net/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::tiny_problem;
+
+TEST(Problem, TinyProblemIsValid) {
+  const auto p = tiny_problem();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.num_nodes(), 7);
+  EXPECT_EQ(p.num_switches(), 3);
+  EXPECT_EQ(p.connections.num_edges(), 15);
+}
+
+TEST(Problem, NodeClassification) {
+  const auto p = tiny_problem();
+  EXPECT_TRUE(p.is_end_station(0));
+  EXPECT_TRUE(p.is_end_station(3));
+  EXPECT_FALSE(p.is_end_station(4));
+  EXPECT_FALSE(p.is_end_station(-1));
+  EXPECT_TRUE(p.is_switch(4));
+  EXPECT_TRUE(p.is_switch(6));
+  EXPECT_FALSE(p.is_switch(0));
+}
+
+TEST(Problem, IdLists) {
+  const auto p = tiny_problem();
+  EXPECT_EQ(p.end_station_ids(), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(p.switch_ids(), (std::vector<NodeId>{4, 5, 6}));
+}
+
+TEST(Problem, FramesPerBase) {
+  auto p = tiny_problem();
+  FlowSpec f = p.flows[0];
+  EXPECT_EQ(p.frames_per_base(f), 1);
+  f.period_us = 250.0;
+  EXPECT_EQ(p.frames_per_base(f), 2);
+  f.period_us = 100.0;
+  EXPECT_EQ(p.frames_per_base(f), 5);
+  f.period_us = 300.0;  // does not divide 500
+  EXPECT_THROW(p.frames_per_base(f), std::invalid_argument);
+}
+
+TEST(Problem, RejectsFlowBetweenNonStations) {
+  auto p = tiny_problem();
+  p.flows[0].destination = 5;  // a switch
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsSelfFlow) {
+  auto p = tiny_problem();
+  p.flows[0].destination = p.flows[0].source;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsDeadlineBeyondPeriod) {
+  auto p = tiny_problem();
+  p.flows[0].deadline_us = 600.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsNonPositiveFrame) {
+  auto p = tiny_problem();
+  p.flows[0].frame_bytes = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsEmptyFlows) {
+  auto p = tiny_problem();
+  p.flows.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsBadReliabilityGoal) {
+  auto p = tiny_problem();
+  p.reliability_goal = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.reliability_goal = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsDirectStationToStationLink) {
+  auto p = tiny_problem();
+  p.connections.add_edge(0, 1, 1.0);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsProblemWithoutSwitches) {
+  PlanningProblem p;
+  p.connections = Graph(2);
+  p.num_end_stations = 2;
+  p.flows.push_back({0, 1, 500.0, 64, 500.0});
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, MaxSwitchDegreeComesFromLibrary) {
+  const auto p = tiny_problem();
+  EXPECT_EQ(p.max_switch_degree(), 8);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,218 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+TEST(Topology, StartsEmpty) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  EXPECT_TRUE(t.selected_switches().empty());
+  EXPECT_EQ(t.graph().num_edges(), 0);
+  EXPECT_DOUBLE_EQ(t.cost(), 0.0);
+}
+
+TEST(Topology, AddSwitchStartsAtAsilA) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  EXPECT_TRUE(t.has_switch(4));
+  EXPECT_EQ(t.switch_asil(4), Asil::A);
+  EXPECT_EQ(t.selected_switches(), (std::vector<NodeId>{4}));
+}
+
+TEST(Topology, UpgradeClimbsToD) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  t.upgrade_switch(4);
+  EXPECT_EQ(t.switch_asil(4), Asil::B);
+  t.upgrade_switch(4);
+  t.upgrade_switch(4);
+  EXPECT_EQ(t.switch_asil(4), Asil::D);
+  EXPECT_THROW(t.upgrade_switch(4), std::invalid_argument);
+}
+
+TEST(Topology, SwitchOperationsValidated) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  EXPECT_THROW(t.add_switch(0), std::invalid_argument);     // an end station
+  EXPECT_THROW(t.upgrade_switch(4), std::invalid_argument); // absent
+  EXPECT_THROW(t.switch_asil(4), std::invalid_argument);
+  t.add_switch(4);
+  EXPECT_THROW(t.add_switch(4), std::invalid_argument);  // already present
+}
+
+TEST(Topology, LinkRequiresPlannedSwitchEndpoint) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  EXPECT_THROW(t.add_link(0, 4), std::invalid_argument);
+  t.add_switch(4);
+  t.add_link(0, 4);
+  EXPECT_TRUE(t.has_link(0, 4));
+  t.add_link(0, 4);  // idempotent
+  EXPECT_EQ(t.graph().num_edges(), 1);
+}
+
+TEST(Topology, LinkMustBeInGc) {
+  auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  t.add_switch(5);
+  // 0-1 is not an optional link (ES-ES).
+  EXPECT_THROW(t.add_link(0, 1), std::invalid_argument);
+}
+
+TEST(Topology, EndStationDegreeCapEnforced) {
+  const auto p = tiny_problem();  // max_es_degree = 2
+  Topology t(p);
+  for (const NodeId s : {4, 5, 6}) t.add_switch(s);
+  t.add_link(0, 4);
+  t.add_link(0, 5);
+  EXPECT_THROW(t.add_link(0, 6), std::invalid_argument);
+}
+
+TEST(Topology, SwitchDegreeCapEnforced) {
+  // Build a problem with one switch and many stations to saturate 8 ports.
+  PlanningProblem p;
+  const int es = 10;
+  Graph g(es + 1);
+  for (NodeId u = 0; u < es; ++u) g.add_edge(u, es, 1.0);
+  p.connections = std::move(g);
+  p.num_end_stations = es;
+  p.flows.push_back({0, 1, 500.0, 64, 500.0});
+
+  Topology t(p);
+  t.add_switch(es);
+  for (NodeId u = 0; u < 8; ++u) t.add_link(u, es);
+  EXPECT_THROW(t.add_link(8, es), std::invalid_argument);
+}
+
+TEST(Topology, NodeAsilTreatsStationsAsD) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  EXPECT_EQ(t.node_asil(0), Asil::D);
+  EXPECT_EQ(t.node_asil(4), Asil::A);
+}
+
+TEST(Topology, LinkAsilIsMinimumOfEndpoints) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  t.add_switch(5);
+  t.upgrade_switch(5);  // B
+  t.add_link(0, 4);     // ES(D) - A  -> A
+  t.add_link(4, 5);     // A - B     -> A
+  t.add_link(0, 5);     // ES(D) - B -> B
+  EXPECT_EQ(t.link_asil(0, 4), Asil::A);
+  EXPECT_EQ(t.link_asil(4, 5), Asil::A);
+  EXPECT_EQ(t.link_asil(0, 5), Asil::B);
+  EXPECT_THROW(t.link_asil(1, 4), std::invalid_argument);  // not planned
+}
+
+TEST(Topology, CostMatchesEquationOne) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);       // degree will be 3 -> 4-port ASIL-A = 8
+  t.add_switch(5);       // degree will be 2, upgraded to B -> 12
+  t.upgrade_switch(5);
+  t.add_link(0, 4);      // A link, length 1 -> 1
+  t.add_link(1, 4);      // 1
+  t.add_link(4, 5);      // min(A,B)=A -> 1
+  t.add_link(2, 5);      // min(D,B)=B -> 2
+  EXPECT_DOUBLE_EQ(t.cost(), 8.0 + 12.0 + 1.0 + 1.0 + 1.0 + 2.0);
+}
+
+TEST(Topology, CostUsesSixPortModelAboveFourPorts) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  for (NodeId u = 0; u < 4; ++u) t.add_link(u, 4);
+  t.add_switch(5);
+  t.add_link(4, 5);  // switch 4 now has degree 5 -> 6-port A = 10
+  EXPECT_DOUBLE_EQ(t.cost(), 10.0 + 8.0 + 4.0 * 1.0 + 1.0);
+}
+
+TEST(Topology, AddPathAddsAllLinksAndSwitchesMustExist) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  t.add_switch(4);
+  t.add_switch(5);
+  t.add_path({0, 4, 5, 2});
+  EXPECT_TRUE(t.has_link(0, 4));
+  EXPECT_TRUE(t.has_link(4, 5));
+  EXPECT_TRUE(t.has_link(5, 2));
+}
+
+TEST(Topology, PathRespectsDegreesDetectsViolations) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  for (const NodeId s : {4, 5, 6}) t.add_switch(s);
+  t.add_link(0, 4);
+  t.add_link(0, 5);
+  // Station 0 is full: any path ending with a NEW link at 0 violates.
+  EXPECT_FALSE(t.path_respects_degrees({0, 6, 1}));
+  // A path re-using the existing 0-4 link is fine.
+  EXPECT_TRUE(t.path_respects_degrees({0, 4, 1}));
+  // A path with a non-Gc link is invalid.
+  EXPECT_FALSE(t.path_respects_degrees({0, 1}));
+}
+
+TEST(Topology, PathCountsRepeatedNodeDegreesCorrectly) {
+  // A path visiting a node twice would double its degree demand; the check
+  // must aggregate per node (path 1-4-5-6-2 puts 2 new links on 5... ).
+  const auto p = tiny_problem();
+  Topology t(p);
+  for (const NodeId s : {4, 5, 6}) t.add_switch(s);
+  // Saturate station 1 to one remaining port.
+  t.add_link(1, 6);
+  EXPECT_TRUE(t.path_respects_degrees({1, 4, 5}));
+  t.add_link(1, 4);
+  EXPECT_FALSE(t.path_respects_degrees({1, 5, 6}));
+}
+
+TEST(Topology, ResidualRemovesFailedComponents) {
+  const auto p = tiny_problem();
+  auto t = dual_homed_topology(p);
+  FailureScenario scenario;
+  scenario.failed_switches = {4};
+  const Graph residual = t.residual(scenario);
+  EXPECT_FALSE(residual.is_active(4));
+  EXPECT_FALSE(residual.has_edge(0, 4));
+  EXPECT_TRUE(residual.has_edge(0, 5));
+
+  FailureScenario link_failure;
+  link_failure.failed_links = {EdgeKey{0, 5}};
+  const Graph residual2 = t.residual(link_failure);
+  EXPECT_FALSE(residual2.has_edge(0, 5));
+  EXPECT_TRUE(residual2.has_edge(1, 5));
+}
+
+TEST(Topology, ResidualRejectsUnplannedSwitch) {
+  const auto p = tiny_problem();
+  auto t = star_topology(p);
+  FailureScenario scenario;
+  scenario.failed_switches = {5};  // never planned
+  EXPECT_THROW(t.residual(scenario), std::invalid_argument);
+}
+
+TEST(Topology, CopyIsIndependent) {
+  const auto p = tiny_problem();
+  auto t = star_topology(p);
+  Topology copy = t;
+  copy.add_switch(5);
+  copy.add_link(4, 5);
+  EXPECT_FALSE(t.has_switch(5));
+  EXPECT_FALSE(t.has_link(4, 5));
+}
+
+}  // namespace
+}  // namespace nptsn

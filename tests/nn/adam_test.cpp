@@ -1,0 +1,90 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nptsn {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With a constant gradient, the bias-corrected first Adam step is exactly
+  // -lr * g / (|g| + eps) ~ -lr * sign(g).
+  Tensor p = Tensor::parameter(Matrix(1, 2, 1.0));
+  Adam opt({p}, {.learning_rate = 0.1});
+  p.mutable_grad() = Matrix::from({{2.0, -0.5}});
+  opt.step();
+  EXPECT_NEAR(p.value().at(0, 0), 1.0 - 0.1, 1e-6);
+  EXPECT_NEAR(p.value().at(0, 1), 1.0 + 0.1, 1e-6);
+}
+
+TEST(Adam, ZeroGradClearsAccumulatedGradients) {
+  Tensor p = Tensor::parameter(Matrix(1, 1, 0.0));
+  Adam opt({p}, {});
+  sum_all(scale(p, 3.0)).backward();
+  EXPECT_DOUBLE_EQ(p.grad().at(0, 0), 3.0);
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad().at(0, 0), 0.0);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = sum((x - target)^2), minimized at target.
+  Tensor x = Tensor::parameter(Matrix(1, 3, 0.0));
+  const Matrix target = Matrix::from({{1.0, -2.0, 0.5}});
+  Adam opt({x}, {.learning_rate = 0.05});
+  for (int iter = 0; iter < 500; ++iter) {
+    opt.zero_grad();
+    Tensor err = sub(x, Tensor::constant(target));
+    sum_all(hadamard(err, err)).backward();
+    opt.step();
+  }
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(x.value().at(0, j), target.at(0, j), 1e-3);
+}
+
+TEST(Adam, AdaptsPerParameterScale) {
+  // Two coordinates with very different gradient scales should both make
+  // progress (the whole point of Adam vs. SGD).
+  Tensor x = Tensor::parameter(Matrix(1, 2, 0.0));
+  Adam opt({x}, {.learning_rate = 0.05});
+  for (int iter = 0; iter < 400; ++iter) {
+    opt.zero_grad();
+    Tensor err = sub(x, Tensor::constant(Matrix::from({{100.0, 0.01}})));
+    sum_all(hadamard(err, err)).backward();
+    opt.step();
+  }
+  EXPECT_GT(x.value().at(0, 0), 10.0);          // moving toward 100
+  EXPECT_NEAR(x.value().at(0, 1), 0.01, 5e-3);  // small target reached
+}
+
+TEST(Adam, MultipleParameterTensors) {
+  Tensor a = Tensor::parameter(Matrix(1, 1, 5.0));
+  Tensor b = Tensor::parameter(Matrix(1, 1, -5.0));
+  Adam opt({a, b}, {.learning_rate = 0.1});
+  for (int iter = 0; iter < 300; ++iter) {
+    opt.zero_grad();
+    Tensor loss = add(hadamard(a, a), hadamard(b, b));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(a.value().at(0, 0), 0.0, 1e-2);
+  EXPECT_NEAR(b.value().at(0, 0), 0.0, 1e-2);
+}
+
+TEST(Adam, RejectsBadConstruction) {
+  EXPECT_THROW(Adam({}, {}), std::invalid_argument);
+  Tensor c = Tensor::constant(Matrix(1, 1));
+  EXPECT_THROW(Adam({c}, {}), std::invalid_argument);  // not a parameter
+  Tensor p = Tensor::parameter(Matrix(1, 1));
+  EXPECT_THROW(Adam({p}, {.learning_rate = 0.0}), std::invalid_argument);
+}
+
+TEST(Adam, StepWithZeroGradientKeepsValues) {
+  Tensor p = Tensor::parameter(Matrix(1, 2, 3.0));
+  Adam opt({p}, {});
+  opt.zero_grad();
+  opt.step();
+  EXPECT_NEAR(p.value().at(0, 0), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nptsn

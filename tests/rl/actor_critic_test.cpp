@@ -1,0 +1,188 @@
+#include "rl/actor_critic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.hpp"
+
+namespace nptsn {
+namespace {
+
+ActorCritic::Config small_config() {
+  ActorCritic::Config c;
+  c.num_nodes = 3;
+  c.feature_dim = 4;
+  c.param_dim = 2;
+  c.num_actions = 5;
+  c.gcn_layers = 2;
+  c.embedding_dim = 6;
+  c.actor_hidden = {8, 8};
+  c.critic_hidden = {8, 8};
+  return c;
+}
+
+Observation small_obs() {
+  Observation obs;
+  obs.a_hat = normalized_adjacency([] {
+    Matrix a(3, 3);
+    a.at(0, 1) = a.at(1, 0) = 1.0;
+    return a;
+  }());
+  obs.features = Matrix(3, 4, 0.5);
+  obs.params = Matrix(1, 2, 0.1);
+  return obs;
+}
+
+TEST(ActorCritic, ForwardShapes) {
+  Rng rng(1);
+  ActorCritic net(small_config(), rng);
+  const auto out = net.forward(small_obs());
+  EXPECT_EQ(out.logits.rows(), 1);
+  EXPECT_EQ(out.logits.cols(), 5);
+  EXPECT_EQ(out.value.rows(), 1);
+  EXPECT_EQ(out.value.cols(), 1);
+}
+
+TEST(ActorCritic, HeadSpecificForwardsMatchCombined) {
+  Rng rng(2);
+  ActorCritic net(small_config(), rng);
+  const auto obs = small_obs();
+  const auto out = net.forward(obs);
+  const auto logits = net.forward_logits(obs);
+  const auto value = net.forward_value(obs);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_DOUBLE_EQ(out.logits.value().at(0, j), logits.value().at(0, j));
+  }
+  EXPECT_DOUBLE_EQ(out.value.item(), value.item());
+}
+
+TEST(ActorCritic, DefaultEmbeddingIsTwiceNumNodes) {
+  auto c = small_config();
+  c.embedding_dim = 0;
+  Rng rng(3);
+  ActorCritic net(c, rng);
+  EXPECT_EQ(net.config().embedding_dim, 6);  // 2 * 3 nodes
+}
+
+TEST(ActorCritic, GcnZeroPoolsRawFeatures) {
+  auto c = small_config();
+  c.gcn_layers = 0;
+  Rng rng(4);
+  ActorCritic net(c, rng);
+  const auto out = net.forward(small_obs());
+  EXPECT_EQ(out.logits.cols(), 5);
+  // Without GCN layers there are fewer parameters.
+  Rng rng2(4);
+  ActorCritic with_gcn(small_config(), rng2);
+  EXPECT_LT(net.all_parameters().size(), with_gcn.all_parameters().size());
+}
+
+TEST(ActorCritic, ParameterPartitionSharesGcn) {
+  Rng rng(5);
+  ActorCritic net(small_config(), rng);
+  const auto actor = net.actor_parameters();
+  const auto critic = net.critic_parameters();
+  const auto all = net.all_parameters();
+  // 2 GCN layers (W, b each) = 4 shared tensors.
+  EXPECT_EQ(actor.size(), 4u + 6u);   // + 3 MLP layers x 2
+  EXPECT_EQ(critic.size(), 4u + 6u);
+  EXPECT_EQ(all.size(), 4u + 6u + 6u);
+  // The first four tensors are the SAME graph nodes in both sets.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(actor[i].node().get(), critic[i].node().get());
+  }
+  // Heads are disjoint.
+  for (std::size_t i = 4; i < actor.size(); ++i) {
+    EXPECT_NE(actor[i].node().get(), critic[i].node().get());
+  }
+}
+
+TEST(ActorCritic, GradientsReachSharedAndHeadParameters) {
+  Rng rng(6);
+  ActorCritic net(small_config(), rng);
+  const auto out = net.forward(small_obs());
+  sum_all(out.logits).backward();
+  for (auto& p : net.actor_parameters()) {
+    EXPECT_FALSE(p.grad().empty());
+  }
+  // Critic head untouched by the actor loss.
+  const auto critic = net.critic_parameters();
+  for (std::size_t i = 4; i < critic.size(); ++i) {
+    EXPECT_TRUE(critic[i].grad().empty() || critic[i].grad().max_abs() == 0.0);
+  }
+}
+
+TEST(ActorCritic, CopyParametersProducesIdenticalOutputs) {
+  Rng rng1(7);
+  Rng rng2(8);
+  ActorCritic a(small_config(), rng1);
+  ActorCritic b(small_config(), rng2);
+  const auto obs = small_obs();
+  EXPECT_NE(a.forward(obs).value.item(), b.forward(obs).value.item());
+  b.copy_parameters_from(a);
+  const auto oa = a.forward(obs);
+  const auto ob = b.forward(obs);
+  EXPECT_DOUBLE_EQ(oa.value.item(), ob.value.item());
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_DOUBLE_EQ(oa.logits.value().at(0, j), ob.logits.value().at(0, j));
+  }
+}
+
+TEST(ActorCritic, ObservationShapeValidated) {
+  Rng rng(9);
+  ActorCritic net(small_config(), rng);
+  auto obs = small_obs();
+  obs.features = Matrix(3, 5);  // wrong feature dim
+  EXPECT_THROW(net.forward(obs), std::invalid_argument);
+  obs = small_obs();
+  obs.a_hat = Matrix(2, 2);
+  EXPECT_THROW(net.forward(obs), std::invalid_argument);
+  obs = small_obs();
+  obs.params = Matrix(1, 3);
+  EXPECT_THROW(net.forward(obs), std::invalid_argument);
+}
+
+TEST(ActorCritic, ConfigValidated) {
+  Rng rng(10);
+  auto c = small_config();
+  c.num_actions = 0;
+  EXPECT_THROW(ActorCritic(c, rng), std::invalid_argument);
+  c = small_config();
+  c.gcn_layers = -1;
+  EXPECT_THROW(ActorCritic(c, rng), std::invalid_argument);
+}
+
+TEST(ActorCritic, GatEncoderForwardAndTraining) {
+  auto c = small_config();
+  c.encoder = GraphEncoder::kGat;
+  Rng rng(12);
+  ActorCritic net(c, rng);
+  const auto out = net.forward(small_obs());
+  EXPECT_EQ(out.logits.cols(), 5);
+  sum_all(out.logits).backward();
+  // Every actor-side parameter (GAT included) receives gradient signal.
+  for (auto& p : net.actor_parameters()) EXPECT_FALSE(p.grad().empty());
+}
+
+TEST(ActorCritic, GatAndGcnHaveDifferentParameterCounts) {
+  Rng rng1(13);
+  Rng rng2(13);
+  auto gcn_cfg = small_config();
+  auto gat_cfg = small_config();
+  gat_cfg.encoder = GraphEncoder::kGat;
+  ActorCritic gcn_net(gcn_cfg, rng1);
+  ActorCritic gat_net(gat_cfg, rng2);
+  // GAT adds two attention vectors per layer on top of each Linear.
+  EXPECT_EQ(gat_net.all_parameters().size(), gcn_net.all_parameters().size() + 2 * 2);
+}
+
+TEST(ActorCritic, DeterministicGivenSeed) {
+  Rng rng1(11);
+  Rng rng2(11);
+  ActorCritic a(small_config(), rng1);
+  ActorCritic b(small_config(), rng2);
+  const auto obs = small_obs();
+  EXPECT_DOUBLE_EQ(a.forward(obs).value.item(), b.forward(obs).value.item());
+}
+
+}  // namespace
+}  // namespace nptsn

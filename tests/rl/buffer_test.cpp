@@ -1,0 +1,156 @@
+#include "rl/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nptsn {
+namespace {
+
+StepRecord step_with(double reward, double value) {
+  StepRecord s;
+  s.reward = reward;
+  s.value = value;
+  s.action = 0;
+  s.mask = {1};
+  return s;
+}
+
+TEST(Buffer, GaeMatchesHandComputation) {
+  // gamma = 0.5, lambda = 0.5 for easy arithmetic; terminal path.
+  TrajectoryBuffer buffer(0.5, 0.5);
+  buffer.store(step_with(/*reward=*/1.0, /*value=*/0.0));
+  buffer.store(step_with(2.0, 1.0));
+  buffer.finish_path(0.0);
+  const auto batch = buffer.take();
+
+  // delta_1 = 2 + 0.5*0 - 1 = 1;   A_1 = 1
+  // delta_0 = 1 + 0.5*1 - 0 = 1.5; A_0 = 1.5 + 0.25*1 = 1.75
+  // Raw advantages {1.75, 1}; normalized: mean 1.375, std 0.375.
+  ASSERT_EQ(batch.advantages.size(), 2u);
+  EXPECT_NEAR(batch.advantages[0], 1.0, 1e-12);
+  EXPECT_NEAR(batch.advantages[1], -1.0, 1e-12);
+
+  // Returns (rewards-to-go, gamma 0.5): r1 = 2; r0 = 1 + 0.5*2 = 2.
+  EXPECT_NEAR(batch.returns[0], 2.0, 1e-12);
+  EXPECT_NEAR(batch.returns[1], 2.0, 1e-12);
+}
+
+TEST(Buffer, BootstrapValueEntersTail) {
+  TrajectoryBuffer buffer(1.0, 1.0);
+  buffer.store(step_with(1.0, 0.0));
+  buffer.finish_path(/*last_value=*/10.0);  // cut-off path
+  const auto batch = buffer.take();
+  // Return = 1 + 10, advantage (pre-normalization) = 11 - 0 = 11.
+  EXPECT_NEAR(batch.returns[0], 11.0, 1e-12);
+  // Single-element batch normalizes to 0 (mean removed, unit-std guard).
+  EXPECT_NEAR(batch.advantages[0], 0.0, 1e-12);
+}
+
+TEST(Buffer, MultiplePathsIndependent) {
+  TrajectoryBuffer buffer(0.9, 1.0);
+  buffer.store(step_with(1.0, 0.0));
+  buffer.finish_path(0.0);
+  buffer.store(step_with(5.0, 0.0));
+  buffer.finish_path(0.0);
+  const auto batch = buffer.take();
+  ASSERT_EQ(batch.steps.size(), 2u);
+  // Returns do not leak across the path boundary.
+  EXPECT_NEAR(batch.returns[0], 1.0, 1e-12);
+  EXPECT_NEAR(batch.returns[1], 5.0, 1e-12);
+}
+
+TEST(Buffer, AdvantagesNormalizedToZeroMeanUnitStd) {
+  TrajectoryBuffer buffer(0.99, 0.95);
+  for (int i = 0; i < 10; ++i) {
+    buffer.store(step_with(static_cast<double>(i % 4), 0.5));
+    if (i % 3 == 2) buffer.finish_path(0.0);
+  }
+  buffer.finish_path(0.25);
+  const auto batch = buffer.take();
+  double mean = 0.0;
+  for (const double a : batch.advantages) mean += a;
+  mean /= static_cast<double>(batch.advantages.size());
+  double var = 0.0;
+  for (const double a : batch.advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(batch.advantages.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(var), 1.0, 1e-9);
+}
+
+TEST(Buffer, TakeRequiresClosedPaths) {
+  TrajectoryBuffer buffer(0.99, 0.95);
+  buffer.store(step_with(1.0, 0.0));
+  EXPECT_TRUE(buffer.has_open_path());
+  EXPECT_THROW(buffer.take(), std::invalid_argument);
+  buffer.finish_path(0.0);
+  EXPECT_FALSE(buffer.has_open_path());
+  EXPECT_NO_THROW(buffer.take());
+}
+
+TEST(Buffer, TakeClearsState) {
+  TrajectoryBuffer buffer(0.99, 0.95);
+  buffer.store(step_with(1.0, 0.0));
+  buffer.finish_path(0.0);
+  (void)buffer.take();
+  EXPECT_EQ(buffer.size(), 0u);
+  buffer.store(step_with(2.0, 0.0));
+  buffer.finish_path(0.0);
+  const auto batch = buffer.take();
+  EXPECT_EQ(batch.steps.size(), 1u);
+}
+
+TEST(Buffer, FinishEmptyPathIsNoOp) {
+  TrajectoryBuffer buffer(0.99, 0.95);
+  buffer.finish_path(0.0);
+  buffer.store(step_with(1.0, 0.0));
+  buffer.finish_path(0.0);
+  buffer.finish_path(0.0);  // double finish: second is a no-op
+  const auto batch = buffer.take();
+  EXPECT_EQ(batch.steps.size(), 1u);
+}
+
+TEST(Buffer, AbsorbMergesWorkerBuffers) {
+  TrajectoryBuffer a(0.5, 1.0);
+  a.store(step_with(1.0, 0.0));
+  a.finish_path(0.0);
+  TrajectoryBuffer b(0.5, 1.0);
+  b.store(step_with(3.0, 0.0));
+  b.store(step_with(4.0, 0.0));
+  b.finish_path(0.0);
+
+  a.absorb(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  const auto batch = a.take();
+  // Worker b's returns preserved: r = 3 + 0.5*4 = 5, then 4.
+  EXPECT_NEAR(batch.returns[1], 5.0, 1e-12);
+  EXPECT_NEAR(batch.returns[2], 4.0, 1e-12);
+}
+
+TEST(Buffer, AbsorbRejectsOpenPath) {
+  TrajectoryBuffer a(0.9, 0.9);
+  TrajectoryBuffer b(0.9, 0.9);
+  b.store(step_with(1.0, 0.0));
+  EXPECT_THROW(a.absorb(std::move(b)), std::invalid_argument);
+}
+
+TEST(Buffer, ConstructorValidatesHyperparameters) {
+  EXPECT_THROW(TrajectoryBuffer(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(TrajectoryBuffer(1.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(TrajectoryBuffer(0.9, -0.1), std::invalid_argument);
+  EXPECT_THROW(TrajectoryBuffer(0.9, 1.5), std::invalid_argument);
+}
+
+TEST(Buffer, ConstantAdvantageNormalizesToZeroWithStdGuard) {
+  TrajectoryBuffer buffer(1.0, 1.0);
+  // Two identical single-step paths -> identical raw advantages.
+  for (int i = 0; i < 2; ++i) {
+    buffer.store(step_with(1.0, 0.0));
+    buffer.finish_path(0.0);
+  }
+  const auto batch = buffer.take();
+  for (const double a : batch.advantages) EXPECT_NEAR(a, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,105 @@
+#include "rl/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nptsn {
+namespace {
+
+TEST(MaskedProbabilities, SoftmaxOverUnmaskedOnly) {
+  const Matrix logits = Matrix::from({{0.0, 0.0, 100.0}});
+  const auto probs = masked_probabilities(logits, {1, 1, 0});
+  ASSERT_EQ(probs.size(), 3u);
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(probs[2], 0.0);  // masked despite the huge logit
+}
+
+TEST(MaskedProbabilities, SumsToOne) {
+  const Matrix logits = Matrix::from({{1.0, -2.0, 0.3, 4.0}});
+  const auto probs = masked_probabilities(logits, {1, 0, 1, 1});
+  double sum = 0.0;
+  for (const double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MaskedProbabilities, StableUnderLargeLogits) {
+  const Matrix logits = Matrix::from({{1000.0, 999.0}});
+  const auto probs = masked_probabilities(logits, {1, 1});
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_GT(probs[0], probs[1]);
+}
+
+TEST(MaskedProbabilities, AllMaskedThrows) {
+  const Matrix logits = Matrix::from({{1.0, 2.0}});
+  EXPECT_THROW(masked_probabilities(logits, {0, 0}), std::invalid_argument);
+}
+
+TEST(MaskedProbabilities, MaskSizeChecked) {
+  const Matrix logits = Matrix::from({{1.0, 2.0}});
+  EXPECT_THROW(masked_probabilities(logits, {1}), std::invalid_argument);
+}
+
+TEST(SampleMasked, NeverPicksMaskedAction) {
+  Rng rng(1);
+  const Matrix logits = Matrix::from({{5.0, 5.0, 5.0, 5.0}});
+  const std::vector<std::uint8_t> mask = {0, 1, 0, 1};
+  for (int i = 0; i < 500; ++i) {
+    const auto s = sample_masked(logits, mask, rng);
+    EXPECT_TRUE(s.action == 1 || s.action == 3);
+    EXPECT_NEAR(s.log_prob, std::log(0.5), 1e-12);
+  }
+}
+
+TEST(SampleMasked, FrequenciesFollowLogits) {
+  Rng rng(2);
+  // exp(0) : exp(log 3) = 1 : 3.
+  const Matrix logits = Matrix::from({{0.0, std::log(3.0)}});
+  int count1 = 0;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_masked(logits, {1, 1}, rng).action == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.03);
+}
+
+TEST(SampleMasked, LogProbMatchesDistribution) {
+  Rng rng(3);
+  const Matrix logits = Matrix::from({{0.2, -1.0, 2.0}});
+  const std::vector<std::uint8_t> mask = {1, 1, 1};
+  const auto probs = masked_probabilities(logits, mask);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = sample_masked(logits, mask, rng);
+    EXPECT_NEAR(s.log_prob, std::log(probs[static_cast<std::size_t>(s.action)]), 1e-12);
+  }
+}
+
+TEST(ArgmaxMasked, PicksLargestUnmasked) {
+  const Matrix logits = Matrix::from({{1.0, 9.0, 3.0}});
+  EXPECT_EQ(argmax_masked(logits, {1, 1, 1}), 1);
+  EXPECT_EQ(argmax_masked(logits, {1, 0, 1}), 2);
+  EXPECT_EQ(argmax_masked(logits, {1, 0, 0}), 0);
+}
+
+TEST(ArgmaxMasked, TieBreaksTowardLowestIndex) {
+  const Matrix logits = Matrix::from({{2.0, 2.0, 2.0}});
+  EXPECT_EQ(argmax_masked(logits, {1, 1, 1}), 0);
+  EXPECT_EQ(argmax_masked(logits, {0, 1, 1}), 1);
+}
+
+TEST(EntropyMasked, UniformMaximizesEntropy) {
+  const Matrix uniform = Matrix::from({{1.0, 1.0, 1.0, 1.0}});
+  EXPECT_NEAR(entropy_masked(uniform, {1, 1, 1, 1}), std::log(4.0), 1e-12);
+  // Masking two actions reduces the support.
+  EXPECT_NEAR(entropy_masked(uniform, {1, 1, 0, 0}), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyMasked, DeterministicDistributionHasZeroEntropy) {
+  const Matrix peaked = Matrix::from({{100.0, 0.0}});
+  EXPECT_NEAR(entropy_masked(peaked, {1, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(entropy_masked(peaked, {1, 0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace nptsn

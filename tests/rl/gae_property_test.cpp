@@ -1,0 +1,87 @@
+// Property test: the buffer's GAE(lambda) recursion against the direct
+// summation definition A_t = sum_l (gamma*lambda)^l * delta_{t+l}, and
+// rewards-to-go against brute-force discounting, on random trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/buffer.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+namespace {
+
+class GaeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaeProperty, RecursionMatchesDirectSummation) {
+  Rng rng(GetParam());
+  const double gamma = rng.uniform(0.8, 1.0);
+  const double lambda = rng.uniform(0.0, 1.0);
+  const int length = rng.uniform_int(1, 12);
+  const bool terminal = rng.uniform() < 0.5;
+  const double last_value = terminal ? 0.0 : rng.uniform(-2.0, 2.0);
+
+  std::vector<double> rewards(static_cast<std::size_t>(length));
+  std::vector<double> values(static_cast<std::size_t>(length));
+  TrajectoryBuffer buffer(gamma, lambda);
+  for (int t = 0; t < length; ++t) {
+    rewards[static_cast<std::size_t>(t)] = rng.uniform(-1.0, 1.0);
+    values[static_cast<std::size_t>(t)] = rng.uniform(-1.0, 1.0);
+    StepRecord s;
+    s.reward = rewards[static_cast<std::size_t>(t)];
+    s.value = values[static_cast<std::size_t>(t)];
+    s.action = 0;
+    s.mask = {1};
+    buffer.store(std::move(s));
+  }
+  buffer.finish_path(last_value);
+  const auto batch = buffer.take();
+
+  // Direct definitions.
+  std::vector<double> deltas(static_cast<std::size_t>(length));
+  for (int t = 0; t < length; ++t) {
+    const double next_value =
+        t + 1 < length ? values[static_cast<std::size_t>(t + 1)] : last_value;
+    deltas[static_cast<std::size_t>(t)] =
+        rewards[static_cast<std::size_t>(t)] + gamma * next_value -
+        values[static_cast<std::size_t>(t)];
+  }
+  std::vector<double> advantages(static_cast<std::size_t>(length));
+  std::vector<double> returns(static_cast<std::size_t>(length));
+  for (int t = 0; t < length; ++t) {
+    double adv = 0.0;
+    for (int l = t; l < length; ++l) {
+      adv += std::pow(gamma * lambda, l - t) * deltas[static_cast<std::size_t>(l)];
+    }
+    advantages[static_cast<std::size_t>(t)] = adv;
+    double ret = std::pow(gamma, length - t) * last_value;
+    for (int l = t; l < length; ++l) {
+      ret += std::pow(gamma, l - t) * rewards[static_cast<std::size_t>(l)];
+    }
+    returns[static_cast<std::size_t>(t)] = ret;
+  }
+
+  // Undo the batch normalization to compare raw advantages.
+  double mean = 0.0;
+  for (const double a : advantages) mean += a;
+  mean /= length;
+  double var = 0.0;
+  for (const double a : advantages) var += (a - mean) * (a - mean);
+  var /= length;
+  const double denom = std::sqrt(var) > 1e-12 ? std::sqrt(var) : 1.0;
+
+  for (int t = 0; t < length; ++t) {
+    EXPECT_NEAR(batch.advantages[static_cast<std::size_t>(t)],
+                (advantages[static_cast<std::size_t>(t)] - mean) / denom, 1e-9)
+        << "seed " << GetParam() << " t=" << t;
+    EXPECT_NEAR(batch.returns[static_cast<std::size_t>(t)],
+                returns[static_cast<std::size_t>(t)], 1e-9)
+        << "seed " << GetParam() << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrajectories, GaeProperty,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,202 @@
+#include "rl/ppo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/distribution.hpp"
+
+namespace nptsn {
+namespace {
+
+// A tiny single-state setup: one node, constant observation, 3 actions.
+ActorCritic::Config bandit_config() {
+  ActorCritic::Config c;
+  c.num_nodes = 1;
+  c.feature_dim = 1;
+  c.param_dim = 0;
+  c.num_actions = 3;
+  c.gcn_layers = 0;
+  c.embedding_dim = 1;
+  c.actor_hidden = {16};
+  c.critic_hidden = {16};
+  return c;
+}
+
+Observation bandit_obs() {
+  Observation obs;
+  obs.a_hat = Matrix(1, 1, 1.0);
+  obs.features = Matrix(1, 1, 1.0);
+  obs.params = Matrix(1, 0);
+  return obs;
+}
+
+// Builds a batch where `good_action` carries positive advantage and the
+// others negative, as if sampled uniformly.
+Batch contrived_batch(const ActorCritic& net, int good_action, int steps) {
+  Batch batch;
+  const Observation obs = bandit_obs();
+  const auto out = net.forward(obs);
+  for (int i = 0; i < steps; ++i) {
+    StepRecord s;
+    s.obs = obs;
+    s.mask = {1, 1, 1};
+    s.action = i % 3;
+    const auto probs = masked_probabilities(out.logits.value(), s.mask);
+    s.log_prob = std::log(probs[static_cast<std::size_t>(s.action)]);
+    s.value = out.value.item();
+    s.reward = s.action == good_action ? 1.0 : -1.0;
+    batch.steps.push_back(std::move(s));
+    batch.advantages.push_back(batch.steps.back().reward);
+    batch.returns.push_back(batch.steps.back().reward);
+  }
+  return batch;
+}
+
+TEST(Ppo, ActorShiftsProbabilityTowardAdvantage) {
+  Rng rng(1);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-2});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-2});
+
+  const auto before =
+      masked_probabilities(net.forward(bandit_obs()).logits.value(), {1, 1, 1});
+
+  PpoConfig config;
+  config.train_actor_iters = 20;
+  config.train_critic_iters = 5;
+  config.target_kl = 100.0;  // disable early stop for this test
+  const Batch batch = contrived_batch(net, /*good_action=*/2, 30);
+  const auto stats = ppo_update(net, actor_opt, critic_opt, batch, config);
+
+  const auto after =
+      masked_probabilities(net.forward(bandit_obs()).logits.value(), {1, 1, 1});
+  EXPECT_GT(after[2], before[2]);
+  EXPECT_LT(after[0], before[0]);
+  EXPECT_EQ(stats.actor_iters_run, 20);
+}
+
+TEST(Ppo, CriticRegressesTowardReturns) {
+  Rng rng(2);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-3});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 5e-2});
+
+  Batch batch = contrived_batch(net, 1, 12);
+  for (auto& r : batch.returns) r = 7.0;  // constant target
+
+  PpoConfig config;
+  config.train_actor_iters = 1;
+  config.train_critic_iters = 200;
+  ppo_update(net, actor_opt, critic_opt, batch, config);
+  EXPECT_NEAR(net.forward(bandit_obs()).value.item(), 7.0, 0.5);
+}
+
+TEST(Ppo, KlEarlyStoppingLimitsActorIterations) {
+  Rng rng(3);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 5e-2});  // big steps
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+
+  PpoConfig config;
+  config.train_actor_iters = 80;
+  config.train_critic_iters = 1;
+  config.target_kl = 1e-4;  // very tight
+  const Batch batch = contrived_batch(net, 0, 30);
+  const auto stats = ppo_update(net, actor_opt, critic_opt, batch, config);
+  EXPECT_LT(stats.actor_iters_run, 80);
+}
+
+TEST(Ppo, ClippingBoundsTheUpdate) {
+  // With and without clipping (ratio bounds), a single huge-advantage batch
+  // must move the policy less when the clip is tight.
+  auto run = [](double clip) {
+    Rng rng(4);
+    ActorCritic net(bandit_config(), rng);
+    Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-2});
+    Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+    PpoConfig config;
+    config.clip_ratio = clip;
+    config.train_actor_iters = 40;
+    config.train_critic_iters = 1;
+    config.target_kl = 1e9;
+    Batch batch;
+    const Observation obs = bandit_obs();
+    const auto out = net.forward(obs);
+    for (int i = 0; i < 10; ++i) {
+      StepRecord s;
+      s.obs = obs;
+      s.mask = {1, 1, 1};
+      s.action = 2;
+      const auto probs = masked_probabilities(out.logits.value(), s.mask);
+      s.log_prob = std::log(probs[2]);
+      s.value = 0.0;
+      s.reward = 100.0;
+      batch.steps.push_back(std::move(s));
+      batch.advantages.push_back(100.0);
+      batch.returns.push_back(100.0);
+    }
+    ppo_update(net, actor_opt, critic_opt, batch, config);
+    return masked_probabilities(net.forward(obs).logits.value(), {1, 1, 1})[2];
+  };
+  const double tight = run(0.05);
+  const double loose = run(10.0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Ppo, EmptyBatchRejected) {
+  Rng rng(5);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-3});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+  EXPECT_THROW(ppo_update(net, actor_opt, critic_opt, Batch{}, PpoConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Ppo, BatchArityValidated) {
+  Rng rng(6);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-3});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+  Batch batch = contrived_batch(net, 0, 3);
+  batch.advantages.pop_back();
+  EXPECT_THROW(ppo_update(net, actor_opt, critic_opt, batch, PpoConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Ppo, MaskedActionsStayMaskedAfterUpdate) {
+  // Updating on a batch whose masks exclude action 0 must not make the
+  // distribution assign it probability at sampling time (mask re-applied).
+  Rng rng(7);
+  ActorCritic net(bandit_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-2});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+
+  Batch batch;
+  const Observation obs = bandit_obs();
+  const auto out = net.forward(obs);
+  for (int i = 0; i < 10; ++i) {
+    const int action = 1 + (i % 2);
+    StepRecord s;
+    s.obs = obs;
+    s.mask = {0, 1, 1};
+    s.action = action;
+    const auto probs = masked_probabilities(out.logits.value(), s.mask);
+    s.log_prob = std::log(probs[static_cast<std::size_t>(action)]);
+    s.value = 0.0;
+    s.reward = 1.0;
+    batch.steps.push_back(std::move(s));
+    batch.advantages.push_back(action == 1 ? 1.0 : -1.0);
+    batch.returns.push_back(1.0);
+  }
+  PpoConfig config;
+  config.train_actor_iters = 10;
+  config.train_critic_iters = 1;
+  EXPECT_NO_THROW(ppo_update(net, actor_opt, critic_opt, batch, config));
+  const auto probs =
+      masked_probabilities(net.forward(obs).logits.value(), {0, 1, 1});
+  EXPECT_DOUBLE_EQ(probs[0], 0.0);
+}
+
+}  // namespace
+}  // namespace nptsn

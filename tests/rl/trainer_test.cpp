@@ -1,0 +1,191 @@
+#include "rl/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace nptsn {
+namespace {
+
+// A 5-position corridor: the agent starts at 0 and must reach 4. Action 0 =
+// left, action 1 = right. Reward -0.05 per step, +1.0 on arrival. Optimal
+// return = 4 * (-0.05) + 1 = 0.8.
+class CorridorEnv final : public Environment {
+ public:
+  static constexpr int kGoal = 4;
+
+  CorridorEnv() { rebuild(); }
+
+  int num_actions() const override { return 2; }
+
+  Observation observe() const override { return obs_; }
+
+  const std::vector<std::uint8_t>& action_mask() const override { return mask_; }
+
+  StepResult step(int action) override {
+    position_ += action == 1 ? 1 : -1;
+    if (position_ < 0) position_ = 0;
+    StepResult result;
+    result.reward = -0.05;
+    if (position_ == kGoal) {
+      result.reward += 1.0;
+      result.episode_end = true;
+    } else if (++steps_ >= 32) {
+      result.episode_end = true;  // give up
+    }
+    rebuild();
+    return result;
+  }
+
+  void reset() override {
+    position_ = 0;
+    steps_ = 0;
+    rebuild();
+  }
+
+ private:
+  void rebuild() {
+    obs_.a_hat = Matrix(kGoal + 1, kGoal + 1);
+    for (int i = 0; i <= kGoal; ++i) obs_.a_hat.at(i, i) = 1.0;
+    obs_.features = Matrix(kGoal + 1, 1);
+    obs_.features.at(position_, 0) = 1.0;
+    obs_.params = Matrix(1, 0);
+  }
+
+  int position_ = 0;
+  int steps_ = 0;
+  Observation obs_;
+  std::vector<std::uint8_t> mask_ = {1, 1};
+};
+
+ActorCritic::Config corridor_net_config() {
+  ActorCritic::Config c;
+  c.num_nodes = 5;
+  c.feature_dim = 1;
+  c.param_dim = 0;
+  c.num_actions = 2;
+  c.gcn_layers = 0;
+  c.embedding_dim = 4;
+  c.actor_hidden = {16};
+  c.critic_hidden = {16};
+  return c;
+}
+
+TrainerConfig corridor_trainer_config() {
+  TrainerConfig c;
+  c.epochs = 12;
+  c.steps_per_epoch = 128;
+  c.actor_lr = 1e-2;
+  c.critic_lr = 1e-2;
+  c.ppo.train_actor_iters = 10;
+  c.ppo.train_critic_iters = 10;
+  c.seed = 3;
+  return c;
+}
+
+TEST(Trainer, LearnsTheCorridor) {
+  Rng rng(1);
+  ActorCritic net(corridor_net_config(), rng);
+  Trainer trainer(net, [] { return std::make_unique<CorridorEnv>(); },
+                  corridor_trainer_config());
+  const auto history = trainer.train();
+  ASSERT_EQ(history.size(), 12u);
+  // The mean episode return must approach the optimum of 0.8.
+  EXPECT_GT(history.back().mean_episode_reward, 0.5);
+  // And improve substantially over the first epoch.
+  EXPECT_GT(history.back().mean_episode_reward,
+            history.front().mean_episode_reward);
+}
+
+TEST(Trainer, EpochStatsPopulated) {
+  Rng rng(2);
+  ActorCritic net(corridor_net_config(), rng);
+  auto config = corridor_trainer_config();
+  config.epochs = 2;
+  Trainer trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config);
+  int callbacks = 0;
+  const auto history = trainer.train([&](const EpochStats& stats) {
+    EXPECT_EQ(stats.epoch, callbacks);
+    EXPECT_EQ(stats.steps, 128);
+    EXPECT_GT(stats.episodes_finished, 0);
+    ++callbacks;
+  });
+  EXPECT_EQ(callbacks, 2);
+  EXPECT_EQ(history.size(), 2u);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  auto run = [] {
+    Rng rng(7);
+    ActorCritic net(corridor_net_config(), rng);
+    auto config = corridor_trainer_config();
+    config.epochs = 3;
+    Trainer trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config);
+    return trainer.train();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_episode_reward, b[i].mean_episode_reward);
+    EXPECT_DOUBLE_EQ(a[i].actor_loss, b[i].actor_loss);
+  }
+}
+
+TEST(Trainer, MultipleWorkersCollectFullBatch) {
+  Rng rng(4);
+  ActorCritic net(corridor_net_config(), rng);
+  auto config = corridor_trainer_config();
+  config.epochs = 2;
+  config.num_workers = 4;
+  config.steps_per_epoch = 128;
+  Trainer trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config);
+  const auto history = trainer.train();
+  for (const auto& stats : history) EXPECT_EQ(stats.steps, 128);
+}
+
+TEST(Trainer, MultipleWorkersStillLearn) {
+  Rng rng(5);
+  ActorCritic net(corridor_net_config(), rng);
+  auto config = corridor_trainer_config();
+  config.num_workers = 2;
+  Trainer trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config);
+  const auto history = trainer.train();
+  EXPECT_GT(history.back().mean_episode_reward, 0.4);
+}
+
+TEST(Trainer, ValidatesConfiguration) {
+  Rng rng(6);
+  ActorCritic net(corridor_net_config(), rng);
+  auto config = corridor_trainer_config();
+  config.epochs = 0;
+  EXPECT_THROW(
+      Trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config),
+      std::invalid_argument);
+  config = corridor_trainer_config();
+  config.num_workers = 0;
+  EXPECT_THROW(
+      Trainer(net, [] { return std::make_unique<CorridorEnv>(); }, config),
+      std::invalid_argument);
+}
+
+TEST(Trainer, RejectsActionCountMismatch) {
+  auto c = corridor_net_config();
+  c.num_actions = 3;  // env has 2
+  Rng rng(7);
+  ActorCritic net(c, rng);
+  EXPECT_THROW(Trainer(net, [] { return std::make_unique<CorridorEnv>(); },
+                       corridor_trainer_config()),
+               std::invalid_argument);
+}
+
+TEST(Trainer, RejectsNullEnvironment) {
+  Rng rng(8);
+  ActorCritic net(corridor_net_config(), rng);
+  EXPECT_THROW(Trainer(net, [] { return std::unique_ptr<Environment>(); },
+                       corridor_trainer_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

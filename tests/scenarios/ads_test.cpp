@@ -1,0 +1,73 @@
+#include "scenarios/ads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(Ads, DimensionsMatchPaper) {
+  const auto s = make_ads();
+  EXPECT_EQ(s.name, "ADS");
+  EXPECT_EQ(s.problem.num_end_stations, 12);
+  EXPECT_EQ(s.problem.num_switches(), 4);
+  // "there are 54 optional links in Ec"
+  EXPECT_EQ(s.problem.connections.num_edges(), 54);
+}
+
+TEST(Ads, ConnectionGraphIsCompleteExceptStationPairs) {
+  const auto s = make_ads();
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = u + 1; v < 16; ++v) {
+      const bool both_es = u < 12 && v < 12;
+      EXPECT_EQ(s.problem.connections.has_edge(u, v), !both_es);
+    }
+  }
+}
+
+TEST(Ads, NoReferenceTopology) {
+  const auto s = make_ads();
+  EXPECT_TRUE(s.original_links.empty());
+}
+
+TEST(Ads, TwelveApplicationFlows) {
+  const auto flows = ads_flows();
+  EXPECT_EQ(flows.size(), 12u);
+  for (const auto& f : flows) {
+    EXPECT_NE(f.source, f.destination);
+    EXPECT_LT(f.source, 12);
+    EXPECT_LT(f.destination, 12);
+    EXPECT_DOUBLE_EQ(f.period_us, 500.0);
+  }
+}
+
+TEST(Ads, ProblemWithFlowsValidates) {
+  const auto s = make_ads();
+  const auto p = with_flows(s, ads_flows());
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Ads, SensorsFeedThePipeline) {
+  // Structural property of the generated application flows: the perception
+  // ECU consumes at least camera, lidar, and radar data.
+  const auto flows = ads_flows();
+  int into_perception = 0;
+  for (const auto& f : flows) {
+    if (f.destination == kPerceptionEcu) ++into_perception;
+  }
+  EXPECT_GE(into_perception, 3);
+}
+
+TEST(Ads, ControlChainPresent) {
+  const auto flows = ads_flows();
+  bool planning_to_control = false;
+  bool control_to_actuator = false;
+  for (const auto& f : flows) {
+    planning_to_control |= f.source == kPlanningEcu && f.destination == kControlEcu;
+    control_to_actuator |= f.source == kControlEcu && f.destination == kActuatorEcu;
+  }
+  EXPECT_TRUE(planning_to_control);
+  EXPECT_TRUE(control_to_actuator);
+}
+
+}  // namespace
+}  // namespace nptsn

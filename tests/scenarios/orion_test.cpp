@@ -1,0 +1,126 @@
+#include "scenarios/orion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paths.hpp"
+
+namespace nptsn {
+namespace {
+
+TEST(Orion, DimensionsMatchPaper) {
+  const auto s = make_orion();
+  EXPECT_EQ(s.name, "ORION");
+  EXPECT_EQ(s.problem.num_end_stations, 31);
+  EXPECT_EQ(s.problem.num_switches(), 15);
+  EXPECT_EQ(s.problem.num_nodes(), 46);
+}
+
+TEST(Orion, TsnAndReliabilityParameters) {
+  const auto s = make_orion();
+  EXPECT_DOUBLE_EQ(s.problem.tsn.base_period_us, 500.0);
+  EXPECT_EQ(s.problem.tsn.slots_per_base, 20);
+  EXPECT_DOUBLE_EQ(s.problem.reliability_goal, 1e-6);
+  EXPECT_EQ(s.problem.max_es_degree, 2);
+}
+
+TEST(Orion, ReferenceTopologySingleHomesEveryStation) {
+  const auto s = make_orion();
+  Graph reference(s.problem.num_nodes());
+  for (const auto& e : s.original_links) reference.add_edge(e.u, e.v, e.length);
+  for (NodeId es = 0; es < 31; ++es) {
+    EXPECT_EQ(reference.degree(es), 1) << "station " << es;
+  }
+}
+
+TEST(Orion, ReferenceSwitchMeshIsBiconnectedForSwitches) {
+  // Removing any single switch must keep the remaining switches connected
+  // (the redundancy the mesh provides for re-routing).
+  const auto s = make_orion();
+  for (NodeId removed = 31; removed < 46; ++removed) {
+    Graph g(s.problem.num_nodes());
+    for (const auto& e : s.original_links) g.add_edge(e.u, e.v, e.length);
+    g.remove_node(removed);
+    for (NodeId a = 31; a < 46; ++a) {
+      if (a == removed) continue;
+      for (NodeId b = a + 1; b < 46; ++b) {
+        if (b == removed) continue;
+        EXPECT_TRUE(connected(g, a, b)) << "switches disconnected by removing " << removed;
+      }
+    }
+  }
+}
+
+TEST(Orion, ReferenceRespectsDegreeConstraints) {
+  const auto s = make_orion();
+  Graph reference(s.problem.num_nodes());
+  for (const auto& e : s.original_links) reference.add_edge(e.u, e.v, e.length);
+  for (NodeId v = 31; v < 46; ++v) {
+    EXPECT_LE(reference.degree(v), s.problem.max_switch_degree());
+  }
+}
+
+TEST(Orion, ConnectionGraphFollowsThreeHopRule) {
+  const auto s = make_orion();
+  Graph reference(s.problem.num_nodes());
+  for (const auto& e : s.original_links) reference.add_edge(e.u, e.v, e.length);
+  for (NodeId u = 0; u < 46; ++u) {
+    for (NodeId v = u + 1; v < 46; ++v) {
+      const bool both_es = s.problem.is_end_station(u) && s.problem.is_end_station(v);
+      const int hops = hop_distance(reference, u, v);
+      const bool expected = !both_es && hops >= 1 && hops <= 3;
+      EXPECT_EQ(s.problem.connections.has_edge(u, v), expected)
+          << "pair (" << u << ", " << v << ") hops=" << hops;
+    }
+  }
+}
+
+TEST(Orion, OptionalLinkCountInPaperBallpark) {
+  // The paper derives 189 optional links from its exact ORION wiring; our
+  // reconstruction must land in the same regime (a sparse fraction of the
+  // 31*15 + C(15,2) = 570 possible pairs). The ring mesh yields exactly 200.
+  const auto s = make_orion();
+  EXPECT_EQ(s.problem.connections.num_edges(), 200);
+}
+
+TEST(Orion, OriginalLinksAreOptionalLinks) {
+  const auto s = make_orion();
+  for (const auto& e : s.original_links) {
+    EXPECT_TRUE(s.problem.connections.has_edge(e.u, e.v));
+  }
+}
+
+TEST(Orion, AllOptionalLinksUnitLength) {
+  const auto s = make_orion();
+  for (const auto& e : s.problem.connections.edges()) {
+    EXPECT_DOUBLE_EQ(e.length, 1.0);
+  }
+}
+
+TEST(Orion, RandomFlowsAreValid) {
+  const auto s = make_orion();
+  Rng rng(5);
+  for (const int n : {10, 20, 30, 40, 50}) {
+    auto p = with_flows(s, random_flows(s.problem, n, rng));
+    EXPECT_EQ(static_cast<int>(p.flows.size()), n);
+    EXPECT_NO_THROW(p.validate());
+    for (const auto& f : p.flows) {
+      EXPECT_DOUBLE_EQ(f.period_us, 500.0);
+      EXPECT_DOUBLE_EQ(f.deadline_us, 500.0);
+    }
+  }
+}
+
+TEST(Orion, RandomFlowsDeterministicPerSeed) {
+  const auto s = make_orion();
+  Rng rng1(7);
+  Rng rng2(7);
+  const auto a = random_flows(s.problem, 20, rng1);
+  const auto b = random_flows(s.problem, 20, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_EQ(a[i].destination, b[i].destination);
+  }
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,68 @@
+// Shared miniature planning problems for unit and property tests.
+#pragma once
+
+#include "net/problem.hpp"
+#include "net/topology.hpp"
+
+namespace nptsn::testing {
+
+// 4 end stations (0..3), 3 optional switches (4..6), complete bipartite
+// ES-switch plus full switch-switch connections, unit lengths.
+//   Gc: 4*3 + 3 = 15 optional links.
+inline PlanningProblem tiny_problem(int num_flows = 2) {
+  PlanningProblem problem;
+  const int es = 4;
+  const int sw = 3;
+  Graph g(es + sw);
+  for (NodeId u = 0; u < es; ++u) {
+    for (NodeId s = es; s < es + sw; ++s) g.add_edge(u, s, 1.0);
+  }
+  for (NodeId a = es; a < es + sw; ++a) {
+    for (NodeId b = a + 1; b < es + sw; ++b) g.add_edge(a, b, 1.0);
+  }
+  problem.connections = std::move(g);
+  problem.num_end_stations = es;
+  problem.tsn.base_period_us = 500.0;
+  problem.tsn.slots_per_base = 20;
+  problem.reliability_goal = 1e-6;
+  problem.max_es_degree = 2;
+  for (int i = 0; i < num_flows; ++i) {
+    FlowSpec flow;
+    flow.source = i % es;
+    flow.destination = (i + 1) % es;
+    flow.period_us = 500.0;
+    flow.deadline_us = 500.0;
+    flow.frame_bytes = 1500;
+    problem.flows.push_back(flow);
+  }
+  return problem;
+}
+
+// A dual-homed topology on tiny_problem(): every end station connects to
+// switches 4 and 5, switches 4-5 linked, both at `level`. Survives any
+// single switch failure (flows re-route through the other switch).
+inline Topology dual_homed_topology(const PlanningProblem& problem,
+                                    Asil level = Asil::A) {
+  Topology t(problem);
+  for (const NodeId s : {4, 5}) {
+    t.add_switch(s);
+    while (t.switch_asil(s) != level) t.upgrade_switch(s);
+  }
+  for (NodeId u = 0; u < 4; ++u) {
+    t.add_link(u, 4);
+    t.add_link(u, 5);
+  }
+  t.add_link(4, 5);
+  return t;
+}
+
+// A star topology through switch 4 only: single point of failure.
+inline Topology star_topology(const PlanningProblem& problem, Asil level = Asil::A) {
+  Topology t(problem);
+  t.add_switch(4);
+  while (t.switch_asil(4) != level) t.upgrade_switch(4);
+  for (NodeId u = 0; u < 4; ++u) t.add_link(u, 4);
+  return t;
+}
+
+}  // namespace nptsn::testing

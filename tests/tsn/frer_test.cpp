@@ -1,0 +1,83 @@
+#include "tsn/frer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::tiny_problem;
+
+TEST(Frer, SchedulesTwoReplicasPerFlow) {
+  const auto p = tiny_problem(2);  // flows 0->1 and 1->2
+  FrerPlan plan = {
+      {{0, 4, 1}, {0, 5, 1}},
+      {{1, 4, 2}, {1, 5, 2}},
+  };
+  const auto result = schedule_frer(p, plan);
+  EXPECT_TRUE(result.schedulable);
+  EXPECT_EQ(result.first_failed_flow, -1);
+  ASSERT_EQ(result.assignments.size(), 2u);
+  for (const auto& replicas : result.assignments) {
+    ASSERT_EQ(replicas.size(), 2u);
+    for (const auto& a : replicas) EXPECT_EQ(a.slots.size(), a.path.size() - 1);
+  }
+}
+
+TEST(Frer, ReplicasShareNoSlotOnSharedLinks) {
+  auto p = tiny_problem(2);
+  for (auto& f : p.flows) f = {0, 1, 500.0, 64, 500.0};
+  // Both flows' replicas share the same two routes; slots must all differ
+  // per directed link.
+  FrerPlan plan = {
+      {{0, 4, 1}, {0, 5, 1}},
+      {{0, 4, 1}, {0, 5, 1}},
+  };
+  const auto result = schedule_frer(p, plan);
+  ASSERT_TRUE(result.schedulable);
+  SlotTable table(p.tsn.slots_per_base);
+  for (const auto& replicas : result.assignments) {
+    for (const auto& a : replicas) {
+      for (std::size_t h = 0; h + 1 < a.path.size(); ++h) {
+        ASSERT_TRUE(table.is_free(a.path[h], a.path[h + 1], a.slots[h]));
+        table.reserve(a.path[h], a.path[h + 1], a.slots[h]);
+      }
+    }
+  }
+}
+
+TEST(Frer, OverloadReportsFirstFailingFlow) {
+  auto p = tiny_problem(3);
+  p.tsn.slots_per_base = 2;  // a 2-hop route fits exactly one frame chain
+  for (auto& f : p.flows) f = {0, 1, 500.0, 64, 500.0};
+  FrerPlan plan(3);
+  plan[0] = {{0, 4, 1}};
+  plan[1] = {{0, 5, 1}};
+  plan[2] = {{0, 4, 1}};  // the 0-4 route is already full
+  const auto result = schedule_frer(p, plan);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_EQ(result.first_failed_flow, 2);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(Frer, PlanArityValidated) {
+  const auto p = tiny_problem(2);
+  FrerPlan plan(1);
+  EXPECT_THROW(schedule_frer(p, plan), std::invalid_argument);
+}
+
+TEST(Frer, ReplicaEndpointsValidated) {
+  const auto p = tiny_problem(1);  // flow 0 -> 1
+  FrerPlan plan = {{{0, 4, 2}}};   // wrong destination
+  EXPECT_THROW(schedule_frer(p, plan), std::invalid_argument);
+}
+
+TEST(Frer, EmptyReplicaListRejected) {
+  const auto p = tiny_problem(1);
+  FrerPlan plan = {{}};
+  EXPECT_THROW(schedule_frer(p, plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,195 @@
+#include "tsn/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+TEST(HeuristicRecovery, InitialStatePlacesAllFlows) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const HeuristicRecovery nbf;
+  const auto result = nbf.initial_state(t);
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(result.state.size(), 3u);
+  for (const auto& assignment : result.state) {
+    ASSERT_TRUE(assignment.has_value());
+    EXPECT_GE(assignment->path.size(), 2u);
+    EXPECT_EQ(assignment->slots.size(), assignment->path.size() - 1);
+  }
+}
+
+TEST(HeuristicRecovery, AssignmentsMatchFlowEndpoints) {
+  const auto p = tiny_problem(4);
+  const auto t = dual_homed_topology(p);
+  const auto result = HeuristicRecovery().initial_state(t);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < p.flows.size(); ++i) {
+    EXPECT_EQ(result.state[i]->path.front(), p.flows[i].source);
+    EXPECT_EQ(result.state[i]->path.back(), p.flows[i].destination);
+  }
+}
+
+TEST(HeuristicRecovery, IsDeterministic) {
+  const auto p = tiny_problem(4);
+  const auto t = dual_homed_topology(p);
+  const HeuristicRecovery nbf;
+  const auto scenario = FailureScenario::of_switches({4});
+  const auto a = nbf.recover(t, scenario);
+  const auto b = nbf.recover(t, scenario);
+  EXPECT_EQ(a.errors, b.errors);
+  ASSERT_EQ(a.state.size(), b.state.size());
+  for (std::size_t i = 0; i < a.state.size(); ++i) {
+    ASSERT_EQ(a.state[i].has_value(), b.state[i].has_value());
+    if (a.state[i]) {
+      EXPECT_EQ(a.state[i]->path, b.state[i]->path);
+      EXPECT_EQ(a.state[i]->slots, b.state[i]->slots);
+    }
+  }
+}
+
+TEST(HeuristicRecovery, ReroutesAroundFailedSwitch) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const HeuristicRecovery nbf;
+  const auto result = nbf.recover(t, FailureScenario::of_switches({4}));
+  EXPECT_TRUE(result.ok());
+  for (const auto& assignment : result.state) {
+    ASSERT_TRUE(assignment.has_value());
+    for (const NodeId v : assignment->path) EXPECT_NE(v, 4);
+  }
+}
+
+TEST(HeuristicRecovery, StarTopologyCannotSurviveItsHub) {
+  const auto p = tiny_problem(2);
+  const auto t = star_topology(p);
+  const auto result = HeuristicRecovery().recover(t, FailureScenario::of_switches({4}));
+  EXPECT_FALSE(result.ok());
+  // Every flow is unrecoverable.
+  EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(HeuristicRecovery, ErrorsAreSortedUniqueSourceDestinationPairs) {
+  auto p = tiny_problem(1);
+  p.flows.clear();
+  // Two identical flows plus one distinct: duplicates collapse in ER.
+  p.flows.push_back({2, 3, 500.0, 64, 500.0});
+  p.flows.push_back({2, 3, 500.0, 64, 500.0});
+  p.flows.push_back({0, 1, 500.0, 64, 500.0});
+  const auto t = star_topology(p);
+  const auto result = HeuristicRecovery().recover(t, FailureScenario::of_switches({4}));
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(result.errors[1], (std::pair<NodeId, NodeId>{2, 3}));
+}
+
+TEST(HeuristicRecovery, LinkFailureForcesDetour) {
+  const auto p = tiny_problem(1);  // flow 0 -> 1
+  const auto t = dual_homed_topology(p);
+  FailureScenario scenario;
+  scenario.failed_links = {EdgeKey{0, 4}};
+  const auto result = HeuristicRecovery().recover(t, scenario);
+  ASSERT_TRUE(result.ok());
+  // Source 0 must leave through switch 5 now.
+  EXPECT_EQ(result.state[0]->path[1], 5);
+}
+
+TEST(HeuristicRecovery, NeverRelaysThroughEndStations) {
+  // Flows 2 -> 3 while stations 0, 1 are also dual-homed: no path may use
+  // another end station as an intermediate hop.
+  auto p = tiny_problem(1);
+  p.flows[0] = {2, 3, 500.0, 64, 500.0};
+  const auto t = dual_homed_topology(p);
+  const auto result = HeuristicRecovery().initial_state(t);
+  ASSERT_TRUE(result.ok());
+  const auto& path = result.state[0]->path;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(p.is_switch(path[i])) << "end station " << path[i] << " relayed a flow";
+  }
+}
+
+TEST(HeuristicRecovery, EmptyTopologyFailsEverything) {
+  const auto p = tiny_problem(2);
+  const Topology t(p);
+  const auto result = HeuristicRecovery().initial_state(t);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.errors.size(), 2u);
+  for (const auto& assignment : result.state) EXPECT_FALSE(assignment.has_value());
+}
+
+TEST(HeuristicRecovery, CapacityExhaustionReportsErrors) {
+  // 2-slot base period: a 2-hop route carries exactly one flow (slots 0, 1);
+  // the second flow on the same route must fail.
+  auto p = tiny_problem(2);
+  p.tsn.slots_per_base = 2;
+  for (auto& f : p.flows) f = {0, 1, 500.0, 64, 500.0};
+  const auto t = star_topology(p);
+  const auto result = HeuristicRecovery().initial_state(t);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 1u);  // deduplicated pair
+  EXPECT_TRUE(result.state[0].has_value());
+  EXPECT_FALSE(result.state[1].has_value());
+}
+
+TEST(HeuristicRecovery, AlternativePathUsedWhenShortestIsFull) {
+  // Both flows 0 -> 1; a 2-slot base period fits one flow per 2-hop route;
+  // the dual-homed net has a second route, so with path_candidates >= 2 both
+  // flows fit.
+  auto p = tiny_problem(2);
+  p.tsn.slots_per_base = 2;
+  for (auto& f : p.flows) f = {0, 1, 500.0, 64, 500.0};
+  const auto t = dual_homed_topology(p);
+  const auto multi = HeuristicRecovery(/*path_candidates=*/3).initial_state(t);
+  EXPECT_TRUE(multi.ok());
+  // With a single candidate the second flow cannot move off the full route.
+  const auto single = HeuristicRecovery(/*path_candidates=*/1).initial_state(t);
+  EXPECT_FALSE(single.ok());
+}
+
+TEST(HeuristicRecovery, StatelessnessEmptyFailureEqualsInitialState) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const HeuristicRecovery nbf;
+  const auto initial = nbf.initial_state(t);
+  const auto empty = nbf.recover(t, FailureScenario::none());
+  ASSERT_EQ(initial.state.size(), empty.state.size());
+  for (std::size_t i = 0; i < initial.state.size(); ++i) {
+    EXPECT_EQ(initial.state[i]->path, empty.state[i]->path);
+    EXPECT_EQ(initial.state[i]->slots, empty.state[i]->slots);
+  }
+}
+
+TEST(HeuristicRecovery, RejectsNonPositiveCandidates) {
+  EXPECT_THROW(HeuristicRecovery(0), std::invalid_argument);
+}
+
+TEST(HeuristicRecovery, ScheduleIsConflictFree) {
+  // Re-validate the returned flow state: replaying every assignment into a
+  // fresh slot table must never collide (schedule feasibility invariant).
+  const auto p = tiny_problem(4);
+  const auto t = dual_homed_topology(p);
+  const auto result = HeuristicRecovery().initial_state(t);
+  ASSERT_TRUE(result.ok());
+  SlotTable table(p.tsn.slots_per_base);
+  for (std::size_t i = 0; i < result.state.size(); ++i) {
+    const auto& a = *result.state[i];
+    const auto timing = FlowTiming::of(p, p.flows[i]);
+    for (std::size_t h = 0; h + 1 < a.path.size(); ++h) {
+      ASSERT_TRUE(table.is_free(a.path[h], a.path[h + 1], a.slots[h], timing.repetitions,
+                                timing.period_slots));
+      table.reserve(a.path[h], a.path[h + 1], a.slots[h], timing.repetitions,
+                    timing.period_slots);
+    }
+    // Slots strictly increase along the path (store-and-forward order).
+    for (std::size_t h = 1; h < a.slots.size(); ++h) EXPECT_GT(a.slots[h], a.slots[h - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,95 @@
+#include "tsn/redundant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/failure_analyzer.hpp"
+#include "testing/test_problems.hpp"
+#include "tsn/simulator.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::star_topology;
+using testing::tiny_problem;
+
+TEST(RedundantRecovery, EstablishesDisjointInstances) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const RedundantRecovery nbf(2);
+  const auto result = nbf.recover_instances(t, FailureScenario::none());
+  EXPECT_TRUE(result.errors.empty());
+  for (const auto& instances : result.instances) {
+    ASSERT_EQ(instances.size(), 2u);
+    // Interiors are node-disjoint.
+    std::set<NodeId> interior(instances[0].path.begin() + 1, instances[0].path.end() - 1);
+    for (std::size_t i = 1; i + 1 < instances[1].path.size(); ++i) {
+      EXPECT_FALSE(interior.contains(instances[1].path[i]));
+    }
+  }
+}
+
+TEST(RedundantRecovery, SurvivesWithOneInstanceLeft) {
+  // On the star only one route exists: a single instance is established and
+  // that is NOT an error under flow-level redundancy semantics.
+  const auto p = tiny_problem(2);
+  const auto t = star_topology(p);
+  const RedundantRecovery nbf(2);
+  const auto result = nbf.recover_instances(t, FailureScenario::none());
+  EXPECT_TRUE(result.errors.empty());
+  for (const auto& instances : result.instances) EXPECT_EQ(instances.size(), 1u);
+}
+
+TEST(RedundantRecovery, ErrorsOnlyWhenAllInstancesFail) {
+  const auto p = tiny_problem(2);
+  const auto t = star_topology(p);
+  const RedundantRecovery nbf(2);
+  // The hub dies: zero instances -> error for every flow.
+  const auto result = nbf.recover(t, FailureScenario::of_switches({4}));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.errors.size(), 2u);
+}
+
+TEST(RedundantRecovery, PrimaryInstanceExposedAsFlowState) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const RedundantRecovery nbf(2);
+  const auto result = nbf.recover(t, FailureScenario::none());
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < result.state.size(); ++i) {
+    ASSERT_TRUE(result.state[i].has_value());
+    EXPECT_EQ(result.state[i]->path.front(), p.flows[i].source);
+  }
+  // The primary instances together form a simulatable schedule.
+  EXPECT_TRUE(simulate(t, FailureScenario::none(), result.state).ok);
+}
+
+TEST(RedundantRecovery, FlowLevelAnalysisAcceptsDualHomedNetwork) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const RedundantRecovery nbf(2);
+  FailureAnalyzer::Options options;
+  options.flow_level_redundancy = true;
+  const auto outcome = FailureAnalyzer(nbf, options).analyze(t);
+  EXPECT_TRUE(outcome.reliable);
+}
+
+TEST(RedundantRecovery, SingleReplicaDegeneratesToPlainRecovery) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const RedundantRecovery nbf(1);
+  const auto result = nbf.recover(t, FailureScenario::of_switches({4}));
+  EXPECT_TRUE(result.ok());
+  for (const auto& a : result.state) {
+    for (const NodeId v : a->path) EXPECT_NE(v, 4);
+  }
+}
+
+TEST(RedundantRecovery, RejectsBadConfig) {
+  EXPECT_THROW(RedundantRecovery(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,152 @@
+#include "tsn/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::tiny_problem;
+
+FlowTiming unit_timing(int deadline_slots = 20) {
+  FlowTiming t;
+  t.repetitions = 1;
+  t.period_slots = 20;
+  t.deadline_slots = deadline_slots;
+  return t;
+}
+
+TEST(FlowTiming, DerivedFromProblemAndFlow) {
+  const auto p = tiny_problem();
+  FlowSpec flow = p.flows[0];  // period 500, deadline 500, 20 slots
+  const auto t = FlowTiming::of(p, flow);
+  EXPECT_EQ(t.repetitions, 1);
+  EXPECT_EQ(t.period_slots, 20);
+  EXPECT_EQ(t.deadline_slots, 20);
+}
+
+TEST(FlowTiming, FasterFlowGetsStrideAndTighterWindow) {
+  const auto p = tiny_problem();
+  FlowSpec flow = p.flows[0];
+  flow.period_us = 125.0;  // 4 frames per base period
+  flow.deadline_us = 125.0;
+  const auto t = FlowTiming::of(p, flow);
+  EXPECT_EQ(t.repetitions, 4);
+  EXPECT_EQ(t.period_slots, 5);
+  EXPECT_EQ(t.deadline_slots, 5);
+}
+
+TEST(FlowTiming, DeadlineTruncatedToSlots) {
+  const auto p = tiny_problem();
+  FlowSpec flow = p.flows[0];
+  flow.deadline_us = 110.0;  // 4.4 slots -> 4
+  const auto t = FlowTiming::of(p, flow);
+  EXPECT_EQ(t.deadline_slots, 4);
+}
+
+TEST(FlowTiming, SubSlotDeadlineRejected) {
+  const auto p = tiny_problem();
+  FlowSpec flow = p.flows[0];
+  flow.deadline_us = 10.0;  // below the 25us slot
+  EXPECT_THROW(FlowTiming::of(p, flow), std::invalid_argument);
+}
+
+TEST(Scheduler, AssignsStrictlyIncreasingSlots) {
+  SlotTable table(20);
+  const auto slots = schedule_on_path(table, {0, 1, 2, 3}, unit_timing());
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ(*slots, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(table.is_free(0, 1, 0));
+  EXPECT_FALSE(table.is_free(1, 2, 1));
+  EXPECT_FALSE(table.is_free(2, 3, 2));
+}
+
+TEST(Scheduler, SkipsOccupiedSlots) {
+  SlotTable table(20);
+  table.reserve(0, 1, 0);
+  table.reserve(1, 2, 1);
+  const auto slots = schedule_on_path(table, {0, 1, 2}, unit_timing());
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ(*slots, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, FailsWhenDeadlineTooTight) {
+  SlotTable table(20);
+  // 3 hops but only 2 slots of deadline.
+  EXPECT_FALSE(schedule_on_path(table, {0, 1, 2, 3}, unit_timing(2)).has_value());
+}
+
+TEST(Scheduler, FailureLeavesTableUntouched) {
+  SlotTable table(20);
+  table.reserve(1, 2, 19);  // forces the second hop past the deadline window
+  for (int s = 0; s < 19; ++s) table.reserve(1, 2, s);
+  const auto slots = schedule_on_path(table, {0, 1, 2}, unit_timing());
+  EXPECT_FALSE(slots.has_value());
+  // The first hop's tentative reservation must have been rolled back.
+  EXPECT_TRUE(table.is_free(0, 1, 0));
+  EXPECT_EQ(table.occupancy(0, 1), 0);
+}
+
+TEST(Scheduler, CapacityPerLinkIsSlotsPerBase) {
+  SlotTable table(4);
+  FlowTiming t;
+  t.repetitions = 1;
+  t.period_slots = 4;
+  t.deadline_slots = 4;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(schedule_on_path(table, {0, 1}, t).has_value());
+  }
+  EXPECT_FALSE(schedule_on_path(table, {0, 1}, t).has_value());
+}
+
+TEST(Scheduler, RepetitionsReserveAllFrames) {
+  SlotTable table(20);
+  FlowTiming t;
+  t.repetitions = 4;
+  t.period_slots = 5;
+  t.deadline_slots = 5;
+  const auto slots = schedule_on_path(table, {0, 1, 2}, t);
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ(*slots, (std::vector<int>{0, 1}));
+  // All four repetitions must be blocked on both hops.
+  for (const int rep : {0, 5, 10, 15}) EXPECT_FALSE(table.is_free(0, 1, rep));
+  for (const int rep : {1, 6, 11, 16}) EXPECT_FALSE(table.is_free(1, 2, rep));
+}
+
+TEST(Scheduler, PeriodWindowLimitsPathLength) {
+  SlotTable table(20);
+  FlowTiming t;
+  t.repetitions = 4;
+  t.period_slots = 5;
+  t.deadline_slots = 5;
+  // A 6-hop path cannot fit into a 5-slot period window.
+  EXPECT_FALSE(schedule_on_path(table, {0, 1, 2, 3, 4, 5, 6}, t).has_value());
+}
+
+TEST(Scheduler, UnscheduleReleasesEverything) {
+  SlotTable table(20);
+  const auto slots = schedule_on_path(table, {3, 2, 1}, unit_timing());
+  ASSERT_TRUE(slots.has_value());
+  FlowAssignment assignment{{3, 2, 1}, *slots};
+  unschedule(table, assignment, unit_timing());
+  EXPECT_EQ(table.occupancy(3, 2), 0);
+  EXPECT_EQ(table.occupancy(2, 1), 0);
+}
+
+TEST(Scheduler, SingleNodePathRejected) {
+  SlotTable table(20);
+  EXPECT_THROW(schedule_on_path(table, {0}, unit_timing()), std::invalid_argument);
+}
+
+TEST(Scheduler, TwoFlowsShareLinkDifferentSlots) {
+  SlotTable table(20);
+  const auto s1 = schedule_on_path(table, {0, 1, 2}, unit_timing());
+  const auto s2 = schedule_on_path(table, {0, 1, 2}, unit_timing());
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_NE((*s1)[0], (*s2)[0]);
+  EXPECT_NE((*s1)[1], (*s2)[1]);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,82 @@
+#include "tsn/slot_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(SlotTable, FreshTableIsFree) {
+  SlotTable t(20);
+  EXPECT_EQ(t.slots_per_base(), 20);
+  EXPECT_TRUE(t.is_free(0, 1, 0));
+  EXPECT_TRUE(t.is_free(0, 1, 19));
+  EXPECT_EQ(t.occupancy(0, 1), 0);
+}
+
+TEST(SlotTable, ReserveBlocksSlot) {
+  SlotTable t(20);
+  t.reserve(0, 1, 5);
+  EXPECT_FALSE(t.is_free(0, 1, 5));
+  EXPECT_TRUE(t.is_free(0, 1, 4));
+  EXPECT_TRUE(t.is_free(0, 1, 6));
+  EXPECT_EQ(t.occupancy(0, 1), 1);
+}
+
+TEST(SlotTable, DirectionsAreIndependent) {
+  SlotTable t(20);
+  t.reserve(0, 1, 5);
+  EXPECT_TRUE(t.is_free(1, 0, 5));
+  t.reserve(1, 0, 5);
+  EXPECT_EQ(t.occupancy(0, 1), 1);
+  EXPECT_EQ(t.occupancy(1, 0), 1);
+}
+
+TEST(SlotTable, DoubleReserveThrows) {
+  SlotTable t(20);
+  t.reserve(0, 1, 5);
+  EXPECT_THROW(t.reserve(0, 1, 5), std::invalid_argument);
+}
+
+TEST(SlotTable, ReleaseFreesSlot) {
+  SlotTable t(20);
+  t.reserve(0, 1, 5);
+  t.release(0, 1, 5);
+  EXPECT_TRUE(t.is_free(0, 1, 5));
+  EXPECT_EQ(t.occupancy(0, 1), 0);
+}
+
+TEST(SlotTable, ReleaseUnreservedThrows) {
+  SlotTable t(20);
+  EXPECT_THROW(t.release(0, 1, 3), std::invalid_argument);
+}
+
+TEST(SlotTable, RepetitionsReserveStridedSlots) {
+  SlotTable t(20);
+  // 4 frames per base, stride 5: slots 2, 7, 12, 17.
+  t.reserve(0, 1, 2, /*repetitions=*/4, /*stride=*/5);
+  for (const int s : {2, 7, 12, 17}) EXPECT_FALSE(t.is_free(0, 1, s));
+  for (const int s : {0, 1, 3, 6, 8}) EXPECT_TRUE(t.is_free(0, 1, s));
+  EXPECT_EQ(t.occupancy(0, 1), 4);
+  t.release(0, 1, 2, 4, 5);
+  EXPECT_EQ(t.occupancy(0, 1), 0);
+}
+
+TEST(SlotTable, IsFreeChecksAllRepetitions) {
+  SlotTable t(20);
+  t.reserve(0, 1, 12);
+  EXPECT_FALSE(t.is_free(0, 1, 2, 4, 5));  // repetition 2 collides at 12
+  EXPECT_TRUE(t.is_free(0, 1, 3, 4, 5));
+}
+
+TEST(SlotTable, SlotRangeValidated) {
+  SlotTable t(10);
+  EXPECT_THROW(t.reserve(0, 1, 10), std::invalid_argument);
+  EXPECT_THROW(t.is_free(0, 1, -1), std::invalid_argument);
+}
+
+TEST(SlotTable, RejectsNonPositiveSlotCount) {
+  EXPECT_THROW(SlotTable(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

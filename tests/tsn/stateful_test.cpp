@@ -1,0 +1,155 @@
+#include "tsn/stateful.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/failure_analyzer.hpp"
+#include "testing/test_problems.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::tiny_problem;
+
+TEST(IncrementalRecovery, InitialStatePlacesEverything) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery nbf;
+  const auto initial = nbf.initial_state(t);
+  EXPECT_TRUE(initial.ok());
+  for (const auto& a : initial.state) EXPECT_TRUE(a.has_value());
+}
+
+TEST(IncrementalRecovery, UndisruptedFlowsKeepTheirAssignment) {
+  const auto p = tiny_problem(4);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery nbf;
+  const auto initial = nbf.initial_state(t);
+  ASSERT_TRUE(initial.ok());
+
+  const auto scenario = FailureScenario::of_switches({4});
+  const auto recovered = nbf.recover(t, scenario, initial.state);
+  ASSERT_TRUE(recovered.ok());
+  const Graph residual = t.residual(scenario);
+  for (std::size_t i = 0; i < initial.state.size(); ++i) {
+    if (assignment_survives(*initial.state[i], residual)) {
+      // Untouched flow: path AND slots identical (no reconfiguration).
+      EXPECT_EQ(recovered.state[i]->path, initial.state[i]->path);
+      EXPECT_EQ(recovered.state[i]->slots, initial.state[i]->slots);
+    } else {
+      // Disrupted flow: re-routed away from the failed switch.
+      for (const NodeId v : recovered.state[i]->path) EXPECT_NE(v, 4);
+    }
+  }
+}
+
+TEST(IncrementalRecovery, RecoveryDependsOnTheStartingState) {
+  // The same failure recovered from two different flow states can keep
+  // different assignments — the statefulness the paper's verification
+  // complexity argument is about.
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery nbf;
+  const auto initial = nbf.initial_state(t);
+
+  const auto scenario = FailureScenario::of_switches({5});
+  const auto from_initial = nbf.recover(t, scenario, initial.state);
+  const auto from_empty = nbf.recover(t, scenario, FlowState(p.flows.size()));
+  EXPECT_TRUE(from_initial.ok());
+  EXPECT_TRUE(from_empty.ok());
+  // Both are valid recoveries; determinism per starting state holds.
+  const auto again = nbf.recover(t, scenario, initial.state);
+  for (std::size_t i = 0; i < again.state.size(); ++i) {
+    EXPECT_EQ(again.state[i]->path, from_initial.state[i]->path);
+  }
+}
+
+TEST(IncrementalRecovery, RejectsArityMismatch) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery nbf;
+  EXPECT_THROW(nbf.recover(t, FailureScenario::none(), FlowState(1)),
+               std::invalid_argument);
+}
+
+TEST(StatelessAdapter, EmptyFailureReturnsInitialState) {
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery inner;
+  const StatelessAdapter adapter(inner);
+  const auto via_adapter = adapter.recover(t, FailureScenario::none());
+  const auto direct = inner.initial_state(t);
+  ASSERT_EQ(via_adapter.state.size(), direct.state.size());
+  for (std::size_t i = 0; i < direct.state.size(); ++i) {
+    EXPECT_EQ(via_adapter.state[i]->path, direct.state[i]->path);
+  }
+}
+
+TEST(StatelessAdapter, IsStateless) {
+  // Recovering failure B after failure A equals recovering B directly: the
+  // adapter always restarts from FI0, erasing the failure history.
+  const auto p = tiny_problem(3);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery inner;
+  const StatelessAdapter adapter(inner);
+
+  const auto b_direct = adapter.recover(t, FailureScenario::of_switches({5}));
+  // Simulate a history: first A, then B — the adapter's output for B must
+  // not depend on having previously computed A.
+  (void)adapter.recover(t, FailureScenario::of_switches({4}));
+  const auto b_after_a = adapter.recover(t, FailureScenario::of_switches({5}));
+  ASSERT_EQ(b_direct.state.size(), b_after_a.state.size());
+  for (std::size_t i = 0; i < b_direct.state.size(); ++i) {
+    EXPECT_EQ(b_direct.state[i]->path, b_after_a.state[i]->path);
+    EXPECT_EQ(b_direct.state[i]->slots, b_after_a.state[i]->slots);
+  }
+}
+
+TEST(StatelessAdapter, AgreesWithStatefulOnSinglePointFailures) {
+  // Section II-B: statelessization "does not impact the recovery of
+  // single-point failures" — recovery from FI0 is exactly what the stateful
+  // mechanism would do, since FI0 is the pre-failure state.
+  const auto p = tiny_problem(4);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery inner;
+  const StatelessAdapter adapter(inner);
+  const auto initial = inner.initial_state(t);
+
+  for (const NodeId failed : {4, 5}) {
+    const auto scenario = FailureScenario::of_switches({failed});
+    const auto stateless = adapter.recover(t, scenario);
+    const auto stateful = inner.recover(t, scenario, initial.state);
+    EXPECT_EQ(stateless.errors, stateful.errors);
+    for (std::size_t i = 0; i < stateless.state.size(); ++i) {
+      EXPECT_EQ(stateless.state[i]->path, stateful.state[i]->path);
+      EXPECT_EQ(stateless.state[i]->slots, stateful.state[i]->slots);
+    }
+  }
+}
+
+TEST(StatelessAdapter, WorksWithTheFailureAnalyzer) {
+  const auto p = tiny_problem(2);
+  const auto t = dual_homed_topology(p);
+  const IncrementalRecovery inner;
+  const StatelessAdapter adapter(inner);
+  const auto outcome = FailureAnalyzer(adapter).analyze(t);
+  EXPECT_TRUE(outcome.reliable);
+}
+
+TEST(AssignmentSurvives, ChecksEveryLink) {
+  const auto p = tiny_problem(1);
+  const auto t = dual_homed_topology(p);
+  FlowAssignment a{{0, 4, 1}, {0, 1}};
+  EXPECT_TRUE(assignment_survives(a, t.residual(FailureScenario::none())));
+  EXPECT_FALSE(assignment_survives(a, t.residual(FailureScenario::of_switches({4}))));
+  FailureScenario link_failure;
+  link_failure.failed_links = {EdgeKey{4, 1}};
+  EXPECT_FALSE(assignment_survives(a, t.residual(link_failure)));
+}
+
+TEST(IncrementalRecovery, RejectsBadConfig) {
+  EXPECT_THROW(IncrementalRecovery(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

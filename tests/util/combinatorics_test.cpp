@@ -1,0 +1,88 @@
+#include "util/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nptsn {
+namespace {
+
+TEST(Combinatorics, VisitsAllSubsetsInLexOrder) {
+  std::vector<std::vector<int>> seen;
+  for_each_combination(4, 2, [&](const std::vector<int>& idx) {
+    seen.push_back(idx);
+    return true;
+  });
+  const std::vector<std::vector<int>> expected = {{0, 1}, {0, 2}, {0, 3},
+                                                  {1, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Combinatorics, ZeroKVisitsEmptySetOnce) {
+  int visits = 0;
+  for_each_combination(5, 0, [&](const std::vector<int>& idx) {
+    EXPECT_TRUE(idx.empty());
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Combinatorics, KGreaterThanNVisitsNothing) {
+  int visits = 0;
+  const bool completed = for_each_combination(2, 3, [&](const std::vector<int>&) {
+    ++visits;
+    return true;
+  });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(Combinatorics, FullSubset) {
+  int visits = 0;
+  for_each_combination(3, 3, [&](const std::vector<int>& idx) {
+    EXPECT_EQ(idx, (std::vector<int>{0, 1, 2}));
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(Combinatorics, EarlyStopReportsFalse) {
+  int visits = 0;
+  const bool completed = for_each_combination(5, 2, [&](const std::vector<int>&) {
+    ++visits;
+    return visits < 3;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 3);
+}
+
+TEST(Combinatorics, CountMatchesBinomial) {
+  for (int n = 0; n <= 8; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      std::uint64_t count = 0;
+      for_each_combination(n, k, [&](const std::vector<int>&) {
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinatorics, BinomialKnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(15, 2), 105u);  // the ORION dual-switch count
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  EXPECT_EQ(binomial(3, 7), 0u);
+}
+
+TEST(Combinatorics, BinomialRejectsNegative) {
+  EXPECT_THROW(binomial(-1, 0), std::invalid_argument);
+  EXPECT_THROW(binomial(3, -2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

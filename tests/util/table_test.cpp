@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nptsn {
+namespace {
+
+TEST(Table, PrintsHeaderRowsAndCsv) {
+  Table t({"flows", "cost"});
+  t.add_row({"10", "146"});
+  t.add_row({"20", "212"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("flows"), std::string::npos);
+  EXPECT_NE(out.find("146"), std::string::npos);
+  EXPECT_NE(out.find("# csv: flows,cost"), std::string::npos);
+  EXPECT_NE(out.find("# csv: 20,212"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PercentFormatsFraction) {
+  EXPECT_EQ(Table::percent(0.5), "50%");
+  EXPECT_EQ(Table::percent(1.0), "100%");
+  EXPECT_EQ(Table::percent(0.123, 1), "12.3%");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "yyyy"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  // Header line must be padded to the widest cell.
+  std::istringstream is(os.str());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_GE(header.size(), std::string("longvalue  yyyy").size());
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nptsn {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<long> partial(100, 0);
+  pool.parallel_for(100, [&](int i) {
+    long s = 0;
+    for (int j = 0; j <= i; ++j) s += j;
+    partial[static_cast<std::size_t>(i)] = s;
+  });
+  long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * (i + 1) / 2;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](int i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivesExceptionAndRunsAgain) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(4, [](int) { throw std::runtime_error("boom"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> runs{0};
+  pool.parallel_for(4, [&](int) { ++runs; });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillParallelFor) {
+  ThreadPool pool(1);
+  std::atomic<int> runs{0};
+  pool.parallel_for(10, [&](int) { ++runs; });
+  EXPECT_EQ(runs.load(), 10);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SizeReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+}  // namespace
+}  // namespace nptsn
