@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_reliability.dir/fig4a_reliability.cpp.o"
+  "CMakeFiles/fig4a_reliability.dir/fig4a_reliability.cpp.o.d"
+  "fig4a_reliability"
+  "fig4a_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

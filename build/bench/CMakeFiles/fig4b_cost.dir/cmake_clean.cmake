@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_cost.dir/fig4b_cost.cpp.o"
+  "CMakeFiles/fig4b_cost.dir/fig4b_cost.cpp.o.d"
+  "fig4b_cost"
+  "fig4b_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

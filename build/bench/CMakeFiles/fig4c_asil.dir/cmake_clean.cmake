@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_asil.dir/fig4c_asil.cpp.o"
+  "CMakeFiles/fig4c_asil.dir/fig4c_asil.cpp.o.d"
+  "fig4c_asil"
+  "fig4c_asil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_asil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

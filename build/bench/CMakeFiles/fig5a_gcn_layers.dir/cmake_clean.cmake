@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_gcn_layers.dir/fig5a_gcn_layers.cpp.o"
+  "CMakeFiles/fig5a_gcn_layers.dir/fig5a_gcn_layers.cpp.o.d"
+  "fig5a_gcn_layers"
+  "fig5a_gcn_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_gcn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

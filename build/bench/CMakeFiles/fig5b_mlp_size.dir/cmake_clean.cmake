@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_mlp_size.dir/fig5b_mlp_size.cpp.o"
+  "CMakeFiles/fig5b_mlp_size.dir/fig5b_mlp_size.cpp.o.d"
+  "fig5b_mlp_size"
+  "fig5b_mlp_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_mlp_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_path_k.dir/fig5c_path_k.cpp.o"
+  "CMakeFiles/fig5c_path_k.dir/fig5c_path_k.cpp.o.d"
+  "fig5c_path_k"
+  "fig5c_path_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_path_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

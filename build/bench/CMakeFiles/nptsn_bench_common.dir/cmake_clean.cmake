@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_bench_common.dir/fig4_runner.cpp.o"
+  "CMakeFiles/nptsn_bench_common.dir/fig4_runner.cpp.o.d"
+  "CMakeFiles/nptsn_bench_common.dir/fig5_runner.cpp.o"
+  "CMakeFiles/nptsn_bench_common.dir/fig5_runner.cpp.o.d"
+  "libnptsn_bench_common.a"
+  "libnptsn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ads_planning.dir/ads_planning.cpp.o"
+  "CMakeFiles/ads_planning.dir/ads_planning.cpp.o.d"
+  "ads_planning"
+  "ads_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ads_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

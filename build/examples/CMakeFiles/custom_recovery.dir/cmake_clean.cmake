@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_recovery.dir/custom_recovery.cpp.o"
+  "CMakeFiles/custom_recovery.dir/custom_recovery.cpp.o.d"
+  "custom_recovery"
+  "custom_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_planning.dir/orion_planning.cpp.o"
+  "CMakeFiles/orion_planning.dir/orion_planning.cpp.o.d"
+  "orion_planning"
+  "orion_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

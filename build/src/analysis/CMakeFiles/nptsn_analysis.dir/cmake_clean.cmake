@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_analysis.dir/exhaustive.cpp.o"
+  "CMakeFiles/nptsn_analysis.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/nptsn_analysis.dir/failure_analyzer.cpp.o"
+  "CMakeFiles/nptsn_analysis.dir/failure_analyzer.cpp.o.d"
+  "libnptsn_analysis.a"
+  "libnptsn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

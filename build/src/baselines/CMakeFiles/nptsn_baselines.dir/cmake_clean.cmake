@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_baselines.dir/neuroplan.cpp.o"
+  "CMakeFiles/nptsn_baselines.dir/neuroplan.cpp.o.d"
+  "CMakeFiles/nptsn_baselines.dir/original.cpp.o"
+  "CMakeFiles/nptsn_baselines.dir/original.cpp.o.d"
+  "CMakeFiles/nptsn_baselines.dir/trh.cpp.o"
+  "CMakeFiles/nptsn_baselines.dir/trh.cpp.o.d"
+  "libnptsn_baselines.a"
+  "libnptsn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_core.dir/environment.cpp.o"
+  "CMakeFiles/nptsn_core.dir/environment.cpp.o.d"
+  "CMakeFiles/nptsn_core.dir/observation_encoder.cpp.o"
+  "CMakeFiles/nptsn_core.dir/observation_encoder.cpp.o.d"
+  "CMakeFiles/nptsn_core.dir/planner.cpp.o"
+  "CMakeFiles/nptsn_core.dir/planner.cpp.o.d"
+  "CMakeFiles/nptsn_core.dir/soag.cpp.o"
+  "CMakeFiles/nptsn_core.dir/soag.cpp.o.d"
+  "libnptsn_core.a"
+  "libnptsn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

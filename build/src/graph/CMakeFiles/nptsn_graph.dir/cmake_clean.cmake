@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_graph.dir/graph.cpp.o"
+  "CMakeFiles/nptsn_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/nptsn_graph.dir/paths.cpp.o"
+  "CMakeFiles/nptsn_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/nptsn_graph.dir/yen.cpp.o"
+  "CMakeFiles/nptsn_graph.dir/yen.cpp.o.d"
+  "libnptsn_graph.a"
+  "libnptsn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnptsn_graph.a"
+)

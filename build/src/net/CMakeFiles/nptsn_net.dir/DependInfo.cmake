@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/asil.cpp" "src/net/CMakeFiles/nptsn_net.dir/asil.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/asil.cpp.o.d"
+  "/root/repo/src/net/component_library.cpp" "src/net/CMakeFiles/nptsn_net.dir/component_library.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/component_library.cpp.o.d"
+  "/root/repo/src/net/export.cpp" "src/net/CMakeFiles/nptsn_net.dir/export.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/export.cpp.o.d"
+  "/root/repo/src/net/failure.cpp" "src/net/CMakeFiles/nptsn_net.dir/failure.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/failure.cpp.o.d"
+  "/root/repo/src/net/problem.cpp" "src/net/CMakeFiles/nptsn_net.dir/problem.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/problem.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/nptsn_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/nptsn_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/nptsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nptsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_net.dir/asil.cpp.o"
+  "CMakeFiles/nptsn_net.dir/asil.cpp.o.d"
+  "CMakeFiles/nptsn_net.dir/component_library.cpp.o"
+  "CMakeFiles/nptsn_net.dir/component_library.cpp.o.d"
+  "CMakeFiles/nptsn_net.dir/export.cpp.o"
+  "CMakeFiles/nptsn_net.dir/export.cpp.o.d"
+  "CMakeFiles/nptsn_net.dir/failure.cpp.o"
+  "CMakeFiles/nptsn_net.dir/failure.cpp.o.d"
+  "CMakeFiles/nptsn_net.dir/problem.cpp.o"
+  "CMakeFiles/nptsn_net.dir/problem.cpp.o.d"
+  "CMakeFiles/nptsn_net.dir/topology.cpp.o"
+  "CMakeFiles/nptsn_net.dir/topology.cpp.o.d"
+  "libnptsn_net.a"
+  "libnptsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

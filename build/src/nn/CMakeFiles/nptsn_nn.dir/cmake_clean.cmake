@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_nn.dir/adam.cpp.o"
+  "CMakeFiles/nptsn_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/nptsn_nn.dir/autograd.cpp.o"
+  "CMakeFiles/nptsn_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/nptsn_nn.dir/layers.cpp.o"
+  "CMakeFiles/nptsn_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/nptsn_nn.dir/matrix.cpp.o"
+  "CMakeFiles/nptsn_nn.dir/matrix.cpp.o.d"
+  "libnptsn_nn.a"
+  "libnptsn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/actor_critic.cpp" "src/rl/CMakeFiles/nptsn_rl.dir/actor_critic.cpp.o" "gcc" "src/rl/CMakeFiles/nptsn_rl.dir/actor_critic.cpp.o.d"
+  "/root/repo/src/rl/buffer.cpp" "src/rl/CMakeFiles/nptsn_rl.dir/buffer.cpp.o" "gcc" "src/rl/CMakeFiles/nptsn_rl.dir/buffer.cpp.o.d"
+  "/root/repo/src/rl/distribution.cpp" "src/rl/CMakeFiles/nptsn_rl.dir/distribution.cpp.o" "gcc" "src/rl/CMakeFiles/nptsn_rl.dir/distribution.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/nptsn_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/nptsn_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/trainer.cpp" "src/rl/CMakeFiles/nptsn_rl.dir/trainer.cpp.o" "gcc" "src/rl/CMakeFiles/nptsn_rl.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nptsn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nptsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

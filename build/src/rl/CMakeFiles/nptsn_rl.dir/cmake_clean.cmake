@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_rl.dir/actor_critic.cpp.o"
+  "CMakeFiles/nptsn_rl.dir/actor_critic.cpp.o.d"
+  "CMakeFiles/nptsn_rl.dir/buffer.cpp.o"
+  "CMakeFiles/nptsn_rl.dir/buffer.cpp.o.d"
+  "CMakeFiles/nptsn_rl.dir/distribution.cpp.o"
+  "CMakeFiles/nptsn_rl.dir/distribution.cpp.o.d"
+  "CMakeFiles/nptsn_rl.dir/ppo.cpp.o"
+  "CMakeFiles/nptsn_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/nptsn_rl.dir/trainer.cpp.o"
+  "CMakeFiles/nptsn_rl.dir/trainer.cpp.o.d"
+  "libnptsn_rl.a"
+  "libnptsn_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_scenarios.dir/ads.cpp.o"
+  "CMakeFiles/nptsn_scenarios.dir/ads.cpp.o.d"
+  "CMakeFiles/nptsn_scenarios.dir/orion.cpp.o"
+  "CMakeFiles/nptsn_scenarios.dir/orion.cpp.o.d"
+  "CMakeFiles/nptsn_scenarios.dir/scenario.cpp.o"
+  "CMakeFiles/nptsn_scenarios.dir/scenario.cpp.o.d"
+  "libnptsn_scenarios.a"
+  "libnptsn_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsn/frer.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/frer.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/frer.cpp.o.d"
+  "/root/repo/src/tsn/recovery.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/recovery.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/recovery.cpp.o.d"
+  "/root/repo/src/tsn/redundant.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/redundant.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/redundant.cpp.o.d"
+  "/root/repo/src/tsn/scheduler.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/scheduler.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/scheduler.cpp.o.d"
+  "/root/repo/src/tsn/simulator.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/simulator.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/simulator.cpp.o.d"
+  "/root/repo/src/tsn/slot_table.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/slot_table.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/slot_table.cpp.o.d"
+  "/root/repo/src/tsn/stateful.cpp" "src/tsn/CMakeFiles/nptsn_tsn.dir/stateful.cpp.o" "gcc" "src/tsn/CMakeFiles/nptsn_tsn.dir/stateful.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nptsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nptsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nptsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

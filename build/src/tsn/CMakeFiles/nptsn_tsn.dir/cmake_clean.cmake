@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_tsn.dir/frer.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/frer.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/recovery.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/recovery.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/redundant.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/redundant.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/scheduler.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/scheduler.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/simulator.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/simulator.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/slot_table.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/slot_table.cpp.o.d"
+  "CMakeFiles/nptsn_tsn.dir/stateful.cpp.o"
+  "CMakeFiles/nptsn_tsn.dir/stateful.cpp.o.d"
+  "libnptsn_tsn.a"
+  "libnptsn_tsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_tsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nptsn_tsn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nptsn_util.dir/rng.cpp.o"
+  "CMakeFiles/nptsn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nptsn_util.dir/table.cpp.o"
+  "CMakeFiles/nptsn_util.dir/table.cpp.o.d"
+  "CMakeFiles/nptsn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/nptsn_util.dir/thread_pool.cpp.o.d"
+  "libnptsn_util.a"
+  "libnptsn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nptsn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

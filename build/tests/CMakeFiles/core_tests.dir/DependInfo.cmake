@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/core_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/environment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/environment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/environment_test.cpp.o.d"
+  "/root/repo/tests/core/observation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/observation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/observation_test.cpp.o.d"
+  "/root/repo/tests/core/soag_test.cpp" "tests/CMakeFiles/core_tests.dir/core/soag_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/soag_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/nptsn_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nptsn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nptsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nptsn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn/CMakeFiles/nptsn_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nptsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nptsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/nptsn_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nptsn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nptsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

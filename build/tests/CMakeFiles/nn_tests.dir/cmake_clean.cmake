@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/adam_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/autograd_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/autograd_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/matrix_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

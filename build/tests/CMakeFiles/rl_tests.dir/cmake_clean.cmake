@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_tests.dir/rl/actor_critic_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/actor_critic_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/buffer_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/buffer_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/distribution_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/distribution_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/gae_property_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/gae_property_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/ppo_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/trainer_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/trainer_test.cpp.o.d"
+  "rl_tests"
+  "rl_tests.pdb"
+  "rl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

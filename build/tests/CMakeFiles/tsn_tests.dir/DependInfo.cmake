@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tsn/frer_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/frer_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/frer_test.cpp.o.d"
+  "/root/repo/tests/tsn/no_wait_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/no_wait_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/no_wait_test.cpp.o.d"
+  "/root/repo/tests/tsn/recovery_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/recovery_test.cpp.o.d"
+  "/root/repo/tests/tsn/redundant_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/redundant_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/redundant_test.cpp.o.d"
+  "/root/repo/tests/tsn/scheduler_property_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/scheduler_property_test.cpp.o.d"
+  "/root/repo/tests/tsn/scheduler_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/scheduler_test.cpp.o.d"
+  "/root/repo/tests/tsn/simulator_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/simulator_test.cpp.o.d"
+  "/root/repo/tests/tsn/slot_table_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/slot_table_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/slot_table_test.cpp.o.d"
+  "/root/repo/tests/tsn/stateful_test.cpp" "tests/CMakeFiles/tsn_tests.dir/tsn/stateful_test.cpp.o" "gcc" "tests/CMakeFiles/tsn_tests.dir/tsn/stateful_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/nptsn_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nptsn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nptsn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nptsn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsn/CMakeFiles/nptsn_tsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nptsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nptsn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/nptsn_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nptsn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nptsn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsn_tests.dir/tsn/frer_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/frer_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/no_wait_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/no_wait_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/recovery_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/recovery_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/redundant_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/redundant_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/scheduler_property_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/scheduler_property_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/scheduler_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/scheduler_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/simulator_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/simulator_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/slot_table_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/slot_table_test.cpp.o.d"
+  "CMakeFiles/tsn_tests.dir/tsn/stateful_test.cpp.o"
+  "CMakeFiles/tsn_tests.dir/tsn/stateful_test.cpp.o.d"
+  "tsn_tests"
+  "tsn_tests.pdb"
+  "tsn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
