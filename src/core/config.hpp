@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace nptsn {
@@ -39,6 +40,26 @@ struct NptsnConfig {
   // Parallel rollout workers (the paper uses 8 MPI ranks).
   int num_workers = 1;
   std::uint64_t seed = 1;
+
+  // --- crash resilience -------------------------------------------------------
+  // When non-empty, plan() checkpoints the full training state (network,
+  // optimizers, per-worker RNG/environment state, best verified solution)
+  // to this file every checkpoint_interval epochs, written atomically and
+  // checksummed, and resumes from it when the file already exists. An
+  // interrupted-then-resumed run reproduces the uninterrupted run exactly.
+  std::string checkpoint_path;
+  int checkpoint_interval = 1;
+  // Mid-epoch crash recovery: retry a faulted epoch from the last completed
+  // epoch boundary up to this many times before propagating the error.
+  int max_epoch_retries = 0;
+
+  // --- run budget -------------------------------------------------------------
+  // Graceful degradation: stop cleanly at an epoch boundary once the budget
+  // is exhausted and return the best reliability-verified topology found so
+  // far (never a partially verified one); PlanningResult::stopped_reason
+  // reports which budget fired. 0 disables the respective limit.
+  double max_wall_seconds = 0.0;
+  std::int64_t max_total_steps = 0;
 };
 
 }  // namespace nptsn

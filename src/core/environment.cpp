@@ -36,6 +36,15 @@ std::int64_t SolutionRecorder::solutions_found() const {
   return found_;
 }
 
+void SolutionRecorder::restore(std::optional<Topology> best, std::int64_t found) {
+  NPTSN_EXPECT(found >= 0, "solutions-found counter must be non-negative");
+  NPTSN_EXPECT(!best || found > 0, "a restored best solution implies found > 0");
+  std::lock_guard lock(mutex_);
+  best_ = std::move(best);
+  best_cost_ = best_ ? best_->cost() : 0.0;
+  found_ = found;
+}
+
 PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
                          const NptsnConfig& config, SolutionRecorder& recorder, Rng rng)
     : problem_(&problem),
@@ -57,6 +66,11 @@ Observation PlanningEnv::observe() const { return encoder_.encode(topology_, act
 const std::vector<std::uint8_t>& PlanningEnv::action_mask() const { return actions_.mask; }
 
 void PlanningEnv::analyze_and_generate() {
+  // Capture the resume point: re-running this function from here with the
+  // same topology reproduces the action space and the RNG stream exactly.
+  rng_before_generate_ = rng_;
+  nbf_calls_before_generate_ = nbf_calls_;
+
   analysis_ = analyzer_.analyze(topology_);
   nbf_calls_ += analysis_.nbf_calls;
   if (analysis_.reliable) {
@@ -107,6 +121,28 @@ PlanningEnv::StepResult PlanningEnv::step(int action) {
 
 void PlanningEnv::reset() {
   topology_ = Topology(*problem_);
+  analyze_and_generate();
+}
+
+void PlanningEnv::save_snapshot(ByteWriter& out) const {
+  save_topology(topology_, out);
+  for (const std::uint64_t word : rng_before_generate_.state()) out.u64(word);
+  out.i64(nbf_calls_before_generate_);
+}
+
+void PlanningEnv::load_snapshot(ByteReader& in) {
+  topology_ = load_topology(*problem_, in);
+  Rng::State state;
+  for (std::uint64_t& word : state) word = in.u64();
+  try {
+    rng_.set_state(state);
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(e.what());
+  }
+  nbf_calls_ = in.i64();
+  // Replays the analysis + SOAG generation the original process ran from
+  // this exact (topology, rng) point: deterministic, so the restored action
+  // space and post-generation RNG match the original bit for bit.
   analyze_and_generate();
 }
 

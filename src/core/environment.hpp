@@ -28,6 +28,10 @@ class SolutionRecorder {
   std::optional<Topology> best() const;
   std::int64_t solutions_found() const;
 
+  // Checkpoint persistence: reinstates a previously recorded best solution
+  // and the found counter (the cost is recomputed from the topology).
+  void restore(std::optional<Topology> best, std::int64_t found);
+
  private:
   mutable std::mutex mutex_;
   std::optional<Topology> best_;
@@ -46,6 +50,15 @@ class PlanningEnv final : public Environment {
   const std::vector<std::uint8_t>& action_mask() const override;
   StepResult step(int action) override;
   void reset() override;
+
+  // Checkpoint/resume: the serialized state is the topology under
+  // construction plus the RNG stream as it was *before* the last action
+  // generation. load_snapshot re-runs the (deterministic) failure analysis
+  // and SOAG from that point, reproducing the exact action space, mask, and
+  // post-generation RNG position of the original process.
+  bool snapshot_supported() const override { return true; }
+  void save_snapshot(ByteWriter& out) const override;
+  void load_snapshot(ByteReader& in) override;
 
   // Accessors for tests and instrumentation.
   const Topology& topology() const { return topology_; }
@@ -67,6 +80,11 @@ class PlanningEnv final : public Environment {
   ActionSpace actions_;
   AnalysisOutcome analysis_;
   std::int64_t nbf_calls_ = 0;
+  // State captured at the top of analyze_and_generate, i.e. before the SOAG
+  // consumed any randomness for the current action space — the resume point
+  // save_snapshot persists.
+  Rng rng_before_generate_;
+  std::int64_t nbf_calls_before_generate_ = 0;
 };
 
 }  // namespace nptsn

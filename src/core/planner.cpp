@@ -39,6 +39,11 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   trainer_config.ppo.target_kl = config.target_kl;
   trainer_config.num_workers = config.num_workers;
   trainer_config.seed = rng.next_u64();
+  trainer_config.checkpoint_path = config.checkpoint_path;
+  trainer_config.checkpoint_interval = config.checkpoint_interval;
+  trainer_config.max_epoch_retries = config.max_epoch_retries;
+  trainer_config.max_wall_seconds = config.max_wall_seconds;
+  trainer_config.max_total_steps = config.max_total_steps;
 
   Rng env_seeder(rng.next_u64());
   Trainer trainer(
@@ -49,12 +54,31 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
       },
       trainer_config);
 
+  // Persist the best-verified-solution-so-far alongside the training state,
+  // so a resumed run never loses (or re-reports worse than) what an earlier
+  // process already verified.
+  trainer.set_extra_checkpoint_section(
+      [&recorder](ByteWriter& out) {
+        out.i64(recorder.solutions_found());
+        const auto best = recorder.best();
+        out.u8(best ? 1 : 0);
+        if (best) save_topology(*best, out);
+      },
+      [&recorder, &problem](ByteReader& in) {
+        const std::int64_t found = in.i64();
+        std::optional<Topology> best;
+        if (in.u8() != 0) best = load_topology(problem, in);
+        recorder.restore(std::move(best), found);
+      });
+
   PlanningResult result;
   result.history = trainer.train(on_epoch);
   result.feasible = recorder.has_solution();
   result.best = recorder.best();
   result.best_cost = recorder.best_cost();
   result.solutions_found = recorder.solutions_found();
+  result.stopped_reason = trainer.stopped_reason();
+  result.epochs_completed = trainer.next_epoch();
   return result;
 }
 

@@ -14,16 +14,27 @@ namespace nptsn {
 
 struct PlanningResult {
   // True when at least one solution satisfying the reliability guarantee
-  // was found during training.
+  // was found during training. A run budget never weakens this: the best
+  // topology is always fully reliability-verified, a budget stop only
+  // shortens the search.
   bool feasible = false;
   double best_cost = 0.0;               // valid when feasible
   std::optional<Topology> best;         // the cheapest verified topology
   std::int64_t solutions_found = 0;     // reliability-verified networks seen
-  std::vector<EpochStats> history;      // per-epoch training statistics
+  std::vector<EpochStats> history;      // stats of the epochs run by THIS call
+  // Empty when all configured epochs ran; otherwise describes the run
+  // budget (wall clock / steps) that stopped training early.
+  std::string stopped_reason;
+  // Epochs completed over the lifetime of the run, including epochs done by
+  // a previous process when resuming from config.checkpoint_path.
+  int epochs_completed = 0;
 };
 
 // Runs NPTSN end to end. The problem and NBF must stay alive for the call.
 // on_epoch (optional) observes training progress (Fig. 5 curves).
+// With config.checkpoint_path set, the run is crash-resilient: it resumes
+// from an existing checkpoint (ignoring torn/corrupt files in favor of the
+// previous valid generation) and periodically persists its state.
 PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
                     const NptsnConfig& config,
                     const Trainer::EpochCallback& on_epoch = {});

@@ -126,4 +126,40 @@ Graph Topology::residual(const FailureScenario& scenario) const {
   return g;
 }
 
+void save_topology(const Topology& topology, ByteWriter& out) {
+  const auto switches = topology.selected_switches();
+  out.u32(static_cast<std::uint32_t>(switches.size()));
+  for (const NodeId v : switches) {
+    out.i64(v);
+    out.u8(static_cast<std::uint8_t>(static_cast<int>(topology.switch_asil(v))));
+  }
+  const auto edges = topology.graph().edges();
+  out.u32(static_cast<std::uint32_t>(edges.size()));
+  for (const Edge& e : edges) {
+    out.i64(e.u);
+    out.i64(e.v);
+  }
+}
+
+Topology load_topology(const PlanningProblem& problem, ByteReader& in) {
+  Topology topology(problem);
+  const std::uint32_t num_switches = in.u32();
+  for (std::uint32_t i = 0; i < num_switches; ++i) {
+    const NodeId v = static_cast<NodeId>(in.i64());
+    const int level = in.u8();
+    if (level < 0 || level >= kNumAsilLevels) {
+      throw CheckpointError("serialized switch ASIL out of range");
+    }
+    topology.add_switch(v);  // starts at ASIL-A
+    while (static_cast<int>(topology.switch_asil(v)) < level) topology.upgrade_switch(v);
+  }
+  const std::uint32_t num_links = in.u32();
+  for (std::uint32_t i = 0; i < num_links; ++i) {
+    const NodeId u = static_cast<NodeId>(in.i64());
+    const NodeId v = static_cast<NodeId>(in.i64());
+    topology.add_link(u, v);
+  }
+  return topology;
+}
+
 }  // namespace nptsn

@@ -14,6 +14,7 @@
 #include "graph/paths.hpp"
 #include "net/failure.hpp"
 #include "net/problem.hpp"
+#include "util/checkpoint.hpp"
 
 namespace nptsn {
 
@@ -69,5 +70,13 @@ class Topology {
   std::vector<std::optional<Asil>> switch_level_;  // indexed by node id
   int max_degree_of(NodeId v) const;
 };
+
+// Checkpoint serialization. A topology is stored as its switch allocation
+// plus its link set — everything else is derived from the problem, which is
+// not persisted: load_topology rebuilds against the caller-supplied problem
+// and throws (via the Topology invariants / CheckpointError) when the
+// serialized ids do not fit it.
+void save_topology(const Topology& topology, ByteWriter& out);
+Topology load_topology(const PlanningProblem& problem, ByteReader& in);
 
 }  // namespace nptsn

@@ -43,4 +43,25 @@ void Adam::step() {
   }
 }
 
+Adam::State Adam::export_state() const {
+  State state;
+  state.m = m_;
+  state.v = v_;
+  state.step_count = step_count_;
+  return state;
+}
+
+void Adam::import_state(const State& state) {
+  NPTSN_EXPECT(state.m.size() == parameters_.size() && state.v.size() == parameters_.size(),
+               "optimizer state parameter count mismatch");
+  NPTSN_EXPECT(state.step_count >= 0, "optimizer step count must be non-negative");
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    NPTSN_EXPECT(state.m[i].same_shape(m_[i]) && state.v[i].same_shape(v_[i]),
+                 "optimizer state shape mismatch");
+  }
+  m_ = state.m;
+  v_ = state.v;
+  step_count_ = state.step_count;
+}
+
 }  // namespace nptsn

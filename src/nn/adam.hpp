@@ -26,6 +26,18 @@ class Adam {
   const std::vector<Tensor>& parameters() const { return parameters_; }
   double learning_rate() const { return options_.learning_rate; }
 
+  // Complete optimizer state (moment estimates + step count), detached from
+  // the parameters themselves, for checkpoint/resume. import_state validates
+  // that the state matches this optimizer's parameter shapes; after
+  // import_state(export_state()) the next step() is bit-identical.
+  struct State {
+    std::vector<Matrix> m;
+    std::vector<Matrix> v;
+    long step_count = 0;
+  };
+  State export_state() const;
+  void import_state(const State& state);
+
  private:
   std::vector<Tensor> parameters_;
   Options options_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "util/checkpoint.hpp"
 
 namespace nptsn {
 
@@ -47,6 +48,20 @@ class Environment {
 
   // Starts a fresh episode.
   virtual void reset() = 0;
+
+  // --- checkpoint/resume -----------------------------------------------------
+  // Environments that can serialize their mid-episode state opt in by
+  // overriding all three members. The trainer snapshots supporting
+  // environments when writing a checkpoint, which makes an
+  // interrupted-then-resumed run reproduce the uninterrupted run exactly.
+  // Non-supporting environments are reset() on restore instead, so resume
+  // still works but epoch statistics may diverge from the original run.
+  virtual bool snapshot_supported() const { return false; }
+  // Serializes the current state; only called when snapshot_supported().
+  virtual void save_snapshot(ByteWriter& out) const { (void)out; }
+  // Restores state written by save_snapshot; only called when
+  // snapshot_supported(). Must throw (e.g. CheckpointError) on malformed input.
+  virtual void load_snapshot(ByteReader& in) { (void)in; }
 };
 
 }  // namespace nptsn

@@ -1,0 +1,99 @@
+#include "rl/snapshot.hpp"
+
+namespace nptsn {
+
+void write_matrix(ByteWriter& out, const Matrix& m) {
+  out.u32(static_cast<std::uint32_t>(m.rows()));
+  out.u32(static_cast<std::uint32_t>(m.cols()));
+  for (int i = 0; i < m.size(); ++i) out.f64(m.data()[i]);
+}
+
+Matrix read_matrix(ByteReader& in) {
+  const std::uint32_t rows = in.u32();
+  const std::uint32_t cols = in.u32();
+  // 8 bytes per entry must fit in what remains; guards against a corrupt
+  // header allocating gigabytes.
+  const std::uint64_t entries = static_cast<std::uint64_t>(rows) * cols;
+  if (entries * 8 > in.remaining()) throw CheckpointError("matrix payload truncated");
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = in.f64();
+  return m;
+}
+
+Matrix read_matrix_like(ByteReader& in, const Matrix& shape_like) {
+  Matrix m = read_matrix(in);
+  if (!m.same_shape(shape_like)) {
+    throw CheckpointError("matrix shape mismatch: checkpoint has " +
+                          std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+                          ", expected " + std::to_string(shape_like.rows()) + "x" +
+                          std::to_string(shape_like.cols()));
+  }
+  return m;
+}
+
+void write_rng(ByteWriter& out, const Rng& rng) {
+  for (const std::uint64_t word : rng.state()) out.u64(word);
+}
+
+Rng read_rng(ByteReader& in) {
+  Rng::State state;
+  for (std::uint64_t& word : state) word = in.u64();
+  Rng rng;
+  try {
+    rng.set_state(state);
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(e.what());
+  }
+  return rng;
+}
+
+void write_adam_state(ByteWriter& out, const Adam::State& state) {
+  out.i64(state.step_count);
+  out.u32(static_cast<std::uint32_t>(state.m.size()));
+  for (const Matrix& m : state.m) write_matrix(out, m);
+  for (const Matrix& v : state.v) write_matrix(out, v);
+}
+
+Adam::State read_adam_state(ByteReader& in, const Adam& optimizer) {
+  Adam::State state;
+  state.step_count = in.i64();
+  const std::uint32_t count = in.u32();
+  if (count != optimizer.parameters().size()) {
+    throw CheckpointError("optimizer state parameter count mismatch");
+  }
+  state.m.reserve(count);
+  state.v.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    state.m.push_back(read_matrix_like(in, optimizer.parameters()[i].value()));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    state.v.push_back(read_matrix_like(in, optimizer.parameters()[i].value()));
+  }
+  return state;
+}
+
+void write_parameters(ByteWriter& out, const ActorCritic& net) {
+  const auto params = net.all_parameters();
+  out.u32(static_cast<std::uint32_t>(params.size()));
+  for (const Tensor& p : params) write_matrix(out, p.value());
+}
+
+void read_parameters(ByteReader& in, ActorCritic& net) {
+  auto params = net.all_parameters();
+  const std::uint32_t count = in.u32();
+  if (count != params.size()) {
+    throw CheckpointError("network parameter count mismatch: checkpoint has " +
+                          std::to_string(count) + ", network has " +
+                          std::to_string(params.size()));
+  }
+  // Validate every shape before mutating anything, so a mismatched
+  // checkpoint leaves the network untouched.
+  std::vector<Matrix> values;
+  values.reserve(count);
+  for (Tensor& p : params) values.push_back(read_matrix_like(in, p.value()));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i].mutable_value() = std::move(values[i]);
+  }
+}
+
+}  // namespace nptsn

@@ -1,0 +1,45 @@
+// Serialization of the RL training state onto the util/checkpoint byte
+// layer: network parameters, Adam optimizer states, and RNG streams. The
+// Trainer composes these pieces (plus per-worker environment snapshots) into
+// one checkpoint payload; see Trainer::save_state / Trainer::load_state.
+//
+// All readers shape-check against the live object they restore into and
+// throw CheckpointError on any mismatch, so a checkpoint written for a
+// different architecture is refused instead of silently corrupting weights.
+#pragma once
+
+#include "nn/adam.hpp"
+#include "rl/actor_critic.hpp"
+#include "util/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+
+// Payload version of trainer checkpoints (bumped whenever the layout of the
+// serialized training state changes).
+inline constexpr std::uint32_t kTrainerCheckpointVersion = 1;
+
+// --- matrices ----------------------------------------------------------------
+void write_matrix(ByteWriter& out, const Matrix& m);
+Matrix read_matrix(ByteReader& in);
+// Reads a matrix and requires it to match `shape_like`'s dimensions.
+Matrix read_matrix_like(ByteReader& in, const Matrix& shape_like);
+
+// --- rng streams -------------------------------------------------------------
+void write_rng(ByteWriter& out, const Rng& rng);
+Rng read_rng(ByteReader& in);
+
+// --- optimizer state ---------------------------------------------------------
+void write_adam_state(ByteWriter& out, const Adam::State& state);
+// Reads a state shaped like `optimizer`'s current one (count + shapes).
+Adam::State read_adam_state(ByteReader& in, const Adam& optimizer);
+
+// --- network parameters ------------------------------------------------------
+// Writes the values of net.all_parameters() in order (the GCN appears once;
+// ActorCritic::all_parameters is deduplicated).
+void write_parameters(ByteWriter& out, const ActorCritic& net);
+// Restores into a same-architecture network; throws CheckpointError when the
+// parameter count or any shape differs.
+void read_parameters(ByteReader& in, ActorCritic& net);
+
+}  // namespace nptsn

@@ -1,6 +1,9 @@
 #include "rl/trainer.hpp"
 
+#include <chrono>
+
 #include "rl/distribution.hpp"
+#include "rl/snapshot.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -26,6 +29,11 @@ Trainer::Trainer(ActorCritic& net, const EnvFactory& factory, const TrainerConfi
   NPTSN_EXPECT(config.num_workers >= 1, "need at least one worker");
   NPTSN_EXPECT(config.steps_per_epoch >= config.num_workers,
                "need at least one step per worker");
+  NPTSN_EXPECT(config.checkpoint_path.empty() || config.checkpoint_interval >= 1,
+               "checkpoint interval must be at least one epoch");
+  NPTSN_EXPECT(config.max_epoch_retries >= 0, "retry count must be non-negative");
+  NPTSN_EXPECT(config.max_wall_seconds >= 0.0, "wall-clock budget must be non-negative");
+  NPTSN_EXPECT(config.max_total_steps >= 0, "step budget must be non-negative");
 
   Rng seeder(config.seed);
   for (int w = 0; w < config.num_workers; ++w) {
@@ -111,13 +119,174 @@ EpochStats Trainer::run_epoch(int epoch) {
 }
 
 std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
+  stopped_reason_.clear();
+  if (!config_.checkpoint_path.empty()) try_resume_from_file();
+
+  // Rollback image for mid-epoch crash recovery: always anchored at the
+  // last completed epoch boundary.
+  const bool recoverable = config_.max_epoch_retries > 0;
+  std::vector<std::uint8_t> rollback;
+  if (recoverable) rollback = save_state();
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_seconds = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
   std::vector<EpochStats> history;
-  history.reserve(static_cast<std::size_t>(config_.epochs));
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    history.push_back(run_epoch(epoch));
+  history.reserve(static_cast<std::size_t>(config_.epochs - next_epoch_));
+  int retries_left = config_.max_epoch_retries;
+  while (next_epoch_ < config_.epochs) {
+    // Budget checks happen at epoch boundaries only, so a stop is always
+    // clean: no partially collected epoch, consistent training state.
+    if (config_.max_wall_seconds > 0.0 && elapsed_seconds() >= config_.max_wall_seconds) {
+      stopped_reason_ = "wall-clock budget of " + std::to_string(config_.max_wall_seconds) +
+                        " s reached after " + std::to_string(next_epoch_) + " epochs";
+      break;
+    }
+    if (config_.max_total_steps > 0 && total_steps_ >= config_.max_total_steps) {
+      stopped_reason_ = "step budget of " + std::to_string(config_.max_total_steps) +
+                        " steps reached after " + std::to_string(next_epoch_) + " epochs";
+      break;
+    }
+
+    EpochStats stats;
+    try {
+      stats = run_epoch(next_epoch_);
+    } catch (...) {
+      if (recoverable && retries_left > 0) {
+        --retries_left;
+        load_state(rollback);  // back to the last epoch boundary
+        continue;
+      }
+      throw;
+    }
+
+    total_steps_ += stats.steps;
+    ++next_epoch_;
+    history.push_back(stats);
     if (on_epoch) on_epoch(history.back());
+
+    if (!config_.checkpoint_path.empty() &&
+        (next_epoch_ == config_.epochs || next_epoch_ % config_.checkpoint_interval == 0)) {
+      write_checkpoint();
+    }
+    if (recoverable) rollback = save_state();
   }
   return history;
+}
+
+void Trainer::set_extra_checkpoint_section(SectionSave save, SectionLoad load) {
+  extra_save_ = std::move(save);
+  extra_load_ = std::move(load);
+}
+
+std::vector<std::uint8_t> Trainer::save_state() const {
+  ByteWriter out;
+  out.i64(next_epoch_);
+  out.i64(total_steps_);
+  // Resuming with a different rollout shape would silently change the
+  // statistics; refuse at load time instead.
+  out.i64(config_.steps_per_epoch);
+
+  write_parameters(out, *net_);
+  write_adam_state(out, actor_opt_.export_state());
+  write_adam_state(out, critic_opt_.export_state());
+
+  out.u32(static_cast<std::uint32_t>(workers_.size()));
+  for (const auto& worker : workers_) {
+    write_rng(out, worker->rng);
+    out.f64(worker->episode_reward);
+    const bool snap = worker->env->snapshot_supported();
+    out.u8(snap ? 1 : 0);
+    ByteWriter env_out;
+    if (snap) worker->env->save_snapshot(env_out);
+    out.blob(env_out.data());
+  }
+
+  out.u8(extra_save_ ? 1 : 0);
+  if (extra_save_) {
+    ByteWriter extra;
+    extra_save_(extra);
+    out.blob(extra.data());
+  }
+  return out.data();
+}
+
+void Trainer::load_state(const std::vector<std::uint8_t>& payload) {
+  ByteReader in(payload);
+  const std::int64_t next_epoch = in.i64();
+  const std::int64_t total_steps = in.i64();
+  const std::int64_t steps_per_epoch = in.i64();
+  if (next_epoch < 0 || total_steps < 0) {
+    throw CheckpointError("negative epoch/step counter in checkpoint");
+  }
+  if (steps_per_epoch != config_.steps_per_epoch) {
+    throw CheckpointError("checkpoint was written with steps_per_epoch=" +
+                          std::to_string(steps_per_epoch) + ", configured " +
+                          std::to_string(config_.steps_per_epoch));
+  }
+
+  read_parameters(in, *net_);
+  // Read (and shape-check) both states fully before mutating either
+  // optimizer, so a truncated payload cannot leave them half-restored.
+  Adam::State actor_state = read_adam_state(in, actor_opt_);
+  Adam::State critic_state = read_adam_state(in, critic_opt_);
+
+  const std::uint32_t worker_count = in.u32();
+  if (worker_count != workers_.size()) {
+    throw CheckpointError("checkpoint has " + std::to_string(worker_count) +
+                          " workers, trainer has " + std::to_string(workers_.size()));
+  }
+  for (auto& worker : workers_) {
+    worker->rng = read_rng(in);
+    worker->episode_reward = in.f64();
+    const bool had_snapshot = in.u8() != 0;
+    const auto env_bytes = in.blob();
+    if (had_snapshot && worker->env->snapshot_supported()) {
+      ByteReader env_in(env_bytes);
+      worker->env->load_snapshot(env_in);
+      env_in.expect_exhausted("environment snapshot");
+    } else {
+      // No serialized environment state: restart the episode. Resume still
+      // works, but determinism relative to the original run is not
+      // guaranteed for such environments.
+      worker->env->reset();
+      worker->episode_reward = 0.0;
+    }
+    // Any partially collected rollout (mid-epoch crash) is discarded.
+    worker->buffer = TrajectoryBuffer(config_.gamma, config_.gae_lambda);
+    worker->finished_returns.clear();
+  }
+
+  const bool has_extra = in.u8() != 0;
+  if (has_extra) {
+    const auto extra_bytes = in.blob();
+    if (extra_load_) {
+      ByteReader extra_in(extra_bytes);
+      extra_load_(extra_in);
+      extra_in.expect_exhausted("extra checkpoint section");
+    }
+  }
+  in.expect_exhausted("trainer checkpoint");
+
+  actor_opt_.import_state(actor_state);
+  critic_opt_.import_state(critic_state);
+  next_epoch_ = static_cast<int>(next_epoch);
+  total_steps_ = total_steps;
+}
+
+void Trainer::write_checkpoint() const {
+  save_checkpoint_file(config_.checkpoint_path, kTrainerCheckpointVersion, save_state());
+}
+
+bool Trainer::try_resume_from_file() {
+  std::string error;
+  const auto loaded =
+      load_checkpoint_with_fallback(config_.checkpoint_path, kTrainerCheckpointVersion, &error);
+  if (!loaded) return false;  // no usable checkpoint: fresh start
+  load_state(loaded->payload);
+  return true;
 }
 
 }  // namespace nptsn

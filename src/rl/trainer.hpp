@@ -3,13 +3,23 @@
 // shared-memory equivalent of the paper's MPI parallelization), then run one
 // PPO update. Problem-specific logic (SOAG, failure analysis, solution
 // recording, rewards) lives inside the Environment implementation.
+//
+// The trainer is crash-resilient: it can serialize its complete training
+// state (network parameters, both Adam optimizer states, per-worker RNG
+// streams and environment snapshots, the epoch counter) into a versioned,
+// checksummed checkpoint file, resume from it deterministically, retry an
+// epoch after a transient worker fault, and stop cleanly at a wall-clock or
+// step budget instead of running past a deadline.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "rl/ppo.hpp"
+#include "util/checkpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nptsn {
@@ -27,6 +37,26 @@ struct TrainerConfig {
   // per-worker gradients (the paper's distributed gradient estimation).
   int num_workers = 1;
   std::uint64_t seed = 1;
+
+  // --- crash resilience -------------------------------------------------------
+  // When non-empty, train() resumes from this checkpoint file if it exists
+  // and validates (falling back to <path>.1 when the newest generation is
+  // torn/corrupt), and writes a fresh checkpoint every checkpoint_interval
+  // completed epochs plus once after the final epoch.
+  std::string checkpoint_path;
+  int checkpoint_interval = 1;
+  // Transparent mid-epoch crash recovery: when a worker throws during an
+  // epoch, roll the full training state back to the last completed epoch
+  // boundary and retry, up to this many times per train() call. 0 = rethrow
+  // immediately.
+  int max_epoch_retries = 0;
+
+  // --- run budget -------------------------------------------------------------
+  // Both are checked at epoch boundaries so a stop is always clean: the
+  // training state is consistent and no partially collected epoch leaks into
+  // the statistics. 0 disables the respective budget.
+  double max_wall_seconds = 0.0;  // wall-clock budget for this train() call
+  std::int64_t max_total_steps = 0;  // total environment steps (across resumes)
 };
 
 struct EpochStats {
@@ -45,18 +75,46 @@ class Trainer {
  public:
   using EnvFactory = std::function<std::unique_ptr<Environment>()>;
   using EpochCallback = std::function<void(const EpochStats&)>;
+  // Extra checkpoint payload section contributed by the caller (the planner
+  // persists the best-verified-solution recorder through this hook). The
+  // load hook sees exactly the bytes the save hook wrote.
+  using SectionSave = std::function<void(ByteWriter&)>;
+  using SectionLoad = std::function<void(ByteReader&)>;
 
   // The network must outlive the trainer. The factory is called once per
   // worker; environments persist across epochs (episodes reset inside).
   Trainer(ActorCritic& net, const EnvFactory& factory, const TrainerConfig& config);
   ~Trainer();
 
-  // Runs config.epochs epochs and returns the per-epoch statistics.
+  // Runs epochs next_epoch() .. config.epochs-1 and returns the statistics
+  // of the epochs completed by THIS call (on resume, earlier epochs ran in a
+  // previous process and are not repeated). Stops early at the run budget;
+  // stopped_reason() tells why.
   std::vector<EpochStats> train(const EpochCallback& on_epoch = {});
+
+  // Registers an extra checkpoint section (must be set before train() so the
+  // section participates in resume).
+  void set_extra_checkpoint_section(SectionSave save, SectionLoad load);
+
+  // Complete training state as a checkpoint payload (network, optimizers,
+  // workers, epoch counter, extra section). Callable at epoch boundaries.
+  std::vector<std::uint8_t> save_state() const;
+  // Restores state written by save_state; throws CheckpointError when the
+  // payload does not match this trainer's architecture/configuration.
+  void load_state(const std::vector<std::uint8_t>& payload);
+
+  // First epoch the next train() call would run (0 on a fresh trainer,
+  // advanced by completed epochs and by load_state).
+  int next_epoch() const { return next_epoch_; }
+  // Why the last train() call returned: empty when all configured epochs
+  // completed, otherwise a description of the budget that fired.
+  const std::string& stopped_reason() const { return stopped_reason_; }
 
  private:
   struct Worker;
   EpochStats run_epoch(int epoch);
+  void write_checkpoint() const;
+  bool try_resume_from_file();
 
   ActorCritic* net_;
   TrainerConfig config_;
@@ -64,6 +122,12 @@ class Trainer {
   Adam critic_opt_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_workers == 1
+
+  int next_epoch_ = 0;
+  std::int64_t total_steps_ = 0;  // env steps across all epochs incl. resumes
+  std::string stopped_reason_;
+  SectionSave extra_save_;
+  SectionLoad extra_load_;
 };
 
 }  // namespace nptsn

@@ -1,0 +1,283 @@
+#include "util/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'P', 'T', 'S', 'N', 'C', 'K', 'P'};
+// Version of the framing itself (magic/header layout), independent of the
+// caller's payload version.
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 8 + 4 + 4 + 8 + 8;  // magic, fmt, payload ver, size, checksum
+
+CheckpointWriteHook g_write_hook;
+
+void store_le32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void store_le64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t load_le32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void fail(const std::string& what) { throw CheckpointError(what); }
+
+// Writes the whole buffer to a fresh file and fsyncs it to stable storage.
+void write_file_synced(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open " + path + " for writing: " + std::strerror(errno));
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(path.c_str());
+      fail("write to " + path + " failed: " + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    fail("fsync of " + path + " failed: " + std::strerror(err));
+  }
+  ::close(fd);
+}
+
+// fsync the directory containing `path` so renames within it are durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort; the data files themselves are synced
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+// --- ByteWriter --------------------------------------------------------------
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  std::uint8_t tmp[4];
+  store_le32(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 4);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  std::uint8_t tmp[8];
+  store_le64(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void ByteWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void ByteWriter::blob(const std::vector<std::uint8_t>& bytes) {
+  u64(bytes.size());
+  raw(bytes.data(), bytes.size());
+}
+
+// --- ByteReader --------------------------------------------------------------
+
+ByteReader::ByteReader(const std::vector<std::uint8_t>& bytes)
+    : data_(bytes.data()), size_(bytes.size()) {}
+
+ByteReader::ByteReader(const std::uint8_t* data, std::size_t size)
+    : data_(data), size_(size) {}
+
+const std::uint8_t* ByteReader::take(std::size_t n) {
+  if (size_ - pos_ < n) fail("checkpoint payload truncated");
+  const std::uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() { return *take(1); }
+
+std::uint32_t ByteReader::u32() { return load_le32(take(4)); }
+
+std::uint64_t ByteReader::u64() { return load_le64(take(8)); }
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) fail("checkpoint string truncated");
+  const std::uint8_t* p = take(static_cast<std::size_t>(n));
+  return std::string(reinterpret_cast<const char*>(p), static_cast<std::size_t>(n));
+}
+
+std::vector<std::uint8_t> ByteReader::blob() {
+  const std::uint64_t n = u64();
+  if (n > remaining()) fail("checkpoint blob truncated");
+  const std::uint8_t* p = take(static_cast<std::size_t>(n));
+  return std::vector<std::uint8_t>(p, p + n);
+}
+
+void ByteReader::expect_exhausted(const char* what) const {
+  if (!exhausted()) {
+    fail(std::string(what) + ": " + std::to_string(remaining()) + " trailing bytes");
+  }
+}
+
+// --- checksum ----------------------------------------------------------------
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// --- framed file I/O ---------------------------------------------------------
+
+void save_checkpoint_file(const std::string& path, std::uint32_t payload_version,
+                          const std::vector<std::uint8_t>& payload) {
+  NPTSN_EXPECT(!path.empty(), "checkpoint path must be non-empty");
+
+  std::vector<std::uint8_t> framed(kHeaderSize);
+  std::memcpy(framed.data(), kMagic, 8);
+  store_le32(framed.data() + 8, kFormatVersion);
+  store_le32(framed.data() + 12, payload_version);
+  store_le64(framed.data() + 16, payload.size());
+  store_le64(framed.data() + 24, fnv1a64(payload.data(), payload.size()));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  write_file_synced(tmp, framed);
+  if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterTmpWrite, tmp);
+
+  // Keep one older generation around: if the new file turns out corrupt on
+  // disk, load_checkpoint_with_fallback can still recover from <path>.1.
+  if (file_exists(path)) {
+    if (::rename(path.c_str(), (path + ".1").c_str()) != 0) {
+      fail("cannot rotate " + path + ": " + std::strerror(errno));
+    }
+  }
+  if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterRotate, tmp);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("cannot publish " + tmp + ": " + std::strerror(errno));
+  }
+  sync_parent_dir(path);
+}
+
+std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
+                                               std::uint32_t payload_version) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open " + path + ": " + std::strerror(errno));
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail("read of " + path + " failed: " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  if (bytes.size() < kHeaderSize) fail(path + ": truncated header");
+  if (std::memcmp(bytes.data(), kMagic, 8) != 0) fail(path + ": bad magic");
+  const std::uint32_t format = load_le32(bytes.data() + 8);
+  if (format != kFormatVersion) {
+    fail(path + ": unsupported format version " + std::to_string(format));
+  }
+  const std::uint32_t version = load_le32(bytes.data() + 12);
+  if (version != payload_version) {
+    fail(path + ": payload version " + std::to_string(version) + ", expected " +
+         std::to_string(payload_version));
+  }
+  const std::uint64_t size = load_le64(bytes.data() + 16);
+  if (bytes.size() - kHeaderSize != size) fail(path + ": truncated payload");
+  const std::uint64_t checksum = load_le64(bytes.data() + 24);
+  if (fnv1a64(bytes.data() + kHeaderSize, static_cast<std::size_t>(size)) != checksum) {
+    fail(path + ": checksum mismatch (torn or corrupted checkpoint)");
+  }
+  return std::vector<std::uint8_t>(bytes.begin() + kHeaderSize, bytes.end());
+}
+
+std::optional<LoadedCheckpoint> load_checkpoint_with_fallback(const std::string& path,
+                                                              std::uint32_t payload_version,
+                                                              std::string* error) {
+  std::string reasons;
+  for (const std::string& candidate : {path, path + ".1"}) {
+    if (!file_exists(candidate)) continue;
+    try {
+      LoadedCheckpoint loaded;
+      loaded.payload = load_checkpoint_file(candidate, payload_version);
+      loaded.source_path = candidate;
+      return loaded;
+    } catch (const CheckpointError& e) {
+      if (!reasons.empty()) reasons += "; ";
+      reasons += e.what();
+    }
+  }
+  if (error) *error = reasons.empty() ? "no checkpoint file found" : reasons;
+  return std::nullopt;
+}
+
+void set_checkpoint_write_hook(CheckpointWriteHook hook) { g_write_hook = std::move(hook); }
+
+}  // namespace nptsn

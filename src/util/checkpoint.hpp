@@ -1,0 +1,126 @@
+// Crash-safe checkpoint persistence: byte-level serialization primitives and
+// a versioned, checksummed, atomically written file format.
+//
+// Planning runs train for hours (util/expect.hpp makes the same point), so a
+// worker exception, OOM kill, or SIGTERM must not discard every epoch of
+// progress. The file layer here guarantees that a reader only ever sees a
+// complete, integrity-checked checkpoint:
+//
+//   - writes go to <path>.tmp, are fsync'd, and are renamed onto <path>
+//     (rename(2) is atomic on POSIX), so <path> is never half-written;
+//   - the previous generation is rotated to <path>.1 first, so corruption of
+//     the newest file (torn write under fault injection, bit rot) still
+//     leaves one valid checkpoint to fall back to;
+//   - the payload is framed with a magic tag, a format version, a
+//     caller-supplied payload version, the payload size, and an FNV-1a 64
+//     checksum; any mismatch raises CheckpointError instead of yielding
+//     garbage state.
+//
+// Integers are stored little-endian regardless of host order so checkpoint
+// files are portable across the platforms we build on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nptsn {
+
+// Raised on malformed, truncated, or checksum-mismatching checkpoint data.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Append-only serialization buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);  // exact bit pattern, round-trips NaN/inf
+  void str(const std::string& s);
+  void raw(const void* data, std::size_t size);
+  // Length-prefixed nested blob (read back with ByteReader::blob()).
+  void blob(const std::vector<std::uint8_t>& bytes);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked sequential reader over a byte span; every underflow throws
+// CheckpointError. The span must outlive the reader.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes);
+  ByteReader(const std::uint8_t* data, std::size_t size);
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<std::uint8_t> blob();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+  // Fails loudly when trailing bytes indicate a reader/writer mismatch.
+  void expect_exhausted(const char* what) const;
+
+ private:
+  const std::uint8_t* take(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// FNV-1a 64-bit checksum (offset basis 0xcbf29ce484222325).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size);
+
+// Atomically persists a framed, checksummed checkpoint at `path`, rotating
+// any existing file to `path + ".1"` first. Throws CheckpointError on I/O
+// failure (the previous generations are left untouched in that case).
+void save_checkpoint_file(const std::string& path, std::uint32_t payload_version,
+                          const std::vector<std::uint8_t>& payload);
+
+// Loads and integrity-checks one checkpoint file. Throws CheckpointError on
+// a missing file, bad magic, version mismatch, truncation, or bad checksum.
+std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
+                                               std::uint32_t payload_version);
+
+struct LoadedCheckpoint {
+  std::vector<std::uint8_t> payload;
+  std::string source_path;  // the file that actually validated
+};
+
+// Tries `path`, then the rotated `path + ".1"`. Returns nullopt when neither
+// validates; `error` (optional) receives a description of why.
+std::optional<LoadedCheckpoint> load_checkpoint_with_fallback(
+    const std::string& path, std::uint32_t payload_version, std::string* error = nullptr);
+
+// --- fault injection (tests only) -------------------------------------------
+// Stages of save_checkpoint_file at which a test hook may run; a hook that
+// throws simulates a crash at that point (e.g. power loss after the tmp file
+// was written but before it replaced the live checkpoint).
+enum class CheckpointWriteStage {
+  kAfterTmpWrite,   // tmp file complete, nothing renamed yet
+  kAfterRotate,     // old <path> moved to <path>.1, new file not yet live
+};
+
+using CheckpointWriteHook =
+    std::function<void(CheckpointWriteStage stage, const std::string& tmp_path)>;
+
+// Installs (or, with nullptr, clears) the global write hook. Test-only; not
+// thread-safe against concurrent checkpoint writes.
+void set_checkpoint_write_hook(CheckpointWriteHook hook);
+
+}  // namespace nptsn

@@ -82,4 +82,14 @@ int Rng::sample_weighted(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+void Rng::set_state(const State& state) {
+  // An all-zero state is a fixed point of xoshiro256**; it cannot be
+  // produced by the seeding path, so reject it as corrupt input.
+  NPTSN_EXPECT(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+               "all-zero rng state is invalid");
+  for (std::size_t i = 0; i < state.size(); ++i) s_[i] = state[i];
+}
+
 }  // namespace nptsn

@@ -6,6 +6,7 @@
 // test cases is a hard requirement for the evaluation harness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,13 @@ namespace nptsn {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Full generator state, for checkpoint/resume. set_state restores the
+  // exact stream position: the next draw after set_state(state()) equals the
+  // next draw the original generator would have produced.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const;
+  void set_state(const State& state);
 
   // Raw 64 random bits.
   std::uint64_t next_u64();

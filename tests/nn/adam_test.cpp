@@ -78,6 +78,59 @@ TEST(Adam, RejectsBadConstruction) {
   EXPECT_THROW(Adam({p}, {.learning_rate = 0.0}), std::invalid_argument);
 }
 
+TEST(Adam, StateExportImportKeepsNextStepBitIdentical) {
+  auto make = [](std::vector<Tensor>* params) {
+    params->clear();
+    params->push_back(Tensor::parameter(Matrix(2, 2, 1.5)));
+    params->push_back(Tensor::parameter(Matrix(1, 4, -0.5)));
+    return Adam(*params, {.learning_rate = 5e-2});
+  };
+  auto apply_gradient = [](Adam& opt, std::vector<Tensor>& params, double g) {
+    opt.zero_grad();
+    for (auto& p : params) p.mutable_grad() = Matrix(p.rows(), p.cols(), g);
+    opt.step();
+  };
+
+  std::vector<Tensor> params_a;
+  Adam a = make(&params_a);
+  apply_gradient(a, params_a, 0.4);
+  apply_gradient(a, params_a, -0.2);  // biased moments, step_count = 2
+
+  // A fresh optimizer over identical parameter VALUES but zero state...
+  std::vector<Tensor> params_b;
+  Adam b = make(&params_b);
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    params_b[i].mutable_value() = params_a[i].value();
+  }
+  // ...diverges on the next step without the state, and matches with it.
+  b.import_state(a.export_state());
+  apply_gradient(a, params_a, 0.7);
+  apply_gradient(b, params_b, 0.7);
+  for (std::size_t i = 0; i < params_a.size(); ++i) {
+    const Matrix& va = params_a[i].value();
+    const Matrix& vb = params_b[i].value();
+    ASSERT_TRUE(vb.same_shape(va));
+    for (int k = 0; k < va.size(); ++k) EXPECT_DOUBLE_EQ(vb.data()[k], va.data()[k]);
+  }
+}
+
+TEST(Adam, ImportStateValidatesShapesAndCounts) {
+  std::vector<Tensor> params = {Tensor::parameter(Matrix(2, 2, 1.0))};
+  Adam opt(params, {});
+
+  Adam::State wrong_count;  // no moment matrices at all
+  EXPECT_THROW(opt.import_state(wrong_count), std::invalid_argument);
+
+  Adam::State wrong_shape;
+  wrong_shape.m = {Matrix(3, 2)};
+  wrong_shape.v = {Matrix(3, 2)};
+  EXPECT_THROW(opt.import_state(wrong_shape), std::invalid_argument);
+
+  Adam::State negative = opt.export_state();
+  negative.step_count = -1;
+  EXPECT_THROW(opt.import_state(negative), std::invalid_argument);
+}
+
 TEST(Adam, StepWithZeroGradientKeepsValues) {
   Tensor p = Tensor::parameter(Matrix(1, 2, 3.0));
   Adam opt({p}, {});

@@ -141,6 +141,49 @@ TEST(Buffer, ConstructorValidatesHyperparameters) {
   EXPECT_THROW(TrajectoryBuffer(0.9, 1.5), std::invalid_argument);
 }
 
+TEST(Buffer, TakeWithOpenPathThrows) {
+  TrajectoryBuffer buffer(0.9, 0.9);
+  buffer.store(step_with(1.0, 0.0));
+  ASSERT_TRUE(buffer.has_open_path());
+  EXPECT_THROW(buffer.take(), std::invalid_argument);
+  // The buffer is still intact: closing the path makes take() work.
+  buffer.finish_path(0.0);
+  EXPECT_EQ(buffer.take().steps.size(), 1u);
+}
+
+TEST(Buffer, AbsorbEmptyBufferIsNoOp) {
+  TrajectoryBuffer a(0.9, 0.9);
+  a.store(step_with(1.0, 0.0));
+  a.finish_path(0.0);
+  TrajectoryBuffer empty(0.9, 0.9);
+  a.absorb(std::move(empty));
+  const auto batch = a.take();
+  EXPECT_EQ(batch.steps.size(), 1u);
+  EXPECT_EQ(batch.advantages.size(), 1u);
+  EXPECT_EQ(batch.returns.size(), 1u);
+}
+
+TEST(Buffer, FinishPathOnZeroLengthPathIsNoOp) {
+  TrajectoryBuffer buffer(0.9, 0.9);
+  buffer.finish_path(0.0);  // nothing stored at all
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.has_open_path());
+
+  buffer.store(step_with(2.0, 0.5));
+  buffer.finish_path(0.0);
+  const auto returns_once = buffer.take().returns;
+  ASSERT_EQ(returns_once.size(), 1u);
+
+  // Double finish (e.g. an env reset right after an episode end) must not
+  // add a phantom path or disturb the stored ones.
+  buffer.store(step_with(2.0, 0.5));
+  buffer.finish_path(0.0);
+  buffer.finish_path(0.0);
+  const auto batch = buffer.take();
+  ASSERT_EQ(batch.returns.size(), 1u);
+  EXPECT_NEAR(batch.returns[0], returns_once[0], 1e-12);
+}
+
 TEST(Buffer, ConstantAdvantageNormalizesToZeroWithStdGuard) {
   TrajectoryBuffer buffer(1.0, 1.0);
   // Two identical single-step paths -> identical raw advantages.

@@ -1,0 +1,171 @@
+// Fault-injection harness for the crash-resilience tests.
+//
+// Adaptive-stress-testing style: recovery paths are only trustworthy if we
+// deliberately drive the system into the failures they claim to handle
+// (Koren & Kochenderfer). The harness wraps the three places a long planning
+// run actually dies in practice:
+//
+//   - FaultyEnv        : decorates any Environment; throws or stalls at a
+//                        configured environment step (worker crash / straggler)
+//   - FaultyNbf        : decorates any StatelessNbf; throws at a configured
+//                        recover() call (crash inside the NBF evaluation of
+//                        the failure analyzer)
+//   - ScopedCheckpointWriteFault : crashes checkpoint writes at a chosen
+//                        stage via the util/checkpoint write hook, and can
+//                        corrupt/truncate the resulting files to simulate
+//                        torn writes
+//
+// Counters are atomic: the trainer runs workers on a thread pool and several
+// decorated environments may hit their trigger concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "rl/env.hpp"
+#include "tsn/recovery.hpp"
+#include "util/checkpoint.hpp"
+
+namespace nptsn::testing {
+
+// Thrown by injected faults so tests can tell them from genuine errors.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Shared trigger: fires (once) when its call counter reaches `at_call`.
+// One FaultTrigger can be shared by several decorated objects, so "the 40th
+// step across all workers" is expressible.
+class FaultTrigger {
+ public:
+  // at_call <= 0 never fires.
+  explicit FaultTrigger(std::int64_t at_call = 0) : at_call_(at_call) {}
+
+  // Counts one call; returns true exactly once, on the at_call-th call.
+  bool fire() {
+    if (at_call_ <= 0) return false;
+    return calls_.fetch_add(1) + 1 == at_call_;
+  }
+
+  std::int64_t calls() const { return calls_.load(); }
+  bool fired() const { return at_call_ > 0 && calls_.load() >= at_call_; }
+
+ private:
+  std::int64_t at_call_;
+  std::atomic<std::int64_t> calls_{0};
+};
+
+// Environment decorator: forwards everything to the wrapped environment and
+// injects a fault at the trigger's step. kThrow simulates a worker crash,
+// kStall a straggler (used to exercise the wall-clock budget).
+class FaultyEnv final : public Environment {
+ public:
+  enum class Mode { kThrow, kStall };
+
+  FaultyEnv(std::unique_ptr<Environment> inner, std::shared_ptr<FaultTrigger> trigger,
+            Mode mode = Mode::kThrow,
+            std::chrono::milliseconds stall = std::chrono::milliseconds(50))
+      : inner_(std::move(inner)), trigger_(std::move(trigger)), mode_(mode), stall_(stall) {}
+
+  int num_actions() const override { return inner_->num_actions(); }
+  Observation observe() const override { return inner_->observe(); }
+  const std::vector<std::uint8_t>& action_mask() const override {
+    return inner_->action_mask();
+  }
+
+  StepResult step(int action) override {
+    if (trigger_ && trigger_->fire()) {
+      if (mode_ == Mode::kThrow) throw InjectedFault("injected environment fault");
+      std::this_thread::sleep_for(stall_);
+    }
+    return inner_->step(action);
+  }
+
+  void reset() override { inner_->reset(); }
+
+  // Snapshots delegate to the wrapped environment; the injector itself is
+  // stateless apart from the (deliberately unserialized) trigger counter.
+  bool snapshot_supported() const override { return inner_->snapshot_supported(); }
+  void save_snapshot(ByteWriter& out) const override { inner_->save_snapshot(out); }
+  void load_snapshot(ByteReader& in) override { inner_->load_snapshot(in); }
+
+ private:
+  std::unique_ptr<Environment> inner_;
+  std::shared_ptr<FaultTrigger> trigger_;
+  Mode mode_;
+  std::chrono::milliseconds stall_;
+};
+
+// NBF decorator: throws at the trigger's recover() call — the crash point
+// inside the failure analyzer's scenario enumeration.
+class FaultyNbf final : public StatelessNbf {
+ public:
+  FaultyNbf(const StatelessNbf& inner, std::shared_ptr<FaultTrigger> trigger)
+      : inner_(&inner), trigger_(std::move(trigger)) {}
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override {
+    if (trigger_ && trigger_->fire()) throw InjectedFault("injected NBF fault");
+    return inner_->recover(topology, scenario);
+  }
+
+ private:
+  const StatelessNbf* inner_;
+  std::shared_ptr<FaultTrigger> trigger_;
+};
+
+// Installs a checkpoint write hook for the lifetime of the object. The hook
+// throws InjectedFault at the chosen stage, simulating a crash mid-write
+// (after the tmp file exists / after the old checkpoint was rotated away).
+class ScopedCheckpointWriteFault {
+ public:
+  ScopedCheckpointWriteFault(CheckpointWriteStage stage,
+                             std::shared_ptr<FaultTrigger> trigger)
+      : trigger_(std::move(trigger)) {
+    set_checkpoint_write_hook([stage, trigger = trigger_](CheckpointWriteStage s,
+                                                          const std::string&) {
+      if (s == stage && trigger->fire()) {
+        throw InjectedFault("injected checkpoint write fault");
+      }
+    });
+  }
+
+  ~ScopedCheckpointWriteFault() { set_checkpoint_write_hook(nullptr); }
+
+  ScopedCheckpointWriteFault(const ScopedCheckpointWriteFault&) = delete;
+  ScopedCheckpointWriteFault& operator=(const ScopedCheckpointWriteFault&) = delete;
+
+ private:
+  std::shared_ptr<FaultTrigger> trigger_;
+};
+
+// Torn-write simulation on files: truncate to `keep_bytes`, or flip one byte
+// at `offset`. Both leave a file that only a checksum can unmask.
+inline void truncate_file(const std::string& path, std::size_t keep_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  if (bytes.size() > keep_bytes) bytes.resize(keep_bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+inline void corrupt_file_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+}  // namespace nptsn::testing

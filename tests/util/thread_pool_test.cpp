@@ -5,6 +5,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace nptsn {
@@ -43,6 +45,31 @@ TEST(ThreadPool, PropagatesTaskException) {
                                    if (i == 3) throw std::runtime_error("boom");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentThrowsFromAllWorkersPropagateOne) {
+  // Force the throws to be genuinely concurrent: every task spins at a
+  // barrier until all four have arrived, then all throw at once. Exactly one
+  // exception must surface and the pool must not deadlock or double-free.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](int i) {
+                                   ++arrived;
+                                   while (arrived.load() < 4) std::this_thread::yield();
+                                   throw std::runtime_error("worker " + std::to_string(i));
+                                 }),
+               std::runtime_error);
+
+  // And the pool stays fully usable afterwards.
+  std::atomic<int> runs{0};
+  pool.parallel_for(16, [&](int) { ++runs; });
+  EXPECT_EQ(runs.load(), 16);
+  EXPECT_THROW(pool.parallel_for(2, [](int) { throw std::runtime_error("again"); }),
+               std::runtime_error);
+  runs = 0;
+  pool.parallel_for(8, [&](int) { ++runs; });
+  EXPECT_EQ(runs.load(), 8);
 }
 
 TEST(ThreadPool, SurvivesExceptionAndRunsAgain) {
