@@ -1,0 +1,250 @@
+// Micro-benchmark: sequential FailureAnalyzer vs VerificationEngine on the
+// environment's real workload — a stream of SOAG-driven training episodes,
+// each a monotone growth trajectory from the empty topology, re-verified
+// from scratch at every step (exactly what PlanningEnv does; the engine
+// persists across episode resets there, so it does here too).
+//
+// Four configurations over the identical recorded topology stream:
+//   sequential            the reference FailureAnalyzer
+//   parallel-only         engine, incremental reuse off, N threads
+//   incremental-serial    engine, incremental reuse on, 1 thread
+//   incremental-parallel  engine, incremental reuse on, N threads
+//
+// Each pass starts COLD (fresh engine per repetition); the measured speedup
+// comes from within-episode seed carry-over plus cross-episode memo hits on
+// recurring early-episode graphs — the same reuse the training loop sees.
+// Output is a single JSON document on stdout.
+//
+//   micro_analyzer [--fast|--paper] [--threads N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/failure_analyzer.hpp"
+#include "analysis/verification_engine.hpp"
+#include "bench/common.hpp"
+#include "core/soag.hpp"
+#include "scenarios/ads.hpp"
+#include "scenarios/orion.hpp"
+#include "scenarios/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn::bench {
+namespace {
+
+bool apply_action(Topology& t, const Action& action) {
+  if (action.kind == Action::Kind::kSwitchUpgrade) {
+    if (!t.has_switch(action.switch_id)) {
+      t.add_switch(action.switch_id);
+    } else if (t.switch_asil(action.switch_id) != Asil::D) {
+      t.upgrade_switch(action.switch_id);
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (!t.path_respects_degrees(action.path)) return false;
+  for (const NodeId v : action.path) {
+    if (t.problem().is_switch(v) && !t.has_switch(v)) return false;
+  }
+  for (std::size_t h = 0; h + 1 < action.path.size(); ++h) {
+    if (!t.has_link(action.path[h], action.path[h + 1])) {
+      t.add_path(action.path);
+      return true;
+    }
+  }
+  return false;  // every link already present
+}
+
+// SOAG-driven episode. `policy` is the probability of replaying the
+// corresponding step of `guide` (the best action sequence found so far)
+// instead of acting randomly — the exploit phase of a converging policy.
+// Appends every intermediate state and returns the episode's action trace.
+std::vector<Action> record_episode(const PlanningProblem& problem, const Soag& soag,
+                                   int max_steps, double policy,
+                                   const std::vector<Action>& guide, Rng& rng,
+                                   std::vector<Topology>& states, bool* reliable) {
+  const HeuristicRecovery nbf;
+  const FailureAnalyzer analyzer(nbf);
+  std::vector<Action> trace;
+  *reliable = false;
+
+  Topology t(problem);
+  for (int step = 0; step < max_steps; ++step) {
+    states.push_back(t);
+    const auto analysis = analyzer.analyze(t);
+    if (analysis.reliable) {
+      *reliable = true;
+      break;
+    }
+
+    // Exploit: replay the guide when it still applies at this step.
+    if (static_cast<std::size_t>(step) < guide.size() && rng.uniform() < policy) {
+      Topology next = t;
+      if (apply_action(next, guide[static_cast<std::size_t>(step)])) {
+        trace.push_back(guide[static_cast<std::size_t>(step)]);
+        t = std::move(next);
+        continue;
+      }
+    }
+    // Explore: a random valid SOAG action.
+    const auto actions = soag.generate(t, analysis.counterexample, analysis.errors, rng);
+    std::vector<int> valid;
+    for (int a = 0; a < actions.size(); ++a) {
+      if (actions.mask[static_cast<std::size_t>(a)]) valid.push_back(a);
+    }
+    if (valid.empty()) break;
+    const Action& chosen = actions.actions[static_cast<std::size_t>(rng.pick(valid))];
+    Topology next = t;
+    if (!apply_action(next, chosen)) break;
+    trace.push_back(chosen);
+    t = std::move(next);
+  }
+  return trace;
+}
+
+// A training run's worth of episodes, exactly as the environment produces
+// them: every episode restarts from the empty topology. The first third
+// explores randomly; the rest mostly replays the best episode found, the
+// low-entropy regime a converged PPO policy spends most of its wall time in.
+std::vector<Topology> record_stream(const PlanningProblem& problem, int k,
+                                    int episodes, int max_steps, std::uint64_t seed) {
+  const Soag soag(problem, k);
+  Rng rng(seed);
+  std::vector<Topology> states;
+  std::vector<Action> best;
+  const int explore_episodes = episodes / 4 + 1;
+  for (int e = 0; e < episodes; ++e) {
+    const bool exploring = e < explore_episodes || best.empty();
+    const double policy = exploring ? 0.0 : 0.99;
+    bool reliable = false;
+    auto trace =
+        record_episode(problem, soag, max_steps, policy, best, rng, states, &reliable);
+    if (reliable && (best.empty() || trace.size() < best.size())) best = std::move(trace);
+  }
+  return states;
+}
+
+struct PassResult {
+  double seconds = 0.0;  // best-of-reps wall time for one full pass
+  std::int64_t nbf_calls = 0;     // logical (sequential-equivalent) calls
+  std::int64_t nbf_executed = 0;  // NBF invocations actually run
+};
+
+template <typename MakeAnalyze>
+PassResult run_pass(const std::vector<Topology>& states, int reps,
+                    const MakeAnalyze& make_analyze) {
+  PassResult result;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto analyze = make_analyze();  // cold start per repetition
+    const Stopwatch watch;
+    for (const Topology& t : states) {
+      const AnalysisOutcome outcome = analyze(t);
+      if (rep == 0) {
+        result.nbf_calls += outcome.nbf_calls;
+        result.nbf_executed += outcome.nbf_executed;
+      }
+    }
+    const double seconds = watch.seconds();
+    if (rep == 0 || seconds < result.seconds) result.seconds = seconds;
+  }
+  return result;
+}
+
+struct ConfigResult {
+  std::string name;
+  PassResult pass;
+};
+
+std::vector<ConfigResult> bench_scenario(const std::vector<Topology>& states,
+                                         int reps, int threads) {
+  const HeuristicRecovery nbf;
+  std::vector<ConfigResult> results;
+
+  results.push_back({"sequential", run_pass(states, reps, [&] {
+                       return [&nbf, analyzer = FailureAnalyzer(nbf)](const Topology& t) {
+                         return analyzer.analyze(t);
+                       };
+                     })});
+
+  const auto engine_pass = [&](bool incremental, int num_threads) {
+    return run_pass(states, reps, [&nbf, incremental, num_threads] {
+      VerificationEngine::Options options;
+      options.incremental = incremental;
+      options.num_threads = num_threads;
+      return [engine = std::make_shared<VerificationEngine>(nbf, options)](
+                 const Topology& t) { return engine->analyze(t); };
+    });
+  };
+  results.push_back({"parallel-only", engine_pass(false, threads)});
+  results.push_back({"incremental-serial", engine_pass(true, 1)});
+  results.push_back({"incremental-parallel", engine_pass(true, threads)});
+  return results;
+}
+
+void print_scenario_json(const char* name, std::size_t num_states,
+                         const std::vector<ConfigResult>& results, bool last) {
+  const double base = results.front().pass.seconds;
+  std::printf("    {\n      \"name\": \"%s\",\n      \"states\": %zu,\n"
+              "      \"configs\": [\n",
+              name, num_states);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double speedup = r.pass.seconds > 0.0 ? base / r.pass.seconds : 0.0;
+    std::printf("        {\"name\": \"%s\", \"seconds\": %.6f, "
+                "\"nbf_calls\": %lld, \"nbf_executed\": %lld, "
+                "\"speedup_vs_sequential\": %.3f}%s\n",
+                r.name.c_str(), r.pass.seconds,
+                static_cast<long long>(r.pass.nbf_calls),
+                static_cast<long long>(r.pass.nbf_executed), speedup,
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("      ]\n    }%s\n", last ? "" : ",");
+}
+
+int run(int argc, char** argv) {
+  const Mode mode = Mode::parse(argc, argv);
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) threads = std::atoi(argv[i + 1]);
+  }
+  if (threads < 1) threads = 1;
+
+  const int reps = mode.paper ? 7 : 5;
+  const int k = 8;
+
+  const int episodes = mode.paper ? 128 : 40;
+
+  // ADS: the paper's zonal automated-driving scenario with its fixed flows.
+  const auto ads = make_ads();
+  const auto ads_problem = with_flows(ads, ads_flows());
+  const auto ads_states =
+      record_stream(ads_problem, k, episodes, mode.paper ? 64 : 32, /*seed=*/1);
+
+  // ORION: larger topology, randomized workload.
+  const auto orion = make_orion();
+  Rng flow_rng(7);
+  const auto orion_problem =
+      with_flows(orion, random_flows(orion.problem, mode.paper ? 8 : 4, flow_rng));
+  const auto orion_states =
+      record_stream(orion_problem, k, episodes, mode.paper ? 48 : 24, /*seed=*/2);
+
+  const auto ads_results = bench_scenario(ads_states, reps, threads);
+  const auto orion_results = bench_scenario(orion_states, reps, threads);
+
+  std::printf("{\n  \"bench\": \"micro_analyzer\",\n  \"mode\": \"%s\",\n"
+              "  \"threads\": %d,\n  \"reps\": %d,\n  \"scenarios\": [\n",
+              mode.paper ? "paper" : "fast", threads, reps);
+  print_scenario_json("ADS", ads_states.size(), ads_results, /*last=*/false);
+  print_scenario_json("ORION", orion_states.size(), orion_results, /*last=*/true);
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nptsn::bench
+
+int main(int argc, char** argv) { return nptsn::bench::run(argc, argv); }

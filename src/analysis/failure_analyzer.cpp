@@ -1,6 +1,7 @@
 #include "analysis/failure_analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "util/combinatorics.hpp"
@@ -12,9 +13,15 @@ FailureAnalyzer::FailureAnalyzer(const StatelessNbf& nbf, Options options)
     : nbf_(&nbf), options_(options) {}
 
 AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
+  const auto start = std::chrono::steady_clock::now();
   const PlanningProblem& problem = topology.problem();
   const double goal = problem.reliability_goal;
   AnalysisOutcome outcome;
+  const auto finish = [&start, &outcome] {
+    outcome.nbf_executed = outcome.nbf_calls;
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
 
   // Candidate failing components: the planned switches, plus the end
   // stations in the flow-level-redundancy variant.
@@ -87,10 +94,14 @@ AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
       checked.push_back(std::move(scenario));
       return true;
     });
-    if (!completed) return outcome;
+    if (!completed) {
+      finish();
+      return outcome;
+    }
   }
 
   outcome.reliable = true;
+  finish();
   return outcome;
 }
 

@@ -25,10 +25,24 @@ struct AnalysisOutcome {
   ErrorSet errors;
 
   // Instrumentation (the paper motivates the design with verification cost).
+  // nbf_calls counts the NBF evaluations Algorithm 3 performs; the
+  // verification engine reports the same *logical* count even when it
+  // services part of it from its caches, so the field is bit-identical
+  // across the sequential analyzer and every engine configuration.
   std::int64_t nbf_calls = 0;
   std::int64_t scenarios_pruned = 0;   // skipped: subset of a survived scenario
   std::int64_t scenarios_skipped = 0;  // skipped: probability below R
   int max_order = 0;                   // maxord of Algorithm 3
+
+  // How the logical NBF work was actually serviced. The sequential analyzer
+  // executes every call itself (nbf_executed == nbf_calls, reuse fields 0);
+  // the verification engine splits the work between fresh evaluations, memo
+  // hits, and carried-over survivable scenarios.
+  std::int64_t nbf_executed = 0;       // NBF evaluations actually run
+  std::int64_t memo_hits = 0;          // verdicts served by the (graph, scenario) memo
+  std::int64_t seed_reuses = 0;        // settled by a carried-over survivable scenario
+  std::int64_t speculative_waste = 0;  // parallel evaluations discarded by the reduction
+  double wall_seconds = 0.0;           // wall time of this analysis
 };
 
 class FailureAnalyzer {

@@ -1,0 +1,342 @@
+#include "analysis/verification_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/combinatorics.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+bool subset_of_any(const FailureScenario& scenario,
+                   const std::vector<FailureScenario>& set) {
+  for (const FailureScenario& member : set) {
+    if (scenario.switches_subset_of(member)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+VerificationEngine::VerificationEngine(const StatelessNbf& nbf, Options options)
+    : nbf_(&nbf), options_(options) {
+  NPTSN_EXPECT(options.num_threads >= 1, "engine needs at least one thread");
+  NPTSN_EXPECT(options.chunk_size >= 1, "engine chunk size must be positive");
+  NPTSN_EXPECT(options.max_memo_entries >= 1, "memo bound must be positive");
+  if (options.num_threads > 1) pool_ = std::make_unique<ThreadPool>(options.num_threads);
+}
+
+void VerificationEngine::clear() {
+  memo_.clear();
+  outcomes_.clear();
+  seeds_.clear();
+  seed_edges_.clear();
+  have_seed_graph_ = false;
+}
+
+void VerificationEngine::refresh_seeds(const Topology& topology,
+                                       std::uint64_t fingerprint) {
+  const Graph& g = topology.graph();
+  // Same graph: seeds (and their reference edge set) stay valid as-is.
+  if (have_seed_graph_ && fingerprint == seed_fp_) return;
+  if (have_seed_graph_) {
+    bool grew = true;
+    for (const EdgeKey& e : seed_edges_) {
+      if (!g.has_edge(e.a, e.b)) {
+        grew = false;
+        break;
+      }
+    }
+    // Non-monotone transition (episode reset): survivals proven on the old
+    // graph say nothing about the new one.
+    if (!grew) seeds_.clear();
+  }
+  // Adopt the current graph as the seeds' reference. Every retained seed was
+  // proven on a subgraph of it, so the validity chain is preserved.
+  seed_edges_.clear();
+  for (const Edge& e : g.edges()) seed_edges_.emplace_back(e.u, e.v);
+  seed_fp_ = fingerprint;
+  have_seed_graph_ = true;
+}
+
+void VerificationEngine::add_seed(const FailureScenario& scenario) {
+  if (subset_of_any(scenario, seeds_)) return;  // dominated by an existing seed
+  std::erase_if(seeds_, [&scenario](const FailureScenario& seed) {
+    return seed.switches_subset_of(scenario);
+  });
+  seeds_.push_back(scenario);
+}
+
+AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
+  const auto start = std::chrono::steady_clock::now();
+  const PlanningProblem& problem = topology.problem();
+  const double goal = problem.reliability_goal;
+  AnalysisOutcome outcome;
+
+  const std::uint64_t fp = topology.graph_fingerprint();
+  std::vector<signed char> plan;
+  if (options_.incremental) {
+    refresh_seeds(topology, fp);
+    if (memo_.size() > options_.max_memo_entries) memo_.clear();
+    if (outcomes_.size() > options_.max_memo_entries) outcomes_.clear();
+
+    // Outcome cache: (link set, switch plan) determines the whole analysis.
+    const auto switches = problem.switch_ids();
+    plan.reserve(switches.size());
+    for (const NodeId v : switches) {
+      plan.push_back(topology.has_switch(v)
+                         ? static_cast<signed char>(topology.switch_asil(v))
+                         : static_cast<signed char>(-1));
+    }
+    if (const auto it = outcomes_.find(OutcomeRef{fp, &plan}); it != outcomes_.end()) {
+      AnalysisOutcome cached = it->second;
+      // Logical counters replay verbatim; the work counters reflect this
+      // run: nothing executed, everything served from the cache.
+      cached.nbf_executed = 0;
+      cached.memo_hits = cached.nbf_calls;
+      cached.seed_reuses = 0;
+      cached.speculative_waste = 0;
+      cached.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      return cached;
+    }
+  }
+
+  // Candidate failing components, exactly as the sequential analyzer.
+  std::vector<NodeId> candidates = topology.selected_switches();
+  if (options_.flow_level_redundancy) {
+    const auto stations = problem.end_station_ids();
+    candidates.insert(candidates.end(), stations.begin(), stations.end());
+    std::ranges::sort(candidates);
+  }
+  auto prob_of = [&](NodeId v) {
+    return problem.library.failure_prob(topology.node_asil(v));
+  };
+
+  // Alg. 3 line 1: maxord.
+  std::vector<double> probs;
+  probs.reserve(candidates.size());
+  for (const NodeId v : candidates) probs.push_back(prob_of(v));
+  std::ranges::sort(probs, std::greater<>());
+  double cumulative = 1.0;
+  int maxord = 0;
+  for (const double p : probs) {
+    cumulative *= p;
+    if (cumulative < goal) break;
+    ++maxord;
+  }
+  outcome.max_order = maxord;
+
+  // Survivors in exact sequential order: what the sequential analyzer's
+  // `checked` list would contain at each point of the enumeration. Pruning
+  // against it reproduces the reference counters verbatim.
+  std::vector<FailureScenario> sim_checked;
+  const int n = static_cast<int>(candidates.size());
+
+  const auto commit = [&] {
+    if (options_.incremental) outcomes_.emplace(OutcomeKey{fp, std::move(plan)}, outcome);
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return outcome;
+  };
+
+  if (!pool_) {
+    // Serial path: the sequential analyzer's inline loop with each NBF call
+    // serviced from seeds / memo / a fresh evaluation. No wave buffering —
+    // each survivor is visible to the very next scenario, exactly as in the
+    // wave-based reduction (which classifies lazily for the serial case).
+    bool done = false;
+    for (int order = maxord; order >= 0 && !done; --order) {
+      const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+        FailureScenario scenario;
+        scenario.failed_switches.reserve(idx.size());
+        double prob = 1.0;
+        for (const int i : idx) {
+          const NodeId v = candidates[static_cast<std::size_t>(i)];
+          scenario.failed_switches.push_back(v);
+          prob *= prob_of(v);
+        }
+        if (prob < goal) {
+          ++outcome.scenarios_skipped;  // safe fault
+          return true;
+        }
+        if (options_.use_superset_pruning && subset_of_any(scenario, sim_checked)) {
+          ++outcome.scenarios_pruned;
+          return true;
+        }
+
+        ++outcome.nbf_calls;
+        Verdict verdict;
+        bool resolved = false;
+        if (options_.incremental) {
+          if (subset_of_any(scenario, seeds_)) {
+            verdict.ok = true;  // monotonicity lemma
+            ++outcome.seed_reuses;
+            resolved = true;
+          } else if (const auto it = memo_.find(MemoRef{fp, &scenario.failed_switches});
+                     it != memo_.end()) {
+            verdict = it->second;  // exact: same graph, same scenario
+            ++outcome.memo_hits;
+            resolved = true;
+          }
+        }
+        if (!resolved) {
+          NbfResult result = nbf_->recover(topology, scenario);
+          ++outcome.nbf_executed;
+          verdict.ok = result.ok();
+          verdict.errors = std::move(result.errors);
+          if (options_.incremental) {
+            memo_.emplace(MemoKey{fp, scenario.failed_switches}, verdict);
+          }
+        }
+        if (!verdict.ok) {
+          outcome.reliable = false;
+          outcome.counterexample = std::move(scenario);
+          outcome.errors = std::move(verdict.errors);
+          return false;
+        }
+        if (options_.incremental) add_seed(scenario);
+        sim_checked.push_back(std::move(scenario));
+        return true;
+      });
+      if (!completed) done = true;
+    }
+    if (!done) outcome.reliable = true;
+    return commit();
+  }
+
+  enum class Source { kEval, kMemo, kSeed };
+  struct Item {
+    FailureScenario scenario;
+    double prob = 1.0;
+    Source source = Source::kEval;
+    const Verdict* memo = nullptr;  // kMemo
+    NbfResult result;               // kEval, once evaluated
+    bool evaluated = false;
+  };
+  const std::size_t wave_capacity = static_cast<std::size_t>(options_.chunk_size) *
+                                    static_cast<std::size_t>(options_.num_threads);
+  std::vector<Item> wave;
+  wave.reserve(wave_capacity);
+
+  // Processes the buffered wave; returns false when a counterexample ends
+  // the whole analysis.
+  const auto flush = [&]() -> bool {
+    if (wave.empty()) return true;
+
+    // Classify against the knowledge available before the wave; survivors
+    // committed inside the wave can only prune further (handled in the
+    // reduction below, where a speculative evaluation becomes waste).
+    std::vector<std::size_t> to_eval;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      Item& item = wave[i];
+      if (item.prob < goal) continue;
+      if (options_.use_superset_pruning && subset_of_any(item.scenario, sim_checked)) {
+        continue;
+      }
+      if (options_.incremental) {
+        if (subset_of_any(item.scenario, seeds_)) {
+          item.source = Source::kSeed;
+          continue;
+        }
+        const auto it = memo_.find(MemoRef{fp, &item.scenario.failed_switches});
+        if (it != memo_.end()) {
+          item.source = Source::kMemo;
+          item.memo = &it->second;
+          continue;
+        }
+      }
+      to_eval.push_back(i);
+    }
+    if (!to_eval.empty()) {
+      pool_->parallel_for(static_cast<int>(to_eval.size()), [&](int j) {
+        Item& item = wave[to_eval[static_cast<std::size_t>(j)]];
+        item.result = nbf_->recover(topology, item.scenario);
+        item.evaluated = true;
+      });
+      outcome.nbf_executed += static_cast<std::int64_t>(to_eval.size());
+    }
+
+    // Ordered reduction: replay the wave in enumeration order with exact
+    // Algorithm 3 semantics.
+    for (Item& item : wave) {
+      if (item.prob < goal) {
+        ++outcome.scenarios_skipped;  // safe fault
+        continue;
+      }
+      if (options_.use_superset_pruning && subset_of_any(item.scenario, sim_checked)) {
+        ++outcome.scenarios_pruned;
+        if (item.evaluated) ++outcome.speculative_waste;
+        continue;
+      }
+
+      // The sequential analyzer calls the NBF here; resolve the verdict from
+      // whichever source owns it.
+      ++outcome.nbf_calls;
+      Verdict verdict;
+      switch (item.source) {
+        case Source::kSeed:
+          verdict.ok = true;  // monotonicity lemma: survivable stays survivable
+          ++outcome.seed_reuses;
+          break;
+        case Source::kMemo:
+          verdict = *item.memo;  // exact: same graph, same scenario
+          ++outcome.memo_hits;
+          break;
+        case Source::kEval:
+          if (!item.evaluated) {
+            item.result = nbf_->recover(topology, item.scenario);
+            ++outcome.nbf_executed;
+          }
+          verdict.ok = item.result.ok();
+          verdict.errors = item.result.errors;
+          if (options_.incremental) {
+            memo_.emplace(MemoKey{fp, item.scenario.failed_switches}, verdict);
+          }
+          break;
+      }
+
+      if (!verdict.ok) {
+        outcome.reliable = false;
+        outcome.counterexample = std::move(item.scenario);
+        outcome.errors = std::move(verdict.errors);
+        return false;
+      }
+      if (options_.incremental) add_seed(item.scenario);
+      sim_checked.push_back(std::move(item.scenario));
+    }
+    wave.clear();
+    return true;
+  };
+
+  bool done = false;
+  for (int order = maxord; order >= 0 && !done; --order) {
+    const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      Item item;
+      item.scenario.failed_switches.reserve(idx.size());
+      for (const int i : idx) {
+        const NodeId v = candidates[static_cast<std::size_t>(i)];
+        item.scenario.failed_switches.push_back(v);
+        item.prob *= prob_of(v);
+      }
+      // candidates is sorted ascending, combinations are lexicographic, so
+      // failed_switches is already normalized.
+      wave.push_back(std::move(item));
+      if (wave.size() >= wave_capacity && !flush()) return false;
+      return true;
+    });
+    if (!completed) {
+      done = true;
+      break;
+    }
+    // Waves never span orders: higher-order survivors are the strongest
+    // pruners, so commit them before enumerating their subsets.
+    if (!flush()) done = true;
+  }
+
+  if (!done) outcome.reliable = true;
+  return commit();
+}
+
+}  // namespace nptsn

@@ -1,0 +1,184 @@
+// The incremental, parallel reliability-verification engine.
+//
+// A drop-in replacement for per-step FailureAnalyzer::analyze calls in the
+// planning hot loop. It runs the same Algorithm 3 enumeration but services
+// it through three accelerations, none of which may change the result:
+//
+//  1. Verdict memo (exact). The stateless NBF is a pure function of the
+//     residual graph — it never reads the ASIL allocation — so a verdict
+//     computed for (graph fingerprint, scenario) is reusable verbatim on any
+//     later analysis of a topology with the same link set. ASIL-upgrade
+//     actions leave the graph untouched: re-analyses after them are served
+//     almost entirely from the memo, and only the probability frontier
+//     (maxord, safe-fault cutoffs) is recomputed.
+//
+//  2. Survivable-scenario carry-over (monotonicity lemma). Construction is
+//     monotone: path-addition actions only add links. Removing the same
+//     failed switches from a supergraph leaves a super-residual, on which a
+//     previously recovered flow state is still deployable — the identical
+//     argument Algorithm 3 already uses for subset pruning, applied across
+//     steps. Scenarios proven survivable therefore carry over as pruning
+//     seeds as long as the graph only grows; any non-monotone transition
+//     (episode reset) drops them.
+//
+//  3. Outcome cache (exact). The whole AnalysisOutcome is a deterministic
+//     function of (link set, switch plan) for a fixed problem and options —
+//     the enumeration order, the probability frontier, and every NBF verdict
+//     are determined by them. Re-analyses of a previously seen (fingerprint,
+//     switch selection + ASIL vector) pair are served in one lookup; a
+//     converged policy that re-produces the same designs epoch after epoch
+//     hits this cache on most steps.
+//
+//  4. Speculative parallel evaluation with an ordered reduction. Scenario
+//     combinations are enumerated into waves; NBF evaluations inside a wave
+//     run concurrently on a thread pool. A serial reduction then replays the
+//     wave in exact Algorithm 3 order — probability skip, subset pruning
+//     against the survivors the sequential analyzer would have accumulated,
+//     then the (precomputed) verdict — so the engine returns the same
+//     verdict, the same FIRST counterexample, the same ErrorSet, and the
+//     same logical instrumentation counters as the sequential analyzer, for
+//     every thread count. Speculative evaluations that the reduction prunes
+//     are wasted work, never a behaviour change.
+//
+// The engine's caches are derived state: they must never be serialized into
+// checkpoints, and a cold engine produces bit-identical outcomes to a warm
+// one (only nbf_executed/memo_hits/seed_reuses differ).
+//
+// One engine instance serves ONE (problem, NBF) pair; both must outlive it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/failure_analyzer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nptsn {
+
+class VerificationEngine {
+ public:
+  struct Options {
+    // Mirror of FailureAnalyzer::Options — the engine must be differential-
+    // equivalent to the sequential analyzer under the same settings.
+    bool flow_level_redundancy = false;
+    bool use_superset_pruning = true;
+    // Cross-step reuse (verdict memo + survivable-scenario carry-over).
+    // Disabling it leaves a purely parallel engine.
+    bool incremental = true;
+    // NBF evaluations per wave run on this many threads; 1 evaluates inline
+    // during the reduction (no pool, no speculation, zero wasted calls).
+    int num_threads = 1;
+    // Scenarios per wave and thread: wave capacity = chunk_size * threads.
+    int chunk_size = 32;
+    // Verdict memo and outcome cache are each cleared wholesale when they
+    // outgrow this bound (derived state — dropping them costs recomputation,
+    // never correctness).
+    std::size_t max_memo_entries = std::size_t{1} << 18;
+  };
+
+  explicit VerificationEngine(const StatelessNbf& nbf)
+      : VerificationEngine(nbf, Options{}) {}
+  VerificationEngine(const StatelessNbf& nbf, Options options);
+
+  // Algorithm 3 against the topology. Non-const: refreshes the seeds against
+  // the topology's graph and absorbs this analysis's survivors/verdicts.
+  AnalysisOutcome analyze(const Topology& topology);
+
+  // Drops all derived state (memo + seeds).
+  void clear();
+
+  // Introspection for tests and instrumentation.
+  std::size_t memo_entries() const { return memo_.size(); }
+  std::size_t outcome_entries() const { return outcomes_.size(); }
+  std::size_t seed_count() const { return seeds_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Verdict {
+    bool ok = false;
+    ErrorSet errors;
+  };
+
+  struct MemoKey {
+    std::uint64_t fp = 0;
+    std::vector<NodeId> switches;
+  };
+  // Borrowed-key view for allocation-free lookups (the analyze hot path
+  // probes the memo once per evaluated scenario).
+  struct MemoRef {
+    std::uint64_t fp = 0;
+    const std::vector<NodeId>* switches = nullptr;
+  };
+  struct MemoLess {
+    using is_transparent = void;
+    static bool less(std::uint64_t afp, const std::vector<NodeId>& asw,
+                     std::uint64_t bfp, const std::vector<NodeId>& bsw) {
+      if (afp != bfp) return afp < bfp;
+      return std::lexicographical_compare(asw.begin(), asw.end(), bsw.begin(), bsw.end());
+    }
+    bool operator()(const MemoKey& a, const MemoKey& b) const {
+      return less(a.fp, a.switches, b.fp, b.switches);
+    }
+    bool operator()(const MemoKey& a, const MemoRef& b) const {
+      return less(a.fp, a.switches, b.fp, *b.switches);
+    }
+    bool operator()(const MemoRef& a, const MemoKey& b) const {
+      return less(a.fp, *a.switches, b.fp, b.switches);
+    }
+  };
+
+  // Outcome-cache key: the link-set fingerprint plus the full switch plan
+  // (absent = -1, else the ASIL level), which together determine the
+  // candidate set, the probability frontier, and every verdict.
+  struct OutcomeKey {
+    std::uint64_t fp = 0;
+    std::vector<signed char> plan;
+  };
+  struct OutcomeRef {
+    std::uint64_t fp = 0;
+    const std::vector<signed char>* plan = nullptr;
+  };
+  struct OutcomeLess {
+    using is_transparent = void;
+    static bool less(std::uint64_t afp, const std::vector<signed char>& ap,
+                     std::uint64_t bfp, const std::vector<signed char>& bp) {
+      if (afp != bfp) return afp < bfp;
+      return std::lexicographical_compare(ap.begin(), ap.end(), bp.begin(), bp.end());
+    }
+    bool operator()(const OutcomeKey& a, const OutcomeKey& b) const {
+      return less(a.fp, a.plan, b.fp, b.plan);
+    }
+    bool operator()(const OutcomeKey& a, const OutcomeRef& b) const {
+      return less(a.fp, a.plan, b.fp, *b.plan);
+    }
+    bool operator()(const OutcomeRef& a, const OutcomeKey& b) const {
+      return less(a.fp, *a.plan, b.fp, b.plan);
+    }
+  };
+
+  void refresh_seeds(const Topology& topology, std::uint64_t fingerprint);
+  void add_seed(const FailureScenario& scenario);
+
+  const StatelessNbf* nbf_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+
+  // (graph fingerprint, failed switch set) -> NBF verdict. std::map for
+  // deterministic iteration and stable value addresses across inserts.
+  std::map<MemoKey, Verdict, MemoLess> memo_;
+  // (graph fingerprint, switch plan) -> complete analysis outcome.
+  std::map<OutcomeKey, AnalysisOutcome, OutcomeLess> outcomes_;
+
+  // Antichain of maximal survivable scenarios, valid for any supergraph of
+  // the edge set they were proven on (tracked in seed_edges_/seed_fp_).
+  std::vector<FailureScenario> seeds_;
+  std::vector<EdgeKey> seed_edges_;
+  std::uint64_t seed_fp_ = 0;
+  bool have_seed_graph_ = false;
+};
+
+}  // namespace nptsn

@@ -14,6 +14,11 @@ NeuroPlanEnv::NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& n
       links_(problem.connections.edges()),
       topology_(problem) {
   problem.validate();
+  if (config.use_verification_engine) {
+    VerificationEngine::Options options;
+    options.num_threads = config.verification_threads;
+    engine_ = std::make_unique<VerificationEngine>(nbf, options);
+  }
   // The encoder's dynamic-action block stays empty: NeuroPlan's actions are
   // static, so the state alone describes them (its original design).
   dummy_actions_.actions.resize(static_cast<std::size_t>(problem.num_switches()) + 1);
@@ -77,7 +82,7 @@ NeuroPlanEnv::StepResult NeuroPlanEnv::step(int action) {
   StepResult result;
   result.reward = (cost_before - topology_.cost()) / config_->reward_scale;
 
-  const AnalysisOutcome analysis = analyzer_.analyze(topology_);
+  const AnalysisOutcome analysis = analyze();
   refresh_mask();
   if (analysis.reliable) {
     recorder_->record(topology_);
@@ -96,6 +101,17 @@ NeuroPlanEnv::StepResult NeuroPlanEnv::step(int action) {
     result.episode_end = true;
   }
   return result;
+}
+
+AnalysisOutcome NeuroPlanEnv::analyze() {
+  AnalysisOutcome outcome =
+      engine_ ? engine_->analyze(topology_) : analyzer_.analyze(topology_);
+  stats_.verify_calls += outcome.nbf_calls;
+  stats_.verify_executed += outcome.nbf_executed;
+  stats_.verify_memo_hits += outcome.memo_hits;
+  stats_.verify_seed_reuses += outcome.seed_reuses;
+  stats_.verify_seconds += outcome.wall_seconds;
+  return outcome;
 }
 
 void NeuroPlanEnv::reset() {

@@ -30,6 +30,7 @@ class NeuroPlanEnv final : public Environment {
   void reset() override;
 
   const Topology& topology() const { return topology_; }
+  Stats stats() const override { return stats_; }
 
   // Long trajectories are NeuroPlan's documented weakness; a generous cap
   // keeps a stuck episode from absorbing a whole epoch.
@@ -38,12 +39,15 @@ class NeuroPlanEnv final : public Environment {
  private:
   void refresh_mask();
   bool link_addable(const Edge& edge) const;
+  AnalysisOutcome analyze();
 
   const PlanningProblem* problem_;
   const NptsnConfig* config_;
   FailureAnalyzer analyzer_;
+  std::unique_ptr<VerificationEngine> engine_;  // same knob as PlanningEnv
   ObservationEncoder encoder_;
   SolutionRecorder* recorder_;
+  Stats stats_;
 
   std::vector<Edge> links_;  // Gc edges, fixed order = action ids
   Topology topology_;

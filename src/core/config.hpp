@@ -41,6 +41,19 @@ struct NptsnConfig {
   int num_workers = 1;
   std::uint64_t seed = 1;
 
+  // --- reliability verification ----------------------------------------------
+  // Per-step failure analysis through the incremental verification engine
+  // instead of a cold sequential FailureAnalyzer run. Verdict, first
+  // counterexample, error set, and the logical instrumentation counters are
+  // identical by construction (differential-tested), so this knob never
+  // changes training trajectories — only how fast analyses complete.
+  bool use_verification_engine = true;
+  // NBF evaluations inside one analysis run on this many threads (per
+  // environment — with parallel rollout workers the products multiply, so
+  // keep num_workers * verification_threads near the core count). 1 keeps
+  // the analysis single-threaded with incremental reuse only.
+  int verification_threads = 1;
+
   // --- crash resilience -------------------------------------------------------
   // When non-empty, plan() checkpoints the full training state (network,
   // optimizers, per-worker RNG/environment state, best verified solution)

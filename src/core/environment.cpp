@@ -56,6 +56,11 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
       rng_(rng),
       topology_(problem) {
   problem.validate();
+  if (config.use_verification_engine) {
+    VerificationEngine::Options options;
+    options.num_threads = config.verification_threads;
+    engine_ = std::make_unique<VerificationEngine>(nbf, options);
+  }
   analyze_and_generate();
 }
 
@@ -71,8 +76,13 @@ void PlanningEnv::analyze_and_generate() {
   rng_before_generate_ = rng_;
   nbf_calls_before_generate_ = nbf_calls_;
 
-  analysis_ = analyzer_.analyze(topology_);
+  analysis_ = engine_ ? engine_->analyze(topology_) : analyzer_.analyze(topology_);
   nbf_calls_ += analysis_.nbf_calls;
+  stats_.verify_calls += analysis_.nbf_calls;
+  stats_.verify_executed += analysis_.nbf_executed;
+  stats_.verify_memo_hits += analysis_.memo_hits;
+  stats_.verify_seed_reuses += analysis_.seed_reuses;
+  stats_.verify_seconds += analysis_.wall_seconds;
   if (analysis_.reliable) {
     actions_ = ActionSpace{};  // regenerated on reset
     actions_.actions.resize(static_cast<std::size_t>(num_actions()));

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "analysis/failure_analyzer.hpp"
+#include "analysis/verification_engine.hpp"
 #include "core/config.hpp"
 #include "core/observation_encoder.hpp"
 #include "core/soag.hpp"
@@ -64,6 +65,11 @@ class PlanningEnv final : public Environment {
   const Topology& topology() const { return topology_; }
   const AnalysisOutcome& last_analysis() const { return analysis_; }
   std::int64_t nbf_calls() const { return nbf_calls_; }
+  // Cumulative verification work. verify_calls always equals nbf_calls();
+  // the reuse fields are zero when config.use_verification_engine is off.
+  // Engine caches and these counters are derived state: they never enter
+  // snapshots, and analysis outcomes do not depend on cache warmth.
+  Stats stats() const override { return stats_; }
 
  private:
   void analyze_and_generate();
@@ -71,6 +77,7 @@ class PlanningEnv final : public Environment {
   const PlanningProblem* problem_;
   const NptsnConfig* config_;
   FailureAnalyzer analyzer_;
+  std::unique_ptr<VerificationEngine> engine_;  // when the engine knob is on
   Soag soag_;
   ObservationEncoder encoder_;
   SolutionRecorder* recorder_;
@@ -80,6 +87,7 @@ class PlanningEnv final : public Environment {
   ActionSpace actions_;
   AnalysisOutcome analysis_;
   std::int64_t nbf_calls_ = 0;
+  Stats stats_;
   // State captured at the top of analyze_and_generate, i.e. before the SOAG
   // consumed any randomness for the current action space — the resume point
   // save_snapshot persists.

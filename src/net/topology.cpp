@@ -1,5 +1,6 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <map>
 #include <string>
 
@@ -58,6 +59,7 @@ void Topology::add_link(NodeId u, NodeId v) {
                  "degree constraint violated at node " + std::to_string(w));
   }
   gt_.add_edge(u, v, problem_->connections.length(u, v));
+  fingerprint_cache_.reset();
 }
 
 bool Topology::has_link(NodeId u, NodeId v) const { return gt_.has_edge(u, v); }
@@ -109,6 +111,28 @@ double Topology::cost() const {
     total += lib.link_cost(link_asil(edge.u, edge.v), edge.length);
   }
   return total;
+}
+
+std::uint64_t Topology::graph_fingerprint() const {
+  if (fingerprint_cache_) return *fingerprint_cache_;
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  mix(static_cast<std::uint64_t>(gt_.num_nodes()));
+  // Canonical (lexicographic) edge order: the same graph built through a
+  // different link-insertion order must hash identically.
+  auto edges = gt_.edges();
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  for (const Edge& e : edges) {
+    mix((static_cast<std::uint64_t>(e.u) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.v)));
+  }
+  fingerprint_cache_ = h;
+  return h;
 }
 
 Graph Topology::residual(const FailureScenario& scenario) const {

@@ -8,6 +8,7 @@
 // removed.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -61,6 +62,16 @@ class Topology {
   // Current Gt over the full node id space (absent switches are isolated).
   const Graph& graph() const { return gt_; }
 
+  // Order-independent 64-bit fingerprint of Gt's link set (FNV-1a over the
+  // lexicographic edge list). The recovery NBF is a pure function of the
+  // residual graph — it never reads the ASIL allocation — so two topologies
+  // with equal fingerprints produce identical NBF results for every failure
+  // scenario. The verification engine keys its cross-step verdict memo on
+  // this value; ASIL-upgrade actions leave it unchanged. Cached after the
+  // first call, invalidated by link additions (the hot loop fingerprints
+  // every analysis).
+  std::uint64_t graph_fingerprint() const;
+
   // Gt minus the failed components — the graph the recovery NBF routes on.
   Graph residual(const FailureScenario& scenario) const;
 
@@ -68,6 +79,7 @@ class Topology {
   const PlanningProblem* problem_;
   Graph gt_;
   std::vector<std::optional<Asil>> switch_level_;  // indexed by node id
+  mutable std::optional<std::uint64_t> fingerprint_cache_;
   int max_degree_of(NodeId v) const;
 };
 

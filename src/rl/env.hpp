@@ -49,6 +49,22 @@ class Environment {
   // Starts a fresh episode.
   virtual void reset() = 0;
 
+  // --- instrumentation --------------------------------------------------------
+  // Cumulative counters of the environment's verification work (the dominant
+  // environment cost in this codebase: per-step reliability analysis). The
+  // trainer differences these across an epoch into EpochStats. verify_calls
+  // counts logical Algorithm-3 NBF calls and is deterministic for a given
+  // trajectory; the remaining fields describe how the verification engine
+  // serviced them (cache-warmth dependent, never part of checkpoints).
+  struct Stats {
+    std::int64_t verify_calls = 0;
+    std::int64_t verify_executed = 0;
+    std::int64_t verify_memo_hits = 0;
+    std::int64_t verify_seed_reuses = 0;
+    double verify_seconds = 0.0;
+  };
+  virtual Stats stats() const { return {}; }
+
   // --- checkpoint/resume -----------------------------------------------------
   // Environments that can serialize their mid-episode state opt in by
   // overriding all three members. The trainer snapshots supporting

@@ -52,6 +52,11 @@ Trainer::~Trainer() = default;
 EpochStats Trainer::run_epoch(int epoch) {
   const int steps_per_worker = config_.steps_per_epoch / config_.num_workers;
 
+  // Baseline for the per-epoch verification-work delta (cumulative counters).
+  std::vector<Environment::Stats> stats_before;
+  stats_before.reserve(workers_.size());
+  for (const auto& worker : workers_) stats_before.push_back(worker->env->stats());
+
   // Rollout collection. Forward passes only read shared network parameters,
   // so concurrent workers are safe; each worker owns its env/rng/buffer.
   auto collect = [&](int w) {
@@ -107,6 +112,15 @@ EpochStats Trainer::run_epoch(int epoch) {
   }
   if (stats.episodes_finished > 0) {
     stats.mean_episode_reward = return_sum / stats.episodes_finished;
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const auto now = workers_[w]->env->stats();
+    const auto& before = stats_before[w];
+    stats.verify_nbf_calls += now.verify_calls - before.verify_calls;
+    stats.verify_nbf_executed += now.verify_executed - before.verify_executed;
+    stats.verify_memo_hits += now.verify_memo_hits - before.verify_memo_hits;
+    stats.verify_seed_reuses += now.verify_seed_reuses - before.verify_seed_reuses;
+    stats.verify_seconds += now.verify_seconds - before.verify_seconds;
   }
 
   const Batch batch = merged.take();

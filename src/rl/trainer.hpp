@@ -69,6 +69,17 @@ struct EpochStats {
   double critic_loss = 0.0;
   double approx_kl = 0.0;
   int steps = 0;
+
+  // Environment verification work this epoch, summed over workers in index
+  // order (Environment::Stats deltas). verify_nbf_calls is deterministic for
+  // a given trajectory; the reuse/wall fields depend on engine cache warmth
+  // and are reported for observability only — they are never checkpointed
+  // and never compared for resume determinism.
+  std::int64_t verify_nbf_calls = 0;
+  std::int64_t verify_nbf_executed = 0;
+  std::int64_t verify_memo_hits = 0;
+  std::int64_t verify_seed_reuses = 0;
+  double verify_seconds = 0.0;
 };
 
 class Trainer {

@@ -204,6 +204,49 @@ TEST(Topology, ResidualRejectsUnplannedSwitch) {
   EXPECT_THROW(t.residual(scenario), std::invalid_argument);
 }
 
+// The graph fingerprint keys the verification engine's memo: it must track
+// exactly the residual-graph-relevant state (nodes + links) and nothing
+// else — in particular, ASIL upgrades must not move it.
+TEST(Topology, FingerprintIgnoresAsilUpgrades) {
+  const auto p = tiny_problem();
+  auto t = dual_homed_topology(p);
+  const auto before = t.graph_fingerprint();
+  t.upgrade_switch(4);
+  t.upgrade_switch(5);
+  EXPECT_EQ(t.graph_fingerprint(), before);
+}
+
+TEST(Topology, FingerprintChangesOnGraphMutation) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  const auto empty = t.graph_fingerprint();
+  t.add_switch(4);
+  // An isolated switch leaves the link set — and every residual graph the
+  // NBF can see — unchanged, so the memo key deliberately ignores it.
+  EXPECT_EQ(t.graph_fingerprint(), empty);
+  t.add_link(0, 4);
+  EXPECT_NE(t.graph_fingerprint(), empty);
+}
+
+TEST(Topology, FingerprintIsConstructionOrderIndependent) {
+  const auto p = tiny_problem();
+  Topology a(p);
+  a.add_switch(4);
+  a.add_switch(5);
+  a.add_switch(6);
+  a.add_link(4, 5);
+  a.add_link(4, 6);
+  a.add_link(0, 4);
+  Topology b(p);
+  b.add_switch(6);
+  b.add_switch(5);
+  b.add_switch(4);
+  b.add_link(0, 4);
+  b.add_link(4, 6);
+  b.add_link(4, 5);
+  EXPECT_EQ(a.graph_fingerprint(), b.graph_fingerprint());
+}
+
 TEST(Topology, CopyIsIndependent) {
   const auto p = tiny_problem();
   auto t = star_topology(p);
