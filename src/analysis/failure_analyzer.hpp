@@ -39,8 +39,9 @@ struct AnalysisOutcome {
   // the verification engine splits the work between fresh evaluations, memo
   // hits, and carried-over survivable scenarios.
   std::int64_t nbf_executed = 0;       // NBF evaluations actually run
-  std::int64_t memo_hits = 0;          // verdicts served by the (graph, scenario) memo
-  std::int64_t seed_reuses = 0;        // settled by a carried-over survivable scenario
+  std::int64_t memo_hits = 0;          // memo verdicts computed on this same graph
+  std::int64_t residual_reuses = 0;    // memo verdicts carried over from an earlier
+                                       // topology with an identical residual (exact)
   std::int64_t speculative_waste = 0;  // parallel evaluations discarded by the reduction
   double wall_seconds = 0.0;           // wall time of this analysis
 };

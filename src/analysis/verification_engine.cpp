@@ -30,42 +30,6 @@ VerificationEngine::VerificationEngine(const StatelessNbf& nbf, Options options)
 void VerificationEngine::clear() {
   memo_.clear();
   outcomes_.clear();
-  seeds_.clear();
-  seed_edges_.clear();
-  have_seed_graph_ = false;
-}
-
-void VerificationEngine::refresh_seeds(const Topology& topology,
-                                       std::uint64_t fingerprint) {
-  const Graph& g = topology.graph();
-  // Same graph: seeds (and their reference edge set) stay valid as-is.
-  if (have_seed_graph_ && fingerprint == seed_fp_) return;
-  if (have_seed_graph_) {
-    bool grew = true;
-    for (const EdgeKey& e : seed_edges_) {
-      if (!g.has_edge(e.a, e.b)) {
-        grew = false;
-        break;
-      }
-    }
-    // Non-monotone transition (episode reset): survivals proven on the old
-    // graph say nothing about the new one.
-    if (!grew) seeds_.clear();
-  }
-  // Adopt the current graph as the seeds' reference. Every retained seed was
-  // proven on a subgraph of it, so the validity chain is preserved.
-  seed_edges_.clear();
-  for (const Edge& e : g.edges()) seed_edges_.emplace_back(e.u, e.v);
-  seed_fp_ = fingerprint;
-  have_seed_graph_ = true;
-}
-
-void VerificationEngine::add_seed(const FailureScenario& scenario) {
-  if (subset_of_any(scenario, seeds_)) return;  // dominated by an existing seed
-  std::erase_if(seeds_, [&scenario](const FailureScenario& seed) {
-    return seed.switches_subset_of(scenario);
-  });
-  seeds_.push_back(scenario);
 }
 
 AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
@@ -74,28 +38,32 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
   const double goal = problem.reliability_goal;
   AnalysisOutcome outcome;
 
-  const std::uint64_t fp = topology.graph_fingerprint();
-  std::vector<signed char> plan;
+  const GraphFp fp = topology.graph_fingerprint();
   if (options_.incremental) {
-    refresh_seeds(topology, fp);
     if (memo_.size() > options_.max_memo_entries) memo_.clear();
     if (outcomes_.size() > options_.max_memo_entries) outcomes_.clear();
 
     // Outcome cache: (link set, switch plan) determines the whole analysis.
-    const auto switches = problem.switch_ids();
-    plan.reserve(switches.size());
-    for (const NodeId v : switches) {
-      plan.push_back(topology.has_switch(v)
-                         ? static_cast<signed char>(topology.switch_asil(v))
-                         : static_cast<signed char>(-1));
+    // The switch-id universe is a per-problem constant; cache it (and reuse
+    // the plan scratch buffer) so the probe allocates nothing.
+    if (!plan_switches_cached_) {
+      plan_switches_ = problem.switch_ids();
+      plan_switches_cached_ = true;
     }
-    if (const auto it = outcomes_.find(OutcomeRef{fp, &plan}); it != outcomes_.end()) {
+    plan_.clear();
+    plan_.reserve(plan_switches_.size());
+    for (const NodeId v : plan_switches_) {
+      plan_.push_back(topology.has_switch(v)
+                          ? static_cast<signed char>(topology.switch_asil(v))
+                          : static_cast<signed char>(-1));
+    }
+    if (const auto it = outcomes_.find(OutcomeRef{fp, &plan_}); it != outcomes_.end()) {
       AnalysisOutcome cached = it->second;
       // Logical counters replay verbatim; the work counters reflect this
       // run: nothing executed, everything served from the cache.
       cached.nbf_executed = 0;
       cached.memo_hits = cached.nbf_calls;
-      cached.seed_reuses = 0;
+      cached.residual_reuses = 0;
       cached.speculative_waste = 0;
       cached.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -134,8 +102,18 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
   std::vector<FailureScenario> sim_checked;
   const int n = static_cast<int>(candidates.size());
 
+  // Splits memo service between same-graph hits and verdicts carried over
+  // from a different (smaller) topology with an identical residual.
+  const auto count_memo_hit = [&](const Verdict& verdict) {
+    if (verdict.origin == fp) {
+      ++outcome.memo_hits;
+    } else {
+      ++outcome.residual_reuses;
+    }
+  };
+
   const auto commit = [&] {
-    if (options_.incremental) outcomes_.emplace(OutcomeKey{fp, std::move(plan)}, outcome);
+    if (options_.incremental) outcomes_.emplace(OutcomeKey{fp, plan_}, outcome);
     outcome.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return outcome;
@@ -143,7 +121,7 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
 
   if (!pool_) {
     // Serial path: the sequential analyzer's inline loop with each NBF call
-    // serviced from seeds / memo / a fresh evaluation. No wave buffering —
+    // serviced from the memo or a fresh evaluation. No wave buffering —
     // each survivor is visible to the very next scenario, exactly as in the
     // wave-based reduction (which classifies lazily for the serial case).
     bool done = false;
@@ -169,15 +147,13 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
         ++outcome.nbf_calls;
         Verdict verdict;
         bool resolved = false;
+        GraphFp rfp;
         if (options_.incremental) {
-          if (subset_of_any(scenario, seeds_)) {
-            verdict.ok = true;  // monotonicity lemma
-            ++outcome.seed_reuses;
-            resolved = true;
-          } else if (const auto it = memo_.find(MemoRef{fp, &scenario.failed_switches});
-                     it != memo_.end()) {
-            verdict = it->second;  // exact: same graph, same scenario
-            ++outcome.memo_hits;
+          rfp = topology.residual_fingerprint(scenario);
+          if (const auto it = memo_.find(MemoRef{rfp, &scenario.failed_switches});
+              it != memo_.end()) {
+            verdict = it->second;  // exact: identical residual, identical failed set
+            count_memo_hit(verdict);
             resolved = true;
           }
         }
@@ -186,8 +162,9 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           ++outcome.nbf_executed;
           verdict.ok = result.ok();
           verdict.errors = std::move(result.errors);
+          verdict.origin = fp;
           if (options_.incremental) {
-            memo_.emplace(MemoKey{fp, scenario.failed_switches}, verdict);
+            memo_.emplace(MemoKey{rfp, scenario.failed_switches}, verdict);
           }
         }
         if (!verdict.ok) {
@@ -196,7 +173,6 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           outcome.errors = std::move(verdict.errors);
           return false;
         }
-        if (options_.incremental) add_seed(scenario);
         sim_checked.push_back(std::move(scenario));
         return true;
       });
@@ -206,11 +182,12 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     return commit();
   }
 
-  enum class Source { kEval, kMemo, kSeed };
+  enum class Source { kEval, kMemo };
   struct Item {
     FailureScenario scenario;
     double prob = 1.0;
     Source source = Source::kEval;
+    GraphFp rfp;                    // set when incremental and not skipped
     const Verdict* memo = nullptr;  // kMemo
     NbfResult result;               // kEval, once evaluated
     bool evaluated = false;
@@ -236,11 +213,8 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
         continue;
       }
       if (options_.incremental) {
-        if (subset_of_any(item.scenario, seeds_)) {
-          item.source = Source::kSeed;
-          continue;
-        }
-        const auto it = memo_.find(MemoRef{fp, &item.scenario.failed_switches});
+        item.rfp = topology.residual_fingerprint(item.scenario);
+        const auto it = memo_.find(MemoRef{item.rfp, &item.scenario.failed_switches});
         if (it != memo_.end()) {
           item.source = Source::kMemo;
           item.memo = &it->second;
@@ -276,13 +250,9 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
       ++outcome.nbf_calls;
       Verdict verdict;
       switch (item.source) {
-        case Source::kSeed:
-          verdict.ok = true;  // monotonicity lemma: survivable stays survivable
-          ++outcome.seed_reuses;
-          break;
         case Source::kMemo:
-          verdict = *item.memo;  // exact: same graph, same scenario
-          ++outcome.memo_hits;
+          verdict = *item.memo;  // exact: identical residual, identical failed set
+          count_memo_hit(verdict);
           break;
         case Source::kEval:
           if (!item.evaluated) {
@@ -291,8 +261,9 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           }
           verdict.ok = item.result.ok();
           verdict.errors = item.result.errors;
+          verdict.origin = fp;
           if (options_.incremental) {
-            memo_.emplace(MemoKey{fp, item.scenario.failed_switches}, verdict);
+            memo_.emplace(MemoKey{item.rfp, item.scenario.failed_switches}, verdict);
           }
           break;
       }
@@ -303,7 +274,6 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
         outcome.errors = std::move(verdict.errors);
         return false;
       }
-      if (options_.incremental) add_seed(item.scenario);
       sim_checked.push_back(std::move(item.scenario));
     }
     wave.clear();

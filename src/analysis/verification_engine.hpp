@@ -4,24 +4,31 @@
 // planning hot loop. It runs the same Algorithm 3 enumeration but services
 // it through three accelerations, none of which may change the result:
 //
-//  1. Verdict memo (exact). The stateless NBF is a pure function of the
-//     residual graph — it never reads the ASIL allocation — so a verdict
-//     computed for (graph fingerprint, scenario) is reusable verbatim on any
-//     later analysis of a topology with the same link set. ASIL-upgrade
-//     actions leave the graph untouched: re-analyses after them are served
-//     almost entirely from the memo, and only the probability frontier
-//     (maxord, safe-fault cutoffs) is recomputed.
+//  1. Residual verdict memo (exact). The stateless NBF is a deterministic
+//     pure function of the residual graph (Gt minus the failed components)
+//     and the fixed problem — it never reads the ASIL allocation, and all
+//     of its traversals are over ordered adjacency, independent of link
+//     insertion order. A verdict is therefore memoized by
+//     (residual fingerprint, failed set) and replayed verbatim whenever a
+//     later analysis — on the same or ANY grown topology — presents the
+//     identical residual. ASIL-upgrade actions leave the graph untouched,
+//     so re-analyses after them are served entirely from the memo; after a
+//     path addition, every scenario whose failed set covers the new links'
+//     endpoints still has the same residual and is replayed too.
 //
-//  2. Survivable-scenario carry-over (monotonicity lemma). Construction is
-//     monotone: path-addition actions only add links. Removing the same
-//     failed switches from a supergraph leaves a super-residual, on which a
-//     previously recovered flow state is still deployable — the identical
-//     argument Algorithm 3 already uses for subset pruning, applied across
-//     steps. Scenarios proven survivable therefore carry over as pruning
-//     seeds as long as the graph only grows; any non-monotone transition
-//     (episode reset) drops them.
+//     Deliberately NOT done: carrying "proven survivable" scenarios across
+//     graph growth as assumed-ok pruning seeds. Abstract survivability is
+//     monotone under link addition (a deployed flow state stays deployable
+//     on a super-residual), but the deployed NBF is a greedy heuristic —
+//     shortest path first, k-shortest fallback, greedy slot packing — and
+//     its concrete verdict is NOT monotone: a new link can redirect routing
+//     or slot packing and make recover() fail where it previously
+//     succeeded. Serving such a seed as a verdict would diverge from the
+//     sequential analyzer (and make warm/cold engines disagree, breaking
+//     kill-and-resume determinism). tests/analysis/verification_engine_test
+//     .cpp pins this with a deliberately non-monotone NBF.
 //
-//  3. Outcome cache (exact). The whole AnalysisOutcome is a deterministic
+//  2. Outcome cache (exact). The whole AnalysisOutcome is a deterministic
 //     function of (link set, switch plan) for a fixed problem and options —
 //     the enumeration order, the probability frontier, and every NBF verdict
 //     are determined by them. Re-analyses of a previously seen (fingerprint,
@@ -29,7 +36,7 @@
 //     converged policy that re-produces the same designs epoch after epoch
 //     hits this cache on most steps.
 //
-//  4. Speculative parallel evaluation with an ordered reduction. Scenario
+//  3. Speculative parallel evaluation with an ordered reduction. Scenario
 //     combinations are enumerated into waves; NBF evaluations inside a wave
 //     run concurrently on a thread pool. A serial reduction then replays the
 //     wave in exact Algorithm 3 order — probability skip, subset pruning
@@ -40,9 +47,11 @@
 //     every thread count. Speculative evaluations that the reduction prunes
 //     are wasted work, never a behaviour change.
 //
-// The engine's caches are derived state: they must never be serialized into
-// checkpoints, and a cold engine produces bit-identical outcomes to a warm
-// one (only nbf_executed/memo_hits/seed_reuses differ).
+// Every verdict the engine reports is either a fresh NBF execution or an
+// exact replay of one on an identical input, so warm and cold engines are
+// interchangeable: only the work-split counters (nbf_executed / memo_hits /
+// residual_reuses / speculative_waste) differ. The caches are derived state
+// and must never be serialized into checkpoints.
 //
 // One engine instance serves ONE (problem, NBF) pair; both must outlive it.
 #pragma once
@@ -66,8 +75,8 @@ class VerificationEngine {
     // equivalent to the sequential analyzer under the same settings.
     bool flow_level_redundancy = false;
     bool use_superset_pruning = true;
-    // Cross-step reuse (verdict memo + survivable-scenario carry-over).
-    // Disabling it leaves a purely parallel engine.
+    // Cross-step reuse (residual verdict memo + outcome cache). Disabling
+    // it leaves a purely parallel engine.
     bool incremental = true;
     // NBF evaluations per wave run on this many threads; 1 evaluates inline
     // during the reduction (no pool, no speculation, zero wasted calls).
@@ -84,50 +93,56 @@ class VerificationEngine {
       : VerificationEngine(nbf, Options{}) {}
   VerificationEngine(const StatelessNbf& nbf, Options options);
 
-  // Algorithm 3 against the topology. Non-const: refreshes the seeds against
-  // the topology's graph and absorbs this analysis's survivors/verdicts.
+  // Algorithm 3 against the topology. Non-const: absorbs this analysis's
+  // verdicts into the memo and outcome cache.
   AnalysisOutcome analyze(const Topology& topology);
 
-  // Drops all derived state (memo + seeds).
+  // Drops all derived state (memo + outcome cache).
   void clear();
 
   // Introspection for tests and instrumentation.
   std::size_t memo_entries() const { return memo_.size(); }
   std::size_t outcome_entries() const { return outcomes_.size(); }
-  std::size_t seed_count() const { return seeds_.size(); }
   const Options& options() const { return options_; }
 
  private:
   struct Verdict {
     bool ok = false;
     ErrorSet errors;
+    // Full-graph fingerprint of the topology the verdict was computed on;
+    // instrumentation only (splits memo_hits from residual_reuses).
+    GraphFp origin;
   };
 
+  // Memo key: the residual graph's edge fingerprint plus the failed set
+  // (which also fixes the residual's active-node set — the node universe is
+  // constant for the engine's one problem). Together they are exact cache
+  // identity for the NBF's input.
   struct MemoKey {
-    std::uint64_t fp = 0;
+    GraphFp rfp;
     std::vector<NodeId> switches;
   };
   // Borrowed-key view for allocation-free lookups (the analyze hot path
   // probes the memo once per evaluated scenario).
   struct MemoRef {
-    std::uint64_t fp = 0;
+    GraphFp rfp;
     const std::vector<NodeId>* switches = nullptr;
   };
   struct MemoLess {
     using is_transparent = void;
-    static bool less(std::uint64_t afp, const std::vector<NodeId>& asw,
-                     std::uint64_t bfp, const std::vector<NodeId>& bsw) {
+    static bool less(const GraphFp& afp, const std::vector<NodeId>& asw,
+                     const GraphFp& bfp, const std::vector<NodeId>& bsw) {
       if (afp != bfp) return afp < bfp;
       return std::lexicographical_compare(asw.begin(), asw.end(), bsw.begin(), bsw.end());
     }
     bool operator()(const MemoKey& a, const MemoKey& b) const {
-      return less(a.fp, a.switches, b.fp, b.switches);
+      return less(a.rfp, a.switches, b.rfp, b.switches);
     }
     bool operator()(const MemoKey& a, const MemoRef& b) const {
-      return less(a.fp, a.switches, b.fp, *b.switches);
+      return less(a.rfp, a.switches, b.rfp, *b.switches);
     }
     bool operator()(const MemoRef& a, const MemoKey& b) const {
-      return less(a.fp, *a.switches, b.fp, b.switches);
+      return less(a.rfp, *a.switches, b.rfp, b.switches);
     }
   };
 
@@ -135,17 +150,17 @@ class VerificationEngine {
   // (absent = -1, else the ASIL level), which together determine the
   // candidate set, the probability frontier, and every verdict.
   struct OutcomeKey {
-    std::uint64_t fp = 0;
+    GraphFp fp;
     std::vector<signed char> plan;
   };
   struct OutcomeRef {
-    std::uint64_t fp = 0;
+    GraphFp fp;
     const std::vector<signed char>* plan = nullptr;
   };
   struct OutcomeLess {
     using is_transparent = void;
-    static bool less(std::uint64_t afp, const std::vector<signed char>& ap,
-                     std::uint64_t bfp, const std::vector<signed char>& bp) {
+    static bool less(const GraphFp& afp, const std::vector<signed char>& ap,
+                     const GraphFp& bfp, const std::vector<signed char>& bp) {
       if (afp != bfp) return afp < bfp;
       return std::lexicographical_compare(ap.begin(), ap.end(), bp.begin(), bp.end());
     }
@@ -160,25 +175,21 @@ class VerificationEngine {
     }
   };
 
-  void refresh_seeds(const Topology& topology, std::uint64_t fingerprint);
-  void add_seed(const FailureScenario& scenario);
-
   const StatelessNbf* nbf_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 
-  // (graph fingerprint, failed switch set) -> NBF verdict. std::map for
+  // Per-problem constants and a scratch plan buffer, cached so the hot
+  // outcome-cache probe allocates nothing (the engine serves one problem).
+  bool plan_switches_cached_ = false;
+  std::vector<NodeId> plan_switches_;
+  std::vector<signed char> plan_;
+
+  // (residual fingerprint, failed set) -> NBF verdict. std::map for
   // deterministic iteration and stable value addresses across inserts.
   std::map<MemoKey, Verdict, MemoLess> memo_;
   // (graph fingerprint, switch plan) -> complete analysis outcome.
   std::map<OutcomeKey, AnalysisOutcome, OutcomeLess> outcomes_;
-
-  // Antichain of maximal survivable scenarios, valid for any supergraph of
-  // the edge set they were proven on (tracked in seed_edges_/seed_fp_).
-  std::vector<FailureScenario> seeds_;
-  std::vector<EdgeKey> seed_edges_;
-  std::uint64_t seed_fp_ = 0;
-  bool have_seed_graph_ = false;
 };
 
 }  // namespace nptsn

@@ -109,7 +109,7 @@ AnalysisOutcome NeuroPlanEnv::analyze() {
   stats_.verify_calls += outcome.nbf_calls;
   stats_.verify_executed += outcome.nbf_executed;
   stats_.verify_memo_hits += outcome.memo_hits;
-  stats_.verify_seed_reuses += outcome.seed_reuses;
+  stats_.verify_residual_reuses += outcome.residual_reuses;
   stats_.verify_seconds += outcome.wall_seconds;
   return outcome;
 }

@@ -81,7 +81,7 @@ void PlanningEnv::analyze_and_generate() {
   stats_.verify_calls += analysis_.nbf_calls;
   stats_.verify_executed += analysis_.nbf_executed;
   stats_.verify_memo_hits += analysis_.memo_hits;
-  stats_.verify_seed_reuses += analysis_.seed_reuses;
+  stats_.verify_residual_reuses += analysis_.residual_reuses;
   stats_.verify_seconds += analysis_.wall_seconds;
   if (analysis_.reliable) {
     actions_ = ActionSpace{};  // regenerated on reset

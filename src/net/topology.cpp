@@ -7,11 +7,48 @@
 #include "util/expect.hpp"
 
 namespace nptsn {
+namespace {
+
+// splitmix64 finalizer: a strong bijective 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Per-edge contribution: two independently keyed mixes of the normalized
+// (min, max) endpoint pair. Commutative addition of these values forms the
+// graph fingerprint.
+GraphFp edge_fp(NodeId u, NodeId v) {
+  const EdgeKey key(u, v);
+  const std::uint64_t word =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.a)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.b));
+  return GraphFp{mix64(word + 0x9e3779b97f4a7c15ull),
+                 mix64(word ^ 0xda942042e4dd58b5ull), 1};
+}
+
+GraphFp base_fp(int num_nodes) {
+  const auto n = static_cast<std::uint64_t>(num_nodes);
+  return GraphFp{mix64(n ^ 0x3c6ef372fe94f82bull), mix64(n + 0xa54ff53a5f1d36f1ull), 0};
+}
+
+}  // namespace
+
+GraphFp graph_fp_of(const Graph& g) {
+  GraphFp fp = base_fp(g.num_nodes());
+  for (const Edge& e : g.edges()) fp.add(edge_fp(e.u, e.v));
+  return fp;
+}
 
 Topology::Topology(const PlanningProblem& problem)
     : problem_(&problem),
       gt_(problem.num_nodes()),
-      switch_level_(static_cast<std::size_t>(problem.num_nodes())) {}
+      switch_level_(static_cast<std::size_t>(problem.num_nodes())),
+      fp_(base_fp(problem.num_nodes())) {}
 
 bool Topology::has_switch(NodeId v) const {
   gt_.check_node(v);
@@ -59,7 +96,7 @@ void Topology::add_link(NodeId u, NodeId v) {
                  "degree constraint violated at node " + std::to_string(w));
   }
   gt_.add_edge(u, v, problem_->connections.length(u, v));
-  fingerprint_cache_.reset();
+  fp_.add(edge_fp(u, v));
 }
 
 bool Topology::has_link(NodeId u, NodeId v) const { return gt_.has_edge(u, v); }
@@ -113,26 +150,28 @@ double Topology::cost() const {
   return total;
 }
 
-std::uint64_t Topology::graph_fingerprint() const {
-  if (fingerprint_cache_) return *fingerprint_cache_;
-  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
-  const auto mix = [&h](std::uint64_t x) {
-    h ^= x;
-    h *= 1099511628211ull;  // FNV-1a prime
+GraphFp Topology::residual_fingerprint(const FailureScenario& scenario) const {
+  GraphFp fp = fp_;
+  const auto failed = [&scenario](NodeId w) {
+    return std::find(scenario.failed_switches.begin(), scenario.failed_switches.end(),
+                     w) != scenario.failed_switches.end();
   };
-  mix(static_cast<std::uint64_t>(gt_.num_nodes()));
-  // Canonical (lexicographic) edge order: the same graph built through a
-  // different link-insertion order must hash identically.
-  auto edges = gt_.edges();
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
-    return a.u != b.u ? a.u < b.u : a.v < b.v;
-  });
-  for (const Edge& e : edges) {
-    mix((static_cast<std::uint64_t>(e.u) << 32) |
-        static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.v)));
+  for (const NodeId v : scenario.failed_switches) {
+    NPTSN_EXPECT(has_switch(v) || problem_->is_end_station(v),
+                 "failed node is not part of the topology");
+    for (const auto& [w, length] : gt_.neighbors(v)) {
+      // An edge between two failed nodes is subtracted by its smaller
+      // endpoint only.
+      if (failed(w) && w < v) continue;
+      fp.subtract(edge_fp(v, w));
+    }
   }
-  fingerprint_cache_ = h;
-  return h;
+  for (const auto& link : scenario.failed_links) {
+    if (!gt_.has_edge(link.a, link.b)) continue;
+    if (failed(link.a) || failed(link.b)) continue;  // gone with the node
+    fp.subtract(edge_fp(link.a, link.b));
+  }
+  return fp;
 }
 
 Graph Topology::residual(const FailureScenario& scenario) const {

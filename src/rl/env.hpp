@@ -60,7 +60,7 @@ class Environment {
     std::int64_t verify_calls = 0;
     std::int64_t verify_executed = 0;
     std::int64_t verify_memo_hits = 0;
-    std::int64_t verify_seed_reuses = 0;
+    std::int64_t verify_residual_reuses = 0;
     double verify_seconds = 0.0;
   };
   virtual Stats stats() const { return {}; }

@@ -119,7 +119,7 @@ EpochStats Trainer::run_epoch(int epoch) {
     stats.verify_nbf_calls += now.verify_calls - before.verify_calls;
     stats.verify_nbf_executed += now.verify_executed - before.verify_executed;
     stats.verify_memo_hits += now.verify_memo_hits - before.verify_memo_hits;
-    stats.verify_seed_reuses += now.verify_seed_reuses - before.verify_seed_reuses;
+    stats.verify_residual_reuses += now.verify_residual_reuses - before.verify_residual_reuses;
     stats.verify_seconds += now.verify_seconds - before.verify_seconds;
   }
 

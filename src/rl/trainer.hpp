@@ -78,7 +78,7 @@ struct EpochStats {
   std::int64_t verify_nbf_calls = 0;
   std::int64_t verify_nbf_executed = 0;
   std::int64_t verify_memo_hits = 0;
-  std::int64_t verify_seed_reuses = 0;
+  std::int64_t verify_residual_reuses = 0;
   double verify_seconds = 0.0;
 };
 

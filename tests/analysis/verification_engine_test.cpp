@@ -153,7 +153,7 @@ TEST(VerificationEngine, WarmReanalysisIsExactAndFullyCached) {
   expect_equivalent(warm, seq, "warm");
   EXPECT_GT(cold.nbf_executed, 0);
   EXPECT_EQ(warm.nbf_executed, 0) << "second pass must be served from the caches";
-  EXPECT_EQ(warm.memo_hits + warm.seed_reuses, warm.nbf_calls);
+  EXPECT_EQ(warm.memo_hits + warm.residual_reuses, warm.nbf_calls);
 }
 
 // Re-analyses of a previously seen (link set, switch plan) pair are served
@@ -233,16 +233,17 @@ TEST(VerificationEngine, MemoizedCounterexampleCarriesErrorSet) {
   }
 }
 
-// Monotone growth keeps seeds; an episode reset (shrinking graph) must drop
-// them and still match the sequential analyzer exactly.
-TEST(VerificationEngine, EpisodeResetDropsSeedsAndStaysExact) {
+// An episode reset shrinks the graph; the memo (keyed on exact residuals)
+// needs no invalidation and the post-reset analyses must still match the
+// sequential analyzer exactly.
+TEST(VerificationEngine, EpisodeResetStaysExact) {
   const auto problem = tiny_problem(2);
   const HeuristicRecovery nbf;
   const FailureAnalyzer sequential(nbf);
   VerificationEngine engine(nbf);
 
   (void)engine.analyze(dual_homed_topology(problem, Asil::A));
-  EXPECT_GT(engine.seed_count(), 0u);
+  EXPECT_GT(engine.memo_entries(), 0u);
 
   // Fresh episode: empty topology is NOT a supergraph of the dual-homed one.
   const Topology fresh(problem);
@@ -252,6 +253,80 @@ TEST(VerificationEngine, EpisodeResetDropsSeedsAndStaysExact) {
 
   const Topology star = star_topology(problem, Asil::A);
   expect_equivalent(engine.analyze(star), sequential.analyze(star), "post-reset star");
+}
+
+// Cross-step reuse under graph growth: a new link incident to a failed
+// switch leaves that scenario's residual unchanged, so its verdict replays
+// from the memo of the smaller topology — exact by NBF purity, no
+// monotonicity assumption involved.
+TEST(VerificationEngine, ResidualReuseAcrossGraphGrowth) {
+  const auto problem = tiny_problem(2);
+  const HeuristicRecovery nbf;
+  const FailureAnalyzer sequential(nbf);
+  VerificationEngine engine(nbf);
+
+  Topology t = dual_homed_topology(problem, Asil::A);
+  (void)engine.analyze(t);
+
+  // Grow: a third switch linked to switch 4. Scenarios failing 4 keep their
+  // residual; everything else is re-evaluated.
+  t.add_switch(6);
+  t.add_link(4, 6);
+  const auto seq = sequential.analyze(t);
+  const auto eng = engine.analyze(t);
+  expect_equivalent(eng, seq, "grown");
+  EXPECT_GT(eng.residual_reuses, 0) << "scenarios failing switch 4 must replay";
+  EXPECT_LT(eng.nbf_executed, eng.nbf_calls);
+  EXPECT_EQ(eng.nbf_executed + eng.memo_hits + eng.residual_reuses, eng.nbf_calls);
+}
+
+// A deterministic, pure — but deliberately NON-monotone — NBF: its verdict
+// flips with the parity of the residual edge count, the way a greedy
+// heuristic's verdict can flip when a link is added. StatelessNbf only
+// promises determinism and purity, so the engine must stay differential-
+// equivalent for this NBF too. This is the regression test for the former
+// survivable-seed carry-over, which assumed verdict monotonicity under
+// graph growth and returned stale ok-verdicts here.
+class ParityNbf final : public StatelessNbf {
+ public:
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override {
+    NbfResult result;
+    const Graph residual = topology.residual(scenario);
+    if (residual.num_edges() % 2 == 1) result.errors.emplace_back(0, 1);
+    return result;
+  }
+};
+
+TEST_P(EngineDifferential, MatchesSequentialUnderNonMonotoneNbf) {
+  Rng rng(GetParam());
+  auto problem = tiny_problem(3);
+  const bool pruning = rng.uniform() < 0.5;
+
+  const ParityNbf nbf;
+  FailureAnalyzer::Options seq_options;
+  seq_options.use_superset_pruning = pruning;
+  const FailureAnalyzer sequential(nbf, seq_options);
+
+  const auto states = random_trajectory(problem, rng, 14);
+
+  for (const auto& variant : kVariants) {
+    VerificationEngine::Options options;
+    options.use_superset_pruning = pruning;
+    options.incremental = variant.incremental;
+    options.num_threads = variant.threads;
+    options.chunk_size = 4;
+    VerificationEngine engine(nbf, options);
+
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto seq = sequential.analyze(states[i]);
+      const auto eng = engine.analyze(states[i]);
+      expect_equivalent(eng, seq,
+                        std::string("parity seed ") + std::to_string(GetParam()) +
+                            " variant " + variant.name + " step " + std::to_string(i) +
+                            (pruning ? "" : " no-prune"));
+    }
+  }
 }
 
 // A tiny memo bound forces wholesale eviction; correctness must not depend

@@ -89,11 +89,11 @@ TEST(EngineDeterminism, SnapshotBytesIdenticalEngineOnAndOff) {
   const auto stats_on = env_on.stats();
   EXPECT_EQ(stats_on.verify_calls, env_on.nbf_calls());
   EXPECT_LT(stats_on.verify_executed, stats_on.verify_calls);
-  EXPECT_GT(stats_on.verify_memo_hits + stats_on.verify_seed_reuses, 0);
+  EXPECT_GT(stats_on.verify_memo_hits + stats_on.verify_residual_reuses, 0);
   const auto stats_off = env_off.stats();
   EXPECT_EQ(stats_off.verify_executed, stats_off.verify_calls);
   EXPECT_EQ(stats_off.verify_memo_hits, 0);
-  EXPECT_EQ(stats_off.verify_seed_reuses, 0);
+  EXPECT_EQ(stats_off.verify_residual_reuses, 0);
 }
 
 // A snapshot taken from a warm-engine env restores into a COLD-engine env
@@ -106,7 +106,7 @@ TEST(EngineDeterminism, ColdCacheResumeContinuesBitIdentically) {
 
   SolutionRecorder rec_a;
   PlanningEnv warm(problem, nbf, config, rec_a, Rng(17));
-  (void)drive(warm, 7);  // warm up the memo and seeds
+  (void)drive(warm, 7);  // warm up the memo and outcome cache
 
   ByteWriter snap;
   warm.save_snapshot(snap);

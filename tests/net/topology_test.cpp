@@ -247,6 +247,50 @@ TEST(Topology, FingerprintIsConstructionOrderIndependent) {
   EXPECT_EQ(a.graph_fingerprint(), b.graph_fingerprint());
 }
 
+// The incrementally maintained fingerprint must always agree with a
+// from-scratch recomputation over the current edge set.
+TEST(Topology, FingerprintMatchesRecompute) {
+  const auto p = tiny_problem();
+  Topology t(p);
+  EXPECT_EQ(t.graph_fingerprint(), graph_fp_of(t.graph()));
+  t.add_switch(4);
+  t.add_switch(5);
+  t.add_link(0, 4);
+  t.add_link(4, 5);
+  t.add_link(1, 5);
+  EXPECT_EQ(t.graph_fingerprint(), graph_fp_of(t.graph()));
+  EXPECT_EQ(t.graph_fingerprint().edges, 3u);
+}
+
+// residual_fingerprint must equal the fingerprint of the actually
+// materialized residual graph, for switch, end-station, multi-node, and
+// link failures (the commutative-subtraction shortcut must not double- or
+// under-count edges between failed nodes).
+TEST(Topology, ResidualFingerprintMatchesResidualGraph) {
+  const auto p = tiny_problem();
+  const auto t = dual_homed_topology(p);
+
+  std::vector<FailureScenario> scenarios;
+  FailureScenario s;
+  scenarios.push_back(s);  // empty: residual == Gt
+  s.failed_switches = {4};
+  scenarios.push_back(s);
+  s.failed_switches = {4, 5};  // adjacent failed pair: shared link (4,5)
+  scenarios.push_back(s);
+  s.failed_switches = {0};  // end station (flow-level variant)
+  scenarios.push_back(s);
+  s.failed_switches = {0, 4};
+  scenarios.push_back(s);
+  s.failed_switches = {5};
+  s.failed_links.emplace_back(0, 4);  // explicit link failure on top
+  scenarios.push_back(s);
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(t.residual_fingerprint(scenarios[i]), graph_fp_of(t.residual(scenarios[i])))
+        << "scenario " << i;
+  }
+}
+
 TEST(Topology, CopyIsIndependent) {
   const auto p = tiny_problem();
   auto t = star_topology(p);
