@@ -1,0 +1,196 @@
+// Micro-benchmark: what does certified planning cost on top of the verdict
+// the training loop already pays for?
+//
+// For each scenario (ADS with its fixed flows, ORION with a randomized
+// workload), a SOAG-driven search finds a reliability-verified plan, then
+// four phases are timed best-of-reps on that plan:
+//
+//   verify      FailureAnalyzer.analyze — the baseline the planner runs
+//               anyway to declare a solution (reference = 1.0x)
+//   build       build_certificate — re-enumerates the frontier and collects
+//               one proof per scenario (the audit_mode solution-time cost)
+//   audit       audit_certificate — the independent re-validation: replay
+//               through the simulator, re-enumerate switch-only + mixed
+//               frontier, recompute cost/probabilities (no NBF calls)
+//   roundtrip   save_certificate + load_certificate through the checkpoint
+//               byte format
+//
+// Output is a single JSON document on stdout.
+//
+//   micro_audit [--fast|--paper]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/auditor.hpp"
+#include "analysis/certificate.hpp"
+#include "analysis/failure_analyzer.hpp"
+#include "bench/common.hpp"
+#include "core/soag.hpp"
+#include "scenarios/ads.hpp"
+#include "scenarios/orion.hpp"
+#include "scenarios/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn::bench {
+namespace {
+
+bool apply_action(Topology& t, const Action& action) {
+  if (action.kind == Action::Kind::kSwitchUpgrade) {
+    if (!t.has_switch(action.switch_id)) {
+      t.add_switch(action.switch_id);
+    } else if (t.switch_asil(action.switch_id) != Asil::D) {
+      t.upgrade_switch(action.switch_id);
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (!t.path_respects_degrees(action.path)) return false;
+  for (const NodeId v : action.path) {
+    if (t.problem().is_switch(v) && !t.has_switch(v)) return false;
+  }
+  for (std::size_t h = 0; h + 1 < action.path.size(); ++h) {
+    if (!t.has_link(action.path[h], action.path[h + 1])) {
+      t.add_path(action.path);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Random SOAG episodes until one ends on a reliability-verified plan — the
+// same construction the RL environment performs, minus the learning.
+Topology find_reliable_plan(const PlanningProblem& problem, int k, int max_steps,
+                            std::uint64_t seed) {
+  const HeuristicRecovery nbf;
+  const FailureAnalyzer analyzer(nbf);
+  const Soag soag(problem, k);
+  Rng rng(seed);
+  for (int episode = 0; episode < 64; ++episode) {
+    Topology t(problem);
+    for (int step = 0; step < max_steps; ++step) {
+      const auto analysis = analyzer.analyze(t);
+      if (analysis.reliable) return t;
+      const auto actions = soag.generate(t, analysis.counterexample, analysis.errors, rng);
+      std::vector<int> valid;
+      for (int a = 0; a < actions.size(); ++a) {
+        if (actions.mask[static_cast<std::size_t>(a)]) valid.push_back(a);
+      }
+      if (valid.empty()) break;
+      Topology next = t;
+      if (!apply_action(next, actions.actions[static_cast<std::size_t>(rng.pick(valid))])) {
+        break;
+      }
+      t = std::move(next);
+    }
+  }
+  std::fprintf(stderr, "no reliable plan found within the episode budget\n");
+  std::exit(1);
+}
+
+template <typename Fn>
+double best_of(int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const Stopwatch watch;
+    fn();
+    const double seconds = watch.seconds();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+void bench_scenario(const char* name, const PlanningProblem& problem,
+                    const Topology& plan, int reps, bool last) {
+  const HeuristicRecovery nbf;
+  const FailureAnalyzer analyzer(nbf);
+
+  AnalysisOutcome verdict;
+  const double verify_s = best_of(reps, [&] { verdict = analyzer.analyze(plan); });
+  if (!verdict.reliable) {
+    std::fprintf(stderr, "%s: plan is not reliable\n", name);
+    std::exit(1);
+  }
+
+  CertificateBuildResult built;
+  const double build_s = best_of(reps, [&] { built = build_certificate(plan, nbf); });
+  if (!built.ok) {
+    std::fprintf(stderr, "%s: certificate build failed\n", name);
+    std::exit(1);
+  }
+
+  AuditReport report;
+  const double audit_s =
+      best_of(reps, [&] { report = audit_certificate(problem, built.certificate); });
+  if (!report.ok) {
+    std::fprintf(stderr, "%s: audit failed: %s\n", name, report.summary().c_str());
+    std::exit(1);
+  }
+
+  std::size_t bytes = 0;
+  const double roundtrip_s = best_of(reps, [&] {
+    ByteWriter out;
+    save_certificate(built.certificate, out);
+    bytes = out.size();
+    ByteReader in(out.data());
+    (void)load_certificate(in);
+  });
+
+  const auto ratio = [&](double s) { return verify_s > 0.0 ? s / verify_s : 0.0; };
+  std::printf(
+      "    {\n"
+      "      \"name\": \"%s\",\n"
+      "      \"switches\": %zu,\n"
+      "      \"links\": %zu,\n"
+      "      \"proofs\": %zu,\n"
+      "      \"max_order\": %d,\n"
+      "      \"certificate_bytes\": %zu,\n"
+      "      \"scenarios_replayed\": %lld,\n"
+      "      \"scenarios_enumerated\": %lld,\n"
+      "      \"exhaustive_fallback\": %s,\n"
+      "      \"phases\": [\n"
+      "        {\"name\": \"verify\", \"seconds\": %.6f, \"vs_verify\": 1.0},\n"
+      "        {\"name\": \"build\", \"seconds\": %.6f, \"vs_verify\": %.3f},\n"
+      "        {\"name\": \"audit\", \"seconds\": %.6f, \"vs_verify\": %.3f},\n"
+      "        {\"name\": \"roundtrip\", \"seconds\": %.6f, \"vs_verify\": %.3f}\n"
+      "      ]\n"
+      "    }%s\n",
+      name, built.certificate.switch_ids.size(), built.certificate.links.size(),
+      built.certificate.proofs.size(), built.certificate.max_order, bytes,
+      static_cast<long long>(report.scenarios_replayed),
+      static_cast<long long>(report.scenarios_enumerated),
+      report.exhaustive_fallback ? "true" : "false", verify_s, build_s, ratio(build_s),
+      audit_s, ratio(audit_s), roundtrip_s, ratio(roundtrip_s), last ? "" : ",");
+}
+
+int run(int argc, char** argv) {
+  const Mode mode = Mode::parse(argc, argv);
+  const int reps = mode.paper ? 15 : 9;
+  const int k = 8;
+
+  const auto ads = make_ads();
+  const auto ads_problem = with_flows(ads, ads_flows());
+  const Topology ads_plan =
+      find_reliable_plan(ads_problem, k, mode.paper ? 64 : 32, /*seed=*/1);
+
+  const auto orion = make_orion();
+  Rng flow_rng(7);
+  const auto orion_problem =
+      with_flows(orion, random_flows(orion.problem, mode.paper ? 8 : 4, flow_rng));
+  const Topology orion_plan =
+      find_reliable_plan(orion_problem, k, mode.paper ? 64 : 32, /*seed=*/2);
+
+  std::printf("{\n  \"bench\": \"micro_audit\",\n  \"mode\": \"%s\",\n"
+              "  \"reps\": %d,\n  \"scenarios\": [\n",
+              mode.paper ? "paper" : "fast", reps);
+  bench_scenario("ADS", ads_problem, ads_plan, reps, /*last=*/false);
+  bench_scenario("ORION", orion_problem, orion_plan, reps, /*last=*/true);
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nptsn::bench
+
+int main(int argc, char** argv) { return nptsn::bench::run(argc, argv); }

@@ -26,6 +26,11 @@ int main() {
   config.train_actor_iters = 20;
   config.train_critic_iters = 20;
   config.seed = 7;
+  // Certified planning: the returned plan is only feasible after an
+  // independent audit of its reliability certificate, which is also written
+  // out for offline re-checking (tools/nptsn_audit --scenario ads).
+  config.audit_mode = AuditMode::kFinal;
+  config.certificate_path = "quickstart_certificate.bin";
 
   // 4. Train the intelligent network generator and take the best network.
   std::printf("planning %s: %d end stations, %d optional switches, %zu flows\n",
@@ -51,5 +56,10 @@ int main() {
                 to_string(best.switch_asil(v)).c_str(), best.degree(v));
   }
   std::printf("  %d links\n", best.graph().num_edges());
+  if (result.certificate) {
+    std::printf("  certificate: %zu non-safe scenario proofs (maxord %d) -> %s\n",
+                result.certificate->proofs.size(), result.certificate->max_order,
+                config.certificate_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,596 @@
+#include "analysis/auditor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "tsn/simulator.hpp"
+#include "util/combinatorics.hpp"
+
+namespace nptsn {
+
+const char* to_string(AuditCode code) {
+  switch (code) {
+    case AuditCode::kMalformedCertificate: return "malformed_certificate";
+    case AuditCode::kProblemMismatch: return "problem_mismatch";
+    case AuditCode::kTopologyMismatch: return "topology_mismatch";
+    case AuditCode::kDegreeViolation: return "degree_violation";
+    case AuditCode::kAsilInconsistency: return "asil_inconsistency";
+    case AuditCode::kCostMismatch: return "cost_mismatch";
+    case AuditCode::kMaxOrderMismatch: return "max_order_mismatch";
+    case AuditCode::kProbabilityMismatch: return "probability_mismatch";
+    case AuditCode::kMissingScenario: return "missing_scenario";
+    case AuditCode::kSpuriousScenario: return "spurious_scenario";
+    case AuditCode::kUnplacedFlow: return "unplaced_flow";
+    case AuditCode::kDeadComponentUse: return "dead_component_use";
+    case AuditCode::kScheduleViolation: return "schedule_violation";
+  }
+  return "unknown";
+}
+
+bool AuditReport::has(AuditCode code) const {
+  return std::ranges::any_of(failures,
+                             [code](const AuditFailure& f) { return f.code == code; });
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream out;
+  if (ok) {
+    out << "audit clean: " << scenarios_replayed << " scenario replays, "
+        << scenarios_enumerated << " scenarios re-enumerated";
+  } else {
+    out << "audit FAILED (" << failures.size() << (truncated ? "+" : "")
+        << " findings):";
+    for (const AuditFailure& f : failures) out << ' ' << to_string(f.code);
+  }
+  if (exhaustive_fallback) out << " [switch-only fallback]";
+  return out.str();
+}
+
+namespace {
+
+bool scenario_less(const FailureScenario& a, const FailureScenario& b) {
+  if (a.failed_switches != b.failed_switches) {
+    return std::ranges::lexicographical_compare(a.failed_switches, b.failed_switches);
+  }
+  return std::ranges::lexicographical_compare(a.failed_links, b.failed_links);
+}
+
+std::string describe(const FailureScenario& scenario) {
+  std::ostringstream out;
+  out << "{switches:";
+  for (const NodeId v : scenario.failed_switches) out << ' ' << v;
+  if (!scenario.failed_links.empty()) {
+    out << "; links:";
+    for (const EdgeKey& e : scenario.failed_links) out << " (" << e.a << ',' << e.b << ')';
+  }
+  out << '}';
+  return out.str();
+}
+
+// Relative tolerance for re-derived doubles. The auditor recomputes with the
+// same factor ordering the builder used, so honest certificates match
+// bitwise; the tolerance only absorbs benign cross-platform FP differences.
+bool close(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+class Audit {
+ public:
+  Audit(const PlanningProblem& problem, const ReliabilityCertificate& cert,
+        const AuditOptions& options)
+      : problem_(problem), cert_(cert), options_(options) {}
+
+  AuditReport run() {
+    const auto start = std::chrono::steady_clock::now();
+    deadline_ = start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(options_.exhaustive_budget_seconds));
+
+    // Hard gates: a certificate that is structurally broken or issued for a
+    // different problem cannot be meaningfully diffed any further.
+    if (check_structure() && check_problem_identity()) {
+      check_degrees();
+      if (rebuild_topology()) {
+        check_topology_fingerprint();
+        check_link_asil();
+        check_cost();
+        check_max_order();
+        check_probabilities();
+        check_completeness();
+        replay_proofs();
+      }
+    }
+
+    report_.ok = report_.failures.empty();
+    report_.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return std::move(report_);
+  }
+
+ private:
+  void fail(AuditCode code, std::string detail, FailureScenario scenario = {}) {
+    if (static_cast<int>(report_.failures.size()) < options_.max_failures) {
+      report_.failures.push_back({code, std::move(detail), std::move(scenario)});
+    } else {
+      report_.truncated = true;
+    }
+  }
+  bool failures_full() const {
+    return static_cast<int>(report_.failures.size()) >= options_.max_failures;
+  }
+
+  bool node_in_range(NodeId v) const { return v >= 0 && v < problem_.num_nodes(); }
+
+  bool is_planned_switch(NodeId v) const {
+    return std::ranges::binary_search(cert_.switch_ids, v);
+  }
+
+  // --- stage 0: structure ---------------------------------------------------
+  bool check_structure() {
+    bool ok = true;
+    auto malformed = [&](const std::string& what) {
+      fail(AuditCode::kMalformedCertificate, what);
+      ok = false;
+    };
+    if (cert_.switch_ids.size() != cert_.switch_levels.size()) {
+      malformed("switch id/level arity mismatch");
+    }
+    if (cert_.links.size() != cert_.link_levels.size()) {
+      malformed("link/level arity mismatch");
+    }
+    if (!std::ranges::is_sorted(cert_.switch_ids) ||
+        std::ranges::adjacent_find(cert_.switch_ids) != cert_.switch_ids.end()) {
+      malformed("switch ids not sorted/unique");
+    }
+    for (const NodeId v : cert_.switch_ids) {
+      if (!node_in_range(v) || !problem_.is_switch(v)) {
+        malformed("switch id " + std::to_string(v) + " is not an optional switch");
+        break;
+      }
+    }
+    for (const std::uint8_t level : cert_.switch_levels) {
+      if (level >= kNumAsilLevels) { malformed("switch ASIL level out of range"); break; }
+    }
+    for (const std::uint8_t level : cert_.link_levels) {
+      if (level >= kNumAsilLevels) { malformed("link ASIL level out of range"); break; }
+    }
+    if (!std::ranges::is_sorted(cert_.links) ||
+        std::ranges::adjacent_find(cert_.links) != cert_.links.end()) {
+      malformed("links not sorted/unique");
+    }
+    for (const EdgeKey& e : cert_.links) {
+      if (!node_in_range(e.a) || !node_in_range(e.b) || e.a == e.b) {
+        malformed("link endpoints out of range");
+        break;
+      }
+    }
+    const std::size_t num_flows = problem_.flows.size();
+    for (std::size_t i = 0; i < cert_.proofs.size() && ok; ++i) {
+      const ScenarioProof& proof = cert_.proofs[i];
+      const auto& sw = proof.scenario.failed_switches;
+      if (!std::ranges::is_sorted(sw) ||
+          std::ranges::adjacent_find(sw) != sw.end() ||
+          !std::ranges::all_of(sw, [&](NodeId v) { return node_in_range(v); })) {
+        malformed("proof " + std::to_string(i) + ": failed-switch set malformed");
+      }
+      if (!std::ranges::all_of(proof.scenario.failed_links, [&](const EdgeKey& e) {
+            return std::ranges::binary_search(cert_.links, e);
+          })) {
+        malformed("proof " + std::to_string(i) + ": failed link not in the plan");
+      }
+      if (proof.state.size() != num_flows) {
+        malformed("proof " + std::to_string(i) + ": flow-state arity " +
+                  std::to_string(proof.state.size()) + " != " + std::to_string(num_flows));
+      }
+    }
+    return ok;
+  }
+
+  // --- stage 1: problem identity -------------------------------------------
+  bool check_problem_identity() {
+    if (cert_.problem_fp != problem_fingerprint(problem_)) {
+      fail(AuditCode::kProblemMismatch,
+           "certificate was issued for a different planning problem (fingerprint "
+           "mismatch)");
+      return false;
+    }
+    if (cert_.reliability_goal != problem_.reliability_goal) {
+      fail(AuditCode::kProblemMismatch, "certificate reliability goal disagrees with R");
+      return false;
+    }
+    return true;
+  }
+
+  // --- stage 2: degree constraints (from the certificate's own link set) ---
+  void check_degrees() {
+    std::vector<int> degree(static_cast<std::size_t>(problem_.num_nodes()), 0);
+    for (const EdgeKey& e : cert_.links) {
+      ++degree[static_cast<std::size_t>(e.a)];
+      ++degree[static_cast<std::size_t>(e.b)];
+      for (const NodeId v : {e.a, e.b}) {
+        if (problem_.is_switch(v) && !is_planned_switch(v)) {
+          fail(AuditCode::kMalformedCertificate,
+               "link uses switch " + std::to_string(v) + " absent from the plan");
+        }
+      }
+    }
+    const int max_switch = problem_.library.max_switch_degree();
+    for (NodeId v = 0; v < problem_.num_nodes(); ++v) {
+      const int d = degree[static_cast<std::size_t>(v)];
+      const int bound = problem_.is_switch(v) ? max_switch : problem_.max_es_degree;
+      if (d > bound) {
+        fail(AuditCode::kDegreeViolation,
+             "node " + std::to_string(v) + " degree " + std::to_string(d) +
+                 " exceeds bound " + std::to_string(bound));
+      }
+    }
+  }
+
+  // --- stage 3: rebuild Gt from the certificate ----------------------------
+  bool rebuild_topology() {
+    topology_.emplace(problem_);
+    try {
+      for (std::size_t i = 0; i < cert_.switch_ids.size(); ++i) {
+        const NodeId v = cert_.switch_ids[i];
+        topology_->add_switch(v);
+        while (static_cast<int>(topology_->switch_asil(v)) <
+               static_cast<int>(cert_.switch_levels[i])) {
+          topology_->upgrade_switch(v);
+        }
+      }
+      for (const EdgeKey& e : cert_.links) topology_->add_link(e.a, e.b);
+    } catch (const std::exception& e) {
+      // Degree breaches were already reported from the certificate's own
+      // numbers; whatever else the Topology invariants reject (a link
+      // outside Gc, a missing endpoint) is a malformed certificate.
+      if (!report_.has(AuditCode::kDegreeViolation)) {
+        fail(AuditCode::kMalformedCertificate,
+             std::string("plan not representable: ") + e.what());
+      }
+      topology_.reset();
+      return false;
+    }
+    return true;
+  }
+
+  // --- stage 4: link-set fingerprint ---------------------------------------
+  void check_topology_fingerprint() {
+    if (graph_fp_of(topology_->graph()) != cert_.topology_fp) {
+      fail(AuditCode::kTopologyMismatch,
+           "link set does not match the certificate's topology fingerprint");
+    }
+  }
+
+  // --- stage 5: Eq. 6 link ASIL --------------------------------------------
+  void check_link_asil() {
+    for (std::size_t i = 0; i < cert_.links.size(); ++i) {
+      const EdgeKey& e = cert_.links[i];
+      const Asil derived = topology_->link_asil(e.a, e.b);
+      if (static_cast<int>(derived) != static_cast<int>(cert_.link_levels[i])) {
+        fail(AuditCode::kAsilInconsistency,
+             "link (" + std::to_string(e.a) + "," + std::to_string(e.b) +
+                 ") claims ASIL level " + std::to_string(cert_.link_levels[i]) +
+                 " but Eq. 6 (min endpoint) derives " +
+                 std::to_string(static_cast<int>(derived)));
+      }
+    }
+  }
+
+  // --- stage 6: Eq. 1 cost --------------------------------------------------
+  void check_cost() {
+    const double recomputed = topology_->cost();
+    if (!close(recomputed, cert_.claimed_cost)) {
+      fail(AuditCode::kCostMismatch,
+           "Eq. 1 recomputation " + std::to_string(recomputed) +
+               " != claimed " + std::to_string(cert_.claimed_cost));
+    }
+  }
+
+  // --- stage 7/8: candidates, maxord, Eq. 2 probabilities ------------------
+  std::vector<NodeId> candidates() const {
+    std::vector<NodeId> result = topology_->selected_switches();
+    if (cert_.flow_level_redundancy) {
+      const auto stations = problem_.end_station_ids();
+      result.insert(result.end(), stations.begin(), stations.end());
+      std::ranges::sort(result);
+    }
+    return result;
+  }
+
+  int recompute_max_order(const std::vector<double>& probs_desc) const {
+    double cumulative = 1.0;
+    int maxord = 0;
+    for (const double p : probs_desc) {
+      cumulative *= p;
+      if (cumulative < problem_.reliability_goal) break;
+      ++maxord;
+    }
+    return maxord;
+  }
+
+  void check_max_order() {
+    std::vector<double> probs;
+    for (const NodeId v : candidates()) {
+      probs.push_back(problem_.library.failure_prob(topology_->node_asil(v)));
+    }
+    std::ranges::sort(probs, std::greater<>());
+    const int maxord = recompute_max_order(probs);
+    if (maxord != cert_.max_order) {
+      fail(AuditCode::kMaxOrderMismatch,
+           "recomputed maxord " + std::to_string(maxord) + " != claimed " +
+               std::to_string(cert_.max_order));
+    }
+  }
+
+  void check_probabilities() {
+    for (const ScenarioProof& proof : cert_.proofs) {
+      if (failures_full()) return;
+      const double recomputed = failure_probability(*topology_, proof.scenario);
+      if (!close(recomputed, proof.probability)) {
+        fail(AuditCode::kProbabilityMismatch,
+             "Eq. 2 recomputation " + std::to_string(recomputed) + " != recorded " +
+                 std::to_string(proof.probability) + " for " + describe(proof.scenario),
+             proof.scenario);
+      }
+      if (recomputed < problem_.reliability_goal) {
+        fail(AuditCode::kSpuriousScenario,
+             "scenario below the non-safe frontier (probability " +
+                 std::to_string(recomputed) + " < R)",
+             proof.scenario);
+      }
+    }
+  }
+
+  // --- stage 9: completeness of the scenario set ---------------------------
+  // Sorted view over the certificate's proof scenarios; `matched` marks the
+  // ones the independent re-enumeration produced.
+  struct ProofIndex {
+    std::vector<const FailureScenario*> sorted;
+    std::vector<bool> matched;
+
+    int find(const FailureScenario& scenario) const {
+      const auto it = std::ranges::lower_bound(
+          sorted, &scenario,
+          [](const FailureScenario* a, const FailureScenario* b) {
+            return scenario_less(*a, *b);
+          });
+      if (it == sorted.end()) return -1;
+      const FailureScenario& found = **it;
+      if (found.failed_switches != scenario.failed_switches ||
+          found.failed_links != scenario.failed_links) {
+        return -1;
+      }
+      return static_cast<int>(it - sorted.begin());
+    }
+  };
+
+  void check_completeness() {
+    ProofIndex index;
+    index.sorted.reserve(cert_.proofs.size());
+    for (const ScenarioProof& proof : cert_.proofs) index.sorted.push_back(&proof.scenario);
+    std::ranges::sort(index.sorted, [](const FailureScenario* a, const FailureScenario* b) {
+      return scenario_less(*a, *b);
+    });
+    for (std::size_t i = 0; i + 1 < index.sorted.size(); ++i) {
+      if (!scenario_less(*index.sorted[i], *index.sorted[i + 1])) {
+        fail(AuditCode::kMalformedCertificate, "duplicate proof scenarios",
+             *index.sorted[i]);
+        return;
+      }
+    }
+    index.matched.assign(index.sorted.size(), false);
+
+    const std::vector<NodeId> nodes = candidates();
+    auto node_prob = [&](NodeId v) {
+      return problem_.library.failure_prob(topology_->node_asil(v));
+    };
+
+    // 9a — pruning-disabled Algorithm 3 re-enumeration (switch-only, Eq. 6
+    // reduction assumed): the exact definition of the proof set. Always runs;
+    // it is the same size as the certificate itself.
+    {
+      std::vector<double> probs;
+      for (const NodeId v : nodes) probs.push_back(node_prob(v));
+      std::ranges::sort(probs, std::greater<>());
+      const int maxord = recompute_max_order(probs);
+      const int n = static_cast<int>(nodes.size());
+      for (int order = 0; order <= maxord; ++order) {
+        const bool completed =
+            for_each_combination(n, order, [&](const std::vector<int>& idx) {
+              FailureScenario scenario;
+              double prob = 1.0;
+              for (const int i : idx) {
+                const NodeId v = nodes[static_cast<std::size_t>(i)];
+                scenario.failed_switches.push_back(v);
+                prob *= node_prob(v);
+              }
+              if (prob < problem_.reliability_goal) return true;  // safe fault
+              ++report_.scenarios_enumerated;
+              const int at = index.find(scenario);
+              if (at < 0) {
+                fail(AuditCode::kMissingScenario,
+                     "non-safe scenario " + describe(scenario) +
+                         " (probability " + std::to_string(prob) +
+                         ") has no proof in the certificate",
+                     std::move(scenario));
+                return !failures_full();
+              }
+              index.matched[static_cast<std::size_t>(at)] = true;
+              return true;
+            });
+        if (!completed) return;  // failure budget exhausted
+      }
+      for (std::size_t i = 0; i < index.sorted.size(); ++i) {
+        if (!index.matched[i]) {
+          fail(AuditCode::kSpuriousScenario,
+               "proof scenario " + describe(*index.sorted[i]) +
+                   " is outside the re-enumerated non-safe frontier",
+               *index.sorted[i]);
+          if (failures_full()) return;
+        }
+      }
+    }
+
+    // 9b — exhaustive mixed link/switch sweep: every scenario mixing link
+    // failures must have its Eq. 6 switch projection proven. Wall-clock
+    // guarded; abandoning it degrades to the 9a coverage, never to a hang.
+    mixed_sweep(index, nodes, node_prob);
+  }
+
+  template <typename NodeProb>
+  void mixed_sweep(const ProofIndex& index, const std::vector<NodeId>& nodes,
+                   NodeProb node_prob) {
+    struct Component {
+      bool is_link;
+      NodeId node;
+      EdgeKey link{0, 0};
+      double prob;
+    };
+    std::vector<Component> components;
+    for (const NodeId v : nodes) components.push_back({false, v, EdgeKey{0, 0}, node_prob(v)});
+    for (const EdgeKey& e : cert_.links) {
+      components.push_back({true, 0, e,
+                            problem_.library.failure_prob(topology_->link_asil(e.a, e.b))});
+    }
+    const int n = static_cast<int>(components.size());
+    std::vector<double> probs;
+    for (const Component& c : components) probs.push_back(c.prob);
+    std::ranges::sort(probs, std::greater<>());
+    const int mixed_maxord = recompute_max_order(probs);
+
+    std::uint64_t estimated = 0;
+    for (int k = 1; k <= mixed_maxord && k <= n; ++k) {
+      estimated += binomial(n, k);
+      if (estimated > static_cast<std::uint64_t>(options_.exhaustive_scenario_limit)) break;
+    }
+    if (estimated > static_cast<std::uint64_t>(options_.exhaustive_scenario_limit)) {
+      report_.exhaustive_fallback = true;
+      report_.notes.push_back(
+          "exhaustive mixed link/switch sweep skipped (more than " +
+          std::to_string(options_.exhaustive_scenario_limit) +
+          " scenarios over " + std::to_string(n) +
+          " components); completeness checked via pruning-disabled switch-only "
+          "re-enumeration");
+      return;
+    }
+
+    bool timed_out = false;
+    // Start saturated so the very first scenario consults the clock: an
+    // already-expired budget must trigger the fallback even on instances
+    // with fewer than 256 scenarios.
+    int clock_check = 255;
+    for (int order = 1; order <= mixed_maxord && order <= n; ++order) {
+      const bool completed =
+          for_each_combination(n, order, [&](const std::vector<int>& idx) {
+            if (++clock_check >= 256) {
+              clock_check = 0;
+              if (std::chrono::steady_clock::now() >= deadline_) {
+                timed_out = true;
+                return false;
+              }
+            }
+            // Pure-switch combinations were fully covered by stage 9a.
+            FailureScenario scenario;
+            double prob = 1.0;
+            bool any_link = false;
+            for (const int i : idx) {
+              const Component& c = components[static_cast<std::size_t>(i)];
+              prob *= c.prob;
+              if (c.is_link) {
+                any_link = true;
+                scenario.failed_links.push_back(c.link);
+              } else {
+                scenario.failed_switches.push_back(c.node);
+              }
+            }
+            if (!any_link || prob < problem_.reliability_goal) return true;
+            scenario.normalize();
+            ++report_.scenarios_enumerated;
+
+            // Eq. 6 projection: replace each failed link by its lowest-ASIL
+            // endpoint (prefer the switch on ties; end stations are dropped —
+            // their failures are safe faults outside Gf).
+            FailureScenario projected;
+            projected.failed_switches = scenario.failed_switches;
+            for (const EdgeKey& link : scenario.failed_links) {
+              NodeId lowest = link.b;
+              if (lower_than(topology_->node_asil(link.a), topology_->node_asil(link.b)) ||
+                  (topology_->node_asil(link.a) == topology_->node_asil(link.b) &&
+                   problem_.is_switch(link.a))) {
+                lowest = link.a;
+              }
+              if (problem_.is_switch(lowest)) projected.failed_switches.push_back(lowest);
+            }
+            projected.normalize();
+            if (index.find(projected) < 0) {
+              fail(AuditCode::kMissingScenario,
+                   "mixed scenario " + describe(scenario) + " projects (Eq. 6) to " +
+                       describe(projected) + " which has no proof",
+                   std::move(scenario));
+              return !failures_full();
+            }
+            return true;
+          });
+      if (timed_out) {
+        report_.exhaustive_fallback = true;
+        report_.notes.push_back(
+            "exhaustive mixed link/switch sweep abandoned after " +
+            std::to_string(options_.exhaustive_budget_seconds) +
+            " s wall-clock budget at order " + std::to_string(order) +
+            "; completeness checked via pruning-disabled switch-only re-enumeration");
+        return;
+      }
+      if (!completed) return;  // failure budget exhausted
+    }
+  }
+
+  // --- stage 10: replay every proof through the simulator ------------------
+  void replay_proofs() {
+    const std::size_t num_flows = problem_.flows.size();
+    for (const ScenarioProof& proof : cert_.proofs) {
+      if (failures_full()) return;
+      if (proof.state.size() != num_flows) continue;  // reported in stage 0
+      int unplaced = 0;
+      for (const auto& assignment : proof.state) {
+        if (!assignment) ++unplaced;
+      }
+      if (unplaced > 0) {
+        fail(AuditCode::kUnplacedFlow,
+             std::to_string(unplaced) + " flow(s) unrouted under " +
+                 describe(proof.scenario),
+             proof.scenario);
+        continue;
+      }
+      ++report_.scenarios_replayed;
+      const SimulationReport replay = simulate(*topology_, proof.scenario, proof.state);
+      if (replay.ok) continue;
+      const std::string detail =
+          (replay.violations.empty() ? std::string("replay failed")
+                                     : replay.violations.front()) +
+          " under " + describe(proof.scenario);
+      if (replay.frames_dropped > 0) {
+        fail(AuditCode::kDeadComponentUse, detail, proof.scenario);
+      } else {
+        fail(AuditCode::kScheduleViolation, detail, proof.scenario);
+      }
+    }
+  }
+
+  const PlanningProblem& problem_;
+  const ReliabilityCertificate& cert_;
+  const AuditOptions& options_;
+  std::chrono::steady_clock::time_point deadline_;
+  std::optional<Topology> topology_;
+  AuditReport report_;
+};
+
+}  // namespace
+
+AuditReport audit_certificate(const PlanningProblem& problem,
+                              const ReliabilityCertificate& certificate,
+                              const AuditOptions& options) {
+  return Audit(problem, certificate, options).run();
+}
+
+}  // namespace nptsn

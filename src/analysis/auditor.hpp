@@ -1,0 +1,94 @@
+// The independent certificate auditor.
+//
+// Re-validates a ReliabilityCertificate against a planning problem WITHOUT
+// calling the NBF, the failure analyzer, or the verification engine — the
+// runtime-assurance argument is that the checker shares no code with the
+// searcher whose verdict it checks. The auditor only uses:
+//
+//   * the slot-accurate simulator (src/tsn/simulator) to replay every
+//     per-scenario flow state: collisions, deadlines, causality, dead
+//     (failed) component use are all re-derived from first principles;
+//   * the component library + Eq. 2 to recompute every scenario probability
+//     and Eq. 1 to recompute the claimed cost;
+//   * plain combinatorial enumeration to independently re-derive the
+//     non-safe scenario set and diff it against the certificate — an
+//     exhaustive mixed link/switch sweep (Eq. 6 projection membership) on
+//     small instances, and a pruning-disabled Algorithm 3 switch-only
+//     re-enumeration as the guarded fallback on large ones.
+//
+// Every divergence is reported with a typed taxonomy code; an audit failure
+// is a structured verdict, never an exception (malformed certificates are
+// caught and reported too — only a problem/certificate that cannot even be
+// represented, e.g. a null path, stays an exception at the loading layer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.hpp"
+
+namespace nptsn {
+
+// Typed failure taxonomy. Kept coarse enough that adversarial tests can pin
+// "mutation X must be caught as code Y" without over-fitting to messages.
+enum class AuditCode {
+  kMalformedCertificate,  // structural: arity/sortedness/id-range/duplicate
+  kProblemMismatch,       // certificate was issued for a different problem
+  kTopologyMismatch,      // link set does not match its 128-bit fingerprint
+  kDegreeViolation,       // ES or switch degree exceeds the library bound
+  kAsilInconsistency,     // claimed link ASIL violates Eq. 6 (min endpoint)
+  kCostMismatch,          // Eq. 1 recomputation disagrees with claimed_cost
+  kMaxOrderMismatch,      // Alg. 3 maxord recomputation disagrees
+  kProbabilityMismatch,   // Eq. 2 recomputation disagrees for a scenario
+  kMissingScenario,       // non-safe scenario absent from the proof set
+  kSpuriousScenario,      // proof outside the non-safe frontier definition
+  kUnplacedFlow,          // a proof's flow state leaves a flow unrouted
+  kDeadComponentUse,      // replay shows traffic through a failed component
+  kScheduleViolation,     // replay shows collision/deadline/causality breach
+};
+
+const char* to_string(AuditCode code);
+
+struct AuditFailure {
+  AuditCode code;
+  std::string detail;         // human-readable specifics
+  FailureScenario scenario;   // the offending scenario, when one exists
+};
+
+struct AuditOptions {
+  // Wall-clock guard on the exhaustive mixed link/switch completeness sweep.
+  // When the budget is exhausted (or the instance would enumerate more than
+  // exhaustive_scenario_limit scenarios), the auditor falls back to the
+  // pruning-disabled switch-only re-enumeration and records a note — it
+  // degrades coverage of the Eq. 6 link reduction, it never hangs.
+  double exhaustive_budget_seconds = 2.0;
+  std::int64_t exhaustive_scenario_limit = 2'000'000;
+  // Stop collecting per-scenario failures after this many (a corrupt
+  // certificate can fail everywhere; the taxonomy is clear long before).
+  int max_failures = 16;
+};
+
+struct AuditReport {
+  bool ok = false;
+  std::vector<AuditFailure> failures;
+  std::vector<std::string> notes;  // non-failure diagnostics (e.g. fallback)
+
+  // Instrumentation.
+  std::int64_t scenarios_replayed = 0;    // flow states run through the simulator
+  std::int64_t scenarios_enumerated = 0;  // independently enumerated scenarios
+  bool exhaustive_fallback = false;       // switch-only fallback was used
+  bool truncated = false;                 // max_failures was hit
+  double wall_seconds = 0.0;
+
+  bool has(AuditCode code) const;
+  // One line for logs / PlanningResult diagnostics.
+  std::string summary() const;
+};
+
+// Audits `certificate` against `problem`. Never throws on certificate
+// content; returns ok == false with at least one typed failure instead.
+AuditReport audit_certificate(const PlanningProblem& problem,
+                              const ReliabilityCertificate& certificate,
+                              const AuditOptions& options = {});
+
+}  // namespace nptsn

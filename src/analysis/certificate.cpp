@@ -1,0 +1,340 @@
+#include "analysis/certificate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "util/combinatorics.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Lexicographic order on the (normalized) failed-component lists; the proof
+// vector is kept sorted under this so the auditor can binary-search it.
+bool scenario_less(const FailureScenario& a, const FailureScenario& b) {
+  if (a.failed_switches != b.failed_switches) {
+    return std::ranges::lexicographical_compare(a.failed_switches, b.failed_switches);
+  }
+  return std::ranges::lexicographical_compare(a.failed_links, b.failed_links);
+}
+
+}  // namespace
+
+std::uint64_t problem_fingerprint(const PlanningProblem& problem) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(problem.num_nodes()));
+  w.u32(static_cast<std::uint32_t>(problem.num_end_stations));
+  for (const Edge& e : problem.connections.edges()) {
+    w.i64(e.u);
+    w.i64(e.v);
+    w.f64(e.length);
+  }
+  w.u32(static_cast<std::uint32_t>(problem.flows.size()));
+  for (const FlowSpec& f : problem.flows) {
+    w.i64(f.source);
+    w.i64(f.destination);
+    w.f64(f.period_us);
+    w.u32(static_cast<std::uint32_t>(f.frame_bytes));
+    w.f64(f.deadline_us);
+  }
+  w.f64(problem.tsn.base_period_us);
+  w.u32(static_cast<std::uint32_t>(problem.tsn.slots_per_base));
+  w.f64(problem.reliability_goal);
+  w.u32(static_cast<std::uint32_t>(problem.max_es_degree));
+  const ComponentLibrary& lib = problem.library;
+  w.u32(static_cast<std::uint32_t>(lib.models().size()));
+  for (const SwitchModel& m : lib.models()) {
+    w.u32(static_cast<std::uint32_t>(m.ports));
+    for (const double c : m.cost) w.f64(c);
+  }
+  for (const Asil level : kAllAsil) {
+    w.f64(lib.link_cost(level, 1.0));
+    w.f64(lib.failure_prob(level));
+  }
+  return fnv1a64(w.data().data(), w.size());
+}
+
+CertificateBuildResult build_certificate(const Topology& topology,
+                                         const StatelessNbf& nbf,
+                                         const CertificateOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const PlanningProblem& problem = topology.problem();
+  const double goal = problem.reliability_goal;
+
+  CertificateBuildResult result;
+  const auto finish = [&] {
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  // Candidate failing components and maxord, exactly as Algorithm 3 line 1.
+  std::vector<NodeId> candidates = topology.selected_switches();
+  if (options.flow_level_redundancy) {
+    const auto stations = problem.end_station_ids();
+    candidates.insert(candidates.end(), stations.begin(), stations.end());
+    std::ranges::sort(candidates);
+  }
+  auto prob_of = [&](NodeId v) {
+    return problem.library.failure_prob(topology.node_asil(v));
+  };
+  std::vector<double> probs;
+  probs.reserve(candidates.size());
+  for (const NodeId v : candidates) probs.push_back(prob_of(v));
+  std::ranges::sort(probs, std::greater<>());
+  double cumulative = 1.0;
+  int maxord = 0;
+  for (const double p : probs) {
+    cumulative *= p;
+    if (cumulative < goal) break;
+    ++maxord;
+  }
+
+  ReliabilityCertificate& cert = result.certificate;
+  cert.problem_fp = problem_fingerprint(problem);
+  cert.topology_fp = topology.graph_fingerprint();
+  cert.reliability_goal = goal;
+  cert.claimed_cost = topology.cost();
+  cert.max_order = maxord;
+  cert.flow_level_redundancy = options.flow_level_redundancy;
+  for (const NodeId v : topology.selected_switches()) {
+    cert.switch_ids.push_back(v);
+    cert.switch_levels.push_back(
+        static_cast<std::uint8_t>(static_cast<int>(topology.switch_asil(v))));
+  }
+  for (const Edge& e : topology.graph().edges()) {
+    cert.links.emplace_back(e.u, e.v);
+    cert.link_levels.push_back(
+        static_cast<std::uint8_t>(static_cast<int>(topology.link_asil(e.u, e.v))));
+  }
+
+  // Enumerate the complete non-safe frontier from the highest order down, so
+  // a proven superset is available when the greedy NBF fails on one of its
+  // subsets (abstract survivability is monotone, the heuristic verdict is
+  // not — see the verification engine's non-monotone NBF tests).
+  const int n = static_cast<int>(candidates.size());
+  for (int order = maxord; order >= 0; --order) {
+    const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      ScenarioProof proof;
+      proof.probability = 1.0;
+      proof.scenario.failed_switches.reserve(idx.size());
+      for (const int i : idx) {
+        const NodeId v = candidates[static_cast<std::size_t>(i)];
+        proof.scenario.failed_switches.push_back(v);
+        proof.probability *= prob_of(v);
+      }
+      if (proof.probability < goal) return true;  // safe fault, not certified
+
+      ++result.nbf_calls;
+      NbfResult recovered = nbf.recover(topology, proof.scenario);
+      if (recovered.ok()) {
+        proof.state = std::move(recovered.state);
+        cert.proofs.push_back(std::move(proof));
+        return true;
+      }
+      // Run-time deployability fallback: a proven superset's flow state only
+      // uses components alive under the superset failure, so it deploys
+      // verbatim on this scenario's larger residual.
+      for (const ScenarioProof& earlier : cert.proofs) {
+        if (proof.scenario.switches_subset_of(earlier.scenario)) {
+          proof.state = earlier.state;
+          ++result.superset_reuses;
+          cert.proofs.push_back(std::move(proof));
+          return true;
+        }
+      }
+      result.counterexample = std::move(proof.scenario);
+      result.errors = std::move(recovered.errors);
+      return false;
+    });
+    if (!completed) {
+      finish();
+      return result;  // ok == false: verdict not certifiable
+    }
+  }
+
+  std::ranges::sort(cert.proofs, [](const ScenarioProof& a, const ScenarioProof& b) {
+    return scenario_less(a.scenario, b.scenario);
+  });
+  result.ok = true;
+  finish();
+  return result;
+}
+
+// --- serialization -----------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw CheckpointError("certificate: " + what);
+}
+
+// Reads a count and refuses it unless `bytes_per_entry * count` still fits in
+// the reader — a corrupt header can then never trigger a huge allocation.
+std::uint32_t checked_count(ByteReader& in, std::size_t bytes_per_entry,
+                            const char* what) {
+  const std::uint32_t count = in.u32();
+  if (static_cast<std::uint64_t>(count) * bytes_per_entry > in.remaining()) {
+    malformed(std::string(what) + " count " + std::to_string(count) +
+              " exceeds the remaining payload");
+  }
+  return count;
+}
+
+NodeId checked_node(ByteReader& in, const char* what) {
+  const std::int64_t v = in.i64();
+  if (v < 0 || v > std::numeric_limits<int>::max()) {
+    malformed(std::string(what) + " node id out of range");
+  }
+  return static_cast<NodeId>(v);
+}
+
+std::uint8_t checked_level(ByteReader& in, const char* what) {
+  const std::uint8_t level = in.u8();
+  if (level >= kNumAsilLevels) {
+    malformed(std::string(what) + " ASIL level out of range");
+  }
+  return level;
+}
+
+void save_flow_state(const FlowState& state, ByteWriter& out) {
+  out.u32(static_cast<std::uint32_t>(state.size()));
+  for (const auto& assignment : state) {
+    out.u8(assignment ? 1 : 0);
+    if (!assignment) continue;
+    out.u32(static_cast<std::uint32_t>(assignment->path.size()));
+    for (const NodeId v : assignment->path) out.i64(v);
+    out.u32(static_cast<std::uint32_t>(assignment->slots.size()));
+    for (const int s : assignment->slots) out.i64(s);
+  }
+}
+
+FlowState load_flow_state(ByteReader& in) {
+  FlowState state(checked_count(in, 1, "flow state"));
+  for (auto& assignment : state) {
+    if (in.u8() == 0) continue;
+    FlowAssignment a;
+    const std::uint32_t path_len = checked_count(in, 8, "path");
+    a.path.reserve(path_len);
+    for (std::uint32_t i = 0; i < path_len; ++i) a.path.push_back(checked_node(in, "path"));
+    const std::uint32_t num_slots = checked_count(in, 8, "slots");
+    a.slots.reserve(num_slots);
+    for (std::uint32_t i = 0; i < num_slots; ++i) {
+      const std::int64_t s = in.i64();
+      if (s < std::numeric_limits<int>::min() || s > std::numeric_limits<int>::max()) {
+        malformed("slot value out of range");
+      }
+      a.slots.push_back(static_cast<int>(s));
+    }
+    assignment = std::move(a);
+  }
+  return state;
+}
+
+}  // namespace
+
+void save_certificate(const ReliabilityCertificate& certificate, ByteWriter& out) {
+  NPTSN_EXPECT(certificate.switch_ids.size() == certificate.switch_levels.size(),
+               "certificate switch plan arity mismatch");
+  NPTSN_EXPECT(certificate.links.size() == certificate.link_levels.size(),
+               "certificate link plan arity mismatch");
+  out.u64(certificate.problem_fp);
+  out.u32(static_cast<std::uint32_t>(certificate.switch_ids.size()));
+  for (std::size_t i = 0; i < certificate.switch_ids.size(); ++i) {
+    out.i64(certificate.switch_ids[i]);
+    out.u8(certificate.switch_levels[i]);
+  }
+  out.u32(static_cast<std::uint32_t>(certificate.links.size()));
+  for (std::size_t i = 0; i < certificate.links.size(); ++i) {
+    out.i64(certificate.links[i].a);
+    out.i64(certificate.links[i].b);
+    out.u8(certificate.link_levels[i]);
+  }
+  out.u64(certificate.topology_fp.a);
+  out.u64(certificate.topology_fp.b);
+  out.u32(certificate.topology_fp.edges);
+  out.f64(certificate.reliability_goal);
+  out.f64(certificate.claimed_cost);
+  out.u32(static_cast<std::uint32_t>(certificate.max_order));
+  out.u8(certificate.flow_level_redundancy ? 1 : 0);
+  out.u32(static_cast<std::uint32_t>(certificate.proofs.size()));
+  for (const ScenarioProof& proof : certificate.proofs) {
+    out.u32(static_cast<std::uint32_t>(proof.scenario.failed_switches.size()));
+    for (const NodeId v : proof.scenario.failed_switches) out.i64(v);
+    out.u32(static_cast<std::uint32_t>(proof.scenario.failed_links.size()));
+    for (const EdgeKey& link : proof.scenario.failed_links) {
+      out.i64(link.a);
+      out.i64(link.b);
+    }
+    out.f64(proof.probability);
+    save_flow_state(proof.state, out);
+  }
+}
+
+ReliabilityCertificate load_certificate(ByteReader& in) {
+  ReliabilityCertificate cert;
+  cert.problem_fp = in.u64();
+  const std::uint32_t num_switches = checked_count(in, 9, "switch");
+  cert.switch_ids.reserve(num_switches);
+  cert.switch_levels.reserve(num_switches);
+  for (std::uint32_t i = 0; i < num_switches; ++i) {
+    cert.switch_ids.push_back(checked_node(in, "switch"));
+    cert.switch_levels.push_back(checked_level(in, "switch"));
+  }
+  const std::uint32_t num_links = checked_count(in, 17, "link");
+  cert.links.reserve(num_links);
+  cert.link_levels.reserve(num_links);
+  for (std::uint32_t i = 0; i < num_links; ++i) {
+    const NodeId a = checked_node(in, "link");
+    const NodeId b = checked_node(in, "link");
+    cert.links.emplace_back(a, b);
+    cert.link_levels.push_back(checked_level(in, "link"));
+  }
+  cert.topology_fp.a = in.u64();
+  cert.topology_fp.b = in.u64();
+  cert.topology_fp.edges = in.u32();
+  cert.reliability_goal = in.f64();
+  cert.claimed_cost = in.f64();
+  const std::uint32_t max_order = in.u32();
+  if (max_order > 4096) malformed("implausible maxord");
+  cert.max_order = static_cast<int>(max_order);
+  cert.flow_level_redundancy = in.u8() != 0;
+  const std::uint32_t num_proofs = checked_count(in, 13, "proof");
+  cert.proofs.reserve(num_proofs);
+  for (std::uint32_t i = 0; i < num_proofs; ++i) {
+    ScenarioProof proof;
+    const std::uint32_t num_failed = checked_count(in, 8, "failed switch");
+    proof.scenario.failed_switches.reserve(num_failed);
+    for (std::uint32_t j = 0; j < num_failed; ++j) {
+      proof.scenario.failed_switches.push_back(checked_node(in, "failed switch"));
+    }
+    const std::uint32_t num_failed_links = checked_count(in, 16, "failed link");
+    proof.scenario.failed_links.reserve(num_failed_links);
+    for (std::uint32_t j = 0; j < num_failed_links; ++j) {
+      const NodeId a = checked_node(in, "failed link");
+      const NodeId b = checked_node(in, "failed link");
+      proof.scenario.failed_links.emplace_back(a, b);
+    }
+    proof.probability = in.f64();
+    proof.state = load_flow_state(in);
+    cert.proofs.push_back(std::move(proof));
+  }
+  return cert;
+}
+
+void save_certificate_file(const std::string& path,
+                           const ReliabilityCertificate& certificate) {
+  ByteWriter out;
+  save_certificate(certificate, out);
+  save_checkpoint_file(path, kCertificateVersion, out.data());
+}
+
+ReliabilityCertificate load_certificate_file(const std::string& path) {
+  const auto payload = load_checkpoint_file(path, kCertificateVersion);
+  ByteReader in(payload);
+  ReliabilityCertificate cert = load_certificate(in);
+  in.expect_exhausted("certificate");
+  return cert;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,124 @@
+// Reliability certificates: the evidence behind a "reliable" verdict.
+//
+// The paper's headline is *guaranteed* reliability, but inside the planner
+// that guarantee is asserted by the same code path that searched for the
+// solution (Algorithm 3 + the verification engine + the NBF). A
+// ReliabilityCertificate turns the assertion into checkable evidence: it
+// records the complete enumerated non-safe scenario set (every failure
+// scenario with occurrence probability >= R), the Eq. 2 probability of each,
+// and — crucially — the concrete recovered flow state (routes + slot
+// assignments) the NBF produced per scenario. An independent auditor
+// (src/analysis/auditor) can then re-validate the plan without ever calling
+// the NBF or the analyzer: replay each flow state through the slot-accurate
+// simulator and re-enumerate the scenario frontier from the component
+// library alone.
+//
+// Certificates serialize through the versioned/checksummed checkpoint
+// format (src/util/checkpoint), so a certificate shipped next to a plan is
+// independently checkable after the fact (tools/nptsn_audit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+
+// Payload version of certificate files (bumped on layout changes).
+inline constexpr std::uint32_t kCertificateVersion = 1;
+
+// One non-safe failure scenario together with the evidence that it is
+// survivable: the deployed flow state after recovery. The state either came
+// from running the NBF on this exact scenario, or — when the greedy NBF
+// failed on a subset of an already-proven scenario — is the proven
+// superset's state, which only uses components alive under the superset
+// failure and therefore deploys verbatim on this scenario's larger residual
+// (the paper's run-time deployability argument for subset pruning).
+struct ScenarioProof {
+  FailureScenario scenario;   // switch-only (Eq. 6 link reduction), normalized
+  double probability = 0.0;   // Eq. 2 occurrence probability
+  FlowState state;            // recovered routes + per-hop slot assignments
+};
+
+struct ReliabilityCertificate {
+  // Fingerprint of the planning problem the certificate was issued for
+  // (graph, flows, TSN config, component library, R, degree bounds). An
+  // audit against a different problem is a fingerprint mismatch, never a
+  // silent pass.
+  std::uint64_t problem_fp = 0;
+
+  // The planned TSSDN, stored explicitly so the auditor can rebuild it:
+  // per-switch ASIL plan plus the link set, with the 128-bit link-set
+  // fingerprint as a tamper cross-check.
+  std::vector<NodeId> switch_ids;          // sorted ascending
+  std::vector<std::uint8_t> switch_levels; // Asil per switch_ids entry
+  std::vector<EdgeKey> links;              // sorted (a, b) lexicographic
+  std::vector<std::uint8_t> link_levels;   // claimed link ASIL (Eq. 6) per link
+  GraphFp topology_fp;
+
+  // The claimed verdict context.
+  double reliability_goal = 0.0;  // R the frontier was enumerated against
+  double claimed_cost = 0.0;      // Eq. 1 network cost of the plan
+  int max_order = 0;              // Alg. 3 maxord
+  bool flow_level_redundancy = false;
+
+  // The complete non-safe scenario set, sorted by failed-switch list
+  // (lexicographic). Includes the empty scenario (order 0), whose state is
+  // the initial flow state FI0.
+  std::vector<ScenarioProof> proofs;
+};
+
+// Order-independent-inputs fingerprint of a planning problem: every field
+// that changes the reliability question (Gc with lengths, end-station count,
+// flow specs, TSN config, component library, R, degree bounds) is serialized
+// canonically and hashed (FNV-1a 64).
+std::uint64_t problem_fingerprint(const PlanningProblem& problem);
+
+struct CertificateOptions {
+  // Mirrors FailureAnalyzer::Options::flow_level_redundancy: when true, end
+  // stations are enumerated as failure candidates too.
+  bool flow_level_redundancy = false;
+};
+
+struct CertificateBuildResult {
+  // False when some non-safe scenario was not survivable: the analyzer's
+  // "reliable" verdict could not be reproduced as evidence. The planner
+  // treats that as a rejected solution, never as a crash.
+  bool ok = false;
+  ReliabilityCertificate certificate;  // valid when ok
+  FailureScenario counterexample;      // valid when !ok
+  ErrorSet errors;                     // NBF error set of the counterexample
+
+  // Instrumentation.
+  std::int64_t nbf_calls = 0;           // NBF executions during the build
+  std::int64_t superset_reuses = 0;     // proofs served by a superset's state
+  double wall_seconds = 0.0;
+};
+
+// Enumerates every non-safe scenario (probability >= R, switch-only per the
+// Eq. 6 reduction) from order maxord down to 0 and collects one proof per
+// scenario. Runs the NBF once per scenario; when the greedy NBF fails on a
+// subset of an already-proven scenario, the superset's flow state is reused
+// (see ScenarioProof). The topology must satisfy the reliability guarantee;
+// otherwise ok == false with the offending scenario as counterexample.
+CertificateBuildResult build_certificate(const Topology& topology,
+                                         const StatelessNbf& nbf,
+                                         const CertificateOptions& options = {});
+
+// --- serialization -----------------------------------------------------------
+// Byte-level (composable into larger payloads).
+void save_certificate(const ReliabilityCertificate& certificate, ByteWriter& out);
+// Bounds- and range-checked: malformed, truncated, or absurdly sized inputs
+// throw CheckpointError (never UB, OOM, or a hang). Semantic validity (does
+// the plan satisfy the problem?) is the auditor's job, not the loader's.
+ReliabilityCertificate load_certificate(ByteReader& in);
+
+// File-level, framed/checksummed via the checkpoint format.
+void save_certificate_file(const std::string& path,
+                           const ReliabilityCertificate& certificate);
+ReliabilityCertificate load_certificate_file(const std::string& path);
+
+}  // namespace nptsn

@@ -22,6 +22,7 @@ Topology build_uniform_topology(const PlanningProblem& problem,
 OriginalResult evaluate_original(const PlanningProblem& problem,
                                  const std::vector<Edge>& links, const StatelessNbf& nbf,
                                  Asil level) {
+  problem.validate();
   NPTSN_EXPECT(!links.empty(), "the original design must have links");
   const Topology topology = build_uniform_topology(problem, links, level);
 

@@ -8,6 +8,15 @@
 
 namespace nptsn {
 
+// Independent-audit policy for analyzer-approved solutions (certified
+// planning, src/analysis/auditor). kFinal re-derives a reliability
+// certificate for the returned best plan and audits it once at the end of
+// plan(); kEverySolution additionally audits every solution before it may
+// enter the best-solution recorder. Audits reject unsound solutions
+// gracefully (diagnostics, never a crash) and are verdict-preserving on
+// honest runs: they consume no environment randomness and change no rewards.
+enum class AuditMode { kOff, kFinal, kEverySolution };
+
 struct NptsnConfig {
   // --- network architecture -------------------------------------------------
   int gcn_layers = 2;
@@ -53,6 +62,13 @@ struct NptsnConfig {
   // keep num_workers * verification_threads near the core count). 1 keeps
   // the analysis single-threaded with incremental reuse only.
   int verification_threads = 1;
+
+  // --- certified planning -----------------------------------------------------
+  AuditMode audit_mode = AuditMode::kOff;
+  // When non-empty and the final plan audits clean (audit_mode != kOff), its
+  // reliability certificate is written here through the checkpoint format
+  // (re-checkable offline with tools/nptsn_audit).
+  std::string certificate_path;
 
   // --- crash resilience -------------------------------------------------------
   // When non-empty, plan() checkpoints the full training state (network,

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "analysis/auditor.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -45,9 +46,28 @@ void SolutionRecorder::restore(std::optional<Topology> best, std::int64_t found)
   found_ = found;
 }
 
+void SolutionRecorder::record_rejection(std::string summary) {
+  std::lock_guard lock(mutex_);
+  ++rejected_;
+  if (rejection_summaries_.size() < 8) {
+    rejection_summaries_.push_back(std::move(summary));
+  }
+}
+
+std::int64_t SolutionRecorder::audits_rejected() const {
+  std::lock_guard lock(mutex_);
+  return rejected_;
+}
+
+std::vector<std::string> SolutionRecorder::rejection_summaries() const {
+  std::lock_guard lock(mutex_);
+  return rejection_summaries_;
+}
+
 PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
                          const NptsnConfig& config, SolutionRecorder& recorder, Rng rng)
     : problem_(&problem),
+      nbf_(&nbf),
       config_(&config),
       analyzer_(nbf),
       soag_(problem, config.path_actions),
@@ -119,7 +139,24 @@ PlanningEnv::StepResult PlanningEnv::step(int action) {
 
   analyze_and_generate();
   if (analysis_.reliable) {
-    recorder_->record(topology_);
+    // Certified planning: in every_solution mode the analyzer's verdict is
+    // not enough — the solution must also survive an independent audit of
+    // its freshly built reliability certificate before it may be recorded.
+    // A rejection is a diagnostic, not a crash: the episode still ends (the
+    // analyzer generates no repair actions for a "reliable" topology) and
+    // training continues. Audits consume no environment randomness and do
+    // not alter rewards, so honest runs are bit-identical across modes.
+    bool accept = true;
+    if (config_->audit_mode == AuditMode::kEverySolution) {
+      ++stats_.audits_run;
+      std::string why;
+      accept = audit_solution(why);
+      if (!accept) {
+        ++stats_.audits_rejected;
+        recorder_->record_rejection(std::move(why));
+      }
+    }
+    if (accept) recorder_->record(topology_);
     result.episode_end = true;
   } else if (!actions_.any_valid()) {
     // Dead end: no valid action can repair the network. Extra -1 penalty.
@@ -127,6 +164,23 @@ PlanningEnv::StepResult PlanningEnv::step(int action) {
     result.episode_end = true;
   }
   return result;
+}
+
+bool PlanningEnv::audit_solution(std::string& why) const {
+  const CertificateBuildResult built = build_certificate(topology_, *nbf_);
+  if (!built.ok) {
+    why = "certificate build failed: NBF could not prove a non-safe scenario (" +
+          std::to_string(built.counterexample.failed_switches.size()) +
+          " failed switches, " + std::to_string(built.errors.size()) +
+          " unrecovered flows)";
+    return false;
+  }
+  const AuditReport report = audit_certificate(*problem_, built.certificate);
+  if (!report.ok) {
+    why = report.summary();
+    return false;
+  }
+  return true;
 }
 
 void PlanningEnv::reset() {

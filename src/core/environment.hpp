@@ -33,11 +33,21 @@ class SolutionRecorder {
   // and the found counter (the cost is recomputed from the topology).
   void restore(std::optional<Topology> best, std::int64_t found);
 
+  // Certified planning: a solution the independent audit rejected. Rejected
+  // solutions never enter the best tracker; the first few audit summaries
+  // are kept for PlanningResult diagnostics. Derived diagnostic state only —
+  // deliberately not checkpointed.
+  void record_rejection(std::string summary);
+  std::int64_t audits_rejected() const;
+  std::vector<std::string> rejection_summaries() const;
+
  private:
   mutable std::mutex mutex_;
   std::optional<Topology> best_;
   double best_cost_ = 0.0;
   std::int64_t found_ = 0;
+  std::int64_t rejected_ = 0;
+  std::vector<std::string> rejection_summaries_;
 };
 
 class PlanningEnv final : public Environment {
@@ -73,8 +83,12 @@ class PlanningEnv final : public Environment {
 
  private:
   void analyze_and_generate();
+  // Builds + audits a certificate for the current (analyzer-approved)
+  // topology; false (with `why` set) means the solution must be rejected.
+  bool audit_solution(std::string& why) const;
 
   const PlanningProblem* problem_;
+  const StatelessNbf* nbf_;
   const NptsnConfig* config_;
   FailureAnalyzer analyzer_;
   std::unique_ptr<VerificationEngine> engine_;  // when the engine knob is on

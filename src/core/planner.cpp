@@ -1,5 +1,6 @@
 #include "core/planner.hpp"
 
+#include "analysis/auditor.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -79,6 +80,43 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   result.solutions_found = recorder.solutions_found();
   result.stopped_reason = trainer.stopped_reason();
   result.epochs_completed = trainer.next_epoch();
+
+  // Certified planning: the plan is only returned feasible once its
+  // reliability certificate — evidence rebuilt from the topology, not the
+  // training run — audits clean through the independent checker. A failed
+  // audit rejects the plan gracefully: feasible flips to false and the
+  // audit report lands in the diagnostics, but plan() still returns.
+  for (const EpochStats& epoch : result.history) {
+    result.audits_run += epoch.audits_run;
+    result.audits_rejected += epoch.audits_rejected;
+  }
+  result.audit_failures = recorder.rejection_summaries();
+  if (config.audit_mode != AuditMode::kOff && result.best) {
+    ++result.audits_run;
+    const CertificateBuildResult built = build_certificate(*result.best, nbf);
+    bool clean = built.ok;
+    std::string why;
+    if (!built.ok) {
+      why = "final audit: certificate build failed (NBF could not prove a "
+            "non-safe scenario)";
+    } else {
+      AuditReport report = audit_certificate(problem, built.certificate);
+      clean = report.ok;
+      if (!report.ok) why = "final audit: " + report.summary();
+    }
+    if (clean) {
+      result.certificate = std::move(built.certificate);
+      if (!config.certificate_path.empty()) {
+        save_certificate_file(config.certificate_path, *result.certificate);
+      }
+    } else {
+      ++result.audits_rejected;
+      result.audit_failures.push_back(std::move(why));
+      result.feasible = false;
+      result.best.reset();
+      result.best_cost = 0.0;
+    }
+  }
   return result;
 }
 

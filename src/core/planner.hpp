@@ -6,6 +6,7 @@
 #include <array>
 #include <optional>
 
+#include "analysis/certificate.hpp"
 #include "core/config.hpp"
 #include "core/environment.hpp"
 #include "rl/trainer.hpp"
@@ -28,6 +29,17 @@ struct PlanningResult {
   // Epochs completed over the lifetime of the run, including epochs done by
   // a previous process when resuming from config.checkpoint_path.
   int epochs_completed = 0;
+
+  // --- certified planning (config.audit_mode != kOff) -----------------------
+  // The final plan's reliability certificate, present iff the plan was
+  // audited clean; with audit on, feasible == certificate.has_value(). Also
+  // written to config.certificate_path when set.
+  std::optional<ReliabilityCertificate> certificate;
+  // Independent audits run / rejected, over training (every_solution mode)
+  // plus the final audit; first few rejection summaries for diagnostics.
+  std::int64_t audits_run = 0;
+  std::int64_t audits_rejected = 0;
+  std::vector<std::string> audit_failures;
 };
 
 // Runs NPTSN end to end. The problem and NBF must stay alive for the call.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "util/expect.hpp"
@@ -206,21 +207,45 @@ void save_topology(const Topology& topology, ByteWriter& out) {
 
 Topology load_topology(const PlanningProblem& problem, ByteReader& in) {
   Topology topology(problem);
-  const std::uint32_t num_switches = in.u32();
-  for (std::uint32_t i = 0; i < num_switches; ++i) {
-    const NodeId v = static_cast<NodeId>(in.i64());
-    const int level = in.u8();
-    if (level < 0 || level >= kNumAsilLevels) {
-      throw CheckpointError("serialized switch ASIL out of range");
+  // Every malformed input must surface as CheckpointError: counts are
+  // checked against the remaining payload before looping (a corrupt header
+  // can never drive a huge loop), ids are range-checked before they reach
+  // the Topology invariants, and whatever those invariants still reject
+  // (duplicate switch, link outside Gc, degree bound) is converted from
+  // std::invalid_argument.
+  auto read_node = [&](const char* what) {
+    const std::int64_t raw = in.i64();
+    if (raw < 0 || raw >= problem.num_nodes()) {
+      throw CheckpointError(std::string("topology: serialized ") + what +
+                            " id out of range");
     }
-    topology.add_switch(v);  // starts at ASIL-A
-    while (static_cast<int>(topology.switch_asil(v)) < level) topology.upgrade_switch(v);
-  }
-  const std::uint32_t num_links = in.u32();
-  for (std::uint32_t i = 0; i < num_links; ++i) {
-    const NodeId u = static_cast<NodeId>(in.i64());
-    const NodeId v = static_cast<NodeId>(in.i64());
-    topology.add_link(u, v);
+    return static_cast<NodeId>(raw);
+  };
+  try {
+    const std::uint32_t num_switches = in.u32();
+    if (std::uint64_t{num_switches} * 9 > in.remaining()) {
+      throw CheckpointError("topology: switch count exceeds the remaining payload");
+    }
+    for (std::uint32_t i = 0; i < num_switches; ++i) {
+      const NodeId v = read_node("switch");
+      const int level = in.u8();
+      if (level < 0 || level >= kNumAsilLevels) {
+        throw CheckpointError("serialized switch ASIL out of range");
+      }
+      topology.add_switch(v);  // starts at ASIL-A
+      while (static_cast<int>(topology.switch_asil(v)) < level) topology.upgrade_switch(v);
+    }
+    const std::uint32_t num_links = in.u32();
+    if (std::uint64_t{num_links} * 16 > in.remaining()) {
+      throw CheckpointError("topology: link count exceeds the remaining payload");
+    }
+    for (std::uint32_t i = 0; i < num_links; ++i) {
+      const NodeId u = read_node("link endpoint");
+      const NodeId v = read_node("link endpoint");
+      topology.add_link(u, v);
+    }
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("topology: ") + e.what());
   }
   return topology;
 }

@@ -121,6 +121,8 @@ EpochStats Trainer::run_epoch(int epoch) {
     stats.verify_memo_hits += now.verify_memo_hits - before.verify_memo_hits;
     stats.verify_residual_reuses += now.verify_residual_reuses - before.verify_residual_reuses;
     stats.verify_seconds += now.verify_seconds - before.verify_seconds;
+    stats.audits_run += now.audits_run - before.audits_run;
+    stats.audits_rejected += now.audits_rejected - before.audits_rejected;
   }
 
   const Batch batch = merged.take();

@@ -80,6 +80,12 @@ struct EpochStats {
   std::int64_t verify_memo_hits = 0;
   std::int64_t verify_residual_reuses = 0;
   double verify_seconds = 0.0;
+
+  // Certified planning (audit_mode = every_solution): independent audits of
+  // analyzer-approved solutions this epoch, and how many were rejected.
+  // Diagnostics only — never checkpointed.
+  std::int64_t audits_run = 0;
+  std::int64_t audits_rejected = 0;
 };
 
 class Trainer {

@@ -1,0 +1,281 @@
+// Independent-auditor tests: clean audits on honest certificates, the
+// adversarial mutation suite (every forged certificate must be caught with
+// the right taxonomy code, across seeds), lying recovery mechanisms, and the
+// wall-clock guard on the exhaustive completeness sweep.
+#include "analysis/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "analysis/failure_analyzer.hpp"
+#include "testing/lying_nbf.hpp"
+#include "testing/test_problems.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::dual_homed_topology;
+using testing::LyingNbf;
+using testing::SlowNbf;
+using testing::StaleStateNbf;
+using testing::star_topology;
+using testing::tiny_problem;
+
+// The problem lives behind a unique_ptr so its address stays stable: the
+// Topology (and through it the certificate build) holds a pointer to it.
+struct Fixture {
+  std::unique_ptr<PlanningProblem> problem;
+  Topology topology;
+  ReliabilityCertificate certificate;
+};
+
+// Seeded honest fixtures: varying flow sets and switch ASIL plans, each with
+// a freshly built (and baseline-clean) certificate.
+Fixture make_fixture(int seed) {
+  auto problem = std::make_unique<PlanningProblem>(tiny_problem(2 + seed % 3));
+  Topology topology = dual_homed_topology(*problem, Asil::A);
+  Rng rng(static_cast<std::uint64_t>(seed) + 1);
+  // Up to ASIL-C: a single-switch failure must stay above R so the frontier
+  // keeps all three scenarios across seeds.
+  const int upgrades = static_cast<int>(rng.next_u64() % 3);
+  for (int i = 0; i < upgrades; ++i) topology.upgrade_switch(4);
+
+  const auto built = build_certificate(topology, HeuristicRecovery());
+  EXPECT_TRUE(built.ok);
+  return Fixture{std::move(problem), std::move(topology), built.certificate};
+}
+
+TEST(Auditor, HonestCertificateAuditsClean) {
+  for (int seed = 0; seed < 3; ++seed) {
+    const Fixture fixture = make_fixture(seed);
+    const AuditReport report = audit_certificate(*fixture.problem, fixture.certificate);
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.summary();
+    EXPECT_GE(report.scenarios_replayed, 3);
+    EXPECT_GE(report.scenarios_enumerated, 3);
+    EXPECT_FALSE(report.exhaustive_fallback);
+  }
+}
+
+TEST(Auditor, AuditAgainstDifferentProblemIsProblemMismatch) {
+  const Fixture fixture = make_fixture(0);
+  // Same flow count (so the structural gates pass) but a different R: the
+  // problem fingerprint must reject the pairing.
+  PlanningProblem other = tiny_problem(2);
+  other.reliability_goal = 1e-5;
+  const AuditReport report = audit_certificate(other, fixture.certificate);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(report.has(AuditCode::kProblemMismatch)) << report.summary();
+}
+
+// --- the adversarial certificate mutator suite ------------------------------
+// Every mutation kind must be rejected with its expected taxonomy code on
+// every seed — zero forged certificates escape.
+
+struct Mutation {
+  const char* name;
+  AuditCode expected;
+  std::function<void(Fixture&)> apply;
+};
+
+std::vector<Mutation> mutations() {
+  return {
+      {"drop_link", AuditCode::kTopologyMismatch,
+       [](Fixture& f) {
+         f.certificate.links.pop_back();
+         f.certificate.link_levels.pop_back();
+       }},
+      {"tamper_link_asil", AuditCode::kAsilInconsistency,
+       [](Fixture& f) {
+         std::uint8_t& level = f.certificate.link_levels.front();
+         level = level > 0 ? static_cast<std::uint8_t>(level - 1)
+                           : static_cast<std::uint8_t>(level + 1);
+       }},
+      {"delete_scenario", AuditCode::kMissingScenario,
+       [](Fixture& f) {
+         // Remove a non-empty scenario's proof; the re-enumeration must
+         // notice the hole in the frontier.
+         f.certificate.proofs.erase(f.certificate.proofs.begin() + 1);
+       }},
+      {"corrupt_slot", AuditCode::kScheduleViolation,
+       [](Fixture& f) {
+         for (auto& proof : f.certificate.proofs) {
+           for (auto& assignment : proof.state) {
+             if (assignment && !assignment->slots.empty()) {
+               assignment->slots.front() = f.problem->tsn.slots_per_base * 100;
+               return;
+             }
+           }
+         }
+       }},
+      {"tamper_cost", AuditCode::kCostMismatch,
+       [](Fixture& f) { f.certificate.claimed_cost -= 1.0; }},
+      {"tamper_probability", AuditCode::kProbabilityMismatch,
+       [](Fixture& f) { f.certificate.proofs.back().probability *= 0.5; }},
+      {"tamper_problem_fp", AuditCode::kProblemMismatch,
+       [](Fixture& f) { f.certificate.problem_fp ^= 0x1; }},
+      {"tamper_topology_fp", AuditCode::kTopologyMismatch,
+       [](Fixture& f) { f.certificate.topology_fp.a ^= 0x1; }},
+      {"unplace_flow", AuditCode::kUnplacedFlow,
+       [](Fixture& f) { f.certificate.proofs.back().state.front().reset(); }},
+      {"stale_state_swap", AuditCode::kDeadComponentUse,
+       [](Fixture& f) {
+         // Give some failed-switch scenario the pre-failure FI0 state of a
+         // flow that transits exactly that switch: the replay must route
+         // frames through the dead component.
+         const auto& fi0 = f.certificate.proofs.front().state;
+         const NodeId transit = fi0.front()->path[1];
+         for (auto& proof : f.certificate.proofs) {
+           if (proof.scenario.failed_switches == std::vector<NodeId>{transit}) {
+             proof.state = fi0;
+             return;
+           }
+         }
+         FAIL() << "no single-failure proof for transit switch " << transit;
+       }},
+      {"spurious_scenario", AuditCode::kSpuriousScenario,
+       [](Fixture& f) {
+         // Append a safe fault (both switches, probability < R) with an
+         // honestly recomputed probability and a plausible state.
+         ScenarioProof extra;
+         extra.scenario.failed_switches = {4, 5};
+         extra.probability = failure_probability(f.topology, extra.scenario);
+         extra.state = f.certificate.proofs.front().state;
+         f.certificate.proofs.push_back(std::move(extra));
+       }},
+  };
+}
+
+TEST(AuditorMutations, EveryMutationCaughtWithCorrectTaxonomyAcrossSeeds) {
+  for (const Mutation& mutation : mutations()) {
+    for (int seed = 0; seed < 3; ++seed) {
+      Fixture fixture = make_fixture(seed);
+      ASSERT_TRUE(audit_certificate(*fixture.problem, fixture.certificate).ok)
+          << mutation.name << " seed " << seed << ": baseline not clean";
+      mutation.apply(fixture);
+      const AuditReport report = audit_certificate(*fixture.problem, fixture.certificate);
+      EXPECT_FALSE(report.ok) << mutation.name << " seed " << seed << " escaped";
+      EXPECT_TRUE(report.has(mutation.expected))
+          << mutation.name << " seed " << seed << " produced: " << report.summary();
+    }
+  }
+}
+
+TEST(AuditorMutations, SerializedMutantsAreAlsoCaught) {
+  // The same forgery shipped through the binary format (mutate -> save ->
+  // load -> audit): serialization must not launder a forged certificate.
+  for (int seed = 0; seed < 3; ++seed) {
+    Fixture fixture = make_fixture(seed);
+    fixture.certificate.claimed_cost -= 1.0;
+    ByteWriter out;
+    save_certificate(fixture.certificate, out);
+    ByteReader in(out.data());
+    const ReliabilityCertificate reloaded = load_certificate(in);
+    const AuditReport report = audit_certificate(*fixture.problem, reloaded);
+    EXPECT_FALSE(report.ok);
+    EXPECT_TRUE(report.has(AuditCode::kCostMismatch));
+  }
+}
+
+// --- lying recovery mechanisms ----------------------------------------------
+
+TEST(AuditorLyingNbf, SwallowedErrorsAreCaughtAsUnplacedFlows) {
+  for (int seed = 0; seed < 3; ++seed) {
+    const auto problem = tiny_problem(2 + seed);
+    const auto topology = star_topology(problem, Asil::A);  // single point of failure
+    const HeuristicRecovery honest;
+    const LyingNbf liar(honest);
+
+    // The analyzer, fed by the liar, wrongly reports the star reliable.
+    ASSERT_TRUE(FailureAnalyzer(liar).analyze(topology).reliable);
+    const auto built = build_certificate(topology, liar);
+    ASSERT_TRUE(built.ok);
+
+    const AuditReport report = audit_certificate(problem, built.certificate);
+    EXPECT_FALSE(report.ok) << "seed " << seed;
+    EXPECT_TRUE(report.has(AuditCode::kUnplacedFlow)) << report.summary();
+  }
+}
+
+TEST(AuditorLyingNbf, StaleStatesAreCaughtAsDeadComponentUse) {
+  for (int seed = 0; seed < 3; ++seed) {
+    const auto problem = tiny_problem(2 + seed);
+    const auto topology = dual_homed_topology(problem, Asil::A);
+    const HeuristicRecovery honest;
+    const StaleStateNbf stale(honest);
+
+    ASSERT_TRUE(FailureAnalyzer(stale).analyze(topology).reliable);
+    const auto built = build_certificate(topology, stale);
+    ASSERT_TRUE(built.ok);
+
+    const AuditReport report = audit_certificate(problem, built.certificate);
+    EXPECT_FALSE(report.ok) << "seed " << seed;
+    EXPECT_TRUE(report.has(AuditCode::kDeadComponentUse)) << report.summary();
+  }
+}
+
+// --- auditor independence and the wall-clock guard ---------------------------
+
+TEST(AuditorGuard, AuditMakesNoNbfCallsAndIgnoresNbfLatency) {
+  const auto problem = tiny_problem();
+  const auto topology = dual_homed_topology(problem, Asil::A);
+  const HeuristicRecovery honest;
+  const SlowNbf slow(honest, std::chrono::milliseconds(50));
+
+  const auto built = build_certificate(topology, slow);
+  ASSERT_TRUE(built.ok);
+  const std::int64_t calls_after_build = slow.calls();
+  ASSERT_GT(calls_after_build, 0);
+  ASSERT_GT(built.wall_seconds, 0.1);  // the builder DOES pay the NBF latency
+
+  const AuditReport report = audit_certificate(problem, built.certificate);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(slow.calls(), calls_after_build);  // the audit never calls the NBF
+  EXPECT_LT(report.wall_seconds, built.wall_seconds);
+}
+
+TEST(AuditorGuard, ExhaustedBudgetFallsBackWithNote) {
+  const auto problem = tiny_problem();
+  const auto built = build_certificate(dual_homed_topology(problem, Asil::A),
+                                       HeuristicRecovery());
+  ASSERT_TRUE(built.ok);
+
+  AuditOptions options;
+  options.exhaustive_budget_seconds = 0.0;  // guard fires immediately
+  const AuditReport report = audit_certificate(problem, built.certificate, options);
+  // Degraded coverage is still a clean audit on an honest certificate...
+  EXPECT_TRUE(report.ok) << report.summary();
+  // ...but the fallback is visible, never silent.
+  EXPECT_TRUE(report.exhaustive_fallback);
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("abandoned"), std::string::npos);
+}
+
+TEST(AuditorGuard, ScenarioLimitSkipsSweepWithNote) {
+  const auto problem = tiny_problem();
+  const auto built = build_certificate(dual_homed_topology(problem, Asil::A),
+                                       HeuristicRecovery());
+  ASSERT_TRUE(built.ok);
+
+  AuditOptions options;
+  options.exhaustive_scenario_limit = 1;
+  const AuditReport report = audit_certificate(problem, built.certificate, options);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.exhaustive_fallback);
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.front().find("skipped"), std::string::npos);
+}
+
+TEST(AuditorReport, SummaryNamesTheTaxonomyCodes)
+{
+  Fixture fixture = make_fixture(0);
+  fixture.certificate.claimed_cost += 5.0;
+  const AuditReport report = audit_certificate(*fixture.problem, fixture.certificate);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.summary().find("cost_mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nptsn

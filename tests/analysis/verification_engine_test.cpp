@@ -13,7 +13,9 @@
 #include "scenarios/ads.hpp"
 #include "scenarios/orion.hpp"
 #include "scenarios/scenario.hpp"
+#include "testing/lying_nbf.hpp"
 #include "testing/test_problems.hpp"
+#include "util/checkpoint.hpp"
 #include "util/rng.hpp"
 
 namespace nptsn {
@@ -384,6 +386,79 @@ void expect_equivalent_on_scenario(const Scenario& scenario, std::vector<FlowSpe
       }
     } else {
       t.add_path(chosen.path);
+    }
+  }
+}
+
+// Audit-triggering failure modes: when the NBF misbehaves (swallows its
+// error set, reports stale states, flips verdicts non-monotonically, or
+// swallows only PART of the error set), the certified-planning audit is what
+// catches the lie downstream — but only if the engine hands the planner the
+// exact same counterexample and ErrorSet the sequential analyzer would have.
+// Serializing both sides makes the comparison literal: byte-for-byte.
+class TruncatedErrorNbf final : public StatelessNbf {
+ public:
+  explicit TruncatedErrorNbf(const StatelessNbf& inner) : inner_(&inner) {}
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override {
+    NbfResult result = inner_->recover(topology, scenario);
+    if (!result.errors.empty()) result.errors.erase(result.errors.begin());
+    return result;
+  }
+
+ private:
+  const StatelessNbf* inner_;
+};
+
+std::vector<std::uint8_t> outcome_bytes(const AnalysisOutcome& outcome) {
+  ByteWriter w;
+  w.u8(outcome.reliable ? 1 : 0);
+  for (const NodeId v : outcome.counterexample.failed_switches) w.i64(v);
+  for (const EdgeKey& e : outcome.counterexample.failed_links) {
+    w.i64(e.a);
+    w.i64(e.b);
+  }
+  for (const auto& [source, destination] : outcome.errors) {
+    w.i64(source);
+    w.i64(destination);
+  }
+  return w.data();
+}
+
+TEST(VerificationEngine, ErrorSetByteMatchesSequentialUnderAdversarialNbfs) {
+  const auto problem = tiny_problem(3);
+  const HeuristicRecovery honest;
+  const testing::LyingNbf liar(honest);
+  const testing::StaleStateNbf stale(honest);
+  const TruncatedErrorNbf truncating(honest);
+  const ParityNbf parity;
+
+  struct Case {
+    const char* name;
+    const StatelessNbf* nbf;
+  };
+  const Case cases[] = {{"honest", &honest},
+                        {"lying", &liar},
+                        {"stale-state", &stale},
+                        {"truncated-errors", &truncating},
+                        {"parity", &parity}};
+  const Topology topologies[] = {star_topology(problem, Asil::A),
+                                 dual_homed_topology(problem, Asil::A)};
+
+  for (const Case& c : cases) {
+    const FailureAnalyzer sequential(*c.nbf);
+    for (const Topology& t : topologies) {
+      for (const int threads : {1, 3}) {
+        VerificationEngine::Options options;
+        options.num_threads = threads;
+        VerificationEngine engine(*c.nbf, options);
+        const auto seq = sequential.analyze(t);
+        const auto eng = engine.analyze(t);
+        const std::string context =
+            std::string(c.name) + " threads " + std::to_string(threads);
+        expect_equivalent(eng, seq, context);
+        EXPECT_EQ(outcome_bytes(eng), outcome_bytes(seq)) << context;
+      }
     }
   }
 }

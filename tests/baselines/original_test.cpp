@@ -32,6 +32,14 @@ TEST(OriginalBaseline, TinyStarValidOnlyAtAsilD) {
   EXPECT_TRUE(evaluate_original(p, star, nbf, Asil::D).valid);
 }
 
+TEST(OriginalBaseline, ValidatesTheProblemBeforeEvaluating) {
+  auto p = tiny_problem(2);
+  p.flows[0].destination = 4;  // a switch: malformed
+  const std::vector<Edge> star = {{0, 4, 1.0}, {1, 4, 1.0}, {2, 4, 1.0}, {3, 4, 1.0}};
+  const HeuristicRecovery nbf;
+  EXPECT_THROW(evaluate_original(p, star, nbf, Asil::D), std::invalid_argument);
+}
+
 TEST(OriginalBaseline, CostReflectsUniformLevel) {
   const auto p = tiny_problem(2);
   const std::vector<Edge> star = {{0, 4, 1.0}, {1, 4, 1.0}, {2, 4, 1.0}, {3, 4, 1.0}};

@@ -7,8 +7,10 @@
 #include "baselines/neuroplan.hpp"
 #include "baselines/original.hpp"
 #include "baselines/trh.hpp"
+#include "analysis/auditor.hpp"
 #include "core/planner.hpp"
 #include "scenarios/ads.hpp"
+#include "testing/lying_nbf.hpp"
 #include "testing/test_problems.hpp"
 #include "tsn/stateful.hpp"
 
@@ -160,6 +162,114 @@ TEST(EndToEnd, StatelessAdapterDrivesThePlanner) {
   const auto result = plan(p, nbf, fast_config(9));
   ASSERT_TRUE(result.feasible);
   EXPECT_TRUE(FailureAnalyzer(nbf).analyze(*result.best).reliable);
+}
+
+// --- certified planning ------------------------------------------------------
+
+TEST(EndToEnd, FinalAuditIsVerdictPreservingOnHonestRuns) {
+  // Audits consume no environment RNG and change no rewards, so an honest
+  // run must land on the identical best plan with auditing on — plus a
+  // certificate that independently re-audits clean.
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+
+  const auto off = plan(p, nbf, fast_config(11));
+  auto audited_config = fast_config(11);
+  audited_config.audit_mode = AuditMode::kFinal;
+  const auto audited = plan(p, nbf, audited_config);
+
+  ASSERT_TRUE(off.feasible);
+  ASSERT_TRUE(audited.feasible);
+  EXPECT_DOUBLE_EQ(audited.best_cost, off.best_cost);
+  EXPECT_EQ(audited.solutions_found, off.solutions_found);
+
+  EXPECT_FALSE(off.certificate.has_value());
+  ASSERT_TRUE(audited.certificate.has_value());
+  EXPECT_EQ(audited.audits_run, 1);
+  EXPECT_EQ(audited.audits_rejected, 0);
+  EXPECT_TRUE(audited.audit_failures.empty());
+  EXPECT_EQ(audited.certificate->claimed_cost, audited.best_cost);
+  EXPECT_TRUE(audit_certificate(p, *audited.certificate).ok);
+}
+
+TEST(EndToEnd, EverySolutionModeIsVerdictPreservingOnHonestRuns) {
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+
+  const auto off = plan(p, nbf, fast_config(12));
+  auto audited_config = fast_config(12);
+  audited_config.audit_mode = AuditMode::kEverySolution;
+  const auto audited = plan(p, nbf, audited_config);
+
+  ASSERT_TRUE(off.feasible);
+  ASSERT_TRUE(audited.feasible);
+  EXPECT_DOUBLE_EQ(audited.best_cost, off.best_cost);
+  EXPECT_EQ(audited.solutions_found, off.solutions_found);
+  // One audit per accepted solution during training plus the final audit.
+  EXPECT_EQ(audited.audits_run, audited.solutions_found + 1);
+  EXPECT_EQ(audited.audits_rejected, 0);
+}
+
+TEST(EndToEnd, LyingNbfIsRejectedGracefullyByTheFinalAudit) {
+  // A recovery mechanism that swallows its own error set fools the analyzer
+  // into "reliable" verdicts; the final audit must reject the plan — result
+  // infeasible with diagnostics, never a crash and never a certificate.
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery honest;
+  const testing::LyingNbf liar(honest);
+
+  auto config = fast_config(13);
+  config.audit_mode = AuditMode::kFinal;
+  const auto result = plan(p, liar, config);
+
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.best.has_value());
+  EXPECT_FALSE(result.certificate.has_value());
+  EXPECT_GT(result.audits_rejected, 0);
+  ASSERT_FALSE(result.audit_failures.empty());
+  EXPECT_NE(result.audit_failures.front().find("final audit"), std::string::npos);
+}
+
+TEST(EndToEnd, EverySolutionModeRejectsLyingSolutionsDuringTraining) {
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery honest;
+  const testing::LyingNbf liar(honest);
+
+  auto config = fast_config(14);
+  config.audit_mode = AuditMode::kEverySolution;
+  const auto result = plan(p, liar, config);
+
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.solutions_found, 0) << "no lying solution may be recorded";
+  EXPECT_GT(result.audits_run, 0);
+  EXPECT_GT(result.audits_rejected, 0);
+  EXPECT_FALSE(result.audit_failures.empty());
+  std::int64_t epoch_audits = 0;
+  std::int64_t epoch_rejections = 0;
+  for (const EpochStats& stats : result.history) {
+    epoch_audits += stats.audits_run;
+    epoch_rejections += stats.audits_rejected;
+  }
+  EXPECT_GT(epoch_audits, 0) << "audit counters must surface in epoch stats";
+  EXPECT_EQ(epoch_rejections, epoch_audits) << "every lying solution is rejected";
+}
+
+TEST(EndToEnd, FinalCertificateIsWrittenToDisk) {
+  const auto p = tiny_problem(2);
+  const HeuristicRecovery nbf;
+  const std::string path = ::testing::TempDir() + "e2e_certificate.bin";
+  auto config = fast_config(15);
+  config.audit_mode = AuditMode::kFinal;
+  config.certificate_path = path;
+
+  const auto result = plan(p, nbf, config);
+  ASSERT_TRUE(result.feasible);
+  const ReliabilityCertificate loaded = load_certificate_file(path);
+  EXPECT_EQ(loaded.problem_fp, problem_fingerprint(p));
+  EXPECT_EQ(loaded.claimed_cost, result.best_cost);
+  EXPECT_TRUE(audit_certificate(p, loaded).ok);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
 }
 
 TEST(EndToEnd, SolutionSurvivesEverySingleSwitchFailure) {

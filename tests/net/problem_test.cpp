@@ -98,6 +98,38 @@ TEST(Problem, RejectsProblemWithoutSwitches) {
   EXPECT_THROW(p.validate(), std::invalid_argument);
 }
 
+TEST(Problem, RejectsNonDividingFlowPeriod) {
+  auto p = tiny_problem();
+  p.flows[0].period_us = 333.0;  // base period 500 us is not a multiple
+  p.flows[0].deadline_us = 333.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsEmptyGraph) {
+  PlanningProblem p;
+  p.connections = Graph(0);
+  p.num_end_stations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsNonPositiveEsDegree) {
+  auto p = tiny_problem();
+  p.max_es_degree = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsNonPositiveBasePeriod) {
+  auto p = tiny_problem();
+  p.tsn.base_period_us = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Problem, RejectsZeroSlots) {
+  auto p = tiny_problem();
+  p.tsn.slots_per_base = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
 TEST(Problem, MaxSwitchDegreeComesFromLibrary) {
   const auto p = tiny_problem();
   EXPECT_EQ(p.max_switch_degree(), 8);

@@ -1,0 +1,77 @@
+// Adversarial NBF wrappers for certified-planning tests: recovery mechanisms
+// that lie about their own success in ways the independent auditor must
+// catch, plus a deliberately slow NBF for wall-clock-guard tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "tsn/recovery.hpp"
+
+namespace nptsn::testing {
+
+// Claims every failure recovery succeeded: forwards the inner NBF's flow
+// state but swallows its error set for every non-empty scenario. (The empty
+// scenario — initial placement — stays honest, so planning itself proceeds
+// normally; the lie is purely about surviving failures, the part only the
+// audit replays independently.) The analyzer then reports "reliable" for
+// networks that are not — the audit must reject them (unrecovered flows
+// surface as unplaced entries in the replayed flow states).
+class LyingNbf final : public StatelessNbf {
+ public:
+  explicit LyingNbf(const StatelessNbf& inner) : inner_(&inner) {}
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override {
+    NbfResult result = inner_->recover(topology, scenario);
+    if (!scenario.empty()) result.errors.clear();
+    return result;
+  }
+
+ private:
+  const StatelessNbf* inner_;
+};
+
+// Ignores the failure scenario: always reports the pre-failure initial flow
+// state FI0 and claims success. Replaying FI0 under a real failure routes
+// frames through dead components — the audit must catch that.
+class StaleStateNbf final : public StatelessNbf {
+ public:
+  explicit StaleStateNbf(const StatelessNbf& inner) : inner_(&inner) {}
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& /*scenario*/) const override {
+    NbfResult result = inner_->recover(topology, FailureScenario::none());
+    result.errors.clear();
+    return result;
+  }
+
+ private:
+  const StatelessNbf* inner_;
+};
+
+// Correct but deliberately slow; counts calls. Used to pin that the auditor
+// is independent of the NBF: audits make zero recover() calls and their wall
+// time does not scale with NBF latency.
+class SlowNbf final : public StatelessNbf {
+ public:
+  SlowNbf(const StatelessNbf& inner, std::chrono::milliseconds delay)
+      : inner_(&inner), delay_(delay) {}
+
+  NbfResult recover(const Topology& topology,
+                    const FailureScenario& scenario) const override {
+    ++calls_;
+    std::this_thread::sleep_for(delay_);
+    return inner_->recover(topology, scenario);
+  }
+
+  std::int64_t calls() const { return calls_.load(); }
+
+ private:
+  const StatelessNbf* inner_;
+  std::chrono::milliseconds delay_;
+  mutable std::atomic<std::int64_t> calls_{0};
+};
+
+}  // namespace nptsn::testing
