@@ -1,0 +1,139 @@
+// Micro-benchmark: what does the training health supervisor cost on an
+// honest run?
+//
+// The supervisor's hot-loop work is (a) per-step finiteness checks on the
+// logits and values inside every rollout worker and (b) the per-epoch
+// sentinel sweep (losses, parameters, gradients, Adam moments, divergence
+// heuristics). Both are supposed to be noise: the acceptance bar is < 2%
+// wall-clock overhead on a real training run.
+//
+// For each scenario the same seeded plan() run is timed best-of-reps with
+// health_checks off and on (heuristics armed at generous thresholds so the
+// whole sweep executes every epoch). The runs must also produce identical
+// epoch histories — the supervisor is benchmarked only if it is invisible.
+//
+// Output is a single JSON document on stdout.
+//
+//   micro_health [--fast|--paper]
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/planner.hpp"
+#include "scenarios/ads.hpp"
+#include "scenarios/orion.hpp"
+#include "scenarios/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn::bench {
+namespace {
+
+NptsnConfig health_bench_config(const Mode& mode, std::uint64_t seed, bool on) {
+  NptsnConfig config = training_config(mode, seed);
+  if (!mode.paper) {
+    config.epochs = 8;  // enough epoch boundaries for the sweep to register
+  }
+  config.health_checks = on;
+  if (on) {
+    // Armed but quiet: every heuristic comparison runs, none can trip.
+    config.max_rollbacks = 2;
+    config.max_grad_norm = 1e12;
+    config.max_approx_kl = 1e9;
+    config.min_mean_entropy = 1e-12;
+    config.max_critic_loss = 1e12;
+  }
+  return config;
+}
+
+bool same_history(const std::vector<EpochStats>& a, const std::vector<EpochStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].steps != b[i].steps || a[i].actor_loss != b[i].actor_loss ||
+        a[i].critic_loss != b[i].critic_loss ||
+        a[i].mean_episode_reward != b[i].mean_episode_reward) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void bench_scenario(const char* name, const PlanningProblem& problem, const Mode& mode,
+                    int reps, bool last) {
+  const HeuristicRecovery nbf;
+  constexpr std::uint64_t kSeed = 11;
+
+  double off_s = 0.0;
+  double on_s = 0.0;
+  std::vector<EpochStats> off_history;
+  std::vector<EpochStats> on_history;
+  std::int64_t anomalies = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const auto config = health_bench_config(mode, kSeed, /*on=*/false);
+      const Stopwatch watch;
+      auto result = plan(problem, nbf, config);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < off_s) off_s = seconds;
+      off_history = std::move(result.history);
+    }
+    {
+      const auto config = health_bench_config(mode, kSeed, /*on=*/true);
+      const Stopwatch watch;
+      auto result = plan(problem, nbf, config);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < on_s) on_s = seconds;
+      anomalies = result.anomalies_total;
+      on_history = std::move(result.history);
+    }
+  }
+
+  if (!same_history(off_history, on_history)) {
+    std::fprintf(stderr, "%s: supervisor changed the training trajectory\n", name);
+    std::exit(1);
+  }
+  if (anomalies != 0) {
+    std::fprintf(stderr, "%s: honest run reported anomalies\n", name);
+    std::exit(1);
+  }
+
+  const double overhead = off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+  std::printf(
+      "    {\n"
+      "      \"name\": \"%s\",\n"
+      "      \"epochs\": %d,\n"
+      "      \"steps_per_epoch\": %d,\n"
+      "      \"seconds_off\": %.6f,\n"
+      "      \"seconds_on\": %.6f,\n"
+      "      \"overhead_percent\": %.3f,\n"
+      "      \"identical_history\": true\n"
+      "    }%s\n",
+      name, health_bench_config(mode, kSeed, false).epochs,
+      health_bench_config(mode, kSeed, false).steps_per_epoch, off_s, on_s, overhead,
+      last ? "" : ",");
+}
+
+int run(int argc, char** argv) {
+  const Mode mode = Mode::parse(argc, argv);
+  const int reps = mode.paper ? 5 : 3;
+
+  const auto ads = make_ads();
+  const auto ads_problem = with_flows(ads, ads_flows());
+
+  const auto orion = make_orion();
+  Rng flow_rng(7);
+  const auto orion_problem =
+      with_flows(orion, random_flows(orion.problem, mode.paper ? 8 : 4, flow_rng));
+
+  std::printf("{\n  \"bench\": \"micro_health\",\n  \"mode\": \"%s\",\n"
+              "  \"reps\": %d,\n  \"scenarios\": [\n",
+              mode.paper ? "paper" : "fast", reps);
+  bench_scenario("ADS", ads_problem, mode, reps, /*last=*/false);
+  bench_scenario("ORION", orion_problem, mode, reps, /*last=*/true);
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nptsn::bench
+
+int main(int argc, char** argv) { return nptsn::bench::run(argc, argv); }

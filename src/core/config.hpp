@@ -82,6 +82,23 @@ struct NptsnConfig {
   // epoch boundary up to this many times before propagating the error.
   int max_epoch_retries = 0;
 
+  // --- training health supervisor ---------------------------------------------
+  // Self-healing training (DESIGN.md §10): numeric sentinels over the rollout
+  // and the PPO update, divergence rollback to the last-good in-memory
+  // snapshot with a deterministically perturbed RNG stream, and per-worker
+  // fault quarantine (a throwing environment is reset and the epoch completes
+  // from the surviving workers). Honest runs are bit-identical with the
+  // supervisor on or off; every incident lands in PlanningResult::anomalies.
+  bool health_checks = false;
+  // Divergence rollbacks before the run stops gracefully with
+  // stopped_reason "diverged: ...". 0 = stop on the first tripped sentinel.
+  int max_rollbacks = 2;
+  // Divergence heuristics; 0 disables the respective sentinel.
+  double max_grad_norm = 0.0;    // gradient L2 norm ceiling
+  double max_approx_kl = 0.0;    // |approximate KL| ceiling per update
+  double min_mean_entropy = 0.0; // mean policy entropy floor per epoch
+  double max_critic_loss = 0.0;  // critic loss ceiling
+
   // --- run budget -------------------------------------------------------------
   // Graceful degradation: stop cleanly at an epoch boundary once the budget
   // is exhausted and return the best reliability-verified topology found so

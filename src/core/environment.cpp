@@ -86,9 +86,15 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
 
 int PlanningEnv::num_actions() const { return soag_.num_actions(); }
 
-Observation PlanningEnv::observe() const { return encoder_.encode(topology_, actions_); }
+Observation PlanningEnv::observe() const {
+  NPTSN_EXPECT(consistent_, "environment is inconsistent after a mid-step fault; reset() first");
+  return encoder_.encode(topology_, actions_);
+}
 
-const std::vector<std::uint8_t>& PlanningEnv::action_mask() const { return actions_.mask; }
+const std::vector<std::uint8_t>& PlanningEnv::action_mask() const {
+  NPTSN_EXPECT(consistent_, "environment is inconsistent after a mid-step fault; reset() first");
+  return actions_.mask;
+}
 
 void PlanningEnv::analyze_and_generate() {
   // Capture the resume point: re-running this function from here with the
@@ -107,16 +113,22 @@ void PlanningEnv::analyze_and_generate() {
     actions_ = ActionSpace{};  // regenerated on reset
     actions_.actions.resize(static_cast<std::size_t>(num_actions()));
     actions_.mask.assign(static_cast<std::size_t>(num_actions()), 0);
-    return;
+  } else {
+    actions_ = soag_.generate(topology_, analysis_.counterexample, analysis_.errors, rng_);
   }
-  actions_ = soag_.generate(topology_, analysis_.counterexample, analysis_.errors, rng_);
+  consistent_ = true;
 }
 
 PlanningEnv::StepResult PlanningEnv::step(int action) {
+  NPTSN_EXPECT(consistent_, "environment is inconsistent after a mid-step fault; reset() first");
   NPTSN_EXPECT(action >= 0 && action < num_actions(), "action index out of range");
   NPTSN_EXPECT(actions_.mask[static_cast<std::size_t>(action)] != 0,
                "selected a masked action");
 
+  // From here to the end of analyze_and_generate() the topology and the
+  // action space disagree; the latch stays down if anything in between
+  // throws, so a quarantined environment cannot be stepped without a reset.
+  consistent_ = false;
   const double cost_before = topology_.cost();
   const Action& chosen = actions_.actions[static_cast<std::size_t>(action)];
   switch (chosen.kind) {
@@ -184,6 +196,7 @@ bool PlanningEnv::audit_solution(std::string& why) const {
 }
 
 void PlanningEnv::reset() {
+  consistent_ = false;
   topology_ = Topology(*problem_);
   analyze_and_generate();
 }
@@ -195,6 +208,7 @@ void PlanningEnv::save_snapshot(ByteWriter& out) const {
 }
 
 void PlanningEnv::load_snapshot(ByteReader& in) {
+  consistent_ = false;
   topology_ = load_topology(*problem_, in);
   Rng::State state;
   for (std::uint64_t& word : state) word = in.u64();

@@ -100,6 +100,13 @@ class PlanningEnv final : public Environment {
   Topology topology_;
   ActionSpace actions_;
   AnalysisOutcome analysis_;
+  // Cleared while step() mutates the topology, set once analyze_and_generate
+  // rebuilt the matching action space. A fault in between (NBF/scheduler
+  // throwing mid-analysis) leaves the flag false, and every further
+  // observe/step fails loudly until reset() — the trainer's quarantine path
+  // relies on this: a half-mutated environment must never silently feed
+  // stale masks into the rollout.
+  bool consistent_ = false;
   std::int64_t nbf_calls_ = 0;
   Stats stats_;
   // State captured at the top of analyze_and_generate, i.e. before the SOAG

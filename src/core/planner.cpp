@@ -43,6 +43,12 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   trainer_config.checkpoint_path = config.checkpoint_path;
   trainer_config.checkpoint_interval = config.checkpoint_interval;
   trainer_config.max_epoch_retries = config.max_epoch_retries;
+  trainer_config.health.enabled = config.health_checks;
+  trainer_config.health.max_rollbacks = config.max_rollbacks;
+  trainer_config.health.max_grad_norm = config.max_grad_norm;
+  trainer_config.health.max_approx_kl = config.max_approx_kl;
+  trainer_config.health.min_mean_entropy = config.min_mean_entropy;
+  trainer_config.health.max_critic_loss = config.max_critic_loss;
   trainer_config.max_wall_seconds = config.max_wall_seconds;
   trainer_config.max_total_steps = config.max_total_steps;
 
@@ -80,6 +86,10 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   result.solutions_found = recorder.solutions_found();
   result.stopped_reason = trainer.stopped_reason();
   result.epochs_completed = trainer.next_epoch();
+  result.anomalies = trainer.ledger().entries();
+  result.anomalies_total = trainer.ledger().total();
+  result.rollbacks = trainer.total_rollbacks();
+  result.quarantined_worker_epochs = trainer.total_quarantined();
 
   // Certified planning: the plan is only returned feasible once its
   // reliability certificate — evidence rebuilt from the topology, not the

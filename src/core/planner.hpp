@@ -40,6 +40,17 @@ struct PlanningResult {
   std::int64_t audits_run = 0;
   std::int64_t audits_rejected = 0;
   std::vector<std::string> audit_failures;
+
+  // --- training health (config.health_checks) --------------------------------
+  // The supervisor's typed incident log for the whole run (including epochs
+  // run by a previous process when resuming): every quarantined worker,
+  // tripped sentinel, and divergence rollback. Empty on an honest run.
+  std::vector<Anomaly> anomalies;
+  // Entries dropped past the ledger cap are still counted here.
+  std::int64_t anomalies_total = 0;
+  // Divergence rollbacks taken / worker-epochs spent quarantined.
+  std::int64_t rollbacks = 0;
+  std::int64_t quarantined_worker_epochs = 0;
 };
 
 // Runs NPTSN end to end. The problem and NBF must stay alive for the call.

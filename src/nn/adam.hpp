@@ -25,6 +25,12 @@ class Adam {
 
   const std::vector<Tensor>& parameters() const { return parameters_; }
   double learning_rate() const { return options_.learning_rate; }
+  long step_count() const { return step_count_; }
+
+  // Zero-copy views of the moment estimates for the health supervisor's
+  // NaN/Inf sentinels (export_state copies; the epoch-boundary scan must not).
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
 
   // Complete optimizer state (moment estimates + step count), detached from
   // the parameters themselves, for checkpoint/resume. import_state validates

@@ -442,4 +442,34 @@ Tensor masked_softmax_rows(const Tensor& scores, const Matrix& mask) {
   });
 }
 
+std::pair<bool, double> find_non_finite_value(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) {
+    const Matrix& m = p.value();
+    for (int i = 0; i < m.size(); ++i) {
+      const double x = m.data()[i];
+      if (!std::isfinite(x)) return {true, x};
+    }
+  }
+  return {false, 0.0};
+}
+
+GradientScan scan_gradients(const std::vector<Tensor>& params) {
+  GradientScan scan;
+  for (const Tensor& p : params) {
+    // grad() is the raw (possibly never-allocated, hence empty) gradient
+    // matrix; an empty gradient contributes zero to the norm.
+    const Matrix& g = p.grad();
+    for (int i = 0; i < g.size(); ++i) {
+      const double x = g.data()[i];
+      if (!std::isfinite(x)) {
+        scan.non_finite = true;
+        scan.bad_value = x;
+        return scan;
+      }
+      scan.squared_norm += x * x;
+    }
+  }
+  return scan;
+}
+
 }  // namespace nptsn

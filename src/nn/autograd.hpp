@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "nn/matrix.hpp"
@@ -105,5 +106,22 @@ Tensor leaky_relu(const Tensor& a, double negative_slope = 0.2);
 // have at least one unmasked entry. Used by the GAT attention layer, where
 // the mask is the self-looped adjacency.
 Tensor masked_softmax_rows(const Tensor& scores, const Matrix& mask);
+
+// --- numeric sentinels -------------------------------------------------------
+// Read-only scans the training health supervisor runs at epoch boundaries.
+// Both tolerate leaves whose gradient was never allocated (treated as zero).
+
+// First NaN/Inf among the parameters' VALUES: (found, offending value).
+std::pair<bool, double> find_non_finite_value(const std::vector<Tensor>& params);
+
+// One pass over the parameters' accumulated GRADIENTS: flags the first
+// NaN/Inf and accumulates the squared L2 norm of everything scanned so far
+// (norm is only meaningful when non_finite is false).
+struct GradientScan {
+  bool non_finite = false;
+  double bad_value = 0.0;   // the offending NaN/Inf when non_finite
+  double squared_norm = 0.0;
+};
+GradientScan scan_gradients(const std::vector<Tensor>& params);
 
 }  // namespace nptsn

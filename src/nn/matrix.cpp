@@ -51,6 +51,13 @@ double Matrix::max_abs() const {
   return best;
 }
 
+bool Matrix::all_finite() const {
+  for (const double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   NPTSN_EXPECT(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix out(a.rows(), b.cols());

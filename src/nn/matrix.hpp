@@ -33,6 +33,9 @@ class Matrix {
   double sum() const;
   // Largest absolute entry (0 for empty matrices).
   double max_abs() const;
+  // True when every entry is finite (no NaN/Inf); true for empty matrices.
+  // The numeric-sentinel primitive of the training health supervisor.
+  bool all_finite() const;
 
  private:
   int rows_ = 0;

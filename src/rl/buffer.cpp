@@ -65,6 +65,13 @@ Batch TrajectoryBuffer::take() {
   return batch;
 }
 
+void TrajectoryBuffer::clear() {
+  steps_.clear();
+  advantages_.clear();
+  returns_.clear();
+  path_start_ = 0;
+}
+
 void TrajectoryBuffer::absorb(TrajectoryBuffer&& other) {
   NPTSN_EXPECT(!other.has_open_path(), "cannot absorb a buffer with an open path");
   for (auto& s : other.steps_) steps_.push_back(std::move(s));

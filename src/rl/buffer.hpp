@@ -43,6 +43,11 @@ class TrajectoryBuffer {
   // Finishes nothing; requires all paths closed. Clears the buffer.
   Batch take();
 
+  // Discards everything, open path included. Used when a quarantined worker's
+  // partial rollout must not leak into the merged batch, and on state
+  // restore; cheaper than re-constructing (keeps the step capacity).
+  void clear();
+
   // Merges another buffer's closed paths (parallel workers).
   void absorb(TrajectoryBuffer&& other);
 

@@ -15,9 +15,23 @@ std::vector<double> masked_probabilities(const Matrix& logits,
 
   double max_logit = -std::numeric_limits<double>::infinity();
   for (int j = 0; j < logits.cols(); ++j) {
-    if (mask[static_cast<std::size_t>(j)]) max_logit = std::max(max_logit, logits.at(0, j));
+    if (!mask[static_cast<std::size_t>(j)]) continue;
+    const double logit = logits.at(0, j);
+    // NaN loses every std::max comparison, so it must be caught explicitly
+    // or it would silently poison the exp/normalize below.
+    if (std::isnan(logit)) {
+      throw MaskedDistributionError("non-finite logits under the action mask");
+    }
+    max_logit = std::max(max_logit, logit);
   }
-  NPTSN_EXPECT(std::isfinite(max_logit), "all actions are masked");
+  if (!std::isfinite(max_logit)) {
+    // Recoverable typed error, not an abort: the quarantine path catches
+    // this, resets the worker's environment, and the run continues.
+    throw MaskedDistributionError(
+        max_logit == -std::numeric_limits<double>::infinity()
+            ? "all actions are masked: the state offers no legal action"
+            : "non-finite logits under the action mask");
+  }
 
   std::vector<double> probs(mask.size(), 0.0);
   double denom = 0.0;
@@ -48,12 +62,18 @@ int argmax_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask) {
       best_logit = logits.at(0, j);
     }
   }
-  NPTSN_EXPECT(best >= 0, "all actions are masked");
+  if (best < 0) {
+    throw MaskedDistributionError(
+        "all actions are masked: the state offers no legal action");
+  }
   return best;
 }
 
 double entropy_masked(const Matrix& logits, const std::vector<std::uint8_t>& mask) {
-  const auto probs = masked_probabilities(logits, mask);
+  return entropy_of(masked_probabilities(logits, mask));
+}
+
+double entropy_of(const std::vector<double>& probs) {
   double h = 0.0;
   for (const double p : probs) {
     if (p > 0.0) h -= p * std::log(p);

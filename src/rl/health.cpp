@@ -1,0 +1,183 @@
+#include "rl/health.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace nptsn {
+
+const char* to_string(AnomalyCode code) {
+  switch (code) {
+    case AnomalyCode::kNonFiniteLogits: return "non_finite_logits";
+    case AnomalyCode::kNonFiniteValue: return "non_finite_value";
+    case AnomalyCode::kNonFiniteLoss: return "non_finite_loss";
+    case AnomalyCode::kNonFiniteParameter: return "non_finite_parameter";
+    case AnomalyCode::kNonFiniteGradient: return "non_finite_gradient";
+    case AnomalyCode::kNonFiniteAdamMoment: return "non_finite_adam_moment";
+    case AnomalyCode::kGradientExplosion: return "gradient_explosion";
+    case AnomalyCode::kKlBlowup: return "kl_blowup";
+    case AnomalyCode::kEntropyCollapse: return "entropy_collapse";
+    case AnomalyCode::kValueLossExplosion: return "value_loss_explosion";
+    case AnomalyCode::kWorkerException: return "worker_exception";
+    case AnomalyCode::kAllActionsMasked: return "all_actions_masked";
+    case AnomalyCode::kEmptyEpoch: return "empty_epoch";
+  }
+  return "unknown";
+}
+
+void AnomalyLedger::add(Anomaly anomaly) {
+  if (entries_.size() >= kMaxEntries) {
+    ++dropped_;
+    return;
+  }
+  if (anomaly.detail.size() > kMaxDetailBytes) anomaly.detail.resize(kMaxDetailBytes);
+  entries_.push_back(std::move(anomaly));
+}
+
+std::int64_t AnomalyLedger::count(AnomalyCode code) const {
+  std::int64_t n = 0;
+  for (const Anomaly& a : entries_) {
+    if (a.code == code) ++n;
+  }
+  return n;
+}
+
+void AnomalyLedger::save(ByteWriter& out) const {
+  out.i64(dropped_);
+  out.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const Anomaly& a : entries_) {
+    out.u8(static_cast<std::uint8_t>(a.code));
+    out.i64(a.epoch);
+    out.i64(a.worker);
+    out.f64(a.value);
+    out.str(a.detail);
+  }
+}
+
+AnomalyLedger AnomalyLedger::load(ByteReader& in) {
+  AnomalyLedger ledger;
+  ledger.dropped_ = in.i64();
+  if (ledger.dropped_ < 0) throw CheckpointError("negative dropped-anomaly counter");
+  const std::uint32_t count = in.u32();
+  if (count > kMaxEntries) throw CheckpointError("anomaly ledger exceeds the entry cap");
+  ledger.entries_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Anomaly a;
+    const std::uint8_t raw = in.u8();
+    if (raw < static_cast<std::uint8_t>(AnomalyCode::kNonFiniteLogits) ||
+        raw > static_cast<std::uint8_t>(AnomalyCode::kEmptyEpoch)) {
+      throw CheckpointError("unknown anomaly code " + std::to_string(raw));
+    }
+    a.code = static_cast<AnomalyCode>(raw);
+    a.epoch = static_cast<int>(in.i64());
+    a.worker = static_cast<int>(in.i64());
+    a.value = in.f64();
+    a.detail = in.str();
+    if (a.detail.size() > kMaxDetailBytes) {
+      throw CheckpointError("anomaly detail exceeds the size cap");
+    }
+    ledger.entries_.push_back(std::move(a));
+  }
+  return ledger;
+}
+
+namespace {
+
+// First non-finite entry of a matrix, as (found, value).
+std::pair<bool, double> first_non_finite(const Matrix& m) {
+  for (int i = 0; i < m.size(); ++i) {
+    const double x = m.data()[i];
+    if (!std::isfinite(x)) return {true, x};
+  }
+  return {false, 0.0};
+}
+
+std::optional<Anomaly> check_moments(const Adam& opt, const char* which) {
+  for (const Matrix& m : opt.first_moments()) {
+    if (const auto [bad, x] = first_non_finite(m); bad) {
+      return Anomaly{AnomalyCode::kNonFiniteAdamMoment, -1, -1, x,
+                     std::string(which) + " optimizer first moment"};
+    }
+  }
+  for (const Matrix& v : opt.second_moments()) {
+    if (const auto [bad, x] = first_non_finite(v); bad) {
+      return Anomaly{AnomalyCode::kNonFiniteAdamMoment, -1, -1, x,
+                     std::string(which) + " optimizer second moment"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Anomaly> check_epoch_health(const ActorCritic& net, const Adam& actor_opt,
+                                          const Adam& critic_opt,
+                                          const EpochHealthInput& input,
+                                          const HealthConfig& config) {
+  // 1. Losses and KL of the update that just ran.
+  if (!std::isfinite(input.actor_loss)) {
+    return Anomaly{AnomalyCode::kNonFiniteLoss, -1, -1, input.actor_loss, "actor loss"};
+  }
+  if (!std::isfinite(input.critic_loss)) {
+    return Anomaly{AnomalyCode::kNonFiniteLoss, -1, -1, input.critic_loss, "critic loss"};
+  }
+  if (!std::isfinite(input.approx_kl)) {
+    return Anomaly{AnomalyCode::kNonFiniteLoss, -1, -1, input.approx_kl, "approx KL"};
+  }
+
+  // 2. Every network weight (all_parameters covers the shared GCN once).
+  if (const auto [bad, x] = find_non_finite_value(net.all_parameters()); bad) {
+    return Anomaly{AnomalyCode::kNonFiniteParameter, -1, -1, x, "network parameter"};
+  }
+
+  // 3. Accumulated gradients: finiteness plus the optional norm ceiling.
+  // Summed over actor + critic parameter sets (the shared GCN contributes to
+  // both, exactly as it receives updates from both).
+  GradientScan scan = scan_gradients(actor_opt.parameters());
+  if (!scan.non_finite) {
+    const GradientScan critic_scan = scan_gradients(critic_opt.parameters());
+    scan.non_finite = critic_scan.non_finite;
+    scan.bad_value = critic_scan.bad_value;
+    scan.squared_norm += critic_scan.squared_norm;
+  }
+  if (scan.non_finite) {
+    return Anomaly{AnomalyCode::kNonFiniteGradient, -1, -1, scan.bad_value,
+                   "accumulated gradient"};
+  }
+  const double grad_norm = std::sqrt(scan.squared_norm);
+  if (config.max_grad_norm > 0.0 && grad_norm > config.max_grad_norm) {
+    return Anomaly{AnomalyCode::kGradientExplosion, -1, -1, grad_norm,
+                   "gradient L2 norm over actor+critic sets"};
+  }
+
+  // 4. Adam moment estimates (a NaN here poisons every future step even if
+  // the weights still look clean).
+  if (auto a = check_moments(actor_opt, "actor")) return a;
+  if (auto a = check_moments(critic_opt, "critic")) return a;
+
+  // 5. Divergence heuristics, each armed by its non-zero threshold.
+  if (config.max_approx_kl > 0.0 && std::abs(input.approx_kl) > config.max_approx_kl) {
+    return Anomaly{AnomalyCode::kKlBlowup, -1, -1, input.approx_kl, "approx KL"};
+  }
+  if (config.min_mean_entropy > 0.0 && input.entropy_steps > 0 &&
+      input.mean_entropy < config.min_mean_entropy) {
+    return Anomaly{AnomalyCode::kEntropyCollapse, -1, -1, input.mean_entropy,
+                   "mean policy entropy"};
+  }
+  if (config.max_critic_loss > 0.0 && input.critic_loss > config.max_critic_loss) {
+    return Anomaly{AnomalyCode::kValueLossExplosion, -1, -1, input.critic_loss,
+                   "critic loss"};
+  }
+  return std::nullopt;
+}
+
+namespace {
+HealthFaultHook g_health_fault_hook;
+}  // namespace
+
+void set_health_fault_hook(HealthFaultHook hook) { g_health_fault_hook = std::move(hook); }
+
+void run_health_fault_hook(int epoch, ActorCritic& net, Adam& actor_opt, Adam& critic_opt) {
+  if (g_health_fault_hook) g_health_fault_hook(epoch, net, actor_opt, critic_opt);
+}
+
+}  // namespace nptsn

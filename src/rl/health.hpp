@@ -1,0 +1,161 @@
+// Training health supervisor: numeric sentinels, divergence heuristics, and
+// the structured anomaly ledger behind the trainer's self-healing loop.
+//
+// A multi-hour planning run dies in practice from exactly three things: a
+// NaN/Inf creeping through the GCN forward pass or the PPO update, a
+// diverging policy (KL blowup, entropy collapse, exploding value loss), or a
+// worker environment throwing mid-rollout. The supervisor makes all three
+// recoverable: sentinels detect the first two at the epoch boundary (plus a
+// cheap per-step logit/value check in the rollout loop), the trainer rolls
+// back to the last-good in-memory snapshot and retries with a
+// deterministically perturbed RNG stream, and worker faults are quarantined
+// so the epoch completes from the surviving workers' buffers. Every incident
+// is recorded as a typed Anomaly in a ledger that flows through EpochStats,
+// PlanningResult, and checkpoint persistence — a failure is never silent.
+//
+// Honest runs are unaffected: with the supervisor enabled but no anomaly,
+// training state evolves bit-identically to a supervisor-off run (the
+// sentinels only read, never write, and consume no randomness).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "rl/actor_critic.hpp"
+#include "util/checkpoint.hpp"
+
+namespace nptsn {
+
+// Typed anomaly taxonomy (DESIGN.md §10 has the full table). Codes are part
+// of the checkpoint format: append only, never renumber.
+enum class AnomalyCode : std::uint8_t {
+  kNonFiniteLogits = 1,     // NaN/Inf in a forward-pass logit row (rollout)
+  kNonFiniteValue = 2,      // NaN/Inf critic value estimate (rollout)
+  kNonFiniteLoss = 3,       // NaN/Inf actor/critic loss or approx-KL (update)
+  kNonFiniteParameter = 4,  // NaN/Inf network weight after the update
+  kNonFiniteGradient = 5,   // NaN/Inf accumulated gradient
+  kNonFiniteAdamMoment = 6, // NaN/Inf Adam first/second moment estimate
+  kGradientExplosion = 7,   // gradient norm above health.max_grad_norm
+  kKlBlowup = 8,            // |approx KL| above health.max_approx_kl
+  kEntropyCollapse = 9,     // mean policy entropy below health.min_mean_entropy
+  kValueLossExplosion = 10, // critic loss above health.max_critic_loss
+  kWorkerException = 11,    // a rollout worker threw (env/NBF/scheduler fault)
+  kAllActionsMasked = 12,   // a worker sampled from a fully masked action row
+  kEmptyEpoch = 13,         // every worker quarantined: no rollout data left
+};
+
+// Stable lowercase name of a code ("non_finite_logits", ...). Unknown codes
+// map to "unknown" instead of crashing — the ledger is diagnostics.
+const char* to_string(AnomalyCode code);
+
+// One supervised incident: what tripped, where, and the value that tripped
+// it (gradient norm, KL, NaN'ed loss bit pattern — whatever the sentinel
+// measured; 0 when the trigger has no scalar).
+struct Anomaly {
+  AnomalyCode code = AnomalyCode::kWorkerException;
+  int epoch = -1;   // epoch being attempted when the anomaly fired
+  int worker = -1;  // worker index; -1 for update-phase (whole-net) anomalies
+  double value = 0.0;
+  std::string detail;  // free-form context (exception message, tensor name)
+};
+
+// Append-only incident log. Bounded: after kMaxEntries the entries are
+// dropped but still counted, so a pathological fault loop cannot balloon a
+// checkpoint. Serialization round-trips exactly (including NaN trigger
+// values, which f64 stores bit-exact).
+class AnomalyLedger {
+ public:
+  static constexpr std::size_t kMaxEntries = 1024;
+  static constexpr std::size_t kMaxDetailBytes = 256;
+
+  void add(Anomaly anomaly);
+
+  const std::vector<Anomaly>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty() && dropped_ == 0; }
+  // Total incidents observed (recorded + dropped past the cap).
+  std::int64_t total() const { return static_cast<std::int64_t>(entries_.size()) + dropped_; }
+  std::int64_t count(AnomalyCode code) const;
+
+  void save(ByteWriter& out) const;
+  // Throws CheckpointError on malformed bytes (bad code, negative counters).
+  static AnomalyLedger load(ByteReader& in);
+
+ private:
+  std::vector<Anomaly> entries_;
+  std::int64_t dropped_ = 0;
+};
+
+// Escalation carrier for numeric sentinels: thrown from the rollout hot loop
+// (non-finite logits/values) and the PPO update (non-finite loss), caught by
+// the trainer's rollback path. Worker quarantine deliberately does NOT
+// swallow this type — a poisoned network is a whole-run problem, not a
+// single-worker one.
+class NumericAnomalyError : public std::runtime_error {
+ public:
+  explicit NumericAnomalyError(Anomaly anomaly)
+      : std::runtime_error(std::string("numeric sentinel tripped: ") +
+                           to_string(anomaly.code) +
+                           (anomaly.detail.empty() ? "" : " — " + anomaly.detail)),
+        anomaly_(std::move(anomaly)) {}
+
+  const Anomaly& anomaly() const { return anomaly_; }
+
+ private:
+  Anomaly anomaly_;
+};
+
+// Supervisor knobs (TrainerConfig::health; NptsnConfig mirrors them as the
+// health_checks / max_rollbacks flags). The NaN/Inf sentinels are always
+// armed when enabled; each divergence heuristic is armed by a non-zero
+// threshold.
+struct HealthConfig {
+  bool enabled = false;
+  // Rollbacks to the last-good snapshot before the run stops gracefully with
+  // stopped_reason "diverged". 0 = stop on the first tripped sentinel.
+  int max_rollbacks = 2;
+  double max_grad_norm = 0.0;    // gradient L2 norm ceiling (0 = off)
+  double max_approx_kl = 0.0;    // |approx KL| ceiling (0 = off)
+  double min_mean_entropy = 0.0; // mean policy entropy floor (0 = off)
+  double max_critic_loss = 0.0;  // critic loss ceiling (0 = off)
+};
+
+// Scalar measurements the epoch-boundary check consumes (the trainer fills
+// these from PpoStats and the rollout entropy accumulator).
+struct EpochHealthInput {
+  double actor_loss = 0.0;
+  double critic_loss = 0.0;
+  double approx_kl = 0.0;
+  double mean_entropy = 0.0;
+  int entropy_steps = 0;  // 0 = no entropy sample this epoch (skip the floor)
+};
+
+// The epoch-boundary sentinel sweep: losses, network parameters, accumulated
+// gradients (norm + finiteness), Adam moments, then the divergence
+// heuristics, in that fixed order (the first trip wins, deterministically).
+// Returns the tripped anomaly (epoch/worker unset) or nullopt when healthy.
+// Read-only: never mutates the network or optimizers.
+std::optional<Anomaly> check_epoch_health(const ActorCritic& net, const Adam& actor_opt,
+                                          const Adam& critic_opt,
+                                          const EpochHealthInput& input,
+                                          const HealthConfig& config);
+
+// --- fault injection (tests only) -------------------------------------------
+// Mirrors util/checkpoint's set_checkpoint_write_hook: a seam the trainer
+// invokes at every epoch boundary (supervisor enabled only) right before the
+// sentinel sweep, with mutable access to the training state, so tests can
+// poison weights, gradients, or optimizer moments and watch the rollback.
+using HealthFaultHook =
+    std::function<void(int epoch, ActorCritic& net, Adam& actor_opt, Adam& critic_opt)>;
+
+// Installs (or, with nullptr, clears) the global hook. Test-only; not
+// thread-safe against concurrent trainers.
+void set_health_fault_hook(HealthFaultHook hook);
+// Invoked by the trainer; no-op when no hook is installed.
+void run_health_fault_hook(int epoch, ActorCritic& net, Adam& actor_opt, Adam& critic_opt);
+
+}  // namespace nptsn

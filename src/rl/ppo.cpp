@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "rl/health.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -65,6 +66,13 @@ PpoStats ppo_update(const ActorCritic& net, Adam& actor_opt, Adam& critic_opt,
     ActorLoss al = actor_loss(net, batch, config.clip_ratio);
     if (iter == 0) stats.actor_loss = al.loss.item();
     stats.approx_kl = al.approx_kl;
+    if (config.check_numerics &&
+        (!std::isfinite(al.loss.item()) || !std::isfinite(al.approx_kl))) {
+      throw NumericAnomalyError(Anomaly{AnomalyCode::kNonFiniteLoss, -1, -1,
+                                        al.loss.item(),
+                                        "actor loss at PPO iteration " +
+                                            std::to_string(iter)});
+    }
     // SpinningUp PPO: stop updating the policy once it drifted too far from
     // the behavior policy.
     if (al.approx_kl > 1.5 * config.target_kl) break;
@@ -77,6 +85,12 @@ PpoStats ppo_update(const ActorCritic& net, Adam& actor_opt, Adam& critic_opt,
   for (int iter = 0; iter < config.train_critic_iters; ++iter) {
     Tensor loss = critic_loss(net, batch);
     if (iter == 0) stats.critic_loss = loss.item();
+    if (config.check_numerics && !std::isfinite(loss.item())) {
+      throw NumericAnomalyError(Anomaly{AnomalyCode::kNonFiniteLoss, -1, -1,
+                                        loss.item(),
+                                        "critic loss at PPO iteration " +
+                                            std::to_string(iter)});
+    }
     critic_opt.zero_grad();
     loss.backward();
     critic_opt.step();

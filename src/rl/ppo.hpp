@@ -15,6 +15,14 @@ struct PpoConfig {
   int train_critic_iters = 80;
   // Early-stop the actor updates when approximate KL exceeds 1.5x this.
   double target_kl = 0.01;
+  // Health supervisor: abort the update with a typed NumericAnomalyError the
+  // moment a loss or the approximate KL goes NaN/Inf, instead of letting the
+  // remaining iterations poison the weights and both Adam moment sets (a
+  // NaN KL also disables the early-stop comparison above, so without this
+  // check every remaining iteration would apply NaN gradients). Off by
+  // default: honest runs are bit-identical either way, the flag only changes
+  // how a poisoned update fails.
+  bool check_numerics = false;
 };
 
 struct PpoStats {

@@ -17,7 +17,9 @@ namespace nptsn {
 
 // Payload version of trainer checkpoints (bumped whenever the layout of the
 // serialized training state changes).
-inline constexpr std::uint32_t kTrainerCheckpointVersion = 1;
+// v2: payload split into blob(core) + blob(health supervisor section:
+//     rollback/quarantine counters and the anomaly ledger).
+inline constexpr std::uint32_t kTrainerCheckpointVersion = 2;
 
 // --- matrices ----------------------------------------------------------------
 void write_matrix(ByteWriter& out, const Matrix& m);

@@ -1,12 +1,28 @@
 #include "rl/trainer.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <optional>
 
 #include "rl/distribution.hpp"
 #include "rl/snapshot.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
+namespace {
+
+// First NaN/Inf entry of a matrix, for the anomaly trigger value (only
+// called once a sentinel already tripped — never on the hot path).
+double first_non_finite(const Matrix& m) {
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (!std::isfinite(m.at(r, c))) return m.at(r, c);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 struct Trainer::Worker {
   std::unique_ptr<Environment> env;
@@ -15,6 +31,18 @@ struct Trainer::Worker {
   double episode_reward = 0.0;
   // Episode returns finished during the current epoch.
   std::vector<double> finished_returns;
+
+  // --- health supervisor scratch (never checkpointed) -----------------------
+  // Fault recorded this epoch; the worker was quarantined (its partial
+  // rollout discarded, its environment reset) and contributed no steps.
+  std::optional<Anomaly> fault;
+  // The environment reset itself threw: the worker sits out entire epochs
+  // until a revival reset succeeds at an epoch start (or a rollback restores
+  // its last-good snapshot).
+  bool dead = false;
+  // Per-epoch policy-entropy accumulator for the entropy-collapse sentinel.
+  double entropy_sum = 0.0;
+  int entropy_steps = 0;
 
   Worker(std::unique_ptr<Environment> e, Rng r, double gamma, double lambda)
       : env(std::move(e)), rng(r), buffer(gamma, lambda) {}
@@ -34,6 +62,11 @@ Trainer::Trainer(ActorCritic& net, const EnvFactory& factory, const TrainerConfi
   NPTSN_EXPECT(config.max_epoch_retries >= 0, "retry count must be non-negative");
   NPTSN_EXPECT(config.max_wall_seconds >= 0.0, "wall-clock budget must be non-negative");
   NPTSN_EXPECT(config.max_total_steps >= 0, "step budget must be non-negative");
+  NPTSN_EXPECT(config.health.max_rollbacks >= 0, "rollback count must be non-negative");
+  // A poisoned PPO iteration must abort instead of running NaN gradients
+  // through the remaining iterations — otherwise the rollback snapshot is
+  // the only finite state left and every retry starts from scratch.
+  if (config_.health.enabled) config_.ppo.check_numerics = true;
 
   Rng seeder(config.seed);
   for (int w = 0; w < config.num_workers; ++w) {
@@ -51,29 +84,49 @@ Trainer::~Trainer() = default;
 
 EpochStats Trainer::run_epoch(int epoch) {
   const int steps_per_worker = config_.steps_per_epoch / config_.num_workers;
+  const bool supervise = config_.health.enabled;
 
   // Baseline for the per-epoch verification-work delta (cumulative counters).
   std::vector<Environment::Stats> stats_before;
   stats_before.reserve(workers_.size());
   for (const auto& worker : workers_) stats_before.push_back(worker->env->stats());
 
-  // Rollout collection. Forward passes only read shared network parameters,
-  // so concurrent workers are safe; each worker owns its env/rng/buffer.
-  auto collect = [&](int w) {
-    Worker& worker = *workers_[static_cast<std::size_t>(w)];
-    worker.finished_returns.clear();
+  // The rollout body. Forward passes only read shared network parameters, so
+  // concurrent workers are safe; each worker owns its env/rng/buffer. The
+  // sampling path below (masked_probabilities + sample_weighted + log) draws
+  // exactly the same stream as sample_masked, so enabling the supervisor —
+  // which additionally reads the probs for entropy and scans for NaN — is
+  // bit-identical to a supervisor-off rollout.
+  auto collect_body = [&](Worker& worker, int w) {
     for (int step = 0; step < steps_per_worker; ++step) {
       StepRecord record;
       record.obs = worker.env->observe();
       record.mask = worker.env->action_mask();
 
       const auto out = net_->forward(record.obs);
-      const auto sample = sample_masked(out.logits.value(), record.mask, worker.rng);
-      record.action = sample.action;
-      record.log_prob = sample.log_prob;
+      const Matrix& logits = out.logits.value();
+      if (supervise && !logits.all_finite()) {
+        throw NumericAnomalyError(Anomaly{AnomalyCode::kNonFiniteLogits, epoch, w,
+                                          first_non_finite(logits),
+                                          "policy logits at rollout step " +
+                                              std::to_string(step)});
+      }
+      const auto probs = masked_probabilities(logits, record.mask);
+      record.action = worker.rng.sample_weighted(probs);
+      record.log_prob = std::log(probs[static_cast<std::size_t>(record.action)]);
       record.value = out.value.item();
+      if (supervise) {
+        if (!std::isfinite(record.value)) {
+          throw NumericAnomalyError(Anomaly{AnomalyCode::kNonFiniteValue, epoch, w,
+                                            record.value,
+                                            "critic value at rollout step " +
+                                                std::to_string(step)});
+        }
+        worker.entropy_sum += entropy_of(probs);
+        ++worker.entropy_steps;
+      }
 
-      const auto result = worker.env->step(sample.action);
+      const auto result = worker.env->step(record.action);
       record.reward = result.reward;
       worker.episode_reward += result.reward;
       worker.buffer.store(std::move(record));
@@ -88,7 +141,62 @@ EpochStats Trainer::run_epoch(int epoch) {
     if (worker.buffer.has_open_path()) {
       // Bootstrap the value of the state the epoch cut the path at.
       const auto out = net_->forward(worker.env->observe());
-      worker.buffer.finish_path(out.value.item());
+      const double last_value = out.value.item();
+      if (supervise && !std::isfinite(last_value)) {
+        throw NumericAnomalyError(Anomaly{AnomalyCode::kNonFiniteValue, epoch, w,
+                                          last_value, "bootstrap value at epoch cut"});
+      }
+      worker.buffer.finish_path(last_value);
+    }
+  };
+
+  // Quarantine: the faulting worker's partial rollout must not leak into the
+  // merged batch, and its environment may be mid-corrupt — discard and reset.
+  // Only touches the worker's own state, so it is safe under parallel_for;
+  // the ledger is updated after the barrier, in worker-index order.
+  auto quarantine = [&](Worker& worker, int w, AnomalyCode code, const std::string& what) {
+    worker.fault = Anomaly{code, epoch, w, 0.0, what};
+    worker.buffer.clear();
+    worker.finished_returns.clear();
+    worker.episode_reward = 0.0;
+    try {
+      worker.env->reset();
+    } catch (...) {
+      worker.dead = true;  // revival is attempted at the next epoch start
+    }
+  };
+
+  auto collect = [&](int w) {
+    Worker& worker = *workers_[static_cast<std::size_t>(w)];
+    worker.fault.reset();
+    worker.finished_returns.clear();
+    worker.entropy_sum = 0.0;
+    worker.entropy_steps = 0;
+    if (!supervise) {
+      collect_body(worker, w);
+      return;
+    }
+    if (worker.dead) {
+      try {
+        worker.env->reset();
+        worker.episode_reward = 0.0;
+        worker.dead = false;
+      } catch (const std::exception& e) {
+        worker.fault = Anomaly{AnomalyCode::kWorkerException, epoch, w, 0.0,
+                               std::string("worker environment still dead: ") + e.what()};
+        return;  // sits this epoch out
+      }
+    }
+    try {
+      collect_body(worker, w);
+    } catch (const NumericAnomalyError&) {
+      // A poisoned network is a whole-run problem, not a single-worker one:
+      // escalate to the trainer's rollback path instead of quarantining.
+      throw;
+    } catch (const MaskedDistributionError& e) {
+      quarantine(worker, w, AnomalyCode::kAllActionsMasked, e.what());
+    } catch (const std::exception& e) {
+      quarantine(worker, w, AnomalyCode::kWorkerException, e.what());
     }
   };
 
@@ -98,21 +206,34 @@ EpochStats Trainer::run_epoch(int epoch) {
     collect(0);
   }
 
-  // Merge worker buffers deterministically (by worker index).
+  // Merge worker buffers deterministically (by worker index). Quarantined
+  // workers contribute an empty buffer; their incidents land in the ledger
+  // here, single-threaded and in index order.
   TrajectoryBuffer merged(config_.gamma, config_.gae_lambda);
   EpochStats stats;
   stats.epoch = epoch;
   double return_sum = 0.0;
-  for (auto& worker : workers_) {
-    merged.absorb(std::move(worker->buffer));
-    for (const double r : worker->finished_returns) {
+  double entropy_sum = 0.0;
+  int entropy_steps = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = *workers_[w];
+    if (worker.fault) {
+      ledger_.add(*worker.fault);
+      ++stats.quarantined_workers;
+      ++total_quarantined_;
+    }
+    merged.absorb(std::move(worker.buffer));
+    for (const double r : worker.finished_returns) {
       return_sum += r;
       ++stats.episodes_finished;
     }
+    entropy_sum += worker.entropy_sum;
+    entropy_steps += worker.entropy_steps;
   }
   if (stats.episodes_finished > 0) {
     stats.mean_episode_reward = return_sum / stats.episodes_finished;
   }
+  if (entropy_steps > 0) stats.mean_entropy = entropy_sum / entropy_steps;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     const auto now = workers_[w]->env->stats();
     const auto& before = stats_before[w];
@@ -127,10 +248,31 @@ EpochStats Trainer::run_epoch(int epoch) {
 
   const Batch batch = merged.take();
   stats.steps = static_cast<int>(batch.steps.size());
+  if (supervise && batch.steps.empty()) {
+    // Every worker quarantined: nothing to update from. Escalate — a rollback
+    // restores the last-good environments, and if even that cannot produce
+    // data the run stops gracefully as diverged.
+    throw NumericAnomalyError(Anomaly{AnomalyCode::kEmptyEpoch, epoch, -1, 0.0,
+                                      "every worker quarantined; no rollout data"});
+  }
   const PpoStats ppo = ppo_update(*net_, actor_opt_, critic_opt_, batch, config_.ppo);
   stats.actor_loss = ppo.actor_loss;
   stats.critic_loss = ppo.critic_loss;
   stats.approx_kl = ppo.approx_kl;
+
+  if (supervise) {
+    run_health_fault_hook(epoch, *net_, actor_opt_, critic_opt_);
+    EpochHealthInput input;
+    input.actor_loss = ppo.actor_loss;
+    input.critic_loss = ppo.critic_loss;
+    input.approx_kl = ppo.approx_kl;
+    input.mean_entropy = stats.mean_entropy;
+    input.entropy_steps = entropy_steps;
+    if (auto tripped = check_epoch_health(*net_, actor_opt_, critic_opt_, input, config_.health)) {
+      tripped->epoch = epoch;
+      throw NumericAnomalyError(*tripped);
+    }
+  }
   return stats;
 }
 
@@ -138,11 +280,13 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
   stopped_reason_.clear();
   if (!config_.checkpoint_path.empty()) try_resume_from_file();
 
-  // Rollback image for mid-epoch crash recovery: always anchored at the
-  // last completed epoch boundary.
-  const bool recoverable = config_.max_epoch_retries > 0;
+  // Rollback image for mid-epoch crash recovery and divergence rollback:
+  // always anchored at the last completed epoch boundary. Core bytes only —
+  // the ledger keeps accumulating across restores.
+  const bool supervise = config_.health.enabled;
+  const bool recoverable = supervise || config_.max_epoch_retries > 0;
   std::vector<std::uint8_t> rollback;
-  if (recoverable) rollback = save_state();
+  if (recoverable) rollback = save_core_bytes();
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed_seconds = [&start] {
@@ -152,6 +296,8 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
   std::vector<EpochStats> history;
   history.reserve(static_cast<std::size_t>(config_.epochs - next_epoch_));
   int retries_left = config_.max_epoch_retries;
+  int rollbacks_left = config_.health.max_rollbacks;
+  int epoch_rollbacks = 0;  // consumed by the epoch currently being attempted
   while (next_epoch_ < config_.epochs) {
     // Budget checks happen at epoch boundaries only, so a stop is always
     // clean: no partially collected epoch, consistent training state.
@@ -169,15 +315,40 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
     EpochStats stats;
     try {
       stats = run_epoch(next_epoch_);
+    } catch (const NumericAnomalyError& e) {
+      if (!supervise) throw;
+      Anomaly anomaly = e.anomaly();
+      if (anomaly.epoch < 0) anomaly.epoch = next_epoch_;
+      ledger_.add(anomaly);
+      if (rollbacks_left > 0) {
+        --rollbacks_left;
+        ++total_rollbacks_;
+        ++epoch_rollbacks;
+        restore_rollback(rollback);
+        // Same state, different stream: without the perturbation a
+        // deterministic fault would recur identically on every retry.
+        perturb_worker_streams();
+        continue;
+      }
+      // Out of rollbacks: leave the trainer at the last-good state (no
+      // perturbation — callers read exactly the snapshot that was healthy)
+      // and stop gracefully instead of crashing the run.
+      restore_rollback(rollback);
+      stopped_reason_ = std::string("diverged: ") + to_string(anomaly.code) +
+                        " at epoch " + std::to_string(anomaly.epoch) + " after " +
+                        std::to_string(total_rollbacks_) + " rollbacks";
+      break;
     } catch (...) {
-      if (recoverable && retries_left > 0) {
+      if (config_.max_epoch_retries > 0 && retries_left > 0) {
         --retries_left;
-        load_state(rollback);  // back to the last epoch boundary
+        restore_rollback(rollback);  // back to the last epoch boundary
         continue;
       }
       throw;
     }
 
+    stats.rollbacks = epoch_rollbacks;
+    epoch_rollbacks = 0;
     total_steps_ += stats.steps;
     ++next_epoch_;
     history.push_back(stats);
@@ -187,7 +358,7 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
         (next_epoch_ == config_.epochs || next_epoch_ % config_.checkpoint_interval == 0)) {
       write_checkpoint();
     }
-    if (recoverable) rollback = save_state();
+    if (recoverable) rollback = save_core_bytes();
   }
   return history;
 }
@@ -197,8 +368,7 @@ void Trainer::set_extra_checkpoint_section(SectionSave save, SectionLoad load) {
   extra_load_ = std::move(load);
 }
 
-std::vector<std::uint8_t> Trainer::save_state() const {
-  ByteWriter out;
+void Trainer::save_core(ByteWriter& out) const {
   out.i64(next_epoch_);
   out.i64(total_steps_);
   // Resuming with a different rollout shape would silently change the
@@ -226,11 +396,9 @@ std::vector<std::uint8_t> Trainer::save_state() const {
     extra_save_(extra);
     out.blob(extra.data());
   }
-  return out.data();
 }
 
-void Trainer::load_state(const std::vector<std::uint8_t>& payload) {
-  ByteReader in(payload);
+void Trainer::load_core(ByteReader& in) {
   const std::int64_t next_epoch = in.i64();
   const std::int64_t total_steps = in.i64();
   const std::int64_t steps_per_epoch = in.i64();
@@ -270,9 +438,12 @@ void Trainer::load_state(const std::vector<std::uint8_t>& payload) {
       worker->env->reset();
       worker->episode_reward = 0.0;
     }
-    // Any partially collected rollout (mid-epoch crash) is discarded.
+    // Any partially collected rollout (mid-epoch crash) is discarded, and a
+    // dead worker is live again: its environment just loaded a good snapshot.
     worker->buffer = TrajectoryBuffer(config_.gamma, config_.gae_lambda);
     worker->finished_returns.clear();
+    worker->fault.reset();
+    worker->dead = false;
   }
 
   const bool has_extra = in.u8() != 0;
@@ -284,12 +455,73 @@ void Trainer::load_state(const std::vector<std::uint8_t>& payload) {
       extra_in.expect_exhausted("extra checkpoint section");
     }
   }
-  in.expect_exhausted("trainer checkpoint");
 
   actor_opt_.import_state(actor_state);
   critic_opt_.import_state(critic_state);
+  // An aborted update can leave NaN in the accumulated gradients; a restore
+  // must not let yesterday's poison re-trip tomorrow's gradient sentinel.
+  actor_opt_.zero_grad();
+  critic_opt_.zero_grad();
   next_epoch_ = static_cast<int>(next_epoch);
   total_steps_ = total_steps;
+}
+
+std::vector<std::uint8_t> Trainer::save_core_bytes() const {
+  ByteWriter out;
+  save_core(out);
+  return out.data();
+}
+
+void Trainer::restore_rollback(const std::vector<std::uint8_t>& core) {
+  ByteReader in(core);
+  load_core(in);
+  in.expect_exhausted("rollback snapshot");
+}
+
+void Trainer::perturb_worker_streams() {
+  for (auto& worker : workers_) {
+    for (std::int64_t i = 0; i < total_rollbacks_; ++i) worker->rng.next_u64();
+  }
+}
+
+std::vector<std::uint8_t> Trainer::save_state() const {
+  ByteWriter out;
+  ByteWriter core;
+  save_core(core);
+  out.blob(core.data());
+
+  ByteWriter health;
+  health.i64(total_rollbacks_);
+  health.i64(total_quarantined_);
+  ledger_.save(health);
+  out.blob(health.data());
+  return out.data();
+}
+
+void Trainer::load_state(const std::vector<std::uint8_t>& payload) {
+  ByteReader in(payload);
+  const auto core_bytes = in.blob();
+  const auto health_bytes = in.blob();
+  in.expect_exhausted("trainer checkpoint");
+
+  // Parse the health section into temporaries first so a malformed ledger
+  // cannot leave the trainer with half-restored core state.
+  ByteReader health_in(health_bytes);
+  const std::int64_t total_rollbacks = health_in.i64();
+  const std::int64_t total_quarantined = health_in.i64();
+  if (total_rollbacks < 0 || total_quarantined < 0) {
+    throw CheckpointError("negative supervisor counter in checkpoint");
+  }
+  AnomalyLedger ledger = AnomalyLedger::load(health_in);
+  health_in.expect_exhausted("health section");
+
+  ByteReader core_in(core_bytes);
+  load_core(core_in);
+  core_in.expect_exhausted("trainer core state");
+
+  total_rollbacks_ = total_rollbacks;
+  total_quarantined_ = total_quarantined;
+  ledger_ = std::move(ledger);
 }
 
 void Trainer::write_checkpoint() const {

@@ -10,6 +10,16 @@
 // checksummed checkpoint file, resume from it deterministically, retry an
 // epoch after a transient worker fault, and stop cleanly at a wall-clock or
 // step budget instead of running past a deadline.
+//
+// With config.health.enabled the trainer is additionally self-healing
+// (rl/health.hpp): numeric sentinels and divergence heuristics guard every
+// epoch, a tripped sentinel rolls the run back to the last-good in-memory
+// snapshot with a deterministically perturbed RNG stream (up to
+// health.max_rollbacks, then a graceful "diverged" stop), and a throwing
+// rollout worker is quarantined — its partial buffer discarded, its
+// environment reset, the epoch completed from the surviving workers — while
+// every incident lands in a typed anomaly ledger that persists through
+// checkpoints.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "rl/health.hpp"
 #include "rl/ppo.hpp"
 #include "util/checkpoint.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +61,13 @@ struct TrainerConfig {
   // boundary and retry, up to this many times per train() call. 0 = rethrow
   // immediately.
   int max_epoch_retries = 0;
+
+  // --- self-healing supervisor ------------------------------------------------
+  // Numeric sentinels + divergence rollback + worker quarantine; see
+  // rl/health.hpp for the knobs and DESIGN.md §10 for the semantics. With
+  // health.enabled and no anomaly, training is bit-identical to a
+  // supervisor-off run.
+  HealthConfig health;
 
   // --- run budget -------------------------------------------------------------
   // Both are checked at epoch boundaries so a stop is always clean: the
@@ -86,6 +104,17 @@ struct EpochStats {
   // Diagnostics only — never checkpointed.
   std::int64_t audits_run = 0;
   std::int64_t audits_rejected = 0;
+
+  // --- health supervisor (config.health.enabled) ------------------------------
+  // Workers whose rollout faulted this epoch (partial buffer discarded, env
+  // reset; dead workers that could not even reset are re-counted each epoch
+  // they sit out). The epoch's batch came from the survivors.
+  int quarantined_workers = 0;
+  // Divergence rollbacks consumed before this epoch finally completed.
+  int rollbacks = 0;
+  // Mean policy entropy over the steps this epoch collected (the
+  // entropy-collapse sentinel input); 0 when the supervisor is off.
+  double mean_entropy = 0.0;
 };
 
 class Trainer {
@@ -124,14 +153,39 @@ class Trainer {
   // advanced by completed epochs and by load_state).
   int next_epoch() const { return next_epoch_; }
   // Why the last train() call returned: empty when all configured epochs
-  // completed, otherwise a description of the budget that fired.
+  // completed, otherwise a description of the budget that fired (or
+  // "diverged: ..." when the supervisor exhausted its rollbacks).
   const std::string& stopped_reason() const { return stopped_reason_; }
+
+  // Structured incident log of the whole run (across resumes: it persists
+  // through checkpoints and survives rollbacks).
+  const AnomalyLedger& ledger() const { return ledger_; }
+  // Divergence rollbacks taken across the whole run.
+  std::int64_t total_rollbacks() const { return total_rollbacks_; }
+  // Worker-epochs spent quarantined across the whole run.
+  std::int64_t total_quarantined() const { return total_quarantined_; }
 
  private:
   struct Worker;
   EpochStats run_epoch(int epoch);
   void write_checkpoint() const;
   bool try_resume_from_file();
+
+  // Checkpoint payload = blob(core) + blob(health). The core blob is the
+  // complete training state (network, optimizers, workers, counters); the
+  // health blob carries the anomaly ledger and supervisor counters. The
+  // split exists so a rollback can restore the core while the ledger keeps
+  // accumulating, and so tests can compare core bytes for bit-identity
+  // independent of how many incidents the ledger recorded.
+  void save_core(ByteWriter& out) const;
+  void load_core(ByteReader& in);
+  std::vector<std::uint8_t> save_core_bytes() const;
+  // Restores a save_core_bytes image, preserving the ledger and counters.
+  void restore_rollback(const std::vector<std::uint8_t>& core);
+  // Deterministic divergence escape: advances every worker stream by
+  // total_rollbacks_ draws, so retry k explores a different trajectory while
+  // remaining a pure function of (seed, fault history).
+  void perturb_worker_streams();
 
   ActorCritic* net_;
   TrainerConfig config_;
@@ -145,6 +199,10 @@ class Trainer {
   std::string stopped_reason_;
   SectionSave extra_save_;
   SectionLoad extra_load_;
+
+  AnomalyLedger ledger_;
+  std::int64_t total_rollbacks_ = 0;
+  std::int64_t total_quarantined_ = 0;
 };
 
 }  // namespace nptsn

@@ -43,8 +43,12 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& task) {
   if (n == 0) return;
 
   std::atomic<int> remaining{n};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // One slot per task index: every exception is captured, and after the
+  // barrier the lowest-index one is rethrown. Which task's error surfaces is
+  // therefore a function of the input alone, never of thread scheduling —
+  // a retrying caller (the trainer's rollback loop) sees the same failure on
+  // every attempt, and tests can assert on the propagated message.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::mutex done_mutex;
   std::condition_variable done_cv;
 
@@ -55,8 +59,7 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& task) {
         try {
           task(i);
         } catch (...) {
-          std::lock_guard elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          errors[static_cast<std::size_t>(i)] = std::current_exception();
         }
         if (remaining.fetch_sub(1) == 1) {
           std::lock_guard dlock(done_mutex);
@@ -69,7 +72,9 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& task) {
 
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace nptsn

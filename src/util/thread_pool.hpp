@@ -24,7 +24,9 @@ class ThreadPool {
   int size() const { return static_cast<int>(threads_.size()); }
 
   // Runs tasks(0), ..., tasks(n-1) across the pool and blocks until all
-  // complete. Exceptions thrown by tasks are rethrown (first one wins).
+  // complete. Exceptions are aggregated deterministically: every task runs
+  // to completion (or failure), then the exception of the LOWEST-INDEX
+  // failed task is rethrown — never a scheduling-dependent race winner.
   void parallel_for(int n, const std::function<void(int)>& task);
 
  private:

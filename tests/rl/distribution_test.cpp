@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 namespace nptsn {
 namespace {
@@ -34,6 +36,40 @@ TEST(MaskedProbabilities, StableUnderLargeLogits) {
 TEST(MaskedProbabilities, AllMaskedThrows) {
   const Matrix logits = Matrix::from({{1.0, 2.0}});
   EXPECT_THROW(masked_probabilities(logits, {0, 0}), std::invalid_argument);
+}
+
+TEST(MaskedProbabilities, AllMaskedThrowsTypedRecoverableError) {
+  // The trainer's worker-quarantine path depends on catching this exact type
+  // (and it must stay an invalid_argument for supervisor-less callers).
+  const Matrix logits = Matrix::from({{1.0, 2.0}});
+  try {
+    masked_probabilities(logits, {0, 0});
+    FAIL() << "expected MaskedDistributionError";
+  } catch (const MaskedDistributionError& e) {
+    EXPECT_NE(std::string(e.what()).find("all actions are masked"),
+              std::string::npos);
+  }
+}
+
+TEST(MaskedProbabilities, NonFiniteLogitsUnderMaskThrowTyped) {
+  const Matrix logits =
+      Matrix::from({{std::numeric_limits<double>::quiet_NaN(), 2.0}});
+  // NaN under the mask poisons the softmax; a masked-out NaN does not.
+  EXPECT_THROW(masked_probabilities(logits, {1, 1}), MaskedDistributionError);
+  const auto probs = masked_probabilities(logits, {0, 1});
+  EXPECT_DOUBLE_EQ(probs[1], 1.0);
+}
+
+TEST(ArgmaxMasked, AllMaskedThrowsTypedError) {
+  const Matrix logits = Matrix::from({{1.0, 2.0}});
+  EXPECT_THROW(argmax_masked(logits, {0, 0}), MaskedDistributionError);
+}
+
+TEST(EntropyOf, MatchesEntropyMasked) {
+  const Matrix logits = Matrix::from({{0.2, -1.0, 2.0}});
+  const std::vector<std::uint8_t> mask = {1, 0, 1};
+  EXPECT_DOUBLE_EQ(entropy_of(masked_probabilities(logits, mask)),
+                   entropy_masked(logits, mask));
 }
 
 TEST(MaskedProbabilities, MaskSizeChecked) {

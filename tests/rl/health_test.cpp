@@ -1,0 +1,275 @@
+#include "rl/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "rl/ppo.hpp"
+#include "testing/corridor_env.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::corridor_net_config;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(AnomalyCode, StableNames) {
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteLogits), "non_finite_logits");
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteValue), "non_finite_value");
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteLoss), "non_finite_loss");
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteParameter), "non_finite_parameter");
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteGradient), "non_finite_gradient");
+  EXPECT_STREQ(to_string(AnomalyCode::kNonFiniteAdamMoment), "non_finite_adam_moment");
+  EXPECT_STREQ(to_string(AnomalyCode::kGradientExplosion), "gradient_explosion");
+  EXPECT_STREQ(to_string(AnomalyCode::kKlBlowup), "kl_blowup");
+  EXPECT_STREQ(to_string(AnomalyCode::kEntropyCollapse), "entropy_collapse");
+  EXPECT_STREQ(to_string(AnomalyCode::kValueLossExplosion), "value_loss_explosion");
+  EXPECT_STREQ(to_string(AnomalyCode::kWorkerException), "worker_exception");
+  EXPECT_STREQ(to_string(AnomalyCode::kAllActionsMasked), "all_actions_masked");
+  EXPECT_STREQ(to_string(AnomalyCode::kEmptyEpoch), "empty_epoch");
+}
+
+TEST(AnomalyLedger, AddCountTotal) {
+  AnomalyLedger ledger;
+  EXPECT_TRUE(ledger.empty());
+  ledger.add({AnomalyCode::kKlBlowup, 3, -1, 0.7, "kl"});
+  ledger.add({AnomalyCode::kWorkerException, 4, 1, 0.0, "env"});
+  ledger.add({AnomalyCode::kWorkerException, 5, 0, 0.0, "env again"});
+  EXPECT_FALSE(ledger.empty());
+  EXPECT_EQ(ledger.total(), 3);
+  EXPECT_EQ(ledger.count(AnomalyCode::kWorkerException), 2);
+  EXPECT_EQ(ledger.count(AnomalyCode::kKlBlowup), 1);
+  EXPECT_EQ(ledger.count(AnomalyCode::kEmptyEpoch), 0);
+  EXPECT_EQ(ledger.entries()[0].epoch, 3);
+  EXPECT_EQ(ledger.entries()[1].worker, 1);
+}
+
+TEST(AnomalyLedger, CapsEntriesButKeepsCounting) {
+  AnomalyLedger ledger;
+  for (std::size_t i = 0; i < AnomalyLedger::kMaxEntries + 10; ++i) {
+    ledger.add({AnomalyCode::kWorkerException, static_cast<int>(i), 0, 0.0, ""});
+  }
+  EXPECT_EQ(ledger.entries().size(), AnomalyLedger::kMaxEntries);
+  EXPECT_EQ(ledger.total(),
+            static_cast<std::int64_t>(AnomalyLedger::kMaxEntries) + 10);
+}
+
+TEST(AnomalyLedger, TruncatesOversizedDetail) {
+  AnomalyLedger ledger;
+  ledger.add({AnomalyCode::kWorkerException, 0, 0, 0.0,
+              std::string(AnomalyLedger::kMaxDetailBytes + 100, 'x')});
+  EXPECT_EQ(ledger.entries()[0].detail.size(), AnomalyLedger::kMaxDetailBytes);
+}
+
+TEST(AnomalyLedger, SaveLoadRoundTripsExactly) {
+  AnomalyLedger ledger;
+  ledger.add({AnomalyCode::kNonFiniteLoss, 7, -1, kNan, "actor loss"});
+  ledger.add({AnomalyCode::kGradientExplosion, 8, -1, 123.5, "grad norm"});
+  ledger.add({AnomalyCode::kAllActionsMasked, 9, 2, 0.0, ""});
+  ByteWriter out;
+  ledger.save(out);
+  ByteReader in(out.data());
+  const AnomalyLedger restored = AnomalyLedger::load(in);
+  in.expect_exhausted("ledger");
+  ASSERT_EQ(restored.entries().size(), 3u);
+  EXPECT_EQ(restored.entries()[0].code, AnomalyCode::kNonFiniteLoss);
+  EXPECT_EQ(restored.entries()[0].epoch, 7);
+  EXPECT_TRUE(std::isnan(restored.entries()[0].value));  // NaN survives f64
+  EXPECT_EQ(restored.entries()[0].detail, "actor loss");
+  EXPECT_DOUBLE_EQ(restored.entries()[1].value, 123.5);
+  EXPECT_EQ(restored.entries()[2].worker, 2);
+  EXPECT_EQ(restored.total(), 3);
+}
+
+TEST(AnomalyLedger, LoadRejectsUnknownCode) {
+  ByteWriter out;
+  out.i64(0);   // dropped
+  out.u32(1);   // one entry
+  out.u8(200);  // not a valid AnomalyCode
+  out.i64(0);
+  out.i64(0);
+  out.f64(0.0);
+  out.str("");
+  ByteReader in(out.data());
+  EXPECT_THROW(AnomalyLedger::load(in), CheckpointError);
+}
+
+TEST(AnomalyLedger, LoadRejectsNegativeDroppedCounter) {
+  ByteWriter out;
+  out.i64(-1);
+  out.u32(0);
+  ByteReader in(out.data());
+  EXPECT_THROW(AnomalyLedger::load(in), CheckpointError);
+}
+
+TEST(NumericAnomalyError, CarriesTheAnomaly) {
+  const NumericAnomalyError error(
+      Anomaly{AnomalyCode::kKlBlowup, 4, 2, 0.9, "kl over limit"});
+  EXPECT_EQ(error.anomaly().code, AnomalyCode::kKlBlowup);
+  EXPECT_EQ(error.anomaly().epoch, 4);
+  EXPECT_EQ(error.anomaly().worker, 2);
+  EXPECT_NE(std::string(error.what()).find("kl_blowup"), std::string::npos);
+}
+
+// Fixture with a small healthy network and matching optimizers, so each test
+// can poison exactly one thing and assert the sweep trips the right code.
+class CheckEpochHealth : public ::testing::Test {
+ protected:
+  CheckEpochHealth()
+      : rng_(11),
+        net_(corridor_net_config(), rng_),
+        actor_opt_(net_.actor_parameters(), {.learning_rate = 1e-3}),
+        critic_opt_(net_.critic_parameters(), {.learning_rate = 1e-3}) {}
+
+  std::optional<Anomaly> check() {
+    return check_epoch_health(net_, actor_opt_, critic_opt_, input_, config_);
+  }
+
+  Rng rng_;
+  ActorCritic net_;
+  Adam actor_opt_;
+  Adam critic_opt_;
+  EpochHealthInput input_;
+  HealthConfig config_{.enabled = true};
+};
+
+TEST_F(CheckEpochHealth, HealthyStatePasses) { EXPECT_FALSE(check().has_value()); }
+
+TEST_F(CheckEpochHealth, TripsOnNonFiniteLoss) {
+  input_.actor_loss = kNan;
+  auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteLoss);
+
+  input_.actor_loss = 0.0;
+  input_.critic_loss = kInf;
+  a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteLoss);
+
+  input_.critic_loss = 0.0;
+  input_.approx_kl = kNan;
+  a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteLoss);
+}
+
+TEST_F(CheckEpochHealth, TripsOnNonFiniteParameter) {
+  auto params = net_.all_parameters();
+  params.front().mutable_value().at(0, 0) = kNan;
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteParameter);
+  EXPECT_TRUE(std::isnan(a->value));
+}
+
+TEST_F(CheckEpochHealth, TripsOnNonFiniteGradient) {
+  auto params = net_.all_parameters();
+  params.front().mutable_grad().at(0, 0) = kInf;
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteGradient);
+}
+
+TEST_F(CheckEpochHealth, TripsOnGradientExplosion) {
+  config_.max_grad_norm = 1.0;
+  EXPECT_FALSE(check().has_value());  // zero gradients are under any ceiling
+  auto params = net_.all_parameters();
+  params.front().mutable_grad().at(0, 0) = 50.0;
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kGradientExplosion);
+  EXPECT_GE(a->value, 50.0);
+}
+
+TEST_F(CheckEpochHealth, GradientNormUnlimitedByDefault) {
+  auto params = net_.all_parameters();
+  params.front().mutable_grad().at(0, 0) = 1e12;  // huge but finite
+  EXPECT_FALSE(check().has_value());
+}
+
+TEST_F(CheckEpochHealth, TripsOnNonFiniteAdamMoment) {
+  Adam::State state = actor_opt_.export_state();
+  state.v.front().at(0, 0) = kNan;
+  actor_opt_.import_state(state);
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kNonFiniteAdamMoment);
+}
+
+TEST_F(CheckEpochHealth, TripsOnKlBlowup) {
+  config_.max_approx_kl = 0.5;
+  input_.approx_kl = -0.8;  // magnitude matters, not sign
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kKlBlowup);
+  input_.approx_kl = 0.4;
+  EXPECT_FALSE(check().has_value());
+}
+
+TEST_F(CheckEpochHealth, TripsOnEntropyCollapse) {
+  config_.min_mean_entropy = 0.1;
+  input_.mean_entropy = 0.01;
+  input_.entropy_steps = 0;
+  EXPECT_FALSE(check().has_value());  // no entropy sample: floor not armed
+  input_.entropy_steps = 64;
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kEntropyCollapse);
+}
+
+TEST_F(CheckEpochHealth, TripsOnValueLossExplosion) {
+  config_.max_critic_loss = 10.0;
+  input_.critic_loss = 25.0;
+  const auto a = check();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->code, AnomalyCode::kValueLossExplosion);
+}
+
+TEST_F(CheckEpochHealth, HeuristicsDisarmedAtZeroThreshold) {
+  input_.approx_kl = 100.0;
+  input_.mean_entropy = 1e-9;
+  input_.entropy_steps = 64;
+  input_.critic_loss = 1e9;
+  EXPECT_FALSE(check().has_value());
+}
+
+TEST(PpoCheckNumerics, AbortsOnPoisonedBatch) {
+  Rng rng(13);
+  ActorCritic net(corridor_net_config(), rng);
+  Adam actor_opt(net.actor_parameters(), {.learning_rate = 1e-3});
+  Adam critic_opt(net.critic_parameters(), {.learning_rate = 1e-3});
+
+  // A batch whose advantage is NaN makes the very first actor loss NaN.
+  testing::CorridorEnv env;
+  Batch batch;
+  StepRecord record;
+  record.obs = env.observe();
+  record.mask = env.action_mask();
+  record.action = 1;
+  record.log_prob = -0.7;
+  batch.steps = {record};
+  batch.advantages = {kNan};
+  batch.returns = {0.5};
+
+  PpoConfig config;
+  config.train_actor_iters = 3;
+  config.train_critic_iters = 0;
+  config.check_numerics = true;
+  try {
+    ppo_update(net, actor_opt, critic_opt, batch, config);
+    FAIL() << "expected NumericAnomalyError";
+  } catch (const NumericAnomalyError& e) {
+    EXPECT_EQ(e.anomaly().code, AnomalyCode::kNonFiniteLoss);
+    // The abort fired before any step(): the weights stayed finite.
+    EXPECT_FALSE(find_non_finite_value(net.all_parameters()).first);
+    EXPECT_EQ(actor_opt.step_count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace nptsn

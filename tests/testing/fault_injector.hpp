@@ -23,13 +23,16 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "nn/adam.hpp"
 #include "rl/env.hpp"
+#include "rl/health.hpp"
 #include "tsn/recovery.hpp"
 #include "util/checkpoint.hpp"
 
@@ -41,18 +44,25 @@ class InjectedFault : public std::runtime_error {
   explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
 };
 
-// Shared trigger: fires (once) when its call counter reaches `at_call`.
+// Shared trigger: fires when its call counter reaches `at_call`.
 // One FaultTrigger can be shared by several decorated objects, so "the 40th
-// step across all workers" is expressible.
+// step across all workers" is expressible. kOnce fires exactly once (a
+// transient fault the recovery path should absorb); kAlways keeps firing from
+// at_call on (a persistent fault that must exhaust the rollback budget).
 class FaultTrigger {
  public:
-  // at_call <= 0 never fires.
-  explicit FaultTrigger(std::int64_t at_call = 0) : at_call_(at_call) {}
+  enum class Repeat { kOnce, kAlways };
 
-  // Counts one call; returns true exactly once, on the at_call-th call.
+  // at_call <= 0 never fires.
+  explicit FaultTrigger(std::int64_t at_call = 0, Repeat repeat = Repeat::kOnce)
+      : at_call_(at_call), repeat_(repeat) {}
+
+  // Counts one call; fires on the at_call-th call (and, with kAlways, on
+  // every call after it).
   bool fire() {
     if (at_call_ <= 0) return false;
-    return calls_.fetch_add(1) + 1 == at_call_;
+    const std::int64_t call = calls_.fetch_add(1) + 1;
+    return repeat_ == Repeat::kAlways ? call >= at_call_ : call == at_call_;
   }
 
   std::int64_t calls() const { return calls_.load(); }
@@ -60,6 +70,7 @@ class FaultTrigger {
 
  private:
   std::int64_t at_call_;
+  Repeat repeat_;
   std::atomic<std::int64_t> calls_{0};
 };
 
@@ -142,6 +153,56 @@ class ScopedCheckpointWriteFault {
 
   ScopedCheckpointWriteFault(const ScopedCheckpointWriteFault&) = delete;
   ScopedCheckpointWriteFault& operator=(const ScopedCheckpointWriteFault&) = delete;
+
+ private:
+  std::shared_ptr<FaultTrigger> trigger_;
+};
+
+// Installs a health fault hook for the lifetime of the object: at the
+// trigger's epoch boundary (the hook runs right before the sentinel sweep)
+// it poisons the chosen piece of training state with `value` (NaN by
+// default), so tests can watch the supervisor detect it, roll back, and —
+// with a kAlways trigger — exhaust the rollback budget and stop as diverged.
+// Mutating through copied Tensor handles edits the shared graph nodes, i.e.
+// the live network; moments go through export_state/import_state.
+class ScopedNumericFault {
+ public:
+  enum class Target { kWeights, kGradients, kAdamMoments };
+
+  ScopedNumericFault(Target target, std::shared_ptr<FaultTrigger> trigger,
+                     double value = std::numeric_limits<double>::quiet_NaN())
+      : trigger_(std::move(trigger)) {
+    set_health_fault_hook([target, value, trigger = trigger_](
+                              int /*epoch*/, ActorCritic& net, Adam& actor_opt,
+                              Adam& /*critic_opt*/) {
+      if (!trigger->fire()) return;
+      switch (target) {
+        case Target::kWeights: {
+          auto params = net.all_parameters();
+          params.front().mutable_value().at(0, 0) = value;
+          break;
+        }
+        case Target::kGradients: {
+          auto params = net.all_parameters();
+          Tensor& p = params.front();
+          p.mutable_grad();  // allocate if the leaf never saw a backward pass
+          p.mutable_grad().at(0, 0) = value;
+          break;
+        }
+        case Target::kAdamMoments: {
+          Adam::State state = actor_opt.export_state();
+          state.v.front().at(0, 0) = value;
+          actor_opt.import_state(state);
+          break;
+        }
+      }
+    });
+  }
+
+  ~ScopedNumericFault() { set_health_fault_hook(nullptr); }
+
+  ScopedNumericFault(const ScopedNumericFault&) = delete;
+  ScopedNumericFault& operator=(const ScopedNumericFault&) = delete;
 
  private:
   std::shared_ptr<FaultTrigger> trigger_;

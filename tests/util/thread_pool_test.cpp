@@ -72,6 +72,28 @@ TEST(ThreadPool, ConcurrentThrowsFromAllWorkersPropagateOne) {
   EXPECT_EQ(runs.load(), 8);
 }
 
+TEST(ThreadPool, ConcurrentThrowsPropagateLowestIndexDeterministically) {
+  // Several tasks throw in the same parallel_for; which exception surfaces
+  // must not depend on thread scheduling. The contract: every task runs to
+  // completion (or to its throw), and the lowest-index exception wins. The
+  // barrier forces all four tasks to be in flight simultaneously so a
+  // first-past-the-post implementation would flake here.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> arrived{0};
+    try {
+      pool.parallel_for(4, [&](int i) {
+        ++arrived;
+        while (arrived.load() < 4) std::this_thread::yield();
+        if (i >= 1) throw std::runtime_error("task " + std::to_string(i));
+      });
+      FAIL() << "expected a propagated exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+  }
+}
+
 TEST(ThreadPool, SurvivesExceptionAndRunsAgain) {
   ThreadPool pool(2);
   try {
