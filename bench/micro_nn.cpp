@@ -1,0 +1,300 @@
+// Micro-benchmark: the NN compute core (DESIGN.md §11).
+//
+// Two layers of measurement:
+//
+//   "gemm"      — the kernel pair in isolation. Every GEMM orientation the
+//                 training loop exercises (forward A*B, the two gradient
+//                 orientations A*B^T and A^T*B, and the fused bias+ReLU
+//                 affine), at the exact shapes the ADS and ORION encoders
+//                 produce in fast mode. Reference vs fast family, best-of-reps,
+//                 plus a differential check (the families must agree to
+//                 ~1e-12 relative — FMA contraction only).
+//
+//   "scenarios" — the end-to-end epoch-forward path: every observation of a
+//                 rollout epoch pushed through the actor AND critic heads,
+//                 the way ppo_update consumes a batch. Reference = the
+//                 pre-batching formulation (one forward per step, naive
+//                 kernels); fast = one stacked GEMM per layer on the fast
+//                 kernels. The committed acceptance bar is >= 2x.
+//
+// Output is a single JSON document on stdout (the shared micro-bench schema:
+// name-keyed objects; metrics named speedup* are tracked by
+// tools/bench_compare as higher-is-better).
+//
+//   micro_nn [--fast|--paper]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/environment.hpp"
+#include "core/observation_encoder.hpp"
+#include "core/planner.hpp"
+#include "rl/actor_critic.hpp"
+#include "scenarios/ads.hpp"
+#include "scenarios/orion.hpp"
+#include "scenarios/scenario.hpp"
+#include "tsn/recovery.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn::bench {
+namespace {
+
+// Keeps optimizers honest: every timed loop folds its outputs in here.
+volatile double g_sink = 0.0;
+
+Matrix random_matrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < m.size(); ++i) m.data()[i] = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+double max_rel_err(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (int i = 0; i < a.size(); ++i) {
+    const double denom = std::max({std::fabs(a.data()[i]), std::fabs(b.data()[i]), 1.0});
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]) / denom);
+  }
+  return worst;
+}
+
+// One GEMM orientation at one shape. op runs the kernel once and returns the
+// result; it is timed under both kernel families with the same inputs.
+template <typename Op>
+void bench_gemm(const char* name, int m, int k, int n, int reps, bool last, const Op& op) {
+  // Enough iterations that the timed region dwarfs clock granularity, capped
+  // so tiny shapes do not dominate the bench's wall clock.
+  const double flops = 2.0 * m * k * n;
+  const int iters = static_cast<int>(std::min(2000.0, std::max(3.0, 1.5e8 / std::max(flops, 1.0))));
+
+  set_nn_kernel(NnKernel::kReference);
+  const Matrix ref = op();
+  set_nn_kernel(NnKernel::kFast);
+  const Matrix fast = op();
+  const double err = max_rel_err(ref, fast);
+  if (err > 1e-9) {
+    std::fprintf(stderr, "%s: kernel families disagree (max rel err %g)\n", name, err);
+    std::exit(1);
+  }
+
+  double ref_s = 0.0;
+  double fast_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    set_nn_kernel(NnKernel::kReference);
+    {
+      const Stopwatch watch;
+      for (int i = 0; i < iters; ++i) g_sink = g_sink + op().at(0, 0);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < ref_s) ref_s = seconds;
+    }
+    set_nn_kernel(NnKernel::kFast);
+    {
+      const Stopwatch watch;
+      for (int i = 0; i < iters; ++i) g_sink = g_sink + op().at(0, 0);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < fast_s) fast_s = seconds;
+    }
+  }
+
+  std::printf(
+      "    {\n"
+      "      \"name\": \"%s\",\n"
+      "      \"m\": %d, \"k\": %d, \"n\": %d,\n"
+      "      \"iters\": %d,\n"
+      "      \"seconds_reference\": %.6f,\n"
+      "      \"seconds_fast\": %.6f,\n"
+      "      \"speedup\": %.3f,\n"
+      "      \"max_rel_err\": %.3g\n"
+      "    }%s\n",
+      name, m, k, n, iters, ref_s, fast_s, fast_s > 0.0 ? ref_s / fast_s : 0.0, err,
+      last ? "" : ",");
+}
+
+// Collects one epoch worth of observations by rolling the planning
+// environment with uniformly random masked actions (the observation
+// distribution the trainer actually sees, without paying for PPO updates).
+std::vector<Observation> rollout_observations(const PlanningProblem& problem,
+                                              const NptsnConfig& config, int steps) {
+  const HeuristicRecovery nbf;
+  SolutionRecorder recorder;
+  Rng rng(17);
+  PlanningEnv env(problem, nbf, config, recorder, rng.split());
+  std::vector<Observation> obs;
+  obs.reserve(static_cast<std::size_t>(steps));
+  env.reset();
+  while (static_cast<int>(obs.size()) < steps) {
+    const auto& mask = env.action_mask();
+    std::vector<int> allowed;
+    for (std::size_t a = 0; a < mask.size(); ++a) {
+      if (mask[a] != 0) allowed.push_back(static_cast<int>(a));
+    }
+    if (allowed.empty()) {
+      env.reset();
+      continue;
+    }
+    obs.push_back(env.observe());
+    if (env.step(rng.pick(allowed)).episode_end) env.reset();
+  }
+  return obs;
+}
+
+void bench_scenario(const char* name, const PlanningProblem& problem, const Mode& mode,
+                    int reps, bool last) {
+  const NptsnConfig config = training_config(mode, /*seed=*/11);
+  const int steps = config.steps_per_epoch;
+  const std::vector<Observation> obs = rollout_observations(problem, config, steps);
+
+  const ObservationEncoder encoder(problem, config.path_actions);
+  ActorCritic::Config net_config;
+  net_config.num_nodes = problem.num_nodes();
+  net_config.feature_dim = encoder.feature_dim();
+  net_config.param_dim = encoder.param_dim();
+  net_config.num_actions = problem.num_switches() + config.path_actions;
+  net_config.gcn_layers = config.gcn_layers;
+  net_config.embedding_dim = config.embedding_dim;
+  net_config.actor_hidden = config.mlp_hidden;
+  net_config.critic_hidden = config.mlp_hidden;
+  Rng net_rng(3);
+  const ActorCritic net(net_config, net_rng);
+
+  std::vector<const Observation*> ptrs;
+  ptrs.reserve(obs.size());
+  for (const Observation& o : obs) ptrs.push_back(&o);
+
+  // Differential sanity: batched row i equals the per-observation forward.
+  set_nn_kernel(NnKernel::kFast);
+  {
+    const Tensor batched = net.forward_logits_batch(ptrs);
+    const Tensor single = net.forward_logits(obs.front());
+    double err = 0.0;
+    for (int j = 0; j < single.value().cols(); ++j) {
+      err = std::max(err, std::fabs(batched.value().at(0, j) - single.value().at(0, j)));
+    }
+    if (err != 0.0) {
+      std::fprintf(stderr, "%s: batched forward is not bit-identical (err %g)\n", name, err);
+      std::exit(1);
+    }
+  }
+
+  double ref_s = 0.0;
+  double fast_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Reference: the pre-batching hot path — one actor + one critic forward
+    // per step on the naive kernels.
+    set_nn_kernel(NnKernel::kReference);
+    {
+      const Stopwatch watch;
+      for (const Observation& o : obs) {
+        g_sink = g_sink + net.forward_logits(o).value().at(0, 0) +
+                 net.forward_value(o).value().at(0, 0);
+      }
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < ref_s) ref_s = seconds;
+    }
+    // Fast: one stacked forward for the whole epoch on the fast kernels.
+    set_nn_kernel(NnKernel::kFast);
+    {
+      const Stopwatch watch;
+      // Staging (stacking + CSR indexing) is part of the measured fast path;
+      // both head forwards share the one staged batch, as the PPO update does.
+      const ActorCritic::ObservationBatch staged = net.stage_batch(ptrs);
+      g_sink = g_sink + net.forward_logits_batch(staged).value().at(0, 0) +
+               net.forward_value_batch(staged).value().at(0, 0);
+      const double seconds = watch.seconds();
+      if (rep == 0 || seconds < fast_s) fast_s = seconds;
+    }
+  }
+
+  std::printf(
+      "    {\n"
+      "      \"name\": \"%s\",\n"
+      "      \"batch\": %d,\n"
+      "      \"nodes\": %d,\n"
+      "      \"feature_dim\": %d,\n"
+      "      \"seconds_reference\": %.6f,\n"
+      "      \"seconds_fast\": %.6f,\n"
+      "      \"speedup_epoch_forward\": %.3f\n"
+      "    }%s\n",
+      name, steps, problem.num_nodes(), encoder.feature_dim(), ref_s, fast_s,
+      fast_s > 0.0 ? ref_s / fast_s : 0.0, last ? "" : ",");
+}
+
+int run(int argc, char** argv) {
+  const Mode mode = Mode::parse(argc, argv);
+  const int reps = mode.paper ? 5 : 3;
+
+  const auto ads = make_ads();
+  const auto ads_problem = with_flows(ads, ads_flows());
+  const auto orion = make_orion();
+  Rng flow_rng(7);
+  const auto orion_problem =
+      with_flows(orion, random_flows(orion.problem, mode.paper ? 8 : 4, flow_rng));
+
+  const NptsnConfig fast_config = training_config(mode, 11);
+  const int batch = fast_config.steps_per_epoch;
+
+  std::printf("{\n  \"bench\": \"micro_nn\",\n  \"mode\": \"%s\",\n"
+              "  \"reps\": %d,\n  \"gemm\": [\n",
+              mode.paper ? "paper" : "fast", reps);
+
+  // Shapes from the ADS encoder in the selected mode: stacked batched-GCN
+  // affine, per-graph propagation, gradient orientations, MLP hidden layers.
+  {
+    const ObservationEncoder encoder(ads_problem, fast_config.path_actions);
+    const int n = ads_problem.num_nodes();
+    const int f = encoder.feature_dim();
+    const int e = fast_config.embedding_dim > 0 ? fast_config.embedding_dim : 2 * n;
+    const int p = encoder.param_dim();
+    const int h = fast_config.mlp_hidden.front();
+    Rng rng(23);
+    const Matrix stacked = random_matrix(batch * n, f, rng);
+    const Matrix w = random_matrix(f, e, rng);
+    const Matrix bias = random_matrix(1, e, rng);
+    const Matrix a_hat = random_matrix(n, n, rng);
+    const Matrix h_small = random_matrix(n, e, rng);
+    const Matrix grad = random_matrix(batch * n, e, rng);
+    const Matrix emb = random_matrix(batch, e + p, rng);
+    const Matrix w1 = random_matrix(e + p, h, rng);
+    const Matrix h1 = random_matrix(batch, h, rng);
+    const Matrix w2 = random_matrix(h, h, rng);
+
+    bench_gemm("ads_gcn_affine", batch * n, f, e, reps, false,
+               [&] { return matmul(stacked, w); });
+    bench_gemm("ads_gcn_affine_fused_relu", batch * n, f, e, reps, false,
+               [&] { return affine(stacked, w, &bias, Epilogue::kRelu); });
+    bench_gemm("ads_gcn_propagate", n, n, e, reps, false,
+               [&] { return matmul(a_hat, h_small); });
+    bench_gemm("ads_grad_dx", batch * n, e, f, reps, false,
+               [&] { return matmul_transposed(grad, w); });
+    bench_gemm("ads_grad_dw", f, batch * n, e, reps, false,
+               [&] { return matmul_transposed_a(stacked, grad); });
+    bench_gemm("ads_mlp_hidden1", batch, e + p, h, reps, false,
+               [&] { return matmul(emb, w1); });
+    bench_gemm("ads_mlp_hidden2", batch, h, h, reps, false,
+               [&] { return matmul(h1, w2); });
+  }
+  // The ORION encoder is the larger graph; its stacked affine is the single
+  // most expensive GEMM of a training epoch.
+  {
+    const ObservationEncoder encoder(orion_problem, fast_config.path_actions);
+    const int n = orion_problem.num_nodes();
+    const int f = encoder.feature_dim();
+    const int e = fast_config.embedding_dim > 0 ? fast_config.embedding_dim : 2 * n;
+    Rng rng(29);
+    const Matrix stacked = random_matrix(batch * n, f, rng);
+    const Matrix w = random_matrix(f, e, rng);
+    bench_gemm("orion_gcn_affine", batch * n, f, e, reps, true,
+               [&] { return matmul(stacked, w); });
+  }
+
+  std::printf("  ],\n  \"scenarios\": [\n");
+  bench_scenario("ADS", ads_problem, mode, reps, /*last=*/false);
+  bench_scenario("ORION", orion_problem, mode, reps, /*last=*/true);
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace nptsn::bench
+
+int main(int argc, char** argv) { return nptsn::bench::run(argc, argv); }

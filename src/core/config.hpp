@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/matrix.hpp"
+
 namespace nptsn {
 
 // Independent-audit policy for analyzer-approved solutions (certified
@@ -49,6 +51,23 @@ struct NptsnConfig {
   // Parallel rollout workers (the paper uses 8 MPI ranks).
   int num_workers = 1;
   std::uint64_t seed = 1;
+
+  // --- NN compute kernels -----------------------------------------------------
+  // GEMM kernel family for every network forward/backward pass (DESIGN.md
+  // §11). kFast is the register-blocked, cache-tiled family with fused
+  // bias/activation epilogues; kReference keeps the original naive loops as
+  // the differential-testing ground truth. Both are deterministic; fast
+  // results can differ from reference by FMA contraction only (~1e-15
+  // relative per op), so training trajectories may diverge between the two
+  // families but never between two runs of the same family. plan() installs
+  // this process-globally (set_nn_kernel), so concurrent planners in one
+  // process should agree on it.
+  NnKernel nn_kernel = NnKernel::kFast;
+  // Threads for the parallel fast-GEMM path on large shapes (1 = serial).
+  // Results are bit-identical at every setting; the parallel path only pays
+  // off when steps_per_epoch x network width is large, and it shares cores
+  // with num_workers/verification_threads.
+  int nn_threads = 1;
 
   // --- reliability verification ----------------------------------------------
   // Per-step failure analysis through the incremental verification engine

@@ -27,6 +27,16 @@ ObservationEncoder::ObservationEncoder(const PlanningProblem& problem, int k)
   }
   params_.at(0, params_.cols() - 1) =
       static_cast<double>(problem.tsn.slots_per_base) / 100.0;
+
+  // Block 3 (flow demand between u and end station v) never changes for the
+  // life of the problem: prefill it once into the template every encode()
+  // call starts from.
+  base_features_ = Matrix(problem.num_nodes(), feature_dim());
+  const int flow_base = 1 + problem.num_nodes();
+  for (const auto& flow : problem.flows) {
+    base_features_.at(flow.source, flow_base + flow.destination) += kFlowScale;
+    base_features_.at(flow.destination, flow_base + flow.source) += kFlowScale;
+  }
 }
 
 int ObservationEncoder::feature_dim() const {
@@ -50,7 +60,7 @@ Observation ObservationEncoder::encode(const Topology& topology,
   }
   obs.a_hat = normalized_adjacency(adjacency);
 
-  Matrix features(n, feature_dim());
+  Matrix features = base_features_;  // block 3 (flow demand) prefilled
   // Block 1 (col 0): switch cost; end stations and absent switches are 0.
   for (const NodeId v : topology.selected_switches()) {
     features.at(v, 0) =
@@ -64,14 +74,9 @@ Observation ObservationEncoder::encode(const Topology& topology,
     features.at(edge.u, 1 + edge.v) = cost;
     features.at(edge.v, 1 + edge.u) = cost;
   }
-  // Block 3 (|Ves| cols): flow demand between u and end station v.
-  const int flow_base = 1 + n;
-  for (const auto& flow : problem_->flows) {
-    features.at(flow.source, flow_base + flow.destination) += kFlowScale;
-    features.at(flow.destination, flow_base + flow.source) += kFlowScale;
-  }
-  // Block 4 (K cols): nodes traversed by each path-addition action.
-  const int action_base = flow_base + problem_->num_end_stations;
+  // Block 3 (|Ves| cols) is the constant flow-demand block, already in the
+  // template. Block 4 (K cols): nodes traversed by each path-addition action.
+  const int action_base = 1 + n + problem_->num_end_stations;
   for (int slot = 0; slot < k_; ++slot) {
     const auto& action = actions.actions[static_cast<std::size_t>(problem_->num_switches() + slot)];
     NPTSN_ASSERT(action.kind == Action::Kind::kAddPath, "path slot holds a non-path action");

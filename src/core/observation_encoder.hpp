@@ -30,6 +30,10 @@ class ObservationEncoder {
   const PlanningProblem* problem_;
   int k_;
   Matrix params_;  // constant per problem; computed once
+  // Feature-matrix template with the problem-constant flow block (block 3)
+  // prefilled; encode() copies it and fills only the topology- and
+  // action-dependent blocks, instead of recomputing the flow sums per step.
+  Matrix base_features_;
 };
 
 }  // namespace nptsn

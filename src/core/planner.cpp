@@ -9,6 +9,11 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
                     const NptsnConfig& config, const Trainer::EpochCallback& on_epoch) {
   problem.validate();
 
+  // Install the configured GEMM kernel family for every forward/backward
+  // pass of this run (process-global; see NptsnConfig::nn_kernel).
+  set_nn_kernel(config.nn_kernel);
+  set_nn_kernel_threads(config.nn_threads);
+
   SolutionRecorder recorder;
   const ObservationEncoder encoder(problem, config.path_actions);
   const Soag soag(problem, config.path_actions);

@@ -127,8 +127,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return Tensor::make_op(std::move(out), {a, b}, [](Node& self) {
     Node& pa = parent(self, 0);
     Node& pb = parent(self, 1);
-    if (pa.requires_grad) add_grad(pa, matmul(self.grad, transpose(pb.value)));
-    if (pb.requires_grad) add_grad(pb, matmul(transpose(pa.value), self.grad));
+    if (pa.requires_grad) add_grad(pa, matmul_transposed(self.grad, pb.value));
+    if (pb.requires_grad) add_grad(pb, matmul_transposed_a(pa.value, self.grad));
   });
 }
 
@@ -380,6 +380,166 @@ Tensor masked_log_softmax_row(const Tensor& logits, const std::vector<std::uint8
 Tensor transpose_op(const Tensor& a) {
   return Tensor::make_op(transpose(a.value()), {a}, [](Node& self) {
     add_grad(parent(self, 0), transpose(self.grad));
+  });
+}
+
+namespace {
+
+// Incoming gradient gated through the fused activation's derivative,
+// evaluated at the op's OUTPUT (same gating as the standalone relu/tanh
+// ops: relu zeroes where the output is <= 0, tanh scales by 1 - y^2).
+Matrix epilogue_delta(const Matrix& grad, const Matrix& out, Epilogue act) {
+  if (act == Epilogue::kNone) return grad;
+  Matrix delta = grad;
+  if (act == Epilogue::kRelu) {
+    for (int i = 0; i < delta.size(); ++i) {
+      if (out.data()[i] <= 0.0) delta.data()[i] = 0.0;
+    }
+  } else {
+    for (int i = 0; i < delta.size(); ++i) {
+      const double y = out.data()[i];
+      delta.data()[i] *= (1.0 - y * y);
+    }
+  }
+  return delta;
+}
+
+// Column sums of grad accumulated directly into a 1 x C parent gradient.
+void add_grad_col_sums(Node& parent_node, const Matrix& grad) {
+  if (!parent_node.requires_grad) return;
+  Matrix& g = parent_node.ensure_grad();
+  for (int i = 0; i < grad.rows(); ++i) {
+    for (int j = 0; j < grad.cols(); ++j) g.at(0, j) += grad.at(i, j);
+  }
+}
+
+}  // namespace
+
+Tensor affine_act(const Tensor& x, const Tensor& w, const Tensor& bias, Epilogue act) {
+  Matrix out = affine(x.value(), w.value(), &bias.value(), act);
+  return Tensor::make_op(std::move(out), {x, w, bias}, [act](Node& self) {
+    Node& px = parent(self, 0);
+    Node& pw = parent(self, 1);
+    Node& pb = parent(self, 2);
+    const Matrix delta = epilogue_delta(self.grad, self.value, act);
+    if (px.requires_grad) add_grad(px, matmul_transposed(delta, pw.value));
+    if (pw.requires_grad) add_grad(pw, matmul_transposed_a(px.value, delta));
+    add_grad_col_sums(pb, delta);
+  });
+}
+
+Tensor matmul_act(const Tensor& a, const Tensor& b, Epilogue act) {
+  Matrix out = matmul_epilogue(a.value(), b.value(), act);
+  return Tensor::make_op(std::move(out), {a, b}, [act](Node& self) {
+    Node& pa = parent(self, 0);
+    Node& pb = parent(self, 1);
+    const Matrix delta = epilogue_delta(self.grad, self.value, act);
+    if (pa.requires_grad) add_grad(pa, matmul_transposed(delta, pb.value));
+    if (pb.requires_grad) add_grad(pb, matmul_transposed_a(pa.value, delta));
+  });
+}
+
+Tensor block_matmul_relu(std::shared_ptr<const BlockAdjacency> a_hats,
+                         const Tensor& h) {
+  NPTSN_EXPECT(a_hats != nullptr, "block_matmul_relu needs adjacencies");
+  // Forward and backward both run on the stacked matrix in place — the
+  // block-diagonal kernels address each graph's row block directly instead
+  // of copying it out, multiplying, and pasting the product back.
+  Matrix out = block_diag_matmul(*a_hats, h.value(), Epilogue::kRelu);
+  return Tensor::make_op(std::move(out), {h}, [a_hats](Node& self) {
+    Node& ph = parent(self, 0);
+    if (!ph.requires_grad) return;
+    const Matrix delta = epilogue_delta(self.grad, self.value, Epilogue::kRelu);
+    add_grad(ph, block_diag_matmul_tn(*a_hats, delta));
+  });
+}
+
+Tensor block_gcn_fused(std::shared_ptr<const BlockAdjacency> a_hats,
+                       const Tensor& h, const Tensor& w, const Tensor& bias) {
+  NPTSN_EXPECT(a_hats != nullptr, "block_gcn_fused needs adjacencies");
+  Matrix out = block_diag_gcn(*a_hats, h.value(), w.value(), bias.value());
+  return Tensor::make_op(std::move(out), {h, w, bias}, [a_hats](Node& self) {
+    Node& ph = parent(self, 0);
+    Node& pw = parent(self, 1);
+    Node& pb = parent(self, 2);
+    // Same chain the unfused affine + propagation pair walks: relu mask,
+    // back through the adjacency blocks, then the affine gradients.
+    const Matrix delta_out = epilogue_delta(self.grad, self.value, Epilogue::kRelu);
+    const Matrix delta_z = block_diag_matmul_tn(*a_hats, delta_out);
+    if (ph.requires_grad) add_grad(ph, matmul_transposed(delta_z, pw.value));
+    if (pw.requires_grad) add_grad(pw, matmul_transposed_a(ph.value, delta_z));
+    add_grad_col_sums(pb, delta_z);
+  });
+}
+
+Tensor mean_rows_blocks(const Tensor& a, int block_rows) {
+  const Matrix& v = a.value();
+  NPTSN_EXPECT(block_rows >= 1, "mean_rows_blocks needs positive block size");
+  NPTSN_EXPECT(v.rows() % block_rows == 0, "rows are not a whole number of blocks");
+  const int blocks = v.rows() / block_rows;
+  const double inv = 1.0 / static_cast<double>(block_rows);
+  const int cols = v.cols();
+  Matrix out(blocks, cols);
+  // Raw-pointer loops: .at() bounds checks stay on in release builds and
+  // this readout runs once per batched forward over the whole stacked
+  // matrix. Summation order (ascending i per column) is unchanged.
+  for (int g = 0; g < blocks; ++g) {
+    double* orow = out.data() + static_cast<std::size_t>(g) * cols;
+    for (int i = 0; i < block_rows; ++i) {
+      const double* vrow =
+          v.data() + (static_cast<std::size_t>(g) * block_rows + i) * cols;
+      for (int j = 0; j < cols; ++j) orow[j] += vrow[j];
+    }
+    for (int j = 0; j < cols; ++j) orow[j] *= inv;
+  }
+  return Tensor::make_op(std::move(out), {a}, [block_rows, inv](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    const int cols = pa.value.cols();
+    Matrix delta(pa.value.rows(), pa.value.cols());
+    for (int i = 0; i < delta.rows(); ++i) {
+      const double* grow =
+          self.grad.data() + static_cast<std::size_t>(i / block_rows) * cols;
+      double* drow = delta.data() + static_cast<std::size_t>(i) * cols;
+      for (int j = 0; j < cols; ++j) drow[j] = grow[j] * inv;
+    }
+    add_grad(pa, delta);
+  });
+}
+
+Tensor select_row(const Tensor& a, int r) {
+  const Matrix& v = a.value();
+  NPTSN_EXPECT(r >= 0 && r < v.rows(), "select_row index out of range");
+  Matrix out(1, v.cols());
+  for (int j = 0; j < v.cols(); ++j) out.at(0, j) = v.at(r, j);
+  return Tensor::make_op(std::move(out), {a}, [r](Node& self) {
+    Node& pa = parent(self, 0);
+    if (!pa.requires_grad) return;
+    // Accumulate straight into row r — no full-size scratch matrix, so
+    // selecting all B rows of a batch costs O(B x C), not O(B^2 x C).
+    Matrix& g = pa.ensure_grad();
+    for (int j = 0; j < self.grad.cols(); ++j) g.at(r, j) += self.grad.at(0, j);
+  });
+}
+
+Tensor stack_rows(const std::vector<Tensor>& rows) {
+  NPTSN_EXPECT(!rows.empty(), "stack_rows of zero tensors");
+  const int cols = rows.front().value().cols();
+  Matrix out(static_cast<int>(rows.size()), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Matrix& v = rows[i].value();
+    NPTSN_EXPECT(v.rows() == 1 && v.cols() == cols, "stack_rows shape mismatch");
+    for (int j = 0; j < cols; ++j) out.at(static_cast<int>(i), j) = v.at(0, j);
+  }
+  return Tensor::make_op(std::move(out), rows, [](Node& self) {
+    for (std::size_t i = 0; i < self.parents.size(); ++i) {
+      Node& p = *self.parents[i];
+      if (!p.requires_grad) continue;
+      Matrix& g = p.ensure_grad();
+      for (int j = 0; j < self.grad.cols(); ++j) {
+        g.at(0, j) += self.grad.at(static_cast<int>(i), j);
+      }
+    }
   });
 }
 

@@ -1,0 +1,793 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace nptsn {
+namespace {
+
+// Micro-tile geometry. kMr rows of the output are accumulated at once so
+// every loaded B row is reused kMr times; kNr output columns stay in a local
+// accumulator block the compiler keeps in vector registers. Both are small
+// enough that the 4 x 32 block (1 KiB) lives on the stack.
+constexpr int kMr = 4;
+constexpr int kNr = 32;
+// Dot-product micro-tile for the A * B^T kernel: 4 x 8 independent scalar
+// accumulator chains saturate the FMA ports without reassociating any sum.
+constexpr int kNrDot = 8;
+// Parallel-path task granularity: output rows per task, fixed so the work
+// partition (and therefore every result bit) is thread-count independent.
+constexpr int kRowsPerTask = 32;
+// Below this many multiply-adds the fork/join overhead dominates; stay serial.
+constexpr std::int64_t kParallelFlopsMin = 1 << 21;
+
+std::atomic<int> g_kernel{static_cast<int>(NnKernel::kFast)};
+std::atomic<int> g_threads{1};
+
+// The shared pool for the parallel path. Guarded by a mutex; a caller that
+// cannot take the lock (e.g. concurrent rollout workers both hitting a large
+// GEMM) falls back to the serial path, which produces identical bits.
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // sized to g_threads, rebuilt on change
+
+double apply_epilogue(double v, Epilogue act) {
+  switch (act) {
+    case Epilogue::kNone: return v;
+    case Epilogue::kRelu: return v > 0.0 ? v : 0.0;
+    case Epilogue::kTanh: return std::tanh(v);
+  }
+  return v;
+}
+
+// Runs task(0..chunks-1) on the shared pool; false = caller must run serially.
+bool try_parallel(int chunks, const std::function<void(int)>& task) {
+  if (chunks < 2) return false;
+  std::unique_lock<std::mutex> lock(g_pool_mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  const int threads = g_threads.load(std::memory_order_relaxed);
+  if (threads <= 1) return false;
+  if (!g_pool || g_pool->size() != threads) {
+    g_pool = std::make_unique<ThreadPool>(threads);
+  }
+  g_pool->parallel_for(chunks, task);
+  return true;
+}
+
+bool want_parallel(std::int64_t m, std::int64_t n, std::int64_t k) {
+  if (g_threads.load(std::memory_order_relaxed) <= 1) return false;
+  return 2 * m * n * k >= kParallelFlopsMin && m > kRowsPerTask;
+}
+
+// Vector lane type for the register micro-kernels, sized to the widest ISA
+// this translation unit is compiled for (AVX-512 or AVX2 under
+// NPTSN_KERNEL_SIMD, SSE2 otherwise). Every lane is an ordinary IEEE
+// mul-then-add (the TU is built with -ffp-contract=off) and lanes are
+// independent output COLUMNS — the per-element reduction stays one chain
+// over ascending k — so results are bit-identical at every vector width.
+#if defined(__AVX512F__)
+typedef double vnd __attribute__((vector_size(64)));
+constexpr int kLanes = 8;
+#else
+typedef double vnd __attribute__((vector_size(32)));
+constexpr int kLanes = 4;
+#endif
+
+inline vnd loadv(const double* p) {
+  vnd v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void storev(double* p, vnd v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline vnd broadcastv(double s) {
+  vnd v;
+  for (int l = 0; l < kLanes; ++l) v[l] = s;
+  return v;
+}
+
+// EVERY multiply-accumulate of the fast family goes through these two
+// helpers, and nowhere else (the TU is built with -ffp-contract=off, so the
+// compiler cannot contract — or fail to contract — anything on its own).
+// That uniformity is the determinism story: whichever loop shape touches an
+// output element (register micro-tile, edge tile, sparse row, any vector
+// width, any thread count), its reduction is the identical chain of
+// fma(a_k, b_k, acc) over ascending k, so every strategy produces the same
+// bits. Where the hardware has FMA this roughly doubles dense GEMM
+// throughput over separate mul+add; fast-vs-reference then differs by the
+// contraction rounding only, inside the documented 1e-12 envelope (the
+// reference family keeps the original mul-then-add bits as ground truth).
+// Zero-skip stays legal too: fma(+/-0, b, acc) returns acc exactly for
+// finite b, and an accumulator that starts at +0.0 can never become -0.0.
+inline double fmadd(double a, double b, double acc) {
+#if defined(__FMA__)
+  return __builtin_fma(a, b, acc);
+#else
+  return a * b + acc;
+#endif
+}
+
+inline vnd fmaddv(vnd a, vnd b, vnd acc) {
+#if defined(__FMA__)
+  vnd r;
+  for (int l = 0; l < kLanes; ++l) r[l] = __builtin_fma(a[l], b[l], acc[l]);
+  return r;
+#else
+  return a * b + acc;
+#endif
+}
+
+// Register-resident column width of the full-tile micro-kernels: a kMr x
+// kNrReg f64 accumulator block is 8 vector registers (ymm under AVX2, zmm
+// under AVX-512), leaving room for the B-row loads and the broadcast A
+// element.
+constexpr int kNrReg = 2 * kLanes;
+
+// Full-tile micro-kernel: an MR x 8 output block whose accumulators live in
+// vector registers for the whole k loop (explicit vector locals defeat the
+// compiler's urge to keep the tile in stack memory). Branchless on purpose:
+// fma(0, b, acc) returns acc exactly, so including or skipping zero terms
+// produces identical bits — which is what makes the sparse/dense strategy
+// dispatch below legal in the first place (see fmadd above).
+template <int MR>
+void affine_microkernel(const double* pa, const double* pb, int cols_k, int cols_n,
+                        int i0, int j0, const double* pbias, Epilogue act, double* po) {
+  vnd acc[MR][2];
+  for (int r = 0; r < MR; ++r) acc[r][0] = acc[r][1] = broadcastv(0.0);
+  for (int k = 0; k < cols_k; ++k) {
+    const double* brow = pb + static_cast<std::size_t>(k) * cols_n + j0;
+    const vnd b0 = loadv(brow);
+    const vnd b1 = loadv(brow + kLanes);
+    for (int r = 0; r < MR; ++r) {
+      const vnd a = broadcastv(pa[static_cast<std::size_t>(i0 + r) * cols_k + k]);
+      acc[r][0] = fmaddv(a, b0, acc[r][0]);
+      acc[r][1] = fmaddv(a, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    double* orow = po + static_cast<std::size_t>(i0 + r) * cols_n + j0;
+    double tile[kNrReg];
+    storev(tile, acc[r][0]);
+    storev(tile + kLanes, acc[r][1]);
+    for (int j = 0; j < kNrReg; ++j) {
+      const double v = pbias ? tile[j] + pbias[j0 + j] : tile[j];
+      orow[j] = apply_epilogue(v, act);
+    }
+  }
+}
+
+// Single-vector-wide variant for the column remainder: a full kLanes-wide
+// tile that doesn't fill two vectors. Same chain per element as the two-wide
+// kernel, so mixing the two along a row is bit-transparent.
+template <int MR>
+void affine_microkernel_v1(const double* pa, const double* pb, int cols_k, int cols_n,
+                           int i0, int j0, const double* pbias, Epilogue act,
+                           double* po) {
+  vnd acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = broadcastv(0.0);
+  for (int k = 0; k < cols_k; ++k) {
+    const vnd b0 = loadv(pb + static_cast<std::size_t>(k) * cols_n + j0);
+    for (int r = 0; r < MR; ++r) {
+      const vnd a = broadcastv(pa[static_cast<std::size_t>(i0 + r) * cols_k + k]);
+      acc[r] = fmaddv(a, b0, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    double* orow = po + static_cast<std::size_t>(i0 + r) * cols_n + j0;
+    double tile[kLanes];
+    storev(tile, acc[r]);
+    for (int j = 0; j < kLanes; ++j) {
+      const double v = pbias ? tile[j] + pbias[j0 + j] : tile[j];
+      orow[j] = apply_epilogue(v, act);
+    }
+  }
+}
+
+// Sparse-block path: one AXPY over the full output row per nonzero A
+// element, like the reference kernel. For the GCN inputs (A-hat, the
+// observation feature blocks) most rows carry a handful of nonzeros, and the
+// tiled path would re-scan the whole A block once per column tile just to
+// find them. Bit-identical to the tiled path: per output element the sum is
+// still one accumulator over ascending k, and dropped zero terms are no-ops
+// (see affine_microkernel).
+// The row sweeps are kept to the minimum the chain allows: the FIRST nonzero
+// initializes the row directly (fmadd(a, b, +0.0) is the exact expression
+// the zero-filled version would compute) and the LAST nonzero carries the
+// bias/activation epilogue with it, so a row with nnz nonzeros costs nnz
+// sweeps instead of nnz + 2. For A-hat rows (a handful of neighbors) and
+// observation feature rows (mostly one or two nonzeros) that is the
+// difference between being store-bound and being nnz-bound.
+void affine_rows_sparse(const double* pa, const double* pb, int cols_k, int cols_n,
+                        const double* pbias, Epilogue act, double* po, int i_begin,
+                        int i_end) {
+  for (int i = i_begin; i < i_end; ++i) {
+    double* orow = po + static_cast<std::size_t>(i) * cols_n;
+    const double* arow = pa + static_cast<std::size_t>(i) * cols_k;
+    int k_first = 0;
+    while (k_first < cols_k && arow[k_first] == 0.0) ++k_first;
+    if (k_first == cols_k) {
+      // Empty row. 0.0 + pbias[j] (not bare pbias[j]): keeps the bits of the
+      // accumulate-into-zeros formulation even for a -0.0 bias entry.
+      for (int j = 0; j < cols_n; ++j) {
+        orow[j] = apply_epilogue(pbias ? 0.0 + pbias[j] : 0.0, act);
+      }
+      continue;
+    }
+    int k_last = cols_k - 1;
+    while (arow[k_last] == 0.0) --k_last;
+    if (k_first == k_last) {
+      const double aik = arow[k_first];
+      const double* brow = pb + static_cast<std::size_t>(k_first) * cols_n;
+      for (int j = 0; j < cols_n; ++j) {
+        const double acc = fmadd(aik, brow[j], 0.0);
+        orow[j] = apply_epilogue(pbias ? acc + pbias[j] : acc, act);
+      }
+      continue;
+    }
+    {
+      const double aik = arow[k_first];
+      const double* brow = pb + static_cast<std::size_t>(k_first) * cols_n;
+      for (int j = 0; j < cols_n; ++j) orow[j] = fmadd(aik, brow[j], 0.0);
+    }
+    for (int k = k_first + 1; k < k_last; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = pb + static_cast<std::size_t>(k) * cols_n;
+      for (int j = 0; j < cols_n; ++j) orow[j] = fmadd(aik, brow[j], orow[j]);
+    }
+    {
+      const double aik = arow[k_last];
+      const double* brow = pb + static_cast<std::size_t>(k_last) * cols_n;
+      for (int j = 0; j < cols_n; ++j) {
+        const double acc = fmadd(aik, brow[j], orow[j]);
+        orow[j] = apply_epilogue(pbias ? acc + pbias[j] : acc, act);
+      }
+    }
+  }
+}
+
+// Density threshold (nonzeros / elements) below which a row block takes the
+// sparse path. Pure performance knob: both paths produce identical bits.
+constexpr double kSparseDensityMax = 0.25;
+
+// Rows [i_begin, i_end) of out = act(a * b + bias). The accumulation order
+// of every output element is a single chain over ascending k. Raw-pointer
+// interface so the block-diagonal batched kernels can address sub-blocks of
+// a stacked matrix without copying them out first.
+void affine_rows(const double* pa, int cols_k, const double* pb, int cols_n,
+                 const double* pbias, Epilogue act, double* po, int i_begin,
+                 int i_end) {
+  for (int i0 = i_begin; i0 < i_end; i0 += kMr) {
+    const int mi = std::min(kMr, i_end - i0);
+    // One cheap scan decides the strategy for this row block.
+    int nnz = 0;
+    const double* block = pa + static_cast<std::size_t>(i0) * cols_k;
+    for (int e = 0; e < mi * cols_k; ++e) nnz += block[e] != 0.0;
+    if (nnz < kSparseDensityMax * mi * cols_k) {
+      affine_rows_sparse(pa, pb, cols_k, cols_n, pbias, act, po, i0, i0 + mi);
+      continue;
+    }
+    // Register tiles for every row count — the MR template covers partial row
+    // blocks too, so only the sub-vector column remainder falls through to
+    // the general path below.
+    int j0 = 0;
+    switch (mi) {
+      case 4:
+        for (; j0 + kNrReg <= cols_n; j0 += kNrReg)
+          affine_microkernel<4>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        for (; j0 + kLanes <= cols_n; j0 += kLanes)
+          affine_microkernel_v1<4>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        break;
+      case 3:
+        for (; j0 + kNrReg <= cols_n; j0 += kNrReg)
+          affine_microkernel<3>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        for (; j0 + kLanes <= cols_n; j0 += kLanes)
+          affine_microkernel_v1<3>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        break;
+      case 2:
+        for (; j0 + kNrReg <= cols_n; j0 += kNrReg)
+          affine_microkernel<2>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        for (; j0 + kLanes <= cols_n; j0 += kLanes)
+          affine_microkernel_v1<2>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        break;
+      case 1:
+        for (; j0 + kNrReg <= cols_n; j0 += kNrReg)
+          affine_microkernel<1>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        for (; j0 + kLanes <= cols_n; j0 += kLanes)
+          affine_microkernel_v1<1>(pa, pb, cols_k, cols_n, i0, j0, pbias, act, po);
+        break;
+      default:
+        break;
+    }
+    // Sub-vector column remainder: general bounds.
+    for (; j0 < cols_n; j0 += kNr) {
+      const int nj = std::min(kNr, cols_n - j0);
+      double acc[kMr][kNr];
+      for (int r = 0; r < mi; ++r) {
+        for (int j = 0; j < nj; ++j) acc[r][j] = 0.0;
+      }
+      for (int k = 0; k < cols_k; ++k) {
+        const double* brow = pb + static_cast<std::size_t>(k) * cols_n + j0;
+        for (int r = 0; r < mi; ++r) {
+          const double ark = pa[static_cast<std::size_t>(i0 + r) * cols_k + k];
+          double* accr = acc[r];
+          for (int j = 0; j < nj; ++j) accr[j] = fmadd(ark, brow[j], accr[j]);
+        }
+      }
+      for (int r = 0; r < mi; ++r) {
+        double* orow = po + static_cast<std::size_t>(i0 + r) * cols_n + j0;
+        for (int j = 0; j < nj; ++j) {
+          const double v = pbias ? acc[r][j] + pbias[j0 + j] : acc[r][j];
+          orow[j] = apply_epilogue(v, act);
+        }
+      }
+    }
+  }
+}
+
+// Rows [i_begin, i_end) of out = a * b^T (b row-major N x K).
+void matmul_nt_rows(const Matrix& a, const Matrix& b, Matrix& out, int i_begin,
+                    int i_end) {
+  const int cols_k = a.cols();
+  const int rows_n = b.rows();
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (int i0 = i_begin; i0 < i_end; i0 += kMr) {
+    const int mi = std::min(kMr, i_end - i0);
+    for (int j0 = 0; j0 < rows_n; j0 += kNrDot) {
+      const int nj = std::min(kNrDot, rows_n - j0);
+      double acc[kMr][kNrDot];
+      for (int r = 0; r < mi; ++r) {
+        for (int j = 0; j < nj; ++j) acc[r][j] = 0.0;
+      }
+      for (int k = 0; k < cols_k; ++k) {
+        double avals[kMr];
+        double bvals[kNrDot];
+        for (int r = 0; r < mi; ++r) {
+          avals[r] = pa[static_cast<std::size_t>(i0 + r) * cols_k + k];
+        }
+        for (int j = 0; j < nj; ++j) {
+          bvals[j] = pb[static_cast<std::size_t>(j0 + j) * cols_k + k];
+        }
+        for (int r = 0; r < mi; ++r) {
+          for (int j = 0; j < nj; ++j) acc[r][j] = fmadd(avals[r], bvals[j], acc[r][j]);
+        }
+      }
+      for (int r = 0; r < mi; ++r) {
+        double* orow = po + static_cast<std::size_t>(i0 + r) * rows_n + j0;
+        for (int j = 0; j < nj; ++j) orow[j] = acc[r][j];
+      }
+    }
+  }
+}
+
+// Full-tile micro-kernel for out = a^T * b; same registerization and
+// bit-preservation argument as affine_microkernel.
+template <int MR>
+void tn_microkernel(const double* pa, const double* pb, int rows_k, int cols_m,
+                    int cols_n, int i0, int j0, double* po) {
+  vnd acc[MR][2];
+  for (int r = 0; r < MR; ++r) acc[r][0] = acc[r][1] = broadcastv(0.0);
+  for (int k = 0; k < rows_k; ++k) {
+    const double* arow = pa + static_cast<std::size_t>(k) * cols_m + i0;
+    const double* brow = pb + static_cast<std::size_t>(k) * cols_n + j0;
+    const vnd b0 = loadv(brow);
+    const vnd b1 = loadv(brow + kLanes);
+    for (int r = 0; r < MR; ++r) {
+      const vnd a = broadcastv(arow[r]);
+      acc[r][0] = fmaddv(a, b0, acc[r][0]);
+      acc[r][1] = fmaddv(a, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    double* orow = po + static_cast<std::size_t>(i0 + r) * cols_n + j0;
+    storev(orow, acc[r][0]);
+    storev(orow + kLanes, acc[r][1]);
+  }
+}
+
+// Single-vector-wide column-remainder variant (see affine_microkernel_v1).
+template <int MR>
+void tn_microkernel_v1(const double* pa, const double* pb, int rows_k, int cols_m,
+                       int cols_n, int i0, int j0, double* po) {
+  vnd acc[MR];
+  for (int r = 0; r < MR; ++r) acc[r] = broadcastv(0.0);
+  for (int k = 0; k < rows_k; ++k) {
+    const double* arow = pa + static_cast<std::size_t>(k) * cols_m + i0;
+    const vnd b0 = loadv(pb + static_cast<std::size_t>(k) * cols_n + j0);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] = fmaddv(broadcastv(arow[r]), b0, acc[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    storev(po + static_cast<std::size_t>(i0 + r) * cols_n + j0, acc[r]);
+  }
+}
+
+// Rows [i_begin, i_end) of out = a^T * b (a row-major K x M; out M x N).
+// Raw-pointer interface for the same reason as affine_rows.
+void matmul_tn_rows(const double* pa, int rows_k, int cols_m, const double* pb,
+                    int cols_n, double* po, int i_begin, int i_end) {
+  for (int i0 = i_begin; i0 < i_end; i0 += kMr) {
+    const int mi = std::min(kMr, i_end - i0);
+    int j0_reg = 0;
+    switch (mi) {
+      case 4:
+        for (; j0_reg + kNrReg <= cols_n; j0_reg += kNrReg)
+          tn_microkernel<4>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        for (; j0_reg + kLanes <= cols_n; j0_reg += kLanes)
+          tn_microkernel_v1<4>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        break;
+      case 3:
+        for (; j0_reg + kNrReg <= cols_n; j0_reg += kNrReg)
+          tn_microkernel<3>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        for (; j0_reg + kLanes <= cols_n; j0_reg += kLanes)
+          tn_microkernel_v1<3>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        break;
+      case 2:
+        for (; j0_reg + kNrReg <= cols_n; j0_reg += kNrReg)
+          tn_microkernel<2>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        for (; j0_reg + kLanes <= cols_n; j0_reg += kLanes)
+          tn_microkernel_v1<2>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        break;
+      case 1:
+        for (; j0_reg + kNrReg <= cols_n; j0_reg += kNrReg)
+          tn_microkernel<1>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        for (; j0_reg + kLanes <= cols_n; j0_reg += kLanes)
+          tn_microkernel_v1<1>(pa, pb, rows_k, cols_m, cols_n, i0, j0_reg, po);
+        break;
+      default:
+        break;
+    }
+    for (int j0 = j0_reg; j0 < cols_n; j0 += kNr) {
+      const int nj = std::min(kNr, cols_n - j0);
+      double acc[kMr][kNr];
+      for (int r = 0; r < mi; ++r) {
+        for (int j = 0; j < nj; ++j) acc[r][j] = 0.0;
+      }
+      for (int k = 0; k < rows_k; ++k) {
+        const double* arow = pa + static_cast<std::size_t>(k) * cols_m + i0;
+        const double* brow = pb + static_cast<std::size_t>(k) * cols_n + j0;
+        for (int r = 0; r < mi; ++r) {
+          const double ark = arow[r];
+          if (ark == 0.0) continue;  // zero-skip; bit-preserving (see affine_rows)
+          double* accr = acc[r];
+          for (int j = 0; j < nj; ++j) accr[j] = fmadd(ark, brow[j], accr[j]);
+        }
+      }
+      for (int r = 0; r < mi; ++r) {
+        double* orow = po + static_cast<std::size_t>(i0 + r) * cols_n + j0;
+        for (int j = 0; j < nj; ++j) orow[j] = acc[r][j];
+      }
+    }
+  }
+}
+
+// Partitions rows [0, total) into kRowsPerTask chunks and runs `rows` over
+// them, in parallel when the shape is large enough and the pool is free.
+template <typename RowsFn>
+void run_rows(int total, std::int64_t m, std::int64_t n, std::int64_t k,
+              const RowsFn& rows) {
+  if (total == 0) return;
+  if (want_parallel(m, n, k)) {
+    const int chunks = (total + kRowsPerTask - 1) / kRowsPerTask;
+    const bool ran = try_parallel(chunks, [&](int c) {
+      const int begin = c * kRowsPerTask;
+      rows(begin, std::min(begin + kRowsPerTask, total));
+    });
+    if (ran) return;
+  }
+  rows(0, total);
+}
+
+}  // namespace
+
+void set_nn_kernel(NnKernel kernel) {
+  g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+NnKernel nn_kernel() {
+  return static_cast<NnKernel>(g_kernel.load(std::memory_order_relaxed));
+}
+
+void set_nn_kernel_threads(int threads) {
+  NPTSN_EXPECT(threads >= 1, "nn kernel thread count must be positive");
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_threads.store(threads, std::memory_order_relaxed);
+  if (g_pool && g_pool->size() != threads) g_pool.reset();
+}
+
+int nn_kernel_threads() { return g_threads.load(std::memory_order_relaxed); }
+
+namespace nnk {
+
+void matmul_reference(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix(a.rows(), b.cols());
+  // i-k-j order: streams through b and out rows, cache friendly for row-major.
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;  // A-hat and feature blocks are sparse
+      const double* brow = b.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(b.cols());
+      double* orow = out.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out.cols());
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_nt_reference(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += a.at(i, k) * b.at(j, k);
+      out.at(i, j) = sum;
+    }
+  }
+}
+
+void matmul_tn_reference(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix(a.cols(), b.cols());
+  // k outer: streams rows of a and b, accumulates rank-1 updates into out.
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      double* orow = out.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out.cols());
+      const double* brow = b.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(b.cols());
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void affine_reference(const Matrix& a, const Matrix& b, const Matrix* bias,
+                      Epilogue act, Matrix& out) {
+  matmul_reference(a, b, out);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int j = 0; j < out.cols(); ++j) {
+      double v = out.at(i, j);
+      if (bias) v += bias->at(0, j);
+      out.at(i, j) = apply_epilogue(v, act);
+    }
+  }
+}
+
+void matmul_fast(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix::uninitialized(a.rows(), b.cols());
+  run_rows(a.rows(), a.rows(), b.cols(), a.cols(), [&](int begin, int end) {
+    affine_rows(a.data(), a.cols(), b.data(), b.cols(), nullptr, Epilogue::kNone,
+                out.data(), begin, end);
+  });
+}
+
+void matmul_nt_fast(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix::uninitialized(a.rows(), b.rows());
+  run_rows(a.rows(), a.rows(), b.rows(), a.cols(), [&](int begin, int end) {
+    matmul_nt_rows(a, b, out, begin, end);
+  });
+}
+
+void matmul_tn_fast(const Matrix& a, const Matrix& b, Matrix& out) {
+  out = Matrix::uninitialized(a.cols(), b.cols());
+  run_rows(a.cols(), a.cols(), b.cols(), a.rows(), [&](int begin, int end) {
+    matmul_tn_rows(a.data(), a.rows(), a.cols(), b.data(), b.cols(), out.data(),
+                   begin, end);
+  });
+}
+
+void affine_fast(const Matrix& a, const Matrix& b, const Matrix* bias,
+                 Epilogue act, Matrix& out) {
+  out = Matrix::uninitialized(a.rows(), b.cols());
+  run_rows(a.rows(), a.rows(), b.cols(), a.cols(), [&](int begin, int end) {
+    affine_rows(a.data(), a.cols(), b.data(), b.cols(),
+                bias ? bias->data() : nullptr, act, out.data(), begin, end);
+  });
+}
+
+// Propagation of one block via the staged CSR index: out_g = act(adj_g *
+// src), no bias (adjacency products never carry one). Per output element the
+// chain is the same single accumulator over ascending k the dense-scan
+// sparse path walks — the CSR just skips the rescans — with the first/last
+// nonzero carrying the init and epilogue sweeps (see affine_rows_sparse).
+void propagate_rows_csr(const BlockAdjacency& adj, int g, const double* psrc,
+                        int cols_n, Epilogue act, double* po) {
+  const int n = adj.block_size();
+  const int* cols = adj.csr_cols();
+  const double* vals = adj.csr_vals();
+  for (int i = 0; i < n; ++i) {
+    double* orow = po + static_cast<std::size_t>(i) * cols_n;
+    std::size_t t = adj.row_begin(g, i);
+    const std::size_t t_end = adj.row_end(g, i);
+    if (t == t_end) {
+      for (int j = 0; j < cols_n; ++j) orow[j] = apply_epilogue(0.0, act);
+      continue;
+    }
+    if (t_end - t == 1) {
+      const double a = vals[t];
+      const double* brow = psrc + static_cast<std::size_t>(cols[t]) * cols_n;
+      for (int j = 0; j < cols_n; ++j) {
+        orow[j] = apply_epilogue(fmadd(a, brow[j], 0.0), act);
+      }
+      continue;
+    }
+    {
+      const double a = vals[t];
+      const double* brow = psrc + static_cast<std::size_t>(cols[t]) * cols_n;
+      for (int j = 0; j < cols_n; ++j) orow[j] = fmadd(a, brow[j], 0.0);
+    }
+    for (++t; t + 1 < t_end; ++t) {
+      const double a = vals[t];
+      const double* brow = psrc + static_cast<std::size_t>(cols[t]) * cols_n;
+      for (int j = 0; j < cols_n; ++j) orow[j] = fmadd(a, brow[j], orow[j]);
+    }
+    {
+      const double a = vals[t];
+      const double* brow = psrc + static_cast<std::size_t>(cols[t]) * cols_n;
+      for (int j = 0; j < cols_n; ++j) {
+        orow[j] = apply_epilogue(fmadd(a, brow[j], orow[j]), act);
+      }
+    }
+  }
+}
+
+void block_affine_reference(const BlockAdjacency& adj, const Matrix& h,
+                            Epilogue act, Matrix& out) {
+  const std::vector<Matrix>& blocks = adj.blocks();
+  const int n = blocks.front().rows();
+  const int cols_n = h.cols();
+  out = Matrix(h.rows(), cols_n);
+  for (std::size_t g = 0; g < blocks.size(); ++g) {
+    const double* pa = blocks[g].data();
+    const double* ph = h.data() + g * static_cast<std::size_t>(n) * cols_n;
+    double* po = out.data() + g * static_cast<std::size_t>(n) * cols_n;
+    // Same i-k-j zero-skip loop as matmul_reference, addressed into the
+    // stacked block instead of a copied-out one — identical operations in
+    // identical order, so reference-family results are unchanged bitwise.
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < n; ++k) {
+        const double aik = pa[static_cast<std::size_t>(i) * n + k];
+        if (aik == 0.0) continue;
+        const double* hrow = ph + static_cast<std::size_t>(k) * cols_n;
+        double* orow = po + static_cast<std::size_t>(i) * cols_n;
+        for (int j = 0; j < cols_n; ++j) orow[j] += aik * hrow[j];
+      }
+    }
+    for (int i = 0; i < n * cols_n; ++i) po[i] = apply_epilogue(po[i], act);
+  }
+}
+
+void block_affine_fast(const BlockAdjacency& adj, const Matrix& h,
+                       Epilogue act, Matrix& out) {
+  const int n = adj.block_size();
+  const int cols_n = h.cols();
+  const int count = adj.count();
+  out = Matrix::uninitialized(h.rows(), cols_n);
+  const auto one = [&](int g) {
+    propagate_rows_csr(adj, g, h.data() + static_cast<std::size_t>(g) * n * cols_n,
+                       cols_n, act,
+                       out.data() + static_cast<std::size_t>(g) * n * cols_n);
+  };
+  // One task per graph: the partition is fixed by the batch itself, so the
+  // result is bit-identical at every thread count (as with run_rows).
+  if (want_parallel(h.rows(), cols_n, n) && try_parallel(count, one)) return;
+  for (int g = 0; g < count; ++g) one(g);
+}
+
+void block_matmul_tn_reference(const BlockAdjacency& adj, const Matrix& delta,
+                               Matrix& out) {
+  const std::vector<Matrix>& blocks = adj.blocks();
+  const int n = blocks.front().rows();
+  const int cols_n = delta.cols();
+  out = Matrix(delta.rows(), cols_n);
+  for (std::size_t g = 0; g < blocks.size(); ++g) {
+    const double* pa = blocks[g].data();
+    const double* pd = delta.data() + g * static_cast<std::size_t>(n) * cols_n;
+    double* po = out.data() + g * static_cast<std::size_t>(n) * cols_n;
+    // k-outer rank-1 updates, as in matmul_tn_reference.
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        const double aki = pa[static_cast<std::size_t>(k) * n + i];
+        if (aki == 0.0) continue;
+        const double* drow = pd + static_cast<std::size_t>(k) * cols_n;
+        double* orow = po + static_cast<std::size_t>(i) * cols_n;
+        for (int j = 0; j < cols_n; ++j) orow[j] += aki * drow[j];
+      }
+    }
+  }
+}
+
+void block_gcn_reference(const BlockAdjacency& adj, const Matrix& h,
+                         const Matrix& w, const Matrix& bias, Matrix& out) {
+  const std::vector<Matrix>& blocks = adj.blocks();
+  const int n = blocks.front().rows();
+  const int cols_k = h.cols();
+  const int cols_n = w.cols();
+  out = Matrix(h.rows(), cols_n);
+  Matrix z(n, cols_n);
+  for (std::size_t g = 0; g < blocks.size(); ++g) {
+    const double* ph = h.data() + g * static_cast<std::size_t>(n) * cols_k;
+    const double* pa = blocks[g].data();
+    double* po = out.data() + g * static_cast<std::size_t>(n) * cols_n;
+    double* pz = z.data();
+    // z_g = h_g * w + bias, the same i-k-j accumulation the unfused
+    // affine_reference performs on the stacked matrix — the per-element
+    // reduction order is row-local, so splitting the rows by graph changes
+    // nothing bitwise.
+    for (int i = 0; i < n * cols_n; ++i) pz[i] = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < cols_k; ++k) {
+        const double hik = ph[static_cast<std::size_t>(i) * cols_k + k];
+        if (hik == 0.0) continue;
+        const double* wrow = w.data() + static_cast<std::size_t>(k) * cols_n;
+        double* zrow = pz + static_cast<std::size_t>(i) * cols_n;
+        for (int j = 0; j < cols_n; ++j) zrow[j] += hik * wrow[j];
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < cols_n; ++j) {
+        pz[static_cast<std::size_t>(i) * cols_n + j] += bias.data()[j];
+      }
+    }
+    // out_g = relu(blocks[g] * z_g), as in block_affine_reference.
+    for (int i = 0; i < n; ++i) {
+      for (int k = 0; k < n; ++k) {
+        const double aik = pa[static_cast<std::size_t>(i) * n + k];
+        if (aik == 0.0) continue;
+        const double* zrow = pz + static_cast<std::size_t>(k) * cols_n;
+        double* orow = po + static_cast<std::size_t>(i) * cols_n;
+        for (int j = 0; j < cols_n; ++j) orow[j] += aik * zrow[j];
+      }
+    }
+    for (int i = 0; i < n * cols_n; ++i) {
+      po[i] = apply_epilogue(po[i], Epilogue::kRelu);
+    }
+  }
+}
+
+void block_gcn_fast(const BlockAdjacency& adj, const Matrix& h,
+                    const Matrix& w, const Matrix& bias, Matrix& out) {
+  const int n = adj.block_size();
+  const int cols_k = h.cols();
+  const int cols_n = w.cols();
+  const int count = adj.count();
+  out = Matrix::uninitialized(h.rows(), cols_n);
+  const auto one = [&](int g) {
+    // The scratch tile is small (n x out doubles) and written immediately
+    // before it is read, so it stays in cache; a per-task instance keeps the
+    // parallel path race-free without changing any bits.
+    Matrix z = Matrix::uninitialized(n, cols_n);
+    affine_rows(h.data() + static_cast<std::size_t>(g) * n * cols_k, cols_k,
+                w.data(), cols_n, bias.data(), Epilogue::kNone, z.data(), 0, n);
+    propagate_rows_csr(adj, g, z.data(), cols_n, Epilogue::kRelu,
+                       out.data() + static_cast<std::size_t>(g) * n * cols_n);
+  };
+  if (want_parallel(h.rows(), cols_n, cols_k + n) && try_parallel(count, one)) return;
+  for (int g = 0; g < count; ++g) one(g);
+}
+
+void block_matmul_tn_fast(const BlockAdjacency& adj, const Matrix& delta,
+                          Matrix& out) {
+  const std::vector<Matrix>& blocks = adj.blocks();
+  const int n = adj.block_size();
+  const int cols_n = delta.cols();
+  const int count = adj.count();
+  out = Matrix::uninitialized(delta.rows(), cols_n);
+  const auto one = [&](int g) {
+    matmul_tn_rows(blocks[static_cast<std::size_t>(g)].data(), n, n,
+                   delta.data() + static_cast<std::size_t>(g) * n * cols_n, cols_n,
+                   out.data() + static_cast<std::size_t>(g) * n * cols_n, 0, n);
+  };
+  if (want_parallel(delta.rows(), cols_n, n) && try_parallel(count, one)) return;
+  for (int g = 0; g < count; ++g) one(g);
+}
+
+}  // namespace nnk
+}  // namespace nptsn

@@ -23,8 +23,12 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
       bias_(Tensor::parameter(Matrix(1, out_features))) {}
 
 Tensor Linear::forward(const Tensor& x) const {
+  return forward_act(x, Epilogue::kNone);
+}
+
+Tensor Linear::forward_act(const Tensor& x, Epilogue act) const {
   NPTSN_EXPECT(x.cols() == in_features(), "linear input width mismatch");
-  return add_row_broadcast(matmul(x, weight_), bias_);
+  return affine_act(x, weight_, bias_, act);
 }
 
 void Linear::collect_parameters(std::vector<Tensor>& out) const {
@@ -38,7 +42,15 @@ GcnLayer::GcnLayer(int in_features, int out_features, Rng& rng)
 Tensor GcnLayer::forward(const Tensor& a_hat, const Tensor& h) const {
   NPTSN_EXPECT(a_hat.rows() == a_hat.cols() && a_hat.rows() == h.rows(),
                "adjacency/feature shape mismatch");
-  return relu(matmul(a_hat, lin_.forward(h)));
+  return matmul_act(a_hat, lin_.forward(h), Epilogue::kRelu);
+}
+
+Tensor GcnLayer::forward_batched(const std::shared_ptr<const BlockAdjacency>& a_hats,
+                                 const Tensor& h) const {
+  // Fused affine + propagation + ReLU: bit-identical to
+  // block_matmul_relu(a_hats, lin_.forward(h)) but without materializing the
+  // stacked affine intermediate.
+  return block_gcn_fused(a_hats, h, lin_.weight(), lin_.bias());
 }
 
 void GcnLayer::collect_parameters(std::vector<Tensor>& out) const {
@@ -108,7 +120,7 @@ Mlp::Mlp(int in_features, const std::vector<int>& hidden, int out_features, Rng&
 
 Tensor Mlp::forward(Tensor x) const {
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
-    x = tanh_op(layers_[i].forward(x));
+    x = layers_[i].forward_act(x, Epilogue::kTanh);
   }
   return layers_.back().forward(x);
 }

@@ -1,6 +1,7 @@
 // Network building blocks: Linear, the GCN layer of Eq. 4, and MLP stacks.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -15,9 +16,14 @@ class Linear {
 
   // x: n x in -> n x out (bias broadcast over rows).
   Tensor forward(const Tensor& x) const;
+  // act(x W + b) as one fused tape node (GEMM + bias + activation in a
+  // single kernel pass); forward() is forward_act with Epilogue::kNone.
+  Tensor forward_act(const Tensor& x, Epilogue act) const;
 
   int in_features() const { return weight_.value().rows(); }
   int out_features() const { return weight_.value().cols(); }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
   void collect_parameters(std::vector<Tensor>& out) const;
 
  private:
@@ -34,6 +40,12 @@ class GcnLayer {
 
   // a_hat: n x n constant; h: n x in -> relu(a_hat h W + b): n x out.
   Tensor forward(const Tensor& a_hat, const Tensor& h) const;
+  // Batched forward over B same-sized graphs stacked vertically: h is
+  // (B n) x in, block g propagates through a_hats.blocks()[g]. The affine
+  // part runs as ONE stacked GEMM over all B graphs; only the n x n
+  // adjacency products stay per-graph, driven by the staged CSR index.
+  Tensor forward_batched(const std::shared_ptr<const BlockAdjacency>& a_hats,
+                         const Tensor& h) const;
 
   void collect_parameters(std::vector<Tensor>& out) const;
 

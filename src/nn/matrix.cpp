@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.hpp"
+
 namespace nptsn {
 
 Matrix::Matrix(int rows, int cols, double fill)
     : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
   NPTSN_EXPECT(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+Matrix::Matrix(int rows, int cols, UninitTag)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+  NPTSN_EXPECT(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+Matrix Matrix::uninitialized(int rows, int cols) {
+  return Matrix(rows, cols, UninitTag{});
 }
 
 Matrix Matrix::from(std::initializer_list<std::initializer_list<double>> rows) {
@@ -60,16 +71,131 @@ bool Matrix::all_finite() const {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   NPTSN_EXPECT(a.cols() == b.rows(), "matmul shape mismatch");
-  Matrix out(a.rows(), b.cols());
-  // i-k-j order: streams through b and out rows, cache friendly for row-major.
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a.at(i, k);
-      if (aik == 0.0) continue;  // A-hat and feature blocks are sparse
-      const double* brow = b.data() + static_cast<std::size_t>(k) * static_cast<std::size_t>(b.cols());
-      double* orow = out.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(out.cols());
-      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::matmul_fast(a, b, out);
+  } else {
+    nnk::matmul_reference(a, b, out);
+  }
+  return out;
+}
+
+Matrix matmul_transposed(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.cols() == b.cols(), "matmul_transposed shape mismatch");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::matmul_nt_fast(a, b, out);
+  } else {
+    nnk::matmul_nt_reference(a, b, out);
+  }
+  return out;
+}
+
+Matrix matmul_transposed_a(const Matrix& a, const Matrix& b) {
+  NPTSN_EXPECT(a.rows() == b.rows(), "matmul_transposed_a shape mismatch");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::matmul_tn_fast(a, b, out);
+  } else {
+    nnk::matmul_tn_reference(a, b, out);
+  }
+  return out;
+}
+
+Matrix affine(const Matrix& x, const Matrix& w, const Matrix* bias, Epilogue act) {
+  NPTSN_EXPECT(x.cols() == w.rows(), "affine shape mismatch");
+  NPTSN_EXPECT(bias == nullptr || (bias->rows() == 1 && bias->cols() == w.cols()),
+               "affine bias shape mismatch");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::affine_fast(x, w, bias, act, out);
+  } else {
+    nnk::affine_reference(x, w, bias, act, out);
+  }
+  return out;
+}
+
+Matrix matmul_epilogue(const Matrix& a, const Matrix& b, Epilogue act) {
+  NPTSN_EXPECT(a.cols() == b.rows(), "matmul_epilogue shape mismatch");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::affine_fast(a, b, nullptr, act, out);
+  } else {
+    nnk::affine_reference(a, b, nullptr, act, out);
+  }
+  return out;
+}
+
+BlockAdjacency::BlockAdjacency(std::vector<Matrix> blocks)
+    : blocks_(std::move(blocks)) {
+  NPTSN_EXPECT(!blocks_.empty(), "BlockAdjacency needs at least one block");
+  n_ = blocks_.front().rows();
+  NPTSN_EXPECT(n_ > 0, "BlockAdjacency needs non-empty blocks");
+  std::size_t nnz = 0;
+  for (const Matrix& b : blocks_) {
+    NPTSN_EXPECT(b.rows() == n_ && b.cols() == n_,
+                 "BlockAdjacency blocks must all be square and same-size");
+    for (int e = 0; e < b.size(); ++e) nnz += b.data()[e] != 0.0;
+  }
+  row_ptr_.reserve(static_cast<std::size_t>(count()) * n_ + 1);
+  cols_.reserve(nnz);
+  vals_.reserve(nnz);
+  row_ptr_.push_back(0);
+  for (const Matrix& b : blocks_) {
+    for (int r = 0; r < n_; ++r) {
+      const double* row = b.data() + static_cast<std::size_t>(r) * n_;
+      for (int c = 0; c < n_; ++c) {
+        if (row[c] == 0.0) continue;
+        cols_.push_back(c);
+        vals_.push_back(row[c]);
+      }
+      row_ptr_.push_back(cols_.size());
     }
+  }
+}
+
+namespace {
+
+void check_block_shapes(const BlockAdjacency& adj, const Matrix& h, const char* what) {
+  NPTSN_EXPECT(h.rows() == adj.block_size() * adj.count(),
+               std::string(what) + " stacked rows do not match the block count");
+}
+
+}  // namespace
+
+Matrix block_diag_matmul(const BlockAdjacency& adj, const Matrix& h, Epilogue act) {
+  check_block_shapes(adj, h, "block_diag_matmul");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::block_affine_fast(adj, h, act, out);
+  } else {
+    nnk::block_affine_reference(adj, h, act, out);
+  }
+  return out;
+}
+
+Matrix block_diag_matmul_tn(const BlockAdjacency& adj, const Matrix& delta) {
+  check_block_shapes(adj, delta, "block_diag_matmul_tn");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::block_matmul_tn_fast(adj, delta, out);
+  } else {
+    nnk::block_matmul_tn_reference(adj, delta, out);
+  }
+  return out;
+}
+
+Matrix block_diag_gcn(const BlockAdjacency& adj, const Matrix& h,
+                      const Matrix& w, const Matrix& bias) {
+  check_block_shapes(adj, h, "block_diag_gcn");
+  NPTSN_EXPECT(h.cols() == w.rows(), "block_diag_gcn affine shape mismatch");
+  NPTSN_EXPECT(bias.rows() == 1 && bias.cols() == w.cols(),
+               "block_diag_gcn bias shape mismatch");
+  Matrix out;
+  if (nn_kernel() == NnKernel::kFast) {
+    nnk::block_gcn_fast(adj, h, w, bias, out);
+  } else {
+    nnk::block_gcn_reference(adj, h, w, bias, out);
   }
   return out;
 }

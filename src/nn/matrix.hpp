@@ -1,20 +1,74 @@
 // Dense row-major matrix of doubles — the numeric workhorse under the
-// autograd tape. Sized for this problem (tens of nodes, hundreds of
-// features): simple loops, no BLAS, exact reproducibility.
+// autograd tape. No BLAS, exact reproducibility. Two kernel families sit
+// behind the GEMM entry points: the original naive reference loops and a
+// register-blocked, cache-tiled fast family (nn/kernels.hpp); the active
+// family is a process-global switch driven by NptsnConfig::nn_kernel.
 #pragma once
 
 #include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "util/expect.hpp"
 
 namespace nptsn {
 
+// GEMM kernel family (DESIGN.md §11). kReference keeps the naive loops as
+// the differential-testing ground truth; kFast is the blocked/tiled family.
+// Both are deterministic run-to-run and across thread counts.
+enum class NnKernel { kReference, kFast };
+
+// Process-global kernel selection. plan() sets this from
+// NptsnConfig::nn_kernel before training starts; concurrent planners in one
+// process share the switch, so set it once per process.
+void set_nn_kernel(NnKernel kernel);
+NnKernel nn_kernel();
+
+// Threads for the parallel fast-GEMM path (1 = always serial). The parallel
+// path partitions output rows into fixed-size chunks independent of the
+// thread count, so results are bit-identical at every setting.
+void set_nn_kernel_threads(int threads);
+int nn_kernel_threads();
+
+// Fused epilogue applied by affine/matmul_epilogue in the same pass that
+// writes the output tile.
+enum class Epilogue { kNone, kRelu, kTanh };
+
+namespace detail {
+
+// Allocator that leaves doubles default-initialized (i.e. uninitialized)
+// when the container value-constructs without arguments. Matrix uses it so
+// Matrix::uninitialized can skip the zero-fill pass for outputs a kernel is
+// about to overwrite completely; the ordinary constructors still fill
+// explicitly, so their semantics are unchanged.
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+}  // namespace detail
+
 class Matrix {
  public:
   Matrix() = default;
   Matrix(int rows, int cols, double fill = 0.0);
   static Matrix from(std::initializer_list<std::initializer_list<double>> rows);
+  // Allocates without filling — every element is indeterminate until
+  // written. Only for outputs the caller overwrites in full before any read
+  // (the fast GEMM kernels); everything else wants the zero-filling
+  // constructor.
+  static Matrix uninitialized(int rows, int cols);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -38,13 +92,77 @@ class Matrix {
   bool all_finite() const;
 
  private:
+  struct UninitTag {};
+  Matrix(int rows, int cols, UninitTag);
+
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double, detail::DefaultInitAllocator<double>> data_;
 };
 
-// Free-function kernels. All check shapes.
+// A batch of same-sized square blocks (the per-graph normalized adjacencies
+// of a stacked GCN batch) staged for repeated block-diagonal products. The
+// constructor builds a CSR index over every block once; the fast propagation
+// kernels then walk nonzeros directly instead of re-scanning the dense
+// blocks on every layer, head, and PPO iteration that reuses the batch. The
+// dense blocks are retained verbatim — the reference family and the backward
+// kernels read them, and the CSR is ordered ascending by column within each
+// row, so walking it performs the exact accumulation chain the dense scan
+// performs (bit-identical under either strategy).
+class BlockAdjacency {
+ public:
+  explicit BlockAdjacency(std::vector<Matrix> blocks);
+
+  int block_size() const { return n_; }
+  int count() const { return static_cast<int>(blocks_.size()); }
+  const std::vector<Matrix>& blocks() const { return blocks_; }
+
+  // CSR view of local row r of block g: column indices cols()[t] and values
+  // vals()[t] for t in [row_begin(g, r), row_end(g, r)), ascending columns.
+  std::size_t row_begin(int g, int r) const {
+    return row_ptr_[static_cast<std::size_t>(g) * n_ + r];
+  }
+  std::size_t row_end(int g, int r) const {
+    return row_ptr_[static_cast<std::size_t>(g) * n_ + r + 1];
+  }
+  const int* csr_cols() const { return cols_.data(); }
+  const double* csr_vals() const { return vals_.data(); }
+
+ private:
+  std::vector<Matrix> blocks_;
+  int n_ = 0;
+  std::vector<std::size_t> row_ptr_;  // count * n + 1 entries
+  std::vector<int> cols_;
+  std::vector<double> vals_;
+};
+
+// Free-function kernels. All check shapes. The GEMM entry points (matmul,
+// matmul_transposed, matmul_transposed_a, affine, matmul_epilogue) dispatch
+// on the process-global kernel family.
 Matrix matmul(const Matrix& a, const Matrix& b);
+// a (M x K) * b^T with b given row-major as N x K — the gradient kernel
+// grad_x = grad * W^T without materializing the transpose.
+Matrix matmul_transposed(const Matrix& a, const Matrix& b);
+// a^T * b with a given row-major as K x M — the gradient kernel
+// grad_W = x^T * grad without materializing the transpose.
+Matrix matmul_transposed_a(const Matrix& a, const Matrix& b);
+// act(x * w + bias) in one pass; bias is a 1 x N row (may be null) and act
+// is applied elementwise as the output tile is written.
+Matrix affine(const Matrix& x, const Matrix& w, const Matrix* bias, Epilogue act);
+// act(a * b) — a matmul with a fused activation epilogue.
+Matrix matmul_epilogue(const Matrix& a, const Matrix& b, Epilogue act);
+// Block-diagonal batched GEMM over a stacked batch (the GCN propagation
+// step): h stacks one n x C row block per graph and row block g of the
+// result is act(adj.blocks()[g] * h_g).
+Matrix block_diag_matmul(const BlockAdjacency& adj, const Matrix& h, Epilogue act);
+// Backward companion: row block g of the result is blocks[g]^T * delta_g.
+Matrix block_diag_matmul_tn(const BlockAdjacency& adj, const Matrix& delta);
+// Fused GCN layer: row block g of the result is
+// relu(blocks[g] * (h_g * w + bias)) — affine, propagation, and activation
+// in one kernel call so the full-size affine intermediate never
+// materializes. bias is a 1 x w.cols() row.
+Matrix block_diag_gcn(const BlockAdjacency& adj, const Matrix& h,
+                      const Matrix& w, const Matrix& bias);
 Matrix transpose(const Matrix& a);
 Matrix add(const Matrix& a, const Matrix& b);
 Matrix sub(const Matrix& a, const Matrix& b);

@@ -1,5 +1,8 @@
 #include "rl/actor_critic.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -69,6 +72,68 @@ Tensor ActorCritic::encode(const Observation& obs) const {
   return concat_cols(embedding, Tensor::constant(obs.params));
 }
 
+ActorCritic::ObservationBatch ActorCritic::stage_batch(
+    const std::vector<const Observation*>& obs) const {
+  NPTSN_EXPECT(!obs.empty(), "stage_batch needs at least one observation");
+  ObservationBatch staged;
+  staged.batch = static_cast<int>(obs.size());
+  staged.observations = obs;
+  if (!gat_.empty()) return staged;  // per-observation fallback stages nothing
+
+  const int batch = staged.batch;
+  const int n = config_.num_nodes;
+  // One stacked feature matrix for all B graphs, plus the per-graph
+  // adjacencies (with their CSR index) the block propagation needs.
+  Matrix features(batch * n, config_.feature_dim);
+  std::vector<Matrix> a_hats;
+  if (!gcn_.empty()) a_hats.reserve(obs.size());
+  for (int b = 0; b < batch; ++b) {
+    const Observation& o = *obs[static_cast<std::size_t>(b)];
+    NPTSN_EXPECT(o.features.rows() == n && o.features.cols() == config_.feature_dim,
+                 "observation feature shape mismatch");
+    NPTSN_EXPECT(o.a_hat.rows() == n && o.a_hat.cols() == n,
+                 "observation adjacency shape mismatch");
+    NPTSN_EXPECT(o.params.rows() == 1 && o.params.cols() == config_.param_dim,
+                 "observation parameter shape mismatch");
+    std::copy(o.features.data(), o.features.data() + o.features.size(),
+              features.data() + static_cast<std::size_t>(b) * n * config_.feature_dim);
+    if (!gcn_.empty()) a_hats.push_back(o.a_hat);
+  }
+  staged.features = Tensor::constant(std::move(features));
+  if (!gcn_.empty()) {
+    staged.a_hats = std::make_shared<const BlockAdjacency>(std::move(a_hats));
+  }
+  if (config_.param_dim > 0) {
+    Matrix params(batch, config_.param_dim);
+    for (int b = 0; b < batch; ++b) {
+      const Matrix& p = obs[static_cast<std::size_t>(b)]->params;
+      std::copy(p.data(), p.data() + p.size(),
+                params.data() + static_cast<std::size_t>(b) * config_.param_dim);
+    }
+    staged.params = Tensor::constant(std::move(params));
+  }
+  return staged;
+}
+
+Tensor ActorCritic::encode_batch(const ObservationBatch& staged) const {
+  NPTSN_EXPECT(staged.batch > 0, "encode_batch needs a staged batch");
+
+  if (!gat_.empty()) {
+    // GAT (the rejected ablation encoder) has no batched propagation; stack
+    // the per-observation encodings instead.
+    std::vector<Tensor> rows;
+    rows.reserve(staged.observations.size());
+    for (const Observation* o : staged.observations) rows.push_back(encode(*o));
+    return stack_rows(rows);
+  }
+
+  Tensor h = staged.features;
+  for (const auto& layer : gcn_) h = layer.forward_batched(staged.a_hats, h);
+  Tensor embedding = mean_rows_blocks(h, config_.num_nodes);
+  if (config_.param_dim == 0) return embedding;
+  return concat_cols(embedding, staged.params);
+}
+
 ActorCritic::Output ActorCritic::forward(const Observation& obs) const {
   const Tensor encoded = encode(obs);
   return {actor_.forward(encoded), critic_.forward(encoded)};
@@ -80,6 +145,22 @@ Tensor ActorCritic::forward_logits(const Observation& obs) const {
 
 Tensor ActorCritic::forward_value(const Observation& obs) const {
   return critic_.forward(encode(obs));
+}
+
+Tensor ActorCritic::forward_logits_batch(const ObservationBatch& staged) const {
+  return actor_.forward(encode_batch(staged));
+}
+
+Tensor ActorCritic::forward_value_batch(const ObservationBatch& staged) const {
+  return critic_.forward(encode_batch(staged));
+}
+
+Tensor ActorCritic::forward_logits_batch(const std::vector<const Observation*>& obs) const {
+  return forward_logits_batch(stage_batch(obs));
+}
+
+Tensor ActorCritic::forward_value_batch(const std::vector<const Observation*>& obs) const {
+  return forward_value_batch(stage_batch(obs));
 }
 
 std::vector<Tensor> ActorCritic::actor_parameters() const {

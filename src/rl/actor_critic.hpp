@@ -42,6 +42,37 @@ class ActorCritic {
   Tensor forward_logits(const Observation& obs) const;
   Tensor forward_value(const Observation& obs) const;
 
+  // Everything weight-independent about a batch of observations, staged
+  // once: the stacked feature matrix, the stacked parameter rows, and the
+  // adjacency batch with its CSR index. One PPO update forwards the same
+  // observations through the heads dozens of times while only the weights
+  // change — stage once per update, reuse across every iteration of both
+  // head loops. The source observations must outlive the staged batch (the
+  // GAT fallback and shape checks read through the retained pointers).
+  // features/params are staged as constant Tensors (safe to reuse across
+  // tapes: constants receive no gradient and hold no traversal state), so a
+  // reuse costs no copy at all.
+  struct ObservationBatch {
+    int batch = 0;
+    Tensor features;                               // constant, (B n) x F
+    Tensor params;                                 // constant, B x P (undefined when P == 0)
+    std::shared_ptr<const BlockAdjacency> a_hats;  // null unless GCN layers exist
+    std::vector<const Observation*> observations;  // per-observation fallback path
+  };
+  ObservationBatch stage_batch(const std::vector<const Observation*>& obs) const;
+
+  // Batched head forwards over B observations: the GCN affine stages and
+  // every MLP layer run as ONE stacked GEMM over all B inputs instead of B
+  // per-observation calls (the PPO-update hot path; DESIGN.md §11). Row i
+  // of the result equals the per-observation forward of obs[i] bit-for-bit
+  // under either kernel family.
+  Tensor forward_logits_batch(const ObservationBatch& staged) const;  // B x A
+  Tensor forward_value_batch(const ObservationBatch& staged) const;   // B x 1
+  // Convenience overloads that stage per call. Pointers must stay valid for
+  // the call only.
+  Tensor forward_logits_batch(const std::vector<const Observation*>& obs) const;
+  Tensor forward_value_batch(const std::vector<const Observation*>& obs) const;
+
   const Config& config() const { return config_; }
 
   // GCN + actor head (PPO gradient ascent target).
@@ -55,6 +86,9 @@ class ActorCritic {
 
  private:
   Tensor encode(const Observation& obs) const;  // 1 x (embedding + P)
+  // B x (embedding + P); GCN encoders stack all graphs, GAT falls back to
+  // per-observation encoding with a row stack.
+  Tensor encode_batch(const ObservationBatch& staged) const;
 
   Config config_;
   std::vector<GcnLayer> gcn_;

@@ -1,0 +1,344 @@
+#include "util/bench_compare.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+double JsonValue::number() const {
+  NPTSN_EXPECT(type_ == Type::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+bool JsonValue::boolean() const {
+  NPTSN_EXPECT(type_ == Type::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+const std::string& JsonValue::string() const {
+  NPTSN_EXPECT(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  NPTSN_EXPECT(type_ == Type::kArray, "JSON value is not an array");
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  NPTSN_EXPECT(type_ == Type::kObject, "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  NPTSN_EXPECT(type_ == Type::kObject, "JSON value is not an object");
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue(); }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue j;
+  j.type_ = Type::kArray;
+  j.array_ = std::move(items);
+  return j;
+}
+
+JsonValue JsonValue::make_object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue j;
+  j.type_ = Type::kObject;
+  j.object_ = std::move(members);
+  return j;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("malformed JSON at offset " + std::to_string(pos_) + ": " +
+                             what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect_char(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect_char('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect_char(':');
+      members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue::make_object(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect_char('[');
+    std::vector<JsonValue> items;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue::make_array(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect_char('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          // Bench documents are pure ASCII; \uXXXX is accepted but mapped
+          // to '?' rather than dragging in UTF-8 encoding.
+          case 'u':
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            pos_ += 4;
+            out.push_back('?');
+            break;
+          default: fail("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (!digits) fail("expected a number");
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp_start) fail("truncated exponent");
+    }
+    return JsonValue::make_number(std::strtod(text_.c_str() + start, nullptr));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Is this leaf key one of the machine-normalized metrics the gate tracks?
+bool is_tracked_key(const std::string& key) {
+  return starts_with(key, "speedup") || key == "overhead_percent";
+}
+
+// Normalized "time" for a tracked metric: larger means slower.
+double normalized_time(const std::string& key, double value) {
+  if (starts_with(key, "speedup")) {
+    NPTSN_EXPECT(value > 0.0, "speedup metric must be positive: " + key);
+    return 1.0 / value;
+  }
+  // overhead_percent: 0 -> 1x, 30 -> 1.3x, -5 -> 0.95x.
+  const double t = 1.0 + value / 100.0;
+  NPTSN_EXPECT(t > 0.0, "overhead_percent below -100: " + key);
+  return t;
+}
+
+void collect(const JsonValue& v, const std::string& path,
+             std::map<std::string, double>& out) {
+  if (v.is_object()) {
+    for (const auto& [key, child] : v.members()) {
+      const std::string child_path = path.empty() ? key : path + "/" + key;
+      if (child.is_number() && is_tracked_key(key)) {
+        out[child_path] = child.number();
+      } else {
+        collect(child, child_path, out);
+      }
+    }
+    return;
+  }
+  if (v.is_array()) {
+    const auto& items = v.array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      std::string segment = std::to_string(i);
+      if (items[i].is_object()) {
+        if (const JsonValue* name = items[i].find("name"); name && name->is_string()) {
+          segment = name->string();
+        }
+      }
+      collect(items[i], path.empty() ? segment : path + "/" + segment, out);
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+std::map<std::string, double> tracked_metrics(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  collect(doc, "", out);
+  return out;
+}
+
+BenchComparison compare_bench_results(const JsonValue& baseline, const JsonValue& fresh,
+                                      double threshold) {
+  NPTSN_EXPECT(threshold >= 1.0, "threshold is a slowdown ratio, must be >= 1");
+  const std::map<std::string, double> base = tracked_metrics(baseline);
+  const std::map<std::string, double> now = tracked_metrics(fresh);
+
+  BenchComparison result;
+  for (const auto& [metric, base_value] : base) {
+    const auto it = now.find(metric);
+    if (it == now.end()) {
+      result.missing.push_back(metric);
+      continue;
+    }
+    ++result.compared;
+    const std::string leaf = metric.substr(metric.rfind('/') + 1);
+    const double slowdown =
+        normalized_time(leaf, it->second) / normalized_time(leaf, base_value);
+    if (slowdown > threshold) {
+      result.regressions.push_back({metric, base_value, it->second, slowdown});
+    }
+  }
+  return result;
+}
+
+}  // namespace nptsn

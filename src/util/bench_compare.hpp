@@ -1,0 +1,90 @@
+// Performance-regression gate over the committed benchmark baselines.
+//
+// Every bench/micro_* binary emits a JSON document; the fast-mode results are
+// committed under bench/results/. CI re-runs the benches and feeds each fresh
+// document plus its committed baseline through compare_bench_results(), which
+// fails the build when a tracked metric regressed by more than the threshold.
+//
+// Only MACHINE-NORMALIZED ratio metrics are tracked — raw seconds depend on
+// the host and would gate on CI-runner weather:
+//   - keys starting with "speedup"  (higher is better; time t = 1 / v)
+//   - the key "overhead_percent"    (lower is better;  time t = 1 + v / 100)
+// Everything else (seconds, counts, flags) is ignored. A tracked metric that
+// exists in the baseline but vanished from the fresh run is an error too:
+// silently dropping a metric must not read as "no regression".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nptsn {
+
+// --- minimal JSON reader -----------------------------------------------------
+// Just enough JSON for the bench documents: objects, arrays, numbers, strings,
+// booleans, null. parse_json throws std::runtime_error (with an offset) on
+// malformed input — the CI smoke job relies on that to catch truncated output.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  double number() const;
+  bool boolean() const;
+  const std::string& string() const;
+  const std::vector<JsonValue>& array() const;
+  // Object members in document order (bench docs rely on no key ordering).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  // First member with the given key, or nullptr.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+JsonValue parse_json(const std::string& text);
+
+// --- metric extraction and comparison ---------------------------------------
+
+// Flattened tracked metrics: path -> value. Paths name array elements by their
+// "name" member when present ("scenarios/ORION/speedup_epoch_forward"), by
+// index otherwise, so reordered scenarios still pair up.
+std::map<std::string, double> tracked_metrics(const JsonValue& doc);
+
+struct BenchRegression {
+  std::string metric;     // flattened path
+  double baseline = 0.0;  // metric value in the committed baseline
+  double fresh = 0.0;     // metric value in the fresh run
+  double slowdown = 0.0;  // normalized fresh time / baseline time
+};
+
+struct BenchComparison {
+  int compared = 0;                          // tracked metrics present in both
+  std::vector<BenchRegression> regressions;  // slowdown > threshold
+  std::vector<std::string> missing;          // in baseline, absent from fresh
+  bool ok() const { return regressions.empty() && missing.empty(); }
+};
+
+// threshold is the maximum tolerated slowdown ratio (1.3 = 30% slower).
+BenchComparison compare_bench_results(const JsonValue& baseline, const JsonValue& fresh,
+                                      double threshold);
+
+}  // namespace nptsn

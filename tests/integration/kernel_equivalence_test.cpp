@@ -1,0 +1,143 @@
+// Trainer-level equivalence of the two GEMM kernel families: a short ADS run
+// under the fast kernels must make the SAME decisions as one under the
+// reference kernels — identical action sequences (observable as bit-identical
+// per-epoch episode rewards), identical final topology — with only the losses
+// allowed to drift inside the FMA contraction envelope. Plus: kill-and-resume
+// under the fast family stays byte-identical to an uninterrupted fast run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "nn/matrix.hpp"
+#include "scenarios/ads.hpp"
+#include "testing/corridor_env.hpp"
+#include "tsn/stateful.hpp"
+
+namespace nptsn {
+namespace {
+
+using testing::CorridorEnv;
+using testing::corridor_net_config;
+using testing::corridor_trainer_config;
+
+class KernelGuard {
+ public:
+  KernelGuard() : kernel_(nn_kernel()), threads_(nn_kernel_threads()) {}
+  ~KernelGuard() {
+    set_nn_kernel(kernel_);
+    set_nn_kernel_threads(threads_);
+  }
+
+ private:
+  NnKernel kernel_;
+  int threads_;
+};
+
+NptsnConfig short_ads_config(NnKernel kernel) {
+  NptsnConfig c;
+  c.epochs = 2;
+  c.steps_per_epoch = 48;
+  c.mlp_hidden = {32, 32};
+  c.path_actions = 6;
+  c.train_actor_iters = 6;
+  c.train_critic_iters = 6;
+  c.seed = 7;
+  c.nn_kernel = kernel;
+  return c;
+}
+
+void expect_same_topology(const Topology& a, const Topology& b) {
+  EXPECT_EQ(a.cost(), b.cost());
+  auto ea = a.graph().edges();
+  auto eb = b.graph().edges();
+  ASSERT_EQ(ea.size(), eb.size());
+  auto key = [](const Edge& e) { return std::make_pair(std::min(e.u, e.v), std::max(e.u, e.v)); };
+  auto by_key = [&](const Edge& x, const Edge& y) { return key(x) < key(y); };
+  std::sort(ea.begin(), ea.end(), by_key);
+  std::sort(eb.begin(), eb.end(), by_key);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(key(ea[i]), key(eb[i])) << "edge " << i;
+  }
+  ASSERT_EQ(a.graph().num_nodes(), b.graph().num_nodes());
+  for (NodeId v = 0; v < a.graph().num_nodes(); ++v) {
+    EXPECT_EQ(a.node_asil(v), b.node_asil(v)) << "node " << static_cast<int>(v);
+  }
+}
+
+TEST(KernelEquivalence, ShortAdsRunMatchesAcrossKernelFamilies) {
+  KernelGuard guard;
+  const auto p = with_flows(make_ads(), ads_flows());
+  const HeuristicRecovery nbf;
+  const auto fast = plan(p, nbf, short_ads_config(NnKernel::kFast));
+  const auto reference = plan(p, nbf, short_ads_config(NnKernel::kReference));
+
+  // Same action sequences => the environment pays out bit-identical rewards
+  // and both runs discover the same solutions.
+  ASSERT_EQ(fast.history.size(), reference.history.size());
+  for (std::size_t i = 0; i < fast.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast.history[i].mean_episode_reward,
+                     reference.history[i].mean_episode_reward)
+        << "epoch " << i;
+    EXPECT_EQ(fast.history[i].episodes_finished, reference.history[i].episodes_finished);
+    // Losses are computed BY the kernels, so they carry the FMA contraction
+    // difference — close, not bitwise.
+    EXPECT_NEAR(fast.history[i].actor_loss, reference.history[i].actor_loss, 1e-6);
+    EXPECT_NEAR(fast.history[i].critic_loss, reference.history[i].critic_loss, 1e-6);
+  }
+  EXPECT_EQ(fast.feasible, reference.feasible);
+  EXPECT_EQ(fast.solutions_found, reference.solutions_found);
+  ASSERT_EQ(fast.best.has_value(), reference.best.has_value());
+  if (fast.best.has_value()) expect_same_topology(*fast.best, *reference.best);
+}
+
+TEST(KernelEquivalence, KillAndResumeUnderFastKernelsIsByteIdentical) {
+  KernelGuard guard;
+  set_nn_kernel(NnKernel::kFast);
+
+  auto make_trainer = [](ActorCritic& net, int epochs) {
+    auto config = corridor_trainer_config();
+    config.epochs = epochs;
+    return std::make_unique<Trainer>(
+        net, [] { return std::make_unique<CorridorEnv>(); }, config);
+  };
+
+  // Uninterrupted fast run.
+  Rng rng_ref(17);
+  ActorCritic net_ref(corridor_net_config(), rng_ref);
+  auto reference = make_trainer(net_ref, 5);
+  const auto ref_history = reference->train();
+  ASSERT_EQ(ref_history.size(), 5u);
+  const std::vector<std::uint8_t> ref_state = reference->save_state();
+
+  // Same run killed after 3 epochs and resumed in a fresh trainer.
+  Rng rng_a(17);
+  ActorCritic net_a(corridor_net_config(), rng_a);
+  auto first = make_trainer(net_a, 3);
+  first->train();
+  const auto snapshot = first->save_state();
+  first.reset();
+
+  Rng rng_b(4444);  // different init; load_state overwrites everything
+  ActorCritic net_b(corridor_net_config(), rng_b);
+  auto second = make_trainer(net_b, 5);
+  second->load_state(snapshot);
+  const auto tail = second->train();
+  ASSERT_EQ(tail.size(), 2u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tail[i].mean_episode_reward, ref_history[i + 3].mean_episode_reward);
+    EXPECT_DOUBLE_EQ(tail[i].actor_loss, ref_history[i + 3].actor_loss);
+    EXPECT_DOUBLE_EQ(tail[i].critic_loss, ref_history[i + 3].critic_loss);
+  }
+
+  // The strongest form of the claim: the serialized end state (weights, Adam
+  // moments, RNG streams, epoch counter) is byte-identical.
+  const std::vector<std::uint8_t> resumed_state = second->save_state();
+  ASSERT_EQ(resumed_state.size(), ref_state.size());
+  EXPECT_TRUE(resumed_state == ref_state);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -1,0 +1,156 @@
+#include "util/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace nptsn {
+namespace {
+
+// A miniature bench document in the shared micro-bench schema.
+const char* kBaseline = R"({
+  "bench": "micro_demo",
+  "mode": "fast",
+  "reps": 3,
+  "gemm": [
+    {"name": "affine", "m": 4096, "k": 37, "n": 32, "seconds_fast": 0.004, "speedup": 4.0}
+  ],
+  "scenarios": [
+    {"name": "ADS", "seconds_reference": 0.02, "speedup_epoch_forward": 3.5,
+     "overhead_percent": 1.0},
+    {"name": "ORION", "speedup_epoch_forward": 2.1, "overhead_percent": -4.0}
+  ]
+})";
+
+std::string with(const std::string& doc, const std::string& from, const std::string& to) {
+  std::string out = doc;
+  const std::size_t at = out.find(from);
+  EXPECT_NE(at, std::string::npos);
+  out.replace(at, from.size(), to);
+  return out;
+}
+
+TEST(JsonParser, RoundTripsBenchDocument) {
+  const JsonValue doc = parse_json(kBaseline);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("bench")->string(), "micro_demo");
+  EXPECT_DOUBLE_EQ(doc.find("reps")->number(), 3.0);
+  const auto& scenarios = doc.find("scenarios")->array();
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[1].find("name")->string(), "ORION");
+  EXPECT_DOUBLE_EQ(scenarios[1].find("overhead_percent")->number(), -4.0);
+}
+
+TEST(JsonParser, ParsesScientificNotationAndEscapes) {
+  const JsonValue doc = parse_json(R"({"v": 1.89e-15, "s": "a\n\"b\"", "t": true})");
+  EXPECT_DOUBLE_EQ(doc.find("v")->number(), 1.89e-15);
+  EXPECT_EQ(doc.find("s")->string(), "a\n\"b\"");
+  EXPECT_TRUE(doc.find("t")->boolean());
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1"), std::runtime_error);          // truncated
+  EXPECT_THROW(parse_json("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\": 1e}"), std::runtime_error);
+}
+
+TEST(TrackedMetrics, ExtractsOnlyNormalizedRatios) {
+  const auto metrics = tracked_metrics(parse_json(kBaseline));
+  // speedup* and overhead_percent are tracked; raw seconds and counts are not.
+  ASSERT_EQ(metrics.size(), 5u);
+  EXPECT_DOUBLE_EQ(metrics.at("gemm/affine/speedup"), 4.0);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/speedup_epoch_forward"), 3.5);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ORION/speedup_epoch_forward"), 2.1);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/overhead_percent"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ORION/overhead_percent"), -4.0);
+  EXPECT_EQ(metrics.count("scenarios/ADS/seconds_reference"), 0u);
+  EXPECT_EQ(metrics.count("gemm/affine/m"), 0u);
+}
+
+TEST(BenchCompare, IdenticalRunPasses) {
+  const JsonValue baseline = parse_json(kBaseline);
+  const JsonValue fresh = parse_json(kBaseline);
+  const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
+  EXPECT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp.compared, 5);
+  EXPECT_TRUE(cmp.regressions.empty());
+  EXPECT_TRUE(cmp.missing.empty());
+}
+
+TEST(BenchCompare, FlagsInjectedSpeedupRegression) {
+  const JsonValue baseline = parse_json(kBaseline);
+  // ORION epoch-forward speedup drops 2.1 -> 1.5: normalized time rises by
+  // 2.1/1.5 = 1.4x, past the 1.3 gate.
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"speedup_epoch_forward\": 2.1", "\"speedup_epoch_forward\": 1.5"));
+  const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].metric, "scenarios/ORION/speedup_epoch_forward");
+  EXPECT_DOUBLE_EQ(cmp.regressions[0].baseline, 2.1);
+  EXPECT_DOUBLE_EQ(cmp.regressions[0].fresh, 1.5);
+  EXPECT_NEAR(cmp.regressions[0].slowdown, 1.4, 1e-12);
+}
+
+TEST(BenchCompare, FlagsInjectedOverheadRegression) {
+  const JsonValue baseline = parse_json(kBaseline);
+  // ADS overhead 1% -> 40%: normalized time 1.40/1.01 = 1.386x > 1.3.
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"overhead_percent\": 1.0", "\"overhead_percent\": 40.0"));
+  const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].metric, "scenarios/ADS/overhead_percent");
+}
+
+TEST(BenchCompare, ToleratesSlowdownInsideThreshold) {
+  const JsonValue baseline = parse_json(kBaseline);
+  // 2.1 -> 1.7 is a 1.235x slowdown, inside the 1.3 gate.
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"speedup_epoch_forward\": 2.1", "\"speedup_epoch_forward\": 1.7"));
+  EXPECT_TRUE(compare_bench_results(baseline, fresh, 1.3).ok());
+}
+
+TEST(BenchCompare, ImprovementNeverFails) {
+  const JsonValue baseline = parse_json(kBaseline);
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"speedup_epoch_forward\": 2.1", "\"speedup_epoch_forward\": 9.0"));
+  EXPECT_TRUE(compare_bench_results(baseline, fresh, 1.3).ok());
+}
+
+TEST(BenchCompare, MissingTrackedMetricFails) {
+  const JsonValue baseline = parse_json(kBaseline);
+  // The fresh run silently dropped the ORION scenario's speedup metric.
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"speedup_epoch_forward\": 2.1, ", ""));
+  const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
+  EXPECT_FALSE(cmp.ok());
+  ASSERT_EQ(cmp.missing.size(), 1u);
+  EXPECT_EQ(cmp.missing[0], "scenarios/ORION/speedup_epoch_forward");
+}
+
+TEST(BenchCompare, PairsScenariosByNameNotOrder) {
+  const JsonValue baseline = parse_json(kBaseline);
+  const JsonValue fresh = parse_json(R"({
+    "scenarios": [
+      {"name": "ORION", "speedup_epoch_forward": 2.1, "overhead_percent": -4.0},
+      {"name": "ADS", "speedup_epoch_forward": 3.5, "overhead_percent": 1.0}
+    ],
+    "gemm": [
+      {"name": "affine", "speedup": 4.0}
+    ]
+  })");
+  EXPECT_TRUE(compare_bench_results(baseline, fresh, 1.3).ok());
+}
+
+TEST(BenchCompare, RejectsNonsenseThresholdAndValues) {
+  const JsonValue baseline = parse_json(kBaseline);
+  EXPECT_THROW(compare_bench_results(baseline, baseline, 0.5), std::invalid_argument);
+  const JsonValue bad = parse_json(R"({"speedup": -2.0})");
+  EXPECT_THROW(compare_bench_results(bad, bad, 1.3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn
