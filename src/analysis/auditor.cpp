@@ -325,6 +325,7 @@ class Audit {
 
   void check_probabilities() {
     for (const ScenarioProof& proof : cert_.proofs) {
+      if (options_.deadline) options_.deadline->poll();
       if (failures_full()) return;
       const double recomputed = failure_probability(*topology_, proof.scenario);
       if (!close(recomputed, proof.probability)) {
@@ -398,6 +399,7 @@ class Audit {
       for (int order = 0; order <= maxord; ++order) {
         const bool completed =
             for_each_combination(n, order, [&](const std::vector<int>& idx) {
+              if (options_.deadline) options_.deadline->poll();
               FailureScenario scenario;
               double prob = 1.0;
               for (const int i : idx) {
@@ -483,6 +485,7 @@ class Audit {
     for (int order = 1; order <= mixed_maxord && order <= n; ++order) {
       const bool completed =
           for_each_combination(n, order, [&](const std::vector<int>& idx) {
+            if (options_.deadline) options_.deadline->poll();
             if (++clock_check >= 256) {
               clock_check = 0;
               if (std::chrono::steady_clock::now() >= deadline_) {
@@ -549,6 +552,7 @@ class Audit {
   void replay_proofs() {
     const std::size_t num_flows = problem_.flows.size();
     for (const ScenarioProof& proof : cert_.proofs) {
+      if (options_.deadline) options_.deadline->poll();
       if (failures_full()) return;
       if (proof.state.size() != num_flows) continue;  // reported in stage 0
       int unplaced = 0;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/certificate.hpp"
+#include "util/deadline.hpp"
 
 namespace nptsn {
 
@@ -66,6 +67,12 @@ struct AuditOptions {
   // Stop collecting per-scenario failures after this many (a corrupt
   // certificate can fail everywhere; the taxonomy is clear long before).
   int max_failures = 16;
+  // Cooperative execution deadline over the WHOLE audit (must outlive the
+  // call), polled once per enumerated/replayed scenario. Unlike the sweep
+  // budget above — which degrades to switch-only coverage — an expired
+  // deadline aborts the audit with DeadlineExceeded: the one exception to
+  // the never-throws contract, because a truncated audit is not a verdict.
+  const Deadline* deadline = nullptr;
 };
 
 struct AuditReport {
@@ -87,6 +94,7 @@ struct AuditReport {
 
 // Audits `certificate` against `problem`. Never throws on certificate
 // content; returns ok == false with at least one typed failure instead.
+// (An expired options.deadline is the sole exception: DeadlineExceeded.)
 AuditReport audit_certificate(const PlanningProblem& problem,
                               const ReliabilityCertificate& certificate,
                               const AuditOptions& options = {});

@@ -115,6 +115,7 @@ CertificateBuildResult build_certificate(const Topology& topology,
   const int n = static_cast<int>(candidates.size());
   for (int order = maxord; order >= 0; --order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      if (options.deadline) options.deadline->poll();
       ScenarioProof proof;
       proof.probability = 1.0;
       proof.scenario.failed_switches.reserve(idx.size());

@@ -24,6 +24,7 @@
 
 #include "net/topology.hpp"
 #include "tsn/recovery.hpp"
+#include "util/deadline.hpp"
 
 namespace nptsn {
 
@@ -81,6 +82,11 @@ struct CertificateOptions {
   // Mirrors FailureAnalyzer::Options::flow_level_redundancy: when true, end
   // stations are enumerated as failure candidates too.
   bool flow_level_redundancy = false;
+  // Cooperative execution deadline (must outlive the call). Polled once per
+  // enumerated scenario; expiry throws DeadlineExceeded — certificate
+  // construction runs the NBF over the full non-safe frontier and must not
+  // hang on adversarially generated instances.
+  const Deadline* deadline = nullptr;
 };
 
 struct CertificateBuildResult {

@@ -7,7 +7,7 @@
 namespace nptsn {
 
 ExhaustiveOutcome analyze_exhaustive(const Topology& topology, const StatelessNbf& nbf,
-                                     int max_order) {
+                                     int max_order, const Deadline* deadline) {
   const PlanningProblem& problem = topology.problem();
   const double goal = problem.reliability_goal;
   ExhaustiveOutcome outcome;
@@ -32,6 +32,7 @@ ExhaustiveOutcome analyze_exhaustive(const Topology& topology, const StatelessNb
   const int n = static_cast<int>(components.size());
   for (int order = 0; order <= max_order && order <= n; ++order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      if (deadline) deadline->poll();
       FailureScenario scenario;
       double prob = 1.0;
       for (const int i : idx) {

@@ -23,7 +23,11 @@ struct ExhaustiveOutcome {
 
 // max_order bounds the total number of failed components per scenario (the
 // probability threshold usually binds first; the bound guards tiny R).
+// deadline (optional, must outlive the call) is polled once per enumerated
+// scenario; expiry throws DeadlineExceeded — on adversarially generated
+// instances the exponential sweep must degrade gracefully, not hang.
 ExhaustiveOutcome analyze_exhaustive(const Topology& topology, const StatelessNbf& nbf,
-                                     int max_order = 4);
+                                     int max_order = 4,
+                                     const Deadline* deadline = nullptr);
 
 }  // namespace nptsn

@@ -58,6 +58,7 @@ AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
 
   for (int order = maxord; order >= 0; --order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      if (options_.deadline) options_.deadline->poll();
       FailureScenario scenario;
       scenario.failed_switches.reserve(idx.size());
       double prob = 1.0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "tsn/recovery.hpp"
+#include "util/deadline.hpp"
 
 namespace nptsn {
 
@@ -55,6 +56,10 @@ class FailureAnalyzer {
     // Ablation switch for Alg. 3 line 11's subset pruning; disabling it must
     // never change the verdict, only the NBF call count.
     bool use_superset_pruning = true;
+    // Cooperative execution deadline (must outlive the analyzer). Polled once
+    // per enumerated scenario; expiry aborts the analysis with a typed
+    // DeadlineExceeded instead of running an unbounded frontier to the end.
+    const Deadline* deadline = nullptr;
   };
 
   // The NBF must outlive the analyzer.

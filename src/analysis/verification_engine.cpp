@@ -127,6 +127,7 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     bool done = false;
     for (int order = maxord; order >= 0 && !done; --order) {
       const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+        if (options_.deadline) options_.deadline->poll();
         FailureScenario scenario;
         scenario.failed_switches.reserve(idx.size());
         double prob = 1.0;
@@ -283,6 +284,7 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
   bool done = false;
   for (int order = maxord; order >= 0 && !done; --order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
+      if (options_.deadline) options_.deadline->poll();
       Item item;
       item.scenario.failed_switches.reserve(idx.size());
       for (const int i : idx) {

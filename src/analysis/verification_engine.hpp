@@ -75,6 +75,11 @@ class VerificationEngine {
     // equivalent to the sequential analyzer under the same settings.
     bool flow_level_redundancy = false;
     bool use_superset_pruning = true;
+    // Cooperative execution deadline (must outlive the engine). Polled once
+    // per enumerated scenario on the serial reduction path — never from pool
+    // workers — so expiry surfaces as one DeadlineExceeded with at most one
+    // wave of speculative NBF evaluations in flight.
+    const Deadline* deadline = nullptr;
     // Cross-step reuse (residual verdict memo + outcome cache). Disabling
     // it leaves a purely parallel engine.
     bool incremental = true;

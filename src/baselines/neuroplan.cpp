@@ -8,7 +8,12 @@ NeuroPlanEnv::NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& n
                            const NptsnConfig& config, SolutionRecorder& recorder)
     : problem_(&problem),
       config_(&config),
-      analyzer_(nbf),
+      analyzer_(nbf,
+                [&config] {
+                  FailureAnalyzer::Options options;
+                  options.deadline = config.deadline.get();
+                  return options;
+                }()),
       encoder_(problem, /*k=*/1),
       recorder_(&recorder),
       links_(problem.connections.edges()),
@@ -17,6 +22,7 @@ NeuroPlanEnv::NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& n
   if (config.use_verification_engine) {
     VerificationEngine::Options options;
     options.num_threads = config.verification_threads;
+    options.deadline = config.deadline.get();
     engine_ = std::make_unique<VerificationEngine>(nbf, options);
   }
   // The encoder's dynamic-action block stays empty: NeuroPlan's actions are
@@ -156,6 +162,9 @@ NeuroPlanResult run_neuroplan(const PlanningProblem& problem, const StatelessNbf
   trainer_config.ppo.target_kl = config.target_kl;
   trainer_config.num_workers = config.num_workers;
   trainer_config.seed = rng.next_u64();
+  trainer_config.max_wall_seconds = config.max_wall_seconds;
+  trainer_config.max_total_steps = config.max_total_steps;
+  trainer_config.deadline = config.deadline.get();
 
   Trainer trainer(
       net,

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "util/deadline.hpp"
 
 namespace nptsn {
 
@@ -125,6 +127,20 @@ struct NptsnConfig {
   // reports which budget fired. 0 disables the respective limit.
   double max_wall_seconds = 0.0;
   std::int64_t max_total_steps = 0;
+
+  // --- hardened execution envelope --------------------------------------------
+  // Cooperative deadline token (util/deadline) threaded through every
+  // potentially long-running loop in plan(): rollout steps, the failure
+  // analyzer / verification engine, certificate construction, and the final
+  // audit. Unlike the budgets above — which only fire at epoch boundaries —
+  // the token is polled from INSIDE each analysis, so even a single
+  // adversarial instance whose first verification would run for hours
+  // terminates promptly with PlanningResult::stopped_reason set. Training
+  // stops restore the last epoch-boundary snapshot and return the best
+  // verified solution found so far; an expired final audit rejects the plan
+  // gracefully. Shared ownership so config copies keep the token alive; null
+  // means unlimited.
+  std::shared_ptr<Deadline> deadline;
 };
 
 }  // namespace nptsn

@@ -69,7 +69,12 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
     : problem_(&problem),
       nbf_(&nbf),
       config_(&config),
-      analyzer_(nbf),
+      analyzer_(nbf,
+                [&config] {
+                  FailureAnalyzer::Options options;
+                  options.deadline = config.deadline.get();
+                  return options;
+                }()),
       soag_(problem, config.path_actions),
       encoder_(problem, config.path_actions),
       recorder_(&recorder),
@@ -79,6 +84,7 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
   if (config.use_verification_engine) {
     VerificationEngine::Options options;
     options.num_threads = config.verification_threads;
+    options.deadline = config.deadline.get();
     engine_ = std::make_unique<VerificationEngine>(nbf, options);
   }
   analyze_and_generate();
@@ -179,7 +185,9 @@ PlanningEnv::StepResult PlanningEnv::step(int action) {
 }
 
 bool PlanningEnv::audit_solution(std::string& why) const {
-  const CertificateBuildResult built = build_certificate(topology_, *nbf_);
+  CertificateOptions cert_options;
+  cert_options.deadline = config_->deadline.get();
+  const CertificateBuildResult built = build_certificate(topology_, *nbf_, cert_options);
   if (!built.ok) {
     why = "certificate build failed: NBF could not prove a non-safe scenario (" +
           std::to_string(built.counterexample.failed_switches.size()) +
@@ -187,7 +195,9 @@ bool PlanningEnv::audit_solution(std::string& why) const {
           " unrecovered flows)";
     return false;
   }
-  const AuditReport report = audit_certificate(*problem_, built.certificate);
+  AuditOptions audit_options;
+  audit_options.deadline = config_->deadline.get();
+  const AuditReport report = audit_certificate(*problem_, built.certificate, audit_options);
   if (!report.ok) {
     why = report.summary();
     return false;

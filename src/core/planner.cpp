@@ -56,6 +56,7 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   trainer_config.health.max_critic_loss = config.max_critic_loss;
   trainer_config.max_wall_seconds = config.max_wall_seconds;
   trainer_config.max_total_steps = config.max_total_steps;
+  trainer_config.deadline = config.deadline.get();
 
   Rng env_seeder(rng.next_u64());
   Trainer trainer(
@@ -108,16 +109,32 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   result.audit_failures = recorder.rejection_summaries();
   if (config.audit_mode != AuditMode::kOff && result.best) {
     ++result.audits_run;
-    const CertificateBuildResult built = build_certificate(*result.best, nbf);
-    bool clean = built.ok;
+    CertificateOptions cert_options;
+    cert_options.deadline = config.deadline.get();
+    AuditOptions audit_options;
+    audit_options.deadline = config.deadline.get();
+    CertificateBuildResult built;
+    bool clean = false;
     std::string why;
-    if (!built.ok) {
-      why = "final audit: certificate build failed (NBF could not prove a "
-            "non-safe scenario)";
-    } else {
-      AuditReport report = audit_certificate(problem, built.certificate);
-      clean = report.ok;
-      if (!report.ok) why = "final audit: " + report.summary();
+    try {
+      built = build_certificate(*result.best, nbf, cert_options);
+      clean = built.ok;
+      if (!built.ok) {
+        why = "final audit: certificate build failed (NBF could not prove a "
+              "non-safe scenario)";
+      } else {
+        AuditReport report = audit_certificate(problem, built.certificate, audit_options);
+        clean = report.ok;
+        if (!report.ok) why = "final audit: " + report.summary();
+      }
+    } catch (const DeadlineExceeded& e) {
+      // A truncated audit is not a verdict: reject the plan gracefully (the
+      // guarantee stays unconfirmed) and report the budget that fired. This
+      // is the envelope's termination contract — an adversarial instance
+      // whose final audit would enumerate forever still returns promptly.
+      clean = false;
+      why = "final audit aborted: " + e.reason();
+      if (result.stopped_reason.empty()) result.stopped_reason = e.reason();
     }
     if (clean) {
       result.certificate = std::move(built.certificate);

@@ -3,9 +3,16 @@
 #include <cmath>
 #include <string>
 
-#include "util/expect.hpp"
-
 namespace nptsn {
+namespace {
+
+// validate() clauses throw the typed ValidationError (NPTSN_EXPECT throws a
+// plain std::invalid_argument and is kept for call-site preconditions).
+void check(bool ok, const std::string& msg) {
+  if (!ok) throw ValidationError("invalid planning problem: " + msg);
+}
+
+}  // namespace
 
 std::vector<NodeId> PlanningProblem::switch_ids() const {
   std::vector<NodeId> ids;
@@ -22,43 +29,214 @@ std::vector<NodeId> PlanningProblem::end_station_ids() const {
 }
 
 int PlanningProblem::frames_per_base(const FlowSpec& flow) const {
+  check(std::isfinite(tsn.base_period_us) && tsn.base_period_us > 0.0,
+        "base period must be finite and positive");
+  check(std::isfinite(flow.period_us) && flow.period_us > 0.0,
+        "flow period must be finite and positive");
   const double ratio = tsn.base_period_us / flow.period_us;
+  // Guard std::lround against overflow before trusting the rounded value: a
+  // generated base period of 1e12 over a period of 1e-6 must be rejected,
+  // not wrapped into a bogus frame count.
+  check(ratio < 1e9, "flow emits absurdly many frames per base period");
   const int frames = static_cast<int>(std::lround(ratio));
-  NPTSN_EXPECT(frames >= 1 && std::abs(ratio - frames) < 1e-9,
-               "flow period must divide the base period");
+  check(frames >= 1 && std::abs(ratio - frames) < 1e-9,
+        "flow period must divide the base period");
   return frames;
 }
 
 void PlanningProblem::validate() const {
-  NPTSN_EXPECT(num_end_stations >= 2, "need at least two end stations");
-  NPTSN_EXPECT(num_nodes() > num_end_stations, "need at least one optional switch");
-  NPTSN_EXPECT(tsn.base_period_us > 0.0, "base period must be positive");
-  NPTSN_EXPECT(tsn.slots_per_base >= 1, "need at least one slot per base period");
-  NPTSN_EXPECT(reliability_goal > 0.0 && reliability_goal < 1.0,
-               "reliability goal must be in (0, 1)");
-  NPTSN_EXPECT(max_es_degree >= 1, "end stations need at least one port");
-  NPTSN_EXPECT(!flows.empty(), "need at least one flow");
+  check(num_end_stations >= 2, "need at least two end stations");
+  check(num_nodes() > num_end_stations, "need at least one optional switch");
+  check(std::isfinite(tsn.base_period_us) && tsn.base_period_us > 0.0,
+        "base period must be finite and positive");
+  check(tsn.slots_per_base >= 1, "need at least one slot per base period");
+  check(std::isfinite(reliability_goal) && reliability_goal > 0.0 &&
+            reliability_goal < 1.0,
+        "reliability goal must be in (0, 1)");
+  check(max_es_degree >= 1, "end stations need at least one port");
+  check(!flows.empty(), "need at least one flow");
 
   for (std::size_t i = 0; i < flows.size(); ++i) {
     const auto& f = flows[i];
     const std::string tag = "flow " + std::to_string(i);
-    NPTSN_EXPECT(is_end_station(f.source) && is_end_station(f.destination),
-                 tag + ": endpoints must be end stations");
-    NPTSN_EXPECT(f.source != f.destination, tag + ": source equals destination");
-    NPTSN_EXPECT(f.period_us > 0.0, tag + ": period must be positive");
-    NPTSN_EXPECT(f.frame_bytes > 0, tag + ": frame size must be positive");
-    NPTSN_EXPECT(f.deadline_us > 0.0 && f.deadline_us <= f.period_us,
-                 tag + ": deadline must be in (0, period]");
-    (void)frames_per_base(f);  // checks divisibility
+    check(is_end_station(f.source) && is_end_station(f.destination),
+          tag + ": endpoints must be end stations");
+    check(f.source != f.destination, tag + ": source equals destination");
+    check(std::isfinite(f.period_us) && f.period_us > 0.0,
+          tag + ": period must be finite and positive");
+    check(f.frame_bytes > 0, tag + ": frame size must be positive");
+    check(std::isfinite(f.deadline_us) && f.deadline_us > 0.0 &&
+              f.deadline_us <= f.period_us,
+          tag + ": deadline must be in (0, period]");
+    (void)frames_per_base(f);  // checks divisibility and overflow
   }
 
   // No optional link may connect two end stations directly: every flow must
   // traverse at least one switch (a property both scenarios satisfy and the
-  // action space relies on).
+  // action space relies on). Cable lengths feed Eq. 1 cost terms and must
+  // stay finite.
   for (const auto& edge : connections.edges()) {
-    NPTSN_EXPECT(is_switch(edge.u) || is_switch(edge.v),
-                 "direct end-station to end-station links are not allowed");
+    check(is_switch(edge.u) || is_switch(edge.v),
+          "direct end-station to end-station links are not allowed");
+    check(std::isfinite(edge.length) && edge.length > 0.0,
+          "link cable lengths must be finite and positive");
   }
+}
+
+void save_problem(const PlanningProblem& problem, ByteWriter& out) {
+  out.i64(problem.num_nodes());
+  out.i64(problem.num_end_stations);
+
+  const auto edges = problem.connections.edges();
+  out.u32(static_cast<std::uint32_t>(edges.size()));
+  for (const Edge& e : edges) {
+    out.i64(e.u);
+    out.i64(e.v);
+    out.f64(e.length);
+  }
+
+  out.u32(static_cast<std::uint32_t>(problem.flows.size()));
+  for (const FlowSpec& f : problem.flows) {
+    out.i64(f.source);
+    out.i64(f.destination);
+    out.f64(f.period_us);
+    out.i64(f.frame_bytes);
+    out.f64(f.deadline_us);
+  }
+
+  out.f64(problem.tsn.base_period_us);
+  out.i64(problem.tsn.slots_per_base);
+
+  const auto& models = problem.library.models();
+  out.u32(static_cast<std::uint32_t>(models.size()));
+  for (const SwitchModel& m : models) {
+    out.i64(m.ports);
+    for (const double c : m.cost) out.f64(c);
+  }
+  for (int level = 0; level < kNumAsilLevels; ++level) {
+    out.f64(problem.library.link_cost(static_cast<Asil>(level), 1.0));
+  }
+  for (int level = 0; level < kNumAsilLevels; ++level) {
+    out.f64(problem.library.failure_prob(static_cast<Asil>(level)));
+  }
+
+  out.f64(problem.reliability_goal);
+  out.i64(problem.max_es_degree);
+}
+
+PlanningProblem load_problem(ByteReader& in) {
+  // Structural hardening mirrors load_topology: counts are compared against
+  // the remaining payload before any loop so a corrupt header can never
+  // drive a huge allocation, ids are range-checked, and whatever the Graph /
+  // ComponentLibrary constructors still reject is converted from
+  // std::invalid_argument to CheckpointError.
+  try {
+    const std::int64_t num_nodes = in.i64();
+    const std::int64_t num_end_stations = in.i64();
+    if (num_nodes < 0 || num_nodes > 1'000'000) {
+      throw CheckpointError("problem: node count out of range");
+    }
+    if (num_end_stations < 0 || num_end_stations > num_nodes) {
+      throw CheckpointError("problem: end-station count out of range");
+    }
+
+    PlanningProblem problem;
+    problem.connections = Graph(static_cast<int>(num_nodes));
+    problem.num_end_stations = static_cast<int>(num_end_stations);
+
+    auto read_node = [&](const char* what) {
+      const std::int64_t raw = in.i64();
+      if (raw < 0 || raw >= num_nodes) {
+        throw CheckpointError(std::string("problem: serialized ") + what +
+                              " id out of range");
+      }
+      return static_cast<NodeId>(raw);
+    };
+
+    const std::uint32_t num_edges = in.u32();
+    if (std::uint64_t{num_edges} * 24 > in.remaining()) {
+      throw CheckpointError("problem: edge count exceeds the remaining payload");
+    }
+    for (std::uint32_t e = 0; e < num_edges; ++e) {
+      const NodeId u = read_node("edge endpoint");
+      const NodeId v = read_node("edge endpoint");
+      const double length = in.f64();
+      problem.connections.add_edge(u, v, length);
+    }
+
+    const std::uint32_t num_flows = in.u32();
+    if (std::uint64_t{num_flows} * 40 > in.remaining()) {
+      throw CheckpointError("problem: flow count exceeds the remaining payload");
+    }
+    problem.flows.reserve(num_flows);
+    for (std::uint32_t f = 0; f < num_flows; ++f) {
+      FlowSpec flow;
+      flow.source = read_node("flow source");
+      flow.destination = read_node("flow destination");
+      flow.period_us = in.f64();
+      const std::int64_t frame_bytes = in.i64();
+      if (frame_bytes < 0 || frame_bytes > (std::int64_t{1} << 31)) {
+        throw CheckpointError("problem: flow frame size out of range");
+      }
+      flow.frame_bytes = static_cast<int>(frame_bytes);
+      flow.deadline_us = in.f64();
+      problem.flows.push_back(flow);
+    }
+
+    problem.tsn.base_period_us = in.f64();
+    const std::int64_t slots = in.i64();
+    if (slots < 0 || slots > (std::int64_t{1} << 31)) {
+      throw CheckpointError("problem: slots-per-base out of range");
+    }
+    problem.tsn.slots_per_base = static_cast<int>(slots);
+
+    const std::uint32_t num_models = in.u32();
+    if (std::uint64_t{num_models} * (8 + 8 * kNumAsilLevels) > in.remaining()) {
+      throw CheckpointError("problem: model count exceeds the remaining payload");
+    }
+    std::vector<SwitchModel> models;
+    models.reserve(num_models);
+    for (std::uint32_t m = 0; m < num_models; ++m) {
+      SwitchModel model;
+      const std::int64_t ports = in.i64();
+      if (ports < 0 || ports > (std::int64_t{1} << 31)) {
+        throw CheckpointError("problem: switch port count out of range");
+      }
+      model.ports = static_cast<int>(ports);
+      for (double& c : model.cost) c = in.f64();
+      models.push_back(model);
+    }
+    std::array<double, kNumAsilLevels> link_cost_per_unit{};
+    for (double& c : link_cost_per_unit) c = in.f64();
+    std::array<double, kNumAsilLevels> failure_prob{};
+    for (double& p : failure_prob) p = in.f64();
+    problem.library = ComponentLibrary(std::move(models), link_cost_per_unit, failure_prob);
+
+    problem.reliability_goal = in.f64();
+    const std::int64_t max_es_degree = in.i64();
+    if (max_es_degree < 0 || max_es_degree > (std::int64_t{1} << 31)) {
+      throw CheckpointError("problem: end-station degree bound out of range");
+    }
+    problem.max_es_degree = static_cast<int>(max_es_degree);
+    return problem;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::invalid_argument& e) {
+    throw CheckpointError(std::string("problem: ") + e.what());
+  }
+}
+
+std::vector<std::uint8_t> problem_bytes(const PlanningProblem& problem) {
+  ByteWriter out;
+  save_problem(problem, out);
+  return out.data();
+}
+
+PlanningProblem problem_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  ByteReader in(bytes);
+  PlanningProblem problem = load_problem(in);
+  in.expect_exhausted("planning problem");
+  return problem;
 }
 
 }  // namespace nptsn

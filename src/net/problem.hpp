@@ -3,12 +3,26 @@
 // the component library, the reliability goal R, and the degree constraints.
 #pragma once
 
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "net/component_library.hpp"
+#include "util/checkpoint.hpp"
 
 namespace nptsn {
+
+// A malformed planning problem (or malformed generator/scenario parameters).
+// Derives std::invalid_argument so every existing catch site keeps working;
+// the distinct type lets the stress searcher and the generator tests pin
+// "degenerate input X must be rejected as a validation error" without
+// matching message strings, and lets tools separate "bad instance" from
+// "planner bug" in their exit codes.
+class ValidationError : public std::invalid_argument {
+ public:
+  explicit ValidationError(const std::string& what) : std::invalid_argument(what) {}
+};
 
 // Time-Aware Shaper configuration. The base period is uniformly divided into
 // slots_per_base time slots (e.g. ORION: 500 us / 20 slots); one slot carries
@@ -50,12 +64,31 @@ struct PlanningProblem {
   std::vector<NodeId> switch_ids() const;
   std::vector<NodeId> end_station_ids() const;
 
-  // Frames each flow emits per base period (requires divisibility).
+  // Frames each flow emits per base period (requires divisibility; throws
+  // ValidationError on non-dividing, non-finite, or overflowing periods).
   int frames_per_base(const FlowSpec& flow) const;
 
-  // Throws std::invalid_argument when the instance is malformed (flows not
-  // between end stations, non-dividing periods, empty graph, ...).
+  // Throws ValidationError when the instance is malformed (flows not between
+  // end stations, non-dividing or non-finite periods, empty graph,
+  // non-finite cable lengths, ...). Every clause is a typed throw, never an
+  // assert or a hang — adversarially generated instances hit all of them.
   void validate() const;
 };
+
+// --- serialization -----------------------------------------------------------
+// Byte-level, canonical, and self-contained: every field that defines the
+// planning question (graph with lengths, end-station count, flows, TSN
+// config, component library, R, degree bound) round-trips bit-exactly, so
+// the regression corpus (tests/corpus) can replay an instance without the
+// generator that produced it. save(load(bytes)) == bytes for any bytes that
+// load accepts.
+void save_problem(const PlanningProblem& problem, ByteWriter& out);
+// Bounds- and range-checked structural load: malformed or truncated input
+// throws CheckpointError; the result is NOT validate()d — semantic checks
+// stay the caller's explicit step (corpus replay asserts them separately).
+PlanningProblem load_problem(ByteReader& in);
+// Convenience round-trips over a plain byte vector.
+std::vector<std::uint8_t> problem_bytes(const PlanningProblem& problem);
+PlanningProblem problem_from_bytes(const std::vector<std::uint8_t>& bytes);
 
 }  // namespace nptsn

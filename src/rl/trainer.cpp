@@ -99,6 +99,10 @@ EpochStats Trainer::run_epoch(int epoch) {
   // bit-identical to a supervisor-off rollout.
   auto collect_body = [&](Worker& worker, int w) {
     for (int step = 0; step < steps_per_worker; ++step) {
+      // One tick per environment step. The pool aggregates exceptions
+      // deterministically (lowest worker index wins), so a mid-rollout
+      // expiry surfaces identically under any worker count.
+      if (config_.deadline) config_.deadline->poll();
       StepRecord record;
       record.obs = worker.env->observe();
       record.mask = worker.env->action_mask();
@@ -193,6 +197,10 @@ EpochStats Trainer::run_epoch(int epoch) {
       // A poisoned network is a whole-run problem, not a single-worker one:
       // escalate to the trainer's rollback path instead of quarantining.
       throw;
+    } catch (const DeadlineExceeded&) {
+      // An expired run deadline is a whole-run stop, never a worker fault:
+      // quarantining would reset the environment and keep training.
+      throw;
     } catch (const MaskedDistributionError& e) {
       quarantine(worker, w, AnomalyCode::kAllActionsMasked, e.what());
     } catch (const std::exception& e) {
@@ -284,9 +292,18 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
   // always anchored at the last completed epoch boundary. Core bytes only —
   // the ledger keeps accumulating across restores.
   const bool supervise = config_.health.enabled;
-  const bool recoverable = supervise || config_.max_epoch_retries > 0;
+  const bool recoverable =
+      supervise || config_.max_epoch_retries > 0 || config_.deadline != nullptr;
   std::vector<std::uint8_t> rollback;
   if (recoverable) rollback = save_core_bytes();
+  // Every restore re-runs the environments' deterministic analyses, which
+  // poll the run deadline; after an expiry the token must be suspended for
+  // the duration or the restore itself would be killed by the budget that
+  // triggered it.
+  auto restore_snapshot = [&] {
+    Deadline::Pause pause(config_.deadline);
+    restore_rollback(rollback);
+  };
 
   const auto start = std::chrono::steady_clock::now();
   auto elapsed_seconds = [&start] {
@@ -311,10 +328,25 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
                         " steps reached after " + std::to_string(next_epoch_) + " epochs";
       break;
     }
+    if (config_.deadline && config_.deadline->expired()) {
+      stopped_reason_ = config_.deadline->reason() + " after " +
+                        std::to_string(next_epoch_) + " epochs";
+      break;
+    }
 
     EpochStats stats;
     try {
       stats = run_epoch(next_epoch_);
+    } catch (const DeadlineExceeded& e) {
+      // Mid-epoch expiry: the partial epoch is discarded and the training
+      // state returns to the last completed epoch boundary, so callers read
+      // a consistent snapshot — exactly the clean-stop contract the
+      // epoch-boundary budgets give, extended to arbitrarily long epochs.
+      // (The environment may throw its own token's expiry even when the
+      // trainer was configured without one — hence the emptiness guard.)
+      if (!rollback.empty()) restore_snapshot();
+      stopped_reason_ = e.reason() + " after " + std::to_string(next_epoch_) + " epochs";
+      break;
     } catch (const NumericAnomalyError& e) {
       if (!supervise) throw;
       Anomaly anomaly = e.anomaly();
@@ -324,7 +356,7 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
         --rollbacks_left;
         ++total_rollbacks_;
         ++epoch_rollbacks;
-        restore_rollback(rollback);
+        restore_snapshot();
         // Same state, different stream: without the perturbation a
         // deterministic fault would recur identically on every retry.
         perturb_worker_streams();
@@ -333,7 +365,7 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
       // Out of rollbacks: leave the trainer at the last-good state (no
       // perturbation — callers read exactly the snapshot that was healthy)
       // and stop gracefully instead of crashing the run.
-      restore_rollback(rollback);
+      restore_snapshot();
       stopped_reason_ = std::string("diverged: ") + to_string(anomaly.code) +
                         " at epoch " + std::to_string(anomaly.epoch) + " after " +
                         std::to_string(total_rollbacks_) + " rollbacks";
@@ -341,7 +373,7 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
     } catch (...) {
       if (config_.max_epoch_retries > 0 && retries_left > 0) {
         --retries_left;
-        restore_rollback(rollback);  // back to the last epoch boundary
+        restore_snapshot();  // back to the last epoch boundary
         continue;
       }
       throw;

@@ -31,6 +31,7 @@
 #include "rl/health.hpp"
 #include "rl/ppo.hpp"
 #include "util/checkpoint.hpp"
+#include "util/deadline.hpp"
 #include "util/thread_pool.hpp"
 
 namespace nptsn {
@@ -75,6 +76,14 @@ struct TrainerConfig {
   // the statistics. 0 disables the respective budget.
   double max_wall_seconds = 0.0;  // wall-clock budget for this train() call
   std::int64_t max_total_steps = 0;  // total environment steps (across resumes)
+
+  // Cooperative deadline token (must outlive the trainer), polled once per
+  // collected environment step and checked at epoch boundaries. Unlike the
+  // budgets above it can fire MID-epoch: the partial epoch is discarded, the
+  // training state rolls back to the last completed epoch boundary, and
+  // train() returns cleanly with stopped_reason() set to the token's reason.
+  // Null = unlimited.
+  const Deadline* deadline = nullptr;
 };
 
 struct EpochStats {

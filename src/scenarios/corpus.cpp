@@ -1,0 +1,94 @@
+#include "scenarios/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/certificate.hpp"
+
+namespace nptsn {
+
+const char* to_string(OffenderKind kind) {
+  switch (kind) {
+    case OffenderKind::kTimeout:
+      return "timeout";
+    case OffenderKind::kAuditReject:
+      return "audit-reject";
+    case OffenderKind::kAnomaly:
+      return "anomaly";
+    case OffenderKind::kCostGap:
+      return "cost-gap";
+  }
+  return "unknown";
+}
+
+PlanningProblem CorpusEntry::problem() const { return problem_from_bytes(problem_bytes); }
+
+void save_corpus_entry(const CorpusEntry& entry, ByteWriter& out) {
+  out.u32(entry.generator_version);
+  save_params(entry.params, out);
+  out.u64(entry.seed);
+  out.i64(entry.tick_budget);
+  out.u8(static_cast<std::uint8_t>(entry.kind));
+  out.f64(entry.score);
+  out.str(entry.detail);
+  out.blob(entry.problem_bytes);
+}
+
+CorpusEntry load_corpus_entry(ByteReader& in) {
+  CorpusEntry entry;
+  entry.generator_version = in.u32();
+  entry.params = load_params(in);
+  entry.seed = in.u64();
+  entry.tick_budget = in.i64();
+  if (entry.tick_budget < 1) {
+    throw CheckpointError("corpus entry: tick budget must be positive");
+  }
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(OffenderKind::kCostGap)) {
+    throw CheckpointError("corpus entry: unknown offender kind");
+  }
+  entry.kind = static_cast<OffenderKind>(kind);
+  entry.score = in.f64();
+  entry.detail = in.str();
+  entry.problem_bytes = in.blob();
+  // Structural sanity up front: a corpus file whose problem bytes do not even
+  // parse is corrupt, and the loader — not the replay harness — says so.
+  (void)entry.problem();
+  return entry;
+}
+
+void save_corpus_entry_file(const std::string& path, const CorpusEntry& entry) {
+  ByteWriter out;
+  save_corpus_entry(entry, out);
+  save_checkpoint_file(path, kCorpusVersion, out.data());
+}
+
+CorpusEntry load_corpus_entry_file(const std::string& path) {
+  const auto payload = load_checkpoint_file(path, kCorpusVersion);
+  ByteReader in(payload);
+  CorpusEntry entry = load_corpus_entry(in);
+  in.expect_exhausted("corpus entry");
+  return entry;
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file()) continue;
+    if (item.path().extension() != ".corpus") continue;
+    files.push_back(item.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string corpus_file_name(const CorpusEntry& entry) {
+  const std::uint64_t fp = problem_fingerprint(entry.problem());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(fp));
+  return std::string("stress_") + to_string(entry.kind) + "_" + hex + ".corpus";
+}
+
+}  // namespace nptsn

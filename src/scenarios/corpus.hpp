@@ -1,0 +1,69 @@
+// The regression corpus: hard instances found by the stress searcher,
+// persisted through the checksummed checkpoint file format and committed
+// under tests/corpus/ so every future change replays them in CI.
+//
+// An entry is self-contained: it stores the serialized PlanningProblem bytes
+// next to the generator provenance (version, params, seed), so replay never
+// needs the generator that produced it — and a regenerate-and-compare
+// cross-check can still verify provenance whenever the recorded generator
+// version matches the current one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenarios/generator.hpp"
+
+namespace nptsn {
+
+// Payload version of corpus files (bumped on layout changes).
+inline constexpr std::uint32_t kCorpusVersion = 1;
+
+// Why the stress searcher kept an instance.
+enum class OffenderKind : std::uint8_t {
+  kTimeout = 0,      // plan() hit the deterministic tick budget
+  kAuditReject = 1,  // the independent final audit rejected the plan
+  kAnomaly = 2,      // the health supervisor logged incidents
+  kCostGap = 3,      // NPTSN's cost lost badly against the TRH baseline
+};
+
+const char* to_string(OffenderKind kind);
+
+struct CorpusEntry {
+  std::uint32_t generator_version = kGeneratorVersion;
+  GeneratorParams params;
+  std::uint64_t seed = 0;
+  // The deterministic plan() tick budget the offender was found under —
+  // replay must use the same budget to reproduce the recorded behavior
+  // (a timeout at 500 ticks is no offender at 60000).
+  std::int64_t tick_budget = 0;
+  OffenderKind kind = OffenderKind::kTimeout;
+  double score = 0.0;   // searcher score (higher = harder), diagnostics only
+  std::string detail;   // one-line provenance for logs
+  // The instance itself (net/problem save_problem bytes) — replay uses this,
+  // never a re-run of the generator.
+  std::vector<std::uint8_t> problem_bytes;
+
+  PlanningProblem problem() const;  // deserializes problem_bytes
+};
+
+// Byte-level (composable; exact round-trip).
+void save_corpus_entry(const CorpusEntry& entry, ByteWriter& out);
+CorpusEntry load_corpus_entry(ByteReader& in);
+
+// File-level, framed/checksummed via the checkpoint format.
+void save_corpus_entry_file(const std::string& path, const CorpusEntry& entry);
+CorpusEntry load_corpus_entry_file(const std::string& path);
+
+// Sorted list of "*.corpus" files directly under `dir` (empty when the
+// directory does not exist). Sorted by filename so replay order — and any
+// diagnostics derived from it — is machine-independent.
+std::vector<std::string> list_corpus_files(const std::string& dir);
+
+// Canonical filename for an entry: stress_<kind>_<fp16hex>.corpus, where fp
+// is the problem fingerprint — distinct instances get distinct names, and
+// re-running the searcher on the same seed overwrites rather than duplicates.
+std::string corpus_file_name(const CorpusEntry& entry);
+
+}  // namespace nptsn

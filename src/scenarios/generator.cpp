@@ -1,0 +1,286 @@
+#include "scenarios/generator.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace nptsn {
+namespace {
+
+void require(bool ok, const std::string& msg) {
+  if (!ok) throw ValidationError("invalid generator parameters: " + msg);
+}
+
+}  // namespace
+
+void validate_params(const GeneratorParams& params) {
+  require(params.zones >= 1, "need at least one zone");
+  require(params.stations_per_zone >= 1, "need at least one end station per zone");
+  require(params.zones <= 64 && params.stations_per_zone <= 64 &&
+              params.switches_per_zone <= 64 && params.backbone_switches <= 64,
+          "zonal dimensions are capped at 64");
+  require(params.zones * params.stations_per_zone >= 2,
+          "need at least two end stations in total");
+  require(params.switches_per_zone >= 1, "need at least one switch per zone");
+  require(params.backbone_switches >= 0, "backbone size must be non-negative");
+  require(params.cross_link_prob >= 0.0 && params.cross_link_prob <= 1.0,
+          "cross-link probability must be in [0, 1]");
+  require(std::isfinite(params.length_scale) && params.length_scale > 0.0,
+          "length scale must be finite and positive");
+  require(params.flow_count >= 1, "need at least one flow");
+  require(params.flow_count <= 4096, "flow count is capped at 4096");
+  // Bounded so the derived flow periods (base / 2^k) can neither underflow
+  // into subnormals nor trip the frames-per-base overflow guard — the
+  // by-construction validity contract must hold across the whole space.
+  require(std::isfinite(params.base_period_us) && params.base_period_us >= 1e-3 &&
+              params.base_period_us <= 1e9,
+          "base period must be in [1e-3, 1e9] microseconds");
+  require(params.slots_per_base >= 1, "need at least one slot per base period");
+  require(params.max_period_divisor_log2 >= 0 && params.max_period_divisor_log2 <= 20,
+          "period divisor exponent must be in [0, 20]");
+  require(std::isfinite(params.reliability_goal) && params.reliability_goal > 0.0 &&
+              params.reliability_goal < 1.0,
+          "reliability goal must be in (0, 1)");
+  require(params.max_es_degree >= 1, "end stations need at least one port");
+  require(params.library_variant >= 0 && params.library_variant < kNumLibraryVariants,
+          "unknown library variant");
+}
+
+ComponentLibrary library_variant(int variant) {
+  require(variant >= 0 && variant < kNumLibraryVariants, "unknown library variant");
+  const ComponentLibrary base = ComponentLibrary::standard();
+  if (variant == 0) return base;
+
+  // Rebuild through the public accessors so variants track any future change
+  // to the Table I numbers instead of hard-coding a second copy.
+  std::vector<SwitchModel> models = base.models();
+  std::array<double, kNumAsilLevels> link_cost{};
+  std::array<double, kNumAsilLevels> failure_prob{};
+  for (int level = 0; level < kNumAsilLevels; ++level) {
+    link_cost[static_cast<std::size_t>(level)] =
+        base.link_cost(static_cast<Asil>(level), 1.0);
+    failure_prob[static_cast<std::size_t>(level)] =
+        base.failure_prob(static_cast<Asil>(level));
+  }
+
+  switch (variant) {
+    case 1:  // premium: an order of magnitude more reliable, twice the cost
+      for (auto& m : models) {
+        for (double& c : m.cost) c *= 2.0;
+      }
+      for (double& c : link_cost) c *= 2.0;
+      for (double& p : failure_prob) p *= 0.1;
+      break;
+    case 2:  // budget: cheaper components, an order of magnitude less reliable
+      for (auto& m : models) {
+        for (double& c : m.cost) c *= 0.5;
+      }
+      for (double& c : link_cost) c *= 0.5;
+      for (double& p : failure_prob) {
+        p = std::min(p * 10.0, 0.5);  // stays inside the library's (0, 1) bound
+      }
+      break;
+    case 3: {  // extended: one larger model continuing the cost progression
+      SwitchModel big;
+      big.ports = models.back().ports + 4;
+      for (std::size_t level = 0; level < big.cost.size(); ++level) {
+        big.cost[level] = models.back().cost[level] * 1.5;
+      }
+      models.push_back(big);
+      break;
+    }
+    default:
+      break;
+  }
+  return ComponentLibrary(std::move(models), link_cost, failure_prob);
+}
+
+PlanningProblem generate(const GeneratorParams& params, std::uint64_t seed) {
+  validate_params(params);
+  Rng rng(seed);
+
+  const int num_stations = params.zones * params.stations_per_zone;
+  const int num_zone_switches = params.zones * params.switches_per_zone;
+  const int num_switches = num_zone_switches + params.backbone_switches;
+  const int num_nodes = num_stations + num_switches;
+
+  PlanningProblem problem;
+  problem.connections = Graph(num_nodes);
+  problem.num_end_stations = num_stations;
+  problem.tsn.base_period_us = params.base_period_us;
+  problem.tsn.slots_per_base = params.slots_per_base;
+  problem.reliability_goal = params.reliability_goal;
+  problem.max_es_degree = params.max_es_degree;
+  problem.library = library_variant(params.library_variant);
+
+  // Node layout: end stations [0, S) zone-major, then zone switches
+  // [S, S + Z*W) zone-major, then backbone switches.
+  auto station_id = [&](int zone, int s) {
+    return zone * params.stations_per_zone + s;
+  };
+  auto zone_switch_id = [&](int zone, int w) {
+    return num_stations + zone * params.switches_per_zone + w;
+  };
+  auto backbone_id = [&](int b) { return num_stations + num_zone_switches + b; };
+
+  // Cable lengths: zone-internal harness runs are short, backbone runs long.
+  // Drawn per link (deterministic stream order: links are emitted in a fixed
+  // nested-loop order, so the byte image is a pure function of the inputs).
+  auto zone_length = [&] { return params.length_scale * rng.uniform(0.5, 2.0); };
+  auto trunk_length = [&] { return params.length_scale * rng.uniform(2.0, 6.0); };
+
+  // Mandatory links: every end station to every switch of its own zone. This
+  // guarantees each ES has candidate links (and, with >= 2 zone switches or a
+  // backbone path, a redundant pair) and — since one endpoint is always a
+  // switch — the no-ES-to-ES validate() clause holds by construction.
+  for (int zone = 0; zone < params.zones; ++zone) {
+    for (int s = 0; s < params.stations_per_zone; ++s) {
+      for (int w = 0; w < params.switches_per_zone; ++w) {
+        problem.connections.add_edge(station_id(zone, s), zone_switch_id(zone, w),
+                                     zone_length());
+      }
+    }
+  }
+
+  // Zone-internal switch mesh (zones with several switches get redundancy
+  // inside the zone).
+  for (int zone = 0; zone < params.zones; ++zone) {
+    for (int a = 0; a < params.switches_per_zone; ++a) {
+      for (int b = a + 1; b < params.switches_per_zone; ++b) {
+        problem.connections.add_edge(zone_switch_id(zone, a), zone_switch_id(zone, b),
+                                     zone_length());
+      }
+    }
+  }
+
+  if (params.backbone_switches > 0) {
+    // Every zone switch reaches every backbone switch; the backbone itself is
+    // a full mesh. Gc is connected by construction.
+    for (int zone = 0; zone < params.zones; ++zone) {
+      for (int w = 0; w < params.switches_per_zone; ++w) {
+        for (int b = 0; b < params.backbone_switches; ++b) {
+          problem.connections.add_edge(zone_switch_id(zone, w), backbone_id(b),
+                                       trunk_length());
+        }
+      }
+    }
+    for (int a = 0; a < params.backbone_switches; ++a) {
+      for (int b = a + 1; b < params.backbone_switches; ++b) {
+        problem.connections.add_edge(backbone_id(a), backbone_id(b), trunk_length());
+      }
+    }
+    // Optional richness: end stations may reach the backbone directly.
+    for (int zone = 0; zone < params.zones; ++zone) {
+      for (int s = 0; s < params.stations_per_zone; ++s) {
+        for (int b = 0; b < params.backbone_switches; ++b) {
+          if (rng.uniform() < params.cross_link_prob) {
+            problem.connections.add_edge(station_id(zone, s), backbone_id(b),
+                                         trunk_length());
+          }
+        }
+      }
+    }
+  } else if (params.zones > 1) {
+    // No backbone: connect the zones through a zone-switch ring (mandatory,
+    // keeps Gc connected) plus probabilistic cross-zone links.
+    for (int zone = 0; zone < params.zones; ++zone) {
+      const int next = (zone + 1) % params.zones;
+      if (params.zones == 2 && zone == 1) break;  // avoid the duplicate ring edge
+      problem.connections.add_edge(zone_switch_id(zone, 0), zone_switch_id(next, 0),
+                                   trunk_length());
+    }
+    for (int a = 0; a < params.zones; ++a) {
+      for (int b = a + 1; b < params.zones; ++b) {
+        for (int wa = 0; wa < params.switches_per_zone; ++wa) {
+          for (int wb = 0; wb < params.switches_per_zone; ++wb) {
+            if (a == b || (wa == 0 && wb == 0)) continue;  // ring edge exists
+            if (rng.uniform() < params.cross_link_prob) {
+              problem.connections.add_edge(zone_switch_id(a, wa), zone_switch_id(b, wb),
+                                           trunk_length());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Traffic: unicast TT flows between distinct end stations; periods are
+  // base / 2^k (exact in floating point), deadline = period, automotive
+  // frame sizes. The scheduler requires a flow's period to span a whole
+  // number of slots (slots_per_base % 2^k == 0), so k is capped at the
+  // largest power of two dividing slots_per_base — the by-construction
+  // contract covers schedulability preconditions, not just validate().
+  int divisor_cap = 0;
+  while (divisor_cap < params.max_period_divisor_log2 &&
+         params.slots_per_base % (1 << (divisor_cap + 1)) == 0) {
+    ++divisor_cap;
+  }
+  static constexpr int kFrameBytes[] = {64, 256, 512, 1500};
+  for (int i = 0; i < params.flow_count; ++i) {
+    FlowSpec flow;
+    flow.source = rng.uniform_int(0, num_stations - 1);
+    do {
+      flow.destination = rng.uniform_int(0, num_stations - 1);
+    } while (flow.destination == flow.source);
+    const int k = rng.uniform_int(0, divisor_cap);
+    flow.period_us = params.base_period_us / static_cast<double>(std::int64_t{1} << k);
+    flow.deadline_us = flow.period_us;
+    flow.frame_bytes = kFrameBytes[rng.uniform_int(0, 3)];
+    problem.flows.push_back(flow);
+  }
+
+  problem.validate();  // by-construction contract, checked every time
+  return problem;
+}
+
+void save_params(const GeneratorParams& params, ByteWriter& out) {
+  out.i64(params.zones);
+  out.i64(params.stations_per_zone);
+  out.i64(params.switches_per_zone);
+  out.i64(params.backbone_switches);
+  out.f64(params.cross_link_prob);
+  out.f64(params.length_scale);
+  out.i64(params.flow_count);
+  out.f64(params.base_period_us);
+  out.i64(params.slots_per_base);
+  out.i64(params.max_period_divisor_log2);
+  out.f64(params.reliability_goal);
+  out.i64(params.max_es_degree);
+  out.i64(params.library_variant);
+}
+
+GeneratorParams load_params(ByteReader& in) {
+  auto read_int = [&](const char* what) {
+    const std::int64_t raw = in.i64();
+    if (raw < -(std::int64_t{1} << 31) || raw > (std::int64_t{1} << 31)) {
+      throw CheckpointError(std::string("generator params: ") + what + " out of range");
+    }
+    return static_cast<int>(raw);
+  };
+  GeneratorParams params;
+  params.zones = read_int("zones");
+  params.stations_per_zone = read_int("stations per zone");
+  params.switches_per_zone = read_int("switches per zone");
+  params.backbone_switches = read_int("backbone switches");
+  params.cross_link_prob = in.f64();
+  params.length_scale = in.f64();
+  params.flow_count = read_int("flow count");
+  params.base_period_us = in.f64();
+  params.slots_per_base = read_int("slots per base");
+  params.max_period_divisor_log2 = read_int("period divisor exponent");
+  params.reliability_goal = in.f64();
+  params.max_es_degree = read_int("end-station degree bound");
+  params.library_variant = read_int("library variant");
+  return params;
+}
+
+std::string describe(const GeneratorParams& params) {
+  return std::to_string(params.zones) + "z x " + std::to_string(params.stations_per_zone) +
+         "es/" + std::to_string(params.switches_per_zone) + "sw + " +
+         std::to_string(params.backbone_switches) + "bb, " +
+         std::to_string(params.flow_count) + " flows, p=" +
+         std::to_string(params.cross_link_prob) + ", lib v" +
+         std::to_string(params.library_variant);
+}
+
+}  // namespace nptsn

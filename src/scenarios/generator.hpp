@@ -1,0 +1,96 @@
+// Seeded procedural generator for in-vehicle zonal E/E planning problems.
+//
+// The evaluation scenarios (ORION, ADS) are two fixed points in a much larger
+// instance space; the robustness work (stress search, the regression corpus,
+// the deadline envelope) needs a parameterized FAMILY of realistic instances:
+// zonal architectures — end stations grouped into zones around zone switches,
+// a central backbone mesh, cross-zone candidate links — with randomized
+// component libraries, scaled flow sets, and harmonic base periods. Instances
+// are valid BY CONSTRUCTION: for any GeneratorParams that pass
+// validate_params(), generate() returns a PlanningProblem whose validate()
+// succeeds (a generator test sweeps the parameter grid to pin this).
+//
+// Determinism is a hard contract: generate(params, seed) is a pure
+// single-threaded function of its arguments built on the portable Rng, so the
+// same (params, seed) produces byte-identical problems (problem_bytes) on
+// every platform, run, and thread count — the property that makes corpus
+// entries and stress-search offender sets reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/problem.hpp"
+#include "util/rng.hpp"
+
+namespace nptsn {
+
+// Bumped whenever generate() changes the mapping (params, seed) -> problem.
+// Corpus entries record the version they were generated with; replay uses the
+// stored problem bytes, and the regenerate-and-compare cross-check only runs
+// when the versions match.
+inline constexpr std::uint32_t kGeneratorVersion = 1;
+
+// Number of component-library variants generate() can draw from (Table I plus
+// derived premium/budget/extended families).
+inline constexpr int kNumLibraryVariants = 4;
+
+struct GeneratorParams {
+  // --- zonal layout -----------------------------------------------------------
+  int zones = 4;               // zone count (>= 1; zones * stations >= 2)
+  int stations_per_zone = 3;   // end stations per zone (>= 1)
+  int switches_per_zone = 1;   // zone switches per zone (>= 1)
+  int backbone_switches = 2;   // central backbone mesh size (>= 0)
+
+  // --- candidate-link richness ------------------------------------------------
+  // Probability of each optional cross-zone link (zone switch to a
+  // neighboring zone's switch, end station to a backbone switch). The
+  // mandatory links — every ES to every switch of its own zone, every zone
+  // switch to every backbone switch (or to every other zone switch when the
+  // backbone is empty) — always exist, which keeps Gc connected and ES
+  // redundancy reachable.
+  double cross_link_prob = 0.35;
+  // Cable-length multiplier (zone-internal runs are short, backbone runs
+  // long; both scale with this).
+  double length_scale = 1.0;
+
+  // --- traffic ----------------------------------------------------------------
+  int flow_count = 8;             // TT flows between distinct end stations
+  double base_period_us = 500.0;  // TAS base period
+  int slots_per_base = 20;
+  // Flow periods are base / 2^k with k uniform in [0, max_period_divisor_log2]
+  // (powers of two divide the base period exactly in floating point).
+  int max_period_divisor_log2 = 2;
+
+  // --- reliability ------------------------------------------------------------
+  double reliability_goal = 1e-6;
+  int max_es_degree = 2;
+  // Component library: 0 = Table I verbatim, 1 = premium (10x lower failure
+  // probabilities, 2x cost), 2 = budget (10x higher failure probabilities,
+  // half cost), 3 = extended (adds a 12-port model).
+  int library_variant = 0;
+};
+
+// Throws ValidationError when the parameters describe no valid instance
+// (e.g. fewer than two end stations total, a probability outside [0, 1], a
+// non-finite base period). generate() calls this first.
+void validate_params(const GeneratorParams& params);
+
+// The library variant for `params.library_variant` (deterministic, not
+// seed-dependent — the variant is part of the parameter space, not the noise).
+ComponentLibrary library_variant(int variant);
+
+// Generates one instance. Pure function of (params, seed): byte-identical
+// output for equal inputs. The result passes PlanningProblem::validate() for
+// any params that pass validate_params().
+PlanningProblem generate(const GeneratorParams& params, std::uint64_t seed);
+
+// --- serialization -----------------------------------------------------------
+// Canonical byte layout for corpus entries; save(load(x)) == x.
+void save_params(const GeneratorParams& params, ByteWriter& out);
+GeneratorParams load_params(ByteReader& in);
+
+// One-line description for logs and the stress CLI.
+std::string describe(const GeneratorParams& params);
+
+}  // namespace nptsn

@@ -1,12 +1,22 @@
 #include "scenarios/scenario.hpp"
 
-#include "util/expect.hpp"
+#include <cmath>
 
 namespace nptsn {
 
 std::vector<FlowSpec> random_flows(const PlanningProblem& problem, int count, Rng& rng) {
-  NPTSN_EXPECT(count >= 1, "need at least one flow");
-  NPTSN_EXPECT(problem.num_end_stations >= 2, "need at least two end stations");
+  // Typed rejections for every degenerate input: a single end station would
+  // turn the distinct-destination resample loop below into an infinite loop,
+  // and a non-finite base period would propagate NaN periods into every
+  // generated flow. The stress searcher feeds this function adversarial
+  // parameters and relies on a clean ValidationError, never a hang.
+  if (count < 1) throw ValidationError("random_flows: need at least one flow");
+  if (problem.num_end_stations < 2) {
+    throw ValidationError("random_flows: need at least two end stations");
+  }
+  if (!std::isfinite(problem.tsn.base_period_us) || problem.tsn.base_period_us <= 0.0) {
+    throw ValidationError("random_flows: base period must be finite and positive");
+  }
   std::vector<FlowSpec> flows;
   flows.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {

@@ -1,0 +1,85 @@
+// Adaptive stress search over the generator's parameter space.
+//
+// Following the Adaptive Stress Testing idea (Koren & Kochenderfer): treat
+// the generator parameters + instance seed as the action space of a searcher
+// whose objective is PLANNER FAILURE, not planner success. Each probe
+// generates an instance, runs a short budgeted plan() under a deterministic
+// deadline token plus the TRH baseline for a cost reference, and scores the
+// outcome:
+//
+//   * timeout      — plan() exhausted its tick budget (scored by verification
+//                    work, Deadline::ticks());
+//   * audit-reject — the independent final audit rejected the plan;
+//   * anomaly      — the health supervisor logged incidents;
+//   * cost-gap     — NPTSN found a plan but lost badly on Eq. 1 cost against
+//                    the cheap TRH heuristic.
+//
+// The search itself is a seeded hill climb with restarts: perturb one
+// parameter at a time (clamped to the valid space, so generation never
+// throws), keep the perturbation when the score does not drop, and collect
+// the top-K distinct offenders (deduplicated by problem fingerprint) across
+// all restarts.
+//
+// Everything is deterministic by construction: probes run single-worker /
+// single-threaded, budgets are pure tick counts (no wall clock anywhere in
+// scoring), and the searcher's randomness is one seeded Rng — the same
+// config reproduces the same offender set on any machine. Offenders persist
+// into the regression corpus (scenarios/corpus) for CI replay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenarios/corpus.hpp"
+
+namespace nptsn {
+
+struct StressConfig {
+  std::uint64_t seed = 1;
+
+  // Search shape: `restarts` independent hill climbs of `rounds` probes each.
+  int restarts = 4;
+  int rounds = 16;
+  int top_k = 12;  // offenders kept (distinct by problem fingerprint)
+
+  // Probe budget: a deliberately short training run — the searcher wants
+  // instances that hurt even tiny runs.
+  int plan_epochs = 2;
+  int steps_per_epoch = 48;
+  // Deterministic deadline for each probe's plan() call (cooperative work
+  // units: environment steps + enumerated scenarios). No wall-clock budget —
+  // scoring must not depend on machine speed.
+  std::int64_t plan_tick_budget = 60'000;
+
+  // Cost-gap threshold: relative Eq. 1 excess over a valid TRH plan before
+  // an instance counts as a cost-gap offender.
+  double cost_gap_threshold = 0.25;
+};
+
+struct StressProbe {
+  GeneratorParams params;
+  std::uint64_t instance_seed = 0;
+  double score = 0.0;           // 0 = planner did fine
+  bool offender = false;
+  OffenderKind kind = OffenderKind::kTimeout;  // valid when offender
+  std::string detail;
+};
+
+struct StressResult {
+  // Top-K offenders, hardest first (score descending, fingerprint as the
+  // deterministic tiebreak). Distinct by problem fingerprint.
+  std::vector<CorpusEntry> offenders;
+  std::int64_t probes = 0;
+  std::int64_t offender_probes = 0;
+};
+
+// Runs the search. Deterministic for a fixed config.
+StressResult stress_search(const StressConfig& config);
+
+// One probe (exposed for tests and the corpus cross-check): generates the
+// instance and scores the planner against it under the deterministic budget.
+StressProbe stress_probe(const GeneratorParams& params, std::uint64_t instance_seed,
+                         const StressConfig& config);
+
+}  // namespace nptsn

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "testing/test_problems.hpp"
 
 namespace nptsn {
@@ -133,6 +135,63 @@ TEST(Problem, RejectsZeroSlots) {
 TEST(Problem, MaxSwitchDegreeComesFromLibrary) {
   const auto p = tiny_problem();
   EXPECT_EQ(p.max_switch_degree(), 8);
+}
+
+// --- typed validation-error hardening ---------------------------------------
+// Every validate() clause throws ValidationError (a std::invalid_argument
+// subtype), so degenerate generated instances are rejected with a typed
+// error — never an assert, a hang, or a silently bogus plan.
+
+TEST(Problem, ValidationFailuresAreTyped) {
+  auto p = tiny_problem();
+  p.flows[0].destination = p.flows[0].source;
+  EXPECT_THROW(p.validate(), ValidationError);
+}
+
+TEST(Problem, RejectsNonFiniteBasePeriod) {
+  auto p = tiny_problem();
+  p.tsn.base_period_us = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(p.validate(), ValidationError);
+  p.tsn.base_period_us = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.validate(), ValidationError);
+}
+
+TEST(Problem, RejectsNonFiniteFlowPeriod) {
+  auto p = tiny_problem();
+  p.flows[0].period_us = std::numeric_limits<double>::quiet_NaN();
+  p.flows[0].deadline_us = 1.0;
+  EXPECT_THROW(p.validate(), ValidationError);
+}
+
+TEST(Problem, RejectsNonFiniteDeadline) {
+  auto p = tiny_problem();
+  p.flows[0].deadline_us = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.validate(), ValidationError);
+}
+
+TEST(Problem, RejectsNonFiniteReliabilityGoal) {
+  auto p = tiny_problem();
+  p.reliability_goal = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.validate(), ValidationError);
+}
+
+TEST(Problem, RejectsOverflowingFrameCount) {
+  // An extreme base period over a tiny flow period would overflow the
+  // frames-per-base rounding; the ratio guard must fire before std::lround.
+  auto p = tiny_problem();
+  p.tsn.base_period_us = 1e12;
+  p.flows[0].period_us = 1e-6;
+  p.flows[0].deadline_us = 1e-6;
+  EXPECT_THROW(p.validate(), ValidationError);
+  EXPECT_THROW(p.frames_per_base(p.flows[0]), ValidationError);
+}
+
+TEST(Problem, RejectsNonFiniteEdgeLength) {
+  auto p = tiny_problem();
+  const Edge first = p.connections.edges().front();
+  p.connections.remove_edge(first.u, first.v);
+  p.connections.add_edge(first.u, first.v, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(p.validate(), ValidationError);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+#include "scenarios/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "tsn/scheduler.hpp"
+
+namespace nptsn {
+namespace {
+
+// The by-construction contract, pinned over a parameter grid: everything that
+// passes validate_params() generates a problem that passes validate() AND
+// satisfies the scheduler's timing preconditions for every flow.
+TEST(GeneratorTest, GridSweepGeneratesValidSchedulableInstances) {
+  int generated = 0;
+  for (int zones : {1, 2, 4}) {
+    for (int stations : {2, 3}) {
+      for (int switches : {1, 2}) {
+        for (int backbone : {0, 2}) {
+          for (int variant = 0; variant < kNumLibraryVariants; ++variant) {
+            GeneratorParams params;
+            params.zones = zones;
+            params.stations_per_zone = stations;
+            params.switches_per_zone = switches;
+            params.backbone_switches = backbone;
+            params.library_variant = variant;
+            params.flow_count = 6;
+            const PlanningProblem problem = generate(params, 42);
+            EXPECT_NO_THROW(problem.validate());
+            EXPECT_EQ(problem.num_end_stations, zones * stations);
+            for (const FlowSpec& flow : problem.flows) {
+              // FlowTiming::of throws if the period does not span a whole
+              // number of slots — the crash a bad divisor cap would cause.
+              EXPECT_NO_THROW(FlowTiming::of(problem, flow));
+            }
+            ++generated;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(generated, 3 * 2 * 2 * 2 * kNumLibraryVariants);
+}
+
+TEST(GeneratorTest, SameSeedAndParamsAreByteIdentical) {
+  GeneratorParams params;
+  params.zones = 3;
+  params.switches_per_zone = 2;
+  params.cross_link_prob = 0.5;
+  const auto bytes_a = problem_bytes(generate(params, 7));
+  const auto bytes_b = problem_bytes(generate(params, 7));
+  EXPECT_EQ(bytes_a, bytes_b);
+  // A different seed (or any param) moves the image.
+  EXPECT_NE(bytes_a, problem_bytes(generate(params, 8)));
+  params.flow_count += 1;
+  EXPECT_NE(bytes_a, problem_bytes(generate(params, 7)));
+}
+
+TEST(GeneratorTest, DeterministicAcrossThreads) {
+  GeneratorParams params;
+  params.zones = 4;
+  params.backbone_switches = 2;
+  params.cross_link_prob = 0.4;
+  const auto reference = problem_bytes(generate(params, 99));
+  std::vector<std::vector<std::uint8_t>> images(8);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    threads.emplace_back(
+        [&params, &images, i] { images[i] = problem_bytes(generate(params, 99)); });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& image : images) EXPECT_EQ(image, reference);
+}
+
+TEST(GeneratorTest, DegenerateParamsThrowTypedErrors) {
+  const auto expect_rejected = [](GeneratorParams params) {
+    EXPECT_THROW(validate_params(params), ValidationError);
+    EXPECT_THROW(generate(params, 1), ValidationError);
+  };
+  GeneratorParams p;
+  p.zones = 0;
+  expect_rejected(p);
+  p = {};
+  p.zones = 1;
+  p.stations_per_zone = 1;  // a single end station cannot carry a flow
+  expect_rejected(p);
+  p = {};
+  p.cross_link_prob = 1.5;
+  expect_rejected(p);
+  p = {};
+  p.base_period_us = 0.0;
+  expect_rejected(p);
+  p = {};
+  p.base_period_us = std::numeric_limits<double>::infinity();
+  expect_rejected(p);
+  p = {};
+  p.length_scale = -1.0;
+  expect_rejected(p);
+  p = {};
+  p.flow_count = 0;
+  expect_rejected(p);
+  p = {};
+  p.max_period_divisor_log2 = 64;  // would underflow periods if allowed
+  expect_rejected(p);
+  p = {};
+  p.library_variant = kNumLibraryVariants;
+  expect_rejected(p);
+  p = {};
+  p.reliability_goal = 0.0;
+  expect_rejected(p);
+}
+
+TEST(GeneratorTest, IndivisibleSlotCountCapsPeriodDivisors) {
+  GeneratorParams params;
+  params.slots_per_base = 25;  // odd: no power of two beyond 2^0 divides it
+  params.max_period_divisor_log2 = 3;
+  const PlanningProblem problem = generate(params, 5);
+  for (const FlowSpec& flow : problem.flows) {
+    EXPECT_EQ(flow.period_us, params.base_period_us);
+    EXPECT_NO_THROW(FlowTiming::of(problem, flow));
+  }
+}
+
+TEST(GeneratorTest, LibraryVariantsAreValidAndOrdered) {
+  const ComponentLibrary standard = library_variant(0);
+  const ComponentLibrary premium = library_variant(1);
+  const ComponentLibrary budget = library_variant(2);
+  const ComponentLibrary extended = library_variant(3);
+  for (int level = 0; level < kNumAsilLevels; ++level) {
+    const Asil asil = static_cast<Asil>(level);
+    EXPECT_GT(premium.link_cost(asil, 1.0), standard.link_cost(asil, 1.0));
+    EXPECT_LT(premium.failure_prob(asil), standard.failure_prob(asil));
+    EXPECT_LT(budget.link_cost(asil, 1.0), standard.link_cost(asil, 1.0));
+    EXPECT_GT(budget.failure_prob(asil), standard.failure_prob(asil));
+    EXPECT_LT(budget.failure_prob(asil), 1.0);
+  }
+  EXPECT_EQ(extended.models().size(), standard.models().size() + 1);
+  EXPECT_THROW(library_variant(-1), ValidationError);
+  EXPECT_THROW(library_variant(kNumLibraryVariants), ValidationError);
+}
+
+TEST(GeneratorTest, ParamsRoundTripThroughBytes) {
+  GeneratorParams params;
+  params.zones = 5;
+  params.stations_per_zone = 2;
+  params.switches_per_zone = 3;
+  params.backbone_switches = 1;
+  params.cross_link_prob = 0.125;
+  params.length_scale = 2.5;
+  params.flow_count = 17;
+  params.base_period_us = 250.0;
+  params.slots_per_base = 16;
+  params.max_period_divisor_log2 = 3;
+  params.reliability_goal = 1e-7;
+  params.max_es_degree = 3;
+  params.library_variant = 2;
+
+  ByteWriter out;
+  save_params(params, out);
+  ByteReader in(out.data());
+  const GeneratorParams loaded = load_params(in);
+  in.expect_exhausted("generator params");
+
+  // Round-tripping and regenerating must land on the identical instance.
+  EXPECT_EQ(problem_bytes(generate(params, 3)), problem_bytes(generate(loaded, 3)));
+}
+
+TEST(GeneratorTest, NoBackboneTopologyStaysConnectedForFlows) {
+  GeneratorParams params;
+  params.zones = 5;
+  params.backbone_switches = 0;
+  params.cross_link_prob = 0.0;  // ring only — the mandatory skeleton
+  params.flow_count = 10;
+  const PlanningProblem problem = generate(params, 11);
+  EXPECT_NO_THROW(problem.validate());
+}
+
+}  // namespace
+}  // namespace nptsn

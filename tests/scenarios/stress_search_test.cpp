@@ -1,0 +1,87 @@
+#include "scenarios/stress_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "analysis/certificate.hpp"
+
+namespace nptsn {
+namespace {
+
+// Small but real search budget: a few probes with a tick budget tight enough
+// that the searcher actually classifies offenders (the committed corpus was
+// generated the same way at a larger scale).
+StressConfig small_config() {
+  StressConfig config;
+  config.seed = 7;
+  config.restarts = 1;
+  config.rounds = 2;
+  config.top_k = 8;
+  config.plan_tick_budget = 400;
+  return config;
+}
+
+TEST(StressSearchTest, FixedSeedReproducesTheOffenderSet) {
+  const StressConfig config = small_config();
+  const StressResult first = stress_search(config);
+  const StressResult second = stress_search(config);
+
+  EXPECT_EQ(first.probes, second.probes);
+  EXPECT_EQ(first.offender_probes, second.offender_probes);
+  ASSERT_EQ(first.offenders.size(), second.offenders.size());
+  for (std::size_t i = 0; i < first.offenders.size(); ++i) {
+    const CorpusEntry& a = first.offenders[i];
+    const CorpusEntry& b = second.offenders[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.problem_bytes, b.problem_bytes);  // byte-identical instances
+  }
+}
+
+TEST(StressSearchTest, OffendersAreDistinctRankedAndSelfContained) {
+  const StressResult result = stress_search(small_config());
+  std::set<std::uint64_t> fingerprints;
+  double previous = std::numeric_limits<double>::infinity();
+  for (const CorpusEntry& entry : result.offenders) {
+    EXPECT_LE(entry.score, previous) << "offenders must be sorted hardest first";
+    previous = entry.score;
+    EXPECT_EQ(entry.generator_version, kGeneratorVersion);
+    EXPECT_EQ(entry.tick_budget, small_config().plan_tick_budget);
+    const PlanningProblem problem = entry.problem();
+    EXPECT_NO_THROW(problem.validate());
+    fingerprints.insert(problem_fingerprint(problem));
+    // Self-contained: the stored bytes and the provenance agree.
+    EXPECT_EQ(problem_bytes(generate(entry.params, entry.seed)), entry.problem_bytes);
+  }
+  EXPECT_EQ(fingerprints.size(), result.offenders.size());
+}
+
+TEST(StressSearchTest, ProbeClassifiesTimeoutsDeterministically) {
+  StressConfig config = small_config();
+  config.plan_tick_budget = 50;  // far below any real planning run
+  GeneratorParams params;       // the default 4-zone architecture
+  const StressProbe probe = stress_probe(params, 3, config);
+  EXPECT_TRUE(probe.offender);
+  EXPECT_EQ(probe.kind, OffenderKind::kTimeout);
+  EXPECT_EQ(probe.detail.rfind("deadline:", 0), 0u) << probe.detail;
+
+  const StressProbe again = stress_probe(params, 3, config);
+  EXPECT_EQ(again.score, probe.score);
+  EXPECT_EQ(again.detail, probe.detail);
+}
+
+TEST(StressSearchTest, RejectsDegenerateConfigs) {
+  StressConfig config;
+  config.restarts = 0;
+  EXPECT_THROW(stress_search(config), std::invalid_argument);
+  config = {};
+  config.plan_tick_budget = 0;
+  EXPECT_THROW(stress_search(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

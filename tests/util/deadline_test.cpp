@@ -1,0 +1,144 @@
+#include "util/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace nptsn {
+namespace {
+
+TEST(DeadlineTest, UnlimitedTokenNeverFires) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.unlimited());
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(deadline.tick());
+  }
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.reason(), "");
+  EXPECT_EQ(deadline.ticks(), 10'000);
+  EXPECT_NO_THROW(deadline.poll());
+}
+
+TEST(DeadlineTest, TickBudgetFiresOnExactlyTheBudgetedTick) {
+  Deadline deadline(/*wall_seconds=*/0.0, /*max_ticks=*/10);
+  EXPECT_FALSE(deadline.unlimited());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(deadline.tick()) << "tick " << i;
+    EXPECT_EQ(deadline.reason(), "");
+  }
+  EXPECT_TRUE(deadline.tick());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.reason(), "deadline: tick budget of 10 work units exceeded");
+}
+
+TEST(DeadlineTest, PollThrowsTypedExceptionWithReason) {
+  Deadline deadline(0.0, 3);
+  deadline.poll();
+  deadline.poll();
+  try {
+    deadline.poll();
+    FAIL() << "third poll should have fired the 3-tick budget";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.reason(), "deadline: tick budget of 3 work units exceeded");
+    EXPECT_STREQ(e.what(), e.reason().c_str());
+  }
+  // Monotone: the token stays expired and keeps throwing.
+  EXPECT_THROW(deadline.poll(), DeadlineExceeded);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, AlreadyExpiredWallBudgetFiresOnFirstPoll) {
+  // An (effectively) zero wall budget must fire on the very first tick, not
+  // after kClockStride of them — the stride check starts at t == 1.
+  Deadline deadline(/*wall_seconds=*/1e-9, /*max_ticks=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(deadline.tick());
+  EXPECT_EQ(deadline.reason(), "deadline: wall-clock budget of " +
+                                   std::to_string(1e-9) + " s exceeded");
+}
+
+TEST(DeadlineTest, ExpiredConsultsClockWithoutCountingWork) {
+  Deadline deadline(1e-9, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.ticks(), 0);  // expired() is not a unit of work
+}
+
+TEST(DeadlineTest, FirstReasonIsStableAcrossLaterExpiryPaths) {
+  Deadline deadline(/*wall_seconds=*/1e-9, /*max_ticks=*/1);
+  // The tick budget fires first (checked before the wall clock)...
+  EXPECT_TRUE(deadline.tick());
+  const std::string reason = deadline.reason();
+  EXPECT_EQ(reason, "deadline: tick budget of 1 work units exceeded");
+  // ...and the wall budget expiring afterwards cannot rewrite it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.reason(), reason);
+}
+
+TEST(DeadlineTest, PauseSuspendsAnExpiredToken) {
+  Deadline deadline(0.0, 2);
+  deadline.poll();
+  EXPECT_THROW(deadline.poll(), DeadlineExceeded);
+  {
+    Deadline::Pause pause(&deadline);
+    // The snapshot-restore path re-runs analysis that polls this very token;
+    // while paused, nothing fires and nothing throws.
+    EXPECT_FALSE(deadline.expired());
+    EXPECT_FALSE(deadline.tick());
+    EXPECT_NO_THROW(deadline.poll());
+    // The recorded reason survives the suspension (diagnostics still work).
+    EXPECT_NE(deadline.reason(), "");
+  }
+  // Resumes firing once the pause is gone.
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_THROW(deadline.poll(), DeadlineExceeded);
+}
+
+TEST(DeadlineTest, PauseNestsAndToleratesNull) {
+  Deadline deadline(0.0, 1);
+  EXPECT_TRUE(deadline.tick());
+  {
+    Deadline::Pause outer(&deadline);
+    {
+      Deadline::Pause inner(&deadline);
+      EXPECT_FALSE(deadline.expired());
+    }
+    EXPECT_FALSE(deadline.expired());  // outer pause still holds
+  }
+  EXPECT_TRUE(deadline.expired());
+  Deadline::Pause noop(nullptr);  // must not crash
+}
+
+TEST(DeadlineTest, ConcurrentPollsFireExactlyOnceWithOneReason) {
+  Deadline deadline(0.0, 1'000);
+  std::atomic<int> throws{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1'000; ++i) {
+        try {
+          deadline.poll();
+        } catch (const DeadlineExceeded& e) {
+          EXPECT_EQ(e.reason(), "deadline: tick budget of 1000 work units exceeded");
+          throws.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 4000 polls against a 1000-tick budget: the budget fired, every poll past
+  // it threw, and all of them saw the same reason.
+  EXPECT_GE(throws.load(), 3'000);
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, RejectsNegativeBudgets) {
+  EXPECT_THROW(Deadline(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Deadline(0.0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nptsn

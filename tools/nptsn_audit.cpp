@@ -6,11 +6,16 @@
 // certificate shipped next to a plan is thereby checkable by a third party
 // long after the planning run is gone.
 //
-// Exit codes: 0 = audit clean, 1 = audit failed (taxonomy printed),
-//             2 = usage / unreadable or corrupt certificate.
+// Exit codes (distinct so CI and scripts can branch without parsing output):
+//   0 = audit clean
+//   1 = audit failed (taxonomy printed)
+//   2 = usage error (bad flags, unknown scenario)
+//   3 = I/O error (unreadable, truncated, or corrupt certificate file)
+//   4 = deadline exceeded (--deadline-ms budget fired before a verdict)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "analysis/auditor.hpp"
@@ -40,6 +45,11 @@ void usage(const char* argv0) {
       "  --flow-seed S        RNG seed for random flows (default 1)\n"
       "  --budget SEC         wall-clock budget for the exhaustive mixed\n"
       "                       link/switch completeness sweep (default 2.0)\n"
+      "  --deadline-ms MS     hard wall-clock deadline over the WHOLE audit;\n"
+      "                       unlike --budget (which degrades to switch-only\n"
+      "                       coverage) an expired deadline aborts with exit\n"
+      "                       code 4 — a truncated audit is not a verdict\n"
+      "                       (default: unlimited)\n"
       "\n"
       "The problem built here must be the one the certificate was issued\n"
       "for; any difference is reported as problem_mismatch, never as a\n"
@@ -56,6 +66,7 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   int flows = -1;
   std::uint64_t flow_seed = 1;
+  double deadline_ms = 0.0;
   AuditOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -77,6 +88,12 @@ int main(int argc, char** argv) {
       flow_seed = static_cast<std::uint64_t>(std::strtoull(value(), nullptr, 10));
     } else if (arg == "--budget") {
       options.exhaustive_budget_seconds = std::atof(value());
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::atof(value());
+      if (deadline_ms < 0.0) {
+        std::fprintf(stderr, "error: --deadline-ms must be non-negative\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -116,7 +133,13 @@ int main(int argc, char** argv) {
   } catch (const CheckpointError& e) {
     std::fprintf(stderr, "error: cannot load %s: %s\n", certificate_path.c_str(),
                  e.what());
-    return 2;
+    return 3;
+  }
+
+  std::shared_ptr<Deadline> deadline;
+  if (deadline_ms > 0.0) {
+    deadline = Deadline::after(deadline_ms / 1000.0);
+    options.deadline = deadline.get();
   }
 
   std::printf("certificate %s\n", certificate_path.c_str());
@@ -127,7 +150,13 @@ int main(int argc, char** argv) {
               certificate.proofs.size(), certificate.max_order,
               certificate.reliability_goal);
 
-  const AuditReport report = audit_certificate(problem, certificate, options);
+  AuditReport report;
+  try {
+    report = audit_certificate(problem, certificate, options);
+  } catch (const DeadlineExceeded& e) {
+    std::fprintf(stderr, "AUDIT ABORTED: %s\n", e.reason().c_str());
+    return 4;
+  }
 
   for (const std::string& note : report.notes) std::printf("  note: %s\n", note.c_str());
   std::printf("  replayed %lld flow states, re-enumerated %lld scenarios (%.3f s)\n",
