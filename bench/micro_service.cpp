@@ -1,0 +1,201 @@
+// Micro-benchmark: what does the planner service's cross-problem cache layer
+// buy on a mixed request stream?
+//
+// The workload is a stream of generated zonal instances with repeats — the
+// planning-as-a-service shape: a fleet variant program resubmits the same
+// problems as specs evolve, so many sessions are byte-identical re-plans.
+// The same stream runs through two freshly booted services, one with the
+// shared stores disabled (every session self-contained, exactly the pre-
+// service behavior) and one with them enabled; both use one shard and one
+// worker so the comparison measures cache effect, not scheduling noise.
+//
+// Reported per stream: throughput (plans/sec), per-session latency
+// percentiles, and their ratios. speedup_shared_cache (higher is better) and
+// latency_p50_ratio / latency_p99_ratio (cache-on latency over cache-off,
+// LOWER is better) are tracked by tools/bench_compare.
+//
+// The bench also enforces the cache layer's core contract: every session's
+// topology and certificate bytes must be BIT-IDENTICAL between the two
+// streams. A cache that changes any result fails the bench, not just the
+// gate.
+//
+//   micro_service [--fast|--paper]
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "scenarios/generator.hpp"
+#include "service/service.hpp"
+
+namespace nptsn::bench {
+namespace {
+
+struct StreamResult {
+  double seconds = 0.0;
+  std::map<std::string, PlanningResponse> responses;
+  std::int64_t shared_hits = 0;
+  int planned = 0;
+};
+
+NptsnConfig session_config(const Mode& mode) {
+  NptsnConfig config = training_config(mode, /*seed=*/11);
+  if (!mode.paper) {
+    // Service sessions in the bench are short and verification-weighted: the
+    // cross-problem cache serves NBF verdicts and whole analysis outcomes,
+    // so the stream must spend its time in verification, not gradient work.
+    config.epochs = 4;
+    config.steps_per_epoch = 96;
+    config.mlp_hidden = {16, 16};
+    config.gcn_layers = 1;
+    config.path_actions = 4;
+    config.train_actor_iters = 3;
+    config.train_critic_iters = 3;
+  }
+  return config;
+}
+
+std::vector<PlanningRequest> build_stream(const Mode& mode) {
+  const int instances = mode.paper ? 6 : 4;
+  const int reps = mode.paper ? 3 : 4;
+  GeneratorParams params;
+  params.flow_count = mode.paper ? 12 : 8;
+  // ORION-class topology with a tight reliability goal: verification cost
+  // grows with the switch count and the failure frontier, so sessions spend
+  // their time where the shared cache acts — NBF verification — rather than
+  // in gradient work.
+  params.zones = 5;
+  params.switches_per_zone = 2;
+  params.backbone_switches = 3;
+  params.reliability_goal = 5e-8;
+
+  std::vector<PlanningRequest> stream;
+  // Round-robin over the instances: every rep beyond the first runs against
+  // stores warmed by the identical earlier session.
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < instances; ++i) {
+      PlanningRequest request;
+      const std::uint64_t seed = 21 + static_cast<std::uint64_t>(i);
+      request.id = "gen-" + std::to_string(seed) + "-r" + std::to_string(rep);
+      request.label = describe(params);
+      request.problem_bytes = problem_bytes(generate(params, seed));
+      stream.push_back(std::move(request));
+    }
+  }
+  return stream;
+}
+
+StreamResult run_stream(const Mode& mode, bool shared) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.workers_per_shard = 1;
+  config.shared_caches = shared;
+  config.session = session_config(mode);
+
+  StreamResult result;
+  PlannerService service(config);
+  const std::vector<PlanningRequest> stream = build_stream(mode);
+  std::vector<std::future<PlanningResponse>> futures;
+  futures.reserve(stream.size());
+
+  const Stopwatch watch;
+  for (const PlanningRequest& request : stream) {
+    futures.push_back(service.submit(request));
+  }
+  for (auto& future : futures) {
+    PlanningResponse response = future.get();
+    if (response.status == ResponseStatus::kFaulted) {
+      std::fprintf(stderr, "session %s faulted: %s\n", response.id.c_str(),
+                   response.error.c_str());
+      std::exit(1);
+    }
+    if (response.status == ResponseStatus::kPlanned) ++result.planned;
+    result.shared_hits += response.verify_shared_hits;
+    result.responses.emplace(response.id, std::move(response));
+  }
+  result.seconds = watch.seconds();
+  service.shutdown(PlannerService::Shutdown::kDrain);
+  return result;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+int run(int argc, char** argv) {
+  const Mode mode = Mode::parse(argc, argv);
+
+  const StreamResult off = run_stream(mode, /*shared=*/false);
+  const StreamResult on = run_stream(mode, /*shared=*/true);
+
+  // The contract before the numbers: the shared stores must not change one
+  // bit of any session's outcome.
+  if (off.responses.size() != on.responses.size()) {
+    std::fprintf(stderr, "stream sizes diverged between cache modes\n");
+    return 1;
+  }
+  for (const auto& [id, off_response] : off.responses) {
+    const auto it = on.responses.find(id);
+    if (it == on.responses.end() || it->second.status != off_response.status ||
+        it->second.topology_bytes != off_response.topology_bytes ||
+        it->second.certificate_bytes != off_response.certificate_bytes ||
+        it->second.best_cost != off_response.best_cost) {
+      std::fprintf(stderr, "session %s: shared caches changed the result\n", id.c_str());
+      return 1;
+    }
+  }
+
+  auto latencies = [](const StreamResult& stream) {
+    std::vector<double> seconds;
+    seconds.reserve(stream.responses.size());
+    for (const auto& [id, response] : stream.responses) {
+      seconds.push_back(response.plan_seconds);
+    }
+    return seconds;
+  };
+  const std::vector<double> off_lat = latencies(off);
+  const std::vector<double> on_lat = latencies(on);
+  const double n = static_cast<double>(off.responses.size());
+  const double off_p50 = percentile(off_lat, 0.50);
+  const double off_p99 = percentile(off_lat, 0.99);
+  const double on_p50 = percentile(on_lat, 0.50);
+  const double on_p99 = percentile(on_lat, 0.99);
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"micro_service\",\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"requests\": %d,\n"
+      "  \"scenarios\": [\n"
+      "    {\n"
+      "      \"name\": \"mixed-stream\",\n"
+      "      \"planned_off\": %d,\n"
+      "      \"planned_on\": %d,\n"
+      "      \"seconds_off\": %.6f,\n"
+      "      \"seconds_on\": %.6f,\n"
+      "      \"plans_per_sec_off\": %.6f,\n"
+      "      \"plans_per_sec_on\": %.6f,\n"
+      "      \"speedup_shared_cache\": %.6f,\n"
+      "      \"latency_p50_ratio\": %.6f,\n"
+      "      \"latency_p99_ratio\": %.6f,\n"
+      "      \"shared_hits\": %lld,\n"
+      "      \"identical_plans\": true\n"
+      "    }\n"
+      "  ]\n"
+      "}\n",
+      mode.paper ? "paper" : "fast", static_cast<int>(n), off.planned, on.planned,
+      off.seconds, on.seconds, n / off.seconds, n / on.seconds, off.seconds / on.seconds,
+      on_p50 / off_p50, on_p99 / off_p99, static_cast<long long>(on.shared_hits));
+  return 0;
+}
+
+}  // namespace
+}  // namespace nptsn::bench
+
+int main(int argc, char** argv) { return nptsn::bench::run(argc, argv); }

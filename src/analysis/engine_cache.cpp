@@ -1,0 +1,156 @@
+#include "analysis/engine_cache.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// splitmix64 finalizer, for shard routing only.
+std::uint64_t route_mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Resident-byte estimates for the LruStore budgets. Estimates, not exact
+// audits: the point is that a verdict with a long error list charges more
+// than a clean one, and an outcome with a big counterexample more than an
+// empty one, so the byte budget tracks real memory within a small factor.
+std::size_t verdict_cost(const std::vector<NodeId>& failed, const NbfVerdict& verdict) {
+  return sizeof(NbfVerdict) + failed.size() * sizeof(NodeId) +
+         verdict.errors.size() * sizeof(ErrorSet::value_type);
+}
+
+std::size_t outcome_cost(const std::vector<signed char>& plan,
+                         const AnalysisOutcome& outcome) {
+  return sizeof(AnalysisOutcome) + plan.size() +
+         outcome.errors.size() * sizeof(ErrorSet::value_type) +
+         outcome.counterexample.failed_switches.size() * sizeof(NodeId) +
+         outcome.counterexample.failed_links.size() *
+             sizeof(decltype(outcome.counterexample.failed_links)::value_type);
+}
+
+}  // namespace
+
+bool EngineSharedCache::VerdictLess::less(const ProblemFp& ap, std::uint64_t as,
+                                          const GraphFp& af, const std::vector<NodeId>& av,
+                                          const ProblemFp& bp, std::uint64_t bs,
+                                          const GraphFp& bf,
+                                          const std::vector<NodeId>& bv) {
+  if (ap != bp) return ap < bp;
+  if (as != bs) return as < bs;
+  if (af != bf) return af < bf;
+  return std::lexicographical_compare(av.begin(), av.end(), bv.begin(), bv.end());
+}
+
+bool EngineSharedCache::OutcomeLess::less(const ProblemFp& ap, std::uint64_t as,
+                                          const GraphFp& af,
+                                          const std::vector<signed char>& av,
+                                          const ProblemFp& bp, std::uint64_t bs,
+                                          const GraphFp& bf,
+                                          const std::vector<signed char>& bv) {
+  if (ap != bp) return ap < bp;
+  if (as != bs) return as < bs;
+  if (af != bf) return af < bf;
+  return std::lexicographical_compare(av.begin(), av.end(), bv.begin(), bv.end());
+}
+
+std::shared_ptr<const EngineStaging> make_engine_staging(const PlanningProblem& problem) {
+  auto staging = std::make_shared<EngineStaging>();
+  staging->problem_fp = problem_fingerprint128(problem);
+  staging->switch_ids = problem.switch_ids();
+  return staging;
+}
+
+EngineSharedCache::EngineSharedCache(Config config) : config_(config) {
+  NPTSN_EXPECT(config.shards >= 1, "shared cache needs at least one shard");
+  NPTSN_EXPECT(config.verdict_bytes_per_shard >= 1 && config.outcome_bytes_per_shard >= 1,
+               "shared cache shard budgets must be positive");
+  shards_.reserve(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config.verdict_bytes_per_shard,
+                                              config.outcome_bytes_per_shard));
+  }
+}
+
+EngineSharedCache::Shard& EngineSharedCache::shard_for(const Binding& binding,
+                                                       const GraphFp& fp) const {
+  // Route by (problem, graph) fingerprint: sessions probing the same keys
+  // land on the same shard (mandatory for reuse); unrelated sessions spread.
+  const std::uint64_t h = route_mix64(binding.problem.a ^ binding.salt ^ fp.a);
+  return *shards_[h % shards_.size()];
+}
+
+bool EngineSharedCache::lookup_verdict(const Binding& binding, const GraphFp& rfp,
+                                       const std::vector<NodeId>& failed,
+                                       NbfVerdict* out) {
+  Shard& shard = shard_for(binding, rfp);
+  std::lock_guard lock(shard.mutex);
+  const NbfVerdict* hit =
+      shard.verdicts.get(VerdictRef{binding.problem, binding.salt, rfp, &failed});
+  if (!hit) return false;
+  *out = *hit;
+  return true;
+}
+
+void EngineSharedCache::publish_verdict(const Binding& binding, const GraphFp& rfp,
+                                        const std::vector<NodeId>& failed,
+                                        const NbfVerdict& verdict) {
+  Shard& shard = shard_for(binding, rfp);
+  std::lock_guard lock(shard.mutex);
+  shard.verdicts.put(VerdictKey{binding.problem, binding.salt, rfp, failed}, verdict,
+                     verdict_cost(failed, verdict));
+}
+
+bool EngineSharedCache::lookup_outcome(const Binding& binding, const GraphFp& fp,
+                                       const std::vector<signed char>& plan,
+                                       AnalysisOutcome* out) {
+  Shard& shard = shard_for(binding, fp);
+  std::lock_guard lock(shard.mutex);
+  const AnalysisOutcome* hit =
+      shard.outcomes.get(OutcomeRef{binding.problem, binding.salt, fp, &plan});
+  if (!hit) return false;
+  *out = *hit;
+  return true;
+}
+
+void EngineSharedCache::publish_outcome(const Binding& binding, const GraphFp& fp,
+                                        const std::vector<signed char>& plan,
+                                        const AnalysisOutcome& outcome) {
+  Shard& shard = shard_for(binding, fp);
+  std::lock_guard lock(shard.mutex);
+  shard.outcomes.put(OutcomeKey{binding.problem, binding.salt, fp, plan}, outcome,
+                     outcome_cost(plan, outcome));
+}
+
+EngineSharedCache::Stats EngineSharedCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total.verdict_hits += shard->verdicts.hits();
+    total.verdict_misses += shard->verdicts.misses();
+    total.verdict_evictions += shard->verdicts.evictions();
+    total.outcome_hits += shard->outcomes.hits();
+    total.outcome_misses += shard->outcomes.misses();
+    total.outcome_evictions += shard->outcomes.evictions();
+    total.rejected += shard->verdicts.rejected() + shard->outcomes.rejected();
+    total.bytes += shard->verdicts.bytes() + shard->outcomes.bytes();
+    total.entries += shard->verdicts.size() + shard->outcomes.size();
+  }
+  return total;
+}
+
+void EngineSharedCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->verdicts.clear();
+    shard->outcomes.clear();
+  }
+}
+
+}  // namespace nptsn

@@ -1,0 +1,199 @@
+// Cross-problem cache layer for the verification engine (DESIGN.md §13).
+//
+// A VerificationEngine's residual-verdict memo and whole-outcome cache are
+// per-engine derived state: every PlanningEnv (one per rollout worker, one
+// per planning session) used to warm its own caches from zero. The planner
+// service runs MANY sessions — often on byte-identical or near-identical
+// problems — in one long-lived process, so this header lifts both caches
+// into a shared, concurrency-safe, bounded store that outlives any single
+// session:
+//
+//   - EngineStaging: the per-problem constants an engine needs (the switch-id
+//     universe and the problem fingerprint), staged ONCE per plan() call and
+//     shared read-only by every worker engine instead of being rebuilt per
+//     PlanningEnv.
+//   - EngineSharedCache: sharded (mutex + byte-budgeted LruStore per shard)
+//     store of NBF verdicts keyed by (problem fp, salt, residual fp, failed
+//     set) and whole AnalysisOutcomes keyed by (problem fp, salt, graph fp,
+//     switch plan).
+//
+// Cache-key soundness: an NBF verdict is a deterministic pure function of
+// (problem, NBF construction, residual graph, failed set); an outcome is a
+// deterministic function of (problem, NBF construction, analysis options,
+// link set, switch plan). The problem is identified by ProblemFp — the
+// 128-bit fingerprint of the CANONICAL problem bytes, so sharing only ever
+// happens between sessions whose problems are byte-identical. Everything
+// else that could change a verdict without changing the problem bytes (NBF
+// construction parameters, flow_level_redundancy, superset pruning) is
+// folded into the binding's salt by the engine. A shared hit is therefore an
+// exact replay of a pure function on an identical input — the same contract
+// as the engine's local memo — so per-session results are bit-identical with
+// the shared cache on or off; only the work-split counters (nbf_executed /
+// shared_hits) differ. Like every engine cache, the store is derived state:
+// it must never be serialized into checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analysis/failure_analyzer.hpp"
+#include "net/problem.hpp"
+#include "util/lru_store.hpp"
+
+namespace nptsn {
+
+// The memoized result of one stateless-NBF evaluation (hoisted from
+// VerificationEngine so the shared cache and the per-engine memo agree on
+// the record layout).
+struct NbfVerdict {
+  bool ok = false;
+  ErrorSet errors;
+  // Full-graph fingerprint of the topology the verdict was computed on;
+  // instrumentation only (splits memo_hits from residual_reuses).
+  GraphFp origin;
+};
+
+// Per-problem constants staged once per plan() call and shared read-only by
+// every worker engine. Without it each PlanningEnv's engine re-derived the
+// switch-id universe and the plan scratch sizing from the problem — harmless
+// for one env, pure waste for num_workers of them and for every session the
+// service runs on an already-seen problem.
+struct EngineStaging {
+  ProblemFp problem_fp;
+  std::vector<NodeId> switch_ids;  // sorted, the outcome-cache plan universe
+};
+
+std::shared_ptr<const EngineStaging> make_engine_staging(const PlanningProblem& problem);
+
+class EngineSharedCache {
+ public:
+  struct Config {
+    // Shards spread lock contention between concurrent sessions; routing is
+    // by key fingerprint, so two sessions on the same problem still meet in
+    // the same shard (that collision IS the point — it's where reuse lives).
+    int shards = 4;
+    // Byte budgets per shard (LruStore semantics: per-entry overhead is
+    // charged on top of the estimated value cost).
+    std::size_t verdict_bytes_per_shard = std::size_t{16} << 20;
+    std::size_t outcome_bytes_per_shard = std::size_t{4} << 20;
+  };
+
+  // Session identity a lookup/publish is performed under: the canonical
+  // problem fingerprint plus the engine-computed salt (analysis options +
+  // caller-declared NBF construction identity).
+  struct Binding {
+    ProblemFp problem;
+    std::uint64_t salt = 0;
+  };
+
+  struct Stats {
+    std::uint64_t verdict_hits = 0;
+    std::uint64_t verdict_misses = 0;
+    std::uint64_t verdict_evictions = 0;
+    std::uint64_t outcome_hits = 0;
+    std::uint64_t outcome_misses = 0;
+    std::uint64_t outcome_evictions = 0;
+    std::uint64_t rejected = 0;  // entries refused as larger than a shard budget
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+
+  EngineSharedCache() : EngineSharedCache(Config{}) {}
+  explicit EngineSharedCache(Config config);
+
+  // Verdict sharing. Lookup copies the hit into *out (the store's own entry
+  // may be evicted by a concurrent session the moment the shard unlocks);
+  // returns false on a miss. Publish is last-writer-wins — every writer
+  // publishes the same pure-function result, so the race is benign.
+  bool lookup_verdict(const Binding& binding, const GraphFp& rfp,
+                      const std::vector<NodeId>& failed, NbfVerdict* out);
+  void publish_verdict(const Binding& binding, const GraphFp& rfp,
+                       const std::vector<NodeId>& failed, const NbfVerdict& verdict);
+
+  // Whole-outcome sharing, same contract.
+  bool lookup_outcome(const Binding& binding, const GraphFp& fp,
+                      const std::vector<signed char>& plan, AnalysisOutcome* out);
+  void publish_outcome(const Binding& binding, const GraphFp& fp,
+                       const std::vector<signed char>& plan, const AnalysisOutcome& outcome);
+
+  // Aggregated over all shards (each shard locked in turn; a concurrently
+  // mutating cache yields a momentary snapshot).
+  Stats stats() const;
+  void clear();
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct VerdictKey {
+    ProblemFp problem;
+    std::uint64_t salt = 0;
+    GraphFp rfp;
+    std::vector<NodeId> failed;
+  };
+  struct VerdictRef {
+    ProblemFp problem;
+    std::uint64_t salt = 0;
+    GraphFp rfp;
+    const std::vector<NodeId>* failed = nullptr;
+  };
+  struct VerdictLess {
+    using is_transparent = void;
+    static bool less(const ProblemFp& ap, std::uint64_t as, const GraphFp& af,
+                     const std::vector<NodeId>& av, const ProblemFp& bp, std::uint64_t bs,
+                     const GraphFp& bf, const std::vector<NodeId>& bv);
+    bool operator()(const VerdictKey& a, const VerdictKey& b) const {
+      return less(a.problem, a.salt, a.rfp, a.failed, b.problem, b.salt, b.rfp, b.failed);
+    }
+    bool operator()(const VerdictKey& a, const VerdictRef& b) const {
+      return less(a.problem, a.salt, a.rfp, a.failed, b.problem, b.salt, b.rfp, *b.failed);
+    }
+    bool operator()(const VerdictRef& a, const VerdictKey& b) const {
+      return less(a.problem, a.salt, a.rfp, *a.failed, b.problem, b.salt, b.rfp, b.failed);
+    }
+  };
+
+  struct OutcomeKey {
+    ProblemFp problem;
+    std::uint64_t salt = 0;
+    GraphFp fp;
+    std::vector<signed char> plan;
+  };
+  struct OutcomeRef {
+    ProblemFp problem;
+    std::uint64_t salt = 0;
+    GraphFp fp;
+    const std::vector<signed char>* plan = nullptr;
+  };
+  struct OutcomeLess {
+    using is_transparent = void;
+    static bool less(const ProblemFp& ap, std::uint64_t as, const GraphFp& af,
+                     const std::vector<signed char>& av, const ProblemFp& bp,
+                     std::uint64_t bs, const GraphFp& bf, const std::vector<signed char>& bv);
+    bool operator()(const OutcomeKey& a, const OutcomeKey& b) const {
+      return less(a.problem, a.salt, a.fp, a.plan, b.problem, b.salt, b.fp, b.plan);
+    }
+    bool operator()(const OutcomeKey& a, const OutcomeRef& b) const {
+      return less(a.problem, a.salt, a.fp, a.plan, b.problem, b.salt, b.fp, *b.plan);
+    }
+    bool operator()(const OutcomeRef& a, const OutcomeKey& b) const {
+      return less(a.problem, a.salt, a.fp, *a.plan, b.problem, b.salt, b.fp, b.plan);
+    }
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    LruStore<VerdictKey, NbfVerdict, VerdictLess> verdicts;
+    LruStore<OutcomeKey, AnalysisOutcome, OutcomeLess> outcomes;
+    Shard(std::size_t verdict_bytes, std::size_t outcome_bytes)
+        : verdicts(verdict_bytes), outcomes(outcome_bytes) {}
+  };
+
+  Shard& shard_for(const Binding& binding, const GraphFp& fp) const;
+
+  Config config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nptsn

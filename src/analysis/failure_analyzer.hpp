@@ -44,6 +44,8 @@ struct AnalysisOutcome {
   std::int64_t residual_reuses = 0;    // memo verdicts carried over from an earlier
                                        // topology with an identical residual (exact)
   std::int64_t speculative_waste = 0;  // parallel evaluations discarded by the reduction
+  std::int64_t shared_hits = 0;        // verdicts/outcomes served from the cross-
+                                       // session shared cache (engine_cache)
   double wall_seconds = 0.0;           // wall time of this analysis
 };
 

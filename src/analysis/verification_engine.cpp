@@ -20,11 +20,23 @@ bool subset_of_any(const FailureScenario& scenario,
 }  // namespace
 
 VerificationEngine::VerificationEngine(const StatelessNbf& nbf, Options options)
-    : nbf_(&nbf), options_(options) {
-  NPTSN_EXPECT(options.num_threads >= 1, "engine needs at least one thread");
-  NPTSN_EXPECT(options.chunk_size >= 1, "engine chunk size must be positive");
-  NPTSN_EXPECT(options.max_memo_entries >= 1, "memo bound must be positive");
-  if (options.num_threads > 1) pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    : nbf_(&nbf), options_(std::move(options)) {
+  NPTSN_EXPECT(options_.num_threads >= 1, "engine needs at least one thread");
+  NPTSN_EXPECT(options_.chunk_size >= 1, "engine chunk size must be positive");
+  NPTSN_EXPECT(options_.max_memo_entries >= 1, "memo bound must be positive");
+  NPTSN_EXPECT(!options_.shared_cache || options_.staging,
+               "the shared cache needs staged problem identity (Options::staging)");
+  if (options_.staging) switch_universe_ = &options_.staging->switch_ids;
+  if (options_.shared_cache) {
+    binding_.problem = options_.staging->problem_fp;
+    // Every option that can change a verdict or an outcome without changing
+    // the problem bytes lands in the salt; shifted so the caller's NBF
+    // identity never collides with the option bits.
+    binding_.salt = (options_.cache_salt << 2) |
+                    (options_.flow_level_redundancy ? 1u : 0u) |
+                    (options_.use_superset_pruning ? 2u : 0u);
+  }
+  if (options_.num_threads > 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
 }
 
 void VerificationEngine::clear() {
@@ -44,30 +56,42 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     if (outcomes_.size() > options_.max_memo_entries) outcomes_.clear();
 
     // Outcome cache: (link set, switch plan) determines the whole analysis.
-    // The switch-id universe is a per-problem constant; cache it (and reuse
-    // the plan scratch buffer) so the probe allocates nothing.
-    if (!plan_switches_cached_) {
+    // The switch-id universe is a per-problem constant — staged by the
+    // caller or self-staged once — and the plan scratch buffer is reused,
+    // so the probe allocates nothing.
+    if (!switch_universe_) {
       plan_switches_ = problem.switch_ids();
-      plan_switches_cached_ = true;
+      switch_universe_ = &plan_switches_;
     }
     plan_.clear();
-    plan_.reserve(plan_switches_.size());
-    for (const NodeId v : plan_switches_) {
+    plan_.reserve(switch_universe_->size());
+    for (const NodeId v : *switch_universe_) {
       plan_.push_back(topology.has_switch(v)
                           ? static_cast<signed char>(topology.switch_asil(v))
                           : static_cast<signed char>(-1));
     }
-    if (const auto it = outcomes_.find(OutcomeRef{fp, &plan_}); it != outcomes_.end()) {
-      AnalysisOutcome cached = it->second;
-      // Logical counters replay verbatim; the work counters reflect this
-      // run: nothing executed, everything served from the cache.
+    // Normalizes a cached outcome's work counters for this run: nothing
+    // executed, everything served from a cache.
+    const auto serve_cached = [&](AnalysisOutcome cached, bool from_shared) {
       cached.nbf_executed = 0;
-      cached.memo_hits = cached.nbf_calls;
+      cached.memo_hits = from_shared ? 0 : cached.nbf_calls;
       cached.residual_reuses = 0;
       cached.speculative_waste = 0;
+      cached.shared_hits = from_shared ? cached.nbf_calls : 0;
       cached.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
       return cached;
+    };
+    if (const auto it = outcomes_.find(OutcomeRef{fp, &plan_}); it != outcomes_.end()) {
+      return serve_cached(it->second, /*from_shared=*/false);
+    }
+    if (options_.shared_cache) {
+      AnalysisOutcome shared;
+      if (options_.shared_cache->lookup_outcome(binding_, fp, plan_, &shared)) {
+        // Adopt into the local cache so later probes stay lock-free.
+        outcomes_.emplace(OutcomeKey{fp, plan_}, shared);
+        return serve_cached(std::move(shared), /*from_shared=*/true);
+      }
     }
   }
 
@@ -113,7 +137,12 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
   };
 
   const auto commit = [&] {
-    if (options_.incremental) outcomes_.emplace(OutcomeKey{fp, plan_}, outcome);
+    if (options_.incremental) {
+      outcomes_.emplace(OutcomeKey{fp, plan_}, outcome);
+      if (options_.shared_cache) {
+        options_.shared_cache->publish_outcome(binding_, fp, plan_, outcome);
+      }
+    }
     outcome.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return outcome;
@@ -156,6 +185,14 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
             verdict = it->second;  // exact: identical residual, identical failed set
             count_memo_hit(verdict);
             resolved = true;
+          } else if (options_.shared_cache &&
+                     options_.shared_cache->lookup_verdict(
+                         binding_, rfp, scenario.failed_switches, &verdict)) {
+            // Exact replay from another session on the byte-identical
+            // problem; adopt into the local memo for lock-free re-probes.
+            memo_.emplace(MemoKey{rfp, scenario.failed_switches}, verdict);
+            ++outcome.shared_hits;
+            resolved = true;
           }
         }
         if (!resolved) {
@@ -166,6 +203,10 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           verdict.origin = fp;
           if (options_.incremental) {
             memo_.emplace(MemoKey{rfp, scenario.failed_switches}, verdict);
+            if (options_.shared_cache) {
+              options_.shared_cache->publish_verdict(binding_, rfp,
+                                                     scenario.failed_switches, verdict);
+            }
           }
         }
         if (!verdict.ok) {
@@ -190,6 +231,7 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     Source source = Source::kEval;
     GraphFp rfp;                    // set when incremental and not skipped
     const Verdict* memo = nullptr;  // kMemo
+    bool shared = false;            // kMemo verdict adopted from the shared cache
     NbfResult result;               // kEval, once evaluated
     bool evaluated = false;
   };
@@ -220,6 +262,20 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           item.source = Source::kMemo;
           item.memo = &it->second;
           continue;
+        }
+        if (options_.shared_cache) {
+          Verdict shared;
+          if (options_.shared_cache->lookup_verdict(
+                  binding_, item.rfp, item.scenario.failed_switches, &shared)) {
+            // Adopt into the local memo (std::map values are address-stable)
+            // and serve from there, exactly like a local hit.
+            const auto slot = memo_.emplace(
+                MemoKey{item.rfp, item.scenario.failed_switches}, std::move(shared));
+            item.source = Source::kMemo;
+            item.memo = &slot.first->second;
+            item.shared = true;
+            continue;
+          }
         }
       }
       to_eval.push_back(i);
@@ -253,7 +309,11 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
       switch (item.source) {
         case Source::kMemo:
           verdict = *item.memo;  // exact: identical residual, identical failed set
-          count_memo_hit(verdict);
+          if (item.shared) {
+            ++outcome.shared_hits;
+          } else {
+            count_memo_hit(verdict);
+          }
           break;
         case Source::kEval:
           if (!item.evaluated) {
@@ -265,6 +325,10 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
           verdict.origin = fp;
           if (options_.incremental) {
             memo_.emplace(MemoKey{item.rfp, item.scenario.failed_switches}, verdict);
+            if (options_.shared_cache) {
+              options_.shared_cache->publish_verdict(
+                  binding_, item.rfp, item.scenario.failed_switches, verdict);
+            }
           }
           break;
       }

@@ -63,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/engine_cache.hpp"
 #include "analysis/failure_analyzer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -92,6 +93,20 @@ class VerificationEngine {
     // outgrow this bound (derived state — dropping them costs recomputation,
     // never correctness).
     std::size_t max_memo_entries = std::size_t{1} << 18;
+    // Per-problem constants staged once by the caller and shared read-only
+    // by every worker engine of a session (engine_cache.hpp). Optional: a
+    // bare engine stages for itself on the first analysis.
+    std::shared_ptr<const EngineStaging> staging;
+    // Cross-session shared cache (engine_cache.hpp). Requires `staging` (the
+    // staged problem fingerprint is the cache identity). Hits are exact
+    // replays, so results stay bit-identical with the cache on or off; only
+    // nbf_executed / shared_hits move. Implies nothing unless `incremental`.
+    std::shared_ptr<EngineSharedCache> shared_cache;
+    // Folded into the shared-cache binding salt: identifies the NBF's
+    // construction (e.g. path candidates, forwarding discipline) so engines
+    // whose NBFs could disagree never share verdicts. Callers that share a
+    // cache across differently-configured NBFs MUST disambiguate here.
+    std::uint64_t cache_salt = 0;
   };
 
   explicit VerificationEngine(const StatelessNbf& nbf)
@@ -111,13 +126,9 @@ class VerificationEngine {
   const Options& options() const { return options_; }
 
  private:
-  struct Verdict {
-    bool ok = false;
-    ErrorSet errors;
-    // Full-graph fingerprint of the topology the verdict was computed on;
-    // instrumentation only (splits memo_hits from residual_reuses).
-    GraphFp origin;
-  };
+  // Hoisted to namespace scope (engine_cache.hpp) so the shared cache and
+  // the per-engine memo store the identical record.
+  using Verdict = NbfVerdict;
 
   // Memo key: the residual graph's edge fingerprint plus the failed set
   // (which also fixes the residual's active-node set — the node universe is
@@ -184,9 +195,15 @@ class VerificationEngine {
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
 
-  // Per-problem constants and a scratch plan buffer, cached so the hot
+  // The session identity shared-cache operations run under (problem
+  // fingerprint + option/NBF salt); valid iff options_.shared_cache.
+  EngineSharedCache::Binding binding_;
+
+  // Per-problem switch-id universe: borrowed from the staged constants when
+  // the caller provided them, self-staged into plan_switches_ on the first
+  // analysis otherwise. The plan scratch buffer is reused so the hot
   // outcome-cache probe allocates nothing (the engine serves one problem).
-  bool plan_switches_cached_ = false;
+  const std::vector<NodeId>* switch_universe_ = nullptr;
   std::vector<NodeId> plan_switches_;
   std::vector<signed char> plan_;
 

@@ -12,6 +12,13 @@
 
 namespace nptsn {
 
+// Cross-session shared stores (planning-as-a-service, DESIGN.md §13). Held
+// as shared_ptr to forward-declared types so this header stays light; the
+// planner wires them through when set.
+class EngineSharedCache;    // analysis/engine_cache.hpp
+class AdjacencyStageCache;  // nn/stage_cache.hpp
+class PolicyStore;          // rl/warm_start.hpp
+
 // Independent-audit policy for analyzer-approved solutions (certified
 // planning, src/analysis/auditor). kFinal re-derives a reliability
 // certificate for the returned best plan and audits it once at the end of
@@ -83,6 +90,33 @@ struct NptsnConfig {
   // keep num_workers * verification_threads near the core count). 1 keeps
   // the analysis single-threaded with incremental reuse only.
   int verification_threads = 1;
+
+  // --- cross-session shared caches (planning-as-a-service) --------------------
+  // All three stores are OPTIONAL (null = the session runs self-contained,
+  // exactly as before) and shared: a long-lived process — the planner
+  // service above all — installs one instance of each into every session's
+  // config so warm state crosses session boundaries.
+  //
+  // Exact reuse, preserved determinism: verdict/outcome sharing and staged-
+  // adjacency reuse serve bit-identical replays of pure functions, so a
+  // session's plan, certificate, and training trajectory are IDENTICAL with
+  // these caches on or off (differential-tested).
+  std::shared_ptr<EngineSharedCache> engine_shared_cache;
+  std::shared_ptr<AdjacencyStageCache> stage_cache;
+  // Disambiguates NBF construction identity inside the shared cache: two
+  // sessions may share verdicts only when their (problem bytes, this salt)
+  // agree. Callers that pass a non-default-constructed NBF into plan() MUST
+  // set a distinct salt per construction.
+  std::uint64_t cache_salt = 0;
+  // Warm-started policy weights are NOT result-preserving (a different
+  // initialization means a different training trajectory — usually better,
+  // never unsound), hence the separate explicit opt-in below.
+  std::shared_ptr<PolicyStore> policy_store;
+  bool warm_start = false;
+  // Also checkpoint when training stops early on a budget/deadline (needs
+  // checkpoint_path). The service's graceful shutdown cancels session
+  // deadlines and relies on this to persist in-flight sessions for resume.
+  bool checkpoint_on_stop = false;
 
   // --- certified planning -----------------------------------------------------
   AuditMode audit_mode = AuditMode::kOff;

@@ -65,7 +65,8 @@ std::vector<std::string> SolutionRecorder::rejection_summaries() const {
 }
 
 PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
-                         const NptsnConfig& config, SolutionRecorder& recorder, Rng rng)
+                         const NptsnConfig& config, SolutionRecorder& recorder, Rng rng,
+                         std::shared_ptr<const EngineStaging> staging)
     : problem_(&problem),
       nbf_(&nbf),
       config_(&config),
@@ -85,6 +86,13 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
     VerificationEngine::Options options;
     options.num_threads = config.verification_threads;
     options.deadline = config.deadline.get();
+    // Per-problem constants: staged once by the caller when provided (one
+    // staging serves every worker env of a session — and, through the
+    // service, every session on an already-seen problem), self-staged here
+    // otherwise. The shared cache requires the staged problem fingerprint.
+    options.staging = staging ? std::move(staging) : make_engine_staging(problem);
+    options.shared_cache = config.engine_shared_cache;
+    options.cache_salt = config.cache_salt;
     engine_ = std::make_unique<VerificationEngine>(nbf, options);
   }
   analyze_and_generate();
@@ -114,6 +122,7 @@ void PlanningEnv::analyze_and_generate() {
   stats_.verify_executed += analysis_.nbf_executed;
   stats_.verify_memo_hits += analysis_.memo_hits;
   stats_.verify_residual_reuses += analysis_.residual_reuses;
+  stats_.verify_shared_hits += analysis_.shared_hits;
   stats_.verify_seconds += analysis_.wall_seconds;
   if (analysis_.reliable) {
     actions_ = ActionSpace{};  // regenerated on reset

@@ -52,9 +52,13 @@ class SolutionRecorder {
 
 class PlanningEnv final : public Environment {
  public:
-  // All references must outlive the environment.
+  // All references must outlive the environment. `staging` optionally shares
+  // the engine's per-problem constants across the session's workers (plan()
+  // stages once and passes it to every env); null self-stages when the
+  // verification engine is enabled.
   PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf,
-              const NptsnConfig& config, SolutionRecorder& recorder, Rng rng);
+              const NptsnConfig& config, SolutionRecorder& recorder, Rng rng,
+              std::shared_ptr<const EngineStaging> staging = nullptr);
 
   int num_actions() const override;
   Observation observe() const override;

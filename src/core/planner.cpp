@@ -1,6 +1,8 @@
 #include "core/planner.hpp"
 
 #include "analysis/auditor.hpp"
+#include "analysis/engine_cache.hpp"
+#include "rl/warm_start.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -31,6 +33,13 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
 
   Rng rng(config.seed);
   ActorCritic net(net_config, rng);
+  if (config.stage_cache) net.set_stage_cache(config.stage_cache);
+  // Warm start (opt-in): replace the fresh initialization with the best
+  // same-architecture weights any earlier session published. Consumes no
+  // randomness, so a store miss leaves the run identical to a cold one. A
+  // checkpoint resume below still takes precedence (the trainer restores
+  // the checkpointed weights over these).
+  if (config.warm_start && config.policy_store) config.policy_store->warm_start(net);
 
   TrainerConfig trainer_config;
   trainer_config.epochs = config.epochs;
@@ -47,6 +56,7 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   trainer_config.seed = rng.next_u64();
   trainer_config.checkpoint_path = config.checkpoint_path;
   trainer_config.checkpoint_interval = config.checkpoint_interval;
+  trainer_config.checkpoint_on_stop = config.checkpoint_on_stop;
   trainer_config.max_epoch_retries = config.max_epoch_retries;
   trainer_config.health.enabled = config.health_checks;
   trainer_config.health.max_rollbacks = config.max_rollbacks;
@@ -58,12 +68,17 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   trainer_config.max_total_steps = config.max_total_steps;
   trainer_config.deadline = config.deadline.get();
 
+  // Engine per-problem constants, staged ONCE for the whole session: every
+  // worker env's engine borrows them instead of re-deriving per environment.
+  const std::shared_ptr<const EngineStaging> staging =
+      config.use_verification_engine ? make_engine_staging(problem) : nullptr;
+
   Rng env_seeder(rng.next_u64());
   Trainer trainer(
       net,
       [&] {
         return std::make_unique<PlanningEnv>(problem, nbf, config, recorder,
-                                             env_seeder.split());
+                                             env_seeder.split(), staging);
       },
       trainer_config);
 
@@ -96,6 +111,14 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   result.anomalies_total = trainer.ledger().total();
   result.rollbacks = trainer.total_rollbacks();
   result.quarantined_worker_epochs = trainer.total_quarantined();
+
+  // Offer the trained weights to the warm-start store (kept only when they
+  // beat the best same-architecture entry). Publishing is unconditional on
+  // the warm_start flag: a cold session's result may still seed later
+  // opted-in sessions, and publishing changes nothing about this run.
+  if (config.policy_store && result.feasible) {
+    config.policy_store->publish(net, result.best_cost);
+  }
 
   // Certified planning: the plan is only returned feasible once its
   // reliability certificate — evidence rebuilt from the topology, not the

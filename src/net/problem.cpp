@@ -239,4 +239,43 @@ PlanningProblem problem_from_bytes(const std::vector<std::uint8_t>& bytes) {
   return problem;
 }
 
+namespace {
+
+// splitmix64 finalizer (same mixer the graph fingerprint uses).
+std::uint64_t fp_mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Second, structurally different 64-bit pass over the same bytes: a keyed
+// multiply-xor-mix stream (splitmix64 absorption). Independent from FNV-1a,
+// so a collision must defeat two unrelated hash constructions at once.
+std::uint64_t absorb64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t state = 0xa54ff53a5f1d36f1ull ^ (static_cast<std::uint64_t>(size) << 1);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) word |= std::uint64_t{data[i + b]} << (8 * b);
+    state = fp_mix64(state ^ word) + 0x9e3779b97f4a7c15ull;
+  }
+  std::uint64_t tail = 0;
+  for (int b = 0; i < size; ++i, ++b) tail |= std::uint64_t{data[i]} << (8 * b);
+  return fp_mix64(state ^ tail);
+}
+
+}  // namespace
+
+ProblemFp problem_fingerprint128(const std::vector<std::uint8_t>& canonical_bytes) {
+  return ProblemFp{fnv1a64(canonical_bytes.data(), canonical_bytes.size()),
+                   absorb64(canonical_bytes.data(), canonical_bytes.size())};
+}
+
+ProblemFp problem_fingerprint128(const PlanningProblem& problem) {
+  return problem_fingerprint128(problem_bytes(problem));
+}
+
 }  // namespace nptsn

@@ -91,4 +91,27 @@ PlanningProblem load_problem(ByteReader& in);
 std::vector<std::uint8_t> problem_bytes(const PlanningProblem& problem);
 PlanningProblem problem_from_bytes(const std::vector<std::uint8_t>& bytes);
 
+// --- fingerprinting ----------------------------------------------------------
+// 128-bit fingerprint of the CANONICAL problem serialization. Because
+// save_problem is canonical (save(load(bytes)) == bytes), two problems share a
+// fingerprint exactly when their defining bytes are identical — which is the
+// soundness condition the cross-problem cache layer keys on: a cached NBF
+// verdict or staged adjacency may only be reused between sessions whose
+// problems fingerprint identically. Two independently seeded 64-bit hashes of
+// the same byte stream make accidental collision probability ~2^-128 —
+// negligible next to any hardware fault rate.
+struct ProblemFp {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend auto operator<=>(const ProblemFp&, const ProblemFp&) = default;
+};
+
+// (Named with the width suffix to stay distinct from the certificate
+// layer's 64-bit problem_fingerprint, which predates this one and is baked
+// into the certificate wire format.)
+ProblemFp problem_fingerprint128(const std::vector<std::uint8_t>& canonical_bytes);
+// Serializes and fingerprints (the convenience form; callers that already
+// hold the canonical bytes should hash those directly).
+ProblemFp problem_fingerprint128(const PlanningProblem& problem);
+
 }  // namespace nptsn

@@ -1,0 +1,61 @@
+// Cross-session cache of staged BlockAdjacency forms (DESIGN.md §13).
+//
+// Staging a batch adjacency (dense block copies + the CSR index the blocked
+// GCN propagation reads) is pure preprocessing: the staged form is a
+// deterministic function of the block contents alone. Within one PPO update
+// ActorCritic::stage_batch already stages once and reuses across head
+// iterations; this cache extends the reuse across updates and across
+// SESSIONS — a planner service replaying a previously seen problem walks the
+// same topology prefixes and re-stages byte-identical adjacency batches
+// every epoch.
+//
+// Exactness: a probe hashes the block contents, then VERIFIES a hit by
+// comparing every dimension and every double bit pattern against the cached
+// object's own dense blocks before handing it out. A verified-equal staged
+// form is indistinguishable from a fresh one (the CSR index is a
+// deterministic function of the blocks), so batched forwards stay
+// bit-identical with the cache on or off. Hash collisions with different
+// content are counted and treated as misses.
+//
+// Thread-safe (one mutex — staging hits are rare enough per second that
+// sharding would buy nothing) and bounded by a byte budget over the staged
+// forms' estimated resident size. Derived state: never checkpointed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/lru_store.hpp"
+
+namespace nptsn {
+
+class AdjacencyStageCache {
+ public:
+  explicit AdjacencyStageCache(std::size_t max_bytes = std::size_t{64} << 20);
+
+  // Returns the staged form of `blocks`: a verified cache hit, or a freshly
+  // staged (and admitted) BlockAdjacency. The returned object is immutable
+  // and shared — callers keep it alive independently of eviction.
+  std::shared_ptr<const BlockAdjacency> stage(std::vector<Matrix> blocks);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t collisions = 0;  // hash matched, content differed
+    std::uint64_t evictions = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t collisions_ = 0;
+  LruStore<std::uint64_t, std::shared_ptr<const BlockAdjacency>> store_;
+};
+
+}  // namespace nptsn

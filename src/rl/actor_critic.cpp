@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "nn/stage_cache.hpp"
 #include "util/expect.hpp"
 
 namespace nptsn {
@@ -101,7 +102,9 @@ ActorCritic::ObservationBatch ActorCritic::stage_batch(
   }
   staged.features = Tensor::constant(std::move(features));
   if (!gcn_.empty()) {
-    staged.a_hats = std::make_shared<const BlockAdjacency>(std::move(a_hats));
+    staged.a_hats = stage_cache_
+                        ? stage_cache_->stage(std::move(a_hats))
+                        : std::make_shared<const BlockAdjacency>(std::move(a_hats));
   }
   if (config_.param_dim > 0) {
     Matrix params(batch, config_.param_dim);

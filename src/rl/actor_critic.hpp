@@ -11,6 +11,8 @@
 
 namespace nptsn {
 
+class AdjacencyStageCache;
+
 // Graph encoder family: GCN is the paper's choice; GAT is the alternative
 // it discusses and rejects (kept for the encoder ablation bench).
 enum class GraphEncoder { kGcn, kGat };
@@ -61,6 +63,14 @@ class ActorCritic {
   };
   ObservationBatch stage_batch(const std::vector<const Observation*>& obs) const;
 
+  // Optional cross-session reuse of staged adjacency forms (nn/stage_cache):
+  // when installed, stage_batch serves content-verified hits from the cache
+  // instead of rebuilding dense blocks + CSR per batch. Exact (bit-identical
+  // forwards with the cache on or off); null uninstalls.
+  void set_stage_cache(std::shared_ptr<AdjacencyStageCache> cache) {
+    stage_cache_ = std::move(cache);
+  }
+
   // Batched head forwards over B observations: the GCN affine stages and
   // every MLP layer run as ONE stacked GEMM over all B inputs instead of B
   // per-observation calls (the PPO-update hot path; DESIGN.md §11). Row i
@@ -95,6 +105,7 @@ class ActorCritic {
   std::vector<GatLayer> gat_;
   Mlp actor_;
   Mlp critic_;
+  std::shared_ptr<AdjacencyStageCache> stage_cache_;  // null = stage per batch
 };
 
 }  // namespace nptsn

@@ -61,6 +61,7 @@ class Environment {
     std::int64_t verify_executed = 0;
     std::int64_t verify_memo_hits = 0;
     std::int64_t verify_residual_reuses = 0;
+    std::int64_t verify_shared_hits = 0;
     double verify_seconds = 0.0;
     // Certified planning (audit_mode = every_solution): independent audits
     // run on analyzer-approved solutions, and how many were rejected.

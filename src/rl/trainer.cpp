@@ -249,6 +249,7 @@ EpochStats Trainer::run_epoch(int epoch) {
     stats.verify_nbf_executed += now.verify_executed - before.verify_executed;
     stats.verify_memo_hits += now.verify_memo_hits - before.verify_memo_hits;
     stats.verify_residual_reuses += now.verify_residual_reuses - before.verify_residual_reuses;
+    stats.verify_shared_hits += now.verify_shared_hits - before.verify_shared_hits;
     stats.verify_seconds += now.verify_seconds - before.verify_seconds;
     stats.audits_run += now.audits_run - before.audits_run;
     stats.audits_rejected += now.audits_rejected - before.audits_rejected;
@@ -391,6 +392,14 @@ std::vector<EpochStats> Trainer::train(const EpochCallback& on_epoch) {
       write_checkpoint();
     }
     if (recoverable) rollback = save_core_bytes();
+  }
+  if (!stopped_reason_.empty() && config_.checkpoint_on_stop &&
+      !config_.checkpoint_path.empty()) {
+    // Persist the (consistent, last-good) stop state so a later process can
+    // resume the session from here. The run deadline may already have fired
+    // — suspend it for the write, like any post-expiry bookkeeping.
+    Deadline::Pause pause(config_.deadline);
+    write_checkpoint();
   }
   return history;
 }

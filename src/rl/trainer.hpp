@@ -57,6 +57,13 @@ struct TrainerConfig {
   // completed epochs plus once after the final epoch.
   std::string checkpoint_path;
   int checkpoint_interval = 1;
+  // Additionally write a checkpoint when train() stops EARLY on a budget,
+  // deadline, or divergence stop (stopped_reason set). Off by default: a
+  // stop used to leave the last interval checkpoint untouched, and resuming
+  // from the stop point is only wanted by callers — like the planner
+  // service's graceful shutdown — that treat a stopped session as
+  // "suspended, resume me later" rather than "finished early".
+  bool checkpoint_on_stop = false;
   // Transparent mid-epoch crash recovery: when a worker throws during an
   // epoch, roll the full training state back to the last completed epoch
   // boundary and retry, up to this many times per train() call. 0 = rethrow
@@ -106,6 +113,7 @@ struct EpochStats {
   std::int64_t verify_nbf_executed = 0;
   std::int64_t verify_memo_hits = 0;
   std::int64_t verify_residual_reuses = 0;
+  std::int64_t verify_shared_hits = 0;
   double verify_seconds = 0.0;
 
   // Certified planning (audit_mode = every_solution): independent audits of

@@ -1,0 +1,73 @@
+#include "rl/warm_start.hpp"
+
+#include "rl/snapshot.hpp"
+
+namespace nptsn {
+
+PolicyStore::PolicyStore(std::size_t max_bytes) : store_(max_bytes) {}
+
+std::string PolicyStore::signature(const ActorCritic::Config& config) {
+  std::string sig = "v1";
+  const auto add = [&sig](const char* name, long long value) {
+    sig += ';';
+    sig += name;
+    sig += '=';
+    sig += std::to_string(value);
+  };
+  add("n", config.num_nodes);
+  add("f", config.feature_dim);
+  add("p", config.param_dim);
+  add("a", config.num_actions);
+  add("gcn", config.gcn_layers);
+  add("emb", config.embedding_dim);
+  add("enc", static_cast<long long>(config.encoder));
+  sig += ";ah=";
+  for (const int h : config.actor_hidden) sig += std::to_string(h) + ',';
+  sig += ";ch=";
+  for (const int h : config.critic_hidden) sig += std::to_string(h) + ',';
+  return sig;
+}
+
+bool PolicyStore::warm_start(ActorCritic& net) {
+  const std::string sig = signature(net.config());
+  std::vector<std::uint8_t> blob;
+  {
+    std::lock_guard lock(mutex_);
+    const Entry* hit = store_.get(sig);
+    if (!hit) return false;
+    blob = hit->blob;  // copy out; read_parameters may throw and must not
+                       // run under the lock anyway
+  }
+  ByteReader in(blob);
+  read_parameters(in, net);  // shape-checked: same signature => same shapes
+  return true;
+}
+
+void PolicyStore::publish(const ActorCritic& net, double cost) {
+  ByteWriter out;
+  write_parameters(out, net);
+  std::vector<std::uint8_t> blob = out.data();
+  const std::size_t blob_cost = blob.size();
+  std::string sig = signature(net.config());
+
+  std::lock_guard lock(mutex_);
+  if (const Entry* existing = store_.get(sig); existing && existing->cost <= cost) {
+    ++declined_;
+    return;
+  }
+  store_.put(std::move(sig), Entry{std::move(blob), cost}, blob_cost);
+  ++published_;
+}
+
+PolicyStore::Stats PolicyStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return Stats{store_.hits(), store_.misses(), published_,
+               declined_,     store_.bytes(),  store_.size()};
+}
+
+void PolicyStore::clear() {
+  std::lock_guard lock(mutex_);
+  store_.clear();
+}
+
+}  // namespace nptsn

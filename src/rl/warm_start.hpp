@@ -1,0 +1,73 @@
+// Warm-start policy store: cross-session reuse of trained weights
+// (DESIGN.md §13).
+//
+// A planner service that solves a stream of similar problems re-learns the
+// same policy from scratch every session. The store keeps the best-known
+// parameter blob per ARCHITECTURE SIGNATURE (every dimension that determines
+// the parameter shapes), so a new session on a same-shaped problem can start
+// from the best weights any earlier session reached instead of from random
+// initialization.
+//
+// Unlike the verdict/outcome/staging caches, warm-starting is NOT
+// result-preserving: different initial weights mean a different training
+// trajectory (usually better, never unsound — every solution still passes
+// the failure analyzer, and certified sessions still audit independently).
+// It is therefore strictly OPT-IN (NptsnConfig::warm_start) and excluded
+// from the bit-identity guarantees the other caches carry.
+//
+// publish() keeps the lowest-achieved-cost blob per signature; concurrent
+// sessions race benignly (the mutex serializes, best-cost wins). Derived
+// state: never checkpointed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rl/actor_critic.hpp"
+#include "util/lru_store.hpp"
+
+namespace nptsn {
+
+class PolicyStore {
+ public:
+  explicit PolicyStore(std::size_t max_bytes = std::size_t{256} << 20);
+
+  // The architecture identity a blob is valid for: every ActorCritic::Config
+  // field that determines parameter count or shape.
+  static std::string signature(const ActorCritic::Config& config);
+
+  // Copies the best-known same-signature weights into `net`; false when the
+  // store has none (net keeps its fresh initialization).
+  bool warm_start(ActorCritic& net);
+
+  // Offers `net`'s weights as achieving `cost`. Kept only when the store
+  // has no same-signature entry or this cost is strictly better.
+  void publish(const ActorCritic& net, double cost);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t published = 0;  // publishes that replaced/created an entry
+    std::uint64_t declined = 0;   // publishes beaten by an existing entry
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> blob;  // write_parameters payload
+    double cost = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t published_ = 0;
+  std::uint64_t declined_ = 0;
+  LruStore<std::string, Entry> store_;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,107 @@
+// Bounded, prioritized, closeable MPMC queue — the admission edge of the
+// planner service (DESIGN.md §13).
+//
+// Semantics chosen for a long-lived daemon:
+//   - bounded: push blocks when the backlog is full, so a flood of
+//     submissions exerts backpressure at the edge instead of growing an
+//     unbounded heap of serialized problems;
+//   - prioritized: pop returns the highest-priority item, FIFO within a
+//     priority class (a stable total order — two poppers never disagree on
+//     who should have gotten what);
+//   - closeable: close() wakes every blocked producer and consumer; pops
+//     drain what was already admitted (graceful shutdown), while
+//     drain_remaining() hands the undrained backlog back in pop order
+//     (cancelling shutdown persists these for a later process).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace nptsn {
+
+template <typename T>
+class BoundedPriorityQueue {
+ public:
+  explicit BoundedPriorityQueue(std::size_t capacity) : capacity_(capacity) {
+    NPTSN_EXPECT(capacity >= 1, "queue capacity must be positive");
+  }
+
+  // Blocks while the queue is full. False when the queue was closed (the
+  // item is returned unconsumed in that case only by value semantics — the
+  // caller still owns `item`'s moved-from shell; don't close-and-push).
+  bool push(T item, int priority) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.emplace(Order{-priority, seq_++}, std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. nullopt once closed AND
+  // drained — the consumer's signal to exit its loop.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    auto first = items_.begin();
+    T item = std::move(first->second);
+    items_.erase(first);
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Idempotent. Blocked producers return false; consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Everything still queued, in pop order. Call after close() once the
+  // consumers have stopped popping (cancel-mode shutdown).
+  std::vector<T> drain_remaining() {
+    std::lock_guard lock(mutex_);
+    std::vector<T> remaining;
+    remaining.reserve(items_.size());
+    for (auto& [order, item] : items_) remaining.push_back(std::move(item));
+    items_.clear();
+    return remaining;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  // (-priority, admission sequence): map order = pop order.
+  using Order = std::pair<int, std::uint64_t>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::map<Order, T> items_;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace nptsn

@@ -1,0 +1,299 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "analysis/certificate.hpp"
+#include "core/planner.hpp"
+#include "net/problem.hpp"
+#include "net/topology.hpp"
+#include "tsn/recovery.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void remove_quietly(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // best effort; a leftover file is benign
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kPlanned: return "planned";
+    case ResponseStatus::kInfeasible: return "infeasible";
+    case ResponseStatus::kRejected: return "rejected";
+    case ResponseStatus::kFaulted: return "faulted";
+    case ResponseStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)) {
+  NPTSN_EXPECT(config_.shards >= 1, "service needs at least one shard");
+  NPTSN_EXPECT(config_.workers_per_shard >= 1, "service needs at least one worker per shard");
+  NPTSN_EXPECT(config_.queue_capacity >= 1, "service queue capacity must be positive");
+  NPTSN_EXPECT(config_.session_wall_seconds >= 0.0 && config_.session_max_ticks >= 0,
+               "session budgets must be non-negative");
+
+  if (config_.shared_caches) {
+    engine_cache_ = std::make_shared<EngineSharedCache>(config_.engine_cache);
+    stage_cache_ = std::make_shared<AdjacencyStageCache>(config_.stage_cache_bytes);
+  }
+  if (config_.warm_start) {
+    policy_store_ = std::make_shared<PolicyStore>(config_.policy_store_bytes);
+  }
+  if (!config_.state_dir.empty()) {
+    std::filesystem::create_directories(config_.state_dir);
+  }
+
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
+  }
+  for (int s = 0; s < config_.shards; ++s) {
+    for (int w = 0; w < config_.workers_per_shard; ++w) {
+      shards_[static_cast<std::size_t>(s)]->workers.emplace_back(
+          [this, s] { worker_loop(s); });
+    }
+  }
+}
+
+PlannerService::~PlannerService() { shutdown(Shutdown::kCancel); }
+
+std::future<PlanningResponse> PlannerService::submit(PlanningRequest request) {
+  if (request.id.empty()) throw ValidationError("planning request needs an id");
+  if (request.problem_bytes.empty()) {
+    throw ValidationError("planning request needs serialized problem bytes");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("planner service is shut down");
+  }
+
+  Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.enqueued = std::chrono::steady_clock::now();
+  std::future<PlanningResponse> future = ticket.promise.get_future();
+
+  // Route by problem fingerprint: resubmissions of the same problem land on
+  // the same shard (and so behind each other), which is exactly where the
+  // cross-session caches pay off; distinct problems spread across shards.
+  const ProblemFp fp = problem_fingerprint128(ticket.request.problem_bytes);
+  const int shard_index = static_cast<int>(fp.a % static_cast<std::uint64_t>(
+                                                      shards_.size()));
+  const int priority = ticket.request.priority;
+  {
+    std::lock_guard lock(state_mutex_);
+    ++counters_.submitted;
+  }
+  if (!shards_[static_cast<std::size_t>(shard_index)]->queue.push(std::move(ticket),
+                                                                  priority)) {
+    // Closed while we were blocked on a full queue.
+    throw std::runtime_error("planner service is shut down");
+  }
+  return future;
+}
+
+void PlannerService::worker_loop(int shard_index) {
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  while (auto ticket = shard.queue.pop()) {
+    if (cancelling_.load(std::memory_order_acquire)) {
+      resolve_cancelled(std::move(*ticket), /*record_unprocessed=*/true);
+      continue;
+    }
+    const auto picked = std::chrono::steady_clock::now();
+
+    // Every session gets its own cooperative token — even with no budgets
+    // configured — so a cancelling shutdown can always reach it.
+    auto deadline =
+        Deadline::after(config_.session_wall_seconds, config_.session_max_ticks);
+    {
+      std::lock_guard lock(state_mutex_);
+      inflight_.emplace_back(ticket->request.id, deadline);
+    }
+    // Closes the pop-to-register race with shutdown(kCancel): either the
+    // canceller saw our registration, or we see its flag here.
+    if (cancelling_.load(std::memory_order_acquire)) {
+      deadline->cancel("cancelled: service shutting down");
+    }
+
+    PlanningResponse response = run_session(ticket->request, shard_index, deadline);
+    response.queue_seconds = seconds_between(ticket->enqueued, picked);
+
+    {
+      std::lock_guard lock(state_mutex_);
+      std::erase_if(inflight_, [&](const auto& entry) {
+        return entry.second.get() == deadline.get();
+      });
+    }
+    count(response.status);
+    ticket->promise.set_value(std::move(response));
+  }
+}
+
+PlanningResponse PlannerService::run_session(const PlanningRequest& request,
+                                             int shard_index,
+                                             const std::shared_ptr<Deadline>& deadline) {
+  PlanningResponse response;
+  response.id = request.id;
+  response.label = request.label;
+  response.shard = shard_index;
+
+  std::string checkpoint_path;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    PlanningProblem problem = problem_from_bytes(request.problem_bytes);
+    problem.validate();
+
+    NptsnConfig session = config_.session;
+    if (request.epochs > 0) session.epochs = request.epochs;
+    if (request.steps_per_epoch > 0) session.steps_per_epoch = request.steps_per_epoch;
+    if (request.seed != 0) session.seed = request.seed;
+    session.deadline = deadline;
+    session.engine_shared_cache = engine_cache_;
+    session.stage_cache = stage_cache_;
+    session.policy_store = policy_store_;
+    session.warm_start = config_.warm_start && policy_store_ != nullptr;
+    // All service sessions run the same default-constructed NBF below, so
+    // the default salt is sound; certificates travel in-band, not as files.
+    session.cache_salt = 0;
+    session.certificate_path.clear();
+    if (!config_.state_dir.empty()) {
+      checkpoint_path = config_.state_dir + "/" + request.id + ".ckpt";
+      session.checkpoint_path = checkpoint_path;
+      session.checkpoint_on_stop = true;
+    }
+
+    const HeuristicRecovery nbf;
+    const PlanningResult result = plan(problem, nbf, session);
+    response.plan_seconds = seconds_between(start, std::chrono::steady_clock::now());
+
+    response.feasible = result.feasible;
+    response.best_cost = result.feasible ? result.best_cost : 0.0;
+    response.stopped_reason = result.stopped_reason;
+    response.epochs_completed = result.epochs_completed;
+    for (const EpochStats& epoch : result.history) {
+      response.verify_shared_hits += epoch.verify_shared_hits;
+    }
+    if (result.best) {
+      ByteWriter out;
+      save_topology(*result.best, out);
+      response.topology_bytes = out.data();
+    }
+    if (result.certificate) {
+      ByteWriter out;
+      save_certificate(*result.certificate, out);
+      response.certificate_bytes = out.data();
+    }
+
+    if (deadline->cancelled()) {
+      // The session unwound through its clean-stop path mid-run; its
+      // checkpoint (when configured) stays on disk for resume.
+      response.status = ResponseStatus::kCancelled;
+      return response;
+    }
+    if (result.feasible) {
+      response.status = ResponseStatus::kPlanned;
+    } else if (result.audits_rejected > 0) {
+      response.status = ResponseStatus::kRejected;
+      if (!result.audit_failures.empty()) response.error = result.audit_failures.back();
+    } else {
+      response.status = ResponseStatus::kInfeasible;
+    }
+    // A session that ran to its natural end has nothing to resume: drop its
+    // checkpoint generations so a future same-id submission starts fresh.
+    // (Not on budget/deadline stops — those are resumable by design.)
+    if (!checkpoint_path.empty() && response.stopped_reason.empty()) {
+      remove_quietly(checkpoint_path);
+      remove_quietly(checkpoint_path + ".1");
+    }
+    return response;
+  } catch (const DeadlineExceeded& e) {
+    response.plan_seconds = seconds_between(start, std::chrono::steady_clock::now());
+    // Escaped the trainer's recovery boundary (e.g. fired during the very
+    // first environment construction): still a clean per-session outcome.
+    response.status =
+        deadline->cancelled() ? ResponseStatus::kCancelled : ResponseStatus::kFaulted;
+    response.error = e.reason();
+    return response;
+  } catch (const std::exception& e) {
+    response.plan_seconds = seconds_between(start, std::chrono::steady_clock::now());
+    response.status = ResponseStatus::kFaulted;
+    response.error = e.what();
+    return response;
+  } catch (...) {
+    response.plan_seconds = seconds_between(start, std::chrono::steady_clock::now());
+    response.status = ResponseStatus::kFaulted;
+    response.error = "unknown fault";
+    return response;
+  }
+}
+
+void PlannerService::resolve_cancelled(Ticket ticket, bool record_unprocessed) {
+  PlanningResponse response;
+  response.id = ticket.request.id;
+  response.label = ticket.request.label;
+  response.status = ResponseStatus::kCancelled;
+  response.error = "cancelled: service shut down before the session started";
+  if (record_unprocessed) {
+    std::lock_guard lock(state_mutex_);
+    unprocessed_.push_back(std::move(ticket.request));
+  }
+  count(ResponseStatus::kCancelled);
+  ticket.promise.set_value(std::move(response));
+}
+
+void PlannerService::count(ResponseStatus status) {
+  std::lock_guard lock(state_mutex_);
+  switch (status) {
+    case ResponseStatus::kPlanned: ++counters_.planned; break;
+    case ResponseStatus::kInfeasible: ++counters_.infeasible; break;
+    case ResponseStatus::kRejected: ++counters_.rejected; break;
+    case ResponseStatus::kFaulted: ++counters_.faulted; break;
+    case ResponseStatus::kCancelled: ++counters_.cancelled; break;
+  }
+}
+
+void PlannerService::shutdown(Shutdown mode) {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  accepting_.store(false, std::memory_order_release);
+  if (mode == Shutdown::kCancel) {
+    cancelling_.store(true, std::memory_order_release);
+    std::lock_guard lock(state_mutex_);
+    for (auto& [id, deadline] : inflight_) {
+      deadline->cancel("cancelled: service shutting down");
+    }
+  }
+  for (auto& shard : shards_) shard->queue.close();
+  if (!joined_.exchange(true)) {
+    for (auto& shard : shards_) {
+      for (std::thread& worker : shard->workers) worker.join();
+    }
+  }
+  // Anything the workers never popped (only possible in cancel mode, or for
+  // producers that raced close): resolve as cancelled and keep the request.
+  for (auto& shard : shards_) {
+    for (Ticket& ticket : shard->queue.drain_remaining()) {
+      resolve_cancelled(std::move(ticket), /*record_unprocessed=*/true);
+    }
+  }
+}
+
+std::vector<PlanningRequest> PlannerService::unprocessed() {
+  std::lock_guard lock(state_mutex_);
+  return unprocessed_;
+}
+
+PlannerService::Counters PlannerService::counters() const {
+  std::lock_guard lock(state_mutex_);
+  return counters_;
+}
+
+}  // namespace nptsn

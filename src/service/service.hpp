@@ -1,0 +1,200 @@
+// Planning-as-a-service runtime (DESIGN.md §13).
+//
+// A long-lived planner process: callers submit serialized PlanningProblems
+// (the canonical save_problem bytes) into a bounded, prioritized queue;
+// sharded worker pools run each request as a full plan-train-audit session
+// under its own cooperative Deadline envelope; and one set of cross-session
+// stores — the engine verdict/outcome cache, the staged-adjacency cache, and
+// the warm-start policy store — is installed into every session's config, so
+// warm state survives session boundaries.
+//
+// Fault isolation: a session is one plan() call. Every throw a session can
+// produce (malformed bytes, validation errors, NBF faults that exhaust the
+// trainer's retries) is caught at the worker boundary and returned as a
+// kFaulted response; the worker, its shard, and the other in-flight sessions
+// keep running. Nothing a request contains can take the service down.
+//
+// Graceful shutdown: kDrain closes admission and finishes the backlog;
+// kCancel additionally fires every in-flight session's deadline token
+// (Deadline::cancel), so each session unwinds through the trainer's
+// clean-stop path — persisting a resumable checkpoint when a state_dir is
+// configured (checkpoint_on_stop) — and the untouched backlog is handed back
+// via unprocessed() for the caller to persist.
+//
+// Determinism: the exact shared caches never change a session's result —
+// plans, certificates, and training trajectories are bit-identical with
+// shared_caches on or off (differential-tested in tests/service). Warm-start
+// is the documented exception and stays opt-in.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/engine_cache.hpp"
+#include "core/config.hpp"
+#include "nn/stage_cache.hpp"
+#include "rl/warm_start.hpp"
+#include "service/queue.hpp"
+#include "util/deadline.hpp"
+
+namespace nptsn {
+
+struct PlanningRequest {
+  // Caller-assigned identity; also names the session's checkpoint file under
+  // state_dir, so resubmitting the same id after a cancelling shutdown
+  // RESUMES that session. Must be unique among in-flight requests and safe
+  // as a file name.
+  std::string id;
+  std::string label;  // free-form, echoed in the response
+  int priority = 0;   // higher pops sooner within a shard
+  // Canonical problem serialization (net/problem.hpp save_problem bytes).
+  std::vector<std::uint8_t> problem_bytes;
+  // Per-request overrides of the session template; 0 inherits.
+  int epochs = 0;
+  int steps_per_epoch = 0;
+  std::uint64_t seed = 0;
+};
+
+enum class ResponseStatus {
+  kPlanned,     // feasible plan returned (and audited clean when configured)
+  kInfeasible,  // session completed without a verified solution
+  kRejected,    // a solution was found but the independent audit rejected it
+  kFaulted,     // the session threw (malformed problem, exhausted retries...)
+  kCancelled,   // shutdown cancelled the session before/while it ran
+};
+const char* to_string(ResponseStatus status);
+
+struct PlanningResponse {
+  std::string id;
+  std::string label;
+  ResponseStatus status = ResponseStatus::kFaulted;
+  bool feasible = false;
+  double best_cost = 0.0;
+  std::vector<std::uint8_t> topology_bytes;     // save_topology bytes when feasible
+  std::vector<std::uint8_t> certificate_bytes;  // save_certificate bytes when audited
+  std::string stopped_reason;  // budget/deadline/divergence stop, when any
+  std::string error;           // kFaulted: what the session threw
+  int epochs_completed = 0;
+  int shard = -1;              // which worker pool ran it
+  double queue_seconds = 0.0;  // admission -> a worker picked it up
+  double plan_seconds = 0.0;   // the plan() call itself
+  // Cross-session reuse observed by this session's environments.
+  std::int64_t verify_shared_hits = 0;
+};
+
+struct ServiceConfig {
+  // Worker topology: shards * workers_per_shard session slots. Requests are
+  // routed to a shard by problem fingerprint, so repeated submissions of the
+  // same problem serialize onto one shard's queue (back-to-back sessions on
+  // one problem hit the caches hardest); distinct problems spread.
+  int shards = 1;
+  int workers_per_shard = 1;
+  std::size_t queue_capacity = 64;  // per shard
+
+  // Install the exact cross-session stores (engine cache + stage cache).
+  bool shared_caches = true;
+  EngineSharedCache::Config engine_cache;
+  std::size_t stage_cache_bytes = std::size_t{64} << 20;
+  // Opt into warm-started policy weights (NOT result-preserving; see
+  // rl/warm_start.hpp). Installs the policy store and sets warm_start on
+  // every session.
+  bool warm_start = false;
+  std::size_t policy_store_bytes = std::size_t{256} << 20;
+
+  // Session template: every request's NptsnConfig starts from this (the
+  // request may override epochs/steps/seed). The template's deadline and
+  // cache/store fields are ignored — the service installs its own.
+  NptsnConfig session;
+  // Per-session cooperative budget (0 = unlimited). A fresh Deadline token
+  // is minted per session either way, so shutdown(kCancel) can always fire.
+  double session_wall_seconds = 0.0;
+  std::int64_t session_max_ticks = 0;
+
+  // When non-empty: per-session checkpoints land at <state_dir>/<id>.ckpt,
+  // sessions checkpoint on early stops (checkpoint_on_stop), and a session
+  // resumed under the same id continues from its persisted state. Created if
+  // missing.
+  std::string state_dir;
+};
+
+class PlannerService {
+ public:
+  explicit PlannerService(ServiceConfig config);
+  // Cancelling shutdown if the caller never shut down explicitly.
+  ~PlannerService();
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  // Admits a request (blocking while the target shard's queue is full) and
+  // returns the future response. Throws std::runtime_error after shutdown;
+  // throws ValidationError on an empty id or empty problem bytes.
+  std::future<PlanningResponse> submit(PlanningRequest request);
+
+  enum class Shutdown { kDrain, kCancel };
+  // Idempotent. kDrain: stop admitting, finish the backlog, join workers.
+  // kCancel: stop admitting, fire every in-flight session's deadline, join,
+  // and resolve the unstarted backlog as kCancelled (see unprocessed()).
+  void shutdown(Shutdown mode);
+
+  // Requests that were admitted but never started (only ever non-empty
+  // after shutdown(kCancel)); the caller persists these for a later process.
+  std::vector<PlanningRequest> unprocessed();
+
+  struct Counters {
+    std::int64_t submitted = 0;
+    std::int64_t planned = 0;
+    std::int64_t infeasible = 0;
+    std::int64_t rejected = 0;
+    std::int64_t faulted = 0;
+    std::int64_t cancelled = 0;
+  };
+  Counters counters() const;
+
+  // The installed cross-session stores (null when disabled) — for
+  // instrumentation and tests.
+  const std::shared_ptr<EngineSharedCache>& engine_cache() const { return engine_cache_; }
+  const std::shared_ptr<AdjacencyStageCache>& stage_cache() const { return stage_cache_; }
+  const std::shared_ptr<PolicyStore>& policy_store() const { return policy_store_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Ticket {
+    PlanningRequest request;
+    std::promise<PlanningResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    BoundedPriorityQueue<Ticket> queue;
+    std::vector<std::thread> workers;
+  };
+
+  void worker_loop(int shard_index);
+  // One full session; never throws (faults become kFaulted responses).
+  PlanningResponse run_session(const PlanningRequest& request, int shard_index,
+                               const std::shared_ptr<Deadline>& deadline);
+  void resolve_cancelled(Ticket ticket, bool record_unprocessed);
+  void count(ResponseStatus status);
+
+  ServiceConfig config_;
+  std::shared_ptr<EngineSharedCache> engine_cache_;
+  std::shared_ptr<AdjacencyStageCache> stage_cache_;
+  std::shared_ptr<PolicyStore> policy_store_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> cancelling_{false};
+  std::atomic<bool> joined_{false};
+  mutable std::mutex state_mutex_;  // guards inflight_, unprocessed_, counters_
+  std::vector<std::pair<std::string, std::shared_ptr<Deadline>>> inflight_;
+  std::vector<PlanningRequest> unprocessed_;
+  Counters counters_;
+  std::mutex shutdown_mutex_;  // serializes shutdown() callers
+};
+
+}  // namespace nptsn

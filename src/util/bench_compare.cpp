@@ -263,7 +263,8 @@ bool starts_with(const std::string& s, const char* prefix) {
 
 // Is this leaf key one of the machine-normalized metrics the gate tracks?
 bool is_tracked_key(const std::string& key) {
-  return starts_with(key, "speedup") || key == "overhead_percent";
+  return starts_with(key, "speedup") || starts_with(key, "latency_") ||
+         key == "overhead_percent";
 }
 
 // Normalized "time" for a tracked metric: larger means slower.
@@ -271,6 +272,12 @@ double normalized_time(const std::string& key, double value) {
   if (starts_with(key, "speedup")) {
     NPTSN_EXPECT(value > 0.0, "speedup metric must be positive: " + key);
     return 1.0 / value;
+  }
+  if (starts_with(key, "latency_")) {
+    // Already a normalized latency ratio: lower is better, the value IS the
+    // relative time.
+    NPTSN_EXPECT(value > 0.0, "latency metric must be positive: " + key);
+    return value;
   }
   // overhead_percent: 0 -> 1x, 30 -> 1.3x, -5 -> 0.95x.
   const double t = 1.0 + value / 100.0;

@@ -9,6 +9,10 @@
 // the host and would gate on CI-runner weather:
 //   - keys starting with "speedup"  (higher is better; time t = 1 / v)
 //   - the key "overhead_percent"    (lower is better;  time t = 1 + v / 100)
+//   - keys starting with "latency_" (lower is better;  time t = v) — these
+//     are dimensionless latency RATIOS (e.g. micro_service's p99 request
+//     latency over the same machine's per-plan compute time), so a fresh p99
+//     ratio 1.3x above the committed one trips the gate like any slowdown
 // Everything else (seconds, counts, flags) is ignored. A tracked metric that
 // exists in the baseline but vanished from the fresh run is an error too:
 // silently dropping a metric must not read as "no regression".

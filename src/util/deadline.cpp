@@ -53,6 +53,22 @@ void Deadline::poll() const {
   if (tick()) throw DeadlineExceeded(reason());
 }
 
+void Deadline::cancel(std::string reason) const {
+  std::lock_guard lock(cancel_mutex_);
+  if (fired_.load(std::memory_order_relaxed) != kNone) return;
+  cancel_reason_ = std::move(reason);
+  // Release publishes cancel_reason_ to any thread that observes kCancelled
+  // (reason() loads with acquire). A budget racing this CAS wins and keeps
+  // its own reason; the staged string is then never read.
+  int expected = kNone;
+  fired_.compare_exchange_strong(expected, kCancelled, std::memory_order_release,
+                                 std::memory_order_relaxed);
+}
+
+bool Deadline::cancelled() const {
+  return fired_.load(std::memory_order_relaxed) == kCancelled;
+}
+
 bool Deadline::expired() const {
   if (paused_.load(std::memory_order_relaxed) > 0) return false;
   if (fired_.load(std::memory_order_relaxed) != kNone) return true;
@@ -70,13 +86,17 @@ double Deadline::elapsed_seconds() const {
 }
 
 std::string Deadline::reason() const {
-  switch (fired_.load(std::memory_order_relaxed)) {
+  switch (fired_.load(std::memory_order_acquire)) {
     case kWall:
       return "deadline: wall-clock budget of " + std::to_string(wall_seconds_) +
              " s exceeded";
     case kTicks:
       return "deadline: tick budget of " + std::to_string(max_ticks_) +
              " work units exceeded";
+    case kCancelled: {
+      std::lock_guard lock(cancel_mutex_);
+      return cancel_reason_;
+    }
     default:
       return "";
   }

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -75,6 +76,17 @@ class Deadline {
   // Non-mutating check that always consults the clock (end-of-phase guards).
   bool expired() const;
 
+  // External cancellation: fires the token immediately with the given reason
+  // (e.g. "cancelled: service shutting down"). The planner service uses this
+  // for graceful shutdown — every in-flight session observes its token at the
+  // next poll and unwinds through the same clean-stop path a wall-clock
+  // expiry takes. First budget/cancel to fire wins; a cancel after a natural
+  // expiry keeps the original reason. Thread-safe against concurrent polls;
+  // concurrent cancel calls are serialized internally.
+  void cancel(std::string reason) const;
+  // True when cancel() fired this token (as opposed to a budget).
+  bool cancelled() const;
+
   std::int64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
   double elapsed_seconds() const;
 
@@ -100,7 +112,7 @@ class Deadline {
   };
 
  private:
-  enum Fired : int { kNone = 0, kWall = 1, kTicks = 2 };
+  enum Fired : int { kNone = 0, kWall = 1, kTicks = 2, kCancelled = 3 };
   bool record(Fired which) const;
 
   double wall_seconds_ = 0.0;
@@ -110,6 +122,11 @@ class Deadline {
   mutable std::atomic<std::int64_t> ticks_{0};
   mutable std::atomic<int> fired_{kNone};
   mutable std::atomic<int> paused_{0};
+  // Written once under cancel_mutex_ before fired_ flips to kCancelled (the
+  // release store of the CAS publishes it); read only when fired_ loads
+  // kCancelled with acquire.
+  mutable std::mutex cancel_mutex_;
+  mutable std::string cancel_reason_;
 };
 
 }  // namespace nptsn

@@ -1,0 +1,128 @@
+// Byte-budgeted LRU store: the bounded container under every cross-problem
+// cache of the planner service (engine verdict/outcome sharing, staged
+// adjacency reuse, warm-start policy weights).
+//
+// Design constraints, in order:
+//   - bounded by an explicit byte budget, not an entry count — the entries
+//     the service caches range from a 30-byte NBF verdict to a multi-MB
+//     parameter blob, so "N entries" bounds nothing;
+//   - heterogeneous lookups (a transparent comparator), because the hot
+//     probes arrive as borrowed-key views that must not allocate;
+//   - values live at stable addresses across get/put (node-based storage),
+//     so a caller holding its lock may copy out of the returned pointer
+//     without a second lookup.
+//
+// The store itself is NOT thread-safe: every cache that shares one across
+// sessions wraps it in its own mutex (see analysis/engine_cache.hpp). That
+// split keeps the eviction policy testable without threads and lets each
+// wrapper pick its own sharding.
+//
+// Eviction is least-recently-used (get and put both refresh recency) and
+// runs inside put until the budget holds again. An entry whose own cost
+// exceeds the whole budget is refused outright — admitting it would evict
+// the entire store for a value that can never be resident.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace nptsn {
+
+template <typename Key, typename Value, typename Less = std::less<Key>>
+class LruStore {
+ public:
+  // `max_bytes` bounds the sum of caller-declared entry costs plus
+  // `entry_overhead` per entry (an estimate of the key + bookkeeping bytes
+  // the caller's cost function does not see).
+  explicit LruStore(std::size_t max_bytes, std::size_t entry_overhead = 64)
+      : max_bytes_(max_bytes), entry_overhead_(entry_overhead) {}
+
+  // Returns the entry's value (address stable until the next put/clear) and
+  // marks it most-recently-used; nullptr on a miss. Accepts any key type the
+  // transparent comparator can order against Key.
+  template <typename K>
+  Value* get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return &it->second.value;
+  }
+
+  // Inserts or overwrites; `cost` is the caller's estimate of the value's
+  // resident bytes. Evicts least-recently-used entries until the budget
+  // holds. Oversized entries (cost + overhead > budget) are not admitted.
+  void put(Key key, Value value, std::size_t cost) {
+    const std::size_t charged = cost + entry_overhead_;
+    if (charged > max_bytes_) {
+      ++rejected_;
+      return;
+    }
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= it->second.cost;
+      it->second.value = std::move(value);
+      it->second.cost = charged;
+      bytes_ += charged;
+      order_.splice(order_.begin(), order_, it->second.pos);
+    } else {
+      auto [slot, inserted] = index_.emplace(std::move(key), Entry{});
+      order_.push_front(&slot->first);
+      slot->second.value = std::move(value);
+      slot->second.cost = charged;
+      slot->second.pos = order_.begin();
+      bytes_ += charged;
+    }
+    while (bytes_ > max_bytes_ && order_.size() > 1) evict_one();
+  }
+
+  void clear() {
+    index_.clear();
+    order_.clear();
+    bytes_ = 0;
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct Entry {
+    Value value{};
+    std::size_t cost = 0;
+    typename std::list<const Key*>::iterator pos;
+  };
+
+  void evict_one() {
+    const Key* victim = order_.back();
+    order_.pop_back();
+    const auto it = index_.find(*victim);
+    bytes_ -= it->second.cost;
+    index_.erase(it);
+    ++evictions_;
+  }
+
+  std::size_t max_bytes_;
+  std::size_t entry_overhead_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_ = 0;
+
+  // Keys live in the map; the recency list borrows them (std::map nodes are
+  // address-stable across inserts and erases of other keys).
+  std::map<Key, Entry, Less> index_;
+  std::list<const Key*> order_;  // front = most recent
+};
+
+}  // namespace nptsn

@@ -1,0 +1,132 @@
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace nptsn {
+namespace {
+
+TEST(BoundedPriorityQueue, PopsHighestPriorityFirstFifoWithinClass) {
+  BoundedPriorityQueue<std::string> queue(8);
+  EXPECT_TRUE(queue.push("low-1", 0));
+  EXPECT_TRUE(queue.push("high", 5));
+  EXPECT_TRUE(queue.push("low-2", 0));
+  EXPECT_TRUE(queue.push("mid", 3));
+  EXPECT_EQ(queue.pop().value(), "high");
+  EXPECT_EQ(queue.pop().value(), "mid");
+  EXPECT_EQ(queue.pop().value(), "low-1");  // FIFO among equals
+  EXPECT_EQ(queue.pop().value(), "low-2");
+}
+
+TEST(BoundedPriorityQueue, NegativePrioritiesSortBelowDefault) {
+  BoundedPriorityQueue<int> queue(4);
+  queue.push(1, -2);
+  queue.push(2, 0);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 1);
+}
+
+TEST(BoundedPriorityQueue, PushBlocksUntilCapacityFrees) {
+  BoundedPriorityQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1, 0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2, 0));  // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer must be parked, not completed (give it a moment to block).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedPriorityQueue, CloseWakesBlockedProducerWithFalse) {
+  BoundedPriorityQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1, 0));
+  std::thread producer([&] { EXPECT_FALSE(queue.push(2, 0)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+}
+
+TEST(BoundedPriorityQueue, CloseDrainsThenSignalsEnd) {
+  BoundedPriorityQueue<int> queue(4);
+  queue.push(1, 0);
+  queue.push(2, 0);
+  queue.close();
+  EXPECT_FALSE(queue.push(3, 0));
+  // Consumers drain what was admitted, then see nullopt.
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedPriorityQueue, CloseWakesBlockedConsumer) {
+  BoundedPriorityQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+TEST(BoundedPriorityQueue, DrainRemainingReturnsBacklogInPopOrder) {
+  BoundedPriorityQueue<std::string> queue(8);
+  queue.push("b", 0);
+  queue.push("a", 9);
+  queue.push("c", 0);
+  queue.close();
+  const std::vector<std::string> rest = queue.drain_remaining();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], "a");
+  EXPECT_EQ(rest[1], "b");
+  EXPECT_EQ(rest[2], "c");
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+// MPMC stress: every produced item is consumed exactly once, bounded
+// capacity throughout, clean shutdown. Run under TSan in CI.
+TEST(BoundedPriorityQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 200;
+  BoundedPriorityQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i, i % 5));
+      }
+    });
+  }
+
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        std::lock_guard lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*item).second) << "item consumed twice";
+      }
+    });
+  }
+
+  for (auto& thread : producers) thread.join();
+  queue.close();
+  for (auto& thread : consumers) thread.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -18,7 +18,7 @@ const char* kBaseline = R"({
   ],
   "scenarios": [
     {"name": "ADS", "seconds_reference": 0.02, "speedup_epoch_forward": 3.5,
-     "overhead_percent": 1.0},
+     "overhead_percent": 1.0, "latency_p50_ratio": 0.95, "latency_p99_ratio": 0.88},
     {"name": "ORION", "speedup_epoch_forward": 2.1, "overhead_percent": -4.0}
   ]
 })";
@@ -60,13 +60,16 @@ TEST(JsonParser, RejectsMalformedInput) {
 
 TEST(TrackedMetrics, ExtractsOnlyNormalizedRatios) {
   const auto metrics = tracked_metrics(parse_json(kBaseline));
-  // speedup* and overhead_percent are tracked; raw seconds and counts are not.
-  ASSERT_EQ(metrics.size(), 5u);
+  // speedup*, overhead_percent, and latency_* are tracked; raw seconds and
+  // counts are not.
+  ASSERT_EQ(metrics.size(), 7u);
   EXPECT_DOUBLE_EQ(metrics.at("gemm/affine/speedup"), 4.0);
   EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/speedup_epoch_forward"), 3.5);
   EXPECT_DOUBLE_EQ(metrics.at("scenarios/ORION/speedup_epoch_forward"), 2.1);
   EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/overhead_percent"), 1.0);
   EXPECT_DOUBLE_EQ(metrics.at("scenarios/ORION/overhead_percent"), -4.0);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/latency_p50_ratio"), 0.95);
+  EXPECT_DOUBLE_EQ(metrics.at("scenarios/ADS/latency_p99_ratio"), 0.88);
   EXPECT_EQ(metrics.count("scenarios/ADS/seconds_reference"), 0u);
   EXPECT_EQ(metrics.count("gemm/affine/m"), 0u);
 }
@@ -76,7 +79,7 @@ TEST(BenchCompare, IdenticalRunPasses) {
   const JsonValue fresh = parse_json(kBaseline);
   const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
   EXPECT_TRUE(cmp.ok());
-  EXPECT_EQ(cmp.compared, 5);
+  EXPECT_EQ(cmp.compared, 7);
   EXPECT_TRUE(cmp.regressions.empty());
   EXPECT_TRUE(cmp.missing.empty());
 }
@@ -103,6 +106,27 @@ TEST(BenchCompare, FlagsInjectedOverheadRegression) {
   const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
   ASSERT_EQ(cmp.regressions.size(), 1u);
   EXPECT_EQ(cmp.regressions[0].metric, "scenarios/ADS/overhead_percent");
+}
+
+TEST(BenchCompare, FlagsInjectedLatencyP99Regression) {
+  const JsonValue baseline = parse_json(kBaseline);
+  // latency_* metrics ARE normalized times (lower is better): p99 rising
+  // 0.88 -> 1.20 is a 1.36x slowdown, past the 1.3 gate.
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"latency_p99_ratio\": 0.88", "\"latency_p99_ratio\": 1.20"));
+  const BenchComparison cmp = compare_bench_results(baseline, fresh, 1.3);
+  ASSERT_EQ(cmp.regressions.size(), 1u);
+  EXPECT_EQ(cmp.regressions[0].metric, "scenarios/ADS/latency_p99_ratio");
+  EXPECT_DOUBLE_EQ(cmp.regressions[0].baseline, 0.88);
+  EXPECT_DOUBLE_EQ(cmp.regressions[0].fresh, 1.20);
+  EXPECT_NEAR(cmp.regressions[0].slowdown, 1.20 / 0.88, 1e-12);
+}
+
+TEST(BenchCompare, LatencyImprovementNeverFails) {
+  const JsonValue baseline = parse_json(kBaseline);
+  const JsonValue fresh = parse_json(
+      with(kBaseline, "\"latency_p50_ratio\": 0.95", "\"latency_p50_ratio\": 0.40"));
+  EXPECT_TRUE(compare_bench_results(baseline, fresh, 1.3).ok());
 }
 
 TEST(BenchCompare, ToleratesSlowdownInsideThreshold) {
@@ -136,7 +160,8 @@ TEST(BenchCompare, PairsScenariosByNameNotOrder) {
   const JsonValue fresh = parse_json(R"({
     "scenarios": [
       {"name": "ORION", "speedup_epoch_forward": 2.1, "overhead_percent": -4.0},
-      {"name": "ADS", "speedup_epoch_forward": 3.5, "overhead_percent": 1.0}
+      {"name": "ADS", "speedup_epoch_forward": 3.5, "overhead_percent": 1.0,
+       "latency_p50_ratio": 0.95, "latency_p99_ratio": 0.88}
     ],
     "gemm": [
       {"name": "affine", "speedup": 4.0}

@@ -1,0 +1,119 @@
+#include "util/lru_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace nptsn {
+namespace {
+
+// Small fixed overhead so byte math in the tests stays readable.
+constexpr std::size_t kOverhead = 10;
+
+TEST(LruStore, PutGetRoundTrip) {
+  LruStore<int, std::string> store(1024, kOverhead);
+  EXPECT_EQ(store.get(1), nullptr);
+  store.put(1, "one", 3);
+  store.put(2, "two", 3);
+  ASSERT_NE(store.get(1), nullptr);
+  EXPECT_EQ(*store.get(1), "one");
+  EXPECT_EQ(*store.get(2), "two");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.bytes(), 2 * (3 + kOverhead));
+  EXPECT_EQ(store.hits(), 3u);
+  EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(LruStore, OverwriteReplacesValueAndCost) {
+  LruStore<int, std::string> store(1024, kOverhead);
+  store.put(1, "short", 5);
+  store.put(1, "a much longer value", 19);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.bytes(), 19 + kOverhead);
+  EXPECT_EQ(*store.get(1), "a much longer value");
+}
+
+TEST(LruStore, EvictsLeastRecentlyUsedUnderByteCap) {
+  // Budget fits exactly three entries of cost 20.
+  LruStore<int, std::string> store(3 * (20 + kOverhead), kOverhead);
+  store.put(1, "a", 20);
+  store.put(2, "b", 20);
+  store.put(3, "c", 20);
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(store.get(1), nullptr);
+  store.put(4, "d", 20);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.get(2), nullptr);  // evicted
+  EXPECT_NE(store.get(1), nullptr);
+  EXPECT_NE(store.get(3), nullptr);
+  EXPECT_NE(store.get(4), nullptr);
+  EXPECT_LE(store.bytes(), store.max_bytes());
+}
+
+TEST(LruStore, PutRefreshesRecencyToo) {
+  LruStore<int, int> store(3 * (8 + kOverhead), kOverhead);
+  store.put(1, 10, 8);
+  store.put(2, 20, 8);
+  store.put(3, 30, 8);
+  store.put(1, 11, 8);  // overwrite refreshes 1; 2 is now LRU
+  store.put(4, 40, 8);
+  EXPECT_EQ(store.get(2), nullptr);
+  EXPECT_EQ(*store.get(1), 11);
+}
+
+TEST(LruStore, EvictsManyForOneLargeEntry) {
+  LruStore<int, std::string> store(100, 0);
+  store.put(1, "a", 30);
+  store.put(2, "b", 30);
+  store.put(3, "c", 30);
+  // Cost 90 forces out everything older.
+  store.put(4, "big", 90);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.evictions(), 3u);
+  EXPECT_NE(store.get(4), nullptr);
+}
+
+TEST(LruStore, RejectsEntriesLargerThanTheWholeBudget) {
+  LruStore<int, std::string> store(100, kOverhead);
+  store.put(1, "resident", 50);
+  store.put(2, "oversized", 95);  // 95 + 10 > 100
+  EXPECT_EQ(store.rejected(), 1u);
+  EXPECT_EQ(store.get(2), nullptr);
+  // The resident entry was not disturbed to make room for a lost cause.
+  EXPECT_NE(store.get(1), nullptr);
+  EXPECT_EQ(store.evictions(), 0u);
+}
+
+TEST(LruStore, TransparentLookupWithBorrowedKey) {
+  LruStore<std::string, int, std::less<>> store(1024, kOverhead);
+  store.put("alpha", 1, 8);
+  const std::string_view borrowed = "alpha";
+  ASSERT_NE(store.get(borrowed), nullptr);
+  EXPECT_EQ(*store.get(borrowed), 1);
+  EXPECT_EQ(store.get(std::string_view("beta")), nullptr);
+}
+
+TEST(LruStore, ValueAddressStableAcrossOtherInsertsAndGets) {
+  LruStore<int, std::string> store(1 << 20, kOverhead);
+  store.put(1, "stable", 6);
+  const std::string* address = store.get(1);
+  for (int k = 2; k < 64; ++k) store.put(k, "filler", 6);
+  store.get(7);
+  EXPECT_EQ(store.get(1), address);
+  EXPECT_EQ(*address, "stable");
+}
+
+TEST(LruStore, ClearResetsContentsButKeepsCounters) {
+  LruStore<int, int> store(1024, kOverhead);
+  store.put(1, 10, 4);
+  store.get(1);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.get(1), nullptr);
+}
+
+}  // namespace
+}  // namespace nptsn

@@ -5,9 +5,10 @@
 //
 // Each pair is a committed baseline document (bench/results/*.json) and the
 // matching document from a fresh benchmark run. Exit code 0 when every tracked
-// metric (speedup*, overhead_percent — see src/util/bench_compare.hpp) stayed
-// within the slowdown threshold in every pair; 1 on any regression, missing
-// metric, unreadable file, or malformed JSON.
+// metric (speedup*, latency_*, overhead_percent — see
+// src/util/bench_compare.hpp) stayed within the slowdown threshold in every
+// pair; 1 on any regression, missing metric, unreadable file, or malformed
+// JSON.
 
 #include <cstdio>
 #include <cstdlib>

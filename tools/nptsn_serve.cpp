@@ -1,0 +1,386 @@
+// nptsn_serve: the planning-as-a-service daemon front end (DESIGN.md §13).
+//
+// Boots a PlannerService (sharded worker pools + cross-session caches),
+// submits the planning problems named on the command line, and streams each
+// session's outcome as it resolves. Problems come from the evaluation
+// scenarios (ads/orion), the seeded procedural generator (gen:...), raw
+// canonical problem-bytes files (problem:PATH), or pending-request files a
+// previous interrupted serve run persisted (pending:PATH).
+//
+// Graceful shutdown: SIGTERM/SIGINT switches the service into cancelling
+// shutdown — every in-flight session's deadline token fires, the session
+// unwinds through the trainer's clean-stop path and (with --state-dir)
+// persists a resumable checkpoint under checksummed checkpoint framing, and
+// every admitted-but-unstarted request is written to
+// <state-dir>/pending-<id>.req (same framing). Re-running with
+// pending:<file> resumes exactly where the interrupted process stopped.
+//
+// Exit codes (distinct so scripts and CI can branch without parsing output):
+//   0 = every submitted session planned successfully (audit clean when
+//       auditing is configured)
+//   1 = the service ran to completion but some session was infeasible,
+//       audit-rejected, or faulted
+//   2 = usage error (bad flags, malformed spec)
+//   3 = I/O error (unreadable problem/pending file, unwritable state dir)
+//   5 = interrupted (SIGTERM/SIGINT): in-flight checkpoints and the pending
+//       backlog were persisted; nothing was lost, but the run did not finish
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenarios/ads.hpp"
+#include "scenarios/generator.hpp"
+#include "scenarios/orion.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nptsn;
+
+// Payload version for pending-request files (id, label, priority, overrides,
+// problem blob under the standard checksummed checkpoint framing).
+constexpr std::uint32_t kPendingRequestVersion = 1;
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] SPEC [SPEC...]\n"
+      "\n"
+      "Runs the planner service over the given problems and reports each\n"
+      "session's outcome. SPEC is one of:\n"
+      "  ads                the ADS scenario with its application flows\n"
+      "  orion[:FLOWS[:SEED]]   ORION with FLOWS random flows (default 4)\n"
+      "  gen:SEED[:FLOWS[:ZONES]]  a generated zonal instance\n"
+      "  problem:PATH       canonical problem bytes (net/problem.hpp)\n"
+      "  pending:PATH       a pending-request file from an interrupted run\n"
+      "Append @P to any spec to set its queue priority (e.g. ads@10).\n"
+      "\n"
+      "service options:\n"
+      "  --shards N           worker-pool shards (default 1)\n"
+      "  --workers N          workers per shard (default 1)\n"
+      "  --queue-capacity N   per-shard admission bound (default 64)\n"
+      "  --no-shared-cache    disable the cross-session caches\n"
+      "  --warm-start         warm-start policy weights across sessions\n"
+      "                       (opt-in: changes training trajectories)\n"
+      "  --state-dir DIR      checkpoint/resume directory; on SIGTERM the\n"
+      "                       backlog is persisted here as pending-*.req\n"
+      "session options (template for every request):\n"
+      "  --epochs N           training epochs (default 12)\n"
+      "  --steps N            steps per epoch (default 256)\n"
+      "  --seed S             base RNG seed (default 1)\n"
+      "  --workers-per-session N  rollout workers inside a session\n"
+      "  --audit              audit the final plan (certificate in-band)\n"
+      "  --session-wall SEC   per-session wall budget (0 = unlimited)\n"
+      "  --repeat N           submit every spec N times (ids get -rK)\n",
+      argv0);
+}
+
+struct Spec {
+  std::string text;
+  int priority = 0;
+};
+
+// "name@P" -> {name, P}; no @ -> priority 0.
+Spec parse_spec(const std::string& raw) {
+  Spec spec;
+  const std::size_t at = raw.rfind('@');
+  if (at == std::string::npos) {
+    spec.text = raw;
+  } else {
+    spec.text = raw.substr(0, at);
+    spec.priority = std::atoi(raw.c_str() + at + 1);
+  }
+  return spec;
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) throw std::runtime_error("cannot read " + path);
+  return {data.begin(), data.end()};
+}
+
+std::vector<std::uint8_t> save_pending(const PlanningRequest& request) {
+  ByteWriter out;
+  out.str(request.id);
+  out.str(request.label);
+  out.i64(request.priority);
+  out.i64(request.epochs);
+  out.i64(request.steps_per_epoch);
+  out.u64(request.seed);
+  out.blob(request.problem_bytes);
+  return out.data();
+}
+
+PlanningRequest load_pending(const std::vector<std::uint8_t>& payload) {
+  ByteReader in(payload);
+  PlanningRequest request;
+  request.id = in.str();
+  request.label = in.str();
+  request.priority = static_cast<int>(in.i64());
+  request.epochs = static_cast<int>(in.i64());
+  request.steps_per_epoch = static_cast<int>(in.i64());
+  request.seed = in.u64();
+  request.problem_bytes = in.blob();
+  in.expect_exhausted("pending planning request");
+  return request;
+}
+
+// Builds the request for one spec. Throws ValidationError on a malformed
+// spec (exit 2 at the call site) and std::runtime_error on I/O (exit 3).
+PlanningRequest build_request(const Spec& spec) {
+  PlanningRequest request;
+  request.priority = spec.priority;
+  const std::string& text = spec.text;
+
+  auto split = [](const std::string& s) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t colon = s.find(':', start);
+      parts.push_back(s.substr(start, colon - start));
+      if (colon == std::string::npos) return parts;
+      start = colon + 1;
+    }
+  };
+  const std::vector<std::string> parts = split(text);
+
+  if (parts[0] == "ads") {
+    const Scenario scenario = make_ads();
+    request.id = "ads";
+    request.label = "ADS / application flows";
+    request.problem_bytes = problem_bytes(with_flows(scenario, ads_flows()));
+  } else if (parts[0] == "orion") {
+    const int flows = parts.size() > 1 ? std::atoi(parts[1].c_str()) : 4;
+    const std::uint64_t seed =
+        parts.size() > 2 ? std::strtoull(parts[2].c_str(), nullptr, 10) : 1;
+    const Scenario scenario = make_orion();
+    Rng rng(seed);
+    request.id = "orion-f" + std::to_string(flows) + "-s" + std::to_string(seed);
+    request.label = "ORION / " + std::to_string(flows) + " random flows";
+    request.problem_bytes =
+        problem_bytes(with_flows(scenario, random_flows(scenario.problem, flows, rng)));
+  } else if (parts[0] == "gen") {
+    if (parts.size() < 2 || parts[1].empty()) {
+      throw ValidationError("gen spec needs a seed: gen:SEED[:FLOWS[:ZONES]]");
+    }
+    const std::uint64_t seed = std::strtoull(parts[1].c_str(), nullptr, 10);
+    GeneratorParams params;
+    if (parts.size() > 2) params.flow_count = std::atoi(parts[2].c_str());
+    if (parts.size() > 3) params.zones = std::atoi(parts[3].c_str());
+    request.id = "gen-" + std::to_string(seed) + "-f" +
+                 std::to_string(params.flow_count) + "-z" + std::to_string(params.zones);
+    request.label = describe(params) + " seed " + std::to_string(seed);
+    request.problem_bytes = problem_bytes(generate(params, seed));
+  } else if (parts[0] == "problem") {
+    if (parts.size() < 2 || parts[1].empty()) {
+      throw ValidationError("problem spec needs a path: problem:PATH");
+    }
+    // The rest of the spec is the path (it may itself contain colons).
+    const std::string path = text.substr(std::strlen("problem:"));
+    request.id = path.substr(path.find_last_of('/') + 1);
+    request.label = "problem file " + path;
+    request.problem_bytes = read_file_bytes(path);
+  } else if (parts[0] == "pending") {
+    if (parts.size() < 2 || parts[1].empty()) {
+      throw ValidationError("pending spec needs a path: pending:PATH");
+    }
+    const std::string path = text.substr(std::strlen("pending:"));
+    request = load_pending(load_checkpoint_file(path, kPendingRequestVersion));
+    if (spec.priority != 0) request.priority = spec.priority;
+  } else {
+    throw ValidationError("unknown spec '" + text + "'");
+  }
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServiceConfig config;
+  config.session.epochs = 12;
+  config.session.steps_per_epoch = 256;
+  config.session.num_workers = 1;
+  int repeat = 1;
+  std::vector<Spec> specs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--shards") {
+      config.shards = std::atoi(value());
+    } else if (arg == "--workers") {
+      config.workers_per_shard = std::atoi(value());
+    } else if (arg == "--queue-capacity") {
+      config.queue_capacity = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--no-shared-cache") {
+      config.shared_caches = false;
+    } else if (arg == "--warm-start") {
+      config.warm_start = true;
+    } else if (arg == "--state-dir") {
+      config.state_dir = value();
+    } else if (arg == "--epochs") {
+      config.session.epochs = std::atoi(value());
+    } else if (arg == "--steps") {
+      config.session.steps_per_epoch = std::atoi(value());
+    } else if (arg == "--seed") {
+      config.session.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--workers-per-session") {
+      config.session.num_workers = std::atoi(value());
+    } else if (arg == "--audit") {
+      config.session.audit_mode = AuditMode::kFinal;
+    } else if (arg == "--session-wall") {
+      config.session_wall_seconds = std::atof(value());
+    } else if (arg == "--repeat") {
+      repeat = std::atoi(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown argument %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      specs.push_back(parse_spec(arg));
+    }
+  }
+  if (specs.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (config.shards < 1 || config.workers_per_shard < 1 || repeat < 1) {
+    std::fprintf(stderr, "error: --shards/--workers/--repeat must be positive\n");
+    return 2;
+  }
+
+  // Build every request before booting the service, so a malformed spec is a
+  // clean usage/I-O error instead of a half-run.
+  std::vector<PlanningRequest> requests;
+  try {
+    for (const Spec& spec : specs) {
+      PlanningRequest request = build_request(spec);
+      for (int r = 0; r < repeat; ++r) {
+        PlanningRequest copy = request;
+        if (repeat > 1) copy.id += "-r" + std::to_string(r);
+        requests.push_back(std::move(copy));
+      }
+    }
+  } catch (const ValidationError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const CheckpointError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::printf("nptsn_serve: %d shard(s) x %d worker(s), caches %s, %zu request(s)\n",
+              config.shards, config.workers_per_shard,
+              config.shared_caches ? "shared" : "off", requests.size());
+  std::fflush(stdout);
+
+  PlannerService service(config);
+  std::vector<std::future<PlanningResponse>> futures;
+  futures.reserve(requests.size());
+  try {
+    for (PlanningRequest& request : requests) {
+      futures.push_back(service.submit(std::move(request)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: submit failed: %s\n", e.what());
+    service.shutdown(PlannerService::Shutdown::kCancel);
+    return 3;
+  }
+
+  // Wait for every response, polling for the shutdown signal. A signal
+  // cancels the service; already-resolved futures keep their results and the
+  // rest resolve as kCancelled.
+  bool interrupted = false;
+  int failures = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    while (!interrupted &&
+           futures[i].wait_for(std::chrono::milliseconds(100)) !=
+               std::future_status::ready) {
+      if (g_signal.load(std::memory_order_relaxed) != 0) {
+        std::printf("signal received: cancelling in-flight sessions...\n");
+        std::fflush(stdout);
+        service.shutdown(PlannerService::Shutdown::kCancel);
+        interrupted = true;
+      }
+    }
+    const PlanningResponse response = futures[i].get();
+    const char* status = to_string(response.status);
+    if (response.status == ResponseStatus::kPlanned) {
+      std::printf(
+          "[%s] %s: cost %.1f, %d epoch(s), shard %d, queue %.2fs, plan %.2fs, "
+          "%lld shared hit(s)%s%s\n",
+          status, response.id.c_str(), response.best_cost, response.epochs_completed,
+          response.shard, response.queue_seconds, response.plan_seconds,
+          static_cast<long long>(response.verify_shared_hits),
+          response.certificate_bytes.empty() ? "" : ", certified",
+          response.stopped_reason.empty() ? "" : ", stopped early");
+    } else {
+      std::printf("[%s] %s: %s\n", status, response.id.c_str(),
+                  !response.error.empty() ? response.error.c_str()
+                  : !response.stopped_reason.empty() ? response.stopped_reason.c_str()
+                                                     : "no verified solution");
+      if (response.status != ResponseStatus::kCancelled) ++failures;
+    }
+    std::fflush(stdout);
+  }
+
+  if (!interrupted) service.shutdown(PlannerService::Shutdown::kDrain);
+
+  // Persist the admitted-but-unstarted backlog so a later process can resume
+  // it with pending:<file> (in-flight sessions already checkpointed through
+  // the trainer's checkpoint_on_stop path).
+  const std::vector<PlanningRequest> backlog = service.unprocessed();
+  if (!backlog.empty() && !config.state_dir.empty()) {
+    for (const PlanningRequest& request : backlog) {
+      const std::string path = config.state_dir + "/pending-" + request.id + ".req";
+      try {
+        save_checkpoint_file(path, kPendingRequestVersion, save_pending(request));
+        std::printf("persisted %s\n", path.c_str());
+      } catch (const CheckpointError& e) {
+        std::fprintf(stderr, "error: cannot persist %s: %s\n", path.c_str(), e.what());
+        return 3;
+      }
+    }
+  }
+
+  const PlannerService::Counters counters = service.counters();
+  std::printf(
+      "done: %lld submitted, %lld planned, %lld infeasible, %lld rejected, "
+      "%lld faulted, %lld cancelled\n",
+      static_cast<long long>(counters.submitted), static_cast<long long>(counters.planned),
+      static_cast<long long>(counters.infeasible),
+      static_cast<long long>(counters.rejected), static_cast<long long>(counters.faulted),
+      static_cast<long long>(counters.cancelled));
+
+  if (interrupted) return 5;
+  return failures == 0 ? 0 : 1;
+}
