@@ -19,9 +19,17 @@
 // streams. A cache that changes any result fails the bench, not just the
 // gate.
 //
-//   micro_service [--fast|--paper]
+// With --journal the bench instead measures the durability tax: the same
+// stream through two cache-on services, one journal-free and one with the
+// write-ahead request journal (fsync per accept/start/terminal), emitting
+// overhead_percent (lower is better) for the perf gate. The journal must not
+// change one bit of any session's outcome either.
+//
+//   micro_service [--fast|--paper] [--journal]
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <string>
@@ -88,12 +96,14 @@ std::vector<PlanningRequest> build_stream(const Mode& mode) {
   return stream;
 }
 
-StreamResult run_stream(const Mode& mode, bool shared) {
+StreamResult run_stream(const Mode& mode, bool shared,
+                        const std::string& journal_dir = {}) {
   ServiceConfig config;
   config.shards = 1;
   config.workers_per_shard = 1;
   config.shared_caches = shared;
   config.session = session_config(mode);
+  config.journal_dir = journal_dir;
 
   StreamResult result;
   PlannerService service(config);
@@ -128,28 +138,73 @@ double percentile(std::vector<double> sorted, double p) {
   return sorted[rank];
 }
 
+// Bit-identity check between two runs of the same stream: neither the shared
+// stores nor the journal may change any session's outcome.
+bool identical_streams(const StreamResult& a, const StreamResult& b, const char* what) {
+  if (a.responses.size() != b.responses.size()) {
+    std::fprintf(stderr, "stream sizes diverged between %s modes\n", what);
+    return false;
+  }
+  for (const auto& [id, a_response] : a.responses) {
+    const auto it = b.responses.find(id);
+    if (it == b.responses.end() || it->second.status != a_response.status ||
+        it->second.topology_bytes != a_response.topology_bytes ||
+        it->second.certificate_bytes != a_response.certificate_bytes ||
+        it->second.best_cost != a_response.best_cost) {
+      std::fprintf(stderr, "session %s: %s changed the result\n", id.c_str(), what);
+      return false;
+    }
+  }
+  return true;
+}
+
+// --journal: the durability tax. Same cache-on stream, journal off vs on.
+int run_journal(const Mode& mode) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "nptsn_micro_service_journal").string();
+  std::filesystem::remove_all(dir);
+
+  const StreamResult off = run_stream(mode, /*shared=*/true);
+  const StreamResult on = run_stream(mode, /*shared=*/true, dir);
+  std::filesystem::remove_all(dir);
+  if (!identical_streams(off, on, "the request journal")) return 1;
+
+  const double n = static_cast<double>(off.responses.size());
+  const double overhead_percent = (on.seconds / off.seconds - 1.0) * 100.0;
+  std::printf(
+      "{\n"
+      "  \"bench\": \"micro_service_journal\",\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"requests\": %d,\n"
+      "  \"scenarios\": [\n"
+      "    {\n"
+      "      \"name\": \"journal-overhead\",\n"
+      "      \"planned_off\": %d,\n"
+      "      \"planned_on\": %d,\n"
+      "      \"seconds_off\": %.6f,\n"
+      "      \"seconds_on\": %.6f,\n"
+      "      \"overhead_percent\": %.6f,\n"
+      "      \"identical_plans\": true\n"
+      "    }\n"
+      "  ]\n"
+      "}\n",
+      mode.paper ? "paper" : "fast", static_cast<int>(n), off.planned, on.planned,
+      off.seconds, on.seconds, overhead_percent);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const Mode mode = Mode::parse(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0) return run_journal(mode);
+  }
 
   const StreamResult off = run_stream(mode, /*shared=*/false);
   const StreamResult on = run_stream(mode, /*shared=*/true);
 
   // The contract before the numbers: the shared stores must not change one
   // bit of any session's outcome.
-  if (off.responses.size() != on.responses.size()) {
-    std::fprintf(stderr, "stream sizes diverged between cache modes\n");
-    return 1;
-  }
-  for (const auto& [id, off_response] : off.responses) {
-    const auto it = on.responses.find(id);
-    if (it == on.responses.end() || it->second.status != off_response.status ||
-        it->second.topology_bytes != off_response.topology_bytes ||
-        it->second.certificate_bytes != off_response.certificate_bytes ||
-        it->second.best_cost != off_response.best_cost) {
-      std::fprintf(stderr, "session %s: shared caches changed the result\n", id.c_str());
-      return 1;
-    }
-  }
+  if (!identical_streams(off, on, "shared caches")) return 1;
 
   auto latencies = [](const StreamResult& stream) {
     std::vector<double> seconds;

@@ -1,0 +1,640 @@
+#include "service/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "service/crash_point.hpp"
+#include "util/checkpoint.hpp"
+#include "util/expect.hpp"
+
+namespace nptsn {
+namespace {
+
+// Per-record framing magic ("NJL1"); bumped on any layout change so an old
+// binary refuses records it cannot decode instead of misreading them.
+constexpr std::uint32_t kRecordMagic = 0x314C4A4Eu;
+constexpr std::size_t kRecordHeader = 4 + 4 + 8;  // magic, payload size, checksum
+
+[[noreturn]] void fail(const std::string& what) { throw CheckpointError(what); }
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%010llu.seg", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+// "wal-<digits>.seg" -> seq; nullopt for anything else (tmp files, strays).
+std::optional<std::uint64_t> segment_seq(const std::string& name) {
+  if (name.size() <= 8 || name.compare(0, 4, "wal-") != 0 ||
+      name.compare(name.size() - 4, 4, ".seg") != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: the segment files themselves are synced
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write to " + path + " failed: " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open " + path + ": " + std::strerror(errno));
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail("read of " + path + " failed: " + std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+bool is_terminal(JournalRecordType type) {
+  return type == JournalRecordType::kDone || type == JournalRecordType::kFaulted ||
+         type == JournalRecordType::kRejected;
+}
+
+JournalRecordType terminal_type(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kPlanned:
+    case ResponseStatus::kInfeasible: return JournalRecordType::kDone;
+    case ResponseStatus::kRejected: return JournalRecordType::kRejected;
+    default: return JournalRecordType::kFaulted;
+  }
+}
+
+std::vector<std::uint8_t> encode_record(const JournalRecord& record) {
+  ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(record.type));
+  out.str(record.id);
+  out.u64(record.fp.a);
+  out.u64(record.fp.b);
+  out.i64(record.attempt);
+  switch (record.type) {
+    case JournalRecordType::kAccepted:
+      out.str(record.request.label);
+      out.i64(record.request.priority);
+      out.i64(record.request.epochs);
+      out.i64(record.request.steps_per_epoch);
+      out.u64(record.request.seed);
+      out.i64(record.request.max_attempts);
+      out.i64(record.attempts_used);
+      out.blob(record.request.problem_bytes);
+      break;
+    case JournalRecordType::kStarted:
+      break;
+    case JournalRecordType::kRetry:
+      out.str(record.error);
+      out.f64(record.backoff_seconds);
+      break;
+    case JournalRecordType::kDone:
+    case JournalRecordType::kFaulted:
+    case JournalRecordType::kRejected:
+      out.u8(static_cast<std::uint8_t>(record.response.status));
+      out.u8(record.response.feasible ? 1 : 0);
+      out.f64(record.response.best_cost);
+      out.str(record.response.stopped_reason);
+      out.str(record.response.error);
+      out.i64(record.response.epochs_completed);
+      out.i64(record.response.verify_shared_hits);
+      out.u64(record.digest);
+      out.blob(record.response.topology_bytes);
+      out.blob(record.response.certificate_bytes);
+      break;
+  }
+  return out.data();
+}
+
+JournalRecord decode_record(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  JournalRecord record;
+  const std::uint8_t type = in.u8();
+  if (type < 1 || type > 6) {
+    fail("unknown journal record type " + std::to_string(type));
+  }
+  record.type = static_cast<JournalRecordType>(type);
+  record.id = in.str();
+  record.fp.a = in.u64();
+  record.fp.b = in.u64();
+  record.attempt = static_cast<int>(in.i64());
+  switch (record.type) {
+    case JournalRecordType::kAccepted:
+      record.request.id = record.id;
+      record.request.label = in.str();
+      record.request.priority = static_cast<int>(in.i64());
+      record.request.epochs = static_cast<int>(in.i64());
+      record.request.steps_per_epoch = static_cast<int>(in.i64());
+      record.request.seed = in.u64();
+      record.request.max_attempts = static_cast<int>(in.i64());
+      record.attempts_used = static_cast<int>(in.i64());
+      record.request.problem_bytes = in.blob();
+      break;
+    case JournalRecordType::kStarted:
+      break;
+    case JournalRecordType::kRetry:
+      record.error = in.str();
+      record.backoff_seconds = in.f64();
+      break;
+    case JournalRecordType::kDone:
+    case JournalRecordType::kFaulted:
+    case JournalRecordType::kRejected: {
+      record.response.id = record.id;
+      const std::uint8_t status = in.u8();
+      if (status > static_cast<std::uint8_t>(ResponseStatus::kOverloaded)) {
+        fail("unknown response status " + std::to_string(status));
+      }
+      record.response.status = static_cast<ResponseStatus>(status);
+      record.response.feasible = in.u8() != 0;
+      record.response.best_cost = in.f64();
+      record.response.stopped_reason = in.str();
+      record.response.error = in.str();
+      record.response.epochs_completed = static_cast<int>(in.i64());
+      record.response.verify_shared_hits = in.i64();
+      record.digest = in.u64();
+      record.response.topology_bytes = in.blob();
+      record.response.certificate_bytes = in.blob();
+      record.response.attempt = record.attempt;
+      break;
+    }
+  }
+  in.expect_exhausted("journal record");
+  return record;
+}
+
+// Frames one encoded payload: header + payload, ready to append.
+std::vector<std::uint8_t> frame_record(const std::vector<std::uint8_t>& payload) {
+  ByteWriter out;
+  out.u32(kRecordMagic);
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.u64(fnv1a64(payload.data(), payload.size()));
+  out.raw(payload.data(), payload.size());
+  return out.data();
+}
+
+// Decodes the records of one segment buffer; damage drops the rest of the
+// segment with a warning (a record after a corrupt one has no trustworthy
+// alignment to resume from).
+void scan_segment(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                  JournalScan* scan) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeader) {
+      scan->warnings.push_back(path + ": torn record header at offset " +
+                               std::to_string(pos) + " (" +
+                               std::to_string(bytes.size() - pos) +
+                               " trailing bytes dropped)");
+      return;
+    }
+    ByteReader header(bytes.data() + pos, kRecordHeader);
+    if (header.u32() != kRecordMagic) {
+      scan->warnings.push_back(path + ": bad record magic at offset " +
+                               std::to_string(pos) + " (rest of segment dropped)");
+      return;
+    }
+    const std::uint32_t size = header.u32();
+    const std::uint64_t checksum = header.u64();
+    if (bytes.size() - pos - kRecordHeader < size) {
+      scan->warnings.push_back(path + ": torn record payload at offset " +
+                               std::to_string(pos) + " (rest of segment dropped)");
+      return;
+    }
+    const std::uint8_t* payload = bytes.data() + pos + kRecordHeader;
+    if (fnv1a64(payload, size) != checksum) {
+      scan->warnings.push_back(path + ": record checksum mismatch at offset " +
+                               std::to_string(pos) + " (rest of segment dropped)");
+      return;
+    }
+    try {
+      scan->records.push_back(decode_record(payload, size));
+    } catch (const CheckpointError& e) {
+      scan->warnings.push_back(path + ": undecodable record at offset " +
+                               std::to_string(pos) + ": " + e.what() +
+                               " (rest of segment dropped)");
+      return;
+    }
+    pos += kRecordHeader + size;
+  }
+}
+
+}  // namespace
+
+const char* to_string(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::kAccepted: return "accepted";
+    case JournalRecordType::kStarted: return "started";
+    case JournalRecordType::kRetry: return "retry";
+    case JournalRecordType::kDone: return "done";
+    case JournalRecordType::kFaulted: return "faulted";
+    case JournalRecordType::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::uint64_t response_digest(const PlanningResponse& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u8(response.feasible ? 1 : 0);
+  w.f64(response.best_cost);
+  w.blob(response.topology_bytes);
+  w.blob(response.certificate_bytes);
+  return fnv1a64(w.data().data(), w.data().size());
+}
+
+JournalScan scan_journal(const std::string& dir) {
+  JournalScan scan;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return scan;
+
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const auto seq = segment_seq(name)) {
+      segments.emplace_back(*seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (const auto& [seq, path] : segments) {
+    scan.segments.push_back(path);
+    try {
+      const std::vector<std::uint8_t> bytes = read_file(path);
+      scan_segment(path, bytes, &scan);
+    } catch (const CheckpointError& e) {
+      scan.warnings.push_back(std::string("unreadable segment: ") + e.what());
+    }
+  }
+  return scan;
+}
+
+RequestJournal::RequestJournal(Config config) : config_(std::move(config)) {
+  NPTSN_EXPECT(!config_.dir.empty(), "journal directory must be non-empty");
+  NPTSN_EXPECT(config_.segment_bytes >= 1024, "journal segments must be >= 1 KiB");
+  NPTSN_EXPECT(config_.compact_min_delivered >= 1,
+               "journal compaction threshold must be positive");
+
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) fail("cannot create journal directory " + config_.dir + ": " + ec.message());
+
+  const JournalScan scan = scan_journal(config_.dir);
+  scan_warnings_ = scan.warnings;
+  for (const JournalRecord& record : scan.records) apply(record, &scan_warnings_);
+
+  std::uint64_t max_seq = 0;
+  for (const std::string& path : scan.segments) {
+    const auto seq = segment_seq(std::filesystem::path(path).filename().string());
+    if (seq && *seq > max_seq) max_seq = *seq;
+    sealed_segments_.emplace_back(seq.value_or(0), path);
+  }
+  active_seq_ = max_seq + 1;
+
+  std::lock_guard lock(mutex_);
+  open_active_segment();
+}
+
+RequestJournal::~RequestJournal() {
+  std::lock_guard lock(mutex_);
+  if (active_fd_ >= 0) ::close(active_fd_);
+  active_fd_ = -1;
+}
+
+void RequestJournal::open_active_segment() {
+  const std::string path = config_.dir + "/" + segment_name(active_seq_);
+  active_fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (active_fd_ < 0) {
+    fail("cannot open journal segment " + path + ": " + std::strerror(errno));
+  }
+  active_bytes_ = 0;
+  // Make the new directory entry durable before the first record lands in it.
+  fsync_dir(config_.dir);
+}
+
+void RequestJournal::append_record(const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> framed = frame_record(payload);
+  const std::string path = config_.dir + "/" + segment_name(active_seq_);
+
+  crash_point("journal.append.before_write");
+  write_all(active_fd_, framed.data(), framed.size(), path);
+  crash_point("journal.append.after_write");
+  if (::fsync(active_fd_) != 0) {
+    fail("fsync of " + path + " failed: " + std::strerror(errno));
+  }
+  crash_point("journal.append.after_fsync");
+
+  active_bytes_ += framed.size();
+  ++stats_.appends;
+
+  if (active_bytes_ >= config_.segment_bytes) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+    sealed_segments_.emplace_back(active_seq_, path);
+    ++active_seq_;
+    ++stats_.rotations;
+    maybe_compact();
+    if (active_fd_ < 0) open_active_segment();
+  }
+}
+
+void RequestJournal::maybe_compact() {
+  int delivered = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.terminal && entry.delivered) ++delivered;
+  }
+  if (delivered < config_.compact_min_delivered) return;
+
+  // Snapshot everything still needed — live requests and undelivered
+  // terminals — into one fresh segment, atomically, then drop history.
+  ByteWriter snapshot;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.terminal && entry.delivered) continue;
+    JournalRecord accepted;
+    accepted.type = JournalRecordType::kAccepted;
+    accepted.id = id;
+    accepted.fp = entry.fp;
+    accepted.attempt = 0;
+    accepted.request = entry.request;
+    accepted.attempts_used = entry.attempts_used;
+    const std::vector<std::uint8_t> accepted_framed = frame_record(encode_record(accepted));
+    snapshot.raw(accepted_framed.data(), accepted_framed.size());
+
+    if (entry.started && !entry.terminal) {
+      JournalRecord started;
+      started.type = JournalRecordType::kStarted;
+      started.id = id;
+      started.fp = entry.fp;
+      started.attempt = entry.attempts_used + 1;
+      const std::vector<std::uint8_t> framed = frame_record(encode_record(started));
+      snapshot.raw(framed.data(), framed.size());
+    }
+    if (entry.terminal) {
+      JournalRecord terminal;
+      terminal.type = terminal_type(entry.terminal->status);
+      terminal.id = id;
+      terminal.fp = entry.fp;
+      terminal.attempt = entry.terminal_attempt;
+      terminal.response = *entry.terminal;
+      terminal.digest = response_digest(*entry.terminal);
+      const std::vector<std::uint8_t> framed = frame_record(encode_record(terminal));
+      snapshot.raw(framed.data(), framed.size());
+    }
+  }
+
+  // The active segment (if open) is superseded by the snapshot too.
+  std::string active_path;
+  if (active_fd_ >= 0) {
+    active_path = config_.dir + "/" + segment_name(active_seq_);
+    ::close(active_fd_);
+    active_fd_ = -1;
+    sealed_segments_.emplace_back(active_seq_, active_path);
+    ++active_seq_;
+  }
+
+  const std::uint64_t snapshot_seq = active_seq_;
+  ++active_seq_;
+  const std::string snapshot_path = config_.dir + "/" + segment_name(snapshot_seq);
+  const std::string tmp_path = snapshot_path + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open " + tmp_path + ": " + std::strerror(errno));
+  try {
+    write_all(fd, snapshot.data().data(), snapshot.size(), tmp_path);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    fail("fsync of " + tmp_path + " failed: " + std::strerror(err));
+  }
+  ::close(fd);
+
+  crash_point("journal.compact.before_publish");
+  if (::rename(tmp_path.c_str(), snapshot_path.c_str()) != 0) {
+    fail("cannot publish " + snapshot_path + ": " + std::strerror(errno));
+  }
+  fsync_dir(config_.dir);
+  crash_point("journal.compact.after_publish");
+
+  // History is now redundant: every record that matters lives in the
+  // snapshot, and a crash mid-cleanup merely leaves extra segments whose
+  // records the next scan merges idempotently.
+  for (const auto& [seq, path] : sealed_segments_) ::unlink(path.c_str());
+  sealed_segments_.clear();
+  fsync_dir(config_.dir);
+  crash_point("journal.compact.after_cleanup");
+
+  sealed_segments_.emplace_back(snapshot_seq, snapshot_path);
+  std::erase_if(entries_, [](const auto& kv) {
+    return kv.second.terminal && kv.second.delivered;
+  });
+  ++stats_.compactions;
+  open_active_segment();
+}
+
+void RequestJournal::apply(const JournalRecord& record, std::vector<std::string>* warnings) {
+  auto it = entries_.find(record.id);
+  switch (record.type) {
+    case JournalRecordType::kAccepted: {
+      if (it != entries_.end() && !(it->second.fp == record.fp)) {
+        warnings->push_back("request '" + record.id +
+                            "': conflicting problem fingerprints across records; "
+                            "keeping the newest");
+        it->second.terminal.reset();
+      }
+      Entry& entry = entries_[record.id];
+      entry.request = record.request;
+      entry.fp = record.fp;
+      entry.attempts_used = std::max(entry.attempts_used, record.attempts_used);
+      break;
+    }
+    case JournalRecordType::kStarted:
+      if (it == entries_.end()) {
+        warnings->push_back("request '" + record.id +
+                            "': started record without an accepted record (dropped)");
+        break;
+      }
+      it->second.started = true;
+      break;
+    case JournalRecordType::kRetry:
+      if (it == entries_.end()) {
+        warnings->push_back("request '" + record.id +
+                            "': retry record without an accepted record (dropped)");
+        break;
+      }
+      it->second.attempts_used = std::max(it->second.attempts_used, record.attempt);
+      break;
+    case JournalRecordType::kDone:
+    case JournalRecordType::kFaulted:
+    case JournalRecordType::kRejected: {
+      if (it == entries_.end()) {
+        warnings->push_back("request '" + record.id +
+                            "': terminal record without an accepted record (dropped)");
+        break;
+      }
+      if (response_digest(record.response) != record.digest) {
+        warnings->push_back("request '" + record.id +
+                            "': terminal record digest mismatch; result not replayed "
+                            "(request stays live and re-executes)");
+        break;
+      }
+      Entry& entry = it->second;
+      entry.terminal = record.response;
+      entry.terminal->label = entry.request.label;
+      entry.terminal_attempt = record.attempt;
+      // An overloaded shed is terminal bookkeeping only — nobody holds a
+      // handle for it, so it must never be replayed as an answer.
+      entry.delivered = record.response.status == ResponseStatus::kOverloaded;
+      break;
+    }
+  }
+}
+
+std::vector<RequestJournal::Recovered> RequestJournal::take_recovered() {
+  std::lock_guard lock(mutex_);
+  std::vector<Recovered> recovered;
+  if (recovered_taken_) return recovered;
+  recovered_taken_ = true;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.terminal && entry.delivered) continue;  // overloaded sheds
+    if (!entry.terminal && entry.request.problem_bytes.empty()) {
+      scan_warnings_.push_back("request '" + id +
+                               "': live entry without problem bytes (dropped)");
+      continue;
+    }
+    Recovered r;
+    r.request = entry.request;
+    r.attempts_used = entry.attempts_used;
+    r.started = entry.started;
+    if (entry.terminal) r.replay = *entry.terminal;
+    recovered.push_back(std::move(r));
+  }
+  return recovered;
+}
+
+std::vector<std::string> RequestJournal::recovery_warnings() const {
+  std::lock_guard lock(mutex_);
+  return scan_warnings_;
+}
+
+void RequestJournal::append_accepted(const PlanningRequest& request, const ProblemFp& fp) {
+  JournalRecord record;
+  record.type = JournalRecordType::kAccepted;
+  record.id = request.id;
+  record.fp = fp;
+  record.request = request;
+
+  std::lock_guard lock(mutex_);
+  append_record(encode_record(record));
+  Entry& entry = entries_[request.id];
+  entry.request = request;
+  entry.fp = fp;
+}
+
+void RequestJournal::append_started(const std::string& id, int attempt) {
+  JournalRecord record;
+  record.type = JournalRecordType::kStarted;
+  record.id = id;
+  record.attempt = attempt;
+
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    record.fp = it->second.fp;
+    it->second.started = true;
+  }
+  append_record(encode_record(record));
+}
+
+void RequestJournal::append_retry(const std::string& id, int attempt,
+                                  const std::string& error, double backoff_seconds) {
+  JournalRecord record;
+  record.type = JournalRecordType::kRetry;
+  record.id = id;
+  record.attempt = attempt;
+  record.error = error;
+  record.backoff_seconds = backoff_seconds;
+
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    record.fp = it->second.fp;
+    it->second.attempts_used = std::max(it->second.attempts_used, attempt);
+  }
+  append_record(encode_record(record));
+}
+
+void RequestJournal::append_terminal(const PlanningResponse& response, int attempt) {
+  JournalRecord record;
+  record.type = terminal_type(response.status);
+  record.id = response.id;
+  record.attempt = attempt;
+  record.response = response;
+  record.digest = response_digest(response);
+
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(response.id);
+  if (it != entries_.end()) {
+    record.fp = it->second.fp;
+    it->second.terminal = response;
+    it->second.terminal_attempt = attempt;
+    it->second.delivered = response.status == ResponseStatus::kOverloaded;
+  }
+  append_record(encode_record(record));
+}
+
+void RequestJournal::acknowledge_delivered(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.terminal) return;
+  it->second.delivered = true;
+  maybe_compact();
+}
+
+RequestJournal::Stats RequestJournal::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats stats = stats_;
+  for (const auto& [id, entry] : entries_) {
+    if (!entry.terminal) ++stats.live;
+    else if (!entry.delivered) ++stats.undelivered;
+  }
+  return stats;
+}
+
+}  // namespace nptsn

@@ -1,0 +1,183 @@
+// Write-ahead request journal: crash durability for the planner service
+// (DESIGN.md §14).
+//
+// The service's contract with a caller is made durable here, before it is
+// made at all: submit() appends a kAccepted record — written and fsynced to
+// the active journal segment — BEFORE the future handle is returned, so an
+// acknowledged request survives SIGKILL, OOM-kill, and power loss. Every
+// later state transition is journaled as it happens:
+//
+//   kAccepted   request admitted (full request payload; replayable)
+//   kStarted    a worker began attempt N
+//   kRetry      attempt N failed retryably; backoff scheduled
+//   kDone       terminal: session completed (planned or infeasible), with
+//               the full response payload + a result digest
+//   kFaulted    terminal: attempts exhausted (or admission shed the request)
+//   kRejected   terminal: the independent audit rejected the plan
+//
+// Record framing: each record is [magic, payload size, FNV-1a 64 checksum,
+// payload] appended to a segment file; append = write + fsync. A torn tail
+// (crash mid-append) or a bit-flipped record is detected by the checksum and
+// DROPPED WITH A WARNING on the next scan — recovery never refuses to start
+// over a damaged tail, because refusing would turn one lost record into a
+// lost journal.
+//
+// Recovery semantics (PlannerService wires these up):
+//   * at-least-once executed: every acknowledged, non-terminal request is
+//     resubmitted on restart (a crash mid-attempt does not consume one of
+//     the request's max_attempts — only an observed kRetry does);
+//   * exactly-once answered: a kDone/kRejected record short-circuits
+//     re-execution — the persisted response is REPLAYED, digest-checked,
+//     and (when auditing is configured) re-audited, never recomputed;
+//   * idempotent: recovery deduplicates by (request id, 128-bit canonical
+//     problem fingerprint), so scanning overlapping segments — e.g. after a
+//     crash between compaction publish and cleanup — converges to one state
+//     per request.
+//
+// Segments rotate at segment_bytes; once enough terminal records have been
+// delivered to their callers the journal compacts: a snapshot segment
+// holding only live (and undelivered-terminal) state is written with the
+// same fsync + atomic-rename discipline as util/checkpoint, then the old
+// segments are unlinked. A crash anywhere in compaction leaves a scannable,
+// merge-consistent journal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/problem.hpp"
+#include "service/request.hpp"
+
+namespace nptsn {
+
+enum class JournalRecordType : std::uint8_t {
+  kAccepted = 1,
+  kStarted = 2,
+  kRetry = 3,
+  kDone = 4,
+  kFaulted = 5,
+  kRejected = 6,
+};
+const char* to_string(JournalRecordType type);
+
+// Digest over the answer-defining bytes of a response (status, topology,
+// certificate). Stored in terminal records and re-checked on replay, so a
+// corrupted-but-checksum-colliding payload still cannot replay a wrong plan.
+std::uint64_t response_digest(const PlanningResponse& response);
+
+// One decoded journal record — the unit the chaos tests assert over.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kAccepted;
+  std::string id;
+  ProblemFp fp{0, 0};
+  int attempt = 0;
+  // kAccepted
+  PlanningRequest request;
+  int attempts_used = 0;  // non-zero only in compacted snapshots
+  // kRetry
+  std::string error;
+  double backoff_seconds = 0.0;
+  // kDone / kFaulted / kRejected
+  PlanningResponse response;
+  std::uint64_t digest = 0;
+};
+
+struct JournalScan {
+  std::vector<JournalRecord> records;  // journal order across segments
+  std::vector<std::string> segments;   // scanned files, in sequence order
+  std::vector<std::string> warnings;   // torn tails, corrupt records, orphans
+};
+
+// Decodes every record in every segment under `dir`, tolerating damage (a
+// corrupt or truncated record drops the rest of its segment with a warning).
+// Missing directory scans as empty. Exposed for tests and offline tooling.
+JournalScan scan_journal(const std::string& dir);
+
+class RequestJournal {
+ public:
+  struct Config {
+    std::string dir;
+    // Active segment rotates once it exceeds this many bytes.
+    std::size_t segment_bytes = std::size_t{4} << 20;
+    // Snapshot-compact once this many delivered terminal requests accumulate.
+    int compact_min_delivered = 64;
+  };
+
+  // What one journaled request recovered to after a restart.
+  struct Recovered {
+    PlanningRequest request;
+    int attempts_used = 0;  // failed attempts observed before the crash
+    bool started = false;   // some attempt began (at-least-once territory)
+    // Set for terminal records: the answer to replay instead of re-running.
+    std::optional<PlanningResponse> replay;
+  };
+
+  // Creates dir if missing, scans existing segments (tolerating torn tails),
+  // and opens a fresh active segment. Throws CheckpointError only on
+  // unusable storage (dir cannot be created/opened) — never on damage.
+  explicit RequestJournal(Config config);
+  ~RequestJournal();
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  // The requests the startup scan found, deduplicated and merged; each is
+  // either live (resubmit) or terminal (replay). Clears on the first call.
+  std::vector<Recovered> take_recovered();
+  // Startup-scan damage diagnostics (empty on a clean journal).
+  std::vector<std::string> recovery_warnings() const;
+
+  // Durable appends (write + fsync before returning). All thread-safe.
+  void append_accepted(const PlanningRequest& request, const ProblemFp& fp);
+  void append_started(const std::string& id, int attempt);
+  void append_retry(const std::string& id, int attempt, const std::string& error,
+                    double backoff_seconds);
+  void append_terminal(const PlanningResponse& response, int attempt);
+
+  // The caller-visible answer for `id` was delivered (promise resolved);
+  // its terminal record becomes eligible for compaction.
+  void acknowledge_delivered(const std::string& id);
+
+  struct Stats {
+    std::int64_t appends = 0;
+    std::int64_t rotations = 0;
+    std::int64_t compactions = 0;
+    std::int64_t live = 0;       // accepted, not yet terminal
+    std::int64_t undelivered = 0;  // terminal, answer not yet delivered
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  struct Entry {
+    PlanningRequest request;
+    ProblemFp fp{0, 0};
+    int attempts_used = 0;
+    bool started = false;
+    std::optional<PlanningResponse> terminal;
+    int terminal_attempt = 0;
+    bool delivered = false;
+  };
+
+  void open_active_segment();                       // requires mutex_
+  void append_record(const std::vector<std::uint8_t>& payload);  // requires mutex_
+  void maybe_compact();                             // requires mutex_
+  void apply(const JournalRecord& record, std::vector<std::string>* warnings);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> scan_warnings_;
+  bool recovered_taken_ = false;
+  std::uint64_t active_seq_ = 0;
+  int active_fd_ = -1;
+  std::size_t active_bytes_ = 0;
+  std::vector<std::pair<std::uint64_t, std::string>> sealed_segments_;
+  Stats stats_;
+};
+
+}  // namespace nptsn

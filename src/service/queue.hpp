@@ -14,6 +14,7 @@
 //     (cancelling shutdown persists these for a later process).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -25,6 +26,11 @@
 #include "util/expect.hpp"
 
 namespace nptsn {
+
+// Outcome of the non-blocking / bounded-wait push variants. kFull means the
+// item was NOT consumed (the caller still owns it and may shed or retry);
+// kClosed likewise leaves the item with the caller.
+enum class PushResult { kPushed, kFull, kClosed };
 
 template <typename T>
 class BoundedPriorityQueue {
@@ -44,6 +50,32 @@ class BoundedPriorityQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  // Non-blocking push: admits only when a slot is free right now. On kFull /
+  // kClosed the item is untouched (still owned by the caller) — the admission
+  // edge uses this to shed load instead of stalling the submitter.
+  PushResult try_push(T& item, int priority) {
+    return push_for(item, priority, std::chrono::nanoseconds{0});
+  }
+
+  // Bounded-wait push: blocks up to `timeout` for a slot. Returns kFull on
+  // timeout and kClosed when the queue closed while waiting; in both cases
+  // `item` is untouched. Moves from `item` only on kPushed.
+  template <typename Rep, typename Period>
+  PushResult push_for(T& item, int priority,
+                      std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kFull;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.emplace(Order{-priority, seq_++}, std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kPushed;
   }
 
   // Blocks while the queue is empty and open. nullopt once closed AND

@@ -1,0 +1,67 @@
+// Request/response types of the planner service (DESIGN.md §13–14).
+//
+// Split out of service.hpp so the write-ahead request journal
+// (service/journal.hpp) can persist and replay them without depending on the
+// service runtime itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nptsn {
+
+struct PlanningRequest {
+  // Caller-assigned identity; also names the session's checkpoint file under
+  // state_dir, so resubmitting the same id after a cancelling shutdown
+  // RESUMES that session. Must be unique among in-flight requests and safe
+  // as a file name. The journal deduplicates recovery by (id, problem
+  // fingerprint), so a crashed-and-rerun submission of the same id does not
+  // double-run.
+  std::string id;
+  std::string label;  // free-form, echoed in the response
+  int priority = 0;   // higher pops sooner within a shard
+  // Canonical problem serialization (net/problem.hpp save_problem bytes).
+  std::vector<std::uint8_t> problem_bytes;
+  // Per-request overrides of the session template; 0 inherits.
+  int epochs = 0;
+  int steps_per_epoch = 0;
+  std::uint64_t seed = 0;
+  // Per-request attempt budget for retry-on-fault/deadline (0 inherits
+  // ServiceConfig::default_max_attempts). Attempt k failing retryably with
+  // k < max_attempts is re-run after bounded exponential backoff.
+  int max_attempts = 0;
+};
+
+enum class ResponseStatus {
+  kPlanned,     // feasible plan returned (and audited clean when configured)
+  kInfeasible,  // session completed without a verified solution
+  kRejected,    // a solution was found but the independent audit rejected it
+  kFaulted,     // the session threw (malformed problem, exhausted retries...)
+  kCancelled,   // shutdown cancelled the session before/while it ran
+  kOverloaded,  // admission shed the request (bounded queue full); the
+                // request was NOT acknowledged and will not be recovered
+};
+const char* to_string(ResponseStatus status);
+
+struct PlanningResponse {
+  std::string id;
+  std::string label;
+  ResponseStatus status = ResponseStatus::kFaulted;
+  bool feasible = false;
+  double best_cost = 0.0;
+  std::vector<std::uint8_t> topology_bytes;     // save_topology bytes when feasible
+  std::vector<std::uint8_t> certificate_bytes;  // save_certificate bytes when audited
+  std::string stopped_reason;  // budget/deadline/divergence stop, when any
+  std::string error;           // kFaulted: what the session threw
+  int epochs_completed = 0;
+  int shard = -1;              // which worker pool ran it
+  int attempt = 1;             // which attempt produced this answer
+  bool replayed = false;       // answered from the journal, not re-executed
+  double queue_seconds = 0.0;  // admission -> a worker picked it up
+  double plan_seconds = 0.0;   // the plan() call itself
+  // Cross-session reuse observed by this session's environments.
+  std::int64_t verify_shared_hits = 0;
+};
+
+}  // namespace nptsn

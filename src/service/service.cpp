@@ -1,12 +1,16 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 
+#include "analysis/auditor.hpp"
 #include "analysis/certificate.hpp"
 #include "core/planner.hpp"
 #include "net/problem.hpp"
 #include "net/topology.hpp"
+#include "service/crash_point.hpp"
 #include "tsn/recovery.hpp"
 #include "util/expect.hpp"
 
@@ -32,6 +36,7 @@ const char* to_string(ResponseStatus status) {
     case ResponseStatus::kRejected: return "rejected";
     case ResponseStatus::kFaulted: return "faulted";
     case ResponseStatus::kCancelled: return "cancelled";
+    case ResponseStatus::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -42,6 +47,11 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
   NPTSN_EXPECT(config_.queue_capacity >= 1, "service queue capacity must be positive");
   NPTSN_EXPECT(config_.session_wall_seconds >= 0.0 && config_.session_max_ticks >= 0,
                "session budgets must be non-negative");
+  NPTSN_EXPECT(config_.default_max_attempts >= 1,
+               "service needs at least one attempt per request");
+  NPTSN_EXPECT(config_.retry_base_seconds >= 0.0 && config_.retry_max_seconds >= 0.0 &&
+                   config_.retry_jitter >= 0.0,
+               "retry backoff parameters must be non-negative");
 
   if (config_.shared_caches) {
     engine_cache_ = std::make_shared<EngineSharedCache>(config_.engine_cache);
@@ -53,6 +63,14 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
   if (!config_.state_dir.empty()) {
     std::filesystem::create_directories(config_.state_dir);
   }
+  if (!config_.journal_dir.empty()) {
+    RequestJournal::Config journal_config;
+    journal_config.dir = config_.journal_dir;
+    journal_config.segment_bytes = config_.journal_segment_bytes;
+    journal_config.compact_min_delivered = config_.journal_compact_min_delivered;
+    journal_ = std::make_unique<RequestJournal>(std::move(journal_config));
+  }
+  retry_rng_ = Rng(config_.retry_seed);
 
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
@@ -64,11 +82,41 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
           [this, s] { worker_loop(s); });
     }
   }
+  retry_thread_ = std::thread([this] { retry_loop(); });
+
+  // Recovery runs after the workers are up, so resubmitting more live
+  // requests than one queue holds just exerts normal backpressure instead of
+  // deadlocking a pre-worker blocking push.
+  if (journal_) {
+    for (RequestJournal::Recovered& item : journal_->take_recovered()) {
+      if (item.replay) {
+        replay_recovered(std::move(item));
+      } else {
+        resubmit_recovered(std::move(item));
+      }
+    }
+  }
 }
 
 PlannerService::~PlannerService() { shutdown(Shutdown::kCancel); }
 
 std::future<PlanningResponse> PlannerService::submit(PlanningRequest request) {
+  return submit_impl(std::move(request), Admission::kBlock, 0.0);
+}
+
+std::future<PlanningResponse> PlannerService::try_submit(PlanningRequest request) {
+  return submit_impl(std::move(request), Admission::kTry, 0.0);
+}
+
+std::future<PlanningResponse> PlannerService::submit_within(PlanningRequest request,
+                                                            double timeout_seconds) {
+  NPTSN_EXPECT(timeout_seconds >= 0.0, "admission timeout must be non-negative");
+  return submit_impl(std::move(request), Admission::kTimed, timeout_seconds);
+}
+
+std::future<PlanningResponse> PlannerService::submit_impl(PlanningRequest request,
+                                                          Admission mode,
+                                                          double timeout_seconds) {
   if (request.id.empty()) throw ValidationError("planning request needs an id");
   if (request.problem_bytes.empty()) {
     throw ValidationError("planning request needs serialized problem bytes");
@@ -86,19 +134,68 @@ std::future<PlanningResponse> PlannerService::submit(PlanningRequest request) {
   // the same shard (and so behind each other), which is exactly where the
   // cross-session caches pay off; distinct problems spread across shards.
   const ProblemFp fp = problem_fingerprint128(ticket.request.problem_bytes);
-  const int shard_index = static_cast<int>(fp.a % static_cast<std::uint64_t>(
-                                                      shards_.size()));
+  const int shard_index = shard_for(fp);
   const int priority = ticket.request.priority;
+
+  // Durability before acknowledgement: the accepted record is on disk before
+  // any caller-visible handle exists, in every admission mode. A request shed
+  // below gets a compensating terminal record, so it is not resurrected.
+  if (journal_) journal_->append_accepted(ticket.request, fp);
+  crash_point("service.accept.after_journal");
   {
     std::lock_guard lock(state_mutex_);
     ++counters_.submitted;
   }
-  if (!shards_[static_cast<std::size_t>(shard_index)]->queue.push(std::move(ticket),
-                                                                  priority)) {
-    // Closed while we were blocked on a full queue.
+
+  auto& queue = shards_[static_cast<std::size_t>(shard_index)]->queue;
+  if (mode == Admission::kBlock) {
+    if (!queue.push(std::move(ticket), priority)) {
+      // Closed while we were blocked on a full queue. With a journal the
+      // accepted record stays live and recovers on the next process.
+      throw std::runtime_error("planner service is shut down");
+    }
+    return future;
+  }
+
+  const PushResult pushed =
+      mode == Admission::kTry
+          ? queue.try_push(ticket, priority)
+          : queue.push_for(ticket, priority, std::chrono::duration<double>(timeout_seconds));
+  if (pushed == PushResult::kClosed) {
     throw std::runtime_error("planner service is shut down");
   }
+  if (pushed == PushResult::kFull) {
+    PlanningResponse shed;
+    shed.id = ticket.request.id;
+    shed.label = ticket.request.label;
+    shed.status = ResponseStatus::kOverloaded;
+    shed.error = "overloaded: shard " + std::to_string(shard_index) +
+                 " queue full (capacity " + std::to_string(queue.capacity()) + ")";
+    shed.shard = shard_index;
+    shed.attempt = 0;
+    // The terminal record both compensates the accepted record (no
+    // resurrection on restart) and is marked delivered on replay.
+    if (journal_) journal_->append_terminal(shed, 0);
+    count(ResponseStatus::kOverloaded);
+    ticket.promise.set_value(std::move(shed));
+  }
   return future;
+}
+
+int PlannerService::shard_for(const ProblemFp& fp) const {
+  return static_cast<int>(fp.a % static_cast<std::uint64_t>(shards_.size()));
+}
+
+int PlannerService::max_attempts_for(const PlanningRequest& request) const {
+  return request.max_attempts > 0 ? request.max_attempts : config_.default_max_attempts;
+}
+
+bool PlannerService::retryable(const PlanningResponse& response) const {
+  if (response.status == ResponseStatus::kFaulted) return true;
+  // A deadline-stopped session left a resumable checkpoint (when state_dir is
+  // configured); a retry continues it under a fresh budget.
+  return response.status == ResponseStatus::kInfeasible &&
+         response.stopped_reason.rfind("deadline:", 0) == 0;
 }
 
 void PlannerService::worker_loop(int shard_index) {
@@ -124,8 +221,12 @@ void PlannerService::worker_loop(int shard_index) {
       deadline->cancel("cancelled: service shutting down");
     }
 
+    if (journal_) journal_->append_started(ticket->request.id, ticket->attempt);
+    crash_point("service.start.after_journal");
+
     PlanningResponse response = run_session(ticket->request, shard_index, deadline);
     response.queue_seconds = seconds_between(ticket->enqueued, picked);
+    response.attempt = ticket->attempt;
 
     {
       std::lock_guard lock(state_mutex_);
@@ -133,9 +234,198 @@ void PlannerService::worker_loop(int shard_index) {
         return entry.second.get() == deadline.get();
       });
     }
-    count(response.status);
-    ticket->promise.set_value(std::move(response));
+
+    if (response.status != ResponseStatus::kCancelled && retryable(response) &&
+        ticket->attempt < max_attempts_for(ticket->request) &&
+        !cancelling_.load(std::memory_order_acquire)) {
+      schedule_retry(std::move(*ticket), shard_index, std::move(response));
+      continue;
+    }
+    finish_ticket(std::move(*ticket), std::move(response));
   }
+}
+
+void PlannerService::finish_ticket(Ticket ticket, PlanningResponse response) {
+  const std::string id = response.id;
+  // A cancelled session is deliberately NOT journaled as terminal: it stays
+  // live in the journal and a restart over the same journal_dir recovers it.
+  const bool journal_terminal =
+      journal_ != nullptr && response.status != ResponseStatus::kCancelled;
+  crash_point("service.terminal.before_journal");
+  if (journal_terminal) journal_->append_terminal(response, response.attempt);
+  crash_point("service.answer.before_set");
+  count(response.status);
+  ticket.promise.set_value(std::move(response));
+  if (journal_terminal) journal_->acknowledge_delivered(id);
+}
+
+void PlannerService::schedule_retry(Ticket ticket, int shard_index,
+                                    PlanningResponse failed) {
+  const int failed_attempt = ticket.attempt;
+  const std::string error = failed.error.empty() ? failed.stopped_reason : failed.error;
+  const auto later = [](const PendingRetry& a, const PendingRetry& b) {
+    return a.due > b.due;
+  };
+
+  std::unique_lock lock(retry_mutex_);
+  if (!retry_stop_) {
+    double backoff =
+        std::min(config_.retry_max_seconds,
+                 config_.retry_base_seconds * std::ldexp(1.0, failed_attempt - 1));
+    backoff *= 1.0 + config_.retry_jitter * retry_rng_.uniform();
+    if (journal_) journal_->append_retry(ticket.request.id, failed_attempt, error, backoff);
+
+    PendingRetry pending;
+    pending.due = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(backoff));
+    pending.ticket = std::move(ticket);
+    pending.ticket.attempt = failed_attempt + 1;
+    pending.shard_index = shard_index;
+    retry_heap_.push_back(std::move(pending));
+    std::push_heap(retry_heap_.begin(), retry_heap_.end(), later);
+    lock.unlock();
+    retry_cv_.notify_one();
+    std::lock_guard slock(state_mutex_);
+    ++counters_.retried;
+    return;
+  }
+  lock.unlock();
+
+  // The scheduler is already stopped (shutdown in progress).
+  if (cancelling_.load(std::memory_order_acquire)) {
+    resolve_cancelled(std::move(ticket), /*record_unprocessed=*/true);
+    return;
+  }
+  // Drain-mode shutdown: no backoff to wait out — requeue immediately; if
+  // the queue is already closed (or full at the tail of the drain), finalize
+  // with the failed attempt's response rather than dropping the promise.
+  if (journal_) journal_->append_retry(ticket.request.id, failed_attempt, error, 0.0);
+  ticket.attempt = failed_attempt + 1;
+  const int priority = ticket.request.priority;
+  if (shards_[static_cast<std::size_t>(shard_index)]->queue.try_push(ticket, priority) ==
+      PushResult::kPushed) {
+    std::lock_guard slock(state_mutex_);
+    ++counters_.retried;
+    return;
+  }
+  finish_ticket(std::move(ticket), std::move(failed));
+}
+
+void PlannerService::retry_loop() {
+  const auto later = [](const PendingRetry& a, const PendingRetry& b) {
+    return a.due > b.due;
+  };
+  std::unique_lock lock(retry_mutex_);
+  while (!retry_stop_) {
+    if (retry_heap_.empty()) {
+      retry_cv_.wait(lock);
+      continue;
+    }
+    const auto due = retry_heap_.front().due;
+    if (std::chrono::steady_clock::now() < due) {
+      retry_cv_.wait_until(lock, due);
+      continue;  // re-evaluate: an earlier item or stop may have arrived
+    }
+    std::pop_heap(retry_heap_.begin(), retry_heap_.end(), later);
+    PendingRetry item = std::move(retry_heap_.back());
+    retry_heap_.pop_back();
+    lock.unlock();
+
+    auto& queue = shards_[static_cast<std::size_t>(item.shard_index)]->queue;
+    const int priority = item.ticket.request.priority;
+    while (true) {
+      const PushResult pushed =
+          queue.push_for(item.ticket, priority, std::chrono::milliseconds{50});
+      if (pushed == PushResult::kPushed) break;
+      if (pushed == PushResult::kClosed) {
+        resolve_cancelled(std::move(item.ticket), /*record_unprocessed=*/true);
+        break;
+      }
+      // kFull: the workers are still draining the queue; keep waiting.
+    }
+    lock.lock();
+  }
+}
+
+void PlannerService::replay_recovered(RequestJournal::Recovered item) {
+  PlanningResponse response = std::move(*item.replay);
+  response.replayed = true;
+
+  // A replayed plan goes back through the independent auditor before anyone
+  // sees it, so a recovered answer is never weaker than a freshly planned
+  // one. (Digest integrity was already checked by the journal scan.)
+  if (config_.audit_replays && response.status == ResponseStatus::kPlanned &&
+      !response.certificate_bytes.empty() && !item.request.problem_bytes.empty()) {
+    std::string rejection;
+    try {
+      PlanningProblem problem = problem_from_bytes(item.request.problem_bytes);
+      problem.validate();
+      ByteReader in(response.certificate_bytes);
+      const ReliabilityCertificate certificate = load_certificate(in);
+      const AuditReport report = audit_certificate(problem, certificate);
+      if (!report.ok) rejection = "replay re-audit failed: " + report.summary();
+    } catch (const std::exception& e) {
+      rejection = std::string("replay re-audit faulted: ") + e.what();
+    }
+    if (!rejection.empty()) {
+      response.status = ResponseStatus::kRejected;
+      response.error = rejection;
+      journal_->append_terminal(response, response.attempt);
+    }
+  }
+
+  std::promise<PlanningResponse> promise;
+  RecoveredSession session;
+  session.request = std::move(item.request);
+  session.response = promise.get_future();
+  session.replayed = true;
+
+  const std::string id = response.id;
+  count(response.status);
+  promise.set_value(std::move(response));
+  journal_->acknowledge_delivered(id);
+  std::lock_guard lock(state_mutex_);
+  ++counters_.replayed;
+  recovered_.push_back(std::move(session));
+}
+
+void PlannerService::resubmit_recovered(RequestJournal::Recovered item) {
+  Ticket ticket;
+  ticket.request = item.request;
+  ticket.enqueued = std::chrono::steady_clock::now();
+  // A crash mid-attempt does not consume an attempt — only journaled kRetry
+  // records do — so the re-run picks up at attempts_used + 1.
+  ticket.attempt = item.attempts_used + 1;
+
+  RecoveredSession session;
+  session.request = std::move(item.request);
+  session.response = ticket.promise.get_future();
+  session.replayed = false;
+
+  const ProblemFp fp = problem_fingerprint128(ticket.request.problem_bytes);
+  const int shard_index = shard_for(fp);
+  const int priority = ticket.request.priority;
+  {
+    std::lock_guard lock(state_mutex_);
+    ++counters_.submitted;
+    ++counters_.recovered;
+    recovered_.push_back(std::move(session));
+  }
+  // The accepted record is already durable; workers are running, so a full
+  // queue is ordinary backpressure here, not a deadlock.
+  shards_[static_cast<std::size_t>(shard_index)]->queue.push(std::move(ticket), priority);
+}
+
+std::vector<PlannerService::RecoveredSession> PlannerService::take_recovered() {
+  std::vector<RecoveredSession> out;
+  std::lock_guard lock(state_mutex_);
+  out.swap(recovered_);
+  return out;
+}
+
+std::vector<std::string> PlannerService::recovery_warnings() const {
+  return journal_ ? journal_->recovery_warnings() : std::vector<std::string>{};
 }
 
 PlanningResponse PlannerService::run_session(const PlanningRequest& request,
@@ -258,6 +548,7 @@ void PlannerService::count(ResponseStatus status) {
     case ResponseStatus::kRejected: ++counters_.rejected; break;
     case ResponseStatus::kFaulted: ++counters_.faulted; break;
     case ResponseStatus::kCancelled: ++counters_.cancelled; break;
+    case ResponseStatus::kOverloaded: ++counters_.overloaded; break;
   }
 }
 
@@ -271,6 +562,37 @@ void PlannerService::shutdown(Shutdown mode) {
       deadline->cancel("cancelled: service shutting down");
     }
   }
+
+  // Stop the retry scheduler and take over its backlog: drain mode runs the
+  // pending retries immediately (their remaining backoff is forfeited);
+  // cancel mode resolves them as cancelled (with a journal they stay live on
+  // disk and recover on the next process).
+  std::vector<PendingRetry> pending;
+  {
+    std::lock_guard lock(retry_mutex_);
+    retry_stop_ = true;
+    pending.swap(retry_heap_);
+  }
+  retry_cv_.notify_all();
+  if (retry_thread_.joinable()) retry_thread_.join();
+  for (PendingRetry& item : pending) {
+    if (mode == Shutdown::kCancel) {
+      resolve_cancelled(std::move(item.ticket), /*record_unprocessed=*/true);
+      continue;
+    }
+    auto& queue = shards_[static_cast<std::size_t>(item.shard_index)]->queue;
+    const int priority = item.ticket.request.priority;
+    while (true) {
+      const PushResult pushed =
+          queue.push_for(item.ticket, priority, std::chrono::milliseconds{50});
+      if (pushed == PushResult::kPushed) break;
+      if (pushed == PushResult::kClosed) {
+        resolve_cancelled(std::move(item.ticket), /*record_unprocessed=*/true);
+        break;
+      }
+    }
+  }
+
   for (auto& shard : shards_) shard->queue.close();
   if (!joined_.exchange(true)) {
     for (auto& shard : shards_) {

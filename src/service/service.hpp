@@ -1,4 +1,4 @@
-// Planning-as-a-service runtime (DESIGN.md §13).
+// Planning-as-a-service runtime (DESIGN.md §13–14).
 //
 // A long-lived planner process: callers submit serialized PlanningProblems
 // (the canonical save_problem bytes) into a bounded, prioritized queue;
@@ -14,12 +14,28 @@
 // kFaulted response; the worker, its shard, and the other in-flight sessions
 // keep running. Nothing a request contains can take the service down.
 //
-// Graceful shutdown: kDrain closes admission and finishes the backlog;
+// Crash durability (service/journal.hpp): with journal_dir configured every
+// submit appends a fsynced kAccepted record BEFORE the future is returned,
+// every attempt start / retry / terminal outcome is journaled as it happens,
+// and a restarted service recovers: non-terminal requests re-execute
+// (at-least-once), terminal ones replay their persisted answer without
+// re-running (exactly-once answered). A torn journal tail is dropped with a
+// warning, never a refusal to start.
+//
+// Retry: a kFaulted or deadline-expired session re-runs up to the request's
+// max_attempts, spaced by bounded exponential backoff with deterministic
+// (seeded) jitter; per-request checkpoints under state_dir make each retry a
+// resume rather than a restart. Backpressure: try_submit / submit_within
+// shed with an explicit kOverloaded response instead of blocking forever.
+//
+// Graceful shutdown: kDrain closes admission and finishes the backlog
+// (pending retries run immediately, skipping their remaining backoff);
 // kCancel additionally fires every in-flight session's deadline token
 // (Deadline::cancel), so each session unwinds through the trainer's
 // clean-stop path — persisting a resumable checkpoint when a state_dir is
 // configured (checkpoint_on_stop) — and the untouched backlog is handed back
-// via unprocessed() for the caller to persist.
+// via unprocessed() for the caller to persist. Cancelled sessions are never
+// journaled as terminal, so a journaled service recovers them on restart.
 //
 // Determinism: the exact shared caches never change a session's result —
 // plans, certificates, and training trajectories are bit-identical with
@@ -27,6 +43,7 @@
 // is the documented exception and stays opt-in.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -39,53 +56,13 @@
 #include "core/config.hpp"
 #include "nn/stage_cache.hpp"
 #include "rl/warm_start.hpp"
+#include "service/journal.hpp"
 #include "service/queue.hpp"
+#include "service/request.hpp"
 #include "util/deadline.hpp"
+#include "util/rng.hpp"
 
 namespace nptsn {
-
-struct PlanningRequest {
-  // Caller-assigned identity; also names the session's checkpoint file under
-  // state_dir, so resubmitting the same id after a cancelling shutdown
-  // RESUMES that session. Must be unique among in-flight requests and safe
-  // as a file name.
-  std::string id;
-  std::string label;  // free-form, echoed in the response
-  int priority = 0;   // higher pops sooner within a shard
-  // Canonical problem serialization (net/problem.hpp save_problem bytes).
-  std::vector<std::uint8_t> problem_bytes;
-  // Per-request overrides of the session template; 0 inherits.
-  int epochs = 0;
-  int steps_per_epoch = 0;
-  std::uint64_t seed = 0;
-};
-
-enum class ResponseStatus {
-  kPlanned,     // feasible plan returned (and audited clean when configured)
-  kInfeasible,  // session completed without a verified solution
-  kRejected,    // a solution was found but the independent audit rejected it
-  kFaulted,     // the session threw (malformed problem, exhausted retries...)
-  kCancelled,   // shutdown cancelled the session before/while it ran
-};
-const char* to_string(ResponseStatus status);
-
-struct PlanningResponse {
-  std::string id;
-  std::string label;
-  ResponseStatus status = ResponseStatus::kFaulted;
-  bool feasible = false;
-  double best_cost = 0.0;
-  std::vector<std::uint8_t> topology_bytes;     // save_topology bytes when feasible
-  std::vector<std::uint8_t> certificate_bytes;  // save_certificate bytes when audited
-  std::string stopped_reason;  // budget/deadline/divergence stop, when any
-  std::string error;           // kFaulted: what the session threw
-  int epochs_completed = 0;
-  int shard = -1;              // which worker pool ran it
-  double queue_seconds = 0.0;  // admission -> a worker picked it up
-  double plan_seconds = 0.0;   // the plan() call itself
-  // Cross-session reuse observed by this session's environments.
-  std::int64_t verify_shared_hits = 0;
-};
 
 struct ServiceConfig {
   // Worker topology: shards * workers_per_shard session slots. Requests are
@@ -120,6 +97,25 @@ struct ServiceConfig {
   // resumed under the same id continues from its persisted state. Created if
   // missing.
   std::string state_dir;
+
+  // When non-empty: the write-ahead request journal lives here and the
+  // service recovers journaled requests on construction (take_recovered()).
+  std::string journal_dir;
+  std::size_t journal_segment_bytes = std::size_t{4} << 20;
+  int journal_compact_min_delivered = 64;
+  // Re-run the independent auditor over replayed kPlanned answers before
+  // handing them out, so a recovered result is never weaker than a fresh one.
+  bool audit_replays = true;
+
+  // Retry policy for kFaulted / deadline-expired sessions. Attempt k waits
+  // min(retry_max_seconds, retry_base_seconds * 2^(k-1)) scaled by a
+  // deterministic jitter in [1, 1 + retry_jitter) before re-running.
+  // Requests with max_attempts == 0 inherit default_max_attempts.
+  int default_max_attempts = 1;
+  double retry_base_seconds = 0.05;
+  double retry_max_seconds = 2.0;
+  double retry_jitter = 0.25;
+  std::uint64_t retry_seed = 0x9e3779b97f4a7c15ull;
 };
 
 class PlannerService {
@@ -131,18 +127,44 @@ class PlannerService {
   PlannerService& operator=(const PlannerService&) = delete;
 
   // Admits a request (blocking while the target shard's queue is full) and
-  // returns the future response. Throws std::runtime_error after shutdown;
+  // returns the future response. With a journal configured the request is
+  // durable before this returns. Throws std::runtime_error after shutdown;
   // throws ValidationError on an empty id or empty problem bytes.
   std::future<PlanningResponse> submit(PlanningRequest request);
+  // Non-blocking admission: when the target shard's queue is full RIGHT NOW
+  // the request is shed — the returned future is already resolved with
+  // kOverloaded (and the journal records the shed, so the request is NOT
+  // resurrected on restart).
+  std::future<PlanningResponse> try_submit(PlanningRequest request);
+  // Bounded-wait admission: like submit, but sheds with kOverloaded once
+  // `timeout_seconds` elapse without a queue slot.
+  std::future<PlanningResponse> submit_within(PlanningRequest request,
+                                              double timeout_seconds);
+
+  // What the journal recovered at construction. Replayed sessions carry a
+  // ready future (the persisted, digest-checked, optionally re-audited
+  // answer); live ones were resubmitted and resolve when their session runs.
+  // Clears on first call. Empty without a journal.
+  struct RecoveredSession {
+    PlanningRequest request;
+    std::future<PlanningResponse> response;
+    bool replayed = false;
+  };
+  std::vector<RecoveredSession> take_recovered();
+  // Damage diagnostics from the recovery scan (torn tails, corrupt records).
+  std::vector<std::string> recovery_warnings() const;
 
   enum class Shutdown { kDrain, kCancel };
-  // Idempotent. kDrain: stop admitting, finish the backlog, join workers.
-  // kCancel: stop admitting, fire every in-flight session's deadline, join,
-  // and resolve the unstarted backlog as kCancelled (see unprocessed()).
+  // Idempotent. kDrain: stop admitting, finish the backlog (queued retries
+  // run immediately), join workers. kCancel: stop admitting, fire every
+  // in-flight session's deadline, join, and resolve the unstarted backlog —
+  // including backoff-pending retries — as kCancelled (see unprocessed()).
   void shutdown(Shutdown mode);
 
   // Requests that were admitted but never started (only ever non-empty
   // after shutdown(kCancel)); the caller persists these for a later process.
+  // With a journal these are also still live in the journal and recover on
+  // the next construction over the same journal_dir.
   std::vector<PlanningRequest> unprocessed();
 
   struct Counters {
@@ -152,6 +174,10 @@ class PlannerService {
     std::int64_t rejected = 0;
     std::int64_t faulted = 0;
     std::int64_t cancelled = 0;
+    std::int64_t overloaded = 0;  // shed at admission
+    std::int64_t retried = 0;     // attempts re-scheduled after a retryable failure
+    std::int64_t recovered = 0;   // live requests resubmitted from the journal
+    std::int64_t replayed = 0;    // terminal answers replayed from the journal
   };
   Counters counters() const;
 
@@ -160,6 +186,7 @@ class PlannerService {
   const std::shared_ptr<EngineSharedCache>& engine_cache() const { return engine_cache_; }
   const std::shared_ptr<AdjacencyStageCache>& stage_cache() const { return stage_cache_; }
   const std::shared_ptr<PolicyStore>& policy_store() const { return policy_store_; }
+  const RequestJournal* journal() const { return journal_.get(); }
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -167,17 +194,33 @@ class PlannerService {
     PlanningRequest request;
     std::promise<PlanningResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    int attempt = 1;  // 1-based; >1 for retries and crash-recovered re-runs
   };
   struct Shard {
     explicit Shard(std::size_t capacity) : queue(capacity) {}
     BoundedPriorityQueue<Ticket> queue;
     std::vector<std::thread> workers;
   };
+  enum class Admission { kBlock, kTry, kTimed };
 
+  std::future<PlanningResponse> submit_impl(PlanningRequest request, Admission mode,
+                                            double timeout_seconds);
   void worker_loop(int shard_index);
   // One full session; never throws (faults become kFaulted responses).
   PlanningResponse run_session(const PlanningRequest& request, int shard_index,
                                const std::shared_ptr<Deadline>& deadline);
+  int shard_for(const ProblemFp& fp) const;
+  int max_attempts_for(const PlanningRequest& request) const;
+  bool retryable(const PlanningResponse& response) const;
+  // Hands the failed attempt to the retry scheduler (or resolves it if the
+  // scheduler is already stopped). ticket.attempt is the attempt that FAILED.
+  void schedule_retry(Ticket ticket, int shard_index, PlanningResponse failed);
+  void retry_loop();
+  // Journal + deliver one terminal response (the single exit path a worker
+  // uses): journal terminal -> resolve promise -> acknowledge delivery.
+  void finish_ticket(Ticket ticket, PlanningResponse response);
+  void replay_recovered(RequestJournal::Recovered item);
+  void resubmit_recovered(RequestJournal::Recovered item);
   void resolve_cancelled(Ticket ticket, bool record_unprocessed);
   void count(ResponseStatus status);
 
@@ -185,6 +228,7 @@ class PlannerService {
   std::shared_ptr<EngineSharedCache> engine_cache_;
   std::shared_ptr<AdjacencyStageCache> stage_cache_;
   std::shared_ptr<PolicyStore> policy_store_;
+  std::unique_ptr<RequestJournal> journal_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<bool> accepting_{true};
@@ -195,6 +239,22 @@ class PlannerService {
   std::vector<PlanningRequest> unprocessed_;
   Counters counters_;
   std::mutex shutdown_mutex_;  // serializes shutdown() callers
+
+  // Retry scheduler: a dedicated thread sleeps until the earliest due ticket
+  // and feeds it back into its shard's queue.
+  struct PendingRetry {
+    std::chrono::steady_clock::time_point due;
+    Ticket ticket;
+    int shard_index = 0;
+  };
+  std::mutex retry_mutex_;  // guards retry_heap_, retry_stop_, retry_rng_
+  std::condition_variable retry_cv_;
+  std::vector<PendingRetry> retry_heap_;  // min-heap by due
+  bool retry_stop_ = false;
+  Rng retry_rng_;
+  std::thread retry_thread_;
+
+  std::vector<RecoveredSession> recovered_;  // filled at construction
 };
 
 }  // namespace nptsn

@@ -202,6 +202,11 @@ void save_checkpoint_file(const std::string& path, std::uint32_t payload_version
 
   const std::string tmp = path + ".tmp";
   write_file_synced(tmp, framed);
+  // The tmp file's own bytes are fsynced, but its DIRECTORY ENTRY is not
+  // durable until the parent directory is synced: a power loss here could
+  // otherwise surface as a complete-looking tmp file whose data never made
+  // it, or no tmp file at all, depending on journal replay order.
+  sync_parent_dir(tmp);
   if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterTmpWrite, tmp);
 
   // Keep one older generation around: if the new file turns out corrupt on
@@ -210,6 +215,10 @@ void save_checkpoint_file(const std::string& path, std::uint32_t payload_version
     if (::rename(path.c_str(), (path + ".1").c_str()) != 0) {
       fail("cannot rotate " + path + ": " + std::strerror(errno));
     }
+    // Make the rotation durable before the final publish rename: a crash
+    // between the two renames must leave <path>.1 (the fallback the loader
+    // depends on) actually on disk, not just in the page cache.
+    sync_parent_dir(path);
   }
   if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterRotate, tmp);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
@@ -126,6 +127,77 @@ TEST(BoundedPriorityQueue, ConcurrentProducersConsumersLoseNothing) {
   queue.close();
   for (auto& thread : consumers) thread.join();
   EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(BoundedPriorityQueue, TryPushShedsOnFullWithoutConsumingItem) {
+  BoundedPriorityQueue<std::string> queue(1);
+  std::string first = "first";
+  ASSERT_EQ(queue.try_push(first, 0), PushResult::kPushed);
+
+  std::string second = "second";
+  EXPECT_EQ(queue.try_push(second, 0), PushResult::kFull);
+  // A shed item stays with the caller, byte for byte.
+  EXPECT_EQ(second, "second");
+
+  // Once a slot frees the same item goes through.
+  EXPECT_EQ(queue.pop().value(), "first");
+  EXPECT_EQ(queue.try_push(second, 0), PushResult::kPushed);
+  EXPECT_EQ(queue.pop().value(), "second");
+}
+
+TEST(BoundedPriorityQueue, TryPushReportsClosedWithoutConsumingItem) {
+  BoundedPriorityQueue<std::string> queue(4);
+  queue.close();
+  std::string item = "kept";
+  EXPECT_EQ(queue.try_push(item, 0), PushResult::kClosed);
+  EXPECT_EQ(item, "kept");
+}
+
+TEST(BoundedPriorityQueue, PushForTimesOutOnPersistentlyFullQueue) {
+  BoundedPriorityQueue<int> queue(1);
+  int first = 1;
+  ASSERT_EQ(queue.try_push(first, 0), PushResult::kPushed);
+  int second = 2;
+  EXPECT_EQ(queue.push_for(second, 0, std::chrono::milliseconds(20)),
+            PushResult::kFull);
+}
+
+TEST(BoundedPriorityQueue, PushForSucceedsWhenConsumerFreesSlotInTime) {
+  BoundedPriorityQueue<int> queue(1);
+  int first = 1;
+  ASSERT_EQ(queue.try_push(first, 0), PushResult::kPushed);
+
+  std::thread consumer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(queue.pop().value(), 1);
+  });
+  int second = 2;
+  EXPECT_EQ(queue.push_for(second, 0, std::chrono::seconds(30)), PushResult::kPushed);
+  consumer.join();
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedPriorityQueue, CloseWakesPushForWaiterWithClosed) {
+  BoundedPriorityQueue<int> queue(1);
+  int first = 1;
+  ASSERT_EQ(queue.try_push(first, 0), PushResult::kPushed);
+
+  std::atomic<bool> waiting{false};
+  PushResult result = PushResult::kPushed;
+  std::thread producer([&] {
+    int second = 2;
+    waiting.store(true);
+    // Far longer than the test: only close() may end this wait.
+    result = queue.push_for(second, 0, std::chrono::seconds(300));
+    EXPECT_EQ(second, 2);  // not consumed on kClosed
+  });
+  while (!waiting.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  producer.join();
+  EXPECT_EQ(result, PushResult::kClosed);
+  // The item admitted before close still drains.
+  EXPECT_EQ(queue.pop().value(), 1);
 }
 
 }  // namespace

@@ -222,6 +222,25 @@ TEST(CheckpointFile, CrashAfterTmpWriteLeavesLiveCheckpointIntact) {
   remove_all(path);
 }
 
+TEST(CheckpointFile, CrashAfterTmpWriteLeavesCompleteSyncedTmpFile) {
+  const std::string path = temp_path("crash_tmp_complete");
+  remove_all(path);
+  save_checkpoint_file(path, 1, {1});
+  {
+    auto trigger = std::make_shared<FaultTrigger>(1);
+    ScopedCheckpointWriteFault fault(CheckpointWriteStage::kAfterTmpWrite, trigger);
+    EXPECT_THROW(save_checkpoint_file(path, 1, {2, 3, 4}), InjectedFault);
+  }
+  // The crash hit after the tmp write + file fsync + parent-directory fsync:
+  // whatever survives at <path>.tmp must be the COMPLETE new generation, not
+  // a torn prefix — write-then-publish means the tmp is all-or-nothing.
+  EXPECT_EQ(load_checkpoint_file(path + ".tmp", 1),
+            (std::vector<std::uint8_t>{2, 3, 4}));
+  // And the live checkpoint is still the old generation, untouched.
+  EXPECT_EQ(load_checkpoint_file(path, 1), (std::vector<std::uint8_t>{1}));
+  remove_all(path);
+}
+
 TEST(CheckpointFile, CrashAfterRotateStillResumesViaFallback) {
   const std::string path = temp_path("crash_rotate");
   remove_all(path);

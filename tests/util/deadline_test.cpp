@@ -140,5 +140,83 @@ TEST(DeadlineTest, RejectsNegativeBudgets) {
   EXPECT_THROW(Deadline(0.0, -1), std::invalid_argument);
 }
 
+TEST(DeadlineTest, CancelRacedAgainstPollersFiresOnceWithOneReason) {
+  // The service's shutdown path: rollout workers poll a shared token while
+  // another thread cancels it. Run under TSan this doubles as a data-race
+  // check on the cancel/poll handoff.
+  for (int round = 0; round < 20; ++round) {
+    const auto deadline = Deadline::after(/*wall_seconds=*/0.0, /*max_ticks=*/0);
+    std::atomic<bool> go{false};
+    std::atomic<int> throws{0};
+
+    std::vector<std::thread> pollers;
+    for (int t = 0; t < 3; ++t) {
+      pollers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int i = 0; i < 2'000; ++i) {
+          try {
+            deadline->poll();
+          } catch (const DeadlineExceeded& e) {
+            EXPECT_EQ(e.reason(), "cancelled: chaos shutdown");
+            throws.fetch_add(1);
+            break;
+          }
+        }
+      });
+    }
+    std::thread canceller([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      deadline->cancel("cancelled: chaos shutdown");
+    });
+
+    go.store(true, std::memory_order_release);
+    for (auto& thread : pollers) thread.join();
+    canceller.join();
+
+    EXPECT_TRUE(deadline->cancelled());
+    EXPECT_TRUE(deadline->expired());
+    EXPECT_EQ(deadline->reason(), "cancelled: chaos shutdown");
+  }
+}
+
+TEST(DeadlineTest, ConcurrentCancelsAgainstTickExpiryKeepExactlyOneReason) {
+  // Worst case for reason stability: a tick budget about to fire naturally
+  // while two cancellers race it (and each other). Whoever wins, the token
+  // must report one reason forever — mixed or torn reasons mean the
+  // response's stopped_reason could disagree with the journal's record.
+  for (int round = 0; round < 20; ++round) {
+    const auto deadline = Deadline::after(/*wall_seconds=*/0.0, /*max_ticks=*/64);
+    std::atomic<bool> go{false};
+
+    std::thread ticker([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < 200 && !deadline->tick(); ++i) {
+      }
+    });
+    std::vector<std::thread> cancellers;
+    for (int t = 0; t < 2; ++t) {
+      cancellers.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        deadline->cancel("cancelled: canceller " + std::to_string(t));
+      });
+    }
+
+    go.store(true, std::memory_order_release);
+    ticker.join();
+    for (auto& thread : cancellers) thread.join();
+
+    const std::string first = deadline->reason();
+    EXPECT_FALSE(first.empty());
+    EXPECT_TRUE(first == "cancelled: canceller 0" || first == "cancelled: canceller 1" ||
+                first.rfind("deadline:", 0) == 0)
+        << first;
+    // Stable from every angle, no matter how many more events arrive.
+    deadline->cancel("cancelled: too late");
+    for (int i = 0; i < 100; ++i) deadline->tick();
+    EXPECT_EQ(deadline->reason(), first);
+    EXPECT_EQ(deadline->cancelled(), first.rfind("cancelled:", 0) == 0);
+  }
+}
+
 }  // namespace
 }  // namespace nptsn

@@ -13,30 +13,44 @@
 // persists a resumable checkpoint under checksummed checkpoint framing, and
 // every admitted-but-unstarted request is written to
 // <state-dir>/pending-<id>.req (same framing). Re-running with
-// pending:<file> resumes exactly where the interrupted process stopped.
+// pending:<file> (or pending-dir:<dir>, which skips corrupt files with a
+// warning) resumes exactly where the interrupted process stopped.
+//
+// Crash durability: with --journal DIR every request is written ahead to a
+// fsynced journal before its handle exists, and a re-run over the same
+// journal recovers — unfinished sessions re-execute, finished ones replay
+// their persisted (re-audited) answer. Recovered sessions are reported like
+// fresh ones and CLI specs whose id a recovered session already covers are
+// deduplicated, so "restart with the same command line" is always safe.
 //
 // Exit codes (distinct so scripts and CI can branch without parsing output):
-//   0 = every submitted session planned successfully (audit clean when
-//       auditing is configured)
+//   0 = every submitted or recovered session planned successfully (audit
+//       clean when auditing is configured; replayed answers are re-audited)
 //   1 = the service ran to completion but some session was infeasible,
-//       audit-rejected, or faulted
+//       audit-rejected, faulted, or shed as overloaded
 //   2 = usage error (bad flags, malformed spec)
-//   3 = I/O error (unreadable problem/pending file, unwritable state dir)
+//   3 = I/O error (unreadable problem/pending file, unwritable state dir,
+//       unusable journal directory)
 //   5 = interrupted (SIGTERM/SIGINT): in-flight checkpoints and the pending
-//       backlog were persisted; nothing was lost, but the run did not finish
+//       backlog were persisted (and stay live in the journal); nothing was
+//       lost, but the run did not finish
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "scenarios/ads.hpp"
 #include "scenarios/generator.hpp"
 #include "scenarios/orion.hpp"
+#include "service/crash_point.hpp"
 #include "service/service.hpp"
 #include "util/rng.hpp"
 
@@ -46,7 +60,8 @@ using namespace nptsn;
 
 // Payload version for pending-request files (id, label, priority, overrides,
 // problem blob under the standard checksummed checkpoint framing).
-constexpr std::uint32_t kPendingRequestVersion = 1;
+// v2 added max_attempts.
+constexpr std::uint32_t kPendingRequestVersion = 2;
 
 std::atomic<int> g_signal{0};
 
@@ -64,6 +79,8 @@ void usage(const char* argv0) {
       "  gen:SEED[:FLOWS[:ZONES]]  a generated zonal instance\n"
       "  problem:PATH       canonical problem bytes (net/problem.hpp)\n"
       "  pending:PATH       a pending-request file from an interrupted run\n"
+      "  pending-dir:DIR    every pending-*.req under DIR (corrupt files are\n"
+      "                     skipped with a warning)\n"
       "Append @P to any spec to set its queue priority (e.g. ads@10).\n"
       "\n"
       "service options:\n"
@@ -75,6 +92,13 @@ void usage(const char* argv0) {
       "                       (opt-in: changes training trajectories)\n"
       "  --state-dir DIR      checkpoint/resume directory; on SIGTERM the\n"
       "                       backlog is persisted here as pending-*.req\n"
+      "  --journal DIR        write-ahead request journal; a re-run over the\n"
+      "                       same DIR recovers unfinished requests and\n"
+      "                       replays finished ones (ids deduplicated)\n"
+      "  --max-attempts N     retry faulted/deadline-expired sessions up to\n"
+      "                       N attempts with exponential backoff (default 1)\n"
+      "  --admission-timeout SEC  shed a request as overloaded after waiting\n"
+      "                       SEC for a queue slot (default 0 = wait forever)\n"
       "session options (template for every request):\n"
       "  --epochs N           training epochs (default 12)\n"
       "  --steps N            steps per epoch (default 256)\n"
@@ -121,6 +145,7 @@ std::vector<std::uint8_t> save_pending(const PlanningRequest& request) {
   out.i64(request.epochs);
   out.i64(request.steps_per_epoch);
   out.u64(request.seed);
+  out.i64(request.max_attempts);
   out.blob(request.problem_bytes);
   return out.data();
 }
@@ -134,14 +159,46 @@ PlanningRequest load_pending(const std::vector<std::uint8_t>& payload) {
   request.epochs = static_cast<int>(in.i64());
   request.steps_per_epoch = static_cast<int>(in.i64());
   request.seed = in.u64();
+  request.max_attempts = static_cast<int>(in.i64());
   request.problem_bytes = in.blob();
   in.expect_exhausted("pending planning request");
   return request;
 }
 
-// Builds the request for one spec. Throws ValidationError on a malformed
-// spec (exit 2 at the call site) and std::runtime_error on I/O (exit 3).
-PlanningRequest build_request(const Spec& spec) {
+// Recovers every pending-*.req under `dir`. A corrupt or truncated file —
+// e.g. one damaged by the crash that interrupted the previous run — is
+// SKIPPED with a warning, never a refusal: losing one request's priority
+// metadata must not strand the rest of the backlog.
+std::vector<PlanningRequest> load_pending_dir(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw std::runtime_error("pending-dir is not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("pending-", 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".req") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<PlanningRequest> requests;
+  for (const std::string& path : paths) {
+    try {
+      requests.push_back(load_pending(load_checkpoint_file(path, kPendingRequestVersion)));
+    } catch (const CheckpointError& e) {
+      std::fprintf(stderr, "warning: skipping corrupt pending file %s: %s\n",
+                   path.c_str(), e.what());
+    }
+  }
+  return requests;
+}
+
+// Builds the requests for one spec (most specs yield one; pending-dir yields
+// the whole recovered backlog). Throws ValidationError on a malformed spec
+// (exit 2 at the call site) and std::runtime_error on I/O (exit 3).
+std::vector<PlanningRequest> build_requests(const Spec& spec) {
   PlanningRequest request;
   request.priority = spec.priority;
   const std::string& text = spec.text;
@@ -194,6 +251,12 @@ PlanningRequest build_request(const Spec& spec) {
     request.id = path.substr(path.find_last_of('/') + 1);
     request.label = "problem file " + path;
     request.problem_bytes = read_file_bytes(path);
+  } else if (parts[0] == "pending-dir") {
+    if (parts.size() < 2 || parts[1].empty()) {
+      throw ValidationError("pending-dir spec needs a path: pending-dir:DIR");
+    }
+    const std::string dir = text.substr(std::strlen("pending-dir:"));
+    return load_pending_dir(dir);
   } else if (parts[0] == "pending") {
     if (parts.size() < 2 || parts[1].empty()) {
       throw ValidationError("pending spec needs a path: pending:PATH");
@@ -204,7 +267,7 @@ PlanningRequest build_request(const Spec& spec) {
   } else {
     throw ValidationError("unknown spec '" + text + "'");
   }
-  return request;
+  return {std::move(request)};
 }
 
 }  // namespace
@@ -215,6 +278,7 @@ int main(int argc, char** argv) {
   config.session.steps_per_epoch = 256;
   config.session.num_workers = 1;
   int repeat = 1;
+  double admission_timeout = 0.0;
   std::vector<Spec> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -238,6 +302,12 @@ int main(int argc, char** argv) {
       config.warm_start = true;
     } else if (arg == "--state-dir") {
       config.state_dir = value();
+    } else if (arg == "--journal") {
+      config.journal_dir = value();
+    } else if (arg == "--max-attempts") {
+      config.default_max_attempts = std::atoi(value());
+    } else if (arg == "--admission-timeout") {
+      admission_timeout = std::atof(value());
     } else if (arg == "--epochs") {
       config.session.epochs = std::atoi(value());
     } else if (arg == "--steps") {
@@ -271,17 +341,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --shards/--workers/--repeat must be positive\n");
     return 2;
   }
+  if (config.default_max_attempts < 1 || admission_timeout < 0.0) {
+    std::fprintf(stderr,
+                 "error: --max-attempts must be positive and "
+                 "--admission-timeout non-negative\n");
+    return 2;
+  }
 
   // Build every request before booting the service, so a malformed spec is a
   // clean usage/I-O error instead of a half-run.
   std::vector<PlanningRequest> requests;
   try {
     for (const Spec& spec : specs) {
-      PlanningRequest request = build_request(spec);
-      for (int r = 0; r < repeat; ++r) {
-        PlanningRequest copy = request;
-        if (repeat > 1) copy.id += "-r" + std::to_string(r);
-        requests.push_back(std::move(copy));
+      for (PlanningRequest& request : build_requests(spec)) {
+        for (int r = 0; r < repeat; ++r) {
+          PlanningRequest copy = request;
+          if (repeat > 1) copy.id += "-r" + std::to_string(r);
+          requests.push_back(std::move(copy));
+        }
       }
     }
   } catch (const ValidationError& e) {
@@ -298,21 +375,55 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
+  // Chaos harness hook: lets an out-of-process test plant a SIGKILL at a
+  // named journal/service point inside this real daemon. Inert otherwise.
+  if (arm_crash_point_from_env()) {
+    std::fprintf(stderr, "crash point armed from NPTSN_CRASH_POINT\n");
+  }
+
   std::printf("nptsn_serve: %d shard(s) x %d worker(s), caches %s, %zu request(s)\n",
               config.shards, config.workers_per_shard,
               config.shared_caches ? "shared" : "off", requests.size());
   std::fflush(stdout);
 
-  PlannerService service(config);
+  std::unique_ptr<PlannerService> service;
+  try {
+    service = std::make_unique<PlannerService>(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: cannot start service: %s\n", e.what());
+    return 3;
+  }
+
+  // Journal recovery: report what came back, wait on it alongside the fresh
+  // submissions, and drop CLI specs a recovered session already covers —
+  // "rerun the same command after a crash" must not double-run anything.
+  for (const std::string& warning : service->recovery_warnings()) {
+    std::fprintf(stderr, "journal warning: %s\n", warning.c_str());
+  }
   std::vector<std::future<PlanningResponse>> futures;
-  futures.reserve(requests.size());
+  std::set<std::string> recovered_ids;
+  for (PlannerService::RecoveredSession& session : service->take_recovered()) {
+    std::printf("recovered from journal: %s%s\n", session.request.id.c_str(),
+                session.replayed ? " (finished: replaying persisted answer)" : "");
+    recovered_ids.insert(session.request.id);
+    futures.push_back(std::move(session.response));
+  }
+  std::fflush(stdout);
+
   try {
     for (PlanningRequest& request : requests) {
-      futures.push_back(service.submit(std::move(request)));
+      if (recovered_ids.count(request.id) != 0) {
+        std::printf("skipping %s: already recovered from the journal\n",
+                    request.id.c_str());
+        continue;
+      }
+      futures.push_back(admission_timeout > 0.0
+                            ? service->submit_within(std::move(request), admission_timeout)
+                            : service->submit(std::move(request)));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: submit failed: %s\n", e.what());
-    service.shutdown(PlannerService::Shutdown::kCancel);
+    service->shutdown(PlannerService::Shutdown::kCancel);
     return 3;
   }
 
@@ -328,7 +439,7 @@ int main(int argc, char** argv) {
       if (g_signal.load(std::memory_order_relaxed) != 0) {
         std::printf("signal received: cancelling in-flight sessions...\n");
         std::fflush(stdout);
-        service.shutdown(PlannerService::Shutdown::kCancel);
+        service->shutdown(PlannerService::Shutdown::kCancel);
         interrupted = true;
       }
     }
@@ -337,12 +448,14 @@ int main(int argc, char** argv) {
     if (response.status == ResponseStatus::kPlanned) {
       std::printf(
           "[%s] %s: cost %.1f, %d epoch(s), shard %d, queue %.2fs, plan %.2fs, "
-          "%lld shared hit(s)%s%s\n",
+          "%lld shared hit(s)%s%s%s%s\n",
           status, response.id.c_str(), response.best_cost, response.epochs_completed,
           response.shard, response.queue_seconds, response.plan_seconds,
           static_cast<long long>(response.verify_shared_hits),
           response.certificate_bytes.empty() ? "" : ", certified",
-          response.stopped_reason.empty() ? "" : ", stopped early");
+          response.stopped_reason.empty() ? "" : ", stopped early",
+          response.attempt > 1 ? ", retried" : "",
+          response.replayed ? ", replayed" : "");
     } else {
       std::printf("[%s] %s: %s\n", status, response.id.c_str(),
                   !response.error.empty() ? response.error.c_str()
@@ -353,12 +466,12 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  if (!interrupted) service.shutdown(PlannerService::Shutdown::kDrain);
+  if (!interrupted) service->shutdown(PlannerService::Shutdown::kDrain);
 
   // Persist the admitted-but-unstarted backlog so a later process can resume
   // it with pending:<file> (in-flight sessions already checkpointed through
-  // the trainer's checkpoint_on_stop path).
-  const std::vector<PlanningRequest> backlog = service.unprocessed();
+  // the trainer's checkpoint_on_stop path; a journal retains them too).
+  const std::vector<PlanningRequest> backlog = service->unprocessed();
   if (!backlog.empty() && !config.state_dir.empty()) {
     for (const PlanningRequest& request : backlog) {
       const std::string path = config.state_dir + "/pending-" + request.id + ".req";
@@ -372,14 +485,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  const PlannerService::Counters counters = service.counters();
+  const PlannerService::Counters counters = service->counters();
   std::printf(
       "done: %lld submitted, %lld planned, %lld infeasible, %lld rejected, "
-      "%lld faulted, %lld cancelled\n",
+      "%lld faulted, %lld cancelled, %lld overloaded, %lld retried, "
+      "%lld recovered, %lld replayed\n",
       static_cast<long long>(counters.submitted), static_cast<long long>(counters.planned),
       static_cast<long long>(counters.infeasible),
       static_cast<long long>(counters.rejected), static_cast<long long>(counters.faulted),
-      static_cast<long long>(counters.cancelled));
+      static_cast<long long>(counters.cancelled),
+      static_cast<long long>(counters.overloaded),
+      static_cast<long long>(counters.retried),
+      static_cast<long long>(counters.recovered),
+      static_cast<long long>(counters.replayed));
 
   if (interrupted) return 5;
   return failures == 0 ? 0 : 1;
