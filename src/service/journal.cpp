@@ -6,12 +6,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "service/crash_point.hpp"
 #include "util/checkpoint.hpp"
 #include "util/expect.hpp"
+#include "util/io.hpp"
 
 namespace nptsn {
 namespace {
@@ -43,24 +47,18 @@ std::optional<std::uint64_t> segment_seq(const std::string& name) {
   return std::strtoull(digits.c_str(), nullptr, 10);
 }
 
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;  // best effort: the segment files themselves are synced
-  ::fsync(fd);
+// fsync the journal directory so renames/creations within it are durable.
+// Returns 0 or the errno of the failed fsync. A directory that cannot even be
+// opened stays best-effort (some filesystems refuse directory fds), but a
+// FAILED fsync on an opened directory is a real durability signal and is
+// routed to the caller's error classification, not swallowed.
+int fsync_dir(const std::string& dir) {
+  const int fd = io::open("journal.dir.open", dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return 0;  // best effort: the segment files themselves are synced
+  int err = 0;
+  if (io::fsync("journal.dir.fsync", fd) != 0) err = errno;
   ::close(fd);
-}
-
-void write_all(int fd, const std::uint8_t* data, std::size_t size,
-               const std::string& path) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::write(fd, data + off, size - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail("write to " + path + " failed: " + std::strerror(errno));
-    }
-    off += static_cast<std::size_t>(n);
-  }
+  return err;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -81,11 +79,6 @@ std::vector<std::uint8_t> read_file(const std::string& path) {
   }
   ::close(fd);
   return bytes;
-}
-
-bool is_terminal(JournalRecordType type) {
-  return type == JournalRecordType::kDone || type == JournalRecordType::kFaulted ||
-         type == JournalRecordType::kRejected;
 }
 
 JournalRecordType terminal_type(ResponseStatus status) {
@@ -174,7 +167,7 @@ JournalRecord decode_record(const std::uint8_t* data, std::size_t size) {
     case JournalRecordType::kRejected: {
       record.response.id = record.id;
       const std::uint8_t status = in.u8();
-      if (status > static_cast<std::uint8_t>(ResponseStatus::kOverloaded)) {
+      if (status > static_cast<std::uint8_t>(ResponseStatus::kDegraded)) {
         fail("unknown response status " + std::to_string(status));
       }
       record.response.status = static_cast<ResponseStatus>(status);
@@ -322,8 +315,15 @@ RequestJournal::RequestJournal(Config config) : config_(std::move(config)) {
   }
   active_seq_ = max_seq + 1;
 
+  // A storage fault here is an environmental problem, not a configuration
+  // one: start DEGRADED (the service's durability probe re-arms once the
+  // disk heals) instead of refusing to boot.
   std::lock_guard lock(mutex_);
-  open_active_segment();
+  int err = 0;
+  if (!open_active_segment(&err)) {
+    enter_degraded("cannot open initial journal segment: " +
+                   std::string(std::strerror(err)));
+  }
 }
 
 RequestJournal::~RequestJournal() {
@@ -332,44 +332,159 @@ RequestJournal::~RequestJournal() {
   active_fd_ = -1;
 }
 
-void RequestJournal::open_active_segment() {
+// Opens a fresh active segment. False on failure, with the errno in *err;
+// never throws. Requires mutex_.
+bool RequestJournal::open_active_segment(int* err) {
   const std::string path = config_.dir + "/" + segment_name(active_seq_);
-  active_fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  active_fd_ = io::open("journal.segment.open", path.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (active_fd_ < 0) {
-    fail("cannot open journal segment " + path + ": " + std::strerror(errno));
+    *err = errno;
+    return false;
   }
   active_bytes_ = 0;
   // Make the new directory entry durable before the first record lands in it.
-  fsync_dir(config_.dir);
-}
-
-void RequestJournal::append_record(const std::vector<std::uint8_t>& payload) {
-  const std::vector<std::uint8_t> framed = frame_record(payload);
-  const std::string path = config_.dir + "/" + segment_name(active_seq_);
-
-  crash_point("journal.append.before_write");
-  write_all(active_fd_, framed.data(), framed.size(), path);
-  crash_point("journal.append.after_write");
-  if (::fsync(active_fd_) != 0) {
-    fail("fsync of " + path + " failed: " + std::strerror(errno));
-  }
-  crash_point("journal.append.after_fsync");
-
-  active_bytes_ += framed.size();
-  ++stats_.appends;
-
-  if (active_bytes_ >= config_.segment_bytes) {
+  if (const int dir_err = fsync_dir(config_.dir); dir_err != 0) {
+    *err = dir_err;
     ::close(active_fd_);
     active_fd_ = -1;
-    sealed_segments_.emplace_back(active_seq_, path);
-    ++active_seq_;
-    ++stats_.rotations;
-    maybe_compact();
-    if (active_fd_ < 0) open_active_segment();
+    return false;
   }
+  return true;
+}
+
+// Seals the active segment where it stands. Used on rotation AND on a failed
+// write: a mid-record failure leaves a torn tail, and appending more records
+// after torn bytes would park them beyond the scanner's reach (a scan drops
+// everything after damage) — so the damaged segment is never written again.
+// Its valid prefix still scans. Requires mutex_.
+void RequestJournal::abandon_active_segment() {
+  if (active_fd_ < 0) return;
+  if (io::close("journal.segment.close", active_fd_) != 0) {
+    // close() can surface deferred write errors; every record we reported
+    // durable was individually fsynced, so this cannot un-persist anything —
+    // but it is a health signal worth counting.
+    ++stats_.close_errors;
+  }
+  active_fd_ = -1;
+  sealed_segments_.emplace_back(active_seq_, config_.dir + "/" + segment_name(active_seq_));
+  ++active_seq_;
+}
+
+void RequestJournal::enter_degraded(const std::string& reason) {
+  if (active_fd_ >= 0) abandon_active_segment();
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_reason_ = reason;
+    ++stats_.degraded_entered;
+  }
+}
+
+// One durable append under the transient/persistent fault policy. Returns
+// kDurable only when the framed record is wholly on stable storage. Requires
+// mutex_ (the bounded retry backoff sleeps with the lock held — worst case a
+// few tens of milliseconds, which is the price of keeping append ordering).
+AppendOutcome RequestJournal::append_record(const std::vector<std::uint8_t>& payload) {
+  if (degraded_) return AppendOutcome::kDegraded;
+
+  const std::vector<std::uint8_t> framed = frame_record(payload);
+  int attempt = 0;
+  while (true) {
+    int err = 0;
+    if (active_fd_ >= 0 || open_active_segment(&err)) {
+      crash_point("journal.append.before_write");
+      err = io::write_all("journal.append.write", active_fd_, framed.data(),
+                          framed.size());
+      if (err == 0) {
+        crash_point("journal.append.after_write");
+        if (io::fsync("journal.append.fsync", active_fd_) != 0) {
+          err = errno;
+        }
+      }
+      if (err == 0) {
+        crash_point("journal.append.after_fsync");
+        active_bytes_ += framed.size();
+        ++stats_.appends;
+        if (active_bytes_ >= config_.segment_bytes) {
+          abandon_active_segment();
+          ++stats_.rotations;
+          maybe_compact();
+          if (!degraded_ && active_fd_ < 0 && !open_active_segment(&err)) {
+            // The record itself IS durable; only the next segment is in
+            // trouble. Degrade now so the next append sheds cleanly.
+            enter_degraded("cannot open journal segment: " +
+                           std::string(std::strerror(err)));
+          }
+        }
+        return AppendOutcome::kDurable;
+      }
+      // The segment may hold a torn record (or an un-fsyncable tail). Cut the
+      // failed append's bytes back off first: a fully-written-but-unfsynced
+      // record is a VALID frame that would otherwise scan back after restart
+      // — resurrecting a request whose submitter was told "not accepted" if
+      // this append degrades. Best-effort: if the truncate itself fails the
+      // scan-back merge still dedups against the retried copy.
+      (void)::ftruncate(active_fd_, static_cast<off_t>(active_bytes_));
+      // Then seal the segment off and re-land the whole record in a fresh
+      // segment on retry; its valid prefix still scans.
+      abandon_active_segment();
+      ++stats_.segments_abandoned;
+    }
+
+    ++attempt;
+    if (io::classify_io_errno(err) == io::IoErrorClass::kPersistent ||
+        attempt > config_.io_retry_attempts) {
+      enter_degraded("journal append failed: " + std::string(std::strerror(err)));
+      return AppendOutcome::kDegraded;
+    }
+    ++stats_.io_retries;
+    const double backoff =
+        config_.io_retry_base_seconds * std::ldexp(1.0, attempt - 1);
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+}
+
+// The records that reconstruct one entry from nothing — accepted (carrying
+// attempts_used), started while live, terminal when present — as encoded
+// payloads. Compaction snapshots and degraded-mode reconciliation both emit
+// exactly this shape, which is why the recovery scan merges them identically.
+std::vector<std::vector<std::uint8_t>> RequestJournal::encode_entry_records(
+    const std::string& id, const Entry& entry) const {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  JournalRecord accepted;
+  accepted.type = JournalRecordType::kAccepted;
+  accepted.id = id;
+  accepted.fp = entry.fp;
+  accepted.attempt = 0;
+  accepted.request = entry.request;
+  accepted.attempts_used = entry.attempts_used;
+  payloads.push_back(encode_record(accepted));
+
+  if (entry.started && !entry.terminal) {
+    JournalRecord started;
+    started.type = JournalRecordType::kStarted;
+    started.id = id;
+    started.fp = entry.fp;
+    started.attempt = entry.attempts_used + 1;
+    payloads.push_back(encode_record(started));
+  }
+  if (entry.terminal) {
+    JournalRecord terminal;
+    terminal.type = terminal_type(entry.terminal->status);
+    terminal.id = id;
+    terminal.fp = entry.fp;
+    terminal.attempt = entry.terminal_attempt;
+    terminal.response = *entry.terminal;
+    terminal.digest = response_digest(*entry.terminal);
+    payloads.push_back(encode_record(terminal));
+  }
+  return payloads;
 }
 
 void RequestJournal::maybe_compact() {
+  if (degraded_) return;  // compaction is pure I/O; a degraded journal defers it
   int delivered = 0;
   for (const auto& [id, entry] : entries_) {
     if (entry.terminal && entry.delivered) ++delivered;
@@ -381,81 +496,79 @@ void RequestJournal::maybe_compact() {
   ByteWriter snapshot;
   for (const auto& [id, entry] : entries_) {
     if (entry.terminal && entry.delivered) continue;
-    JournalRecord accepted;
-    accepted.type = JournalRecordType::kAccepted;
-    accepted.id = id;
-    accepted.fp = entry.fp;
-    accepted.attempt = 0;
-    accepted.request = entry.request;
-    accepted.attempts_used = entry.attempts_used;
-    const std::vector<std::uint8_t> accepted_framed = frame_record(encode_record(accepted));
-    snapshot.raw(accepted_framed.data(), accepted_framed.size());
-
-    if (entry.started && !entry.terminal) {
-      JournalRecord started;
-      started.type = JournalRecordType::kStarted;
-      started.id = id;
-      started.fp = entry.fp;
-      started.attempt = entry.attempts_used + 1;
-      const std::vector<std::uint8_t> framed = frame_record(encode_record(started));
-      snapshot.raw(framed.data(), framed.size());
-    }
-    if (entry.terminal) {
-      JournalRecord terminal;
-      terminal.type = terminal_type(entry.terminal->status);
-      terminal.id = id;
-      terminal.fp = entry.fp;
-      terminal.attempt = entry.terminal_attempt;
-      terminal.response = *entry.terminal;
-      terminal.digest = response_digest(*entry.terminal);
-      const std::vector<std::uint8_t> framed = frame_record(encode_record(terminal));
+    for (const std::vector<std::uint8_t>& payload : encode_entry_records(id, entry)) {
+      const std::vector<std::uint8_t> framed = frame_record(payload);
       snapshot.raw(framed.data(), framed.size());
     }
   }
 
   // The active segment (if open) is superseded by the snapshot too.
-  std::string active_path;
-  if (active_fd_ >= 0) {
-    active_path = config_.dir + "/" + segment_name(active_seq_);
-    ::close(active_fd_);
-    active_fd_ = -1;
-    sealed_segments_.emplace_back(active_seq_, active_path);
-    ++active_seq_;
-  }
+  if (active_fd_ >= 0) abandon_active_segment();
 
   const std::uint64_t snapshot_seq = active_seq_;
   ++active_seq_;
   const std::string snapshot_path = config_.dir + "/" + segment_name(snapshot_seq);
   const std::string tmp_path = snapshot_path + ".tmp";
 
-  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) fail("cannot open " + tmp_path + ": " + std::strerror(errno));
-  try {
-    write_all(fd, snapshot.data().data(), snapshot.size(), tmp_path);
-  } catch (...) {
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    throw;
+  // A failed compaction must never crash the process OR lose history: on any
+  // fault before the publish rename is durable, the tmp file is abandoned
+  // (its ".tmp" suffix keeps it invisible to the scanner), the sealed
+  // segments stay exactly where they were — still merge-consistent — and a
+  // persistent fault degrades the journal for the probe to heal.
+  const auto compaction_failed = [&](const std::string& what, int err) {
+    ::unlink(tmp_path.c_str());  // best effort; a stray .tmp is inert
+    if (io::classify_io_errno(err) == io::IoErrorClass::kPersistent) {
+      enter_degraded(what + ": " + std::strerror(err));
+    }
+    // Transient trouble: skip this compaction round; appends reopen a fresh
+    // active segment lazily and a later acknowledge retries the compaction.
+  };
+
+  int err = 0;
+  const int fd = io::open("journal.compact.open", tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    compaction_failed("cannot open " + tmp_path, errno);
+    return;
   }
-  if (::fsync(fd) != 0) {
-    const int err = errno;
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    fail("fsync of " + tmp_path + " failed: " + std::strerror(err));
+  err = io::write_all("journal.compact.write", fd, snapshot.data().data(),
+                      snapshot.size());
+  if (err == 0 && io::fsync("journal.compact.fsync", fd) != 0) err = errno;
+  if (io::close("journal.compact.close", fd) != 0) {
+    ++stats_.close_errors;
+    if (err == 0) err = errno;  // deferred write error: the snapshot is suspect
   }
-  ::close(fd);
+  if (err != 0) {
+    compaction_failed("cannot write " + tmp_path, err);
+    return;
+  }
 
   crash_point("journal.compact.before_publish");
-  if (::rename(tmp_path.c_str(), snapshot_path.c_str()) != 0) {
-    fail("cannot publish " + snapshot_path + ": " + std::strerror(errno));
+  if (io::rename("journal.compact.rename", tmp_path.c_str(),
+                 snapshot_path.c_str()) != 0) {
+    compaction_failed("cannot publish " + snapshot_path, errno);
+    return;
   }
-  fsync_dir(config_.dir);
+  if (const int dir_err = fsync_dir(config_.dir); dir_err != 0) {
+    // The publish rename may not be durable: keep every old segment (the
+    // snapshot is redundant with them, so correctness is preserved either
+    // way) and skip the cleanup below.
+    sealed_segments_.emplace_back(snapshot_seq, snapshot_path);
+    if (io::classify_io_errno(dir_err) == io::IoErrorClass::kPersistent) {
+      enter_degraded("cannot sync journal directory: " +
+                     std::string(std::strerror(dir_err)));
+    }
+    return;
+  }
   crash_point("journal.compact.after_publish");
 
   // History is now redundant: every record that matters lives in the
   // snapshot, and a crash mid-cleanup merely leaves extra segments whose
-  // records the next scan merges idempotently.
-  for (const auto& [seq, path] : sealed_segments_) ::unlink(path.c_str());
+  // records the next scan merges idempotently. A failed unlink is the same
+  // benign overlap, so it is not even an error — the file just lingers.
+  for (const auto& [seq, path] : sealed_segments_) {
+    io::unlink("journal.compact.unlink", path.c_str());
+  }
   sealed_segments_.clear();
   fsync_dir(config_.dir);
   crash_point("journal.compact.after_cleanup");
@@ -465,7 +578,10 @@ void RequestJournal::maybe_compact() {
     return kv.second.terminal && kv.second.delivered;
   });
   ++stats_.compactions;
-  open_active_segment();
+  if (!open_active_segment(&err)) {
+    enter_degraded("cannot open journal segment after compaction: " +
+                   std::string(std::strerror(err)));
+  }
 }
 
 void RequestJournal::apply(const JournalRecord& record, std::vector<std::string>* warnings) {
@@ -518,9 +634,10 @@ void RequestJournal::apply(const JournalRecord& record, std::vector<std::string>
       entry.terminal = record.response;
       entry.terminal->label = entry.request.label;
       entry.terminal_attempt = record.attempt;
-      // An overloaded shed is terminal bookkeeping only — nobody holds a
-      // handle for it, so it must never be replayed as an answer.
-      entry.delivered = record.response.status == ResponseStatus::kOverloaded;
+      // An overloaded/degraded shed is terminal bookkeeping only — nobody
+      // holds a handle for it, so it must never be replayed as an answer.
+      entry.delivered = record.response.status == ResponseStatus::kOverloaded ||
+                        record.response.status == ResponseStatus::kDegraded;
       break;
     }
   }
@@ -553,7 +670,8 @@ std::vector<std::string> RequestJournal::recovery_warnings() const {
   return scan_warnings_;
 }
 
-void RequestJournal::append_accepted(const PlanningRequest& request, const ProblemFp& fp) {
+AppendOutcome RequestJournal::append_accepted(const PlanningRequest& request,
+                                              const ProblemFp& fp) {
   JournalRecord record;
   record.type = JournalRecordType::kAccepted;
   record.id = request.id;
@@ -561,13 +679,20 @@ void RequestJournal::append_accepted(const PlanningRequest& request, const Probl
   record.request = request;
 
   std::lock_guard lock(mutex_);
-  append_record(encode_record(record));
+  const AppendOutcome outcome = append_record(encode_record(record));
+  if (outcome == AppendOutcome::kDegraded) {
+    // The caller is about to shed this request un-acknowledged; entering it
+    // into journal state would let a later re-arm resurrect work whose
+    // submitter was told "not accepted".
+    return outcome;
+  }
   Entry& entry = entries_[request.id];
   entry.request = request;
   entry.fp = fp;
+  return outcome;
 }
 
-void RequestJournal::append_started(const std::string& id, int attempt) {
+AppendOutcome RequestJournal::append_started(const std::string& id, int attempt) {
   JournalRecord record;
   record.type = JournalRecordType::kStarted;
   record.id = id;
@@ -579,11 +704,16 @@ void RequestJournal::append_started(const std::string& id, int attempt) {
     record.fp = it->second.fp;
     it->second.started = true;
   }
-  append_record(encode_record(record));
+  const AppendOutcome outcome = append_record(encode_record(record));
+  if (outcome == AppendOutcome::kDegraded && it != entries_.end()) {
+    it->second.dirty = true;
+  }
+  return outcome;
 }
 
-void RequestJournal::append_retry(const std::string& id, int attempt,
-                                  const std::string& error, double backoff_seconds) {
+AppendOutcome RequestJournal::append_retry(const std::string& id, int attempt,
+                                           const std::string& error,
+                                           double backoff_seconds) {
   JournalRecord record;
   record.type = JournalRecordType::kRetry;
   record.id = id;
@@ -597,10 +727,15 @@ void RequestJournal::append_retry(const std::string& id, int attempt,
     record.fp = it->second.fp;
     it->second.attempts_used = std::max(it->second.attempts_used, attempt);
   }
-  append_record(encode_record(record));
+  const AppendOutcome outcome = append_record(encode_record(record));
+  if (outcome == AppendOutcome::kDegraded && it != entries_.end()) {
+    it->second.dirty = true;
+  }
+  return outcome;
 }
 
-void RequestJournal::append_terminal(const PlanningResponse& response, int attempt) {
+AppendOutcome RequestJournal::append_terminal(const PlanningResponse& response,
+                                              int attempt) {
   JournalRecord record;
   record.type = terminal_type(response.status);
   record.id = response.id;
@@ -614,9 +749,65 @@ void RequestJournal::append_terminal(const PlanningResponse& response, int attem
     record.fp = it->second.fp;
     it->second.terminal = response;
     it->second.terminal_attempt = attempt;
-    it->second.delivered = response.status == ResponseStatus::kOverloaded;
+    it->second.delivered = response.status == ResponseStatus::kOverloaded ||
+                           response.status == ResponseStatus::kDegraded;
   }
-  append_record(encode_record(record));
+  const AppendOutcome outcome = append_record(encode_record(record));
+  if (outcome == AppendOutcome::kDegraded && it != entries_.end()) {
+    // In-memory state keeps tracking reality while degraded; the terminal
+    // record reaches disk via the re-arm reconciliation. Without it, the
+    // pre-fault kAccepted record alone would re-execute this request on
+    // restart — and double-answer it if the caller already got the response.
+    it->second.dirty = true;
+  }
+  return outcome;
+}
+
+bool RequestJournal::durable() const {
+  std::lock_guard lock(mutex_);
+  return !degraded_;
+}
+
+std::string RequestJournal::degraded_reason() const {
+  std::lock_guard lock(mutex_);
+  return degraded_ ? degraded_reason_ : std::string();
+}
+
+bool RequestJournal::try_rearm() {
+  std::lock_guard lock(mutex_);
+  if (!degraded_) return true;
+
+  // Probe: a fresh segment that opens and fsyncs proves the disk can take
+  // durable writes again. enter_degraded() always closes the active fd, so a
+  // degraded journal reaches here with active_fd_ < 0; a failed probe closes
+  // it again WITHOUT sealing (the segment is empty — sealing every failed
+  // probe would grow the sealed list without bound).
+  int err = 0;
+  if (active_fd_ < 0 && !open_active_segment(&err)) return false;
+  if (io::fsync("journal.probe.fsync", active_fd_) != 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+    return false;
+  }
+
+  // Tentatively durable: run the reconciliation through the normal append
+  // machinery (full retry discipline); any failure re-degrades and the whole
+  // pass — idempotent against both pre-fault segments and a partial previous
+  // reconciliation — reruns on the next probe.
+  degraded_ = false;
+  std::int64_t reconciled = 0;
+  for (auto& [id, entry] : entries_) {
+    if (!entry.dirty) continue;
+    for (const std::vector<std::uint8_t>& payload : encode_entry_records(id, entry)) {
+      if (append_record(payload) == AppendOutcome::kDegraded) return false;
+    }
+    entry.dirty = false;
+    ++reconciled;
+  }
+  degraded_reason_.clear();
+  ++stats_.rearms;
+  stats_.reconciled += reconciled;
+  return true;
 }
 
 void RequestJournal::acknowledge_delivered(const std::string& id) {
@@ -630,11 +821,30 @@ void RequestJournal::acknowledge_delivered(const std::string& id) {
 RequestJournal::Stats RequestJournal::stats() const {
   std::lock_guard lock(mutex_);
   Stats stats = stats_;
+  stats.degraded = degraded_;
   for (const auto& [id, entry] : entries_) {
     if (!entry.terminal) ++stats.live;
     else if (!entry.delivered) ++stats.undelivered;
   }
   return stats;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> RequestJournal::segment_sizes()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> sizes;
+  const auto stat_size = [](const std::string& path) -> std::uint64_t {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+  };
+  for (const auto& [seq, path] : sealed_segments_) {
+    sizes.emplace_back(path, stat_size(path));
+  }
+  if (active_fd_ >= 0) {
+    const std::string path = config_.dir + "/" + segment_name(active_seq_);
+    sizes.emplace_back(path, stat_size(path));
+  }
+  return sizes;
 }
 
 }  // namespace nptsn

@@ -40,6 +40,22 @@
 // same fsync + atomic-rename discipline as util/checkpoint, then the old
 // segments are unlinked. A crash anywhere in compaction leaves a scannable,
 // merge-consistent journal.
+//
+// Environmental faults (DESIGN.md §15): every append goes through the
+// injectable I/O layer (util/io.hpp). A TRANSIENT error (EINTR storm, EIO
+// hiccup, fd pressure) is retried a bounded number of times with backoff; a
+// failed write leaves a possibly-torn tail, so the damaged segment is
+// ABANDONED (sealed where it stands — its valid prefix still scans) and the
+// record re-lands whole in a fresh segment. A PERSISTENT error (ENOSPC,
+// EDQUOT, EROFS) — or an exhausted retry budget — moves the journal into an
+// explicit DEGRADED state instead of throwing: appends return kDegraded
+// immediately, in-memory request state keeps tracking reality, and
+// try_rearm() (driven by the service's durability probe) re-opens a fresh
+// segment once the disk heals and writes a reconciliation snapshot of every
+// entry that mutated while degraded. Reconciliation records overlap the
+// pre-fault segments on disk; the recovery scan merges them idempotently, so
+// fault -> heal -> restart converges to one state per request. The journal
+// NEVER aborts the process over storage trouble after construction.
 #pragma once
 
 #include <cstdint>
@@ -97,6 +113,11 @@ struct JournalScan {
 // Missing directory scans as empty. Exposed for tests and offline tooling.
 JournalScan scan_journal(const std::string& dir);
 
+// What a durable append actually achieved. kDurable: the record is on stable
+// storage. kDegraded: the journal is (now) degraded — the record lives only
+// in memory and the caller must not promise durability for it.
+enum class AppendOutcome { kDurable, kDegraded };
+
 class RequestJournal {
  public:
   struct Config {
@@ -105,6 +126,11 @@ class RequestJournal {
     std::size_t segment_bytes = std::size_t{4} << 20;
     // Snapshot-compact once this many delivered terminal requests accumulate.
     int compact_min_delivered = 64;
+    // Transient-I/O policy: a failed append is retried up to io_retry_attempts
+    // times, attempt k backing off io_retry_base_seconds * 2^(k-1), before the
+    // failure is escalated to persistent and the journal degrades.
+    int io_retry_attempts = 4;
+    double io_retry_base_seconds = 0.002;
   };
 
   // What one journaled request recovered to after a restart.
@@ -117,8 +143,9 @@ class RequestJournal {
   };
 
   // Creates dir if missing, scans existing segments (tolerating torn tails),
-  // and opens a fresh active segment. Throws CheckpointError only on
-  // unusable storage (dir cannot be created/opened) — never on damage.
+  // and opens a fresh active segment. Throws CheckpointError only when the
+  // directory itself cannot be created (a configuration error) — storage
+  // faults opening the first segment start the journal DEGRADED instead.
   explicit RequestJournal(Config config);
   ~RequestJournal();
   RequestJournal(const RequestJournal&) = delete;
@@ -130,16 +157,33 @@ class RequestJournal {
   // Startup-scan damage diagnostics (empty on a clean journal).
   std::vector<std::string> recovery_warnings() const;
 
-  // Durable appends (write + fsync before returning). All thread-safe.
-  void append_accepted(const PlanningRequest& request, const ProblemFp& fp);
-  void append_started(const std::string& id, int attempt);
-  void append_retry(const std::string& id, int attempt, const std::string& error,
-                    double backoff_seconds);
-  void append_terminal(const PlanningResponse& response, int attempt);
+  // Durable appends (write + fsync before returning kDurable). All
+  // thread-safe; none of them throw on storage trouble — a persistent fault
+  // returns kDegraded instead (see the header comment).
+  //
+  // append_accepted is special: on kDegraded the request is NOT entered into
+  // the journal's state at all (the service sheds it un-acknowledged), so a
+  // later re-arm cannot resurrect work whose caller was told "not accepted".
+  AppendOutcome append_accepted(const PlanningRequest& request, const ProblemFp& fp);
+  AppendOutcome append_started(const std::string& id, int attempt);
+  AppendOutcome append_retry(const std::string& id, int attempt, const std::string& error,
+                             double backoff_seconds);
+  AppendOutcome append_terminal(const PlanningResponse& response, int attempt);
 
   // The caller-visible answer for `id` was delivered (promise resolved);
   // its terminal record becomes eligible for compaction.
   void acknowledge_delivered(const std::string& id);
+
+  // Degraded-mode surface. durable() flips false when a persistent fault (or
+  // an exhausted transient-retry budget) stops appends from reaching disk.
+  bool durable() const;
+  std::string degraded_reason() const;
+  // One probe + reconcile pass: re-opens a fresh active segment, fsyncs it,
+  // and re-journals every entry that mutated while degraded (idempotent
+  // against the pre-fault segments). True when the journal is durable again
+  // (including when it never degraded); false keeps it degraded for the next
+  // probe. Thread-safe; cheap no-op when already durable.
+  bool try_rearm();
 
   struct Stats {
     std::int64_t appends = 0;
@@ -147,8 +191,20 @@ class RequestJournal {
     std::int64_t compactions = 0;
     std::int64_t live = 0;       // accepted, not yet terminal
     std::int64_t undelivered = 0;  // terminal, answer not yet delivered
+    // Environmental-fault accounting.
+    std::int64_t io_retries = 0;          // transient failures retried
+    std::int64_t segments_abandoned = 0;  // torn tails sealed off mid-append
+    std::int64_t close_errors = 0;        // deferred errors surfaced by close
+    std::int64_t degraded_entered = 0;    // durability losses
+    std::int64_t rearms = 0;              // successful probe + reconcile passes
+    std::int64_t reconciled = 0;          // entries re-journaled by rearms
+    bool degraded = false;
   };
   Stats stats() const;
+
+  // The on-disk segment files (sealed + active) with their current sizes —
+  // surfaced by the service stats dump. Unreadable entries report size 0.
+  std::vector<std::pair<std::string, std::uint64_t>> segment_sizes() const;
 
   const std::string& dir() const { return config_.dir; }
 
@@ -161,12 +217,19 @@ class RequestJournal {
     std::optional<PlanningResponse> terminal;
     int terminal_attempt = 0;
     bool delivered = false;
+    // Mutated while degraded (its records never reached disk): try_rearm
+    // re-journals it and clears the flag.
+    bool dirty = false;
   };
 
-  void open_active_segment();                       // requires mutex_
-  void append_record(const std::vector<std::uint8_t>& payload);  // requires mutex_
+  bool open_active_segment(int* err);               // requires mutex_
+  void abandon_active_segment();                    // requires mutex_
+  void enter_degraded(const std::string& reason);   // requires mutex_
+  AppendOutcome append_record(const std::vector<std::uint8_t>& payload);  // requires mutex_
   void maybe_compact();                             // requires mutex_
   void apply(const JournalRecord& record, std::vector<std::string>* warnings);
+  std::vector<std::vector<std::uint8_t>> encode_entry_records(
+      const std::string& id, const Entry& entry) const;
 
   Config config_;
   mutable std::mutex mutex_;
@@ -177,6 +240,8 @@ class RequestJournal {
   int active_fd_ = -1;
   std::size_t active_bytes_ = 0;
   std::vector<std::pair<std::uint64_t, std::string>> sealed_segments_;
+  bool degraded_ = false;
+  std::string degraded_reason_;
   Stats stats_;
 };
 

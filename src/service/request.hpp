@@ -41,6 +41,10 @@ enum class ResponseStatus {
   kCancelled,   // shutdown cancelled the session before/while it ran
   kOverloaded,  // admission shed the request (bounded queue full); the
                 // request was NOT acknowledged and will not be recovered
+  kDegraded,    // admission shed the request because the journal cannot
+                // reach stable storage (disk full/offline); the request was
+                // NOT acknowledged and will not be recovered. Resubmit once
+                // the service reports durable again.
 };
 const char* to_string(ResponseStatus status);
 
@@ -58,6 +62,12 @@ struct PlanningResponse {
   int shard = -1;              // which worker pool ran it
   int attempt = 1;             // which attempt produced this answer
   bool replayed = false;       // answered from the journal, not re-executed
+  // False when the answer's terminal record could not reach stable storage
+  // (journal degraded at answer time): the response is still correct, but a
+  // crash before the journal re-arms may re-execute this request after
+  // restart. Stays true when no journal is configured — durability was never
+  // promised, so none was lost. See DESIGN.md §15.
+  bool durable = true;
   double queue_seconds = 0.0;  // admission -> a worker picked it up
   double plan_seconds = 0.0;   // the plan() call itself
   // Cross-session reuse observed by this session's environments.

@@ -37,6 +37,7 @@ const char* to_string(ResponseStatus status) {
     case ResponseStatus::kFaulted: return "faulted";
     case ResponseStatus::kCancelled: return "cancelled";
     case ResponseStatus::kOverloaded: return "overloaded";
+    case ResponseStatus::kDegraded: return "degraded";
   }
   return "unknown";
 }
@@ -52,6 +53,10 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
   NPTSN_EXPECT(config_.retry_base_seconds >= 0.0 && config_.retry_max_seconds >= 0.0 &&
                    config_.retry_jitter >= 0.0,
                "retry backoff parameters must be non-negative");
+  NPTSN_EXPECT(config_.watchdog_grace == 0.0 || config_.watchdog_grace >= 1.0,
+               "watchdog grace is a multiplier of the session budget: 0 (off) or >= 1");
+  NPTSN_EXPECT(config_.watchdog_poll_seconds > 0.0 && config_.durability_probe_seconds > 0.0,
+               "background poll cadences must be positive");
 
   if (config_.shared_caches) {
     engine_cache_ = std::make_shared<EngineSharedCache>(config_.engine_cache);
@@ -68,6 +73,8 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
     journal_config.dir = config_.journal_dir;
     journal_config.segment_bytes = config_.journal_segment_bytes;
     journal_config.compact_min_delivered = config_.journal_compact_min_delivered;
+    journal_config.io_retry_attempts = config_.journal_io_retry_attempts;
+    journal_config.io_retry_base_seconds = config_.journal_io_retry_base_seconds;
     journal_ = std::make_unique<RequestJournal>(std::move(journal_config));
   }
   retry_rng_ = Rng(config_.retry_seed);
@@ -83,6 +90,12 @@ PlannerService::PlannerService(ServiceConfig config) : config_(std::move(config)
     }
   }
   retry_thread_ = std::thread([this] { retry_loop(); });
+  if (journal_) {
+    probe_thread_ = std::thread([this] { probe_loop(); });
+  }
+  if (config_.watchdog_grace > 0.0 && config_.session_wall_seconds > 0.0) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 
   // Recovery runs after the workers are up, so resubmitting more live
   // requests than one queue holds just exerts normal backpressure instead of
@@ -140,7 +153,24 @@ std::future<PlanningResponse> PlannerService::submit_impl(PlanningRequest reques
   // Durability before acknowledgement: the accepted record is on disk before
   // any caller-visible handle exists, in every admission mode. A request shed
   // below gets a compensating terminal record, so it is not resurrected.
-  if (journal_) journal_->append_accepted(ticket.request, fp);
+  if (journal_ &&
+      journal_->append_accepted(ticket.request, fp) == AppendOutcome::kDegraded) {
+    // The journal cannot reach stable storage: shed instead of acknowledging
+    // a durability we cannot provide. The caller resubmits once the service
+    // reports durable again (the probe re-arms automatically).
+    PlanningResponse shed;
+    shed.id = ticket.request.id;
+    shed.label = ticket.request.label;
+    shed.status = ResponseStatus::kDegraded;
+    shed.error = "degraded: journal cannot reach stable storage (" +
+                 journal_->degraded_reason() + ")";
+    shed.shard = shard_index;
+    shed.attempt = 0;
+    shed.durable = false;
+    count(ResponseStatus::kDegraded);
+    ticket.promise.set_value(std::move(shed));
+    return future;
+  }
   crash_point("service.accept.after_journal");
   {
     std::lock_guard lock(state_mutex_);
@@ -183,7 +213,23 @@ std::future<PlanningResponse> PlannerService::submit_impl(PlanningRequest reques
 }
 
 int PlannerService::shard_for(const ProblemFp& fp) const {
-  return static_cast<int>(fp.a % static_cast<std::uint64_t>(shards_.size()));
+  const int preferred = static_cast<int>(fp.a % static_cast<std::uint64_t>(shards_.size()));
+  if (!shards_[static_cast<std::size_t>(preferred)]->quarantined.load(
+          std::memory_order_acquire)) {
+    return preferred;
+  }
+  // Deterministic re-route among the healthy shards; with every shard
+  // quarantined, fall back to the full ring (the queue still accepts — the
+  // work just waits for an un-wedge or a shutdown).
+  std::vector<int> healthy;
+  for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+    if (!shards_[static_cast<std::size_t>(s)]->quarantined.load(
+            std::memory_order_acquire)) {
+      healthy.push_back(s);
+    }
+  }
+  if (healthy.empty()) return preferred;
+  return healthy[fp.a % healthy.size()];
 }
 
 int PlannerService::max_attempts_for(const PlanningRequest& request) const {
@@ -213,7 +259,12 @@ void PlannerService::worker_loop(int shard_index) {
         Deadline::after(config_.session_wall_seconds, config_.session_max_ticks);
     {
       std::lock_guard lock(state_mutex_);
-      inflight_.emplace_back(ticket->request.id, deadline);
+      Inflight entry;
+      entry.id = ticket->request.id;
+      entry.deadline = deadline;
+      entry.started = picked;
+      entry.shard_index = shard_index;
+      inflight_.push_back(std::move(entry));
     }
     // Closes the pop-to-register race with shutdown(kCancel): either the
     // canceller saw our registration, or we see its flag here.
@@ -230,9 +281,22 @@ void PlannerService::worker_loop(int shard_index) {
 
     {
       std::lock_guard lock(state_mutex_);
-      std::erase_if(inflight_, [&](const auto& entry) {
-        return entry.second.get() == deadline.get();
-      });
+      const auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                                   [&](const Inflight& entry) {
+                                     return entry.deadline.get() == deadline.get();
+                                   });
+      if (it != inflight_.end()) {
+        if (it->wedged) {
+          // The wedged session finally returned: lift the quarantine once no
+          // wedged sessions remain on this shard.
+          Shard& self = *shards_[static_cast<std::size_t>(shard_index)];
+          if (--self.wedged_sessions == 0) {
+            self.quarantined.store(false, std::memory_order_release);
+          }
+          ++counters_.unwedged;
+        }
+        inflight_.erase(it);
+      }
     }
 
     if (response.status != ResponseStatus::kCancelled && retryable(response) &&
@@ -252,7 +316,16 @@ void PlannerService::finish_ticket(Ticket ticket, PlanningResponse response) {
   const bool journal_terminal =
       journal_ != nullptr && response.status != ResponseStatus::kCancelled;
   crash_point("service.terminal.before_journal");
-  if (journal_terminal) journal_->append_terminal(response, response.attempt);
+  if (journal_terminal &&
+      journal_->append_terminal(response, response.attempt) ==
+          AppendOutcome::kDegraded) {
+    // The answer still goes out — an in-flight session is never held hostage
+    // to a sick disk — but flagged non-durable: a crash before the journal
+    // re-arms may re-execute this request after restart.
+    response.durable = false;
+    std::lock_guard lock(state_mutex_);
+    ++counters_.non_durable;
+  }
   crash_point("service.answer.before_set");
   count(response.status);
   ticket.promise.set_value(std::move(response));
@@ -371,7 +444,10 @@ void PlannerService::replay_recovered(RequestJournal::Recovered item) {
     if (!rejection.empty()) {
       response.status = ResponseStatus::kRejected;
       response.error = rejection;
-      journal_->append_terminal(response, response.attempt);
+      if (journal_->append_terminal(response, response.attempt) ==
+          AppendOutcome::kDegraded) {
+        response.durable = false;
+      }
     }
   }
 
@@ -549,6 +625,97 @@ void PlannerService::count(ResponseStatus status) {
     case ResponseStatus::kFaulted: ++counters_.faulted; break;
     case ResponseStatus::kCancelled: ++counters_.cancelled; break;
     case ResponseStatus::kOverloaded: ++counters_.overloaded; break;
+    case ResponseStatus::kDegraded: ++counters_.degraded; break;
+  }
+}
+
+void PlannerService::probe_loop() {
+  std::unique_lock lock(background_mutex_);
+  while (!background_stop_) {
+    background_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.durability_probe_seconds));
+    if (background_stop_) break;
+    lock.unlock();
+    if (!journal_->durable() && journal_->try_rearm()) {
+      std::lock_guard slock(state_mutex_);
+      ++counters_.rearmed;
+    }
+    lock.lock();
+  }
+}
+
+void PlannerService::watchdog_loop() {
+  // The budget a session may overrun before the watchdog intervenes, and the
+  // further budget a cancelled session gets to unwind before it is declared
+  // wedged. grace >= 1, so a healthy session's own DeadlineExceeded always
+  // fires first; the watchdog only ever sees sessions that stopped polling.
+  const double window = config_.session_wall_seconds * config_.watchdog_grace;
+  std::unique_lock lock(background_mutex_);
+  while (!background_stop_) {
+    background_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.watchdog_poll_seconds));
+    if (background_stop_) break;
+    lock.unlock();
+
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<int> to_reroute;
+    {
+      std::lock_guard slock(state_mutex_);
+      for (Inflight& entry : inflight_) {
+        if (!entry.watchdog_cancelled) {
+          if (seconds_between(entry.started, now) > window) {
+            entry.deadline->cancel(
+                "cancelled: watchdog — session overran its deadline by the "
+                "grace window");
+            entry.watchdog_cancelled = true;
+            entry.cancelled_at = now;
+            ++counters_.watchdog_cancels;
+          }
+        } else if (!entry.wedged &&
+                   seconds_between(entry.cancelled_at, now) > window) {
+          // Cancelled and STILL running: this session is not polling its
+          // deadline at all. Quarantine the shard so new work routes around
+          // the stuck worker.
+          entry.wedged = true;
+          Shard& shard = *shards_[static_cast<std::size_t>(entry.shard_index)];
+          ++shard.wedged_sessions;
+          ++counters_.wedged;
+          if (!shard.quarantined.exchange(true, std::memory_order_acq_rel)) {
+            to_reroute.push_back(entry.shard_index);
+          }
+        }
+      }
+    }
+    for (const int shard_index : to_reroute) reroute_shard(shard_index);
+    lock.lock();
+  }
+}
+
+void PlannerService::reroute_shard(int shard_index) {
+  // Move the quarantined shard's backlog to healthy shards. drain_remaining
+  // works on an open queue; anything that cannot be placed (every shard
+  // quarantined, or the healthy queues full) goes back where it was — parked,
+  // not lost: it runs on un-wedge or resolves as cancelled on shutdown.
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::int64_t moved = 0;
+  for (Ticket& ticket : shard.queue.drain_remaining()) {
+    const int priority = ticket.request.priority;
+    const ProblemFp fp = problem_fingerprint128(ticket.request.problem_bytes);
+    const int target = shard_for(fp);
+    if (target != shard_index &&
+        shards_[static_cast<std::size_t>(target)]->queue.try_push(ticket, priority) ==
+            PushResult::kPushed) {
+      ++moved;
+      continue;
+    }
+    if (shard.queue.try_push(ticket, priority) != PushResult::kPushed) {
+      // Queue closed (shutdown raced us): resolve rather than drop the promise.
+      resolve_cancelled(std::move(ticket), /*record_unprocessed=*/true);
+    }
+  }
+  if (moved > 0) {
+    std::lock_guard lock(state_mutex_);
+    counters_.rerouted += moved;
   }
 }
 
@@ -558,10 +725,20 @@ void PlannerService::shutdown(Shutdown mode) {
   if (mode == Shutdown::kCancel) {
     cancelling_.store(true, std::memory_order_release);
     std::lock_guard lock(state_mutex_);
-    for (auto& [id, deadline] : inflight_) {
-      deadline->cancel("cancelled: service shutting down");
+    for (Inflight& entry : inflight_) {
+      entry.deadline->cancel("cancelled: service shutting down");
     }
   }
+
+  // Stop the background probe and watchdog first: neither should observe (or
+  // reroute around) the half-torn-down state below.
+  {
+    std::lock_guard lock(background_mutex_);
+    background_stop_ = true;
+  }
+  background_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
   // Stop the retry scheduler and take over its backlog: drain mode runs the
   // pending retries immediately (their remaining backoff is forfeited);
@@ -616,6 +793,34 @@ std::vector<PlanningRequest> PlannerService::unprocessed() {
 PlannerService::Counters PlannerService::counters() const {
   std::lock_guard lock(state_mutex_);
   return counters_;
+}
+
+PlannerService::ServiceStats PlannerService::stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard lock(state_mutex_);
+    stats.counters = counters_;
+    stats.inflight = inflight_.size();
+    for (const auto& shard : shards_) {
+      ShardSnapshot snapshot;
+      snapshot.queue_depth = shard->queue.size();
+      snapshot.wedged_sessions = shard->wedged_sessions;
+      snapshot.quarantined = shard->quarantined.load(std::memory_order_acquire);
+      stats.shards.push_back(snapshot);
+    }
+  }
+  {
+    std::lock_guard lock(retry_mutex_);
+    stats.retry_backlog = retry_heap_.size();
+  }
+  if (journal_) {
+    stats.journal_configured = true;
+    stats.durable = journal_->durable();
+    stats.degraded_reason = journal_->degraded_reason();
+    stats.journal = journal_->stats();
+    stats.journal_segments = journal_->segment_sizes();
+  }
+  return stats;
 }
 
 }  // namespace nptsn

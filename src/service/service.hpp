@@ -41,8 +41,26 @@
 // plans, certificates, and training trajectories are bit-identical with
 // shared_caches on or off (differential-tested in tests/service). Warm-start
 // is the documented exception and stays opt-in.
+//
+// Environmental faults (DESIGN.md §15): storage trouble never takes the
+// service down. When the journal exhausts its transient-retry budget or hits
+// a persistent error (ENOSPC, EROFS...), it DEGRADES: in-flight sessions
+// complete and answer — flagged response.durable == false — while new
+// submissions are shed with kDegraded instead of being acknowledged into a
+// journal that cannot hold them. A background durability probe re-arms the
+// journal once the disk heals (re-journaling everything that mutated while
+// degraded), after which a restart converges to exactly the answered state.
+//
+// Liveness: sessions are cooperative, but a request can wedge a worker in
+// code that never polls its Deadline. With watchdog_grace > 0 a watchdog
+// thread cancels any session that overruns session_wall_seconds by the grace
+// factor; a session that STILL does not return within another grace window
+// is declared wedged — its shard is quarantined (new work routes to healthy
+// shards, its backlog is rerouted) until the wedged session finally returns.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -103,6 +121,12 @@ struct ServiceConfig {
   std::string journal_dir;
   std::size_t journal_segment_bytes = std::size_t{4} << 20;
   int journal_compact_min_delivered = 64;
+  // Transient-I/O retry policy handed to the journal (see RequestJournal::
+  // Config) and the cadence of the durability probe that re-arms a degraded
+  // journal once its storage heals.
+  int journal_io_retry_attempts = 4;
+  double journal_io_retry_base_seconds = 0.002;
+  double durability_probe_seconds = 0.25;
   // Re-run the independent auditor over replayed kPlanned answers before
   // handing them out, so a recovered result is never weaker than a fresh one.
   bool audit_replays = true;
@@ -116,6 +140,15 @@ struct ServiceConfig {
   double retry_max_seconds = 2.0;
   double retry_jitter = 0.25;
   std::uint64_t retry_seed = 0x9e3779b97f4a7c15ull;
+
+  // Stuck-session watchdog (0 disables; requires session_wall_seconds > 0).
+  // A session still running after session_wall_seconds * watchdog_grace gets
+  // its deadline token cancelled by force; one more grace window without
+  // returning marks the worker wedged and quarantines its shard. Grace < 1
+  // would cancel sessions that are merely slow, so values are >= 1 (enforced
+  // at construction).
+  double watchdog_grace = 0.0;
+  double watchdog_poll_seconds = 0.02;
 };
 
 class PlannerService {
@@ -178,8 +211,36 @@ class PlannerService {
     std::int64_t retried = 0;     // attempts re-scheduled after a retryable failure
     std::int64_t recovered = 0;   // live requests resubmitted from the journal
     std::int64_t replayed = 0;    // terminal answers replayed from the journal
+    // Environmental-fault accounting (DESIGN.md §15).
+    std::int64_t degraded = 0;     // shed at admission: journal not durable
+    std::int64_t non_durable = 0;  // answers delivered with durable == false
+    std::int64_t rearmed = 0;      // probe passes that restored durability
+    std::int64_t watchdog_cancels = 0;  // sessions force-cancelled for overrun
+    std::int64_t wedged = 0;       // sessions that ignored the forced cancel
+    std::int64_t unwedged = 0;     // wedged sessions that eventually returned
+    std::int64_t rerouted = 0;     // queued requests moved off a quarantined shard
   };
   Counters counters() const;
+
+  // Point-in-time operational snapshot — everything the SIGUSR1 stats dump
+  // prints (tools/nptsn_serve.cpp) and the soak assertions read.
+  struct ShardSnapshot {
+    std::size_t queue_depth = 0;
+    int wedged_sessions = 0;
+    bool quarantined = false;
+  };
+  struct ServiceStats {
+    std::vector<ShardSnapshot> shards;
+    std::size_t inflight = 0;       // sessions currently running
+    std::size_t retry_backlog = 0;  // retries waiting out their backoff
+    Counters counters;
+    bool journal_configured = false;
+    bool durable = true;  // true when no journal is configured (nothing to lose)
+    std::string degraded_reason;
+    RequestJournal::Stats journal;  // zeroes when no journal is configured
+    std::vector<std::pair<std::string, std::uint64_t>> journal_segments;
+  };
+  ServiceStats stats() const;
 
   // The installed cross-session stores (null when disabled) — for
   // instrumentation and tests.
@@ -200,6 +261,20 @@ class PlannerService {
     explicit Shard(std::size_t capacity) : queue(capacity) {}
     BoundedPriorityQueue<Ticket> queue;
     std::vector<std::thread> workers;
+    // Lock-free so shard_for can route around a quarantined shard without
+    // taking state_mutex_; wedged_sessions is guarded by state_mutex_.
+    std::atomic<bool> quarantined{false};
+    int wedged_sessions = 0;
+  };
+  // One running session, as the watchdog sees it.
+  struct Inflight {
+    std::string id;
+    std::shared_ptr<Deadline> deadline;
+    std::chrono::steady_clock::time_point started;
+    int shard_index = 0;
+    bool watchdog_cancelled = false;
+    std::chrono::steady_clock::time_point cancelled_at{};
+    bool wedged = false;
   };
   enum class Admission { kBlock, kTry, kTimed };
 
@@ -223,6 +298,12 @@ class PlannerService {
   void resubmit_recovered(RequestJournal::Recovered item);
   void resolve_cancelled(Ticket ticket, bool record_unprocessed);
   void count(ResponseStatus status);
+  // Background threads: the durability probe re-arms a degraded journal; the
+  // watchdog cancels/wedges overrunning sessions and reroutes quarantined
+  // shards' backlogs to healthy ones.
+  void probe_loop();
+  void watchdog_loop();
+  void reroute_shard(int shard_index);
 
   ServiceConfig config_;
   std::shared_ptr<EngineSharedCache> engine_cache_;
@@ -234,11 +315,19 @@ class PlannerService {
   std::atomic<bool> accepting_{true};
   std::atomic<bool> cancelling_{false};
   std::atomic<bool> joined_{false};
-  mutable std::mutex state_mutex_;  // guards inflight_, unprocessed_, counters_
-  std::vector<std::pair<std::string, std::shared_ptr<Deadline>>> inflight_;
+  mutable std::mutex state_mutex_;  // guards inflight_, unprocessed_, counters_,
+                                    // and Shard::wedged_sessions
+  std::vector<Inflight> inflight_;
   std::vector<PlanningRequest> unprocessed_;
   Counters counters_;
   std::mutex shutdown_mutex_;  // serializes shutdown() callers
+
+  // Shared stop signal of the probe and watchdog threads.
+  std::mutex background_mutex_;
+  std::condition_variable background_cv_;
+  bool background_stop_ = false;
+  std::thread probe_thread_;
+  std::thread watchdog_thread_;
 
   // Retry scheduler: a dedicated thread sleeps until the earliest due ticket
   // and feeds it back into its shard's queue.
@@ -247,7 +336,7 @@ class PlannerService {
     Ticket ticket;
     int shard_index = 0;
   };
-  std::mutex retry_mutex_;  // guards retry_heap_, retry_stop_, retry_rng_
+  mutable std::mutex retry_mutex_;  // guards retry_heap_, retry_stop_, retry_rng_
   std::condition_variable retry_cv_;
   std::vector<PendingRetry> retry_heap_;  // min-heap by due
   bool retry_stop_ = false;

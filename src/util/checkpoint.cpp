@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/expect.hpp"
+#include "util/io.hpp"
 
 namespace nptsn {
 namespace {
@@ -44,38 +45,47 @@ std::uint64_t load_le64(const std::uint8_t* in) {
 [[noreturn]] void fail(const std::string& what) { throw CheckpointError(what); }
 
 // Writes the whole buffer to a fresh file and fsyncs it to stable storage.
+// All I/O goes through the injectable layer (util/io.hpp) so the fault soak
+// can drive every error branch, including the deferred-error close.
 void write_file_synced(const std::string& path, const std::vector<std::uint8_t>& bytes) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = io::open("checkpoint.open", path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) fail("cannot open " + path + " for writing: " + std::strerror(errno));
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      ::unlink(path.c_str());
-      fail("write to " + path + " failed: " + std::strerror(err));
-    }
-    off += static_cast<std::size_t>(n);
+  if (const int err = io::write_all("checkpoint.write", fd, bytes.data(), bytes.size());
+      err != 0) {
+    io::close("checkpoint.close", fd);
+    ::unlink(path.c_str());
+    fail("write to " + path + " failed: " + std::strerror(err));
   }
-  if (::fsync(fd) != 0) {
+  if (io::fsync("checkpoint.fsync", fd) != 0) {
     const int err = errno;
-    ::close(fd);
+    io::close("checkpoint.close", fd);
     ::unlink(path.c_str());
     fail("fsync of " + path + " failed: " + std::strerror(err));
   }
-  ::close(fd);
+  if (io::close("checkpoint.close", fd) != 0) {
+    // close() can surface deferred write errors; since every byte above was
+    // already fsynced this is unexpected enough to treat as a failed write.
+    const int err = errno;
+    ::unlink(path.c_str());
+    fail("close of " + path + " failed: " + std::strerror(err));
+  }
 }
 
 // fsync the directory containing `path` so renames within it are durable.
-void sync_parent_dir(const std::string& path) {
+// Returns 0 or the errno of the failed fsync; a directory that cannot be
+// opened stays best-effort (some filesystems refuse directory fds), but a
+// FAILED fsync on an opened directory is a real durability loss and is
+// reported, not swallowed.
+int sync_parent_dir(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;  // best effort; the data files themselves are synced
-  ::fsync(fd);
+  const int fd = io::open("checkpoint.dir.open", dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return 0;  // best effort; the data files themselves are synced
+  int err = 0;
+  if (io::fsync("checkpoint.dir.fsync", fd) != 0) err = errno;
   ::close(fd);
+  return err;
 }
 
 bool file_exists(const std::string& path) {
@@ -206,26 +216,33 @@ void save_checkpoint_file(const std::string& path, std::uint32_t payload_version
   // durable until the parent directory is synced: a power loss here could
   // otherwise surface as a complete-looking tmp file whose data never made
   // it, or no tmp file at all, depending on journal replay order.
-  sync_parent_dir(tmp);
+  if (const int err = sync_parent_dir(tmp); err != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot sync directory of " + tmp + ": " + std::strerror(err));
+  }
   if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterTmpWrite, tmp);
 
   // Keep one older generation around: if the new file turns out corrupt on
   // disk, load_checkpoint_with_fallback can still recover from <path>.1.
   if (file_exists(path)) {
-    if (::rename(path.c_str(), (path + ".1").c_str()) != 0) {
+    if (io::rename("checkpoint.rename", path.c_str(), (path + ".1").c_str()) != 0) {
       fail("cannot rotate " + path + ": " + std::strerror(errno));
     }
     // Make the rotation durable before the final publish rename: a crash
     // between the two renames must leave <path>.1 (the fallback the loader
     // depends on) actually on disk, not just in the page cache.
-    sync_parent_dir(path);
+    if (const int err = sync_parent_dir(path); err != 0) {
+      fail("cannot sync directory of " + path + ": " + std::strerror(err));
+    }
   }
   if (g_write_hook) g_write_hook(CheckpointWriteStage::kAfterRotate, tmp);
 
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (io::rename("checkpoint.rename", tmp.c_str(), path.c_str()) != 0) {
     fail("cannot publish " + tmp + ": " + std::strerror(errno));
   }
-  sync_parent_dir(path);
+  if (const int err = sync_parent_dir(path); err != 0) {
+    fail("cannot sync directory of " + path + ": " + std::strerror(err));
+  }
 }
 
 std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,

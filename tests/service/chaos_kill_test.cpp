@@ -48,10 +48,12 @@ struct RunResult {
   std::string output;    // combined stdout+stderr
 };
 
-// fork/exec the serve daemon, optionally with NPTSN_CRASH_POINT planted, and
-// optionally SIGKILLing it from outside after `kill_after_ms`.
+// fork/exec the serve daemon, optionally with NPTSN_CRASH_POINT and/or
+// NPTSN_IO_FAULT planted, and optionally signalling it from outside after
+// `signal_after_ms` (SIGKILL for the chaos kills; SIGUSR1 for the stats dump).
 RunResult run_serve(const std::vector<std::string>& args, const std::string& crash_point,
-                    int kill_after_ms = 0) {
+                    int signal_after_ms = 0, int signal_to_send = SIGKILL,
+                    const std::string& io_fault = "") {
   static int run_counter = 0;
   const std::string out_path =
       ::testing::TempDir() + "nptsn_chaos_out_" + std::to_string(run_counter++) + ".log";
@@ -69,6 +71,11 @@ RunResult run_serve(const std::vector<std::string>& args, const std::string& cra
     } else {
       ::setenv("NPTSN_CRASH_POINT", crash_point.c_str(), 1);
     }
+    if (io_fault.empty()) {
+      ::unsetenv("NPTSN_IO_FAULT");
+    } else {
+      ::setenv("NPTSN_IO_FAULT", io_fault.c_str(), 1);
+    }
     std::vector<char*> argv;
     argv.push_back(const_cast<char*>(NPTSN_SERVE_BIN));
     for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
@@ -77,9 +84,9 @@ RunResult run_serve(const std::vector<std::string>& args, const std::string& cra
     ::_exit(127);
   }
 
-  if (kill_after_ms > 0) {
-    ::usleep(static_cast<useconds_t>(kill_after_ms) * 1000);
-    ::kill(pid, SIGKILL);
+  if (signal_after_ms > 0) {
+    ::usleep(static_cast<useconds_t>(signal_after_ms) * 1000);
+    ::kill(pid, signal_to_send);
   }
   int status = 0;
   ::waitpid(pid, &status, 0);
@@ -179,7 +186,7 @@ TEST(ChaosKill, ExternalSigkillMidBurstRecoversEveryRequest) {
                                          "--seed",    "7",          "gen:11:4:2",
                                          "gen:12:4:2", "gen:13:4:2", "gen:14:4:2"};
 
-  const RunResult killed = run_serve(args, "", /*kill_after_ms=*/300);
+  const RunResult killed = run_serve(args, "", /*signal_after_ms=*/300);
   if (!killed.exited) {
     EXPECT_EQ(killed.term_signal, SIGKILL);
   }
@@ -192,6 +199,71 @@ TEST(ChaosKill, ExternalSigkillMidBurstRecoversEveryRequest) {
       << "exit " << recovered.exit_code << "\n"
       << recovered.output;
   audit_journal(dir, 4, recovered.output);
+  std::filesystem::remove_all(dir);
+}
+
+// Environmental-fault composition (DESIGN.md §15): the REAL daemon runs with
+// an I/O fault schedule armed from NPTSN_IO_FAULT — the same grammar the CI
+// fault-soak job uses. The contract: the process NEVER dies of storage
+// trouble (it degrades, sheds, or retries), and a heal run over the same
+// journal converges to every request answered exactly once.
+TEST(ChaosKill, EnvironmentalFaultsNeverKillTheDaemon) {
+  const std::vector<std::string> faults = {
+      "journal.append.fsync:EIO@1x2",       // transient hiccup: retried through
+      "journal.append.write:EINTR@1x32",    // signal storm: absorbed
+      "journal.append.write:SHORT@1x8",     // partial writes: looped over
+      "journal.append.fsync:ENOSPC@2x-1",   // disk fills mid-burst: degrade
+      "journal.*:ENOSPC@3x-1",              // disk fills anywhere: degrade
+  };
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::string dir = fresh_dir("iofault_" + std::to_string(i));
+    SCOPED_TRACE(faults[i]);
+
+    const RunResult faulted = run_serve(serve_args(dir), "", 0, SIGKILL, faults[i]);
+    // The whole point: a sick disk is an operational state, not a crash.
+    ASSERT_TRUE(faulted.exited) << "daemon died of signal " << faulted.term_signal
+                                << " under " << faults[i] << "\n"
+                                << faulted.output;
+    EXPECT_TRUE(faulted.exit_code == 0 || faulted.exit_code == 1)
+        << "exit " << faulted.exit_code << "\n"
+        << faulted.output;
+    EXPECT_NE(faulted.output.find("fault(s) armed from NPTSN_IO_FAULT"),
+              std::string::npos)
+        << faulted.output;
+
+    // Heal and restart with the same command line: shed requests run fresh,
+    // surviving ones replay — either way, two answers, each exactly once.
+    const RunResult healed = run_serve(serve_args(dir), "");
+    ASSERT_TRUE(healed.exited) << "heal run died";
+    EXPECT_TRUE(healed.exit_code == 0 || healed.exit_code == 1)
+        << "exit " << healed.exit_code << "\n"
+        << healed.output;
+    audit_journal(dir, 2, healed.output);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// Satellite: SIGUSR1 makes the running daemon dump its operational stats —
+// shard health, fault counters, journal segments — without disturbing the
+// burst in flight.
+TEST(ChaosKill, SigUsr1DumpsStatsWithoutDisruption) {
+  const std::string dir = fresh_dir("sigusr1");
+  const std::vector<std::string> args = {"--journal", dir,          "--epochs",
+                                         "4",         "--steps",    "64",
+                                         "--seed",    "7",          "gen:11:4:2",
+                                         "gen:12:4:2", "gen:13:4:2", "gen:14:4:2"};
+
+  const RunResult result = run_serve(args, "", /*signal_after_ms=*/100, SIGUSR1);
+  ASSERT_TRUE(result.exited) << "daemon died of signal " << result.term_signal;
+  EXPECT_TRUE(result.exit_code == 0 || result.exit_code == 1)
+      << "exit " << result.exit_code << "\n"
+      << result.output;
+  EXPECT_NE(result.output.find("=== nptsn_serve stats ==="), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("=== end stats ==="), std::string::npos);
+  EXPECT_NE(result.output.find("journal:"), std::string::npos);
+  // The burst itself was not disturbed: all four requests answered once.
+  audit_journal(dir, 4, result.output);
   std::filesystem::remove_all(dir);
 }
 

@@ -52,6 +52,7 @@
 #include "scenarios/orion.hpp"
 #include "service/crash_point.hpp"
 #include "service/service.hpp"
+#include "util/io.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -64,8 +65,77 @@ using namespace nptsn;
 constexpr std::uint32_t kPendingRequestVersion = 2;
 
 std::atomic<int> g_signal{0};
+std::atomic<bool> g_dump_stats{false};
 
 void on_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void on_sigusr1(int) { g_dump_stats.store(true, std::memory_order_relaxed); }
+
+// SIGUSR1 handler's deferred work: a point-in-time operational snapshot on
+// stderr — queue depths, shard quarantine state, degraded-mode durability,
+// watchdog counters, journal segments. Safe to call any time the service is
+// alive; costs a few mutex acquisitions.
+void dump_stats(const PlannerService& service) {
+  const PlannerService::ServiceStats stats = service.stats();
+  const PlannerService::Counters& c = stats.counters;
+  std::fprintf(stderr, "=== nptsn_serve stats ===\n");
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const PlannerService::ShardSnapshot& shard = stats.shards[i];
+    std::string notes;
+    if (shard.quarantined) notes += " QUARANTINED";
+    if (shard.wedged_sessions > 0) {
+      notes += " wedged=" + std::to_string(shard.wedged_sessions);
+    }
+    std::fprintf(stderr, "shard %zu: queue_depth=%zu%s\n", i, shard.queue_depth,
+                 notes.c_str());
+  }
+  std::fprintf(stderr, "inflight=%zu retry_backlog=%zu\n", stats.inflight,
+               stats.retry_backlog);
+  std::fprintf(stderr,
+               "counters: submitted=%lld planned=%lld infeasible=%lld "
+               "rejected=%lld faulted=%lld cancelled=%lld overloaded=%lld "
+               "retried=%lld recovered=%lld replayed=%lld\n",
+               static_cast<long long>(c.submitted), static_cast<long long>(c.planned),
+               static_cast<long long>(c.infeasible), static_cast<long long>(c.rejected),
+               static_cast<long long>(c.faulted), static_cast<long long>(c.cancelled),
+               static_cast<long long>(c.overloaded), static_cast<long long>(c.retried),
+               static_cast<long long>(c.recovered), static_cast<long long>(c.replayed));
+  std::fprintf(stderr,
+               "faults: degraded_sheds=%lld non_durable=%lld rearmed=%lld "
+               "watchdog_cancels=%lld wedged=%lld unwedged=%lld rerouted=%lld\n",
+               static_cast<long long>(c.degraded), static_cast<long long>(c.non_durable),
+               static_cast<long long>(c.rearmed),
+               static_cast<long long>(c.watchdog_cancels),
+               static_cast<long long>(c.wedged), static_cast<long long>(c.unwedged),
+               static_cast<long long>(c.rerouted));
+  if (stats.journal_configured) {
+    const RequestJournal::Stats& j = stats.journal;
+    std::fprintf(stderr,
+                 "journal: %s%s%s appends=%lld rotations=%lld compactions=%lld "
+                 "live=%lld undelivered=%lld io_retries=%lld abandoned=%lld "
+                 "close_errors=%lld degraded_entered=%lld rearms=%lld "
+                 "reconciled=%lld\n",
+                 stats.durable ? "DURABLE" : "DEGRADED",
+                 stats.durable ? "" : ": ",
+                 stats.durable ? "" : stats.degraded_reason.c_str(),
+                 static_cast<long long>(j.appends), static_cast<long long>(j.rotations),
+                 static_cast<long long>(j.compactions), static_cast<long long>(j.live),
+                 static_cast<long long>(j.undelivered),
+                 static_cast<long long>(j.io_retries),
+                 static_cast<long long>(j.segments_abandoned),
+                 static_cast<long long>(j.close_errors),
+                 static_cast<long long>(j.degraded_entered),
+                 static_cast<long long>(j.rearms), static_cast<long long>(j.reconciled));
+    for (const auto& [path, size] : stats.journal_segments) {
+      std::fprintf(stderr, "journal segment: %s (%llu bytes)\n", path.c_str(),
+                   static_cast<unsigned long long>(size));
+    }
+  } else {
+    std::fprintf(stderr, "journal: not configured\n");
+  }
+  std::fprintf(stderr, "=== end stats ===\n");
+  std::fflush(stderr);
+}
 
 void usage(const char* argv0) {
   std::fprintf(
@@ -106,7 +176,13 @@ void usage(const char* argv0) {
       "  --workers-per-session N  rollout workers inside a session\n"
       "  --audit              audit the final plan (certificate in-band)\n"
       "  --session-wall SEC   per-session wall budget (0 = unlimited)\n"
-      "  --repeat N           submit every spec N times (ids get -rK)\n",
+      "  --watchdog-grace G   cancel sessions overrunning the wall budget by\n"
+      "                       Gx and quarantine shards that still hang (G >= 1;\n"
+      "                       default 0 = off; needs --session-wall)\n"
+      "  --repeat N           submit every spec N times (ids get -rK)\n"
+      "\n"
+      "signals: SIGTERM/SIGINT cancel and persist; SIGUSR1 dumps live service\n"
+      "stats (queue depths, shard health, journal durability) to stderr.\n",
       argv0);
 }
 
@@ -320,6 +396,8 @@ int main(int argc, char** argv) {
       config.session.audit_mode = AuditMode::kFinal;
     } else if (arg == "--session-wall") {
       config.session_wall_seconds = std::atof(value());
+    } else if (arg == "--watchdog-grace") {
+      config.watchdog_grace = std::atof(value());
     } else if (arg == "--repeat") {
       repeat = std::atoi(value());
     } else if (arg == "--help" || arg == "-h") {
@@ -345,6 +423,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --max-attempts must be positive and "
                  "--admission-timeout non-negative\n");
+    return 2;
+  }
+  if (config.watchdog_grace != 0.0 &&
+      (config.watchdog_grace < 1.0 || config.session_wall_seconds <= 0.0)) {
+    std::fprintf(stderr,
+                 "error: --watchdog-grace must be >= 1 and needs --session-wall\n");
     return 2;
   }
 
@@ -374,11 +458,17 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_sigusr1);
 
   // Chaos harness hook: lets an out-of-process test plant a SIGKILL at a
   // named journal/service point inside this real daemon. Inert otherwise.
   if (arm_crash_point_from_env()) {
     std::fprintf(stderr, "crash point armed from NPTSN_CRASH_POINT\n");
+  }
+  // Fault-soak hook: deterministic I/O faults (ENOSPC, EIO, EINTR storms,
+  // short writes) against named journal/checkpoint sites. Inert otherwise.
+  if (const int armed = io::arm_io_faults_from_env(); armed > 0) {
+    std::fprintf(stderr, "%d I/O fault(s) armed from NPTSN_IO_FAULT\n", armed);
   }
 
   std::printf("nptsn_serve: %d shard(s) x %d worker(s), caches %s, %zu request(s)\n",
@@ -436,6 +526,9 @@ int main(int argc, char** argv) {
     while (!interrupted &&
            futures[i].wait_for(std::chrono::milliseconds(100)) !=
                std::future_status::ready) {
+      if (g_dump_stats.exchange(false, std::memory_order_relaxed)) {
+        dump_stats(*service);
+      }
       if (g_signal.load(std::memory_order_relaxed) != 0) {
         std::printf("signal received: cancelling in-flight sessions...\n");
         std::fflush(stdout);
@@ -466,6 +559,11 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // Honor a stats request that landed after the last future resolved.
+  if (g_dump_stats.exchange(false, std::memory_order_relaxed)) {
+    dump_stats(*service);
+  }
+
   if (!interrupted) service->shutdown(PlannerService::Shutdown::kDrain);
 
   // Persist the admitted-but-unstarted backlog so a later process can resume
@@ -489,7 +587,7 @@ int main(int argc, char** argv) {
   std::printf(
       "done: %lld submitted, %lld planned, %lld infeasible, %lld rejected, "
       "%lld faulted, %lld cancelled, %lld overloaded, %lld retried, "
-      "%lld recovered, %lld replayed\n",
+      "%lld recovered, %lld replayed, %lld degraded, %lld non-durable\n",
       static_cast<long long>(counters.submitted), static_cast<long long>(counters.planned),
       static_cast<long long>(counters.infeasible),
       static_cast<long long>(counters.rejected), static_cast<long long>(counters.faulted),
@@ -497,7 +595,9 @@ int main(int argc, char** argv) {
       static_cast<long long>(counters.overloaded),
       static_cast<long long>(counters.retried),
       static_cast<long long>(counters.recovered),
-      static_cast<long long>(counters.replayed));
+      static_cast<long long>(counters.replayed),
+      static_cast<long long>(counters.degraded),
+      static_cast<long long>(counters.non_durable));
 
   if (interrupted) return 5;
   return failures == 0 ? 0 : 1;
