@@ -16,7 +16,16 @@
 // ASIL upgrades and failed-set-covered link additions — the same exact
 // reuse the training loop sees. Output is a single JSON document on stdout.
 //
-//   micro_analyzer [--fast|--paper] [--threads N]
+// --maxord N switches to the higher-order frontier sweep (DESIGN.md §16):
+// the same recorded streams re-verified with a frontier floor of order N.
+// The sequential baseline runs the frozen scalar reference kernels; the
+// engine configs run the packed SWAR data plane. Every configuration's
+// rep-0 outcomes are folded into a digest and compared in-bench — any
+// divergence from the scalar ground truth is a nonzero exit, so the bench
+// doubles as a cross-kernel differential on the full training workload.
+//
+//   micro_analyzer [--fast|--paper] [--threads N] [--maxord N]
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -30,6 +39,7 @@
 #include "scenarios/ads.hpp"
 #include "scenarios/orion.hpp"
 #include "scenarios/scenario.hpp"
+#include "tsn/sim_kernels.hpp"
 #include "util/rng.hpp"
 
 namespace nptsn::bench {
@@ -128,10 +138,54 @@ std::vector<Topology> record_stream(const PlanningProblem& problem, int k,
   return states;
 }
 
+// Restores the process-global TSN kernel selection on scope exit, so one
+// configuration's choice cannot leak into the next pass.
+class KernelScope {
+ public:
+  explicit KernelScope(TsnKernel kernel) : saved_(tsn_kernel()) { set_tsn_kernel(kernel); }
+  ~KernelScope() { set_tsn_kernel(saved_); }
+
+ private:
+  TsnKernel saved_;
+};
+
+std::uint64_t fold64(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {  // FNV-1a over the value's bytes
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Folds every bit-identical-by-contract field of an outcome — verdict,
+// counterexample, ErrorSet, logical counters — into a running digest.
+// Physical counters (nbf_executed, cache hits, wall time) are config-specific
+// and deliberately excluded.
+std::uint64_t fold_outcome(std::uint64_t h, const AnalysisOutcome& outcome) {
+  h = fold64(h, outcome.reliable ? 1 : 0);
+  for (const NodeId v : outcome.counterexample.failed_switches) {
+    h = fold64(h, static_cast<std::uint64_t>(v));
+  }
+  for (const EdgeKey& e : outcome.counterexample.failed_links) {
+    h = fold64(h, static_cast<std::uint64_t>(e.a));
+    h = fold64(h, static_cast<std::uint64_t>(e.b));
+  }
+  for (const auto& [source, destination] : outcome.errors) {
+    h = fold64(h, static_cast<std::uint64_t>(source));
+    h = fold64(h, static_cast<std::uint64_t>(destination));
+  }
+  h = fold64(h, static_cast<std::uint64_t>(outcome.nbf_calls));
+  h = fold64(h, static_cast<std::uint64_t>(outcome.scenarios_pruned));
+  h = fold64(h, static_cast<std::uint64_t>(outcome.scenarios_skipped));
+  h = fold64(h, static_cast<std::uint64_t>(outcome.max_order));
+  return h;
+}
+
 struct PassResult {
   double seconds = 0.0;  // best-of-reps wall time for one full pass
   std::int64_t nbf_calls = 0;     // logical (sequential-equivalent) calls
   std::int64_t nbf_executed = 0;  // NBF invocations actually run
+  std::uint64_t digest = 1469598103934665603ull;  // rep-0 outcome digest
 };
 
 template <typename MakeAnalyze>
@@ -146,6 +200,7 @@ PassResult run_pass(const std::vector<Topology>& states, int reps,
       if (rep == 0) {
         result.nbf_calls += outcome.nbf_calls;
         result.nbf_executed += outcome.nbf_executed;
+        result.digest = fold_outcome(result.digest, outcome);
       }
     }
     const double seconds = watch.seconds();
@@ -185,6 +240,64 @@ std::vector<ConfigResult> bench_scenario(const std::vector<Topology>& states,
   return results;
 }
 
+// The --maxord sweep: the same stream re-verified with a frontier floor of
+// order `maxord`. The sequential baseline is the scalar reference pinned to
+// the frozen kernels; engine-scalar-serial isolates the enumeration/cache
+// gain, packed-serial adds the SWAR data plane, packed-parallel adds threads.
+std::vector<ConfigResult> bench_frontier(const std::vector<Topology>& states,
+                                         int reps, int threads, int maxord) {
+  const HeuristicRecovery nbf;
+  std::vector<ConfigResult> results;
+
+  {
+    KernelScope scope(TsnKernel::kReference);
+    FailureAnalyzer::Options options;
+    options.min_order = maxord;
+    results.push_back({"sequential", run_pass(states, reps, [&] {
+                         return [&nbf, analyzer = FailureAnalyzer(nbf, options)](
+                                    const Topology& t) { return analyzer.analyze(t); };
+                       })});
+  }
+
+  const auto engine_pass = [&](TsnKernel kernel, bool packed, int num_threads) {
+    KernelScope scope(kernel);
+    return run_pass(states, reps, [&nbf, maxord, packed, num_threads] {
+      VerificationEngine::Options options;
+      options.min_order = maxord;
+      options.packed_nbf = packed;
+      options.incremental = true;
+      options.num_threads = num_threads;
+      return [engine = std::make_shared<VerificationEngine>(nbf, options)](
+                 const Topology& t) { return engine->analyze(t); };
+    });
+  };
+  results.push_back(
+      {"engine-scalar-serial", engine_pass(TsnKernel::kReference, false, 1)});
+  results.push_back({"packed-serial", engine_pass(TsnKernel::kFast, true, 1)});
+  results.push_back({"packed-parallel", engine_pass(TsnKernel::kFast, true, threads)});
+  return results;
+}
+
+// Every configuration replays the identical stream, so the rep-0 outcome
+// digests must agree bit-for-bit. A mismatch is a kernel/enumeration bug,
+// not a perf regression — report it loudly and fail the run.
+bool check_digests(const char* scenario, const std::vector<ConfigResult>& results) {
+  bool ok = true;
+  for (const ConfigResult& r : results) {
+    if (r.pass.digest != results.front().pass.digest) {
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH: %s/%s = %016llx, %s = %016llx — outcomes "
+                   "diverged from the sequential reference\n",
+                   scenario, r.name.c_str(),
+                   static_cast<unsigned long long>(r.pass.digest),
+                   results.front().name.c_str(),
+                   static_cast<unsigned long long>(results.front().pass.digest));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 void print_scenario_json(const char* name, std::size_t num_states,
                          const std::vector<ConfigResult>& results, bool last) {
   const double base = results.front().pass.seconds;
@@ -196,10 +309,12 @@ void print_scenario_json(const char* name, std::size_t num_states,
     const double speedup = r.pass.seconds > 0.0 ? base / r.pass.seconds : 0.0;
     std::printf("        {\"name\": \"%s\", \"seconds\": %.6f, "
                 "\"nbf_calls\": %lld, \"nbf_executed\": %lld, "
+                "\"digest\": \"%016llx\", "
                 "\"speedup_vs_sequential\": %.3f}%s\n",
                 r.name.c_str(), r.pass.seconds,
                 static_cast<long long>(r.pass.nbf_calls),
-                static_cast<long long>(r.pass.nbf_executed), speedup,
+                static_cast<long long>(r.pass.nbf_executed),
+                static_cast<unsigned long long>(r.pass.digest), speedup,
                 i + 1 < results.size() ? "," : "");
   }
   std::printf("      ]\n    }%s\n", last ? "" : ",");
@@ -209,10 +324,16 @@ int run(int argc, char** argv) {
   const Mode mode = Mode::parse(argc, argv);
   int threads = static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
+  int maxord = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) threads = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--maxord") == 0) maxord = std::atoi(argv[i + 1]);
   }
   if (threads < 1) threads = 1;
+  if (maxord < 0 || maxord > 8) {
+    std::fprintf(stderr, "error: --maxord must be in [0, 8]\n");
+    return 2;
+  }
 
   // Best-of-reps over a ~100-episode stream: single fast-mode passes are a
   // few ms, too short to time reliably on a loaded machine.
@@ -235,16 +356,25 @@ int run(int argc, char** argv) {
   const auto orion_states =
       record_stream(orion_problem, k, episodes, mode.paper ? 48 : 24, /*seed=*/2);
 
-  const auto ads_results = bench_scenario(ads_states, reps, threads);
-  const auto orion_results = bench_scenario(orion_states, reps, threads);
+  const auto ads_results = maxord > 0 ? bench_frontier(ads_states, reps, threads, maxord)
+                                      : bench_scenario(ads_states, reps, threads);
+  const auto orion_results = maxord > 0
+                                 ? bench_frontier(orion_states, reps, threads, maxord)
+                                 : bench_scenario(orion_states, reps, threads);
 
-  std::printf("{\n  \"bench\": \"micro_analyzer\",\n  \"mode\": \"%s\",\n"
-              "  \"threads\": %d,\n  \"reps\": %d,\n  \"scenarios\": [\n",
-              mode.paper ? "paper" : "fast", threads, reps);
+  std::printf("{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n",
+              maxord > 0 ? "micro_analyzer_maxord" : "micro_analyzer",
+              mode.paper ? "paper" : "fast");
+  if (maxord > 0) std::printf("  \"maxord\": %d,\n", maxord);
+  std::printf("  \"threads\": %d,\n  \"reps\": %d,\n  \"scenarios\": [\n", threads,
+              reps);
   print_scenario_json("ADS", ads_states.size(), ads_results, /*last=*/false);
   print_scenario_json("ORION", orion_states.size(), orion_results, /*last=*/true);
   std::printf("  ]\n}\n");
-  return 0;
+
+  const bool digests_ok =
+      check_digests("ADS", ads_results) & check_digests("ORION", orion_results);
+  return digests_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -165,6 +165,9 @@ class Audit {
         break;
       }
     }
+    if (cert_.min_order < 0 || cert_.min_order > 4096) {
+      malformed("implausible min_order");
+    }
     const std::size_t num_flows = problem_.flows.size();
     for (std::size_t i = 0; i < cert_.proofs.size() && ok; ++i) {
       const ScenarioProof& proof = cert_.proofs[i];
@@ -173,6 +176,10 @@ class Audit {
           std::ranges::adjacent_find(sw) != sw.end() ||
           !std::ranges::all_of(sw, [&](NodeId v) { return node_in_range(v); })) {
         malformed("proof " + std::to_string(i) + ": failed-switch set malformed");
+      }
+      if (!cert_.include_links && !proof.scenario.failed_links.empty()) {
+        malformed("proof " + std::to_string(i) +
+                  ": mixed scenario in a switch-only certificate");
       }
       if (!std::ranges::all_of(proof.scenario.failed_links, [&](const EdgeKey& e) {
             return std::ranges::binary_search(cert_.links, e);
@@ -309,16 +316,27 @@ class Audit {
     return maxord;
   }
 
+  double link_prob(const EdgeKey& e) const {
+    return problem_.library.failure_prob(topology_->link_asil(e.a, e.b));
+  }
+
   void check_max_order() {
     std::vector<double> probs;
     for (const NodeId v : candidates()) {
       probs.push_back(problem_.library.failure_prob(topology_->node_asil(v)));
     }
+    if (cert_.include_links) {
+      for (const EdgeKey& e : cert_.links) probs.push_back(link_prob(e));
+    }
     std::ranges::sort(probs, std::greater<>());
-    const int maxord = recompute_max_order(probs);
-    if (maxord != cert_.max_order) {
+    // The claimed depth is the probability-derived maxord deepened by the
+    // certificate's frontier floor (FrontierOptions semantics).
+    const int n = static_cast<int>(probs.size());
+    const int effective =
+        std::max(recompute_max_order(probs), std::min(cert_.min_order, n));
+    if (effective != cert_.max_order) {
       fail(AuditCode::kMaxOrderMismatch,
-           "recomputed maxord " + std::to_string(maxord) + " != claimed " +
+           "recomputed maxord " + std::to_string(effective) + " != claimed " +
                std::to_string(cert_.max_order));
     }
   }
@@ -334,7 +352,10 @@ class Audit {
                  std::to_string(proof.probability) + " for " + describe(proof.scenario),
              proof.scenario);
       }
-      if (recomputed < problem_.reliability_goal) {
+      if (recomputed < problem_.reliability_goal &&
+          proof.scenario.order() > cert_.min_order) {
+        // Scenarios at or below the frontier floor are certified regardless
+        // of probability; deeper ones must clear the goal.
         fail(AuditCode::kSpuriousScenario,
              "scenario below the non-safe frontier (probability " +
                  std::to_string(recomputed) + " < R)",
@@ -344,20 +365,20 @@ class Audit {
   }
 
   // --- stage 9: completeness of the scenario set ---------------------------
-  // Sorted view over the certificate's proof scenarios; `matched` marks the
-  // ones the independent re-enumeration produced.
+  // Sorted view over the certificate's proofs; `matched` marks the ones the
+  // independent re-enumeration produced.
   struct ProofIndex {
-    std::vector<const FailureScenario*> sorted;
+    std::vector<const ScenarioProof*> sorted;
     std::vector<bool> matched;
 
     int find(const FailureScenario& scenario) const {
       const auto it = std::ranges::lower_bound(
-          sorted, &scenario,
-          [](const FailureScenario* a, const FailureScenario* b) {
-            return scenario_less(*a, *b);
-          });
+          sorted, scenario, [](const FailureScenario& a, const FailureScenario& b) {
+            return scenario_less(a, b);
+          },
+          [](const ScenarioProof* p) -> const FailureScenario& { return p->scenario; });
       if (it == sorted.end()) return -1;
-      const FailureScenario& found = **it;
+      const FailureScenario& found = (*it)->scenario;
       if (found.failed_switches != scenario.failed_switches ||
           found.failed_links != scenario.failed_links) {
         return -1;
@@ -366,17 +387,29 @@ class Audit {
     }
   };
 
+  // Descending-sorted prefix products: prefix[k] = product of the k most
+  // failure-prone entries. prefix[0] == 1. Used for per-shard probability
+  // bounds — an (j links, s switches) shard whose best-case product is
+  // already below R cannot contain a non-safe scenario.
+  static std::vector<double> desc_prefix(std::vector<double> probs) {
+    std::ranges::sort(probs, std::greater<>());
+    std::vector<double> prefix{1.0};
+    prefix.reserve(probs.size() + 1);
+    for (const double p : probs) prefix.push_back(prefix.back() * p);
+    return prefix;
+  }
+
   void check_completeness() {
     ProofIndex index;
     index.sorted.reserve(cert_.proofs.size());
-    for (const ScenarioProof& proof : cert_.proofs) index.sorted.push_back(&proof.scenario);
-    std::ranges::sort(index.sorted, [](const FailureScenario* a, const FailureScenario* b) {
-      return scenario_less(*a, *b);
+    for (const ScenarioProof& proof : cert_.proofs) index.sorted.push_back(&proof);
+    std::ranges::sort(index.sorted, [](const ScenarioProof* a, const ScenarioProof* b) {
+      return scenario_less(a->scenario, b->scenario);
     });
     for (std::size_t i = 0; i + 1 < index.sorted.size(); ++i) {
-      if (!scenario_less(*index.sorted[i], *index.sorted[i + 1])) {
+      if (!scenario_less(index.sorted[i]->scenario, index.sorted[i + 1]->scenario)) {
         fail(AuditCode::kMalformedCertificate, "duplicate proof scenarios",
-             *index.sorted[i]);
+             index.sorted[i]->scenario);
         return;
       }
     }
@@ -387,83 +420,188 @@ class Audit {
       return problem_.library.failure_prob(topology_->node_asil(v));
     };
 
-    // 9a — pruning-disabled Algorithm 3 re-enumeration (switch-only, Eq. 6
-    // reduction assumed): the exact definition of the proof set. Always runs;
-    // it is the same size as the certificate itself.
-    {
-      std::vector<double> probs;
-      for (const NodeId v : nodes) probs.push_back(node_prob(v));
-      std::ranges::sort(probs, std::greater<>());
-      const int maxord = recompute_max_order(probs);
-      const int n = static_cast<int>(nodes.size());
-      for (int order = 0; order <= maxord; ++order) {
-        const bool completed =
-            for_each_combination(n, order, [&](const std::vector<int>& idx) {
-              if (options_.deadline) options_.deadline->poll();
-              FailureScenario scenario;
-              double prob = 1.0;
-              for (const int i : idx) {
-                const NodeId v = nodes[static_cast<std::size_t>(i)];
-                scenario.failed_switches.push_back(v);
-                prob *= node_prob(v);
-              }
-              if (prob < problem_.reliability_goal) return true;  // safe fault
-              ++report_.scenarios_enumerated;
-              const int at = index.find(scenario);
-              if (at < 0) {
-                fail(AuditCode::kMissingScenario,
-                     "non-safe scenario " + describe(scenario) +
-                         " (probability " + std::to_string(prob) +
-                         ") has no proof in the certificate",
-                     std::move(scenario));
-                return !failures_full();
-              }
-              index.matched[static_cast<std::size_t>(at)] = true;
-              return true;
-            });
-        if (!completed) return;  // failure budget exhausted
-      }
-      for (std::size_t i = 0; i < index.sorted.size(); ++i) {
-        if (!index.matched[i]) {
-          fail(AuditCode::kSpuriousScenario,
-               "proof scenario " + describe(*index.sorted[i]) +
-                   " is outside the re-enumerated non-safe frontier",
-               *index.sorted[i]);
-          if (failures_full()) return;
-        }
+    // 9a — pruning-disabled re-enumeration of the certificate's own frontier:
+    // the exact definition of the proof set. Always runs; with per-shard
+    // probability bounds it stays the same size as the certificate itself.
+    if (cert_.include_links) {
+      if (!mixed_completeness(index, nodes, node_prob)) return;
+      report_.notes.push_back(
+          "mixed link/switch sweep subsumed: the certificate's frontier "
+          "includes link failures (every mixed non-safe scenario carries its "
+          "own proof and is replayed directly)");
+    } else {
+      if (!switch_completeness(index, nodes, node_prob)) return;
+    }
+    for (std::size_t i = 0; i < index.sorted.size(); ++i) {
+      if (!index.matched[i]) {
+        fail(AuditCode::kSpuriousScenario,
+             "proof scenario " + describe(index.sorted[i]->scenario) +
+                 " is outside the re-enumerated non-safe frontier",
+             index.sorted[i]->scenario);
+        if (failures_full()) return;
       }
     }
 
-    // 9b — exhaustive mixed link/switch sweep: every scenario mixing link
-    // failures must have its Eq. 6 switch projection proven. Wall-clock
-    // guarded; abandoning it degrades to the 9a coverage, never to a hang.
-    mixed_sweep(index, nodes, node_prob);
+    // 9b — exhaustive mixed link/switch sweep for switch-only certificates:
+    // every scenario mixing link failures must have its Eq. 6 switch
+    // projection proven. Wall-clock guarded; abandoning it degrades to the
+    // 9a coverage, never to a hang. Subsumed for include_links certificates
+    // (their frontier certifies mixed scenarios directly).
+    if (!cert_.include_links) mixed_sweep(index, nodes, node_prob);
+  }
+
+  // Switch-only 9a: Algorithm 3's frontier deepened by the v2 floor.
+  // Returns false when the failure budget is exhausted.
+  template <typename NodeProb>
+  bool switch_completeness(ProofIndex& index, const std::vector<NodeId>& nodes,
+                           NodeProb node_prob) {
+    std::vector<double> probs;
+    for (const NodeId v : nodes) probs.push_back(node_prob(v));
+    std::ranges::sort(probs, std::greater<>());
+    const int n = static_cast<int>(nodes.size());
+    const int maxord =
+        std::max(recompute_max_order(probs), std::min(cert_.min_order, n));
+    for (int order = 0; order <= maxord; ++order) {
+      const bool completed =
+          for_each_combination(n, order, [&](const std::vector<int>& idx) {
+            if (options_.deadline) options_.deadline->poll();
+            FailureScenario scenario;
+            double prob = 1.0;
+            for (const int i : idx) {
+              const NodeId v = nodes[static_cast<std::size_t>(i)];
+              scenario.failed_switches.push_back(v);
+              prob *= node_prob(v);
+            }
+            if (order > cert_.min_order && prob < problem_.reliability_goal) {
+              return true;  // safe fault above the frontier floor
+            }
+            ++report_.scenarios_enumerated;
+            const int at = index.find(scenario);
+            if (at < 0) {
+              fail(AuditCode::kMissingScenario,
+                   "non-safe scenario " + describe(scenario) +
+                       " (probability " + std::to_string(prob) +
+                       ") has no proof in the certificate",
+                   std::move(scenario));
+              return !failures_full();
+            }
+            index.matched[static_cast<std::size_t>(at)] = true;
+            return true;
+          });
+      if (!completed) return false;  // failure budget exhausted
+    }
+    return true;
+  }
+
+  // Mixed 9a for include_links certificates: order-sharded independent
+  // re-enumeration. Each order k splits into (j failed links, k - j failed
+  // switches) shards; a shard whose best-case probability product is below R
+  // is skipped wholesale (above the floor), so the audit enumerates about as
+  // much as one verification pass even at maxord >= 2. Deliberately NOT the
+  // engine's combined-component enumeration — membership diffing is order-
+  // insensitive and this code shares nothing with the searcher.
+  // Returns false when the failure budget is exhausted.
+  template <typename NodeProb>
+  bool mixed_completeness(ProofIndex& index, const std::vector<NodeId>& nodes,
+                          NodeProb node_prob) {
+    const int num_nodes = static_cast<int>(nodes.size());
+    const int num_links = static_cast<int>(cert_.links.size());
+    std::vector<double> node_probs, link_probs;
+    for (const NodeId v : nodes) node_probs.push_back(node_prob(v));
+    for (const EdgeKey& e : cert_.links) link_probs.push_back(link_prob(e));
+    const std::vector<double> node_bound = desc_prefix(node_probs);
+    const std::vector<double> link_bound = desc_prefix(link_probs);
+
+    std::vector<double> all = node_probs;
+    all.insert(all.end(), link_probs.begin(), link_probs.end());
+    std::ranges::sort(all, std::greater<>());
+    const int n = num_nodes + num_links;
+    const int maxord =
+        std::max(recompute_max_order(all), std::min(cert_.min_order, n));
+
+    const double goal = problem_.reliability_goal;
+    for (int k = 0; k <= maxord; ++k) {
+      for (int j = std::max(0, k - num_nodes); j <= std::min(k, num_links); ++j) {
+        const int s = k - j;
+        if (k > cert_.min_order &&
+            link_bound[static_cast<std::size_t>(j)] *
+                    node_bound[static_cast<std::size_t>(s)] <
+                goal) {
+          continue;  // whole shard is safe faults
+        }
+        bool budget_exhausted = false;
+        for_each_combination(num_links, j, [&](const std::vector<int>& lidx) {
+          double link_product = 1.0;
+          for (const int i : lidx) link_product *= link_probs[static_cast<std::size_t>(i)];
+          const bool inner =
+              for_each_combination(num_nodes, s, [&](const std::vector<int>& nidx) {
+                if (options_.deadline) options_.deadline->poll();
+                FailureScenario scenario;
+                double prob = link_product;
+                for (const int i : nidx) {
+                  scenario.failed_switches.push_back(nodes[static_cast<std::size_t>(i)]);
+                  prob *= node_probs[static_cast<std::size_t>(i)];
+                }
+                for (const int i : lidx) {
+                  scenario.failed_links.push_back(cert_.links[static_cast<std::size_t>(i)]);
+                }
+                if (k > cert_.min_order && prob < goal) return true;  // safe fault
+                ++report_.scenarios_enumerated;
+                const int at = index.find(scenario);
+                if (at < 0) {
+                  fail(AuditCode::kMissingScenario,
+                       "non-safe scenario " + describe(scenario) + " (probability " +
+                           std::to_string(prob) + ") has no proof in the certificate",
+                       std::move(scenario));
+                  return !failures_full();
+                }
+                index.matched[static_cast<std::size_t>(at)] = true;
+                return true;
+              });
+          if (!inner) budget_exhausted = true;
+          return inner;
+        });
+        if (budget_exhausted) return false;
+      }
+    }
+    return true;
   }
 
   template <typename NodeProb>
   void mixed_sweep(const ProofIndex& index, const std::vector<NodeId>& nodes,
                    NodeProb node_prob) {
-    struct Component {
-      bool is_link;
-      NodeId node;
-      EdgeKey link{0, 0};
-      double prob;
-    };
-    std::vector<Component> components;
-    for (const NodeId v : nodes) components.push_back({false, v, EdgeKey{0, 0}, node_prob(v)});
-    for (const EdgeKey& e : cert_.links) {
-      components.push_back({true, 0, e,
-                            problem_.library.failure_prob(topology_->link_asil(e.a, e.b))});
-    }
-    const int n = static_cast<int>(components.size());
-    std::vector<double> probs;
-    for (const Component& c : components) probs.push_back(c.prob);
-    std::ranges::sort(probs, std::greater<>());
-    const int mixed_maxord = recompute_max_order(probs);
+    const int num_nodes = static_cast<int>(nodes.size());
+    const int num_links = static_cast<int>(cert_.links.size());
+    std::vector<double> node_probs, link_probs;
+    for (const NodeId v : nodes) node_probs.push_back(node_prob(v));
+    for (const EdgeKey& e : cert_.links) link_probs.push_back(link_prob(e));
+    const std::vector<double> node_bound = desc_prefix(node_probs);
+    const std::vector<double> link_bound = desc_prefix(link_probs);
 
+    std::vector<double> all = node_probs;
+    all.insert(all.end(), link_probs.begin(), link_probs.end());
+    std::ranges::sort(all, std::greater<>());
+    const int mixed_maxord = recompute_max_order(all);
+
+    // Size the sweep with the same per-shard bounds it will enumerate under:
+    // only shards with at least one failed link whose best-case probability
+    // clears R count. This keeps genuinely prunable instances exhaustive
+    // instead of falling back on a worst-case estimate.
     std::uint64_t estimated = 0;
-    for (int k = 1; k <= mixed_maxord && k <= n; ++k) {
-      estimated += binomial(n, k);
+    for (int k = 1; k <= mixed_maxord; ++k) {
+      for (int j = std::max(1, k - num_nodes); j <= std::min(k, num_links); ++j) {
+        const int s = k - j;
+        if (s > num_nodes) continue;
+        if (link_bound[static_cast<std::size_t>(j)] *
+                node_bound[static_cast<std::size_t>(s)] <
+            problem_.reliability_goal) {
+          continue;
+        }
+        estimated += binomial(num_links, j) * binomial(num_nodes, s);
+        if (estimated > static_cast<std::uint64_t>(options_.exhaustive_scenario_limit)) {
+          break;
+        }
+      }
       if (estimated > static_cast<std::uint64_t>(options_.exhaustive_scenario_limit)) break;
     }
     if (estimated > static_cast<std::uint64_t>(options_.exhaustive_scenario_limit)) {
@@ -471,80 +609,124 @@ class Audit {
       report_.notes.push_back(
           "exhaustive mixed link/switch sweep skipped (more than " +
           std::to_string(options_.exhaustive_scenario_limit) +
-          " scenarios over " + std::to_string(n) +
+          " scenarios over " + std::to_string(num_nodes + num_links) +
           " components); completeness checked via pruning-disabled switch-only "
           "re-enumeration");
       return;
     }
 
     bool timed_out = false;
+    bool budget_exhausted = false;
     // Start saturated so the very first scenario consults the clock: an
     // already-expired budget must trigger the fallback even on instances
     // with fewer than 256 scenarios.
     int clock_check = 255;
-    for (int order = 1; order <= mixed_maxord && order <= n; ++order) {
-      const bool completed =
-          for_each_combination(n, order, [&](const std::vector<int>& idx) {
-            if (options_.deadline) options_.deadline->poll();
-            if (++clock_check >= 256) {
-              clock_check = 0;
-              if (std::chrono::steady_clock::now() >= deadline_) {
-                timed_out = true;
-                return false;
-              }
-            }
-            // Pure-switch combinations were fully covered by stage 9a.
-            FailureScenario scenario;
-            double prob = 1.0;
-            bool any_link = false;
-            for (const int i : idx) {
-              const Component& c = components[static_cast<std::size_t>(i)];
-              prob *= c.prob;
-              if (c.is_link) {
-                any_link = true;
-                scenario.failed_links.push_back(c.link);
-              } else {
-                scenario.failed_switches.push_back(c.node);
-              }
-            }
-            if (!any_link || prob < problem_.reliability_goal) return true;
-            scenario.normalize();
-            ++report_.scenarios_enumerated;
+    for (int k = 1; k <= mixed_maxord && !timed_out && !budget_exhausted; ++k) {
+      // Shards with j >= 1 failed links only: pure-switch combinations were
+      // fully covered by stage 9a, so the huge switch-only subspace is never
+      // enumerated here.
+      for (int j = std::max(1, k - num_nodes);
+           j <= std::min(k, num_links) && !timed_out && !budget_exhausted; ++j) {
+        const int s = k - j;
+        if (s > num_nodes) continue;
+        if (link_bound[static_cast<std::size_t>(j)] *
+                node_bound[static_cast<std::size_t>(s)] <
+            problem_.reliability_goal) {
+          continue;  // whole shard is safe faults
+        }
+        for_each_combination(num_links, j, [&](const std::vector<int>& lidx) {
+          double link_product = 1.0;
+          for (const int i : lidx) link_product *= link_probs[static_cast<std::size_t>(i)];
+          const bool inner = for_each_combination(
+              num_nodes, s, [&](const std::vector<int>& nidx) {
+                if (options_.deadline) options_.deadline->poll();
+                if (++clock_check >= 256) {
+                  clock_check = 0;
+                  if (std::chrono::steady_clock::now() >= deadline_) {
+                    timed_out = true;
+                    return false;
+                  }
+                }
+                FailureScenario scenario;
+                double prob = link_product;
+                for (const int i : nidx) {
+                  scenario.failed_switches.push_back(nodes[static_cast<std::size_t>(i)]);
+                  prob *= node_probs[static_cast<std::size_t>(i)];
+                }
+                for (const int i : lidx) {
+                  scenario.failed_links.push_back(cert_.links[static_cast<std::size_t>(i)]);
+                }
+                if (prob < problem_.reliability_goal) return true;
+                ++report_.scenarios_enumerated;
 
-            // Eq. 6 projection: replace each failed link by its lowest-ASIL
-            // endpoint (prefer the switch on ties; end stations are dropped —
-            // their failures are safe faults outside Gf).
-            FailureScenario projected;
-            projected.failed_switches = scenario.failed_switches;
-            for (const EdgeKey& link : scenario.failed_links) {
-              NodeId lowest = link.b;
-              if (lower_than(topology_->node_asil(link.a), topology_->node_asil(link.b)) ||
-                  (topology_->node_asil(link.a) == topology_->node_asil(link.b) &&
-                   problem_.is_switch(link.a))) {
-                lowest = link.a;
-              }
-              if (problem_.is_switch(lowest)) projected.failed_switches.push_back(lowest);
-            }
-            projected.normalize();
-            if (index.find(projected) < 0) {
-              fail(AuditCode::kMissingScenario,
-                   "mixed scenario " + describe(scenario) + " projects (Eq. 6) to " +
-                       describe(projected) + " which has no proof",
-                   std::move(scenario));
-              return !failures_full();
-            }
-            return true;
-          });
-      if (timed_out) {
-        report_.exhaustive_fallback = true;
-        report_.notes.push_back(
-            "exhaustive mixed link/switch sweep abandoned after " +
-            std::to_string(options_.exhaustive_budget_seconds) +
-            " s wall-clock budget at order " + std::to_string(order) +
-            "; completeness checked via pruning-disabled switch-only re-enumeration");
-        return;
+                // Eq. 6 projection: replace each failed link by its lowest-
+                // ASIL endpoint (prefer the switch on ties; end stations are
+                // dropped — their failures are safe faults outside Gf).
+                FailureScenario projected;
+                projected.failed_switches = scenario.failed_switches;
+                for (const EdgeKey& link : scenario.failed_links) {
+                  NodeId lowest = link.b;
+                  if (lower_than(topology_->node_asil(link.a),
+                                 topology_->node_asil(link.b)) ||
+                      (topology_->node_asil(link.a) == topology_->node_asil(link.b) &&
+                       problem_.is_switch(link.a))) {
+                    lowest = link.a;
+                  }
+                  if (problem_.is_switch(lowest)) {
+                    projected.failed_switches.push_back(lowest);
+                  }
+                }
+                projected.normalize();
+                const int at = index.find(projected);
+                if (at < 0) {
+                  fail(AuditCode::kMissingScenario,
+                       "mixed scenario " + describe(scenario) + " projects (Eq. 6) to " +
+                           describe(projected) + " which has no proof",
+                       std::move(scenario));
+                  if (failures_full()) budget_exhausted = true;
+                  return !budget_exhausted;
+                }
+                // A failed link whose endpoints both fell out of the
+                // projection (end stations) is still alive in the projected
+                // residual — Eq. 6 gives no deployability argument for it,
+                // so the proof's flow state must avoid it explicitly.
+                const ScenarioProof& proof = *index.sorted[static_cast<std::size_t>(at)];
+                for (const EdgeKey& link : scenario.failed_links) {
+                  const bool covered =
+                      std::ranges::binary_search(projected.failed_switches, link.a) ||
+                      std::ranges::binary_search(projected.failed_switches, link.b);
+                  if (covered) continue;
+                  for (const auto& assignment : proof.state) {
+                    if (!assignment) continue;
+                    const auto& path = assignment->path;
+                    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+                      if ((path[h] == link.a && path[h + 1] == link.b) ||
+                          (path[h] == link.b && path[h + 1] == link.a)) {
+                        fail(AuditCode::kDeadComponentUse,
+                             "mixed scenario " + describe(scenario) +
+                                 ": projected proof state routes over failed link (" +
+                                 std::to_string(link.a) + "," + std::to_string(link.b) +
+                                 ") which the Eq. 6 projection does not cover",
+                             scenario);
+                        if (failures_full()) budget_exhausted = true;
+                        return !budget_exhausted;
+                      }
+                    }
+                  }
+                }
+                return true;
+              });
+          return inner;
+        });
       }
-      if (!completed) return;  // failure budget exhausted
+    }
+    if (timed_out) {
+      report_.exhaustive_fallback = true;
+      report_.notes.push_back(
+          "exhaustive mixed link/switch sweep abandoned after " +
+          std::to_string(options_.exhaustive_budget_seconds) +
+          " s wall-clock budget"
+          "; completeness checked via pruning-disabled switch-only re-enumeration");
     }
   }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
 
+#include "analysis/failure_analyzer.hpp"
 #include "util/combinatorics.hpp"
 #include "util/expect.hpp"
 
@@ -68,35 +70,21 @@ CertificateBuildResult build_certificate(const Topology& topology,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   };
 
-  // Candidate failing components and maxord, exactly as Algorithm 3 line 1.
-  std::vector<NodeId> candidates = topology.selected_switches();
-  if (options.flow_level_redundancy) {
-    const auto stations = problem.end_station_ids();
-    candidates.insert(candidates.end(), stations.begin(), stations.end());
-    std::ranges::sort(candidates);
-  }
-  auto prob_of = [&](NodeId v) {
-    return problem.library.failure_prob(topology.node_asil(v));
-  };
-  std::vector<double> probs;
-  probs.reserve(candidates.size());
-  for (const NodeId v : candidates) probs.push_back(prob_of(v));
-  std::ranges::sort(probs, std::greater<>());
-  double cumulative = 1.0;
-  int maxord = 0;
-  for (const double p : probs) {
-    cumulative *= p;
-    if (cumulative < goal) break;
-    ++maxord;
-  }
+  // Candidate failing components and the effective frontier depth, exactly
+  // as the analyzer enumerates them (Algorithm 3 line 1 + the floor).
+  const Frontier frontier = build_frontier(
+      topology,
+      {options.flow_level_redundancy, options.include_links, options.min_order});
 
   ReliabilityCertificate& cert = result.certificate;
   cert.problem_fp = problem_fingerprint(problem);
   cert.topology_fp = topology.graph_fingerprint();
   cert.reliability_goal = goal;
   cert.claimed_cost = topology.cost();
-  cert.max_order = maxord;
+  cert.max_order = frontier.max_order;
   cert.flow_level_redundancy = options.flow_level_redundancy;
+  cert.min_order = options.min_order;
+  cert.include_links = options.include_links;
   for (const NodeId v : topology.selected_switches()) {
     cert.switch_ids.push_back(v);
     cert.switch_levels.push_back(
@@ -108,36 +96,55 @@ CertificateBuildResult build_certificate(const Topology& topology,
         static_cast<std::uint8_t>(static_cast<int>(topology.link_asil(e.u, e.v))));
   }
 
+  // Staged NBF session (bit-identical by contract): certificate builds run
+  // the NBF across the whole non-safe frontier, so staging always pays off.
+  const std::unique_ptr<NbfSession> session = nbf.stage(topology);
+  const auto run_nbf = [&](const FailureScenario& scenario) {
+    ++result.nbf_calls;
+    return session ? session->recover(scenario) : nbf.recover(topology, scenario);
+  };
+
   // Enumerate the complete non-safe frontier from the highest order down, so
   // a proven superset is available when the greedy NBF fails on one of its
   // subsets (abstract survivability is monotone, the heuristic verdict is
   // not — see the verification engine's non-monotone NBF tests).
-  const int n = static_cast<int>(candidates.size());
-  for (int order = maxord; order >= 0; --order) {
+  const int n = static_cast<int>(frontier.components.size());
+  for (int order = frontier.max_order; order >= 0; --order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
       if (options.deadline) options.deadline->poll();
       ScenarioProof proof;
-      proof.probability = 1.0;
-      proof.scenario.failed_switches.reserve(idx.size());
-      for (const int i : idx) {
-        const NodeId v = candidates[static_cast<std::size_t>(i)];
-        proof.scenario.failed_switches.push_back(v);
-        proof.probability *= prob_of(v);
+      proof.scenario = scenario_of(frontier, idx, &proof.probability);
+      if (order > options.min_order && proof.probability < goal) {
+        return true;  // safe fault above the frontier floor, not certified
       }
-      if (proof.probability < goal) return true;  // safe fault, not certified
 
-      ++result.nbf_calls;
-      NbfResult recovered = nbf.recover(topology, proof.scenario);
+      NbfResult recovered = run_nbf(proof.scenario);
       if (recovered.ok()) {
         proof.state = std::move(recovered.state);
         cert.proofs.push_back(std::move(proof));
         return true;
       }
-      // Run-time deployability fallback: a proven superset's flow state only
-      // uses components alive under the superset failure, so it deploys
-      // verbatim on this scenario's larger residual.
+      // Deployability fallback 1 (Eq. 6): the switch projection's residual
+      // is a subgraph of the scenario's residual whenever the projection
+      // covers every failed link (each loses an endpoint), so its recovered
+      // flow state deploys verbatim under the original scenario.
+      if (!proof.scenario.failed_links.empty()) {
+        const FailureScenario projected = project_to_switches(topology, proof.scenario);
+        if (projection_covers(proof.scenario, projected)) {
+          NbfResult via_projection = run_nbf(projected);
+          if (via_projection.ok()) {
+            proof.state = std::move(via_projection.state);
+            ++result.projection_states;
+            cert.proofs.push_back(std::move(proof));
+            return true;
+          }
+        }
+      }
+      // Deployability fallback 2: a proven superset's flow state only uses
+      // components alive under the superset failure, so it deploys verbatim
+      // on this scenario's larger residual.
       for (const ScenarioProof& earlier : cert.proofs) {
-        if (proof.scenario.switches_subset_of(earlier.scenario)) {
+        if (proof.scenario.subset_of(earlier.scenario)) {
           proof.state = earlier.state;
           ++result.superset_reuses;
           cert.proofs.push_back(std::move(proof));
@@ -258,6 +265,8 @@ void save_certificate(const ReliabilityCertificate& certificate, ByteWriter& out
   out.f64(certificate.claimed_cost);
   out.u32(static_cast<std::uint32_t>(certificate.max_order));
   out.u8(certificate.flow_level_redundancy ? 1 : 0);
+  out.u32(static_cast<std::uint32_t>(certificate.min_order));
+  out.u8(certificate.include_links ? 1 : 0);
   out.u32(static_cast<std::uint32_t>(certificate.proofs.size()));
   for (const ScenarioProof& proof : certificate.proofs) {
     out.u32(static_cast<std::uint32_t>(proof.scenario.failed_switches.size()));
@@ -300,6 +309,10 @@ ReliabilityCertificate load_certificate(ByteReader& in) {
   if (max_order > 4096) malformed("implausible maxord");
   cert.max_order = static_cast<int>(max_order);
   cert.flow_level_redundancy = in.u8() != 0;
+  const std::uint32_t min_order = in.u32();
+  if (min_order > 4096) malformed("implausible min_order");
+  cert.min_order = static_cast<int>(min_order);
+  cert.include_links = in.u8() != 0;
   const std::uint32_t num_proofs = checked_count(in, 13, "proof");
   cert.proofs.reserve(num_proofs);
   for (std::uint32_t i = 0; i < num_proofs; ++i) {

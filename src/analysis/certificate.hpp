@@ -29,17 +29,22 @@
 namespace nptsn {
 
 // Payload version of certificate files (bumped on layout changes).
-inline constexpr std::uint32_t kCertificateVersion = 1;
+// v2: adds the frontier floor (min_order) and mixed link/switch frontiers
+// (include_links) to the claimed verdict context.
+inline constexpr std::uint32_t kCertificateVersion = 2;
 
 // One non-safe failure scenario together with the evidence that it is
 // survivable: the deployed flow state after recovery. The state either came
-// from running the NBF on this exact scenario, or — when the greedy NBF
-// failed on a subset of an already-proven scenario — is the proven
-// superset's state, which only uses components alive under the superset
-// failure and therefore deploys verbatim on this scenario's larger residual
-// (the paper's run-time deployability argument for subset pruning).
+// from running the NBF on this exact scenario, or — when the direct recovery
+// failed — from one of two deployability fallbacks: the Eq. 6 switch
+// projection of a mixed scenario (the projection's residual is a subgraph of
+// the scenario's residual whenever the projection covers every failed link,
+// so its flow state deploys verbatim), or a proven superset's state (which
+// only uses components alive under the superset failure and therefore
+// deploys on this scenario's larger residual — the paper's run-time
+// deployability argument for subset pruning).
 struct ScenarioProof {
-  FailureScenario scenario;   // switch-only (Eq. 6 link reduction), normalized
+  FailureScenario scenario;   // normalized; mixed when include_links
   double probability = 0.0;   // Eq. 2 occurrence probability
   FlowState state;            // recovered routes + per-hop slot assignments
 };
@@ -63,8 +68,13 @@ struct ReliabilityCertificate {
   // The claimed verdict context.
   double reliability_goal = 0.0;  // R the frontier was enumerated against
   double claimed_cost = 0.0;      // Eq. 1 network cost of the plan
-  int max_order = 0;              // Alg. 3 maxord
+  int max_order = 0;              // effective frontier depth (maxord vs floor)
   bool flow_level_redundancy = false;
+  // v2 frontier context: all scenarios of order <= min_order are certified
+  // even below the probability threshold, and include_links certifies mixed
+  // link/switch scenarios (FrontierOptions semantics).
+  int min_order = 0;
+  bool include_links = false;
 
   // The complete non-safe scenario set, sorted by failed-switch list
   // (lexicographic). Includes the empty scenario (order 0), whose state is
@@ -82,6 +92,10 @@ struct CertificateOptions {
   // Mirrors FailureAnalyzer::Options::flow_level_redundancy: when true, end
   // stations are enumerated as failure candidates too.
   bool flow_level_redundancy = false;
+  // Frontier floor and mixed frontiers, FrontierOptions semantics. Both are
+  // recorded in the certificate so the auditor re-enumerates the same set.
+  int min_order = 0;
+  bool include_links = false;
   // Cooperative execution deadline (must outlive the call). Polled once per
   // enumerated scenario; expiry throws DeadlineExceeded — certificate
   // construction runs the NBF over the full non-safe frontier and must not
@@ -101,6 +115,7 @@ struct CertificateBuildResult {
   // Instrumentation.
   std::int64_t nbf_calls = 0;           // NBF executions during the build
   std::int64_t superset_reuses = 0;     // proofs served by a superset's state
+  std::int64_t projection_states = 0;   // proofs served by an Eq. 6 projection
   double wall_seconds = 0.0;
 };
 

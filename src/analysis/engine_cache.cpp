@@ -21,8 +21,11 @@ std::uint64_t route_mix64(std::uint64_t x) {
 // audits: the point is that a verdict with a long error list charges more
 // than a clean one, and an outcome with a big counterexample more than an
 // empty one, so the byte budget tracks real memory within a small factor.
-std::size_t verdict_cost(const std::vector<NodeId>& failed, const NbfVerdict& verdict) {
+std::size_t verdict_cost(const std::vector<NodeId>& failed,
+                         const std::vector<EdgeKey>& failed_links,
+                         const NbfVerdict& verdict) {
   return sizeof(NbfVerdict) + failed.size() * sizeof(NodeId) +
+         failed_links.size() * sizeof(EdgeKey) +
          verdict.errors.size() * sizeof(ErrorSet::value_type);
 }
 
@@ -39,13 +42,17 @@ std::size_t outcome_cost(const std::vector<signed char>& plan,
 
 bool EngineSharedCache::VerdictLess::less(const ProblemFp& ap, std::uint64_t as,
                                           const GraphFp& af, const std::vector<NodeId>& av,
+                                          const std::vector<EdgeKey>& al,
                                           const ProblemFp& bp, std::uint64_t bs,
-                                          const GraphFp& bf,
-                                          const std::vector<NodeId>& bv) {
+                                          const GraphFp& bf, const std::vector<NodeId>& bv,
+                                          const std::vector<EdgeKey>& bl) {
   if (ap != bp) return ap < bp;
   if (as != bs) return as < bs;
   if (af != bf) return af < bf;
-  return std::lexicographical_compare(av.begin(), av.end(), bv.begin(), bv.end());
+  if (av != bv) {
+    return std::lexicographical_compare(av.begin(), av.end(), bv.begin(), bv.end());
+  }
+  return std::lexicographical_compare(al.begin(), al.end(), bl.begin(), bl.end());
 }
 
 bool EngineSharedCache::OutcomeLess::less(const ProblemFp& ap, std::uint64_t as,
@@ -88,11 +95,12 @@ EngineSharedCache::Shard& EngineSharedCache::shard_for(const Binding& binding,
 
 bool EngineSharedCache::lookup_verdict(const Binding& binding, const GraphFp& rfp,
                                        const std::vector<NodeId>& failed,
+                                       const std::vector<EdgeKey>& failed_links,
                                        NbfVerdict* out) {
   Shard& shard = shard_for(binding, rfp);
   std::lock_guard lock(shard.mutex);
-  const NbfVerdict* hit =
-      shard.verdicts.get(VerdictRef{binding.problem, binding.salt, rfp, &failed});
+  const NbfVerdict* hit = shard.verdicts.get(
+      VerdictRef{binding.problem, binding.salt, rfp, &failed, &failed_links});
   if (!hit) return false;
   *out = *hit;
   return true;
@@ -100,11 +108,12 @@ bool EngineSharedCache::lookup_verdict(const Binding& binding, const GraphFp& rf
 
 void EngineSharedCache::publish_verdict(const Binding& binding, const GraphFp& rfp,
                                         const std::vector<NodeId>& failed,
+                                        const std::vector<EdgeKey>& failed_links,
                                         const NbfVerdict& verdict) {
   Shard& shard = shard_for(binding, rfp);
   std::lock_guard lock(shard.mutex);
-  shard.verdicts.put(VerdictKey{binding.problem, binding.salt, rfp, failed}, verdict,
-                     verdict_cost(failed, verdict));
+  shard.verdicts.put(VerdictKey{binding.problem, binding.salt, rfp, failed, failed_links},
+                     verdict, verdict_cost(failed, failed_links, verdict));
 }
 
 bool EngineSharedCache::lookup_outcome(const Binding& binding, const GraphFp& fp,

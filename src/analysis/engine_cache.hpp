@@ -107,10 +107,14 @@ class EngineSharedCache {
   // may be evicted by a concurrent session the moment the shard unlocks);
   // returns false on a miss. Publish is last-writer-wins — every writer
   // publishes the same pure-function result, so the race is benign.
+  // `failed_links` carries the mixed-frontier link component of the failed
+  // set (empty for switch-only scenarios — the pre-mixed key layout).
   bool lookup_verdict(const Binding& binding, const GraphFp& rfp,
-                      const std::vector<NodeId>& failed, NbfVerdict* out);
+                      const std::vector<NodeId>& failed,
+                      const std::vector<EdgeKey>& failed_links, NbfVerdict* out);
   void publish_verdict(const Binding& binding, const GraphFp& rfp,
-                       const std::vector<NodeId>& failed, const NbfVerdict& verdict);
+                       const std::vector<NodeId>& failed,
+                       const std::vector<EdgeKey>& failed_links, const NbfVerdict& verdict);
 
   // Whole-outcome sharing, same contract.
   bool lookup_outcome(const Binding& binding, const GraphFp& fp,
@@ -131,26 +135,32 @@ class EngineSharedCache {
     std::uint64_t salt = 0;
     GraphFp rfp;
     std::vector<NodeId> failed;
+    std::vector<EdgeKey> failed_links;
   };
   struct VerdictRef {
     ProblemFp problem;
     std::uint64_t salt = 0;
     GraphFp rfp;
     const std::vector<NodeId>* failed = nullptr;
+    const std::vector<EdgeKey>* failed_links = nullptr;
   };
   struct VerdictLess {
     using is_transparent = void;
     static bool less(const ProblemFp& ap, std::uint64_t as, const GraphFp& af,
-                     const std::vector<NodeId>& av, const ProblemFp& bp, std::uint64_t bs,
-                     const GraphFp& bf, const std::vector<NodeId>& bv);
+                     const std::vector<NodeId>& av, const std::vector<EdgeKey>& al,
+                     const ProblemFp& bp, std::uint64_t bs, const GraphFp& bf,
+                     const std::vector<NodeId>& bv, const std::vector<EdgeKey>& bl);
     bool operator()(const VerdictKey& a, const VerdictKey& b) const {
-      return less(a.problem, a.salt, a.rfp, a.failed, b.problem, b.salt, b.rfp, b.failed);
+      return less(a.problem, a.salt, a.rfp, a.failed, a.failed_links, b.problem, b.salt,
+                  b.rfp, b.failed, b.failed_links);
     }
     bool operator()(const VerdictKey& a, const VerdictRef& b) const {
-      return less(a.problem, a.salt, a.rfp, a.failed, b.problem, b.salt, b.rfp, *b.failed);
+      return less(a.problem, a.salt, a.rfp, a.failed, a.failed_links, b.problem, b.salt,
+                  b.rfp, *b.failed, *b.failed_links);
     }
     bool operator()(const VerdictRef& a, const VerdictKey& b) const {
-      return less(a.problem, a.salt, a.rfp, *a.failed, b.problem, b.salt, b.rfp, b.failed);
+      return less(a.problem, a.salt, a.rfp, *a.failed, *a.failed_links, b.problem, b.salt,
+                  b.rfp, b.failed, b.failed_links);
     }
   };
 

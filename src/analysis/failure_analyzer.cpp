@@ -9,6 +9,102 @@
 
 namespace nptsn {
 
+Frontier build_frontier(const Topology& topology, const FrontierOptions& options) {
+  NPTSN_EXPECT(options.min_order >= 0, "frontier min_order must be non-negative");
+  const PlanningProblem& problem = topology.problem();
+  Frontier frontier;
+  frontier.min_order = options.min_order;
+
+  // Candidate failing nodes: the planned switches, plus the end stations in
+  // the flow-level-redundancy variant.
+  std::vector<NodeId> nodes = topology.selected_switches();
+  if (options.flow_level_redundancy) {
+    const auto stations = problem.end_station_ids();
+    nodes.insert(nodes.end(), stations.begin(), stations.end());
+    std::ranges::sort(nodes);
+  }
+  for (const NodeId v : nodes) {
+    frontier.components.push_back(
+        {false, v, EdgeKey{0, 0}, problem.library.failure_prob(topology.node_asil(v))});
+  }
+  if (options.include_links) {
+    for (const Edge& e : topology.graph().edges()) {
+      frontier.components.push_back(
+          {true, 0, EdgeKey{e.u, e.v},
+           problem.library.failure_prob(topology.link_asil(e.u, e.v))});
+    }
+  }
+
+  // Alg. 3 line 1: maxord = largest k such that the product of the k most
+  // failure-prone candidates still reaches the goal; the frontier floor can
+  // only deepen it.
+  std::vector<double> probs;
+  probs.reserve(frontier.components.size());
+  for (const FrontierComponent& c : frontier.components) probs.push_back(c.prob);
+  std::ranges::sort(probs, std::greater<>());
+  double cumulative = 1.0;
+  int maxord = 0;
+  for (const double p : probs) {
+    cumulative *= p;
+    if (cumulative < problem.reliability_goal) break;
+    ++maxord;
+  }
+  const int n = static_cast<int>(frontier.components.size());
+  frontier.max_order = std::max(maxord, std::min(options.min_order, n));
+  return frontier;
+}
+
+FailureScenario scenario_of(const Frontier& frontier, const std::vector<int>& idx,
+                            double* prob) {
+  FailureScenario scenario;
+  double p = 1.0;
+  for (const int i : idx) {
+    const FrontierComponent& c = frontier.components[static_cast<std::size_t>(i)];
+    p *= c.prob;
+    if (c.is_link) {
+      scenario.failed_links.push_back(c.link);
+    } else {
+      scenario.failed_switches.push_back(c.node);
+    }
+  }
+  // Components are in canonical order (nodes ascending, then links
+  // lexicographic) and idx is an ascending combination, so both lists are
+  // already sorted and unique — no normalize() needed.
+  if (prob) *prob = p;
+  return scenario;
+}
+
+FailureScenario project_to_switches(const Topology& topology,
+                                    const FailureScenario& scenario) {
+  FailureScenario projected;
+  projected.failed_switches = scenario.failed_switches;
+  for (const EdgeKey& link : scenario.failed_links) {
+    // Lowest-ASIL endpoint; prefer the switch on ties (end-station failures
+    // are safe faults and never part of Gf).
+    NodeId lowest = link.b;
+    if (lower_than(topology.node_asil(link.a), topology.node_asil(link.b)) ||
+        (topology.node_asil(link.a) == topology.node_asil(link.b) &&
+         topology.problem().is_switch(link.a))) {
+      lowest = link.a;
+    }
+    if (topology.problem().is_switch(lowest)) {
+      projected.failed_switches.push_back(lowest);
+    }
+  }
+  projected.normalize();
+  return projected;
+}
+
+bool projection_covers(const FailureScenario& scenario, const FailureScenario& projected) {
+  for (const EdgeKey& link : scenario.failed_links) {
+    const bool covered =
+        std::ranges::binary_search(projected.failed_switches, link.a) ||
+        std::ranges::binary_search(projected.failed_switches, link.b);
+    if (!covered) return false;
+  }
+  return true;
+}
+
 FailureAnalyzer::FailureAnalyzer(const StatelessNbf& nbf, Options options)
     : nbf_(&nbf), options_(options) {}
 
@@ -23,59 +119,29 @@ AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   };
 
-  // Candidate failing components: the planned switches, plus the end
-  // stations in the flow-level-redundancy variant.
-  std::vector<NodeId> candidates = topology.selected_switches();
-  if (options_.flow_level_redundancy) {
-    const auto stations = problem.end_station_ids();
-    candidates.insert(candidates.end(), stations.begin(), stations.end());
-    std::ranges::sort(candidates);
-  }
-  auto prob_of = [&](NodeId v) {
-    return problem.library.failure_prob(topology.node_asil(v));
-  };
+  const Frontier frontier =
+      build_frontier(topology, {options_.flow_level_redundancy, options_.include_links,
+                                options_.min_order});
+  outcome.max_order = frontier.max_order;
 
-  // Alg. 3 line 1: maxord = largest k such that the product of the k most
-  // failure-prone candidates still reaches the goal.
-  std::vector<double> probs;
-  probs.reserve(candidates.size());
-  for (const NodeId v : candidates) probs.push_back(prob_of(v));
-  std::ranges::sort(probs, std::greater<>());
-  double cumulative = 1.0;
-  int maxord = 0;
-  for (const double p : probs) {
-    cumulative *= p;
-    if (cumulative < goal) break;
-    ++maxord;
-  }
-  outcome.max_order = maxord;
-
-  // checked: scenarios proven survivable; any subset of one is survivable
-  // too (the stateless NBF's flow state for the superset is feasible on the
-  // subset's larger residual network).
+  // checked: scenarios proven survivable; any componentwise subset of one is
+  // survivable too (the stateless NBF's flow state for the superset is
+  // feasible on the subset's larger residual network).
   std::vector<FailureScenario> checked;
-  const int n = static_cast<int>(candidates.size());
+  const int n = static_cast<int>(frontier.components.size());
 
-  for (int order = maxord; order >= 0; --order) {
+  for (int order = frontier.max_order; order >= 0; --order) {
     const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
       if (options_.deadline) options_.deadline->poll();
-      FailureScenario scenario;
-      scenario.failed_switches.reserve(idx.size());
       double prob = 1.0;
-      for (const int i : idx) {
-        const NodeId v = candidates[static_cast<std::size_t>(i)];
-        scenario.failed_switches.push_back(v);
-        prob *= prob_of(v);
-      }
-      // candidates is sorted ascending, combinations are lexicographic, so
-      // failed_switches is already normalized.
-      if (prob < goal) {
-        ++outcome.scenarios_skipped;  // safe fault
+      FailureScenario scenario = scenario_of(frontier, idx, &prob);
+      if (order > options_.min_order && prob < goal) {
+        ++outcome.scenarios_skipped;  // safe fault above the frontier floor
         return true;
       }
       if (options_.use_superset_pruning) {
         for (const FailureScenario& survived : checked) {
-          if (scenario.switches_subset_of(survived)) {
+          if (scenario.subset_of(survived)) {
             ++outcome.scenarios_pruned;
             return true;
           }
@@ -86,7 +152,21 @@ AnalysisOutcome FailureAnalyzer::analyze(const Topology& topology) const {
       // Flow-level redundancy aside, failed end stations cannot be routed
       // around; the NBF sees them as removed nodes all the same.
       NbfResult result = nbf_->recover(topology, scenario);
-      if (!result.ok()) {
+      bool ok = result.ok();
+      if (!ok && !scenario.failed_links.empty()) {
+        // Run-time deployability fallback (Eq. 6): the flow state recovered
+        // for the switch projection only uses components alive under the
+        // original scenario, so the controller can deploy it verbatim. Only
+        // sound when every failed link has an endpoint in the projection —
+        // an uncovered link (both endpoints end stations) survives in the
+        // projected residual and the recovered state could route over it.
+        const FailureScenario projected = project_to_switches(topology, scenario);
+        if (projection_covers(scenario, projected)) {
+          ++outcome.nbf_calls;
+          ok = nbf_->recover(topology, projected).ok();
+        }
+      }
+      if (!ok) {
         outcome.reliable = false;
         outcome.counterexample = std::move(scenario);
         outcome.errors = std::move(result.errors);

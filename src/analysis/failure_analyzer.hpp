@@ -49,6 +49,67 @@ struct AnalysisOutcome {
   double wall_seconds = 0.0;           // wall time of this analysis
 };
 
+// One failure candidate of the enumeration frontier: a node (planned switch,
+// or end station under flow-level redundancy) or a planned link, with its
+// Eq. 2 failure probability under the current ASIL allocation.
+struct FrontierComponent {
+  bool is_link = false;
+  NodeId node = 0;
+  EdgeKey link{0, 0};
+  double prob = 0.0;
+};
+
+// The enumeration frontier of one analysis: the candidate components in
+// canonical order — nodes ascending, then links (a, b)-lexicographic, so
+// lexicographic index combinations yield already-normalized scenarios — plus
+// the effective enumeration depth. Built identically by the analyzer, the
+// verification engine, and the certificate builder (the auditor keeps its
+// own independent derivation).
+struct Frontier {
+  std::vector<FrontierComponent> components;
+  // Effective enumeration depth: max(Alg. 3 maxord over the component
+  // probabilities, min(min_order, |components|)).
+  int max_order = 0;
+  // Probability-skip floor: scenarios of order <= min_order are verified
+  // even when their Eq. 2 probability is below R.
+  int min_order = 0;
+};
+
+struct FrontierOptions {
+  bool flow_level_redundancy = false;
+  // Enumerate planned links as first-class failure candidates (mixed
+  // link/switch scenarios) instead of relying on the Eq. 6 reduction alone.
+  bool include_links = false;
+  // Frontier floor: every scenario of order <= min_order is verified
+  // regardless of probability, and the enumeration depth is at least
+  // min(min_order, |components|). 0 reproduces Algorithm 3 exactly.
+  int min_order = 0;
+};
+
+Frontier build_frontier(const Topology& topology, const FrontierOptions& options);
+
+// Materializes the scenario for one index combination over the frontier's
+// components; *prob (optional) receives the Eq. 2 probability product. The
+// result is normalized by construction (canonical component order).
+FailureScenario scenario_of(const Frontier& frontier, const std::vector<int>& idx,
+                            double* prob = nullptr);
+
+// Eq. 6 switch projection of a mixed scenario: each failed link is replaced
+// by its lowest-ASIL endpoint (prefer the switch on ties; end stations are
+// dropped — their failures are safe faults outside Gf). A mixed scenario
+// survives when the NBF recovers it directly OR recovers this projection:
+// the projection's flow state only uses components alive under the original
+// scenario, so the controller deploys it verbatim.
+FailureScenario project_to_switches(const Topology& topology,
+                                    const FailureScenario& scenario);
+
+// True when every failed link of `scenario` has at least one endpoint among
+// `projected.failed_switches` (both lists normalized). Only then does Eq. 6
+// apply: an uncovered link — both endpoints end stations — survives in the
+// projected residual, so the projection's flow state could route over a
+// failed component and must not be accepted as a recovery.
+bool projection_covers(const FailureScenario& scenario, const FailureScenario& projected);
+
 class FailureAnalyzer {
  public:
   struct Options {
@@ -58,6 +119,14 @@ class FailureAnalyzer {
     // Ablation switch for Alg. 3 line 11's subset pruning; disabling it must
     // never change the verdict, only the NBF call count.
     bool use_superset_pruning = true;
+    // Frontier floor (FrontierOptions::min_order): all scenarios of order <=
+    // min_order are verified even below the probability threshold. 0 is
+    // exactly Algorithm 3.
+    int min_order = 0;
+    // Mixed link/switch frontiers (FrontierOptions::include_links): planned
+    // links fail as first-class candidates; a mixed scenario survives via
+    // direct recovery or its Eq. 6 switch projection.
+    bool include_links = false;
     // Cooperative execution deadline (must outlive the analyzer). Polled once
     // per enumerated scenario; expiry aborts the analysis with a typed
     // DeadlineExceeded instead of running an unbounded frontier to the end.

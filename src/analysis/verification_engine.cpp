@@ -12,7 +12,7 @@ namespace {
 bool subset_of_any(const FailureScenario& scenario,
                    const std::vector<FailureScenario>& set) {
   for (const FailureScenario& member : set) {
-    if (scenario.switches_subset_of(member)) return true;
+    if (scenario.subset_of(member)) return true;
   }
   return false;
 }
@@ -24,6 +24,8 @@ VerificationEngine::VerificationEngine(const StatelessNbf& nbf, Options options)
   NPTSN_EXPECT(options_.num_threads >= 1, "engine needs at least one thread");
   NPTSN_EXPECT(options_.chunk_size >= 1, "engine chunk size must be positive");
   NPTSN_EXPECT(options_.max_memo_entries >= 1, "memo bound must be positive");
+  NPTSN_EXPECT(options_.min_order >= 0 && options_.min_order < 8192,
+               "engine min_order out of range");
   NPTSN_EXPECT(!options_.shared_cache || options_.staging,
                "the shared cache needs staged problem identity (Options::staging)");
   if (options_.staging) switch_universe_ = &options_.staging->switch_ids;
@@ -31,10 +33,13 @@ VerificationEngine::VerificationEngine(const StatelessNbf& nbf, Options options)
     binding_.problem = options_.staging->problem_fp;
     // Every option that can change a verdict or an outcome without changing
     // the problem bytes lands in the salt; shifted so the caller's NBF
-    // identity never collides with the option bits.
-    binding_.salt = (options_.cache_salt << 2) |
+    // identity never collides with the option bits. min_order gets 13 bits
+    // (range-checked above) so distinct floors never share outcomes.
+    binding_.salt = (options_.cache_salt << 16) |
                     (options_.flow_level_redundancy ? 1u : 0u) |
-                    (options_.use_superset_pruning ? 2u : 0u);
+                    (options_.use_superset_pruning ? 2u : 0u) |
+                    (options_.include_links ? 4u : 0u) |
+                    (static_cast<std::uint64_t>(options_.min_order) << 3);
   }
   if (options_.num_threads > 1) pool_ = std::make_unique<ThreadPool>(options_.num_threads);
 }
@@ -95,36 +100,32 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     }
   }
 
-  // Candidate failing components, exactly as the sequential analyzer.
-  std::vector<NodeId> candidates = topology.selected_switches();
-  if (options_.flow_level_redundancy) {
-    const auto stations = problem.end_station_ids();
-    candidates.insert(candidates.end(), stations.begin(), stations.end());
-    std::ranges::sort(candidates);
-  }
-  auto prob_of = [&](NodeId v) {
-    return problem.library.failure_prob(topology.node_asil(v));
-  };
-
-  // Alg. 3 line 1: maxord.
-  std::vector<double> probs;
-  probs.reserve(candidates.size());
-  for (const NodeId v : candidates) probs.push_back(prob_of(v));
-  std::ranges::sort(probs, std::greater<>());
-  double cumulative = 1.0;
-  int maxord = 0;
-  for (const double p : probs) {
-    cumulative *= p;
-    if (cumulative < goal) break;
-    ++maxord;
-  }
-  outcome.max_order = maxord;
+  // Frontier and enumeration depth, exactly as the sequential analyzer.
+  const Frontier frontier = build_frontier(
+      topology,
+      {options_.flow_level_redundancy, options_.include_links, options_.min_order});
+  outcome.max_order = frontier.max_order;
+  const int n = static_cast<int>(frontier.components.size());
 
   // Survivors in exact sequential order: what the sequential analyzer's
   // `checked` list would contain at each point of the enumeration. Pruning
   // against it reproduces the reference counters verbatim.
   std::vector<FailureScenario> sim_checked;
-  const int n = static_cast<int>(candidates.size());
+
+  // Staged packed NBF session (bit-identical by contract), staged lazily so
+  // a cache-served analysis never pays for it. Staging happens on the serial
+  // path only; workers call the staged session concurrently (thread-safe).
+  std::unique_ptr<NbfSession> session;
+  bool session_staged = false;
+  const auto ensure_staged = [&] {
+    if (!session_staged) {
+      session_staged = true;
+      if (options_.packed_nbf) session = nbf_->stage(topology);
+    }
+  };
+  const auto run_nbf = [&](const FailureScenario& scenario) {
+    return session ? session->recover(scenario) : nbf_->recover(topology, scenario);
+  };
 
   // Splits memo service between same-graph hits and verdicts carried over
   // from a different (smaller) topology with an identical residual.
@@ -150,23 +151,55 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
 
   if (!pool_) {
     // Serial path: the sequential analyzer's inline loop with each NBF call
-    // serviced from the memo or a fresh evaluation. No wave buffering —
-    // each survivor is visible to the very next scenario, exactly as in the
-    // wave-based reduction (which classifies lazily for the serial case).
+    // serviced from the memo or a fresh evaluation. Each survivor is
+    // visible to the very next scenario.
+    const auto resolve = [&](const FailureScenario& scenario) -> Verdict {
+      Verdict verdict;
+      GraphFp rfp;
+      if (options_.incremental) {
+        rfp = topology.residual_fingerprint(scenario);
+        if (const auto it = memo_.find(
+                MemoRef{rfp, &scenario.failed_switches, &scenario.failed_links});
+            it != memo_.end()) {
+          count_memo_hit(it->second);  // exact: identical residual + failed set
+          return it->second;
+        }
+        if (options_.shared_cache &&
+            options_.shared_cache->lookup_verdict(binding_, rfp, scenario.failed_switches,
+                                                  scenario.failed_links, &verdict)) {
+          // Exact replay from another session on the byte-identical
+          // problem; adopt into the local memo for lock-free re-probes.
+          memo_.emplace(MemoKey{rfp, scenario.failed_switches, scenario.failed_links},
+                        verdict);
+          ++outcome.shared_hits;
+          return verdict;
+        }
+      }
+      ensure_staged();
+      NbfResult result = run_nbf(scenario);
+      ++outcome.nbf_executed;
+      verdict.ok = result.ok();
+      verdict.errors = std::move(result.errors);
+      verdict.origin = fp;
+      if (options_.incremental) {
+        memo_.emplace(MemoKey{rfp, scenario.failed_switches, scenario.failed_links},
+                      verdict);
+        if (options_.shared_cache) {
+          options_.shared_cache->publish_verdict(binding_, rfp, scenario.failed_switches,
+                                                 scenario.failed_links, verdict);
+        }
+      }
+      return verdict;
+    };
+
     bool done = false;
-    for (int order = maxord; order >= 0 && !done; --order) {
+    for (int order = frontier.max_order; order >= 0 && !done; --order) {
       const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
         if (options_.deadline) options_.deadline->poll();
-        FailureScenario scenario;
-        scenario.failed_switches.reserve(idx.size());
         double prob = 1.0;
-        for (const int i : idx) {
-          const NodeId v = candidates[static_cast<std::size_t>(i)];
-          scenario.failed_switches.push_back(v);
-          prob *= prob_of(v);
-        }
-        if (prob < goal) {
-          ++outcome.scenarios_skipped;  // safe fault
+        FailureScenario scenario = scenario_of(frontier, idx, &prob);
+        if (order > options_.min_order && prob < goal) {
+          ++outcome.scenarios_skipped;  // safe fault above the frontier floor
           return true;
         }
         if (options_.use_superset_pruning && subset_of_any(scenario, sim_checked)) {
@@ -175,44 +208,19 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
         }
 
         ++outcome.nbf_calls;
-        Verdict verdict;
-        bool resolved = false;
-        GraphFp rfp;
-        if (options_.incremental) {
-          rfp = topology.residual_fingerprint(scenario);
-          if (const auto it = memo_.find(MemoRef{rfp, &scenario.failed_switches});
-              it != memo_.end()) {
-            verdict = it->second;  // exact: identical residual, identical failed set
-            count_memo_hit(verdict);
-            resolved = true;
-          } else if (options_.shared_cache &&
-                     options_.shared_cache->lookup_verdict(
-                         binding_, rfp, scenario.failed_switches, &verdict)) {
-            // Exact replay from another session on the byte-identical
-            // problem; adopt into the local memo for lock-free re-probes.
-            memo_.emplace(MemoKey{rfp, scenario.failed_switches}, verdict);
-            ++outcome.shared_hits;
-            resolved = true;
+        Verdict direct = resolve(scenario);
+        bool ok = direct.ok;
+        if (!ok && !scenario.failed_links.empty()) {
+          const FailureScenario projected = project_to_switches(topology, scenario);
+          if (projection_covers(scenario, projected)) {
+            ++outcome.nbf_calls;  // the Eq. 6 deployability fallback
+            ok = resolve(projected).ok;
           }
         }
-        if (!resolved) {
-          NbfResult result = nbf_->recover(topology, scenario);
-          ++outcome.nbf_executed;
-          verdict.ok = result.ok();
-          verdict.errors = std::move(result.errors);
-          verdict.origin = fp;
-          if (options_.incremental) {
-            memo_.emplace(MemoKey{rfp, scenario.failed_switches}, verdict);
-            if (options_.shared_cache) {
-              options_.shared_cache->publish_verdict(binding_, rfp,
-                                                     scenario.failed_switches, verdict);
-            }
-          }
-        }
-        if (!verdict.ok) {
+        if (!ok) {
           outcome.reliable = false;
           outcome.counterexample = std::move(scenario);
-          outcome.errors = std::move(verdict.errors);
+          outcome.errors = std::move(direct.errors);
           return false;
         }
         sim_checked.push_back(std::move(scenario));
@@ -224,154 +232,177 @@ AnalysisOutcome VerificationEngine::analyze(const Topology& topology) {
     return commit();
   }
 
-  enum class Source { kEval, kMemo };
-  struct Item {
+  // Parallel path: per-order rounds of rank-contiguous chunks, claimed by
+  // workers from the pool's central queue (work stealing). Workers classify
+  // and evaluate against the PRE-round snapshot only; a serial reduction
+  // replays the round in rank order with exact Algorithm 3 semantics.
+  struct Res {
+    enum class Src { kNone, kMemo, kShared, kEval };
+    Src src = Src::kNone;
+    const Verdict* memo = nullptr;  // kMemo (std::map values are address-stable)
+    Verdict val;                    // kShared / kEval
+    GraphFp rfp;                    // set when incremental
+    bool evaluated = false;         // a fresh NBF execution happened
+  };
+  struct Slot {
     FailureScenario scenario;
     double prob = 1.0;
-    Source source = Source::kEval;
-    GraphFp rfp;                    // set when incremental and not skipped
-    const Verdict* memo = nullptr;  // kMemo
-    bool shared = false;            // kMemo verdict adopted from the shared cache
-    NbfResult result;               // kEval, once evaluated
-    bool evaluated = false;
+    Res direct;
+    bool has_proj = false;  // direct failed, mixed, and the projection covers
+    FailureScenario projected;
+    Res proj;
   };
-  const std::size_t wave_capacity = static_cast<std::size_t>(options_.chunk_size) *
-                                    static_cast<std::size_t>(options_.num_threads);
-  std::vector<Item> wave;
-  wave.reserve(wave_capacity);
 
-  // Processes the buffered wave; returns false when a counterexample ends
-  // the whole analysis.
-  const auto flush = [&]() -> bool {
-    if (wave.empty()) return true;
+  const auto verdict_of = [](const Res& r) -> const Verdict& {
+    return r.src == Res::Src::kMemo ? *r.memo : r.val;
+  };
 
-    // Classify against the knowledge available before the wave; survivors
-    // committed inside the wave can only prune further (handled in the
-    // reduction below, where a speculative evaluation becomes waste).
-    std::vector<std::size_t> to_eval;
-    for (std::size_t i = 0; i < wave.size(); ++i) {
-      Item& item = wave[i];
-      if (item.prob < goal) continue;
-      if (options_.use_superset_pruning && subset_of_any(item.scenario, sim_checked)) {
-        continue;
+  // Worker-side resolution: read-only memo probe, internally-locked shared
+  // probe, else a fresh evaluation. Never mutates engine state.
+  const auto probe_or_eval = [&](const FailureScenario& scenario, Res& r) {
+    if (options_.incremental) {
+      r.rfp = topology.residual_fingerprint(scenario);
+      if (const auto it =
+              memo_.find(MemoRef{r.rfp, &scenario.failed_switches, &scenario.failed_links});
+          it != memo_.end()) {
+        r.src = Res::Src::kMemo;
+        r.memo = &it->second;
+        return;
       }
-      if (options_.incremental) {
-        item.rfp = topology.residual_fingerprint(item.scenario);
-        const auto it = memo_.find(MemoRef{item.rfp, &item.scenario.failed_switches});
-        if (it != memo_.end()) {
-          item.source = Source::kMemo;
-          item.memo = &it->second;
+      if (options_.shared_cache &&
+          options_.shared_cache->lookup_verdict(binding_, r.rfp, scenario.failed_switches,
+                                                scenario.failed_links, &r.val)) {
+        r.src = Res::Src::kShared;
+        return;
+      }
+    }
+    NbfResult result = run_nbf(scenario);
+    r.src = Res::Src::kEval;
+    r.evaluated = true;
+    r.val.ok = result.ok();
+    r.val.errors = std::move(result.errors);
+    r.val.origin = fp;
+  };
+
+  // Serial-side commit of a worker resolution: counters, memo adoption,
+  // shared publication. Returns the authoritative verdict (address-stable
+  // until the next memo clear).
+  const auto commit_res = [&](const FailureScenario& scenario, Res& r) -> const Verdict* {
+    switch (r.src) {
+      case Res::Src::kMemo:
+        count_memo_hit(*r.memo);
+        return r.memo;
+      case Res::Src::kShared: {
+        ++outcome.shared_hits;
+        const auto slot = memo_.emplace(
+            MemoKey{r.rfp, scenario.failed_switches, scenario.failed_links},
+            std::move(r.val));
+        return &slot.first->second;
+      }
+      case Res::Src::kEval: {
+        if (!options_.incremental) return &r.val;
+        // emplace tolerates a duplicate key (a projection earlier in this
+        // round can coincide with a later switch-only scenario): both hold
+        // the same pure-function verdict.
+        const auto slot = memo_.emplace(
+            MemoKey{r.rfp, scenario.failed_switches, scenario.failed_links}, r.val);
+        if (options_.shared_cache) {
+          options_.shared_cache->publish_verdict(binding_, r.rfp, scenario.failed_switches,
+                                                 scenario.failed_links,
+                                                 slot.first->second);
+        }
+        return &slot.first->second;
+      }
+      case Res::Src::kNone:
+        break;
+    }
+    NPTSN_ASSERT(false, "engine reduction reached an unresolved scenario");
+    return nullptr;
+  };
+
+  const std::size_t round_capacity = static_cast<std::size_t>(options_.chunk_size) *
+                                     static_cast<std::size_t>(options_.num_threads);
+  // Several chunks per worker per round so a fast worker steals the tail of
+  // a slow worker's share instead of idling at the round barrier.
+  const std::uint64_t steal_chunk =
+      static_cast<std::uint64_t>(std::max(1, options_.chunk_size / 4));
+  std::vector<Slot> round;
+
+  for (int order = frontier.max_order; order >= 0; --order) {
+    const std::uint64_t total = binomial(n, order);
+    std::uint64_t next_rank = 0;
+    while (next_rank < total) {
+      const std::size_t count =
+          static_cast<std::size_t>(std::min<std::uint64_t>(total - next_rank,
+                                                           round_capacity));
+      round.assign(count, Slot{});
+      ensure_staged();  // before the workers need it (staging is not concurrent)
+      const int num_chunks =
+          static_cast<int>((count + steal_chunk - 1) / steal_chunk);
+      pool_->parallel_for(num_chunks, [&](int c) {
+        const std::uint64_t off = static_cast<std::uint64_t>(c) * steal_chunk;
+        const std::uint64_t lim = std::min<std::uint64_t>(off + steal_chunk, count);
+        std::size_t pos = static_cast<std::size_t>(off);
+        for_each_combination_in_range(
+            n, order, next_rank + off, next_rank + lim, [&](const std::vector<int>& idx) {
+              Slot& slot = round[pos++];
+              slot.scenario = scenario_of(frontier, idx, &slot.prob);
+              if (order > options_.min_order && slot.prob < goal) return true;
+              if (options_.use_superset_pruning &&
+                  subset_of_any(slot.scenario, sim_checked)) {
+                return true;  // pre-round snapshot; the reduction re-checks
+              }
+              probe_or_eval(slot.scenario, slot.direct);
+              if (!verdict_of(slot.direct).ok && !slot.scenario.failed_links.empty()) {
+                slot.projected = project_to_switches(topology, slot.scenario);
+                if (projection_covers(slot.scenario, slot.projected)) {
+                  slot.has_proj = true;
+                  probe_or_eval(slot.projected, slot.proj);
+                }
+              }
+              return true;
+            });
+      });
+      for (const Slot& slot : round) {
+        outcome.nbf_executed += (slot.direct.evaluated ? 1 : 0) + (slot.proj.evaluated ? 1 : 0);
+      }
+
+      // Ordered reduction: exact Algorithm 3 semantics in rank order. The
+      // reduction can only prune MORE than the workers did (sim_checked
+      // grows within the round), so every non-pruned slot is resolved.
+      for (Slot& slot : round) {
+        if (options_.deadline) options_.deadline->poll();
+        if (order > options_.min_order && slot.prob < goal) {
+          ++outcome.scenarios_skipped;  // safe fault above the frontier floor
           continue;
         }
-        if (options_.shared_cache) {
-          Verdict shared;
-          if (options_.shared_cache->lookup_verdict(
-                  binding_, item.rfp, item.scenario.failed_switches, &shared)) {
-            // Adopt into the local memo (std::map values are address-stable)
-            // and serve from there, exactly like a local hit.
-            const auto slot = memo_.emplace(
-                MemoKey{item.rfp, item.scenario.failed_switches}, std::move(shared));
-            item.source = Source::kMemo;
-            item.memo = &slot.first->second;
-            item.shared = true;
-            continue;
-          }
+        if (options_.use_superset_pruning && subset_of_any(slot.scenario, sim_checked)) {
+          ++outcome.scenarios_pruned;
+          outcome.speculative_waste +=
+              (slot.direct.evaluated ? 1 : 0) + (slot.proj.evaluated ? 1 : 0);
+          continue;
         }
-      }
-      to_eval.push_back(i);
-    }
-    if (!to_eval.empty()) {
-      pool_->parallel_for(static_cast<int>(to_eval.size()), [&](int j) {
-        Item& item = wave[to_eval[static_cast<std::size_t>(j)]];
-        item.result = nbf_->recover(topology, item.scenario);
-        item.evaluated = true;
-      });
-      outcome.nbf_executed += static_cast<std::int64_t>(to_eval.size());
-    }
 
-    // Ordered reduction: replay the wave in enumeration order with exact
-    // Algorithm 3 semantics.
-    for (Item& item : wave) {
-      if (item.prob < goal) {
-        ++outcome.scenarios_skipped;  // safe fault
-        continue;
+        ++outcome.nbf_calls;
+        const Verdict* direct = commit_res(slot.scenario, slot.direct);
+        bool ok = direct->ok;
+        if (!ok && !slot.scenario.failed_links.empty() && slot.has_proj) {
+          ++outcome.nbf_calls;  // the Eq. 6 deployability fallback
+          ok = commit_res(slot.projected, slot.proj)->ok;
+        }
+        if (!ok) {
+          outcome.reliable = false;
+          outcome.counterexample = std::move(slot.scenario);
+          outcome.errors = direct->errors;
+          return commit();
+        }
+        sim_checked.push_back(std::move(slot.scenario));
       }
-      if (options_.use_superset_pruning && subset_of_any(item.scenario, sim_checked)) {
-        ++outcome.scenarios_pruned;
-        if (item.evaluated) ++outcome.speculative_waste;
-        continue;
-      }
-
-      // The sequential analyzer calls the NBF here; resolve the verdict from
-      // whichever source owns it.
-      ++outcome.nbf_calls;
-      Verdict verdict;
-      switch (item.source) {
-        case Source::kMemo:
-          verdict = *item.memo;  // exact: identical residual, identical failed set
-          if (item.shared) {
-            ++outcome.shared_hits;
-          } else {
-            count_memo_hit(verdict);
-          }
-          break;
-        case Source::kEval:
-          if (!item.evaluated) {
-            item.result = nbf_->recover(topology, item.scenario);
-            ++outcome.nbf_executed;
-          }
-          verdict.ok = item.result.ok();
-          verdict.errors = item.result.errors;
-          verdict.origin = fp;
-          if (options_.incremental) {
-            memo_.emplace(MemoKey{item.rfp, item.scenario.failed_switches}, verdict);
-            if (options_.shared_cache) {
-              options_.shared_cache->publish_verdict(
-                  binding_, item.rfp, item.scenario.failed_switches, verdict);
-            }
-          }
-          break;
-      }
-
-      if (!verdict.ok) {
-        outcome.reliable = false;
-        outcome.counterexample = std::move(item.scenario);
-        outcome.errors = std::move(verdict.errors);
-        return false;
-      }
-      sim_checked.push_back(std::move(item.scenario));
+      next_rank += count;
     }
-    wave.clear();
-    return true;
-  };
-
-  bool done = false;
-  for (int order = maxord; order >= 0 && !done; --order) {
-    const bool completed = for_each_combination(n, order, [&](const std::vector<int>& idx) {
-      if (options_.deadline) options_.deadline->poll();
-      Item item;
-      item.scenario.failed_switches.reserve(idx.size());
-      for (const int i : idx) {
-        const NodeId v = candidates[static_cast<std::size_t>(i)];
-        item.scenario.failed_switches.push_back(v);
-        item.prob *= prob_of(v);
-      }
-      // candidates is sorted ascending, combinations are lexicographic, so
-      // failed_switches is already normalized.
-      wave.push_back(std::move(item));
-      if (wave.size() >= wave_capacity && !flush()) return false;
-      return true;
-    });
-    if (!completed) {
-      done = true;
-      break;
-    }
-    // Waves never span orders: higher-order survivors are the strongest
-    // pruners, so commit them before enumerating their subsets.
-    if (!flush()) done = true;
   }
 
-  if (!done) outcome.reliable = true;
+  outcome.reliable = true;
   return commit();
 }
 

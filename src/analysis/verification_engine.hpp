@@ -36,16 +36,22 @@
 //     converged policy that re-produces the same designs epoch after epoch
 //     hits this cache on most steps.
 //
-//  3. Speculative parallel evaluation with an ordered reduction. Scenario
-//     combinations are enumerated into waves; NBF evaluations inside a wave
-//     run concurrently on a thread pool. A serial reduction then replays the
-//     wave in exact Algorithm 3 order — probability skip, subset pruning
-//     against the survivors the sequential analyzer would have accumulated,
-//     then the (precomputed) verdict — so the engine returns the same
-//     verdict, the same FIRST counterexample, the same ErrorSet, and the
-//     same logical instrumentation counters as the sequential analyzer, for
-//     every thread count. Speculative evaluations that the reduction prunes
-//     are wasted work, never a behaviour change.
+//  3. Work-stealing speculative evaluation with an ordered reduction. Each
+//     order's combinations are processed in rounds of rank-contiguous
+//     chunks; workers claim chunks from the pool's central queue (a fast
+//     worker steals the slow worker's remaining chunks), unrank their
+//     chunk's first combination (combination_from_rank) and advance locally
+//     with the successor loop — no shared cursor, no per-scenario handoff.
+//     Inside a chunk a worker classifies each scenario strictly against the
+//     pre-round snapshot (probability skip, subset pruning against the
+//     survivors committed by earlier rounds, read-only memo/shared-cache
+//     probes) and evaluates the unresolved ones. A serial reduction then
+//     replays the round in exact rank order with full Algorithm 3 semantics
+//     — so the engine returns the same verdict, the same FIRST
+//     counterexample, the same ErrorSet, and the same logical
+//     instrumentation counters as the sequential analyzer, for every thread
+//     count. Speculative evaluations the reduction prunes are wasted work,
+//     never a behaviour change.
 //
 // Every verdict the engine reports is either a fresh NBF execution or an
 // exact replay of one on an identical input, so warm and cold engines are
@@ -76,6 +82,13 @@ class VerificationEngine {
     // equivalent to the sequential analyzer under the same settings.
     bool flow_level_redundancy = false;
     bool use_superset_pruning = true;
+    // Frontier floor and mixed link/switch enumeration, with
+    // FailureAnalyzer::Options semantics: scenarios of order <= min_order
+    // are verified even below the probability threshold, and include_links
+    // makes planned links first-class failure candidates (a mixed scenario
+    // survives via direct recovery or its Eq. 6 switch projection).
+    int min_order = 0;
+    bool include_links = false;
     // Cooperative execution deadline (must outlive the engine). Polled once
     // per enumerated scenario on the serial reduction path — never from pool
     // workers — so expiry surfaces as one DeadlineExceeded with at most one
@@ -107,6 +120,11 @@ class VerificationEngine {
     // whose NBFs could disagree never share verdicts. Callers that share a
     // cache across differently-configured NBFs MUST disambiguate here.
     std::uint64_t cache_salt = 0;
+    // Use the NBF's staged session (StatelessNbf::stage) when it offers one.
+    // Sessions are bit-identical to plain recover() by contract, so this is
+    // a pure throughput switch: no salt bit, no verdict change. Staging is
+    // lazy — an analysis served entirely from caches never stages.
+    bool packed_nbf = true;
   };
 
   explicit VerificationEngine(const StatelessNbf& nbf)
@@ -133,32 +151,41 @@ class VerificationEngine {
   // Memo key: the residual graph's edge fingerprint plus the failed set
   // (which also fixes the residual's active-node set — the node universe is
   // constant for the engine's one problem). Together they are exact cache
-  // identity for the NBF's input.
+  // identity for the NBF's input. Failed links participate so mixed
+  // frontiers memoize correctly: a residual reached by failing link (a, b)
+  // and one reached by failing a degree-pruned switch could share an edge
+  // set but are distinct NBF inputs only through the failed sets.
   struct MemoKey {
     GraphFp rfp;
     std::vector<NodeId> switches;
+    std::vector<EdgeKey> links;
   };
   // Borrowed-key view for allocation-free lookups (the analyze hot path
   // probes the memo once per evaluated scenario).
   struct MemoRef {
     GraphFp rfp;
     const std::vector<NodeId>* switches = nullptr;
+    const std::vector<EdgeKey>* links = nullptr;
   };
   struct MemoLess {
     using is_transparent = void;
     static bool less(const GraphFp& afp, const std::vector<NodeId>& asw,
-                     const GraphFp& bfp, const std::vector<NodeId>& bsw) {
+                     const std::vector<EdgeKey>& al, const GraphFp& bfp,
+                     const std::vector<NodeId>& bsw, const std::vector<EdgeKey>& bl) {
       if (afp != bfp) return afp < bfp;
-      return std::lexicographical_compare(asw.begin(), asw.end(), bsw.begin(), bsw.end());
+      if (asw != bsw) {
+        return std::lexicographical_compare(asw.begin(), asw.end(), bsw.begin(), bsw.end());
+      }
+      return std::lexicographical_compare(al.begin(), al.end(), bl.begin(), bl.end());
     }
     bool operator()(const MemoKey& a, const MemoKey& b) const {
-      return less(a.rfp, a.switches, b.rfp, b.switches);
+      return less(a.rfp, a.switches, a.links, b.rfp, b.switches, b.links);
     }
     bool operator()(const MemoKey& a, const MemoRef& b) const {
-      return less(a.rfp, a.switches, b.rfp, *b.switches);
+      return less(a.rfp, a.switches, a.links, b.rfp, *b.switches, *b.links);
     }
     bool operator()(const MemoRef& a, const MemoKey& b) const {
-      return less(a.rfp, *a.switches, b.rfp, b.switches);
+      return less(a.rfp, *a.switches, *a.links, b.rfp, b.switches, b.links);
     }
   };
 

@@ -11,6 +11,8 @@ NeuroPlanEnv::NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& n
       analyzer_(nbf,
                 [&config] {
                   FailureAnalyzer::Options options;
+                  options.min_order = config.min_frontier_order;
+                  options.include_links = config.frontier_include_links;
                   options.deadline = config.deadline.get();
                   return options;
                 }()),
@@ -22,6 +24,8 @@ NeuroPlanEnv::NeuroPlanEnv(const PlanningProblem& problem, const StatelessNbf& n
   if (config.use_verification_engine) {
     VerificationEngine::Options options;
     options.num_threads = config.verification_threads;
+    options.min_order = config.min_frontier_order;
+    options.include_links = config.frontier_include_links;
     options.deadline = config.deadline.get();
     engine_ = std::make_unique<VerificationEngine>(nbf, options);
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "tsn/sim_kernels.hpp"
 #include "util/deadline.hpp"
 
 namespace nptsn {
@@ -90,6 +91,31 @@ struct NptsnConfig {
   // keep num_workers * verification_threads near the core count). 1 keeps
   // the analysis single-threaded with incremental reuse only.
   int verification_threads = 1;
+
+  // --- TSN compute kernels ----------------------------------------------------
+  // Kernel family for the TSN data plane (DESIGN.md §16): the bitset-packed
+  // NBF recovery session and the packed simulator state. kFast is
+  // bit-identical to kReference by contract — every slot decision is integer
+  // arithmetic, so unlike nn_kernel there is no FP divergence and no salt:
+  // verdicts, counterexamples, certificates, and training trajectories are
+  // byte-identical across families (differential-tested). kReference keeps
+  // the original scalar loops as frozen ground truth. plan() installs this
+  // process-globally (set_tsn_kernel), like nn_kernel.
+  TsnKernel tsn_kernel = TsnKernel::kFast;
+
+  // --- failure frontier --------------------------------------------------------
+  // Frontier floor: every failure scenario of order <= min_frontier_order is
+  // verified (and certified) even when its Eq. 2 probability falls below the
+  // reliability goal — "all double faults" hardening is min_frontier_order =
+  // 2. Deepens maxord when the probability frontier alone is shallower. 0 is
+  // exactly Algorithm 3.
+  int min_frontier_order = 0;
+  // Mixed link/switch frontiers: planned links fail as first-class
+  // candidates next to switches. A mixed scenario survives via direct NBF
+  // recovery or its Eq. 6 switch projection (when the projection covers
+  // every failed link); certificates carry mixed proofs and the auditor
+  // re-enumerates the same mixed frontier independently.
+  bool frontier_include_links = false;
 
   // --- cross-session shared caches (planning-as-a-service) --------------------
   // All three stores are OPTIONAL (null = the session runs self-contained,

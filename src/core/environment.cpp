@@ -73,6 +73,8 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
       analyzer_(nbf,
                 [&config] {
                   FailureAnalyzer::Options options;
+                  options.min_order = config.min_frontier_order;
+                  options.include_links = config.frontier_include_links;
                   options.deadline = config.deadline.get();
                   return options;
                 }()),
@@ -85,6 +87,8 @@ PlanningEnv::PlanningEnv(const PlanningProblem& problem, const StatelessNbf& nbf
   if (config.use_verification_engine) {
     VerificationEngine::Options options;
     options.num_threads = config.verification_threads;
+    options.min_order = config.min_frontier_order;
+    options.include_links = config.frontier_include_links;
     options.deadline = config.deadline.get();
     // Per-problem constants: staged once by the caller when provided (one
     // staging serves every worker env of a session — and, through the
@@ -195,6 +199,8 @@ PlanningEnv::StepResult PlanningEnv::step(int action) {
 
 bool PlanningEnv::audit_solution(std::string& why) const {
   CertificateOptions cert_options;
+  cert_options.min_order = config_->min_frontier_order;
+  cert_options.include_links = config_->frontier_include_links;
   cert_options.deadline = config_->deadline.get();
   const CertificateBuildResult built = build_certificate(topology_, *nbf_, cert_options);
   if (!built.ok) {

@@ -15,6 +15,9 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   // pass of this run (process-global; see NptsnConfig::nn_kernel).
   set_nn_kernel(config.nn_kernel);
   set_nn_kernel_threads(config.nn_threads);
+  // Same for the TSN data-plane family (packed NBF sessions + packed
+  // simulator state) — bit-identical to the scalar reference by contract.
+  set_tsn_kernel(config.tsn_kernel);
 
   SolutionRecorder recorder;
   const ObservationEncoder encoder(problem, config.path_actions);
@@ -133,6 +136,8 @@ PlanningResult plan(const PlanningProblem& problem, const StatelessNbf& nbf,
   if (config.audit_mode != AuditMode::kOff && result.best) {
     ++result.audits_run;
     CertificateOptions cert_options;
+    cert_options.min_order = config.min_frontier_order;
+    cert_options.include_links = config.frontier_include_links;
     cert_options.deadline = config.deadline.get();
     AuditOptions audit_options;
     audit_options.deadline = config.deadline.get();

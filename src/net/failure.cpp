@@ -20,6 +20,11 @@ bool FailureScenario::switches_subset_of(const FailureScenario& other) const {
   return std::ranges::includes(other.failed_switches, failed_switches);
 }
 
+bool FailureScenario::subset_of(const FailureScenario& other) const {
+  return std::ranges::includes(other.failed_switches, failed_switches) &&
+         std::ranges::includes(other.failed_links, failed_links);
+}
+
 FailureScenario FailureScenario::of_switches(std::vector<NodeId> switches) {
   FailureScenario scenario;
   scenario.failed_switches = std::move(switches);

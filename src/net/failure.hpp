@@ -17,9 +17,20 @@ struct FailureScenario {
   bool empty() const { return failed_switches.empty() && failed_links.empty(); }
   void normalize();  // sort + dedupe
 
+  // Failure order |Gf|: total number of failed components.
+  int order() const {
+    return static_cast<int>(failed_switches.size() + failed_links.size());
+  }
+
   // True if every failed switch of this scenario also fails in `other`
   // (switch-only subset test used by the analyzer's superset pruning).
   bool switches_subset_of(const FailureScenario& other) const;
+
+  // Componentwise subset test over both switches and links — the pruning
+  // relation for mixed link/switch frontiers. residual(this) is a supergraph
+  // of residual(other), so a flow state proven on `other` deploys verbatim
+  // here (the same run-time deployability argument as switch-only pruning).
+  bool subset_of(const FailureScenario& other) const;
 
   static FailureScenario none() { return {}; }
   static FailureScenario of_switches(std::vector<NodeId> switches);

@@ -107,6 +107,8 @@ StressProbe stress_probe(const GeneratorParams& params, std::uint64_t instance_s
   plan_config.seed = instance_seed;
   plan_config.audit_mode = AuditMode::kFinal;
   plan_config.health_checks = true;
+  plan_config.min_frontier_order = config.min_frontier_order;
+  plan_config.frontier_include_links = config.frontier_include_links;
   plan_config.deadline = Deadline::after(/*wall_seconds=*/0.0, config.plan_tick_budget);
 
   const PlanningResult result = plan(problem, nbf, plan_config);

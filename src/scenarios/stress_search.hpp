@@ -55,6 +55,13 @@ struct StressConfig {
   // Cost-gap threshold: relative Eq. 1 excess over a valid TRH plan before
   // an instance counts as a cost-gap offender.
   double cost_gap_threshold = 0.25;
+
+  // Frontier shape for every probe's plan() (core/config.hpp): a floor > 0
+  // re-scores the corpus against deeper failure frontiers (the nightly soak
+  // replays at min_frontier_order = 2), include_links adds mixed
+  // link/switch scenarios. Both default to Algorithm 3.
+  int min_frontier_order = 0;
+  bool frontier_include_links = false;
 };
 
 struct StressProbe {

@@ -1,0 +1,35 @@
+// Bitset-packed staged implementation of HeuristicRecovery — the production
+// fast path behind StatelessNbf::stage().
+//
+// Staging precomputes, once per topology: packed adjacency bit-rows, a CSR
+// view with per-directed-edge ids, the dense (from, to) -> edge-id lookup,
+// the transit mask, and every flow's FlowTiming. Each recover() then runs
+// entirely on flat arrays — a word-parallel reachability guard
+// (tsk::reach_fast), the exact Dijkstra of graph/paths.cpp over the CSR,
+// and single-word slot-occupancy kernels instead of the std::map SlotTable.
+// Results are bit-identical to HeuristicRecovery::recover(); the scalar
+// path stays in the tree as the bit-frozen ground truth and the Yen
+// fallback (rare) still materializes a residual Graph and calls the shared
+// k_shortest_paths.
+#pragma once
+
+#include <memory>
+
+#include "net/topology.hpp"
+#include "tsn/recovery.hpp"
+
+namespace nptsn {
+
+// Packed envelope: instances with more nodes use the scalar path (the dense
+// edge-id lookup is n^2); in-vehicle networks are far below this.
+inline constexpr int kPackedMaxNodes = 1024;
+
+// Builds a packed session for the topology, or nullptr when the instance is
+// outside the packed envelope (num_nodes > kPackedMaxNodes or
+// slots_per_base > 64). path_candidates / discipline have
+// HeuristicRecovery's semantics.
+std::unique_ptr<NbfSession> make_packed_recovery_session(const Topology& topology,
+                                                         int path_candidates,
+                                                         TtDiscipline discipline);
+
+}  // namespace nptsn

@@ -10,6 +10,7 @@
 // empty failure the result is the initial flow state FI0.
 #pragma once
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,22 @@ struct NbfResult {
   bool ok() const { return errors.empty(); }
 };
 
+// A staged NBF session: per-topology precomputation (packed adjacency, CSR,
+// flow timings, slot-table layout) done once so that repeated recover()
+// calls skip the per-call Graph copy and std::map walks of the generic
+// path. Sessions are BIT-identical to the staging NBF's
+// recover(topology, scenario) — same flow states, same errors, same throws
+// on malformed scenarios — and safe to call concurrently from multiple
+// threads (each call draws a private scratch from an internal pool). The
+// staged topology must outlive the session and must not be mutated while
+// the session is alive.
+class NbfSession {
+ public:
+  virtual ~NbfSession() = default;
+
+  virtual NbfResult recover(const FailureScenario& scenario) const = 0;
+};
+
 // Interface for recovery mechanisms. Implementations must be deterministic
 // pure functions of (topology, scenario) — the failure analyzer and the RL
 // environment both rely on that.
@@ -39,6 +56,16 @@ class StatelessNbf {
   // components.
   virtual NbfResult recover(const Topology& topology,
                             const FailureScenario& scenario) const = 0;
+
+  // Optional staged fast path. Returns nullptr when the NBF has no staged
+  // implementation (the default) or the instance falls outside its
+  // envelope; callers then fall back to plain recover(). Implementations
+  // must keep the session bit-identical to recover() — the verification
+  // engine mixes both paths freely and memoizes across them.
+  virtual std::unique_ptr<NbfSession> stage(const Topology& topology) const {
+    (void)topology;
+    return nullptr;
+  }
 
   // FI0 / ER0: the initial flow state (empty failure scenario).
   NbfResult initial_state(const Topology& topology) const {
@@ -61,6 +88,12 @@ class HeuristicRecovery final : public StatelessNbf {
 
   NbfResult recover(const Topology& topology,
                     const FailureScenario& scenario) const override;
+
+  // Bitset-packed staged session (src/tsn/packed.cpp). Non-null when the
+  // instance fits the packed envelope (slots_per_base <= 64, node count
+  // within the packed bound) and the global tsn_kernel() is kFast;
+  // otherwise nullptr and callers use the scalar reference path.
+  std::unique_ptr<NbfSession> stage(const Topology& topology) const override;
 
  private:
   int path_candidates_;

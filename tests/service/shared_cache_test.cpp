@@ -39,17 +39,18 @@ TEST(EngineSharedCache, VerdictRoundTripAndBindingIsolation) {
   const EngineSharedCache::Binding binding{fp(1, 2), /*salt=*/7};
   const GraphFp rfp = graph_fp(10, 20, 5);
   const std::vector<NodeId> failed = {3, 8};
+  const std::vector<EdgeKey> no_links;
 
   NbfVerdict out;
-  EXPECT_FALSE(cache.lookup_verdict(binding, rfp, failed, &out));
+  EXPECT_FALSE(cache.lookup_verdict(binding, rfp, failed, no_links, &out));
 
   NbfVerdict verdict;
   verdict.ok = false;
   verdict.errors = {{3, 8}, {3, 9}};
   verdict.origin = graph_fp(99, 98, 12);
-  cache.publish_verdict(binding, rfp, failed, verdict);
+  cache.publish_verdict(binding, rfp, failed, no_links, verdict);
 
-  ASSERT_TRUE(cache.lookup_verdict(binding, rfp, failed, &out));
+  ASSERT_TRUE(cache.lookup_verdict(binding, rfp, failed, no_links, &out));
   EXPECT_EQ(out.ok, verdict.ok);
   EXPECT_EQ(out.errors, verdict.errors);
   EXPECT_EQ(out.origin.a, verdict.origin.a);
@@ -57,15 +58,18 @@ TEST(EngineSharedCache, VerdictRoundTripAndBindingIsolation) {
   // A different salt (analysis options / NBF construction) must never see
   // the entry — that is the cache-key soundness boundary.
   const EngineSharedCache::Binding other_salt{fp(1, 2), /*salt=*/8};
-  EXPECT_FALSE(cache.lookup_verdict(other_salt, rfp, failed, &out));
+  EXPECT_FALSE(cache.lookup_verdict(other_salt, rfp, failed, no_links, &out));
   // Same for a different problem fingerprint and a different failed set.
   const EngineSharedCache::Binding other_problem{fp(1, 3), /*salt=*/7};
-  EXPECT_FALSE(cache.lookup_verdict(other_problem, rfp, failed, &out));
-  EXPECT_FALSE(cache.lookup_verdict(binding, rfp, {3}, &out));
+  EXPECT_FALSE(cache.lookup_verdict(other_problem, rfp, failed, no_links, &out));
+  EXPECT_FALSE(cache.lookup_verdict(binding, rfp, {3}, no_links, &out));
+  // Mixed-frontier keys: the same switch set with a failed link is a
+  // DIFFERENT NBF input and must never alias the switch-only entry.
+  EXPECT_FALSE(cache.lookup_verdict(binding, rfp, failed, {EdgeKey{1, 2}}, &out));
 
   const auto stats = cache.stats();
   EXPECT_EQ(stats.verdict_hits, 1u);
-  EXPECT_EQ(stats.verdict_misses, 4u);
+  EXPECT_EQ(stats.verdict_misses, 5u);
   EXPECT_GE(stats.entries, 1u);
 }
 
@@ -106,22 +110,22 @@ TEST(EngineSharedCache, EvictsUnderTinyByteBudget) {
   NbfVerdict verdict;
   verdict.ok = true;
   for (std::uint64_t i = 0; i < 200; ++i) {
-    cache.publish_verdict(binding, graph_fp(i, i, 1), {static_cast<NodeId>(i)}, verdict);
+    cache.publish_verdict(binding, graph_fp(i, i, 1), {static_cast<NodeId>(i)}, {}, verdict);
   }
   const auto stats = cache.stats();
   EXPECT_GT(stats.verdict_evictions, 0u);
   EXPECT_LE(stats.bytes, config.verdict_bytes_per_shard + config.outcome_bytes_per_shard);
   // The most recent publishes survive; ancient ones were evicted.
   NbfVerdict out;
-  EXPECT_TRUE(cache.lookup_verdict(binding, graph_fp(199, 199, 1), {199}, &out));
-  EXPECT_FALSE(cache.lookup_verdict(binding, graph_fp(0, 0, 1), {0}, &out));
+  EXPECT_TRUE(cache.lookup_verdict(binding, graph_fp(199, 199, 1), {199}, {}, &out));
+  EXPECT_FALSE(cache.lookup_verdict(binding, graph_fp(0, 0, 1), {0}, {}, &out));
 }
 
 TEST(EngineSharedCache, ClearEmptiesEveryShard) {
   EngineSharedCache cache;
   const EngineSharedCache::Binding binding{fp(2, 2), 0};
   for (std::uint64_t i = 0; i < 16; ++i) {
-    cache.publish_verdict(binding, graph_fp(i, i, 1), {1}, NbfVerdict{});
+    cache.publish_verdict(binding, graph_fp(i, i, 1), {1}, {}, NbfVerdict{});
   }
   EXPECT_GT(cache.stats().entries, 0u);
   cache.clear();
@@ -151,16 +155,17 @@ TEST(EngineSharedCacheStress, ConcurrentPublishLookupIsRaceFree) {
         const std::uint64_t k = static_cast<std::uint64_t>((i * 13 + t * 5) % 64);
         const GraphFp rfp = graph_fp(k, k ^ 0xabcddcba, 3);
         const std::vector<NodeId> failed = {static_cast<NodeId>(k % 7)};
+        const std::vector<EdgeKey> no_links;
         NbfVerdict verdict;
         verdict.ok = (k % 2) == 0;
         if (k % 2 == 0) verdict.errors = {{1, 2}};
         NbfVerdict out;
-        if (cache.lookup_verdict(binding, rfp, failed, &out)) {
+        if (cache.lookup_verdict(binding, rfp, failed, no_links, &out)) {
           // A hit is an exact replay of the (deterministic) published value.
           ASSERT_EQ(out.ok, verdict.ok);
           hits.fetch_add(1, std::memory_order_relaxed);
         } else {
-          cache.publish_verdict(binding, rfp, failed, verdict);
+          cache.publish_verdict(binding, rfp, failed, no_links, verdict);
         }
         AnalysisOutcome outcome;
         outcome.reliable = verdict.ok;

@@ -20,6 +20,7 @@
 
 #include "analysis/auditor.hpp"
 #include "scenarios/ads.hpp"
+#include "scenarios/generator.hpp"
 #include "scenarios/orion.hpp"
 #include "util/rng.hpp"
 
@@ -28,7 +29,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --certificate FILE --scenario ads|orion [options]\n"
+      "usage: %s --certificate FILE --scenario ads|orion|gen:... [options]\n"
       "\n"
       "Re-audits a reliability certificate against a design scenario's\n"
       "planning problem, independently of the planner that emitted it.\n"
@@ -37,8 +38,11 @@ void usage(const char* argv0) {
       "  --certificate FILE   certificate file written by plan() /\n"
       "                       save_certificate_file (required)\n"
       "  --scenario NAME      ads (12 ES, 4 switches, the 12 application\n"
-      "                       flows) or orion (31 ES, 15 switches, random\n"
-      "                       flows) (required)\n"
+      "                       flows), orion (31 ES, 15 switches, random\n"
+      "                       flows), or gen:SEED[:FLOWS[:ZONES[:SPZ\n"
+      "                       [:BACKBONE[:ESDEG]]]]] — the same generated\n"
+      "                       zonal instance spec nptsn_serve accepts\n"
+      "                       (required)\n"
       "  --flows N            use N seeded random flows instead of the\n"
       "                       scenario default (default: ads = application\n"
       "                       flows, orion = 4 random flows)\n"
@@ -108,23 +112,48 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Scenario scenario;
-  if (scenario_name == "ads") {
-    scenario = make_ads();
-  } else if (scenario_name == "orion") {
-    scenario = make_orion();
+  PlanningProblem problem;
+  if (scenario_name.rfind("gen:", 0) == 0) {
+    // Generated zonal instance, same spec grammar as nptsn_serve: the
+    // generator is deterministic, so the spec alone reconstructs the exact
+    // problem the certificate was issued for.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t colon = scenario_name.find(':', start);
+      parts.push_back(scenario_name.substr(start, colon - start));
+      if (colon == std::string::npos) break;
+      start = colon + 1;
+    }
+    if (parts.size() < 2 || parts[1].empty()) {
+      std::fprintf(stderr, "error: gen spec needs a seed\n");
+      return 2;
+    }
+    const std::uint64_t seed = std::strtoull(parts[1].c_str(), nullptr, 10);
+    GeneratorParams params;
+    if (parts.size() > 2) params.flow_count = std::atoi(parts[2].c_str());
+    if (parts.size() > 3) params.zones = std::atoi(parts[3].c_str());
+    if (parts.size() > 4) params.switches_per_zone = std::atoi(parts[4].c_str());
+    if (parts.size() > 5) params.backbone_switches = std::atoi(parts[5].c_str());
+    if (parts.size() > 6) params.max_es_degree = std::atoi(parts[6].c_str());
+    try {
+      problem = generate(params, seed);
+    } catch (const ValidationError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  } else if (scenario_name == "ads" || scenario_name == "orion") {
+    const Scenario scenario = scenario_name == "ads" ? make_ads() : make_orion();
+    if (flows < 0 && scenario_name == "ads") {
+      problem = with_flows(scenario, ads_flows());
+    } else {
+      Rng rng(flow_seed);
+      problem = with_flows(
+          scenario, random_flows(scenario.problem, flows < 0 ? 4 : flows, rng));
+    }
   } else {
     std::fprintf(stderr, "error: unknown scenario %s\n", scenario_name.c_str());
     return 2;
-  }
-
-  PlanningProblem problem;
-  if (flows < 0 && scenario_name == "ads") {
-    problem = with_flows(scenario, ads_flows());
-  } else {
-    Rng rng(flow_seed);
-    problem = with_flows(
-        scenario, random_flows(scenario.problem, flows < 0 ? 4 : flows, rng));
   }
 
   ReliabilityCertificate certificate;
@@ -146,8 +175,9 @@ int main(int argc, char** argv) {
   std::printf("  plan: %zu switches, %zu links, cost %.1f\n",
               certificate.switch_ids.size(), certificate.links.size(),
               certificate.claimed_cost);
-  std::printf("  frontier: %zu non-safe scenario proofs, maxord %d, R %g\n",
-              certificate.proofs.size(), certificate.max_order,
+  std::printf("  frontier: %zu non-safe scenario proofs, maxord %d, minord %d%s, R %g\n",
+              certificate.proofs.size(), certificate.max_order, certificate.min_order,
+              certificate.include_links ? ", mixed link/switch" : "",
               certificate.reliability_goal);
 
   AuditReport report;

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate.hpp"
 #include "scenarios/ads.hpp"
 #include "scenarios/generator.hpp"
 #include "scenarios/orion.hpp"
@@ -175,6 +176,14 @@ void usage(const char* argv0) {
       "  --seed S             base RNG seed (default 1)\n"
       "  --workers-per-session N  rollout workers inside a session\n"
       "  --audit              audit the final plan (certificate in-band)\n"
+      "  --certificates DIR   additionally write every planned session's\n"
+      "                       certificate to DIR/<id>.cert (re-checkable\n"
+      "                       offline with nptsn_audit)\n"
+      "  --min-order K        frontier floor: verify (and certify) every\n"
+      "                       failure scenario up to order K even below the\n"
+      "                       reliability goal (default 0 = Algorithm 3)\n"
+      "  --include-links      mixed frontiers: planned links fail as\n"
+      "                       first-class candidates next to switches\n"
       "  --session-wall SEC   per-session wall budget (0 = unlimited)\n"
       "  --watchdog-grace G   cancel sessions overrunning the wall budget by\n"
       "                       Gx and quarantine shards that still hang (G >= 1;\n"
@@ -308,14 +317,25 @@ std::vector<PlanningRequest> build_requests(const Spec& spec) {
         problem_bytes(with_flows(scenario, random_flows(scenario.problem, flows, rng)));
   } else if (parts[0] == "gen") {
     if (parts.size() < 2 || parts[1].empty()) {
-      throw ValidationError("gen spec needs a seed: gen:SEED[:FLOWS[:ZONES]]");
+      throw ValidationError(
+          "gen spec needs a seed: gen:SEED[:FLOWS[:ZONES[:SPZ[:BACKBONE[:ESDEG]]]]]");
     }
     const std::uint64_t seed = std::strtoull(parts[1].c_str(), nullptr, 10);
     GeneratorParams params;
     if (parts.size() > 2) params.flow_count = std::atoi(parts[2].c_str());
     if (parts.size() > 3) params.zones = std::atoi(parts[3].c_str());
+    // Optional richness knobs (frontier hardening needs them: a min-order-2
+    // plan only exists when end stations can be homed to >= 3 switches).
+    if (parts.size() > 4) params.switches_per_zone = std::atoi(parts[4].c_str());
+    if (parts.size() > 5) params.backbone_switches = std::atoi(parts[5].c_str());
+    if (parts.size() > 6) params.max_es_degree = std::atoi(parts[6].c_str());
     request.id = "gen-" + std::to_string(seed) + "-f" +
                  std::to_string(params.flow_count) + "-z" + std::to_string(params.zones);
+    if (parts.size() > 4) {
+      request.id += "-s" + std::to_string(params.switches_per_zone) + "-b" +
+                    std::to_string(params.backbone_switches) + "-d" +
+                    std::to_string(params.max_es_degree);
+    }
     request.label = describe(params) + " seed " + std::to_string(seed);
     request.problem_bytes = problem_bytes(generate(params, seed));
   } else if (parts[0] == "problem") {
@@ -355,6 +375,7 @@ int main(int argc, char** argv) {
   config.session.num_workers = 1;
   int repeat = 1;
   double admission_timeout = 0.0;
+  std::string certificates_dir;
   std::vector<Spec> specs;
 
   for (int i = 1; i < argc; ++i) {
@@ -394,6 +415,12 @@ int main(int argc, char** argv) {
       config.session.num_workers = std::atoi(value());
     } else if (arg == "--audit") {
       config.session.audit_mode = AuditMode::kFinal;
+    } else if (arg == "--certificates") {
+      certificates_dir = value();
+    } else if (arg == "--min-order") {
+      config.session.min_frontier_order = std::atoi(value());
+    } else if (arg == "--include-links") {
+      config.session.frontier_include_links = true;
     } else if (arg == "--session-wall") {
       config.session_wall_seconds = std::atof(value());
     } else if (arg == "--watchdog-grace") {
@@ -423,6 +450,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --max-attempts must be positive and "
                  "--admission-timeout non-negative\n");
+    return 2;
+  }
+  if (config.session.min_frontier_order < 0 || config.session.min_frontier_order > 4096) {
+    std::fprintf(stderr, "error: --min-order must be in [0, 4096]\n");
     return 2;
   }
   if (config.watchdog_grace != 0.0 &&
@@ -549,6 +580,17 @@ int main(int argc, char** argv) {
           response.stopped_reason.empty() ? "" : ", stopped early",
           response.attempt > 1 ? ", retried" : "",
           response.replayed ? ", replayed" : "");
+      if (!certificates_dir.empty() && !response.certificate_bytes.empty()) {
+        const std::string path = certificates_dir + "/" + response.id + ".cert";
+        try {
+          ByteReader in(response.certificate_bytes);
+          save_certificate_file(path, load_certificate(in));
+          std::printf("certificate written: %s\n", path.c_str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: cannot write %s: %s\n", path.c_str(), e.what());
+          ++failures;
+        }
+      }
     } else {
       std::printf("[%s] %s: %s\n", status, response.id.c_str(),
                   !response.error.empty() ? response.error.c_str()

@@ -44,7 +44,13 @@ void usage(const char* argv0) {
       "  --restarts N     independent hill climbs (default 4)\n"
       "  --rounds N       probes per climb (default 16)\n"
       "  --top K          offenders to keep (default 12)\n"
-      "  --tick-budget T  deterministic plan() budget per probe (default 60000)\n",
+      "  --tick-budget T  deterministic plan() budget per probe (default 60000)\n"
+      "  --min-order K    frontier floor for every probe: verify all failure\n"
+      "                   scenarios up to order K (default 0 = Algorithm 3)\n"
+      "  --include-links  mixed link/switch frontiers in every probe\n"
+      "  --budget-scale X scale each replayed entry's recorded tick budget by\n"
+      "                   X (default 1; use with --min-order, whose deeper\n"
+      "                   frontiers need proportionally more ticks)\n",
       argv0);
 }
 
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string replay_dir;
   StressConfig config;
+  double budget_scale = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +87,12 @@ int main(int argc, char** argv) {
       config.top_k = std::atoi(value());
     } else if (arg == "--tick-budget") {
       config.plan_tick_budget = std::atoll(value());
+    } else if (arg == "--min-order") {
+      config.min_frontier_order = std::atoi(value());
+    } else if (arg == "--include-links") {
+      config.frontier_include_links = true;
+    } else if (arg == "--budget-scale") {
+      budget_scale = std::atof(value());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -92,6 +105,12 @@ int main(int argc, char** argv) {
   if (out_dir.empty() == replay_dir.empty()) {
     std::fprintf(stderr, "error: exactly one of --out or --replay is required\n");
     usage(argv[0]);
+    return 2;
+  }
+  if (config.min_frontier_order < 0 || config.min_frontier_order > 4096 ||
+      budget_scale < 1.0) {
+    std::fprintf(stderr,
+                 "error: --min-order must be in [0, 4096] and --budget-scale >= 1\n");
     return 2;
   }
 
@@ -117,8 +136,11 @@ int main(int argc, char** argv) {
       problem.validate();
       // Replay under the entry's own recorded budget, not the CLI default:
       // the classification only reproduces at the budget it was found under.
+      // --budget-scale stretches it for deeper --min-order frontiers, whose
+      // scenario counts dwarf the budget the entry was scored at.
       StressConfig replay_config = config;
-      replay_config.plan_tick_budget = entry.tick_budget;
+      replay_config.plan_tick_budget = static_cast<std::int64_t>(
+          static_cast<double>(entry.tick_budget) * budget_scale);
       const StressProbe probe = stress_probe(entry.params, entry.seed, replay_config);
       std::printf("%-60s %-12s score %.1f  %s\n", file.c_str(),
                   probe.offender ? to_string(probe.kind) : "clean", probe.score,
